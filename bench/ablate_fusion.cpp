@@ -1,0 +1,51 @@
+// Ablation: Horovod Tensor Fusion tuning (paper §II-D — "the
+// HOROVOD_FUSION_THRESHOLD and HOROVOD_CYCLE_TIME are carefully tuned at
+// each scale to maximize training throughput").
+//
+// Sweeps both knobs for MPI-Opt at 32 nodes (128 GPUs) and shows why tuning
+// matters: tiny thresholds/cycles flood the backend with medium messages
+// (which ride the slow host-based algorithms), huge cycles delay the tail
+// flush past the end of backward.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("Ablation: Tensor Fusion",
+                      "fusion threshold x cycle time, MPI-Opt @128 GPUs");
+
+  const core::PaperExperiment exp;
+  constexpr std::size_t kSteps = 30;
+  constexpr std::size_t kNodes = 32;
+
+  const std::size_t MiB = 1024 * 1024;
+  Table t({"Threshold", "Cycle (ms)", "img/s", "Messages/step",
+           "Exposed comm (ms)"});
+  for (const std::size_t threshold :
+       {4 * MiB, 16 * MiB, 64 * MiB, 256 * MiB}) {
+    for (const double cycle_ms : {3.5, 30.0, 108.0, 250.0}) {
+      core::TrainingJobConfig job = exp.job;
+      job.fusion.fusion_threshold = threshold;
+      job.fusion.cycle_time = cycle_ms * 1e-3;
+      const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
+      const core::RunResult r =
+          trainer.run(core::BackendKind::MpiOpt, kNodes, kSteps);
+      const double msgs_per_step =
+          static_cast<double>(
+              r.profiler.total_count(prof::Collective::Allreduce)) /
+          kSteps;
+      t.add_row({format_bytes(threshold), strfmt("%.1f", cycle_ms),
+                 strfmt("%.1f", r.images_per_second),
+                 strfmt("%.1f", msgs_per_step),
+                 strfmt("%.1f", r.mean_exposed_comm * 1e3)});
+    }
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "the paper's tuned operating point (64 MB / ~100 ms) maximizes the "
+      "share of gradient bytes moved by the IPC-accelerated large-message "
+      "path");
+  return 0;
+}

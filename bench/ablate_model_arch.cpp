@@ -1,0 +1,70 @@
+// Ablation: model architecture vs communication profile (paper Fig. 5a's
+// three residual-block families, plus the classification baseline).
+//
+// The paper's core observation is that DLSR models stress MPI differently
+// than classification models — much larger fused allreduce messages per
+// unit of compute. This bench quantifies that: parameters, gradient bytes,
+// compute per image, and the resulting communication-to-compute ratio and
+// simulated scaling efficiency for each architecture.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/distributed_trainer.hpp"
+#include "models/edsr_graph.hpp"
+#include "models/resnet50_graph.hpp"
+#include "models/srresnet.hpp"
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("Ablation: architecture vs communication",
+                      "EDSR / SRResNet / EDSR-baseline / ResNet-50");
+
+  struct Entry {
+    const char* name;
+    models::ModelGraph graph;
+    perf::EfficiencyCalibration calib;
+    std::size_t batch;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"EDSR (paper)",
+                     models::build_edsr_graph(models::EdsrConfig::paper(), 48),
+                     perf::EfficiencyCalibration::edsr(), 4});
+  {
+    models::SrResNetConfig sr;
+    sr.n_resblocks = 16;
+    sr.n_feats = 64;
+    entries.push_back({"SRResNet", models::build_srresnet_graph(sr, 48),
+                       perf::EfficiencyCalibration::edsr(), 4});
+  }
+  entries.push_back(
+      {"EDSR-baseline",
+       models::build_edsr_graph(models::EdsrConfig::baseline(), 48),
+       perf::EfficiencyCalibration::edsr(), 4});
+  entries.push_back({"ResNet-50", models::build_resnet50_graph(224, 1000),
+                     perf::EfficiencyCalibration::resnet50(), 32});
+
+  Table t({"Model", "Params (M)", "Grad MB", "Train GFLOP/img",
+           "Comm/Compute (B/F)", "Opt eff @128 GPUs (%)"});
+  for (auto& e : entries) {
+    const perf::PerfModel perf_model(perf::GpuSpec::v100_16gb(), e.calib);
+    core::TrainingJobConfig job = core::TrainingJobConfig::paper_edsr();
+    job.batch_per_gpu = e.batch;
+    const core::DistributedTrainer trainer(e.graph, perf_model, job);
+    const core::RunResult r =
+        trainer.run(core::BackendKind::MpiOpt, /*nodes=*/32, /*steps=*/20);
+    const double comm_per_compute =
+        static_cast<double>(e.graph.param_bytes()) /
+        (e.graph.train_flops_per_item() * e.batch);
+    t.add_row({e.name, strfmt("%.1f", e.graph.param_count() / 1e6),
+               strfmt("%.0f", e.graph.param_bytes() / 1e6),
+               strfmt("%.1f", e.graph.train_flops_per_item() / 1e9),
+               strfmt("%.2e", comm_per_compute),
+               strfmt("%.1f", r.scaling_efficiency * 100.0)});
+  }
+  bench::print_table(t);
+  bench::print_note(
+      "the paper's EDSR moves ~20x the gradient bytes of ResNet-50 per "
+      "step; large fused messages are why the >=16 MB allreduce path "
+      "dominates its scaling behavior (Table I)");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared output helpers for the figure/table reproduction benches.
+//
+// Every bench prints: a header identifying the paper artifact it
+// regenerates, the measured table, and a PAPER-vs-MEASURED summary of the
+// headline quantities so EXPERIMENTS.md can be filled by reading the output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace dlsr::bench {
+
+inline void print_header(const std::string& artifact,
+                         const std::string& description) {
+  std::printf("=================================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("=================================================================\n");
+}
+
+inline void print_table(const Table& table) {
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+inline void print_claim(const std::string& what, double paper, double measured,
+                        const std::string& unit) {
+  std::printf("  %-46s paper: %10.2f %-8s measured: %10.2f %s\n", what.c_str(),
+              paper, unit.c_str(), measured, unit.c_str());
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  note: %s\n", note.c_str());
+}
+
+}  // namespace dlsr::bench

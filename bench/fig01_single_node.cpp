@@ -1,0 +1,47 @@
+// Reproduces Fig. 1: single-node training throughput of ResNet-50 (image
+// classification) vs EDSR (super-resolution) on one V100 GPU.
+//
+// Paper: ResNet-50 ~360 images/s, EDSR ~10.3 images/s — a 35x gap that
+// motivates distributing DLSR training in the first place.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "models/edsr.hpp"
+#include "models/edsr_graph.hpp"
+#include "models/resnet50_graph.hpp"
+#include "perf/v100_model.hpp"
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("Figure 1",
+                      "single-GPU throughput, ResNet-50 vs EDSR (V100)");
+
+  const models::ModelGraph resnet = models::build_resnet50_graph(224, 1000);
+  const perf::PerfModel resnet_perf(perf::GpuSpec::v100_16gb(),
+                                    perf::EfficiencyCalibration::resnet50());
+  const double resnet_ips = resnet_perf.images_per_second(resnet, 32);
+
+  const models::EdsrConfig edsr_cfg = models::EdsrConfig::paper();
+  const models::ModelGraph edsr = models::build_edsr_graph(edsr_cfg, 48);
+  const perf::PerfModel edsr_perf(perf::GpuSpec::v100_16gb(),
+                                  perf::EfficiencyCalibration::edsr());
+  const double edsr_ips = edsr_perf.images_per_second(edsr, 4);
+
+  Table t({"Model", "Task", "Batch", "Params (M)", "Fwd GFLOP/img",
+           "Images/s"});
+  t.add_row({"ResNet-50", "classification", "32",
+             strfmt("%.1f", resnet.param_count() / 1e6),
+             strfmt("%.1f", resnet.fwd_flops_per_item() / 1e9),
+             strfmt("%.1f", resnet_ips)});
+  t.add_row({"EDSR", "super-resolution", "4",
+             strfmt("%.1f", edsr.param_count() / 1e6),
+             strfmt("%.1f", edsr.fwd_flops_per_item() / 1e9),
+             strfmt("%.1f", edsr_ips)});
+  bench::print_table(t);
+
+  bench::print_claim("ResNet-50 throughput", 360.0, resnet_ips, "img/s");
+  bench::print_claim("EDSR throughput", 10.3, edsr_ips, "img/s");
+  bench::print_claim("classification/SR throughput ratio", 360.0 / 10.3,
+                     resnet_ips / edsr_ips, "x");
+  return 0;
+}

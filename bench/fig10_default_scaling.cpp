@@ -1,0 +1,45 @@
+// Reproduces Fig. 10: default distributed EDSR training throughput for
+// Horovod built against MVAPICH2-GDR (no IPC, no registration cache) and
+// NCCL, 1 -> 128 Lassen nodes.
+//
+// Paper: "while performance is acceptable for a small number of nodes,
+// throughput quickly degrades at scale ... scaling efficiency drops below
+// 60 % for large node counts" (§VI).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("Figure 10",
+                      "default distributed EDSR training throughput");
+
+  const core::PaperExperiment exp;
+  const core::DistributedTrainer trainer = exp.make_trainer();
+  const auto nodes = core::paper_node_counts();
+  constexpr std::size_t kSteps = 40;
+
+  const auto mpi =
+      core::run_scaling(trainer, core::BackendKind::Mpi, nodes, kSteps);
+  const auto nccl =
+      core::run_scaling(trainer, core::BackendKind::Nccl, nodes, kSteps);
+  const double ideal_per_gpu = trainer.single_gpu_images_per_second();
+
+  Table t({"Nodes", "GPUs", "Ideal img/s", "MPI img/s", "NCCL img/s",
+           "MPI eff (%)"});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    t.add_row({strfmt("%zu", nodes[i]), strfmt("%zu", mpi[i].gpus),
+               strfmt("%.0f", ideal_per_gpu * mpi[i].gpus),
+               strfmt("%.1f", mpi[i].images_per_second),
+               strfmt("%.1f", nccl[i].images_per_second),
+               strfmt("%.1f", mpi[i].scaling_efficiency * 100.0)});
+  }
+  bench::print_table(t);
+
+  bench::print_claim("default MPI efficiency @512 GPUs (below)", 60.0,
+                     mpi.back().scaling_efficiency * 100.0, "%");
+  bench::print_claim("default MPI efficiency @1 node (acceptable)", 80.0,
+                     mpi.front().scaling_efficiency * 100.0, "%");
+  return 0;
+}

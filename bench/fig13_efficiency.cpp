@@ -1,0 +1,50 @@
+// Reproduces Fig. 13: EDSR scaling efficiency up to 512 GPUs for default
+// MPI, MPI-Opt, and NCCL, plus the headline claims:
+//   * default efficiency drops below 60 % at large node counts (§VI),
+//   * MPI-Opt stays above 70 % at 512 GPUs,
+//   * +15.6 percentage points over default, a 1.26x training speedup (§VII).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("Figure 13",
+                      "EDSR scaling efficiency, 4 -> 512 GPUs (Lassen)");
+
+  const core::PaperExperiment exp;
+  const core::DistributedTrainer trainer = exp.make_trainer();
+  const auto nodes = core::paper_node_counts();
+  constexpr std::size_t kSteps = 40;
+
+  const auto mpi =
+      core::run_scaling(trainer, core::BackendKind::Mpi, nodes, kSteps);
+  const auto opt =
+      core::run_scaling(trainer, core::BackendKind::MpiOpt, nodes, kSteps);
+  const auto nccl =
+      core::run_scaling(trainer, core::BackendKind::Nccl, nodes, kSteps);
+
+  Table t({"Nodes", "GPUs", "MPI eff (%)", "MPI-Opt eff (%)", "NCCL eff (%)"});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    t.add_row({strfmt("%zu", nodes[i]), strfmt("%zu", mpi[i].gpus),
+               strfmt("%.1f", mpi[i].scaling_efficiency * 100.0),
+               strfmt("%.1f", opt[i].scaling_efficiency * 100.0),
+               strfmt("%.1f", nccl[i].scaling_efficiency * 100.0)});
+  }
+  bench::print_table(t);
+
+  const core::RunResult& mpi512 = mpi.back();
+  const core::RunResult& opt512 = opt.back();
+  bench::print_claim("default MPI efficiency @512 GPUs", 60.0,
+                     mpi512.scaling_efficiency * 100.0, "% (below)");
+  bench::print_claim("MPI-Opt efficiency @512 GPUs", 70.0,
+                     opt512.scaling_efficiency * 100.0, "% (above)");
+  bench::print_claim(
+      "efficiency gain (percentage points)", 15.6,
+      (opt512.scaling_efficiency - mpi512.scaling_efficiency) * 100.0, "pp");
+  bench::print_claim("training speedup MPI-Opt / MPI", 1.26,
+                     opt512.images_per_second / mpi512.images_per_second,
+                     "x");
+  return 0;
+}

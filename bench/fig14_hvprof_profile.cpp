@@ -1,0 +1,50 @@
+// Reproduces Fig. 14: the hvprof allreduce training profile — message-size
+// histogram (count, bytes, time per bucket) for 100 training steps of EDSR
+// on 4 GPUs, under default MPI and MPI-Opt.
+//
+// Fig. 14 is the per-bucket visualization of the same run Table I
+// tabulates; the bench prints both backends' full histograms plus the
+// per-bucket mean allreduce latencies.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("Figure 14",
+                      "hvprof allreduce profile, 100 steps of EDSR, 4 GPUs");
+
+  const core::PaperExperiment exp;
+  const core::DistributedTrainer trainer = exp.make_trainer();
+  constexpr std::size_t kSteps = 100;
+
+  struct Run {
+    core::BackendKind kind;
+    const char* label;
+  };
+  for (const Run run : {Run{core::BackendKind::Mpi, "default MPI"},
+                        Run{core::BackendKind::MpiOpt, "MPI-Opt"}}) {
+    const core::RunResult r = trainer.run(run.kind, /*nodes=*/1, kSteps);
+    std::printf("-- %s --\n", run.label);
+    Table t({"Message Size", "Count", "Total Bytes", "Time (ms)",
+             "Mean latency (ms)"});
+    for (std::size_t b = 0; b < prof::Hvprof::kBucketCount; ++b) {
+      const prof::BucketStats& s =
+          r.profiler.bucket(prof::Collective::Allreduce, b);
+      t.add_row({prof::Hvprof::bucket_labels()[b], strfmt("%zu", s.count),
+                 format_bytes(s.bytes), strfmt("%.1f", s.time * 1e3),
+                 s.count ? strfmt("%.2f", s.time * 1e3 / s.count)
+                         : std::string("-")});
+    }
+    bench::print_table(t);
+    bench::print_claim(
+        strfmt("%s total allreduce (ms/100 steps)", run.label),
+        run.kind == core::BackendKind::Mpi ? 7179.9 : 3918.5,
+        r.profiler.total_time(prof::Collective::Allreduce) * 1e3, "ms");
+  }
+  bench::print_note(
+      "the 16-64 MB buckets dominate and are the ones CUDA IPC accelerates; "
+      "buckets below 16 MB ride host-based algorithms in both configs");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Consolidated check of every headline number in the paper (§I, §VII,
+// Table I): one binary whose output is the paper-vs-measured scoreboard
+// recorded in EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+#include "models/resnet50_graph.hpp"
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("Headline claims",
+                      "every quantitative claim in the paper, in one place");
+
+  const core::PaperExperiment exp;
+  const core::DistributedTrainer trainer = exp.make_trainer();
+
+  // Single-GPU throughputs (abstract, Fig. 1).
+  const perf::PerfModel resnet_perf(perf::GpuSpec::v100_16gb(),
+                                    perf::EfficiencyCalibration::resnet50());
+  const models::ModelGraph resnet = models::build_resnet50_graph(224, 1000);
+  bench::print_claim("EDSR single-V100 throughput", 10.3,
+                     trainer.single_gpu_images_per_second(), "img/s");
+  bench::print_claim("ResNet-50 single-V100 throughput", 360.0,
+                     resnet_perf.images_per_second(resnet, 32), "img/s");
+
+  // Table I (4 GPUs, 100 steps).
+  const core::RunResult t1_def = trainer.run(core::BackendKind::Mpi, 1, 100);
+  const core::RunResult t1_opt =
+      trainer.run(core::BackendKind::MpiOpt, 1, 100);
+  const double dt = t1_def.profiler.total_time(prof::Collective::Allreduce);
+  const double ot = t1_opt.profiler.total_time(prof::Collective::Allreduce);
+  bench::print_claim("Table I total allreduce improvement", 45.4,
+                     (dt - ot) / dt * 100.0, "%");
+
+  // Scaling study at 512 GPUs (Figs. 10-13).
+  constexpr std::size_t kSteps = 40;
+  const core::RunResult mpi512 =
+      trainer.run(core::BackendKind::Mpi, 128, kSteps);
+  const core::RunResult reg512 =
+      trainer.run(core::BackendKind::MpiReg, 128, kSteps);
+  const core::RunResult opt512 =
+      trainer.run(core::BackendKind::MpiOpt, 128, kSteps);
+  bench::print_claim("default efficiency @512 GPUs (<60)", 60.0,
+                     mpi512.scaling_efficiency * 100.0, "%");
+  bench::print_claim("MPI-Opt efficiency @512 GPUs (>70)", 70.0,
+                     opt512.scaling_efficiency * 100.0, "%");
+  bench::print_claim(
+      "scaling-efficiency improvement", 15.6,
+      (opt512.scaling_efficiency - mpi512.scaling_efficiency) * 100.0, "pp");
+  bench::print_claim("training speedup (1.26x)", 1.26,
+                     opt512.images_per_second / mpi512.images_per_second,
+                     "x");
+  bench::print_claim("throughput improvement over default", 26.0,
+                     (opt512.images_per_second / mpi512.images_per_second -
+                      1.0) * 100.0,
+                     "%");
+  bench::print_claim(
+      "reg-cache throughput gain @512 GPUs", 5.1,
+      (reg512.images_per_second / mpi512.images_per_second - 1.0) * 100.0,
+      "%");
+  bench::print_claim("reg-cache hit rate", 93.0,
+                     reg512.reg_cache_hit_rate * 100.0, "%");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// google-benchmark micro suite for the numerical substrate: GEMM kernels,
+// conv2d forward/backward, pixel shuffle, bicubic resize, and the
+// data-plane ring allreduce. These are the kernels the functional training
+// path (examples/tests) actually executes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "image/resize.hpp"
+#include "mpisim/data_allreduce.hpp"
+#include "tensor/conv2d.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/pixel_shuffle.hpp"
+
+namespace {
+
+using namespace dlsr;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    matmul_blocked(a.raw(), b.raw(), c.raw(), n, n, n, false);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    matmul_naive(a.raw(), b.raw(), c.raw(), n, n, n, false);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::size_t ch = static_cast<std::size_t>(state.range(0));
+  Conv2dSpec spec;
+  spec.in_channels = ch;
+  spec.out_channels = ch;
+  const Tensor input = random_tensor({1, ch, 24, 24}, 3);
+  const Tensor weight = random_tensor(spec.weight_shape(), 4);
+  const Tensor bias = random_tensor({ch}, 5);
+  for (auto _ : state) {
+    Tensor out = conv2d_forward(input, weight, bias, spec);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::size_t ch = static_cast<std::size_t>(state.range(0));
+  Conv2dSpec spec;
+  spec.in_channels = ch;
+  spec.out_channels = ch;
+  const Tensor input = random_tensor({1, ch, 24, 24}, 3);
+  const Tensor weight = random_tensor(spec.weight_shape(), 4);
+  const Tensor grad_out = random_tensor({1, ch, 24, 24}, 6);
+  for (auto _ : state) {
+    Tensor gi, gw, gb;
+    conv2d_backward(input, weight, spec, grad_out, gi, gw, gb, true);
+    benchmark::DoNotOptimize(gw.raw());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_PixelShuffle(benchmark::State& state) {
+  const Tensor input = random_tensor({1, 64, 24, 24}, 7);
+  for (auto _ : state) {
+    Tensor out = pixel_shuffle(input, 2);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_PixelShuffle);
+
+void BM_BicubicResize(benchmark::State& state) {
+  const Tensor input = random_tensor({1, 3, 96, 96}, 8);
+  for (auto _ : state) {
+    Tensor out = img::resize_bicubic(input, 48, 48);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_BicubicResize);
+
+void BM_RingAllreduce(benchmark::State& state) {
+  const std::size_t ranks = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 1 << 16;
+  std::vector<std::vector<float>> storage(ranks, std::vector<float>(n, 1.0f));
+  for (auto _ : state) {
+    std::vector<std::span<float>> bufs;
+    bufs.reserve(ranks);
+    for (auto& s : storage) {
+      bufs.emplace_back(s);
+    }
+    mpisim::ring_allreduce_sum(bufs);
+    benchmark::DoNotOptimize(storage[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ranks * n * 4));
+}
+BENCHMARK(BM_RingAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

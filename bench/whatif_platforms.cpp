@@ -1,0 +1,107 @@
+// What-if study: platform and fault sensitivity.
+//
+// The paper ran on two systems (Lassen and Longhorn, §IV-A) and reported
+// Lassen numbers. This bench asks the questions an operator would:
+//   1. How much does Lassen's second InfiniBand rail buy at scale?
+//      (Longhorn has one rail per node.)
+//   2. What does a single congested IB link (3x slower) do to a 512-GPU
+//      synchronous job under each backend?
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+#include "hvd/backend.hpp"
+#include "hvd/fusion.hpp"
+
+namespace {
+
+using namespace dlsr;
+
+/// Simulates `steps` EDSR steps on an already-built cluster (so callers can
+/// degrade links first). Mirrors DistributedTrainer::run's core loop but
+/// over a custom cluster.
+double images_per_second_on(sim::Cluster& cluster, core::BackendKind kind,
+                            std::size_t steps) {
+  const core::PaperExperiment exp;
+  auto backend = core::make_backend(kind, cluster, 1);
+  hvd::TensorFusionEngine fusion(exp.job.fusion, *backend);
+  const perf::StepTime compute = exp.perf.step_time(exp.graph, 4);
+  const auto grads = exp.graph.gradient_sequence();
+  Rng rng(99);
+  double t = 0.0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    double worst = 0.0;
+    for (std::size_t r = 0; r < cluster.total_gpus(); ++r) {
+      worst = std::max(worst, std::exp(exp.job.jitter_sigma * rng.normal()));
+    }
+    const double fwd = (compute.forward + compute.overhead) * worst;
+    const double bwd =
+        compute.backward * worst * backend->compute_contention();
+    const hvd::StepTimeline timeline =
+        fusion.simulate_step(grads, t + fwd, bwd);
+    t = std::max(timeline.backward_end, timeline.comm_end) +
+        compute.optimizer;
+  }
+  return static_cast<double>(cluster.total_gpus() * 4 * steps) / t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlsr;
+  bench::print_header("What-if: platforms and faults",
+                      "dual vs single IB rail; one congested link");
+  constexpr std::size_t kSteps = 20;
+
+  {
+    Table t({"Platform", "Nodes", "MPI-Opt img/s", "NCCL img/s"});
+    for (const std::size_t nodes : {16ul, 64ul}) {
+      sim::Cluster lassen(sim::ClusterSpec::lassen(nodes));
+      sim::Cluster longhorn(sim::ClusterSpec::longhorn(nodes));
+      t.add_row({"Lassen (2 rails)", strfmt("%zu", nodes),
+                 strfmt("%.1f", images_per_second_on(
+                                    lassen, core::BackendKind::MpiOpt,
+                                    kSteps)),
+                 strfmt("%.1f", images_per_second_on(
+                                    lassen, core::BackendKind::Nccl,
+                                    kSteps))});
+      lassen.reset();
+      t.add_row({"Longhorn (1 rail)", strfmt("%zu", nodes),
+                 strfmt("%.1f", images_per_second_on(
+                                    longhorn, core::BackendKind::MpiOpt,
+                                    kSteps)),
+                 strfmt("%.1f", images_per_second_on(
+                                    longhorn, core::BackendKind::Nccl,
+                                    kSteps))});
+    }
+    bench::print_table(t);
+  }
+
+  {
+    Table t({"Scenario", "MPI img/s", "MPI-Opt img/s"});
+    for (const bool degraded : {false, true}) {
+      sim::Cluster cluster(sim::ClusterSpec::lassen(32));
+      if (degraded) {
+        cluster.ib_port(7, 0).degrade(3.0);  // one congested HCA port
+      }
+      std::vector<std::string> row{degraded ? "one IB port 3x slow"
+                                            : "healthy"};
+      row.push_back(strfmt(
+          "%.1f",
+          images_per_second_on(cluster, core::BackendKind::Mpi, kSteps)));
+      cluster.reset();
+      row.push_back(strfmt(
+          "%.1f", images_per_second_on(cluster, core::BackendKind::MpiOpt,
+                                       kSteps)));
+      t.add_row(std::move(row));
+    }
+    bench::print_table(t);
+    bench::print_note(
+        "synchronous allreduce waits for the slowest participant: a single "
+        "congested port taxes the whole 128-GPU job, and dual-rail nodes "
+        "halve the inter-node pressure NCCL and the leader ring put on "
+        "each HCA");
+  }
+  return 0;
+}

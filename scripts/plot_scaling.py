@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Plot the scaling study from the CLI's CSV output.
+
+Usage:
+    ./build/tools/dlsr simulate --backends MPI,MPI-Opt,NCCL \
+        --nodes 1,2,4,8,16,32,64,128 --steps 30 --csv > scaling.csv
+    python3 scripts/plot_scaling.py scaling.csv out_prefix
+
+Writes <out_prefix>_throughput.png and <out_prefix>_efficiency.png —
+the repo's renditions of the paper's Figs. 10/12 and Fig. 13. Requires
+matplotlib; everything else in this repository is dependency-free C++,
+plotting is the one optional extra.
+"""
+import csv
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    csv_path, prefix = sys.argv[1], sys.argv[2]
+
+    with open(csv_path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        print(f"no data rows in {csv_path}")
+        return 1
+
+    gpus = [int(r["gpus"]) for r in rows]
+    backends = sorted(
+        {c[: -len(" img/s")] for c in rows[0] if c.endswith(" img/s")}
+    )
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; printing the table instead\n")
+        for r in rows:
+            print(r)
+        return 0
+
+    for metric, suffix, ylabel, fig_ref in (
+        (" img/s", "throughput", "images / second", "Figs. 10 & 12"),
+        (" eff%", "efficiency", "scaling efficiency (%)", "Fig. 13"),
+    ):
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for backend in backends:
+            ax.plot(
+                gpus,
+                [float(r[backend + metric]) for r in rows],
+                marker="o",
+                label=backend,
+            )
+        ax.set_xscale("log", base=2)
+        ax.set_xticks(gpus, [str(g) for g in gpus])
+        ax.set_xlabel("GPUs")
+        ax.set_ylabel(ylabel)
+        ax.set_title(f"EDSR distributed training ({fig_ref})")
+        if suffix == "efficiency":
+            ax.axhline(60, color="grey", ls=":", lw=1)
+            ax.axhline(70, color="grey", ls=":", lw=1)
+        ax.grid(alpha=0.3)
+        ax.legend()
+        out = f"{prefix}_{suffix}.png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

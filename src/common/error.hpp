@@ -1,0 +1,37 @@
+// Error handling for the dlsr library.
+//
+// All recoverable failures are reported with dlsr::Error (derived from
+// std::runtime_error). Internal invariant violations use DLSR_CHECK, which
+// throws with file/line context so tests can assert on misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dlsr {
+
+/// Exception type thrown by all dlsr components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* cond, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace dlsr
+
+/// Throws dlsr::Error with location context when `cond` is false.
+/// `msg` is any expression convertible to std::string (may use +).
+#define DLSR_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dlsr::detail::throw_check_failure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)
+
+/// Unconditional failure with location context.
+#define DLSR_FAIL(msg) \
+  ::dlsr::detail::throw_check_failure("<unreachable>", __FILE__, __LINE__, msg)

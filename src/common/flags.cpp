@@ -1,0 +1,118 @@
+#include "common/flags.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr {
+
+void Flags::define(const std::string& name, const std::string& help,
+                   std::optional<std::string> default_value) {
+  DLSR_CHECK(!name.empty() && name[0] != '-', "flag names omit the dashes");
+  DLSR_CHECK(specs_.emplace(name, Spec{help, default_value}).second,
+             "duplicate flag definition: " + name);
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    const auto it = specs_.find(name);
+    DLSR_CHECK(it != specs_.end(), "unknown flag --" + name);
+    if (!value) {
+      // `--flag value` unless the next token is another flag (boolean form).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    values_[name] = *value;
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  if (values_.count(name)) {
+    return true;
+  }
+  const auto it = specs_.find(name);
+  return it != specs_.end() && it->second.default_value.has_value();
+}
+
+std::string Flags::get(const std::string& name) const {
+  const auto v = values_.find(name);
+  if (v != values_.end()) {
+    return v->second;
+  }
+  const auto it = specs_.find(name);
+  DLSR_CHECK(it != specs_.end(), "undeclared flag --" + name);
+  DLSR_CHECK(it->second.default_value.has_value(),
+             "flag --" + name + " not provided and has no default");
+  return *it->second.default_value;
+}
+
+std::string Flags::get_or(const std::string& name,
+                          const std::string& fallback) const {
+  return has(name) ? get(name) : fallback;
+}
+
+long Flags::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const long out = std::stol(v, &pos);
+    DLSR_CHECK(pos == v.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw Error(strfmt("flag --%s expects an integer, got \"%s\"",
+                       name.c_str(), v.c_str()));
+  }
+}
+
+double Flags::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    DLSR_CHECK(pos == v.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw Error(strfmt("flag --%s expects a number, got \"%s\"",
+                       name.c_str(), v.c_str()));
+  }
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error(strfmt("flag --%s expects a boolean, got \"%s\"", name.c_str(),
+                     v.c_str()));
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (spec.default_value) {
+      os << " (default: " << *spec.default_value << ")";
+    }
+    os << "\n      " << spec.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dlsr

@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the tools and examples.
+//
+// Supports `--name value`, `--name=value`, boolean `--name`, and positional
+// arguments. Unknown flags are an error (typos should not silently pass).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlsr {
+
+class Flags {
+ public:
+  /// Declares a flag with a help string and optional default.
+  void define(const std::string& name, const std::string& help,
+              std::optional<std::string> default_value = std::nullopt);
+
+  /// Parses argv (skipping argv[0]). Throws dlsr::Error on unknown flags or
+  /// missing values.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+  long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text from the declared flags.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::optional<std::string> default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dlsr

@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs nothing by default (level = Warn); benches and
+// examples raise the level for progress reporting. Logging is process-global
+// and thread-safe.
+#pragma once
+
+#include <string>
+
+namespace dlsr {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] message\n") if `level` passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::Info, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::Warn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::Error, m); }
+
+}  // namespace dlsr

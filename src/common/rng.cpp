@@ -1,0 +1,63 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlsr {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  DLSR_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection-free multiply-shift; bias is < 2^-64 * n, negligible here.
+  return static_cast<std::uint64_t>(uniform() * static_cast<double>(n)) % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; avoid log(0) by nudging u1 away from zero.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0x632be59bd9b4e019ULL); }
+
+void Rng::fill_normal(std::vector<float>& out, float mean, float stddev) {
+  for (auto& v : out) {
+    v = static_cast<float>(normal(mean, stddev));
+  }
+}
+
+void Rng::fill_uniform(std::vector<float>& out, float lo, float hi) {
+  for (auto& v : out) {
+    v = static_cast<float>(uniform(lo, hi));
+  }
+}
+
+}  // namespace dlsr

@@ -1,0 +1,38 @@
+// Streaming statistics (Welford) and simple summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dlsr {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator (parallel reduction of partial stats).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p in [0,1]; linear interpolation between order statistics.
+/// Copies and sorts — intended for end-of-run summaries, not hot paths.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace dlsr

@@ -1,0 +1,62 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dlsr {
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_bytes(std::size_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e9) return strfmt("%.2f GB", b / 1e9);
+  if (b >= 1e6) return strfmt("%.2f MB", b / 1e6);
+  if (b >= 1e3) return strfmt("%.2f KB", b / 1e3);
+  return strfmt("%zu B", bytes);
+}
+
+std::string format_time(double seconds) {
+  const double abs = seconds < 0 ? -seconds : seconds;
+  if (abs >= 1.0) return strfmt("%.3f s", seconds);
+  if (abs >= 1e-3) return strfmt("%.3f ms", seconds * 1e3);
+  if (abs >= 1e-6) return strfmt("%.3f us", seconds * 1e6);
+  return strfmt("%.1f ns", seconds * 1e9);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace dlsr

@@ -1,0 +1,25 @@
+// Small string/formatting helpers (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlsr {
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.5 KB", "64.0 MB", ... (SI-style, matching how the paper quotes sizes).
+std::string format_bytes(std::size_t bytes);
+
+/// "1.23 ms", "4.5 us", "2.05 s".
+std::string format_time(double seconds);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+}  // namespace dlsr

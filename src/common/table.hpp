@@ -1,0 +1,38 @@
+// ASCII table rendering for bench/report output.
+//
+// Every bench binary prints paper-style tables (rows of a figure's series or
+// a table's cells) through this one formatter so the output is uniform and
+// machine-parsable (a `to_csv()` form is also provided).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dlsr {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows: formats doubles with `precision`.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a separator under the header, columns padded to fit.
+  std::string to_string() const;
+
+  /// Comma-separated form (no padding), one line per row, header first.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dlsr

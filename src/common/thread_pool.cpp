@@ -1,0 +1,115 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dlsr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Static block partition: one contiguous chunk per worker keeps each
+  // worker's writes on distinct cache lines for the common NCHW layouts.
+  const std::size_t chunks = std::min(workers, n);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  std::atomic<std::size_t> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t lo = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    const std::size_t hi = lo + len;
+    pool.submit([&, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        body(i);
+      }
+      if (done.fetch_add(1) + 1 == chunks) {
+        const std::lock_guard<std::mutex> lock(m);
+        cv.notify_one();
+      }
+    });
+    lo = hi;
+  }
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done.load() == chunks; });
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for(ThreadPool::global(), begin, end, body);
+}
+
+}  // namespace dlsr

@@ -1,0 +1,62 @@
+// Work-sharing thread pool and parallel_for.
+//
+// The tensor kernels (conv2d, matmul) shard their outer loops over a shared
+// pool. The pool follows the standard HPC pattern: a fixed set of workers
+// created once, a blocking task queue, and fork-join helpers that never
+// allocate per-iteration. On single-core machines (or when threads == 1)
+// parallel_for degrades to a plain loop with zero synchronization cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dlsr {
+
+/// Fixed-size thread pool with a blocking FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (they run detached from callers).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide default pool (created on first use).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [begin, end), sharded across `pool`.
+/// Iterations of `body` must be independent. Blocks until all complete.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace dlsr

@@ -1,0 +1,30 @@
+// Byte and time units used across the simulator.
+//
+// Simulated time is a double in seconds. Bytes are std::size_t. Bandwidths
+// are bytes/second. Keeping these as plain arithmetic types (with named
+// constructors here) keeps the hot discrete-event loop allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlsr {
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+/// SI giga, used for link bandwidths quoted in GB/s.
+inline constexpr double GB = 1e9;
+
+inline constexpr double microseconds(double us) { return us * 1e-6; }
+inline constexpr double milliseconds(double ms) { return ms * 1e-3; }
+inline constexpr double gbps(double gigabytes_per_second) {
+  return gigabytes_per_second * GB;
+}
+
+/// Giga-FLOP/s (SI) for compute-rate constants.
+inline constexpr double gflops(double g) { return g * 1e9; }
+inline constexpr double tflops(double t) { return t * 1e12; }
+
+}  // namespace dlsr

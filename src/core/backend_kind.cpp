@@ -1,0 +1,46 @@
+#include "core/backend_kind.hpp"
+
+#include "common/error.hpp"
+
+namespace dlsr::core {
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Mpi:
+      return "MPI";
+    case BackendKind::MpiReg:
+      return "MPI-Reg";
+    case BackendKind::MpiOpt:
+      return "MPI-Opt";
+    case BackendKind::Nccl:
+      return "NCCL";
+  }
+  return "?";
+}
+
+std::unique_ptr<hvd::CollectiveBackend> make_backend(BackendKind kind,
+                                                     sim::Cluster& cluster,
+                                                     std::uint64_t seed) {
+  switch (kind) {
+    case BackendKind::Mpi:
+      return std::make_unique<hvd::MpiBackend>(
+          cluster, mpisim::MpiEnv::mpi_default(),
+          mpisim::TransportConfig::mvapich2_gdr(), mpisim::AllreduceConfig{},
+          seed);
+    case BackendKind::MpiReg:
+      return std::make_unique<hvd::MpiBackend>(
+          cluster, mpisim::MpiEnv::mpi_reg(),
+          mpisim::TransportConfig::mvapich2_gdr(), mpisim::AllreduceConfig{},
+          seed);
+    case BackendKind::MpiOpt:
+      return std::make_unique<hvd::MpiBackend>(
+          cluster, mpisim::MpiEnv::mpi_opt(),
+          mpisim::TransportConfig::mvapich2_gdr(), mpisim::AllreduceConfig{},
+          seed);
+    case BackendKind::Nccl:
+      return std::make_unique<hvd::NcclBackend>(cluster);
+  }
+  DLSR_FAIL("unknown backend kind");
+}
+
+}  // namespace dlsr::core

@@ -1,0 +1,25 @@
+// The four backend configurations the paper evaluates (§III-D):
+//   MPI     — default Horovod + MVAPICH2-GDR (CUDA_VISIBLE_DEVICES pinned,
+//             so CUDA IPC is silently disabled; registration cache off).
+//   MPI-Reg — default plus the InfiniBand registration cache.
+//   MPI-Opt — MV2_VISIBLE_DEVICES restores CUDA IPC; registration cache on.
+//   NCCL    — Horovod's NCCL backend.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hvd/backend.hpp"
+
+namespace dlsr::core {
+
+enum class BackendKind { Mpi, MpiReg, MpiOpt, Nccl };
+
+const char* backend_kind_name(BackendKind kind);
+
+/// Builds the backend over `cluster` with the paper's configuration.
+std::unique_ptr<hvd::CollectiveBackend> make_backend(BackendKind kind,
+                                                     sim::Cluster& cluster,
+                                                     std::uint64_t seed = 1);
+
+}  // namespace dlsr::core

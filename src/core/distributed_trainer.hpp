@@ -1,0 +1,92 @@
+// DistributedTrainer — simulates synchronous data-parallel EDSR training on
+// the modeled cluster and reports the metrics the paper plots: training
+// throughput (images/second) and scaling efficiency.
+//
+// Per step:
+//   1. Compute times (forward/backward/optimizer) come from the calibrated
+//      V100 performance model.
+//   2. Each rank's compute is perturbed by lognormal jitter (OS noise,
+//      dataloader variance); the synchronous step runs at the pace of the
+//      slowest rank — the straggler effect that grows with scale.
+//   3. Gradient tensors become ready through backward per the model graph;
+//      the Horovod Tensor Fusion engine packs them and issues allreduces on
+//      the configured backend over the shared cluster links.
+//   4. The step ends when compute and the last allreduce have finished.
+//
+// Scaling efficiency is throughput / (GPUs x single-GPU throughput), the
+// paper's Fig. 13 metric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/backend_kind.hpp"
+#include "hvd/fusion.hpp"
+#include "hvd/timeline.hpp"
+#include "models/model_graph.hpp"
+#include "perf/v100_model.hpp"
+
+namespace dlsr::core {
+
+struct TrainingJobConfig {
+  std::size_t batch_per_gpu = 4;  ///< the paper's chosen batch size (§IV-C)
+  hvd::FusionConfig fusion;
+  /// Lognormal sigma of per-rank per-step compute jitter (OS noise plus
+  /// parallel-filesystem dataloader variance; SR training streams 2K
+  /// images, so this is larger than classification workloads see).
+  double jitter_sigma = 0.07;
+  /// Small (8 B) metric allreduces per step: loss averaging + logging sync
+  /// (the paper's §III-A step 5 adds per-step logging).
+  std::size_t metric_allreduces_per_step = 2;
+  /// Failure injection: multiplies the compute time of every rank on
+  /// `straggler_node` (1.0 = healthy). Synchronous training runs at the
+  /// slowest rank's pace, so a single slow node gates the whole job.
+  double straggler_slowdown = 1.0;
+  std::size_t straggler_node = 0;
+  std::uint64_t seed = 2021;
+
+  /// The paper's tuned Horovod settings for EDSR: a large cycle time and the
+  /// default 64 MB threshold so fused messages reach the 16–64 MB range
+  /// (Table I / Fig. 14).
+  static TrainingJobConfig paper_edsr();
+};
+
+/// Aggregate result of one simulated run.
+struct RunResult {
+  std::size_t nodes = 0;
+  std::size_t gpus = 0;
+  double images_per_second = 0.0;
+  double scaling_efficiency = 0.0;  ///< vs. GPUs x single-GPU throughput
+  double mean_step_time = 0.0;      ///< seconds
+  double mean_exposed_comm = 0.0;   ///< seconds of unhidden communication
+  double allreduce_time_total = 0.0;  ///< profiler total over all steps
+  double reg_cache_hit_rate = 0.0;    ///< 0 for NCCL
+  prof::Hvprof profiler;              ///< bucketed collective profile
+  std::vector<double> step_times;
+};
+
+class DistributedTrainer {
+ public:
+  DistributedTrainer(const models::ModelGraph& graph, perf::PerfModel perf,
+                     TrainingJobConfig config);
+
+  /// Ideal single-GPU throughput (no communication), images/second.
+  double single_gpu_images_per_second() const;
+
+  /// Simulates `steps` training steps on `nodes` Lassen nodes. When
+  /// `timeline` is non-null every step's compute/communication schedule is
+  /// recorded for Chrome-trace export (HOROVOD_TIMELINE).
+  RunResult run(BackendKind kind, std::size_t nodes, std::size_t steps,
+                hvd::TimelineWriter* timeline = nullptr) const;
+
+  const models::ModelGraph& graph() const { return graph_; }
+  const TrainingJobConfig& config() const { return config_; }
+
+ private:
+  const models::ModelGraph& graph_;
+  perf::PerfModel perf_;
+  TrainingJobConfig config_;
+};
+
+}  // namespace dlsr::core

@@ -1,0 +1,27 @@
+#include "core/experiments.hpp"
+
+namespace dlsr::core {
+
+PaperExperiment::PaperExperiment()
+    : model_config(models::EdsrConfig::paper()),
+      graph(models::build_edsr_graph(model_config, /*lr_patch=*/48)),
+      perf(perf::GpuSpec::v100_16gb(), perf::EfficiencyCalibration::edsr()),
+      job(TrainingJobConfig::paper_edsr()) {}
+
+std::vector<std::size_t> paper_node_counts() {
+  return {1, 2, 4, 8, 16, 32, 64, 128};
+}
+
+std::vector<RunResult> run_scaling(const DistributedTrainer& trainer,
+                                   BackendKind kind,
+                                   const std::vector<std::size_t>& nodes,
+                                   std::size_t steps) {
+  std::vector<RunResult> results;
+  results.reserve(nodes.size());
+  for (const std::size_t n : nodes) {
+    results.push_back(trainer.run(kind, n, steps));
+  }
+  return results;
+}
+
+}  // namespace dlsr::core

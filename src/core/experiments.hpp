@@ -1,0 +1,37 @@
+// Experiment presets shared by the bench binaries: the paper's EDSR job on
+// Lassen and the node counts of its scaling study.
+#pragma once
+
+#include <vector>
+
+#include "core/distributed_trainer.hpp"
+#include "models/edsr.hpp"
+#include "models/edsr_graph.hpp"
+
+namespace dlsr::core {
+
+/// The paper's EDSR training job: B=32 residual blocks, x2 upscaling,
+/// residual scaling 0.1, 48x48 LR patches, batch size 4 per GPU (§IV-C).
+struct PaperExperiment {
+  models::EdsrConfig model_config;
+  models::ModelGraph graph;
+  perf::PerfModel perf;
+  TrainingJobConfig job;
+
+  PaperExperiment();
+
+  DistributedTrainer make_trainer() const {
+    return DistributedTrainer(graph, perf, job);
+  }
+};
+
+/// Node counts of Figs. 10-13: 1 -> 128 Lassen nodes (4 -> 512 GPUs).
+std::vector<std::size_t> paper_node_counts();
+
+/// One scaling curve: results per node count for one backend.
+std::vector<RunResult> run_scaling(const DistributedTrainer& trainer,
+                                   BackendKind kind,
+                                   const std::vector<std::size_t>& nodes,
+                                   std::size_t steps);
+
+}  // namespace dlsr::core

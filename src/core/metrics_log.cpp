@@ -1,0 +1,64 @@
+#include "core/metrics_log.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::core {
+
+void MetricsLog::record(MetricRecord record) {
+  DLSR_CHECK(records_.empty() || record.step >= records_.back().step,
+             "metric steps must be non-decreasing");
+  records_.push_back(record);
+}
+
+const MetricRecord& MetricsLog::back() const {
+  DLSR_CHECK(!records_.empty(), "empty metrics log");
+  return records_.back();
+}
+
+double MetricsLog::smoothed_loss(std::size_t window) const {
+  DLSR_CHECK(!records_.empty(), "empty metrics log");
+  const std::size_t n = std::min(window, records_.size());
+  double sum = 0.0;
+  for (std::size_t i = records_.size() - n; i < records_.size(); ++i) {
+    sum += records_[i].loss;
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::optional<double> MetricsLog::best_val_psnr() const {
+  std::optional<double> best;
+  for (const auto& r : records_) {
+    if (r.val_psnr && (!best || *r.val_psnr > *best)) {
+      best = r.val_psnr;
+    }
+  }
+  return best;
+}
+
+std::string MetricsLog::to_csv() const {
+  std::ostringstream os;
+  os << "step,loss,learning_rate,val_psnr\n";
+  for (const auto& r : records_) {
+    os << r.step << ',' << strfmt("%.6f", r.loss) << ','
+       << strfmt("%.6g", r.learning_rate) << ',';
+    if (r.val_psnr) {
+      os << strfmt("%.3f", *r.val_psnr);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void MetricsLog::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  DLSR_CHECK(out.good(), "cannot open " + path + " for writing");
+  out << to_csv();
+  DLSR_CHECK(out.good(), "failed writing " + path);
+}
+
+}  // namespace dlsr::core

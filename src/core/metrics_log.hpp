@@ -1,0 +1,44 @@
+// Training metrics log: per-step records (loss, learning rate, validation
+// PSNR when measured) with CSV export — the paper's §III-A step 5
+// ("add logging at each training step to monitor training") as a library
+// facility rather than print statements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlsr::core {
+
+struct MetricRecord {
+  std::size_t step = 0;
+  double loss = 0.0;
+  double learning_rate = 0.0;
+  std::optional<double> val_psnr;  ///< only on validation steps
+};
+
+class MetricsLog {
+ public:
+  void record(MetricRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<MetricRecord>& records() const { return records_; }
+  const MetricRecord& back() const;
+
+  /// Mean loss over the trailing `window` records (fewer if not available).
+  double smoothed_loss(std::size_t window = 20) const;
+
+  /// Best validation PSNR seen so far (nullopt if never validated).
+  std::optional<double> best_val_psnr() const;
+
+  /// "step,loss,learning_rate,val_psnr" rows; empty val_psnr when absent.
+  std::string to_csv() const;
+
+  /// Writes the CSV to a file (throws dlsr::Error on failure).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<MetricRecord> records_;
+};
+
+}  // namespace dlsr::core

@@ -1,0 +1,111 @@
+#include "core/training_session.hpp"
+
+#include "common/error.hpp"
+#include "image/metrics.hpp"
+#include "image/resize.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+
+namespace dlsr::core {
+
+TrainingSession::TrainingSession(
+    const img::SyntheticDiv2k& dataset,
+    const std::function<std::unique_ptr<nn::Module>()>& make_model,
+    SessionConfig config)
+    : dataset_(dataset),
+      config_(config),
+      group_(
+          config.workers, make_model,
+          [&config](std::vector<nn::ParamRef> params) {
+            const double lr =
+                config.scale_lr_by_workers
+                    ? config.learning_rate *
+                          static_cast<double>(config.workers)
+                    : config.learning_rate;
+            return std::make_unique<nn::Adam>(std::move(params), lr);
+          },
+          config.loss) {
+  DLSR_CHECK(config_.workers > 0, "need at least one worker");
+  // Per-worker data shards: each worker samples from the same pool with an
+  // independent stream (i.i.d. sharding, as Horovod's default sampler).
+  samplers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    samplers_.emplace_back(dataset_, img::Split::Train, config_.train_pool,
+                           config_.scale, config_.lr_patch,
+                           config_.seed * 7919 + w);
+  }
+  // Paper §III-A step 2: broadcast initial parameters.
+  group_.broadcast_parameters();
+  if (config_.warmup_steps > 0) {
+    warmups_.reserve(config_.workers);
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      warmups_.push_back(std::make_unique<nn::WarmupSchedule>(
+          group_.optimizer(w), config_.warmup_steps));
+    }
+  }
+}
+
+SessionStats TrainingSession::run_steps(std::size_t steps) {
+  DLSR_CHECK(steps > 0, "run_steps needs steps");
+  SessionStats stats;
+  stats.steps = steps;
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (auto& warmup : warmups_) {
+      warmup->step();
+    }
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> targets;
+    inputs.reserve(config_.workers);
+    targets.reserve(config_.workers);
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      img::Batch batch = samplers_[w].sample_batch(config_.batch_per_worker);
+      inputs.push_back(std::move(batch.lr));
+      targets.push_back(std::move(batch.hr));
+    }
+    const hvd::WorkerStepResult r = group_.train_step(inputs, targets);
+    if (s == 0) {
+      stats.first_loss = r.mean_loss;
+    }
+    stats.last_loss = r.mean_loss;
+    stats.mean_loss += r.mean_loss;
+    stats.images += r.images;
+    ++total_steps_;
+    metrics_.record({total_steps_, r.mean_loss, current_lr(), std::nullopt});
+  }
+  stats.mean_loss /= static_cast<double>(steps);
+  return stats;
+}
+
+double TrainingSession::validate_psnr(std::size_t count) {
+  DLSR_CHECK(count > 0 && count <= dataset_.size(img::Split::Validation),
+             "validation count out of range");
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Tensor hr = dataset_.hr_image(img::Split::Validation, i);
+    const Tensor lr = img::downscale_bicubic(hr, config_.scale);
+    total += img::psnr(model().forward(lr), hr);
+  }
+  const double mean = total / static_cast<double>(count);
+  metrics_.record({total_steps_,
+                   metrics_.size() ? metrics_.back().loss : 0.0,
+                   current_lr(), mean});
+  return mean;
+}
+
+nn::Module& TrainingSession::model() { return group_.worker(0); }
+
+double TrainingSession::current_lr() const {
+  return const_cast<TrainingSession*>(this)->group_.optimizer(0)
+      .learning_rate();
+}
+
+void TrainingSession::save_checkpoint(const std::string& path) {
+  nn::save_parameters(model(), path);
+}
+
+void TrainingSession::load_checkpoint(const std::string& path) {
+  nn::load_parameters(model(), path);
+  group_.broadcast_parameters();
+}
+
+}  // namespace dlsr::core

@@ -1,0 +1,88 @@
+// TrainingSession — the functional (data-plane) counterpart of
+// DistributedTrainer.
+//
+// Where DistributedTrainer answers "how fast would this job run on Lassen",
+// TrainingSession actually *runs* the job in-process: K worker replicas,
+// per-worker batch shards from the synthetic dataset, real ring-allreduce
+// gradient averaging, the Horovod setup recipe from the paper's §III-A
+// (broadcast parameters, wrap optimizer, scale learning rate, warmup), and
+// periodic validation/checkpointing. Examples and integration tests drive
+// the library through this one class.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/metrics_log.hpp"
+#include "hvd/worker_group.hpp"
+#include "image/patch_sampler.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "nn/lr_scheduler.hpp"
+
+namespace dlsr::core {
+
+struct SessionConfig {
+  std::size_t workers = 4;
+  std::size_t batch_per_worker = 4;  ///< paper §IV-C: batch size 4
+  std::size_t scale = 2;
+  std::size_t lr_patch = 12;
+  std::size_t train_pool = 8;  ///< images materialized from the train split
+  double learning_rate = 1e-3;
+  /// Paper §III-A step 4: multiply the rate by the worker count.
+  bool scale_lr_by_workers = true;
+  /// Goyal-style gradual warmup steps (0 = off).
+  std::size_t warmup_steps = 0;
+  hvd::LossKind loss = hvd::LossKind::L1;
+  std::uint64_t seed = 1;
+};
+
+struct SessionStats {
+  std::size_t steps = 0;
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  double mean_loss = 0.0;
+  std::size_t images = 0;
+};
+
+class TrainingSession {
+ public:
+  /// `make_model` builds one replica (called `workers` times).
+  TrainingSession(const img::SyntheticDiv2k& dataset,
+                  const std::function<std::unique_ptr<nn::Module>()>& make_model,
+                  SessionConfig config);
+
+  /// Runs `steps` synchronous data-parallel steps.
+  SessionStats run_steps(std::size_t steps);
+
+  /// Mean validation PSNR of rank 0's replica over `count` images.
+  double validate_psnr(std::size_t count);
+
+  /// Rank 0's replica (all replicas are identical after every step).
+  nn::Module& model();
+
+  /// Per-step training metrics (loss, lr, validation PSNR when measured).
+  const MetricsLog& metrics() const { return metrics_; }
+  hvd::WorkerGroup& workers() { return group_; }
+  std::size_t total_steps() const { return total_steps_; }
+  double current_lr() const;
+
+  /// Checkpointing of rank 0's parameters; load re-broadcasts to all
+  /// replicas.
+  void save_checkpoint(const std::string& path);
+  void load_checkpoint(const std::string& path);
+
+ private:
+  const img::SyntheticDiv2k& dataset_;
+  SessionConfig config_;
+  hvd::WorkerGroup group_;
+  std::vector<img::PatchSampler> samplers_;  // one per worker (shard)
+  /// One schedule per replica optimizer — identical rates keep replicas
+  /// bit-identical.
+  std::vector<std::unique_ptr<nn::WarmupSchedule>> warmups_;
+  MetricsLog metrics_;
+  std::size_t total_steps_ = 0;
+};
+
+}  // namespace dlsr::core

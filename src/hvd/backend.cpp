@@ -1,0 +1,50 @@
+#include "hvd/backend.hpp"
+
+namespace dlsr::hvd {
+
+MpiBackend::MpiBackend(sim::Cluster& cluster, mpisim::MpiEnv env,
+                       mpisim::TransportConfig tcfg,
+                       mpisim::AllreduceConfig acfg, std::uint64_t seed)
+    : comm_(cluster, env, tcfg, acfg, seed) {}
+
+std::string MpiBackend::name() const {
+  const mpisim::MpiEnv& e = comm_.env();
+  if (e.mv2_visible_devices_all && e.use_reg_cache) return "MPI-Opt";
+  if (e.use_reg_cache) return "MPI-Reg";
+  return "MPI";
+}
+
+sim::SimTime MpiBackend::allreduce(std::size_t bytes, std::uint64_t buf_id,
+                                   sim::SimTime ready) {
+  return comm_.allreduce(bytes, buf_id, ready);
+}
+
+sim::SimTime MpiBackend::broadcast(std::size_t bytes, std::uint64_t buf_id,
+                                   sim::SimTime ready) {
+  return comm_.broadcast(bytes, buf_id, ready);
+}
+
+bool MpiBackend::overlaps_compute() const { return comm_.overlaps_compute(); }
+
+prof::Hvprof& MpiBackend::profiler() { return comm_.profiler(); }
+
+void MpiBackend::reset_engine() { comm_.reset_engine(); }
+
+NcclBackend::NcclBackend(sim::Cluster& cluster, ncclsim::NcclConfig cfg)
+    : comm_(cluster, cfg) {}
+
+sim::SimTime NcclBackend::allreduce(std::size_t bytes, std::uint64_t buf_id,
+                                    sim::SimTime ready) {
+  return comm_.allreduce(bytes, buf_id, ready);
+}
+
+sim::SimTime NcclBackend::broadcast(std::size_t bytes, std::uint64_t buf_id,
+                                    sim::SimTime ready) {
+  return comm_.broadcast(bytes, buf_id, ready);
+}
+
+prof::Hvprof& NcclBackend::profiler() { return comm_.profiler(); }
+
+void NcclBackend::reset_engine() { comm_.reset_engine(); }
+
+}  // namespace dlsr::hvd

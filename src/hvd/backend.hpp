@@ -1,0 +1,84 @@
+// Communication-backend abstraction (paper Fig. 3): Horovod sits between
+// the DL framework and a collective backend — MPI (MVAPICH2-GDR) or NCCL.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mpisim/communicator.hpp"
+#include "ncclsim/nccl.hpp"
+
+namespace dlsr::hvd {
+
+/// What the fusion engine needs from a backend.
+class CollectiveBackend {
+ public:
+  virtual ~CollectiveBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Allreduce entered by all ranks at `ready`; returns completion time.
+  virtual sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
+                                 sim::SimTime ready) = 0;
+  virtual sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
+                                 sim::SimTime ready) = 0;
+
+  /// Whether collectives progress while the framework computes.
+  virtual bool overlaps_compute() const = 0;
+
+  /// Multiplier on compute time while communication overlaps it. NCCL's
+  /// ring kernels run on the GPU's SMs and contend with the training
+  /// kernels; MPI progresses on host cores and does not.
+  virtual double compute_contention() const { return 1.0; }
+
+  virtual prof::Hvprof& profiler() = 0;
+  virtual void reset_engine() = 0;
+};
+
+/// MVAPICH2-GDR-style MPI backend.
+class MpiBackend : public CollectiveBackend {
+ public:
+  MpiBackend(sim::Cluster& cluster, mpisim::MpiEnv env,
+             mpisim::TransportConfig tcfg = mpisim::TransportConfig::mvapich2_gdr(),
+             mpisim::AllreduceConfig acfg = {}, std::uint64_t seed = 1);
+
+  std::string name() const override;
+  sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready) override;
+  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready) override;
+  bool overlaps_compute() const override;
+  prof::Hvprof& profiler() override;
+  void reset_engine() override;
+
+  mpisim::MpiCommunicator& communicator() { return comm_; }
+  const mpisim::MpiCommunicator& communicator() const { return comm_; }
+
+ private:
+  mpisim::MpiCommunicator comm_;
+};
+
+/// NCCL backend.
+class NcclBackend : public CollectiveBackend {
+ public:
+  NcclBackend(sim::Cluster& cluster,
+              ncclsim::NcclConfig cfg = ncclsim::NcclConfig::nccl_2_8());
+
+  std::string name() const override { return "NCCL"; }
+  sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready) override;
+  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready) override;
+  bool overlaps_compute() const override { return true; }
+  double compute_contention() const override { return 1.08; }
+  prof::Hvprof& profiler() override;
+  void reset_engine() override;
+
+  ncclsim::NcclCommunicator& communicator() { return comm_; }
+
+ private:
+  ncclsim::NcclCommunicator comm_;
+};
+
+}  // namespace dlsr::hvd

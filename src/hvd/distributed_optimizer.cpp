@@ -1,0 +1,60 @@
+#include "hvd/distributed_optimizer.hpp"
+
+#include <span>
+
+#include "common/error.hpp"
+#include "mpisim/data_allreduce.hpp"
+
+namespace dlsr::hvd {
+
+DistributedOptimizer::DistributedOptimizer(
+    std::vector<std::unique_ptr<nn::Optimizer>> replicas)
+    : replicas_(std::move(replicas)) {
+  DLSR_CHECK(!replicas_.empty(), "need at least one replica optimizer");
+  const auto& first = replicas_.front()->params();
+  for (const auto& r : replicas_) {
+    DLSR_CHECK(r != nullptr, "null replica optimizer");
+    const auto& params = r->params();
+    DLSR_CHECK(params.size() == first.size(),
+               "replicas must hold identical parameter lists");
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      DLSR_CHECK(params[p].value->same_shape(*first[p].value),
+                 "replica parameter shape mismatch: " + params[p].name);
+    }
+  }
+}
+
+nn::Optimizer& DistributedOptimizer::replica(std::size_t i) {
+  DLSR_CHECK(i < replicas_.size(), "replica index out of range");
+  return *replicas_[i];
+}
+
+void DistributedOptimizer::step() {
+  const std::size_t param_count = replicas_.front()->params().size();
+  for (std::size_t p = 0; p < param_count; ++p) {
+    std::vector<std::span<float>> buffers;
+    buffers.reserve(replicas_.size());
+    for (auto& r : replicas_) {
+      buffers.push_back(r->params()[p].grad->data());
+    }
+    mpisim::ring_allreduce_average(buffers);
+    ++allreduce_count_;
+  }
+  for (auto& r : replicas_) {
+    r->step();
+  }
+}
+
+void DistributedOptimizer::zero_grad() {
+  for (auto& r : replicas_) {
+    r->zero_grad();
+  }
+}
+
+void DistributedOptimizer::set_learning_rate(double lr) {
+  for (auto& r : replicas_) {
+    r->set_learning_rate(lr);
+  }
+}
+
+}  // namespace dlsr::hvd

@@ -1,0 +1,48 @@
+// DistributedOptimizer — Horovod's user-facing API shape (paper §III-A
+// step 3: "wrap the training optimizer in Horovod's distributed
+// optimizer").
+//
+// Wraps one optimizer per replica; step() averages every parameter's
+// gradient across replicas with the data-plane ring allreduce, then steps
+// each inner optimizer. WorkerGroup uses the same arithmetic internally;
+// this class exposes it as a standalone composable wrapper for user code
+// that manages its own replicas.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+
+namespace dlsr::hvd {
+
+class DistributedOptimizer {
+ public:
+  /// Takes ownership of one optimizer per replica. All optimizers must hold
+  /// parameter lists of identical shapes (checked).
+  explicit DistributedOptimizer(
+      std::vector<std::unique_ptr<nn::Optimizer>> replicas);
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  nn::Optimizer& replica(std::size_t i);
+
+  /// Allreduce-average all gradients across replicas, then step every inner
+  /// optimizer.
+  void step();
+
+  /// Zero all replicas' gradients.
+  void zero_grad();
+
+  /// Sets the same learning rate on every replica.
+  void set_learning_rate(double lr);
+
+  /// Number of allreduce operations performed so far (one per parameter per
+  /// step).
+  std::size_t allreduce_count() const { return allreduce_count_; }
+
+ private:
+  std::vector<std::unique_ptr<nn::Optimizer>> replicas_;
+  std::size_t allreduce_count_ = 0;
+};
+
+}  // namespace dlsr::hvd

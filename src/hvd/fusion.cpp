@@ -1,0 +1,123 @@
+#include "hvd/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace dlsr::hvd {
+
+TensorFusionEngine::TensorFusionEngine(FusionConfig config,
+                                       CollectiveBackend& backend)
+    : config_(config), backend_(backend) {
+  DLSR_CHECK(config_.fusion_threshold > 0, "fusion threshold must be > 0");
+  DLSR_CHECK(config_.cycle_time > 0, "cycle time must be > 0");
+}
+
+StepTimeline TensorFusionEngine::simulate_step(
+    const std::vector<models::GradTensor>& grads, sim::SimTime backward_start,
+    double backward_duration) {
+  DLSR_CHECK(!grads.empty(), "no gradients to reduce");
+  StepTimeline timeline;
+  timeline.backward_end = backward_start + backward_duration;
+
+  // Readiness times in backward order (grads are already sorted by
+  // ready_fraction because gradient_sequence walks layers back to front).
+  struct Pending {
+    std::size_t bytes;
+    sim::SimTime ready;
+    std::uint64_t id;
+  };
+  DLSR_CHECK(config_.gradient_dtype_bytes == 2 ||
+                 config_.gradient_dtype_bytes == 4,
+             "gradient dtype must be fp16 or fp32");
+  std::vector<Pending> pending;
+  pending.reserve(grads.size());
+  for (const auto& g : grads) {
+    // Model gradients are fp32; the wire payload shrinks under fp16
+    // compression.
+    const std::size_t wire_bytes =
+        g.bytes * config_.gradient_dtype_bytes / sizeof(float);
+    pending.push_back({wire_bytes,
+                       backward_start + g.ready_fraction * backward_duration,
+                       std::hash<std::string>{}(g.name)});
+  }
+
+  // A backend that cannot progress during compute (host-staged MPI) starts
+  // every collective after backward finishes.
+  const bool overlap = backend_.overlaps_compute();
+
+  sim::SimTime comm_end = backward_start;
+  std::size_t next = 0;  // first unreduced tensor
+  sim::SimTime cycle = backward_start;
+  // Once the last tensor is ready (backward complete) the engine flushes
+  // immediately instead of waiting out the current cycle.
+  const sim::SimTime flush = pending.back().ready;
+  while (next < pending.size()) {
+    sim::SimTime target = cycle + config_.cycle_time;
+    // Nothing ready this cycle: skip ahead to the first cycle boundary at or
+    // after the next readiness to avoid spinning through empty cycles.
+    if (pending[next].ready > target) {
+      const double k =
+          std::ceil((pending[next].ready - cycle) / config_.cycle_time);
+      target = cycle + k * config_.cycle_time;
+    }
+    cycle = std::min(target, std::max(flush, pending[next].ready));
+    // Negotiation round: a cycle that introduces tensors the coordinator
+    // has not seen pays one gather+broadcast; cached tensors are free
+    // (Horovod's response cache).
+    sim::SimTime cycle_issue = cycle;
+    {
+      bool uncached = false;
+      for (std::size_t i = next; i < pending.size() && pending[i].ready <= cycle;
+           ++i) {
+        if (cache_.insert(pending[i].id).second) {
+          uncached = true;
+          ++negotiated_;
+        }
+      }
+      if (uncached) {
+        cycle_issue += config_.negotiation_latency;
+      }
+    }
+    // Pack ready tensors (in order) into fusion buffers.
+    while (next < pending.size() && pending[next].ready <= cycle) {
+      std::size_t bytes = 0;
+      std::size_t count = 0;
+      std::uint64_t solo_id = pending[next].id;
+      while (next < pending.size() && pending[next].ready <= cycle) {
+        if (count > 0 && bytes + pending[next].bytes > config_.fusion_threshold) {
+          break;  // buffer full; next buffer this same cycle
+        }
+        bytes += pending[next].bytes;
+        solo_id = pending[next].id;
+        ++count;
+        ++next;
+        if (bytes >= config_.fusion_threshold) {
+          break;
+        }
+      }
+      // Fused buffers are persistent double-buffered allocations; a tensor
+      // sent alone (oversized or lone straggler) goes from its own storage.
+      const bool fused = count > 1;
+      const std::uint64_t buf_id =
+          fused ? 0xF05EDull + (fusion_buffer_toggle_++ % 2) : solo_id;
+      const double pack_cost =
+          fused ? 2.0 * static_cast<double>(bytes) / config_.copy_bandwidth
+                : 0.0;
+      sim::SimTime issue = cycle_issue + pack_cost;
+      if (!overlap) {
+        issue = std::max(issue, timeline.backward_end);
+      }
+      const sim::SimTime done =
+          backend_.allreduce(bytes, buf_id, issue) + pack_cost;
+      comm_end = std::max(comm_end, done);
+      timeline.messages.push_back({bytes, count, issue, done});
+    }
+  }
+  timeline.comm_end = comm_end;
+  return timeline;
+}
+
+}  // namespace dlsr::hvd

@@ -1,0 +1,91 @@
+// Tensor Fusion timing engine (paper §II-D).
+//
+// Horovod's communication engine runs a cycle loop: every cycle_time it
+// collects the gradient tensors that have become ready on *all* ranks since
+// the last cycle, packs as many as fit into a fusion buffer of
+// fusion_threshold bytes (same dtype, ready order), copies them in, runs one
+// allreduce on the packed buffer, and scatters the results back. Tensors
+// larger than the threshold go alone, straight from their own buffer.
+//
+// This engine simulates exactly that schedule for one training step, given
+// the model's gradient-readiness profile (models::ModelGraph) and a
+// CollectiveBackend, and produces the step's communication timeline. The
+// fused message-size distribution that falls out of this schedule is what
+// the paper's Table I / Fig. 14 bucket.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "hvd/backend.hpp"
+#include "models/model_graph.hpp"
+
+namespace dlsr::hvd {
+
+struct FusionConfig {
+  std::size_t fusion_threshold = 64ull * 1024 * 1024;  ///< HOROVOD_FUSION_THRESHOLD
+  double cycle_time = 3.5e-3;                          ///< HOROVOD_CYCLE_TIME
+  /// Fusion-buffer pack/unpack rate (device memcpy), bytes/second.
+  double copy_bandwidth = 450e9;
+  /// Wire width of one gradient element. 4 = fp32 (the paper's setup);
+  /// 2 models Horovod's fp16 gradient compression
+  /// (HOROVOD_COMPRESSION=fp16), which halves every allreduce payload.
+  std::size_t gradient_dtype_bytes = 4;
+  /// Coordinator negotiation cost per cycle that contains tensors not yet
+  /// in the response cache (Horovod's negotiation round: gather tensor
+  /// readiness at rank 0, broadcast the response). After the first step
+  /// every tensor is cached and cycles proceed without negotiation.
+  double negotiation_latency = 0.5e-3;
+};
+
+/// One issued allreduce within a step.
+struct IssuedMessage {
+  std::size_t bytes = 0;
+  std::size_t tensor_count = 0;
+  sim::SimTime issued_at = 0.0;
+  sim::SimTime done_at = 0.0;
+};
+
+/// Communication timeline of one training step.
+struct StepTimeline {
+  sim::SimTime backward_end = 0.0;
+  sim::SimTime comm_end = 0.0;  ///< last allreduce completion
+  std::vector<IssuedMessage> messages;
+
+  /// Communication time not hidden behind backward compute.
+  double exposed_comm() const {
+    return comm_end > backward_end ? comm_end - backward_end : 0.0;
+  }
+};
+
+class TensorFusionEngine {
+ public:
+  TensorFusionEngine(FusionConfig config, CollectiveBackend& backend);
+
+  const FusionConfig& config() const { return config_; }
+
+  /// Response-cache statistics (tensors negotiated vs served from cache).
+  std::size_t negotiated_tensors() const { return negotiated_; }
+  std::size_t cached_tensors() const { return cache_.size(); }
+
+  /// Simulates the cycle loop for one step.
+  ///
+  /// `grads` come from ModelGraph::gradient_sequence() (backward order with
+  /// readiness fractions); backward runs over
+  /// [backward_start, backward_start + backward_duration].
+  StepTimeline simulate_step(const std::vector<models::GradTensor>& grads,
+                             sim::SimTime backward_start,
+                             double backward_duration);
+
+ private:
+  FusionConfig config_;
+  CollectiveBackend& backend_;
+  /// Horovod double-buffers its fusion buffer; ids alternate.
+  std::uint64_t fusion_buffer_toggle_ = 0;
+  /// Response cache: tensors whose metadata has been negotiated.
+  std::unordered_set<std::uint64_t> cache_;
+  std::size_t negotiated_ = 0;
+};
+
+}  // namespace dlsr::hvd

@@ -1,0 +1,66 @@
+#include "hvd/timeline.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::hvd {
+namespace {
+
+/// One complete ("X" phase) trace event.
+void emit_event(std::ostringstream& os, bool& first, const std::string& name,
+                const std::string& category, int tid, double start_s,
+                double end_s, const std::string& args_json) {
+  if (!first) {
+    os << ",\n";
+  }
+  first = false;
+  os << strfmt(
+      R"({"name":"%s","cat":"%s","ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f%s})",
+      name.c_str(), category.c_str(), tid, start_s * 1e6,
+      (end_s - start_s) * 1e6,
+      args_json.empty() ? "" : (",\"args\":" + args_json).c_str());
+}
+
+}  // namespace
+
+void TimelineWriter::record_step(StepTrace trace) {
+  DLSR_CHECK(trace.forward_end >= trace.forward_start &&
+                 trace.backward_end >= trace.forward_end &&
+                 trace.step_end >= trace.backward_end,
+             "step trace times must be ordered");
+  steps_.push_back(std::move(trace));
+}
+
+std::string TimelineWriter::to_chrome_trace_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const StepTrace& s : steps_) {
+    const std::string step_tag = strfmt("{\"step\":%zu}", s.step_index);
+    emit_event(os, first, strfmt("forward/%zu", s.step_index), "compute", 0,
+               s.forward_start, s.forward_end, step_tag);
+    emit_event(os, first, strfmt("backward/%zu", s.step_index), "compute", 0,
+               s.forward_end, s.backward_end, step_tag);
+    for (std::size_t m = 0; m < s.comm.messages.size(); ++m) {
+      const IssuedMessage& msg = s.comm.messages[m];
+      emit_event(os, first, strfmt("allreduce/%zu.%zu", s.step_index, m),
+                 "comm", 1, msg.issued_at, msg.done_at,
+                 strfmt("{\"bytes\":%zu,\"tensors\":%zu}", msg.bytes,
+                        msg.tensor_count));
+    }
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void TimelineWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  DLSR_CHECK(out.good(), "cannot open " + path + " for writing");
+  out << to_chrome_trace_json();
+  DLSR_CHECK(out.good(), "failed writing " + path);
+}
+
+}  // namespace dlsr::hvd

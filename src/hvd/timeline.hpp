@@ -1,0 +1,43 @@
+// Horovod-style timeline export (HOROVOD_TIMELINE): writes the simulated
+// communication schedule as a Chrome tracing JSON file
+// (chrome://tracing / Perfetto), one lane per activity kind — forward,
+// backward, and each allreduce message with its size and fusion count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hvd/fusion.hpp"
+
+namespace dlsr::hvd {
+
+/// One traced step's compute bounds (the fusion timeline carries comm).
+struct StepTrace {
+  std::size_t step_index = 0;
+  double forward_start = 0.0;
+  double forward_end = 0.0;
+  double backward_end = 0.0;   ///< backward spans [forward_end, backward_end]
+  double step_end = 0.0;
+  StepTimeline comm;
+};
+
+class TimelineWriter {
+ public:
+  void record_step(StepTrace trace);
+
+  std::size_t step_count() const { return steps_.size(); }
+  const std::vector<StepTrace>& steps() const { return steps_; }
+
+  /// Serializes all recorded steps as a Chrome trace-event JSON array.
+  /// Timestamps are microseconds (the trace-event convention).
+  std::string to_chrome_trace_json() const;
+
+  /// Writes the JSON to a file (throws dlsr::Error on I/O failure).
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<StepTrace> steps_;
+};
+
+}  // namespace dlsr::hvd

@@ -1,0 +1,105 @@
+#include "hvd/worker_group.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mpisim/data_allreduce.hpp"
+
+namespace dlsr::hvd {
+
+WorkerGroup::WorkerGroup(
+    std::size_t workers,
+    const std::function<std::unique_ptr<nn::Module>()>& make_model,
+    const std::function<std::unique_ptr<nn::Optimizer>(
+        std::vector<nn::ParamRef>)>& make_optimizer,
+    LossKind loss)
+    : loss_(loss) {
+  DLSR_CHECK(workers > 0, "worker group needs at least one worker");
+  models_.reserve(workers);
+  optimizers_.reserve(workers);
+  params_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    models_.push_back(make_model());
+    params_.push_back(models_.back()->parameters());
+    optimizers_.push_back(make_optimizer(params_.back()));
+    DLSR_CHECK(params_[w].size() == params_[0].size(),
+               "replicas must have identical parameter lists");
+  }
+}
+
+nn::Module& WorkerGroup::worker(std::size_t i) {
+  DLSR_CHECK(i < models_.size(), "worker index out of range");
+  return *models_[i];
+}
+
+nn::Optimizer& WorkerGroup::optimizer(std::size_t i) {
+  DLSR_CHECK(i < optimizers_.size(), "worker index out of range");
+  return *optimizers_[i];
+}
+
+void WorkerGroup::broadcast_parameters() {
+  for (std::size_t w = 1; w < models_.size(); ++w) {
+    for (std::size_t p = 0; p < params_[0].size(); ++p) {
+      DLSR_CHECK(params_[w][p].value->same_shape(*params_[0][p].value),
+                 "replica parameter shape mismatch: " + params_[w][p].name);
+      *params_[w][p].value = *params_[0][p].value;
+    }
+  }
+}
+
+bool WorkerGroup::replicas_in_sync() const {
+  for (std::size_t w = 1; w < models_.size(); ++w) {
+    for (std::size_t p = 0; p < params_[0].size(); ++p) {
+      const Tensor& a = *params_[0][p].value;
+      const Tensor& b = *params_[w][p].value;
+      if (!a.same_shape(b)) {
+        return false;
+      }
+      for (std::size_t i = 0; i < a.numel(); ++i) {
+        if (a[i] != b[i]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void WorkerGroup::allreduce_gradients() {
+  // One ring allreduce per parameter tensor (Horovod fuses them for speed;
+  // arithmetic is identical either way).
+  for (std::size_t p = 0; p < params_[0].size(); ++p) {
+    std::vector<std::span<float>> buffers;
+    buffers.reserve(models_.size());
+    for (std::size_t w = 0; w < models_.size(); ++w) {
+      buffers.push_back(params_[w][p].grad->data());
+    }
+    mpisim::ring_allreduce_average(buffers);
+  }
+}
+
+WorkerStepResult WorkerGroup::train_step(const std::vector<Tensor>& inputs,
+                                         const std::vector<Tensor>& targets) {
+  DLSR_CHECK(inputs.size() == models_.size() &&
+                 targets.size() == models_.size(),
+             "one batch per worker required");
+  WorkerStepResult result;
+  for (std::size_t w = 0; w < models_.size(); ++w) {
+    models_[w]->zero_grad();
+    const Tensor pred = models_[w]->forward(inputs[w]);
+    const nn::LossResult loss = loss_ == LossKind::L1
+                                    ? nn::l1_loss(pred, targets[w])
+                                    : nn::mse_loss(pred, targets[w]);
+    models_[w]->backward(loss.grad);
+    result.mean_loss += loss.value;
+    result.images += inputs[w].dim(0);
+  }
+  result.mean_loss /= static_cast<double>(models_.size());
+  allreduce_gradients();
+  for (auto& opt : optimizers_) {
+    opt->step();
+  }
+  return result;
+}
+
+}  // namespace dlsr::hvd

@@ -1,0 +1,71 @@
+// Functional data-parallel training (paper §II-C, Fig. 2).
+//
+// A WorkerGroup holds one model replica per simulated worker and performs
+// real synchronous data-parallel training in-process:
+//
+//   1. broadcast_parameters() copies rank 0's weights to every replica
+//      (Horovod's hvd.broadcast_parameters step).
+//   2. Each train_step forwards/backwards every replica on its own batch
+//      shard, then averages the gradients across replicas with the
+//      data-plane ring allreduce (mpisim::ring_allreduce_average) — the
+//      DistributedOptimizer pattern — and steps each replica's optimizer.
+//
+// Because gradients are genuinely averaged, all replicas stay bit-identical
+// after every step (an invariant the tests assert), and training converges
+// exactly as single-process training on the concatenated batch would.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::hvd {
+
+/// Loss selection for the training loop.
+enum class LossKind { L1, Mse };
+
+struct WorkerStepResult {
+  double mean_loss = 0.0;
+  std::size_t images = 0;
+};
+
+class WorkerGroup {
+ public:
+  /// `make_model` must build identically-shaped (but independently
+  /// initialized) replicas; `make_optimizer` wraps each replica's params.
+  WorkerGroup(
+      std::size_t workers,
+      const std::function<std::unique_ptr<nn::Module>()>& make_model,
+      const std::function<std::unique_ptr<nn::Optimizer>(
+          std::vector<nn::ParamRef>)>& make_optimizer,
+      LossKind loss = LossKind::L1);
+
+  std::size_t size() const { return models_.size(); }
+  nn::Module& worker(std::size_t i);
+  nn::Optimizer& optimizer(std::size_t i);
+
+  /// Copies rank 0's parameters into every replica.
+  void broadcast_parameters();
+
+  /// True when every replica's parameters match rank 0's bit-for-bit.
+  bool replicas_in_sync() const;
+
+  /// One synchronous step: per-worker (input, target) pairs.
+  WorkerStepResult train_step(const std::vector<Tensor>& inputs,
+                              const std::vector<Tensor>& targets);
+
+ private:
+  void allreduce_gradients();
+
+  LossKind loss_;
+  std::vector<std::unique_ptr<nn::Module>> models_;
+  std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
+  std::vector<std::vector<nn::ParamRef>> params_;  // cached per worker
+};
+
+}  // namespace dlsr::hvd

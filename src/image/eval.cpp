@@ -1,0 +1,48 @@
+#include "image/eval.hpp"
+
+#include "common/error.hpp"
+#include "image/metrics.hpp"
+#include "image/resize.hpp"
+
+namespace dlsr::img {
+
+SrEvalResult evaluate_sr(nn::Module& model, const SyntheticDiv2k& dataset,
+                         Split split, std::size_t count, std::size_t scale,
+                         SrInputKind input_kind) {
+  DLSR_CHECK(count > 0 && count <= dataset.size(split),
+             "evaluation count out of range");
+  SrEvalResult result;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Tensor hr = dataset.hr_image(split, i);
+    const Tensor lr = downscale_bicubic(hr, scale);
+    const Tensor input = input_kind == SrInputKind::LowRes
+                             ? lr
+                             : upscale_bicubic(lr, scale);
+    const Tensor sr = model.forward(input);
+    result.mean_psnr += psnr(sr, hr);
+    result.mean_ssim += ssim(sr, hr);
+    ++result.images;
+  }
+  result.mean_psnr /= static_cast<double>(result.images);
+  result.mean_ssim /= static_cast<double>(result.images);
+  return result;
+}
+
+SrEvalResult evaluate_bicubic(const SyntheticDiv2k& dataset, Split split,
+                              std::size_t count, std::size_t scale) {
+  DLSR_CHECK(count > 0 && count <= dataset.size(split),
+             "evaluation count out of range");
+  SrEvalResult result;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Tensor hr = dataset.hr_image(split, i);
+    const Tensor up = upscale_bicubic(downscale_bicubic(hr, scale), scale);
+    result.mean_psnr += psnr(up, hr);
+    result.mean_ssim += ssim(up, hr);
+    ++result.images;
+  }
+  result.mean_psnr /= static_cast<double>(result.images);
+  result.mean_ssim /= static_cast<double>(result.images);
+  return result;
+}
+
+}  // namespace dlsr::img

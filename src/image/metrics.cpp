@@ -1,0 +1,124 @@
+#include "image/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dlsr::img {
+
+double psnr(const Tensor& a, const Tensor& b, double peak) {
+  DLSR_CHECK(a.same_shape(b), "psnr shape mismatch");
+  DLSR_CHECK(a.numel() > 0, "psnr of empty tensors");
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.numel());
+  if (mse == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+double ssim(const Tensor& a, const Tensor& b, double peak) {
+  DLSR_CHECK(a.same_shape(b), "ssim shape mismatch");
+  DLSR_CHECK(a.rank() == 4, "ssim expects NCHW");
+  const std::size_t N = a.dim(0);
+  const std::size_t C = a.dim(1);
+  const std::size_t H = a.dim(2);
+  const std::size_t W = a.dim(3);
+  constexpr std::size_t win = 8;
+  DLSR_CHECK(H >= win && W >= win, "image smaller than SSIM window");
+  const double c1 = (0.01 * peak) * (0.01 * peak);
+  const double c2 = (0.03 * peak) * (0.03 * peak);
+  const double inv_n = 1.0 / static_cast<double>(win * win);
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t nc = 0; nc < N * C; ++nc) {
+    const float* pa = a.raw() + nc * H * W;
+    const float* pb = b.raw() + nc * H * W;
+    for (std::size_t y = 0; y + win <= H; ++y) {
+      for (std::size_t x = 0; x + win <= W; ++x) {
+        double sum_a = 0.0, sum_b = 0.0, sum_aa = 0.0, sum_bb = 0.0,
+               sum_ab = 0.0;
+        for (std::size_t dy = 0; dy < win; ++dy) {
+          const float* ra = pa + (y + dy) * W + x;
+          const float* rb = pb + (y + dy) * W + x;
+          for (std::size_t dx = 0; dx < win; ++dx) {
+            const double va = ra[dx];
+            const double vb = rb[dx];
+            sum_a += va;
+            sum_b += vb;
+            sum_aa += va * va;
+            sum_bb += vb * vb;
+            sum_ab += va * vb;
+          }
+        }
+        const double mu_a = sum_a * inv_n;
+        const double mu_b = sum_b * inv_n;
+        const double var_a = sum_aa * inv_n - mu_a * mu_a;
+        const double var_b = sum_bb * inv_n - mu_b * mu_b;
+        const double cov = sum_ab * inv_n - mu_a * mu_b;
+        const double num = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
+        const double den =
+            (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2);
+        total += num / den;
+        ++windows;
+      }
+    }
+  }
+  return total / static_cast<double>(windows);
+}
+
+Tensor rgb_to_y(const Tensor& rgb) {
+  DLSR_CHECK(rgb.rank() == 4 && rgb.dim(1) == 3, "rgb_to_y expects NCHW RGB");
+  const std::size_t N = rgb.dim(0);
+  const std::size_t H = rgb.dim(2);
+  const std::size_t W = rgb.dim(3);
+  Tensor y({N, 1, H, W});
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* r = rgb.raw() + (n * 3 + 0) * H * W;
+    const float* g = rgb.raw() + (n * 3 + 1) * H * W;
+    const float* b = rgb.raw() + (n * 3 + 2) * H * W;
+    float* dst = y.raw() + n * H * W;
+    for (std::size_t i = 0; i < H * W; ++i) {
+      // BT.601 luma for [0,1]-ranged inputs.
+      dst[i] = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+    }
+  }
+  return y;
+}
+
+double psnr_y(const Tensor& a, const Tensor& b, std::size_t crop_border,
+              double peak) {
+  DLSR_CHECK(a.same_shape(b), "psnr_y shape mismatch");
+  const Tensor ya = rgb_to_y(a);
+  const Tensor yb = rgb_to_y(b);
+  const std::size_t N = ya.dim(0);
+  const std::size_t H = ya.dim(2);
+  const std::size_t W = ya.dim(3);
+  DLSR_CHECK(H > 2 * crop_border && W > 2 * crop_border,
+             "crop border consumes the whole image");
+  double mse = 0.0;
+  std::size_t count = 0;
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t yy = crop_border; yy < H - crop_border; ++yy) {
+      for (std::size_t xx = crop_border; xx < W - crop_border; ++xx) {
+        const double d = static_cast<double>(ya.at4(n, 0, yy, xx)) -
+                         static_cast<double>(yb.at4(n, 0, yy, xx));
+        mse += d * d;
+        ++count;
+      }
+    }
+  }
+  mse /= static_cast<double>(count);
+  if (mse == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+}  // namespace dlsr::img

@@ -1,0 +1,28 @@
+// Image quality assessment: PSNR and SSIM (paper §II-E cites both as the
+// standard SR metrics; Wang et al. 2004 for SSIM).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr::img {
+
+/// Peak signal-to-noise ratio in dB for images in [0, peak].
+/// Returns +inf for identical images.
+double psnr(const Tensor& a, const Tensor& b, double peak = 1.0);
+
+/// Mean structural similarity over an 8x8 sliding window (stride 1),
+/// averaged across channels and batch. Constants per Wang et al.:
+/// C1 = (0.01 * peak)^2, C2 = (0.03 * peak)^2.
+double ssim(const Tensor& a, const Tensor& b, double peak = 1.0);
+
+/// Luma (Y of ITU-R BT.601 YCbCr) plane of an RGB batch: [N,1,H,W].
+Tensor rgb_to_y(const Tensor& rgb);
+
+/// The SR literature's standard protocol (used by EDSR/NTIRE): PSNR on the
+/// Y channel only, with `crop_border` pixels removed from every edge
+/// (upsampling artifacts at the frame border are excluded). `crop_border`
+/// is conventionally the scale factor.
+double psnr_y(const Tensor& a, const Tensor& b, std::size_t crop_border,
+              double peak = 1.0);
+
+}  // namespace dlsr::img

@@ -1,0 +1,115 @@
+#include "image/painters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsr::img {
+
+void paint_gradient(Tensor& image, Rng& rng) {
+  const std::size_t S = image.dim(2);
+  const float gx = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const float gy = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t c = 0; c < 3; ++c) {
+    const float base = static_cast<float>(rng.uniform(0.2, 0.8));
+    const float amp = static_cast<float>(rng.uniform(0.05, 0.25));
+    for (std::size_t y = 0; y < S; ++y) {
+      for (std::size_t x = 0; x < S; ++x) {
+        const float u = static_cast<float>(x) / static_cast<float>(S) - 0.5f;
+        const float v = static_cast<float>(y) / static_cast<float>(S) - 0.5f;
+        image.at4(0, c, y, x) = base + amp * (gx * u + gy * v);
+      }
+    }
+  }
+}
+
+void paint_texture(Tensor& image, Rng& rng) {
+  const std::size_t S = image.dim(2);
+  const std::size_t half = S / 2;
+  const std::size_t px = rng.uniform_index(S - half + 1);
+  const std::size_t py = rng.uniform_index(S - half + 1);
+  const float freq = static_cast<float>(rng.uniform(0.3, 1.4));
+  const float theta = static_cast<float>(rng.uniform(0.0, M_PI));
+  const float cs = std::cos(theta), sn = std::sin(theta);
+  const float amp = static_cast<float>(rng.uniform(0.05, 0.2));
+  const std::size_t ch = rng.uniform_index(3);
+  for (std::size_t y = py; y < py + half; ++y) {
+    for (std::size_t x = px; x < px + half; ++x) {
+      const float t = freq * (cs * static_cast<float>(x) +
+                              sn * static_cast<float>(y));
+      image.at4(0, ch, y, x) += amp * std::sin(t);
+    }
+  }
+}
+
+void paint_rect(Tensor& image, Rng& rng) {
+  const std::size_t S = image.dim(2);
+  const std::size_t w = 2 + rng.uniform_index(S / 3);
+  const std::size_t h = 2 + rng.uniform_index(S / 3);
+  const std::size_t px = rng.uniform_index(S - w);
+  const std::size_t py = rng.uniform_index(S - h);
+  float color[3];
+  for (float& c : color) {
+    c = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  const float alpha = static_cast<float>(rng.uniform(0.5, 1.0));
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t y = py; y < py + h; ++y) {
+      for (std::size_t x = px; x < px + w; ++x) {
+        float& p = image.at4(0, c, y, x);
+        p = (1.0f - alpha) * p + alpha * color[c];
+      }
+    }
+  }
+}
+
+void paint_disk(Tensor& image, Rng& rng) {
+  const std::size_t S = image.dim(2);
+  const float r = static_cast<float>(rng.uniform(2.0, S / 6.0 + 2.0));
+  const float cx = static_cast<float>(rng.uniform(r, S - r));
+  const float cy = static_cast<float>(rng.uniform(r, S - r));
+  float color[3];
+  for (float& c : color) {
+    c = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  const std::size_t y0 = static_cast<std::size_t>(std::max(0.0f, cy - r - 1));
+  const std::size_t y1 = std::min<std::size_t>(
+      S, static_cast<std::size_t>(cy + r + 2));
+  for (std::size_t y = y0; y < y1; ++y) {
+    for (std::size_t x = 0; x < S; ++x) {
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      const float d = std::sqrt(dx * dx + dy * dy);
+      // 1-px anti-aliased rim keeps the edge representable yet sharp.
+      const float cover = std::clamp(r - d + 0.5f, 0.0f, 1.0f);
+      if (cover <= 0.0f) continue;
+      for (std::size_t c = 0; c < 3; ++c) {
+        float& p = image.at4(0, c, y, x);
+        p = (1.0f - cover) * p + cover * color[c];
+      }
+    }
+  }
+}
+
+void paint_line(Tensor& image, Rng& rng) {
+  const std::size_t S = image.dim(2);
+  float x = static_cast<float>(rng.uniform(0.0, S));
+  float y = static_cast<float>(rng.uniform(0.0, S));
+  const float theta = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+  const float dx = std::cos(theta), dy = std::sin(theta);
+  const float len = static_cast<float>(rng.uniform(S / 8.0, S / 2.0));
+  const float v = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (float t = 0.0f; t < len; t += 0.5f) {
+    const int px = static_cast<int>(x + t * dx);
+    const int py = static_cast<int>(y + t * dy);
+    if (px < 0 || py < 0 || px >= static_cast<int>(S) ||
+        py >= static_cast<int>(S)) {
+      break;
+    }
+    for (std::size_t c = 0; c < 3; ++c) {
+      image.at4(0, c, static_cast<std::size_t>(py),
+                static_cast<std::size_t>(px)) = v;
+    }
+  }
+}
+
+}  // namespace dlsr::img

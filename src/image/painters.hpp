@@ -1,0 +1,28 @@
+// Procedural image primitives shared by the synthetic datasets.
+//
+// Each painter composites one element into an RGB image tensor [1,3,S,S]
+// using the supplied RNG for its parameters. SyntheticDiv2k layers several
+// of them per image; SyntheticShapes uses one per image as the class signal.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::img {
+
+/// Smooth low-frequency color gradient over the whole image.
+void paint_gradient(Tensor& image, Rng& rng);
+
+/// Oriented sinusoidal texture over a random half-size region.
+void paint_texture(Tensor& image, Rng& rng);
+
+/// Sharp-edged axis-aligned rectangle with random color/alpha.
+void paint_rect(Tensor& image, Rng& rng);
+
+/// Anti-aliased filled disk with random color.
+void paint_disk(Tensor& image, Rng& rng);
+
+/// Thin line segment with random orientation and value.
+void paint_line(Tensor& image, Rng& rng);
+
+}  // namespace dlsr::img

@@ -1,0 +1,75 @@
+#include "image/patch_sampler.hpp"
+
+#include "common/error.hpp"
+#include "image/resize.hpp"
+#include "tensor/transforms.hpp"
+
+namespace dlsr::img {
+
+PatchSampler::PatchSampler(const SyntheticDiv2k& dataset, Split split,
+                           std::size_t pool_images, std::size_t scale,
+                           std::size_t lr_patch, std::uint64_t seed)
+    : scale_(scale), lr_patch_(lr_patch), rng_(seed) {
+  DLSR_CHECK(pool_images > 0 && pool_images <= dataset.size(split),
+             "pool size must be within the split");
+  DLSR_CHECK(dataset.config().image_size >= lr_patch * scale,
+             "images smaller than the HR patch");
+  lr_images_.reserve(pool_images);
+  hr_images_.reserve(pool_images);
+  for (std::size_t i = 0; i < pool_images; ++i) {
+    Tensor hr = dataset.hr_image(split, i);
+    lr_images_.push_back(downscale_bicubic(hr, scale));
+    hr_images_.push_back(std::move(hr));
+  }
+}
+
+Batch PatchSampler::sample_batch(std::size_t batch_size) {
+  DLSR_CHECK(batch_size > 0, "batch_size must be positive");
+  const std::size_t P = lr_patch_;
+  const std::size_t HP = P * scale_;
+  Batch batch;
+  batch.lr = Tensor({batch_size, 3, P, P});
+  batch.hr = Tensor({batch_size, 3, HP, HP});
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const int transform =
+        augment_ ? static_cast<int>(rng_.uniform_index(8)) : 0;
+    const std::size_t idx = rng_.uniform_index(lr_images_.size());
+    const Tensor& lr = lr_images_[idx];
+    const Tensor& hr = hr_images_[idx];
+    const std::size_t lr_size = lr.dim(2);
+    const std::size_t max_off = lr_size - P;
+    const std::size_t ox = max_off ? rng_.uniform_index(max_off + 1) : 0;
+    const std::size_t oy = max_off ? rng_.uniform_index(max_off + 1) : 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t y = 0; y < P; ++y) {
+        for (std::size_t x = 0; x < P; ++x) {
+          batch.lr.at4(b, c, y, x) = lr.at4(0, c, oy + y, ox + x);
+        }
+      }
+      for (std::size_t y = 0; y < HP; ++y) {
+        for (std::size_t x = 0; x < HP; ++x) {
+          batch.hr.at4(b, c, y, x) =
+              hr.at4(0, c, oy * scale_ + y, ox * scale_ + x);
+        }
+      }
+    }
+    if (transform != 0) {
+      // Apply the same dihedral transform to both patches of this item.
+      Tensor lr_one({1, 3, P, P});
+      Tensor hr_one({1, 3, HP, HP});
+      std::copy(batch.lr.raw() + b * 3 * P * P,
+                batch.lr.raw() + (b + 1) * 3 * P * P, lr_one.raw());
+      std::copy(batch.hr.raw() + b * 3 * HP * HP,
+                batch.hr.raw() + (b + 1) * 3 * HP * HP, hr_one.raw());
+      lr_one = dihedral_transform(lr_one, transform);
+      hr_one = dihedral_transform(hr_one, transform);
+      std::copy(lr_one.raw(), lr_one.raw() + lr_one.numel(),
+                batch.lr.raw() + b * 3 * P * P);
+      std::copy(hr_one.raw(), hr_one.raw() + hr_one.numel(),
+                batch.hr.raw() + b * 3 * HP * HP);
+    }
+  }
+  return batch;
+}
+
+}  // namespace dlsr::img

@@ -1,0 +1,49 @@
+// LR/HR patch batching for SR training.
+//
+// EDSR trains on aligned random crops: an LR patch of P x P and the
+// corresponding HR patch of (P*scale) x (P*scale). The sampler precomputes
+// the LR images once (bicubic downscale) and draws aligned crops.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::img {
+
+/// One training batch: lr is [B,3,P,P], hr is [B,3,P*s,P*s].
+struct Batch {
+  Tensor lr;
+  Tensor hr;
+};
+
+class PatchSampler {
+ public:
+  /// Materializes `pool_images` LR/HR pairs from the dataset split.
+  PatchSampler(const SyntheticDiv2k& dataset, Split split,
+               std::size_t pool_images, std::size_t scale,
+               std::size_t lr_patch, std::uint64_t seed);
+
+  /// Draws a batch of aligned random crops (optionally augmented).
+  Batch sample_batch(std::size_t batch_size);
+
+  /// Enables the standard EDSR training augmentation: a random dihedral
+  /// transform (flip/rotation) applied identically to the LR/HR pair.
+  void set_augmentation(bool enabled) { augment_ = enabled; }
+  bool augmentation() const { return augment_; }
+
+  std::size_t scale() const { return scale_; }
+  std::size_t lr_patch() const { return lr_patch_; }
+
+ private:
+  std::size_t scale_;
+  std::size_t lr_patch_;
+  bool augment_ = false;
+  std::vector<Tensor> lr_images_;
+  std::vector<Tensor> hr_images_;
+  Rng rng_;
+};
+
+}  // namespace dlsr::img

@@ -1,0 +1,85 @@
+#include "image/ppm_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::img {
+
+void write_ppm(const std::string& path, const Tensor& image) {
+  Tensor img = image;
+  if (img.rank() == 4) {
+    DLSR_CHECK(img.dim(0) == 1, "write_ppm expects a single image");
+    img = img.reshaped({img.dim(1), img.dim(2), img.dim(3)});
+  }
+  DLSR_CHECK(img.rank() == 3 && img.dim(0) == 3,
+             "write_ppm expects [3, H, W]");
+  const std::size_t H = img.dim(1);
+  const std::size_t W = img.dim(2);
+  std::ofstream out(path, std::ios::binary);
+  DLSR_CHECK(out.good(), "cannot open " + path + " for writing");
+  out << "P6\n" << W << " " << H << "\n255\n";
+  std::vector<unsigned char> row(W * 3);
+  for (std::size_t y = 0; y < H; ++y) {
+    for (std::size_t x = 0; x < W; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        const float v = std::clamp(img[(c * H + y) * W + x], 0.0f, 1.0f);
+        row[x * 3 + c] =
+            static_cast<unsigned char>(std::lround(v * 255.0f));
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  DLSR_CHECK(out.good(), "failed writing " + path);
+}
+
+Tensor read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DLSR_CHECK(in.good(), "cannot open " + path);
+  std::string magic;
+  in >> magic;
+  DLSR_CHECK(magic == "P6", path + " is not a binary PPM (P6) file");
+  // Skip whitespace/comments between header tokens.
+  const auto next_int = [&in, &path]() {
+    int c = in.peek();
+    while (c == '#' || std::isspace(c)) {
+      if (c == '#') {
+        std::string comment;
+        std::getline(in, comment);
+      } else {
+        in.get();
+      }
+      c = in.peek();
+    }
+    std::size_t v = 0;
+    in >> v;
+    DLSR_CHECK(in.good(), "malformed PPM header in " + path);
+    return v;
+  };
+  const std::size_t W = next_int();
+  const std::size_t H = next_int();
+  const std::size_t maxval = next_int();
+  DLSR_CHECK(maxval == 255, "only 8-bit PPM supported");
+  in.get();  // single whitespace after maxval
+  std::vector<unsigned char> bytes(W * H * 3);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  DLSR_CHECK(in.gcount() == static_cast<std::streamsize>(bytes.size()),
+             "truncated PPM data in " + path);
+  Tensor img({1, 3, H, W});
+  for (std::size_t y = 0; y < H; ++y) {
+    for (std::size_t x = 0; x < W; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        img[(c * H + y) * W + x] =
+            static_cast<float>(bytes[(y * W + x) * 3 + c]) / 255.0f;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace dlsr::img

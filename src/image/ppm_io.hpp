@@ -1,0 +1,17 @@
+// Binary PPM (P6) reading/writing, so the examples can emit viewable output
+// with no image-library dependency.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr::img {
+
+/// Writes image [3, H, W] or [1, 3, H, W] (values clamped from [0,1]) as P6.
+void write_ppm(const std::string& path, const Tensor& image);
+
+/// Reads a P6 file into a [1, 3, H, W] tensor scaled to [0, 1].
+Tensor read_ppm(const std::string& path);
+
+}  // namespace dlsr::img

@@ -1,0 +1,137 @@
+#include "image/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlsr::img {
+
+float bicubic_weight(float x) {
+  constexpr float a = -0.5f;
+  x = std::fabs(x);
+  if (x < 1.0f) {
+    return ((a + 2.0f) * x - (a + 3.0f)) * x * x + 1.0f;
+  }
+  if (x < 2.0f) {
+    return (((x - 5.0f) * x + 8.0f) * x - 4.0f) * a;
+  }
+  return 0.0f;
+}
+
+namespace {
+
+/// Sampling taps for one continuous source coordinate. When shrinking, the
+/// kernel is stretched by the scale ratio (anti-aliasing, the
+/// Matlab/PIL convention): support = 2 * ratio on each side, weights
+/// evaluated at distance / ratio. Without this, downscaled images alias and
+/// super-resolution residuals become unpredictable noise.
+struct Taps {
+  std::vector<int> idx;
+  std::vector<float> w;
+};
+
+Taps make_taps(float src_pos, int src_extent, float ratio) {
+  const float support = ratio > 1.0f ? 2.0f * ratio : 2.0f;
+  const int lo = static_cast<int>(std::floor(src_pos - support)) + 1;
+  const int hi = static_cast<int>(std::floor(src_pos + support));
+  Taps t;
+  t.idx.reserve(static_cast<std::size_t>(hi - lo + 1));
+  t.w.reserve(t.idx.capacity());
+  const float inv_ratio = ratio > 1.0f ? 1.0f / ratio : 1.0f;
+  float sum = 0.0f;
+  for (int k = lo; k <= hi; ++k) {
+    const float weight =
+        bicubic_weight((static_cast<float>(k) - src_pos) * inv_ratio);
+    if (weight == 0.0f) {
+      continue;
+    }
+    t.idx.push_back(std::clamp(k, 0, src_extent - 1));  // clamp-to-edge
+    t.w.push_back(weight);
+    sum += weight;
+  }
+  // Normalize so border clamping and kernel stretching preserve brightness.
+  if (sum != 0.0f) {
+    for (float& w : t.w) {
+      w /= sum;
+    }
+  }
+  DLSR_CHECK(!t.idx.empty(), "empty resampling kernel");
+  return t;
+}
+
+}  // namespace
+
+Tensor resize_bicubic(const Tensor& images, std::size_t out_h,
+                      std::size_t out_w) {
+  DLSR_CHECK(images.rank() == 4, "resize_bicubic expects NCHW");
+  DLSR_CHECK(out_h > 0 && out_w > 0, "output dims must be positive");
+  const std::size_t N = images.dim(0);
+  const std::size_t C = images.dim(1);
+  const int H = static_cast<int>(images.dim(2));
+  const int W = static_cast<int>(images.dim(3));
+
+  // Precompute per-output-coordinate taps (shared by all rows/cols).
+  const float sy = static_cast<float>(H) / static_cast<float>(out_h);
+  const float sx = static_cast<float>(W) / static_cast<float>(out_w);
+  std::vector<Taps> ytaps;
+  std::vector<Taps> xtaps;
+  ytaps.reserve(out_h);
+  xtaps.reserve(out_w);
+  for (std::size_t y = 0; y < out_h; ++y) {
+    // Pixel-center mapping: out pixel y samples source at (y+0.5)*s - 0.5.
+    ytaps.push_back(
+        make_taps((static_cast<float>(y) + 0.5f) * sy - 0.5f, H, sy));
+  }
+  for (std::size_t x = 0; x < out_w; ++x) {
+    xtaps.push_back(
+        make_taps((static_cast<float>(x) + 0.5f) * sx - 0.5f, W, sx));
+  }
+
+  Tensor out({N, C, out_h, out_w});
+  // Separable resampling: rows first into a scratch buffer, then columns.
+  std::vector<float> scratch(static_cast<std::size_t>(H) * out_w);
+  for (std::size_t nc = 0; nc < N * C; ++nc) {
+    const float* src = images.raw() + nc * static_cast<std::size_t>(H * W);
+    for (int y = 0; y < H; ++y) {
+      const float* row = src + static_cast<std::size_t>(y) * W;
+      for (std::size_t x = 0; x < out_w; ++x) {
+        const Taps& tx = xtaps[x];
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < tx.idx.size(); ++k) {
+          acc += tx.w[k] * row[tx.idx[k]];
+        }
+        scratch[static_cast<std::size_t>(y) * out_w + x] = acc;
+      }
+    }
+    float* dst = out.raw() + nc * out_h * out_w;
+    for (std::size_t y = 0; y < out_h; ++y) {
+      const Taps& ty = ytaps[y];
+      for (std::size_t x = 0; x < out_w; ++x) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < ty.idx.size(); ++k) {
+          acc += ty.w[k] *
+                 scratch[static_cast<std::size_t>(ty.idx[k]) * out_w + x];
+        }
+        dst[y * out_w + x] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor downscale_bicubic(const Tensor& images, std::size_t factor) {
+  DLSR_CHECK(factor >= 1, "factor must be >= 1");
+  DLSR_CHECK(images.dim(2) % factor == 0 && images.dim(3) % factor == 0,
+             "image dims must be divisible by the scale factor");
+  return resize_bicubic(images, images.dim(2) / factor,
+                        images.dim(3) / factor);
+}
+
+Tensor upscale_bicubic(const Tensor& images, std::size_t factor) {
+  DLSR_CHECK(factor >= 1, "factor must be >= 1");
+  return resize_bicubic(images, images.dim(2) * factor,
+                        images.dim(3) * factor);
+}
+
+}  // namespace dlsr::img

@@ -1,0 +1,34 @@
+// Bicubic image resampling.
+//
+// In single-image super-resolution the LR training inputs are produced by
+// bicubic downsampling of the HR targets (paper §II-E), and bicubic
+// *upsampling* is the classical no-learning baseline EDSR is compared
+// against (paper Fig. 4). Both directions are implemented with the standard
+// Catmull-Rom-family cubic kernel (a = -0.5, the Matlab/PIL convention) and
+// edge clamping.
+//
+// Images are NCHW tensors with values nominally in [0, 1].
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr::img {
+
+/// Cubic convolution kernel weight for distance x (|x| < 2), a = -0.5.
+float bicubic_weight(float x);
+
+/// Resizes every image in the batch to out_h x out_w.
+Tensor resize_bicubic(const Tensor& images, std::size_t out_h,
+                      std::size_t out_w);
+
+/// Downscale by an integer factor (out dims = in dims / factor; dims must
+/// divide evenly). This is how LR/HR training pairs are generated.
+Tensor downscale_bicubic(const Tensor& images, std::size_t factor);
+
+/// Upscale by an integer factor — the "traditional bicubic upsampling"
+/// baseline of the paper's Fig. 4.
+Tensor upscale_bicubic(const Tensor& images, std::size_t factor);
+
+}  // namespace dlsr::img

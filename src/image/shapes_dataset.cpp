@@ -1,0 +1,83 @@
+#include "image/shapes_dataset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "image/painters.hpp"
+
+namespace dlsr::img {
+
+const char* shape_class_name(ShapeClass c) {
+  switch (c) {
+    case ShapeClass::Disk:
+      return "disk";
+    case ShapeClass::Rect:
+      return "rect";
+    case ShapeClass::Line:
+      return "line";
+    case ShapeClass::Texture:
+      return "texture";
+  }
+  return "?";
+}
+
+SyntheticShapes::SyntheticShapes(ShapesConfig config) : config_(config) {
+  DLSR_CHECK(config_.image_size >= 8, "images must be at least 8 px");
+  DLSR_CHECK(config_.samples > 0, "dataset must have samples");
+}
+
+ShapeClass SyntheticShapes::label(std::size_t index) const {
+  DLSR_CHECK(index < config_.samples, "sample index out of range");
+  // Balanced classes, deterministic but shuffled by a hash of the index.
+  Rng rng(config_.seed * 31 + index);
+  (void)rng;
+  return static_cast<ShapeClass>(index % kShapeClassCount);
+}
+
+Tensor SyntheticShapes::image(std::size_t index) const {
+  DLSR_CHECK(index < config_.samples, "sample index out of range");
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + index * 2654435761ULL);
+  const std::size_t S = config_.image_size;
+  Tensor img({1, 3, S, S});
+  paint_gradient(img, rng);
+  switch (label(index)) {
+    case ShapeClass::Disk:
+      paint_disk(img, rng);
+      break;
+    case ShapeClass::Rect:
+      paint_rect(img, rng);
+      break;
+    case ShapeClass::Line:
+      // Several strokes so the signal survives small image sizes.
+      paint_line(img, rng);
+      paint_line(img, rng);
+      paint_line(img, rng);
+      break;
+    case ShapeClass::Texture:
+      paint_texture(img, rng);
+      paint_texture(img, rng);
+      break;
+  }
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    img[i] = std::clamp(img[i], 0.0f, 1.0f);
+  }
+  return img;
+}
+
+std::pair<Tensor, std::vector<std::size_t>> SyntheticShapes::batch(
+    std::size_t first, std::size_t count) const {
+  DLSR_CHECK(count > 0, "batch needs samples");
+  const std::size_t S = config_.image_size;
+  Tensor images({count, 3, S, S});
+  std::vector<std::size_t> labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx = (first + i) % config_.samples;
+    const Tensor one = image(idx);
+    std::copy(one.data().begin(), one.data().end(),
+              images.raw() + i * 3 * S * S);
+    labels[i] = static_cast<std::size_t>(label(idx));
+  }
+  return {std::move(images), std::move(labels)};
+}
+
+}  // namespace dlsr::img

@@ -1,0 +1,50 @@
+// SyntheticShapes — a labeled image-classification dataset, the counterpart
+// of SyntheticDiv2k for the classification side of the paper's Fig. 1.
+//
+// Each sample is an RGB image containing one dominant primitive on a
+// gradient background; the label is the primitive class. This gives the
+// ResNet-style classifier models a real (if easy) learning task so the
+// classification training path is exercised end-to-end, not just cost
+// modeled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::img {
+
+enum class ShapeClass : std::size_t { Disk = 0, Rect = 1, Line = 2, Texture = 3 };
+inline constexpr std::size_t kShapeClassCount = 4;
+
+const char* shape_class_name(ShapeClass c);
+
+struct ShapesConfig {
+  std::size_t image_size = 16;
+  std::size_t samples = 512;
+  std::uint64_t seed = 7;
+};
+
+class SyntheticShapes {
+ public:
+  explicit SyntheticShapes(ShapesConfig config);
+
+  const ShapesConfig& config() const { return config_; }
+  std::size_t size() const { return config_.samples; }
+
+  /// Deterministic sample: image [1,3,S,S] in [0,1] plus its label.
+  Tensor image(std::size_t index) const;
+  ShapeClass label(std::size_t index) const;
+
+  /// Batch of `count` consecutive samples starting at `first` (wraps).
+  /// Returns images [count,3,S,S] and labels.
+  std::pair<Tensor, std::vector<std::size_t>> batch(std::size_t first,
+                                                    std::size_t count) const;
+
+ private:
+  ShapesConfig config_;
+};
+
+}  // namespace dlsr::img

@@ -1,0 +1,77 @@
+#include "image/synthetic_div2k.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "image/painters.hpp"
+#include "image/resize.hpp"
+
+namespace dlsr::img {
+namespace {
+
+std::uint64_t split_tag(Split split) {
+  switch (split) {
+    case Split::Train:
+      return 0x7261696eULL;  // "rain"
+    case Split::Validation:
+      return 0x76616c69ULL;  // "vali"
+    case Split::Test:
+      return 0x74657374ULL;  // "test"
+  }
+  return 0;
+}
+
+}  // namespace
+
+SyntheticDiv2k::SyntheticDiv2k(Div2kConfig config) : config_(config) {
+  DLSR_CHECK(config_.image_size >= 16, "images must be at least 16 px");
+}
+
+std::size_t SyntheticDiv2k::size(Split split) const {
+  switch (split) {
+    case Split::Train:
+      return config_.train_images;
+    case Split::Validation:
+      return config_.val_images;
+    case Split::Test:
+      return config_.test_images;
+  }
+  return 0;
+}
+
+Tensor SyntheticDiv2k::hr_image(Split split, std::size_t index) const {
+  DLSR_CHECK(index < size(split), "image index out of range");
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + split_tag(split) * 7919 +
+          index);
+  const std::size_t S = config_.image_size;
+  Tensor image({1, 3, S, S});
+  paint_gradient(image, rng);
+  const std::size_t textures = 1 + rng.uniform_index(3);
+  for (std::size_t i = 0; i < textures; ++i) {
+    paint_texture(image, rng);
+  }
+  const std::size_t rects = 2 + rng.uniform_index(4);
+  for (std::size_t i = 0; i < rects; ++i) {
+    paint_rect(image, rng);
+  }
+  const std::size_t disks = 1 + rng.uniform_index(3);
+  for (std::size_t i = 0; i < disks; ++i) {
+    paint_disk(image, rng);
+  }
+  const std::size_t lines = 2 + rng.uniform_index(5);
+  for (std::size_t i = 0; i < lines; ++i) {
+    paint_line(image, rng);
+  }
+  for (std::size_t i = 0; i < image.numel(); ++i) {
+    image[i] = std::clamp(image[i], 0.0f, 1.0f);
+  }
+  return image;
+}
+
+Tensor SyntheticDiv2k::lr_image(Split split, std::size_t index,
+                                std::size_t scale) const {
+  return downscale_bicubic(hr_image(split, index), scale);
+}
+
+}  // namespace dlsr::img

@@ -1,0 +1,55 @@
+// Synthetic stand-in for the DIV2K dataset.
+//
+// DIV2K (Agustsson & Timofte 2017) is 1000 diverse 2K-resolution photos,
+// split 800 train / 100 validation / 100 test (paper §II-E). We cannot ship
+// it, so this generator produces procedural images with the property that
+// matters for SR: substantial high-frequency content (sharp edges, oriented
+// textures) that bicubic downsampling destroys and a trained network can
+// partially recover. Every image is a deterministic function of
+// (seed, split, index), so experiments are reproducible and the dataset
+// needs no storage.
+//
+// Image composition (per image, randomized per index):
+//   * smooth low-frequency color gradient background,
+//   * several oriented sinusoidal texture patches,
+//   * sharp-edged random rectangles and disks,
+//   * fine line segments (1-2 px) for sub-pixel detail.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::img {
+
+enum class Split { Train, Validation, Test };
+
+struct Div2kConfig {
+  /// Side length of the square HR images. Real DIV2K is ~2040 px; tests and
+  /// CPU training use much smaller sizes.
+  std::size_t image_size = 96;
+  std::size_t train_images = 800;
+  std::size_t val_images = 100;
+  std::size_t test_images = 100;
+  std::uint64_t seed = 2021;
+};
+
+class SyntheticDiv2k {
+ public:
+  explicit SyntheticDiv2k(Div2kConfig config);
+
+  const Div2kConfig& config() const { return config_; }
+  std::size_t size(Split split) const;
+
+  /// The HR image for (split, index): [1, 3, S, S], values in [0, 1].
+  Tensor hr_image(Split split, std::size_t index) const;
+
+  /// Matching LR image via bicubic downscale by `scale`.
+  Tensor lr_image(Split split, std::size_t index, std::size_t scale) const;
+
+ private:
+  Div2kConfig config_;
+};
+
+}  // namespace dlsr::img

@@ -1,0 +1,92 @@
+#include "models/edsr.hpp"
+
+#include "common/strings.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::models {
+namespace {
+
+Conv2dSpec conv_spec(std::size_t in, std::size_t out, std::size_t kernel) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = kernel;
+  spec.stride = 1;
+  spec.padding = kernel / 2;
+  return spec;
+}
+
+}  // namespace
+
+EdsrConfig EdsrConfig::paper() { return EdsrConfig{}; }
+
+EdsrConfig EdsrConfig::baseline() {
+  EdsrConfig c;
+  c.n_resblocks = 16;
+  c.n_feats = 64;
+  c.res_scale = 1.0f;
+  return c;
+}
+
+EdsrConfig EdsrConfig::tiny() {
+  EdsrConfig c;
+  c.n_resblocks = 2;
+  c.n_feats = 8;
+  c.scale = 2;
+  c.res_scale = 0.1f;
+  return c;
+}
+
+Edsr::Edsr(const EdsrConfig& config, Rng& rng)
+    : config_(config),
+      sub_mean_(config.rgb_mean, -1),
+      head_(conv_spec(3, config.n_feats, config.kernel), rng),
+      body_end_(conv_spec(config.n_feats, config.n_feats, config.kernel), rng),
+      upsample_(config.n_feats, config.scale, rng),
+      tail_(conv_spec(config.n_feats, 3, config.kernel), rng),
+      add_mean_(config.rgb_mean, +1) {
+  body_.reserve(config.n_resblocks);
+  for (std::size_t i = 0; i < config.n_resblocks; ++i) {
+    body_.push_back(std::make_unique<nn::ResBlock>(
+        config.n_feats, config.kernel, config.res_scale, rng));
+  }
+}
+
+Tensor Edsr::forward(const Tensor& input) {
+  Tensor x = head_.forward(sub_mean_.forward(input));
+  Tensor skip = x;  // long skip around the whole body
+  for (auto& block : body_) {
+    x = block->forward(x);
+  }
+  x = body_end_.forward(x);
+  add_inplace(x, skip);
+  x = upsample_.forward(x);
+  return add_mean_.forward(tail_.forward(x));
+}
+
+Tensor Edsr::backward(const Tensor& grad_output) {
+  Tensor g = tail_.backward(add_mean_.backward(grad_output));
+  g = upsample_.backward(g);
+  // The long skip means the gradient splits: one path through the body,
+  // one directly back to the head output.
+  Tensor g_body = body_end_.backward(g);
+  for (auto it = body_.rbegin(); it != body_.rend(); ++it) {
+    g_body = (*it)->backward(g_body);
+  }
+  add_inplace(g_body, g);  // rejoin skip-path gradient
+  return sub_mean_.backward(head_.backward(g_body));
+}
+
+void Edsr::collect_parameters(const std::string& prefix,
+                              std::vector<nn::ParamRef>& out) {
+  const std::string base = prefix.empty() ? "edsr" : prefix;
+  head_.collect_parameters(base + ".head", out);
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    body_[i]->collect_parameters(base + strfmt(".body.%zu", i), out);
+  }
+  body_end_.collect_parameters(base + ".body_end", out);
+  upsample_.collect_parameters(base + ".upsample", out);
+  tail_.collect_parameters(base + ".tail", out);
+}
+
+}  // namespace dlsr::models

@@ -1,0 +1,168 @@
+#include "models/mdsr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::models {
+namespace {
+
+Conv2dSpec conv_spec(std::size_t in, std::size_t out, std::size_t kernel) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = kernel;
+  spec.stride = 1;
+  spec.padding = kernel / 2;
+  return spec;
+}
+
+}  // namespace
+
+MdsrConfig MdsrConfig::tiny() {
+  MdsrConfig c;
+  c.scales = {2, 4};
+  c.n_resblocks = 2;
+  c.n_feats = 8;
+  return c;
+}
+
+Mdsr::Mdsr(const MdsrConfig& config, Rng& rng)
+    : config_(config),
+      sub_mean_(config.rgb_mean, -1),
+      head_(conv_spec(3, config.n_feats, config.kernel), rng),
+      body_end_(conv_spec(config.n_feats, config.n_feats, config.kernel),
+                rng),
+      add_mean_(config.rgb_mean, +1),
+      selected_(0) {
+  DLSR_CHECK(!config.scales.empty(), "MDSR needs at least one scale");
+  body_.reserve(config.n_resblocks);
+  for (std::size_t i = 0; i < config.n_resblocks; ++i) {
+    body_.push_back(std::make_unique<nn::ResBlock>(
+        config.n_feats, config.kernel, config.res_scale, rng));
+  }
+  for (const std::size_t s : config.scales) {
+    DLSR_CHECK(branches_.find(s) == branches_.end(),
+               strfmt("duplicate scale %zu", s));
+    Branch branch;
+    // The reference MDSR uses 5x5 pre-processing blocks per scale.
+    branch.pre1 = std::make_unique<nn::ResBlock>(config.n_feats, 5,
+                                                 config.res_scale, rng);
+    branch.pre2 = std::make_unique<nn::ResBlock>(config.n_feats, 5,
+                                                 config.res_scale, rng);
+    branch.upsample = std::make_unique<nn::Upsampler>(config.n_feats, s, rng);
+    branch.tail = std::make_unique<nn::Conv2d>(
+        conv_spec(config.n_feats, 3, config.kernel), rng);
+    branches_.emplace(s, std::move(branch));
+  }
+  selected_ = config.scales.front();
+}
+
+void Mdsr::select_scale(std::size_t scale) {
+  DLSR_CHECK(branches_.count(scale),
+             strfmt("scale %zu not built into this MDSR", scale));
+  selected_ = scale;
+}
+
+Tensor Mdsr::forward(const Tensor& input) {
+  Branch& branch = branches_.at(selected_);
+  Tensor x = head_.forward(sub_mean_.forward(input));
+  x = branch.pre2->forward(branch.pre1->forward(x));
+  Tensor skip = x;
+  for (auto& block : body_) {
+    x = block->forward(x);
+  }
+  x = body_end_.forward(x);
+  add_inplace(x, skip);
+  x = branch.upsample->forward(x);
+  return add_mean_.forward(branch.tail->forward(x));
+}
+
+Tensor Mdsr::backward(const Tensor& grad_output) {
+  Branch& branch = branches_.at(selected_);
+  Tensor g = branch.tail->backward(add_mean_.backward(grad_output));
+  g = branch.upsample->backward(g);
+  Tensor g_body = body_end_.backward(g);
+  for (auto it = body_.rbegin(); it != body_.rend(); ++it) {
+    g_body = (*it)->backward(g_body);
+  }
+  add_inplace(g_body, g);  // long skip
+  g = branch.pre1->backward(branch.pre2->backward(g_body));
+  return sub_mean_.backward(head_.backward(g));
+}
+
+void Mdsr::collect_parameters(const std::string& prefix,
+                              std::vector<nn::ParamRef>& out) {
+  const std::string base = prefix.empty() ? "mdsr" : prefix;
+  head_.collect_parameters(base + ".head", out);
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    body_[i]->collect_parameters(base + strfmt(".body.%zu", i), out);
+  }
+  body_end_.collect_parameters(base + ".body_end", out);
+  for (auto& [scale, branch] : branches_) {
+    const std::string b = base + strfmt(".x%zu", scale);
+    branch.pre1->collect_parameters(b + ".pre1", out);
+    branch.pre2->collect_parameters(b + ".pre2", out);
+    branch.upsample->collect_parameters(b + ".upsample", out);
+    branch.tail->collect_parameters(b + ".tail", out);
+  }
+}
+
+std::size_t Mdsr::shared_parameter_count() {
+  std::vector<nn::ParamRef> shared;
+  head_.collect_parameters("head", shared);
+  for (auto& block : body_) {
+    block->collect_parameters("b", shared);
+  }
+  body_end_.collect_parameters("e", shared);
+  std::size_t n = 0;
+  for (const auto& p : shared) {
+    n += p.numel();
+  }
+  return n;
+}
+
+ModelGraph build_mdsr_graph(const MdsrConfig& config, std::size_t scale,
+                            std::size_t lr_patch) {
+  DLSR_CHECK(std::find(config.scales.begin(), config.scales.end(), scale) !=
+                 config.scales.end(),
+             "scale not in the MDSR config");
+  ModelGraph g(strfmt("MDSR-x%zu", scale));
+  const std::size_t F = config.n_feats;
+  const std::size_t k = config.kernel;
+  const std::size_t p = lr_patch;
+  g.add_layer(conv_desc("head", 3, F, k, 1, k / 2, p, p));
+  for (int pre = 1; pre <= 2; ++pre) {
+    g.add_layer(conv_desc(strfmt("x%zu.pre%d.conv1", scale, pre), F, F, 5, 1,
+                          2, p, p));
+    g.add_layer(relu_desc(strfmt("x%zu.pre%d.relu", scale, pre), F, p, p));
+    g.add_layer(conv_desc(strfmt("x%zu.pre%d.conv2", scale, pre), F, F, 5, 1,
+                          2, p, p));
+  }
+  for (std::size_t b = 0; b < config.n_resblocks; ++b) {
+    g.add_layer(conv_desc(strfmt("body.%zu.conv1", b), F, F, k, 1, k / 2, p,
+                          p));
+    g.add_layer(relu_desc(strfmt("body.%zu.relu", b), F, p, p));
+    g.add_layer(conv_desc(strfmt("body.%zu.conv2", b), F, F, k, 1, k / 2, p,
+                          p));
+  }
+  g.add_layer(conv_desc("body_end", F, F, k, 1, k / 2, p, p));
+  std::size_t cur = p;
+  std::size_t remaining = scale;
+  std::size_t stage = 0;
+  while (remaining > 1) {
+    const std::size_t r = (scale == 3) ? 3 : 2;
+    g.add_layer(conv_desc(strfmt("x%zu.upsample.%zu", scale, stage), F,
+                          r * r * F, k, 1, k / 2, cur, cur));
+    cur *= r;
+    remaining /= r;
+    ++stage;
+  }
+  g.add_layer(conv_desc(strfmt("x%zu.tail", scale), F, 3, k, 1, k / 2, cur,
+                        cur));
+  return g;
+}
+
+}  // namespace dlsr::models

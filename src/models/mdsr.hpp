@@ -1,0 +1,78 @@
+// MDSR — the multi-scale variant from the EDSR paper (Lim et al. §4):
+// one shared residual body serves several upscaling factors, with
+// scale-specific pre-processing heads and sub-pixel tails. The EDSR authors
+// showed the body transfers across scales, cutting total parameters versus
+// training one EDSR per scale.
+//
+// forward(x) uses the currently selected scale; select_scale() switches the
+// active head/tail pair. Parameters of every branch are always exposed (as
+// in the reference implementation, where all branches train jointly by
+// alternating scales between batches).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/model_graph.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/mean_shift.hpp"
+#include "nn/module.hpp"
+#include "nn/resblock.hpp"
+#include "nn/upsampler.hpp"
+
+namespace dlsr::models {
+
+struct MdsrConfig {
+  std::vector<std::size_t> scales = {2, 3, 4};
+  std::size_t n_resblocks = 16;
+  std::size_t n_feats = 64;
+  float res_scale = 1.0f;
+  std::size_t kernel = 3;
+  std::array<float, 3> rgb_mean = {0.4488f, 0.4371f, 0.4040f};
+
+  static MdsrConfig tiny();
+};
+
+class Mdsr : public nn::Module {
+ public:
+  Mdsr(const MdsrConfig& config, Rng& rng);
+
+  /// Chooses which scale branch forward()/backward() use.
+  void select_scale(std::size_t scale);
+  std::size_t selected_scale() const { return selected_; }
+  const std::vector<std::size_t>& scales() const { return config_.scales; }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<nn::ParamRef>& out) override;
+  std::string kind() const override { return "MDSR"; }
+
+  /// Parameters of the shared body only (for the sharing-ratio analysis).
+  std::size_t shared_parameter_count();
+
+ private:
+  struct Branch {
+    std::unique_ptr<nn::ResBlock> pre1;  // scale-specific pre-processing
+    std::unique_ptr<nn::ResBlock> pre2;
+    std::unique_ptr<nn::Upsampler> upsample;
+    std::unique_ptr<nn::Conv2d> tail;
+  };
+
+  MdsrConfig config_;
+  nn::MeanShift sub_mean_;
+  nn::Conv2d head_;
+  std::map<std::size_t, Branch> branches_;
+  std::vector<std::unique_ptr<nn::ResBlock>> body_;
+  nn::Conv2d body_end_;
+  nn::MeanShift add_mean_;
+  std::size_t selected_;
+};
+
+/// Analytic graph of the selected-scale path for an LR patch.
+ModelGraph build_mdsr_graph(const MdsrConfig& config, std::size_t scale,
+                            std::size_t lr_patch);
+
+}  // namespace dlsr::models

@@ -1,0 +1,131 @@
+#include "models/mini_resnet.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "tensor/pooling.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::models {
+namespace {
+
+Conv2dSpec conv3x3(std::size_t in, std::size_t out) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  return spec;
+}
+
+}  // namespace
+
+MiniResNetConfig MiniResNetConfig::tiny() { return MiniResNetConfig{}; }
+
+ClassicResBlock::ClassicResBlock(std::size_t features, Rng& rng)
+    : conv1_(conv3x3(features, features), rng, /*bias=*/false),
+      bn1_(features),
+      conv2_(conv3x3(features, features), rng, /*bias=*/false),
+      bn2_(features) {}
+
+Tensor ClassicResBlock::forward(const Tensor& input) {
+  Tensor branch =
+      bn2_.forward(conv2_.forward(relu1_.forward(bn1_.forward(
+          conv1_.forward(input)))));
+  add_inplace(branch, input);
+  // Original ResNet applies ReLU after the addition (paper Fig. 5a, left).
+  return relu_out_.forward(branch);
+}
+
+Tensor ClassicResBlock::backward(const Tensor& grad_output) {
+  const Tensor g_sum = relu_out_.backward(grad_output);
+  Tensor g = conv1_.backward(
+      bn1_.backward(relu1_.backward(conv2_.backward(bn2_.backward(g_sum)))));
+  add_inplace(g, g_sum);
+  return g;
+}
+
+void ClassicResBlock::collect_parameters(const std::string& prefix,
+                                         std::vector<nn::ParamRef>& out) {
+  conv1_.collect_parameters(prefix + ".conv1", out);
+  bn1_.collect_parameters(prefix + ".bn1", out);
+  conv2_.collect_parameters(prefix + ".conv2", out);
+  bn2_.collect_parameters(prefix + ".bn2", out);
+}
+
+void ClassicResBlock::set_training(bool training) {
+  bn1_.set_training(training);
+  bn2_.set_training(training);
+}
+
+MiniResNet::MiniResNet(const MiniResNetConfig& config, Rng& rng)
+    : config_(config),
+      stem_(conv3x3(3, config.features), rng, /*bias=*/false),
+      stem_bn_(config.features),
+      head_(config.features, config.classes, rng) {
+  DLSR_CHECK(config.blocks > 0 && config.classes > 1,
+             "MiniResNet needs blocks and at least two classes");
+  blocks_.reserve(config.blocks);
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    blocks_.push_back(std::make_unique<ClassicResBlock>(config.features, rng));
+  }
+}
+
+Tensor MiniResNet::forward(const Tensor& input) {
+  Tensor x = stem_relu_.forward(stem_bn_.forward(stem_.forward(input)));
+  for (auto& block : blocks_) {
+    x = block->forward(x);
+  }
+  pooled_input_shape_ = x.shape();
+  return head_.forward(global_avg_pool2d(x));
+}
+
+Tensor MiniResNet::backward(const Tensor& grad_output) {
+  DLSR_CHECK(!pooled_input_shape_.empty(),
+             "MiniResNet::backward before forward");
+  Tensor g = head_.backward(grad_output);
+  // Linear consumed [N, F]; reshape to [N, F, 1, 1] for the pool adjoint.
+  g = g.reshaped({g.dim(0), config_.features, 1, 1});
+  g = global_avg_pool2d_backward(pooled_input_shape_, g);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return stem_.backward(stem_bn_.backward(stem_relu_.backward(g)));
+}
+
+void MiniResNet::collect_parameters(const std::string& prefix,
+                                    std::vector<nn::ParamRef>& out) {
+  const std::string base = prefix.empty() ? "mini_resnet" : prefix;
+  stem_.collect_parameters(base + ".stem", out);
+  stem_bn_.collect_parameters(base + ".stem_bn", out);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b]->collect_parameters(base + strfmt(".block%zu", b), out);
+  }
+  head_.collect_parameters(base + ".head", out);
+}
+
+void MiniResNet::set_training(bool training) {
+  stem_bn_.set_training(training);
+  for (auto& block : blocks_) {
+    block->set_training(training);
+  }
+}
+
+std::vector<std::size_t> MiniResNet::predict(const Tensor& logits) {
+  DLSR_CHECK(logits.rank() == 2, "predict expects [N, classes] logits");
+  const std::size_t N = logits.dim(0);
+  const std::size_t C = logits.dim(1);
+  std::vector<std::size_t> out(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < C; ++c) {
+      if (logits[n * C + c] > logits[n * C + best]) {
+        best = c;
+      }
+    }
+    out[n] = best;
+  }
+  return out;
+}
+
+}  // namespace dlsr::models

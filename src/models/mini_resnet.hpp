@@ -1,0 +1,79 @@
+// MiniResNet — a small trainable ResNet-style image classifier.
+//
+// The paper's Fig. 1 compares EDSR against ResNet-50; the full 25.5 M
+// parameter network lives here as an analytic graph (resnet50_graph), while
+// this miniature is fully trainable on CPU and uses the *original ResNet*
+// residual topology of Fig. 5a's left column (conv-BN-ReLU-conv-BN + skip,
+// ReLU after the addition) — completing the trio of residual-block
+// families alongside SrResBlock and nn::ResBlock.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/batch_norm.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace dlsr::models {
+
+struct MiniResNetConfig {
+  std::size_t features = 16;
+  std::size_t blocks = 2;
+  std::size_t classes = 4;
+
+  static MiniResNetConfig tiny();
+};
+
+/// Original-ResNet basic block: conv-BN-ReLU-conv-BN, add skip, then ReLU.
+class ClassicResBlock : public nn::Module {
+ public:
+  ClassicResBlock(std::size_t features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<nn::ParamRef>& out) override;
+  std::string kind() const override { return "ClassicResBlock"; }
+  void set_training(bool training);
+
+ private:
+  nn::Conv2d conv1_;
+  nn::BatchNorm2d bn1_;
+  nn::ReLU relu1_;
+  nn::Conv2d conv2_;
+  nn::BatchNorm2d bn2_;
+  nn::ReLU relu_out_;
+};
+
+/// stem conv -> blocks -> global average pool -> linear logits.
+class MiniResNet : public nn::Module {
+ public:
+  MiniResNet(const MiniResNetConfig& config, Rng& rng);
+
+  /// Input: [N,3,H,W]; output: logits [N, classes].
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<nn::ParamRef>& out) override;
+  std::string kind() const override { return "MiniResNet"; }
+
+  const MiniResNetConfig& config() const { return config_; }
+  void set_training(bool training);
+
+  /// Argmax class per sample from logits.
+  static std::vector<std::size_t> predict(const Tensor& logits);
+
+ private:
+  MiniResNetConfig config_;
+  nn::Conv2d stem_;
+  nn::BatchNorm2d stem_bn_;
+  nn::ReLU stem_relu_;
+  std::vector<std::unique_ptr<ClassicResBlock>> blocks_;
+  nn::Linear head_;
+  Shape pooled_input_shape_;  // cached for backward through the pool
+};
+
+}  // namespace dlsr::models

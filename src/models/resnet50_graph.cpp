@@ -1,0 +1,99 @@
+#include "models/resnet50_graph.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::models {
+namespace {
+
+/// Adds conv + BN + (optional) ReLU and returns the output extent.
+std::size_t add_conv_bn(ModelGraph& g, const std::string& name,
+                        std::size_t in_ch, std::size_t out_ch,
+                        std::size_t kernel, std::size_t stride,
+                        std::size_t extent, bool relu) {
+  const std::size_t pad = kernel / 2;
+  g.add_layer(conv_desc(name + ".conv", in_ch, out_ch, kernel, stride, pad,
+                        extent, extent, /*bias=*/false));
+  const std::size_t out_extent = (extent + 2 * pad - kernel) / stride + 1;
+  g.add_layer(bn_desc(name + ".bn", out_ch, out_extent, out_extent));
+  if (relu) {
+    g.add_layer(relu_desc(name + ".relu", out_ch, out_extent, out_extent));
+  }
+  return out_extent;
+}
+
+/// Bottleneck: 1x1 reduce -> 3x3 -> 1x1 expand (+ projection on the first
+/// block of a stage). Returns the output extent.
+std::size_t add_bottleneck(ModelGraph& g, const std::string& name,
+                           std::size_t in_ch, std::size_t mid_ch,
+                           std::size_t out_ch, std::size_t stride,
+                           std::size_t extent) {
+  std::size_t e = add_conv_bn(g, name + ".a", in_ch, mid_ch, 1, 1, extent,
+                              /*relu=*/true);
+  e = add_conv_bn(g, name + ".b", mid_ch, mid_ch, 3, stride, e, /*relu=*/true);
+  e = add_conv_bn(g, name + ".c", mid_ch, out_ch, 1, 1, e, /*relu=*/false);
+  if (in_ch != out_ch || stride != 1) {
+    add_conv_bn(g, name + ".down", in_ch, out_ch, 1, stride, extent,
+                /*relu=*/false);
+  }
+  LayerDesc add;
+  add.name = name + ".add";
+  add.kind = "add";
+  add.fwd_flops = static_cast<double>(out_ch * e * e);
+  add.input_bytes = add.output_bytes = out_ch * e * e * sizeof(float);
+  g.add_layer(add);
+  g.add_layer(relu_desc(name + ".relu", out_ch, e, e));
+  return e;
+}
+
+}  // namespace
+
+ModelGraph build_resnet50_graph(std::size_t image_size,
+                                std::size_t num_classes) {
+  DLSR_CHECK(image_size >= 32, "image too small for ResNet-50");
+  ModelGraph g("ResNet-50");
+  // Stem: 7x7/2 conv (64) + BN + ReLU + 3x3/2 max pool.
+  std::size_t e = add_conv_bn(g, "stem", 3, 64, 7, 2, image_size,
+                              /*relu=*/true);
+  {
+    LayerDesc pool;
+    pool.name = "stem.maxpool";
+    pool.kind = "pool";
+    const std::size_t out_e = (e + 2 * 1 - 3) / 2 + 1;
+    pool.fwd_flops = 9.0 * static_cast<double>(64 * out_e * out_e);
+    pool.input_bytes = 64 * e * e * sizeof(float);
+    pool.output_bytes = 64 * out_e * out_e * sizeof(float);
+    g.add_layer(pool);
+    e = out_e;
+  }
+
+  struct StageSpec {
+    std::size_t blocks, mid, out, stride;
+  };
+  const StageSpec stages[] = {
+      {3, 64, 256, 1}, {4, 128, 512, 2}, {6, 256, 1024, 2}, {3, 512, 2048, 2}};
+  std::size_t in_ch = 64;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const StageSpec& st = stages[s];
+    for (std::size_t b = 0; b < st.blocks; ++b) {
+      const std::size_t stride = (b == 0) ? st.stride : 1;
+      e = add_bottleneck(g, strfmt("layer%zu.%zu", s + 1, b), in_ch, st.mid,
+                         st.out, stride, e);
+      in_ch = st.out;
+    }
+  }
+
+  {
+    LayerDesc pool;
+    pool.name = "avgpool";
+    pool.kind = "pool";
+    pool.fwd_flops = static_cast<double>(in_ch * e * e);
+    pool.input_bytes = in_ch * e * e * sizeof(float);
+    pool.output_bytes = in_ch * sizeof(float);
+    g.add_layer(pool);
+  }
+  g.add_layer(linear_desc("fc", in_ch, num_classes));
+  return g;
+}
+
+}  // namespace dlsr::models

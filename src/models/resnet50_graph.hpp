@@ -1,0 +1,16 @@
+// ResNet-50 analytic graph (He et al. 2015) — the image-classification
+// comparison model in the paper's Fig. 1. Standard ImageNet configuration:
+// 7x7/2 stem, max-pool, four bottleneck stages [3, 4, 6, 3], global average
+// pool, 1000-way fully-connected head. ~25.5 M parameters, ~4.1 GFLOPs
+// forward at 224x224 (counting one MAC as 2 FLOPs gives ~8.2 GFLOP, i.e.
+// the usual "4.1 GMACs").
+#pragma once
+
+#include "models/model_graph.hpp"
+
+namespace dlsr::models {
+
+ModelGraph build_resnet50_graph(std::size_t image_size = 224,
+                                std::size_t num_classes = 1000);
+
+}  // namespace dlsr::models

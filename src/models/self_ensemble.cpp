@@ -1,0 +1,27 @@
+#include "models/self_ensemble.hpp"
+
+#include "common/error.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "tensor/transforms.hpp"
+
+namespace dlsr::models {
+
+Tensor self_ensemble_forward(nn::Module& model, const Tensor& input) {
+  DLSR_CHECK(input.rank() == 4, "self-ensemble expects NCHW input");
+  Tensor acc;
+  for (int t = 0; t < 8; ++t) {
+    const Tensor out =
+        dihedral_inverse(model.forward(dihedral_transform(input, t)), t);
+    if (t == 0) {
+      acc = out;
+    } else {
+      DLSR_CHECK(out.same_shape(acc),
+                 "model output shape varies across transforms");
+      add_inplace(acc, out);
+    }
+  }
+  scale_inplace(acc, 1.0f / 8.0f);
+  return acc;
+}
+
+}  // namespace dlsr::models

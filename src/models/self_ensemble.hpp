@@ -1,0 +1,14 @@
+// Geometric self-ensemble ("EDSR+", Lim et al. §3.5): at inference, run the
+// model on all 8 dihedral transforms of the input, undo each transform on
+// the output, and average. Gains ~0.1-0.3 dB PSNR with no retraining.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dlsr::models {
+
+/// Averaged prediction over the 8 dihedral transforms. The model must be
+/// spatially covariant (any fully-convolutional SR network qualifies).
+Tensor self_ensemble_forward(nn::Module& model, const Tensor& input);
+
+}  // namespace dlsr::models

@@ -1,0 +1,51 @@
+#include "models/srcnn.hpp"
+
+namespace dlsr::models {
+namespace {
+
+Conv2dSpec spec_for(std::size_t in, std::size_t out, std::size_t k) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = k;
+  spec.stride = 1;
+  spec.padding = k / 2;
+  return spec;
+}
+
+}  // namespace
+
+SrcnnConfig SrcnnConfig::tiny() {
+  SrcnnConfig c;
+  c.f1 = 8;
+  c.f2 = 4;
+  c.k1 = 5;
+  return c;
+}
+
+Srcnn::Srcnn(const SrcnnConfig& config, Rng& rng)
+    : conv1_(spec_for(config.channels, config.f1, config.k1), rng),
+      conv2_(spec_for(config.f1, config.f2, config.k2), rng),
+      conv3_(spec_for(config.f2, config.channels, config.k3), rng) {}
+
+Tensor Srcnn::forward(const Tensor& input) {
+  Tensor x = relu1_.forward(conv1_.forward(input));
+  x = relu2_.forward(conv2_.forward(x));
+  return conv3_.forward(x);
+}
+
+Tensor Srcnn::backward(const Tensor& grad_output) {
+  Tensor g = conv3_.backward(grad_output);
+  g = conv2_.backward(relu2_.backward(g));
+  return conv1_.backward(relu1_.backward(g));
+}
+
+void Srcnn::collect_parameters(const std::string& prefix,
+                               std::vector<nn::ParamRef>& out) {
+  const std::string base = prefix.empty() ? "srcnn" : prefix;
+  conv1_.collect_parameters(base + ".conv1", out);
+  conv2_.collect_parameters(base + ".conv2", out);
+  conv3_.collect_parameters(base + ".conv3", out);
+}
+
+}  // namespace dlsr::models

@@ -1,0 +1,46 @@
+// SRCNN (Dong et al. 2014) — the earliest CNN super-resolution model,
+// referenced by the paper (§II-E) as the classical DL baseline. It operates
+// on a bicubic-upscaled input (same resolution in and out) with three convs:
+// 9x9 patch extraction, 1x1 non-linear mapping, 5x5 reconstruction.
+// We keep it as the cheap comparison model for the examples and tests.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/module.hpp"
+
+namespace dlsr::models {
+
+struct SrcnnConfig {
+  std::size_t channels = 3;
+  std::size_t f1 = 64;  ///< features after patch extraction
+  std::size_t f2 = 32;  ///< features after mapping
+  std::size_t k1 = 9;
+  std::size_t k2 = 1;
+  std::size_t k3 = 5;
+
+  /// Narrow configuration for CPU tests.
+  static SrcnnConfig tiny();
+};
+
+/// Input: bicubic-upscaled image [N,3,H,W]; output: refined [N,3,H,W].
+class Srcnn : public nn::Module {
+ public:
+  Srcnn(const SrcnnConfig& config, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<nn::ParamRef>& out) override;
+  std::string kind() const override { return "SRCNN"; }
+
+ private:
+  nn::Conv2d conv1_;
+  nn::ReLU relu1_;
+  nn::Conv2d conv2_;
+  nn::ReLU relu2_;
+  nn::Conv2d conv3_;
+};
+
+}  // namespace dlsr::models

@@ -1,0 +1,154 @@
+#include "models/srresnet.hpp"
+
+#include "common/strings.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::models {
+namespace {
+
+Conv2dSpec conv_spec(std::size_t in, std::size_t out, std::size_t kernel) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = kernel;
+  spec.stride = 1;
+  spec.padding = kernel / 2;
+  return spec;
+}
+
+}  // namespace
+
+SrResNetConfig SrResNetConfig::tiny() {
+  SrResNetConfig c;
+  c.n_resblocks = 2;
+  c.n_feats = 8;
+  return c;
+}
+
+SrResBlock::SrResBlock(std::size_t features, std::size_t kernel, Rng& rng)
+    : conv1_(conv_spec(features, features, kernel), rng, /*bias=*/false),
+      bn1_(features),
+      conv2_(conv_spec(features, features, kernel), rng, /*bias=*/false),
+      bn2_(features) {}
+
+Tensor SrResBlock::forward(const Tensor& input) {
+  Tensor branch =
+      bn2_.forward(conv2_.forward(relu_.forward(bn1_.forward(
+          conv1_.forward(input)))));
+  add_inplace(branch, input);
+  return branch;
+}
+
+Tensor SrResBlock::backward(const Tensor& grad_output) {
+  Tensor g = conv1_.backward(
+      bn1_.backward(relu_.backward(conv2_.backward(bn2_.backward(
+          grad_output)))));
+  add_inplace(g, grad_output);
+  return g;
+}
+
+void SrResBlock::collect_parameters(const std::string& prefix,
+                                    std::vector<nn::ParamRef>& out) {
+  conv1_.collect_parameters(prefix + ".conv1", out);
+  bn1_.collect_parameters(prefix + ".bn1", out);
+  conv2_.collect_parameters(prefix + ".conv2", out);
+  bn2_.collect_parameters(prefix + ".bn2", out);
+}
+
+void SrResBlock::set_training(bool training) {
+  bn1_.set_training(training);
+  bn2_.set_training(training);
+}
+
+SrResNet::SrResNet(const SrResNetConfig& config, Rng& rng)
+    : config_(config),
+      head_(conv_spec(3, config.n_feats, 9), rng),
+      body_end_(conv_spec(config.n_feats, config.n_feats, config.kernel), rng,
+                /*bias=*/false),
+      body_end_bn_(config.n_feats),
+      upsample_(config.n_feats, config.scale, rng),
+      tail_(conv_spec(config.n_feats, 3, 9), rng) {
+  body_.reserve(config.n_resblocks);
+  for (std::size_t i = 0; i < config.n_resblocks; ++i) {
+    body_.push_back(
+        std::make_unique<SrResBlock>(config.n_feats, config.kernel, rng));
+  }
+}
+
+Tensor SrResNet::forward(const Tensor& input) {
+  Tensor x = head_relu_.forward(head_.forward(input));
+  Tensor skip = x;
+  for (auto& block : body_) {
+    x = block->forward(x);
+  }
+  x = body_end_bn_.forward(body_end_.forward(x));
+  add_inplace(x, skip);
+  return tail_.forward(upsample_.forward(x));
+}
+
+Tensor SrResNet::backward(const Tensor& grad_output) {
+  Tensor g = upsample_.backward(tail_.backward(grad_output));
+  Tensor g_body = body_end_.backward(body_end_bn_.backward(g));
+  for (auto it = body_.rbegin(); it != body_.rend(); ++it) {
+    g_body = (*it)->backward(g_body);
+  }
+  add_inplace(g_body, g);  // long skip
+  return head_.backward(head_relu_.backward(g_body));
+}
+
+void SrResNet::collect_parameters(const std::string& prefix,
+                                  std::vector<nn::ParamRef>& out) {
+  const std::string base = prefix.empty() ? "srresnet" : prefix;
+  head_.collect_parameters(base + ".head", out);
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    body_[i]->collect_parameters(base + strfmt(".body.%zu", i), out);
+  }
+  body_end_.collect_parameters(base + ".body_end", out);
+  body_end_bn_.collect_parameters(base + ".body_end_bn", out);
+  upsample_.collect_parameters(base + ".upsample", out);
+  tail_.collect_parameters(base + ".tail", out);
+}
+
+void SrResNet::set_training(bool training) {
+  for (auto& block : body_) {
+    block->set_training(training);
+  }
+  body_end_bn_.set_training(training);
+}
+
+ModelGraph build_srresnet_graph(const SrResNetConfig& config,
+                                std::size_t lr_patch) {
+  ModelGraph g("SRResNet");
+  const std::size_t F = config.n_feats;
+  const std::size_t k = config.kernel;
+  const std::size_t p = lr_patch;
+  g.add_layer(conv_desc("head", 3, F, 9, 1, 4, p, p));
+  g.add_layer(relu_desc("head.relu", F, p, p));
+  for (std::size_t b = 0; b < config.n_resblocks; ++b) {
+    g.add_layer(conv_desc(strfmt("body.%zu.conv1", b), F, F, k, 1, k / 2, p,
+                          p, /*bias=*/false));
+    g.add_layer(bn_desc(strfmt("body.%zu.bn1", b), F, p, p));
+    g.add_layer(relu_desc(strfmt("body.%zu.relu", b), F, p, p));
+    g.add_layer(conv_desc(strfmt("body.%zu.conv2", b), F, F, k, 1, k / 2, p,
+                          p, /*bias=*/false));
+    g.add_layer(bn_desc(strfmt("body.%zu.bn2", b), F, p, p));
+  }
+  g.add_layer(conv_desc("body_end", F, F, k, 1, k / 2, p, p, /*bias=*/false));
+  g.add_layer(bn_desc("body_end_bn", F, p, p));
+  // Upsampler (x2/x4 stages of conv F->4F + shuffle, as in EDSR's graph).
+  std::size_t cur = p;
+  std::size_t remaining = config.scale;
+  std::size_t stage = 0;
+  while (remaining > 1) {
+    const std::size_t r = (config.scale == 3) ? 3 : 2;
+    g.add_layer(conv_desc(strfmt("upsample.%zu.conv", stage), F, r * r * F, k,
+                          1, k / 2, cur, cur));
+    cur *= r;
+    remaining /= r;
+    ++stage;
+  }
+  g.add_layer(conv_desc("tail", F, 3, 9, 1, 4, cur, cur));
+  return g;
+}
+
+}  // namespace dlsr::models

@@ -1,0 +1,86 @@
+// SRResNet (Ledig et al., the SRGAN generator) — the architecture EDSR was
+// derived from by *removing* batch normalization (paper §I, §II-E, and the
+// middle column of its Fig. 5a):
+//
+//   residual block:  conv -> BN -> ReLU -> conv -> BN -> (+ skip)
+//
+// Implemented so the repository contains all three of Fig. 5a's block
+// variants: original ResNet blocks (ReLU after the addition; see the
+// classifier graph), SRResNet blocks (this file), and EDSR blocks
+// (nn::ResBlock, no BN, scaled residual).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "models/model_graph.hpp"
+#include "nn/activations.hpp"
+#include "nn/batch_norm.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/module.hpp"
+#include "nn/upsampler.hpp"
+
+namespace dlsr::models {
+
+struct SrResNetConfig {
+  std::size_t n_resblocks = 16;
+  std::size_t n_feats = 64;
+  std::size_t scale = 2;
+  std::size_t kernel = 3;
+
+  static SrResNetConfig tiny();
+};
+
+/// One SRResNet residual block: conv-BN-ReLU-conv-BN + identity skip.
+class SrResBlock : public nn::Module {
+ public:
+  SrResBlock(std::size_t features, std::size_t kernel, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<nn::ParamRef>& out) override;
+  std::string kind() const override { return "SrResBlock"; }
+
+  void set_training(bool training);
+
+ private:
+  nn::Conv2d conv1_;
+  nn::BatchNorm2d bn1_;
+  nn::ReLU relu_;
+  nn::Conv2d conv2_;
+  nn::BatchNorm2d bn2_;
+};
+
+/// Full SRResNet: head conv + B blocks + body-end conv/BN with long skip +
+/// sub-pixel upsampler + tail conv.
+class SrResNet : public nn::Module {
+ public:
+  SrResNet(const SrResNetConfig& config, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<nn::ParamRef>& out) override;
+  std::string kind() const override { return "SRResNet"; }
+
+  const SrResNetConfig& config() const { return config_; }
+  void set_training(bool training);
+
+ private:
+  SrResNetConfig config_;
+  nn::Conv2d head_;
+  nn::ReLU head_relu_;
+  std::vector<std::unique_ptr<SrResBlock>> body_;
+  nn::Conv2d body_end_;
+  nn::BatchNorm2d body_end_bn_;
+  nn::Upsampler upsample_;
+  nn::Conv2d tail_;
+};
+
+/// Analytic graph for an LR patch (for perf/communication comparisons with
+/// EDSR — SRResNet carries extra BN parameters and FLOPs).
+ModelGraph build_srresnet_graph(const SrResNetConfig& config,
+                                std::size_t lr_patch);
+
+}  // namespace dlsr::models

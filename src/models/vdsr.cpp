@@ -1,0 +1,95 @@
+#include "models/vdsr.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::models {
+namespace {
+
+Conv2dSpec conv_spec(std::size_t in, std::size_t out) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  return spec;
+}
+
+}  // namespace
+
+VdsrConfig VdsrConfig::tiny() {
+  VdsrConfig c;
+  c.depth = 5;
+  c.features = 12;
+  return c;
+}
+
+Vdsr::Vdsr(const VdsrConfig& config, Rng& rng) : config_(config) {
+  DLSR_CHECK(config.depth >= 2, "VDSR needs at least two layers");
+  convs_.reserve(config.depth);
+  relus_.reserve(config.depth - 1);
+  for (std::size_t d = 0; d < config.depth; ++d) {
+    const std::size_t in = d == 0 ? config.channels : config.features;
+    const std::size_t out =
+        d + 1 == config.depth ? config.channels : config.features;
+    convs_.push_back(std::make_unique<nn::Conv2d>(conv_spec(in, out), rng));
+    if (d + 1 < config.depth) {
+      relus_.push_back(std::make_unique<nn::LeakyReLU>(config.leaky_slope));
+    }
+  }
+  // Start the residual branch near zero so the initial output equals the
+  // bicubic input (identity-at-init, the key to fast convergence).
+  Tensor& last = convs_.back()->weight();
+  scale_inplace(last, config.final_init_scale);
+}
+
+Tensor Vdsr::forward(const Tensor& input) {
+  Tensor x = input;
+  for (std::size_t d = 0; d < convs_.size(); ++d) {
+    x = convs_[d]->forward(x);
+    if (d < relus_.size()) {
+      x = relus_[d]->forward(x);
+    }
+  }
+  add_inplace(x, input);  // global residual skip
+  return x;
+}
+
+Tensor Vdsr::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (std::size_t d = convs_.size(); d-- > 0;) {
+    if (d < relus_.size()) {
+      g = relus_[d]->backward(g);
+    }
+    g = convs_[d]->backward(g);
+  }
+  add_inplace(g, grad_output);  // skip-path gradient
+  return g;
+}
+
+void Vdsr::collect_parameters(const std::string& prefix,
+                              std::vector<nn::ParamRef>& out) {
+  const std::string base = prefix.empty() ? "vdsr" : prefix;
+  for (std::size_t d = 0; d < convs_.size(); ++d) {
+    convs_[d]->collect_parameters(base + strfmt(".conv%zu", d), out);
+  }
+}
+
+ModelGraph build_vdsr_graph(const VdsrConfig& config, std::size_t h,
+                            std::size_t w) {
+  ModelGraph g("VDSR");
+  for (std::size_t d = 0; d < config.depth; ++d) {
+    const std::size_t in = d == 0 ? config.channels : config.features;
+    const std::size_t out =
+        d + 1 == config.depth ? config.channels : config.features;
+    g.add_layer(conv_desc(strfmt("conv%zu", d), in, out, 3, 1, 1, h, w));
+    if (d + 1 < config.depth) {
+      g.add_layer(relu_desc(strfmt("relu%zu", d), out, h, w));
+    }
+  }
+  return g;
+}
+
+}  // namespace dlsr::models

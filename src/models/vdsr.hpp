@@ -1,0 +1,65 @@
+// VDSR — Very Deep Super-Resolution (Kim, Lee & Lee, CVPR 2016), one of the
+// classical DLSR models the paper's §II-E survey covers. Unlike EDSR it is a
+// *post-upsampling* network: the input is the bicubic-upscaled image and the
+// network learns only the residual detail:
+//
+//     out = input + conv_D(relu(... conv_1(input)))
+//
+// Because the identity path is explicit, a freshly initialized VDSR scores
+// exactly the bicubic baseline and training monotonically improves on it —
+// which makes it the right model for CPU-budget demonstrations that deep SR
+// beats bicubic (the paper's Fig. 4 outcome), while EDSR remains the model
+// for the scaling study.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "models/model_graph.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/module.hpp"
+
+namespace dlsr::models {
+
+struct VdsrConfig {
+  std::size_t depth = 20;      ///< conv layers including the output conv
+  std::size_t features = 64;
+  std::size_t channels = 3;
+  /// Negative slope of the hidden activations. The original VDSR uses plain
+  /// ReLU; a small leak prevents the dead-ReLU collapse into the identity
+  /// (the global skip makes "output the input" a strong local optimum) at
+  /// the aggressive learning rates CPU-budget training wants.
+  float leaky_slope = 0.05f;
+  /// Scale on the final layer's init so the residual starts near zero and
+  /// the network begins at bicubic quality.
+  float final_init_scale = 0.1f;
+
+  /// CPU-friendly configuration for examples/tests.
+  static VdsrConfig tiny();
+};
+
+class Vdsr : public nn::Module {
+ public:
+  Vdsr(const VdsrConfig& config, Rng& rng);
+
+  /// Input: bicubic-upscaled image [N,C,H,W]; output: refined [N,C,H,W].
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<nn::ParamRef>& out) override;
+  std::string kind() const override { return "VDSR"; }
+
+  const VdsrConfig& config() const { return config_; }
+
+ private:
+  VdsrConfig config_;
+  std::vector<std::unique_ptr<nn::Conv2d>> convs_;
+  std::vector<std::unique_ptr<nn::LeakyReLU>> relus_;
+};
+
+/// Analytic graph for the perf model (on an H x W upscaled input).
+ModelGraph build_vdsr_graph(const VdsrConfig& config, std::size_t h,
+                            std::size_t w);
+
+}  // namespace dlsr::models

@@ -1,0 +1,350 @@
+#include "mpisim/allreduce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlsr::mpisim {
+namespace {
+
+double log2_ceil(std::size_t n) {
+  double r = 0.0;
+  std::size_t v = 1;
+  while (v < n) {
+    v *= 2;
+    r += 1.0;
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* allreduce_algo_name(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::Auto:
+      return "auto";
+    case AllreduceAlgo::RecursiveDoubling:
+      return "recursive-doubling";
+    case AllreduceAlgo::Ring:
+      return "ring";
+    case AllreduceAlgo::TwoLevel:
+      return "two-level";
+  }
+  return "?";
+}
+
+AllreduceEngine::AllreduceEngine(Transport& transport, AllreduceConfig config)
+    : transport_(transport), config_(config) {}
+
+AllreduceAlgo AllreduceEngine::select(std::size_t bytes) const {
+  if (bytes <= config_.small_message_max) {
+    return AllreduceAlgo::RecursiveDoubling;
+  }
+  if (bytes < config_.two_level_min) {
+    return AllreduceAlgo::Ring;
+  }
+  return AllreduceAlgo::TwoLevel;
+}
+
+double AllreduceEngine::reduce_time(std::size_t bytes) const {
+  // Elementwise sum: read two operands, write one.
+  return 3.0 * static_cast<double>(bytes) / config_.reduce_bandwidth;
+}
+
+AllreduceTiming AllreduceEngine::run(std::size_t bytes, std::uint64_t buf_id,
+                                     sim::SimTime ready, AllreduceAlgo algo) {
+  DLSR_CHECK(bytes > 0, "empty allreduce");
+  if (algo == AllreduceAlgo::Auto) {
+    algo = select(bytes);
+  }
+  const std::size_t ranks = transport_.cluster().total_gpus();
+  AllreduceTiming timing;
+  timing.algo = algo;
+  if (ranks <= 1) {
+    timing.done = ready;
+    return timing;
+  }
+  switch (algo) {
+    case AllreduceAlgo::RecursiveDoubling:
+      timing.done = recursive_doubling(bytes, ready);
+      break;
+    case AllreduceAlgo::Ring:
+      timing.done = ring(bytes, buf_id, ready);
+      break;
+    case AllreduceAlgo::TwoLevel:
+      timing.done = two_level(bytes, buf_id, ready);
+      break;
+    case AllreduceAlgo::Auto:
+      DLSR_FAIL("unreachable");
+  }
+
+  // Rendezvous-handshake desynchronization: every collective that relies on
+  // host-staged progress pays a coordination penalty that grows with the
+  // process count (handshake storms through host progress engines). IPC
+  // configurations avoid it for the large two-level collectives. Calibrated
+  // against the paper's Fig. 10/12 divergence at scale.
+  const bool staged_algo =
+      algo != AllreduceAlgo::TwoLevel || !two_level_uses_ipc(bytes);
+  if (staged_algo) {
+    timing.done += config_.staged_desync_penalty * log2_ceil(ranks);
+  }
+  return timing;
+}
+
+sim::SimTime AllreduceEngine::recursive_doubling(std::size_t bytes,
+                                                 sim::SimTime ready) {
+  // Latency-bound exchange; messages too small to book on links.
+  const std::size_t ranks = transport_.cluster().total_gpus();
+  const std::size_t local = transport_.cluster().gpus_per_node();
+  const TransportConfig& c = transport_.config();
+  const double b = static_cast<double>(bytes);
+  double t = ready;
+  for (std::size_t d = 1; d < ranks; d *= 2) {
+    const bool intra = d < local;
+    const double hop = intra ? c.staged_latency + b / c.staged_bandwidth
+                             : c.gdr_latency + b / c.gdr_bandwidth;
+    t += hop + reduce_time(bytes);
+  }
+  return t;
+}
+
+sim::SimTime AllreduceEngine::ring(std::size_t bytes, std::uint64_t buf_id,
+                                   sim::SimTime ready) {
+  // Host-based medium-message algorithm: Rabenseifner-style reduce-scatter
+  // + allgather. Bandwidth-optimal (each rank moves ~2·M·(R-1)/R bytes) with
+  // 2·log2(R) latency phases. Traffic stages through the host buses even
+  // when IPC is available — MVAPICH2's tuning keeps medium collectives on
+  // the shared-memory path, which is why the paper's 128 KB – 16 MB bucket
+  // shows no improvement from MPI-Opt.
+  sim::Cluster& cluster = transport_.cluster();
+  const std::size_t ranks = cluster.total_gpus();
+  const std::size_t local = cluster.gpus_per_node();
+  const std::size_t nodes = cluster.node_count();
+  const TransportConfig& c = transport_.config();
+  const double per_rank_bytes = 2.0 * static_cast<double>(bytes) *
+                                static_cast<double>(ranks - 1) /
+                                static_cast<double>(ranks);
+
+  // As in two_level: registration pipelines with the exchange, so its
+  // aggregate cost is the mean across nodes.
+  double reg_mean = 0.0;
+  if (nodes > 1) {
+    double reg_sum = 0.0;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      reg_sum += transport_.reg_cache().registration_cost(
+          buf_id ^ (n << 20), bytes);
+    }
+    reg_mean = reg_sum / static_cast<double>(nodes);
+  }
+  sim::SimTime done = ready;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    // Every local rank's traffic stages through the node's host bus.
+    const std::size_t bus_bytes =
+        static_cast<std::size_t>(per_rank_bytes * static_cast<double>(local));
+    const double bus_dur =
+        static_cast<double>(bus_bytes) / c.staged_bandwidth;
+    done = std::max(done, cluster.host_bus(n).occupy(ready, bus_bytes,
+                                                     bus_dur));
+    if (nodes > 1) {
+      // The inter-node share of the exchange crosses this node's HCA.
+      const std::size_t wire_bytes =
+          static_cast<std::size_t>(per_rank_bytes);
+      const double wire_dur =
+          static_cast<double>(wire_bytes) / c.gdr_bandwidth + reg_mean;
+      done = std::max(done, cluster.least_busy_ib(n).occupy(
+                                ready, wire_bytes, wire_dur));
+    }
+  }
+  const double latency_phases =
+      2.0 * log2_ceil(ranks) * (c.staged_latency + c.gdr_latency);
+  return done + latency_phases + reduce_time(bytes);
+}
+
+bool AllreduceEngine::two_level_uses_ipc(std::size_t bytes) const {
+  const std::size_t local = transport_.cluster().gpus_per_node();
+  if (local <= 1) {
+    return transport_.env().ipc_enabled();
+  }
+  const std::size_t chunk = std::max<std::size_t>(1, bytes / local);
+  return transport_.env().ipc_enabled() &&
+         chunk >= transport_.config().ipc_rndv_threshold;
+}
+
+sim::SimTime AllreduceEngine::intra_node_ring(std::size_t node,
+                                              std::size_t bytes,
+                                              std::uint64_t buf_id,
+                                              sim::SimTime ready) {
+  sim::Cluster& cluster = transport_.cluster();
+  const std::size_t local = cluster.gpus_per_node();
+  if (local <= 1) {
+    return ready;
+  }
+  const TransportConfig& c = transport_.config();
+  const std::size_t chunk = std::max<std::size_t>(1, bytes / local);
+  const std::size_t steps = 2 * (local - 1);
+  const std::size_t hop_bytes = steps * chunk;
+  const double chunk_d = static_cast<double>(chunk);
+  const std::size_t first_rank = node * local;
+  (void)buf_id;
+
+  sim::SimTime done = ready;
+  if (transport_.env().ipc_enabled() && chunk >= c.ipc_rndv_threshold) {
+    // Each hop's copy runs on the destination GPU's NVLink port; all local
+    // hops proceed in parallel, but cross-socket hops (the X-Bus crossings
+    // of the local ring) are slower and gate the phase.
+    for (std::size_t l = 0; l < local; ++l) {
+      const std::size_t src = first_rank + l;
+      const std::size_t dst = first_rank + (l + 1) % local;
+      const double bw = cluster.same_socket(src, dst)
+                            ? c.ipc_bandwidth
+                            : c.ipc_cross_socket_bandwidth;
+      const double dur =
+          static_cast<double>(steps) * (c.ipc_latency + chunk_d / bw);
+      done = std::max(done, cluster.gpu_port(dst).occupy(ready, hop_bytes, dur));
+    }
+  } else {
+    // Staged: all hops serialize on the node's host bus.
+    const double dur = static_cast<double>(steps) *
+                       (c.staged_latency + chunk_d / c.staged_bandwidth);
+    for (std::size_t l = 0; l < local; ++l) {
+      done = std::max(done,
+                      cluster.host_bus(node).occupy(ready, hop_bytes, dur));
+    }
+  }
+  return done + reduce_time(bytes);
+}
+
+sim::SimTime AllreduceEngine::two_level(std::size_t bytes,
+                                        std::uint64_t buf_id,
+                                        sim::SimTime ready) {
+  sim::Cluster& cluster = transport_.cluster();
+  const std::size_t nodes = cluster.node_count();
+  const std::size_t local = cluster.gpus_per_node();
+  const TransportConfig& c = transport_.config();
+
+  // Phase 1: intra-node allreduce; leaders end up with their node's sum.
+  sim::SimTime phase1 = ready;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    phase1 = std::max(phase1, intra_node_ring(n, bytes, buf_id, ready));
+  }
+  if (nodes == 1) {
+    return phase1;
+  }
+
+  // Phase 2: ring across node leaders over InfiniBand. Registration
+  // pipelines with the ring fill (leaders register while the first chunks
+  // circulate), so the aggregate cost each leader sees is the *average*
+  // registration cost across leaders, not the worst straggler.
+  const std::size_t chunk = std::max<std::size_t>(1, bytes / nodes);
+  const std::size_t steps = 2 * (nodes - 1);
+  const std::size_t hop_bytes = steps * chunk;
+  double reg_sum = 0.0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    reg_sum +=
+        transport_.reg_cache().registration_cost(buf_id ^ (n << 24), bytes);
+  }
+  const double reg_mean = reg_sum / static_cast<double>(nodes);
+  sim::SimTime phase2 = phase1;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const double dur = static_cast<double>(steps) *
+                           (c.gdr_latency +
+                            static_cast<double>(chunk) / c.gdr_bandwidth) +
+                       reg_mean;
+    // Each leader both injects to its successor and receives from its
+    // predecessor; dual-rail nodes split the directions across HCAs,
+    // single-rail nodes serialize them.
+    phase2 = std::max(phase2, cluster.least_busy_ib(n).occupy(
+                                  phase1, hop_bytes, dur));
+    phase2 = std::max(phase2, cluster.least_busy_ib(n).occupy(
+                                  phase1, hop_bytes, dur));
+  }
+  phase2 += reduce_time(bytes);
+
+  // Phase 3: intra-node broadcast of the global result.
+  sim::SimTime phase3 = phase2;
+  if (local > 1) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (transport_.env().ipc_enabled()) {
+        // Pipelined NVLink broadcast: every non-leader's port carries the
+        // full message, in parallel.
+        const double dur =
+            c.ipc_latency + static_cast<double>(bytes) / c.ipc_bandwidth;
+        for (std::size_t l = 1; l < local; ++l) {
+          phase3 = std::max(phase3, cluster.gpu_port(n * local + l)
+                                        .occupy(phase2, bytes, dur));
+        }
+      } else {
+        const double dur =
+            c.staged_latency + static_cast<double>(bytes) / c.staged_bandwidth;
+        for (std::size_t l = 1; l < local; ++l) {
+          phase3 = std::max(phase3,
+                            cluster.host_bus(n).occupy(phase2, bytes, dur));
+        }
+      }
+    }
+  }
+  return phase3;
+}
+
+sim::SimTime AllreduceEngine::allgather(std::size_t bytes_per_rank,
+                                        std::uint64_t buf_id,
+                                        sim::SimTime ready) {
+  // Ring allgather moves (R-1) * bytes_per_rank through every position —
+  // half an allreduce's traffic with no reduction arithmetic. Modeled like
+  // the host-based ring (metadata-sized payloads dominate its use).
+  sim::Cluster& cluster = transport_.cluster();
+  const std::size_t ranks = cluster.total_gpus();
+  if (ranks <= 1) {
+    return ready;
+  }
+  const std::size_t total = bytes_per_rank * (ranks - 1);
+  const std::size_t nodes = cluster.node_count();
+  const TransportConfig& c = transport_.config();
+  sim::SimTime done = ready;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const std::size_t bus_bytes = total * cluster.gpus_per_node();
+    done = std::max(done,
+                    cluster.host_bus(n).occupy(
+                        ready, bus_bytes,
+                        static_cast<double>(bus_bytes) / c.staged_bandwidth));
+    if (nodes > 1) {
+      const double reg = transport_.reg_cache().registration_cost(
+          buf_id ^ (n << 16), bytes_per_rank);
+      done = std::max(done, cluster.least_busy_ib(n).occupy(
+                                ready, total,
+                                static_cast<double>(total) / c.gdr_bandwidth +
+                                    reg));
+    }
+  }
+  return done + log2_ceil(ranks) * (c.staged_latency + c.gdr_latency) +
+         config_.staged_desync_penalty * log2_ceil(ranks);
+}
+
+sim::SimTime AllreduceEngine::broadcast(std::size_t bytes,
+                                        std::uint64_t buf_id,
+                                        sim::SimTime ready) {
+  // Binomial tree over nodes, then intra-node distribution.
+  sim::Cluster& cluster = transport_.cluster();
+  const std::size_t nodes = cluster.node_count();
+  const std::size_t local = cluster.gpus_per_node();
+  const TransportConfig& c = transport_.config();
+  const double b = static_cast<double>(bytes);
+  double t = ready;
+  for (std::size_t d = 1; d < nodes; d *= 2) {
+    const double reg = transport_.reg_cache().registration_cost(
+        buf_id ^ (d << 28), bytes);
+    t += c.gdr_latency + reg + b / c.gdr_bandwidth;
+  }
+  if (local > 1) {
+    if (transport_.env().ipc_enabled()) {
+      t += c.ipc_latency + b / c.ipc_bandwidth;
+    } else {
+      t += static_cast<double>(local - 1) *
+           (c.staged_latency + b / c.staged_bandwidth);
+    }
+  }
+  return t;
+}
+
+}  // namespace dlsr::mpisim

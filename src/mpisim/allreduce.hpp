@@ -1,0 +1,89 @@
+// Allreduce algorithm timing models over the simulated cluster.
+//
+// Three algorithms, mirroring an MPI library's tuning table:
+//
+//   RecursiveDoubling — log2(R) exchange rounds; latency-bound, used for
+//                       small messages.
+//   Ring              — flat reduce-scatter + allgather over all ranks in
+//                       rank order; every hop carries ~2·M·(R-1)/R bytes.
+//                       Hops between node neighbors use intra-node paths,
+//                       node-boundary hops use InfiniBand.
+//   TwoLevel          — MVAPICH2-style hierarchical collective for large
+//                       messages: intra-node ring allreduce, inter-node ring
+//                       across node leaders, intra-node broadcast. This is
+//                       the algorithm whose intra-node phases live or die by
+//                       CUDA IPC (the paper's Table I).
+//
+// The engine books hop traffic on the cluster's physical links, so staged
+// transfers from all local ranks serialize on the host bus — the emergent
+// collapse the paper measures — while IPC transfers proceed in parallel on
+// per-GPU NVLink ports.
+#pragma once
+
+#include <cstdint>
+
+#include "mpisim/transport.hpp"
+
+namespace dlsr::mpisim {
+
+enum class AllreduceAlgo { Auto, RecursiveDoubling, Ring, TwoLevel };
+
+const char* allreduce_algo_name(AllreduceAlgo algo);
+
+struct AllreduceConfig {
+  std::size_t small_message_max = 32 * 1024;      ///< RD below this
+  std::size_t two_level_min = 16ull * 1024 * 1024;  ///< hierarchical above
+  /// Elementwise-sum rate during reduction phases (device memory bound).
+  double reduce_bandwidth = 300e9;
+  /// Per-collective host-progress desynchronization cost, multiplied by
+  /// log2(ranks). Applies to collectives that depend on host-staged
+  /// progress (all small/medium collectives; large ones only when CUDA IPC
+  /// is disabled). Calibrated to the paper's Fig. 10/12 scaling divergence.
+  double staged_desync_penalty = 1.6e-3;
+};
+
+struct AllreduceTiming {
+  sim::SimTime done = 0.0;
+  AllreduceAlgo algo = AllreduceAlgo::Auto;
+};
+
+class AllreduceEngine {
+ public:
+  AllreduceEngine(Transport& transport, AllreduceConfig config);
+
+  /// All ranks enter at `ready` (the caller applies straggler skew first);
+  /// returns when the slowest rank holds the full result.
+  AllreduceTiming run(std::size_t bytes, std::uint64_t buf_id,
+                      sim::SimTime ready, AllreduceAlgo algo = AllreduceAlgo::Auto);
+
+  /// Binomial-tree broadcast (used for initial parameter sync).
+  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready);
+
+  /// Ring allgather: every rank contributes `bytes` and ends with all
+  /// R*bytes (Horovod uses it for metadata and sparse tensors).
+  sim::SimTime allgather(std::size_t bytes_per_rank, std::uint64_t buf_id,
+                         sim::SimTime ready);
+
+  AllreduceAlgo select(std::size_t bytes) const;
+
+  /// Whether a two-level collective of this size would ride CUDA IPC in
+  /// its intra-node phases (chunk above the rendezvous threshold).
+  bool two_level_uses_ipc(std::size_t bytes) const;
+
+ private:
+  sim::SimTime recursive_doubling(std::size_t bytes, sim::SimTime ready);
+  sim::SimTime ring(std::size_t bytes, std::uint64_t buf_id,
+                    sim::SimTime ready);
+  sim::SimTime two_level(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready);
+  /// Flat ring among the local ranks of one node (phase 1 of TwoLevel).
+  sim::SimTime intra_node_ring(std::size_t node, std::size_t bytes,
+                               std::uint64_t buf_id, sim::SimTime ready);
+  double reduce_time(std::size_t bytes) const;
+
+  Transport& transport_;
+  AllreduceConfig config_;
+};
+
+}  // namespace dlsr::mpisim

@@ -1,0 +1,43 @@
+#include "mpisim/communicator.hpp"
+
+#include <algorithm>
+
+namespace dlsr::mpisim {
+
+MpiCommunicator::MpiCommunicator(sim::Cluster& cluster, MpiEnv env,
+                                 TransportConfig tcfg, AllreduceConfig acfg,
+                                 std::uint64_t seed)
+    : transport_(cluster, env, tcfg, seed), engine_(transport_, acfg) {}
+
+sim::SimTime MpiCommunicator::allreduce(std::size_t bytes,
+                                        std::uint64_t buf_id,
+                                        sim::SimTime ready,
+                                        AllreduceAlgo algo) {
+  const sim::SimTime start = std::max(ready, engine_busy_until_);
+  const AllreduceTiming timing = engine_.run(bytes, buf_id, start, algo);
+  engine_busy_until_ = timing.done;
+  profiler_.record(prof::Collective::Allreduce, bytes, timing.done - start);
+  return timing.done;
+}
+
+sim::SimTime MpiCommunicator::broadcast(std::size_t bytes,
+                                        std::uint64_t buf_id,
+                                        sim::SimTime ready) {
+  const sim::SimTime start = std::max(ready, engine_busy_until_);
+  const sim::SimTime done = engine_.broadcast(bytes, buf_id, start);
+  engine_busy_until_ = done;
+  profiler_.record(prof::Collective::Broadcast, bytes, done - start);
+  return done;
+}
+
+sim::SimTime MpiCommunicator::allgather(std::size_t bytes_per_rank,
+                                        std::uint64_t buf_id,
+                                        sim::SimTime ready) {
+  const sim::SimTime start = std::max(ready, engine_busy_until_);
+  const sim::SimTime done = engine_.allgather(bytes_per_rank, buf_id, start);
+  engine_busy_until_ = done;
+  profiler_.record(prof::Collective::Allgather, bytes_per_rank, done - start);
+  return done;
+}
+
+}  // namespace dlsr::mpisim

@@ -1,0 +1,62 @@
+// MpiCommunicator — the facade the Horovod layer talks to.
+//
+// Owns the transport + allreduce engine for one job configuration and
+// records every collective into an hvprof profiler. Also tracks the
+// serialized communication-engine occupancy: an MPI backend executes one
+// collective at a time (Horovod's cycle loop issues them sequentially), so
+// a collective requested while another is in flight queues behind it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mpisim/allreduce.hpp"
+#include "mpisim/env.hpp"
+#include "mpisim/transport.hpp"
+#include "prof/hvprof.hpp"
+
+namespace dlsr::mpisim {
+
+class MpiCommunicator {
+ public:
+  MpiCommunicator(sim::Cluster& cluster, MpiEnv env, TransportConfig tcfg,
+                  AllreduceConfig acfg, std::uint64_t seed = 1);
+
+  const MpiEnv& env() const { return transport_.env(); }
+  sim::Cluster& cluster() { return transport_.cluster(); }
+  Transport& transport() { return transport_; }
+
+  /// Allreduce of `bytes` entered by all ranks at `ready`; returns the time
+  /// the slowest rank finishes. Serializes on the communication engine.
+  sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready,
+                         AllreduceAlgo algo = AllreduceAlgo::Auto);
+
+  /// Broadcast from rank 0 (initial parameter sync).
+  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready);
+
+  /// Ring allgather of `bytes_per_rank` from every rank.
+  sim::SimTime allgather(std::size_t bytes_per_rank, std::uint64_t buf_id,
+                         sim::SimTime ready);
+
+  /// Whether in-flight collectives can overlap GPU compute. Host-staged
+  /// configurations block (copies contend with the framework's own
+  /// streams); IPC/GDR configurations progress asynchronously.
+  bool overlaps_compute() const { return env().ipc_enabled(); }
+
+  prof::Hvprof& profiler() { return profiler_; }
+  const prof::Hvprof& profiler() const { return profiler_; }
+
+  /// Busy-until of the serialized communication engine.
+  sim::SimTime engine_busy_until() const { return engine_busy_until_; }
+  void reset_engine() { engine_busy_until_ = 0.0; }
+
+ private:
+  Transport transport_;
+  AllreduceEngine engine_;
+  prof::Hvprof profiler_;
+  sim::SimTime engine_busy_until_ = 0.0;
+};
+
+}  // namespace dlsr::mpisim

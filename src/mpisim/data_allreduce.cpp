@@ -1,0 +1,149 @@
+#include "mpisim/data_allreduce.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dlsr::mpisim {
+namespace {
+
+void check_buffers(const std::vector<std::span<float>>& buffers) {
+  DLSR_CHECK(!buffers.empty(), "allreduce with zero ranks");
+  for (const auto& b : buffers) {
+    DLSR_CHECK(b.size() == buffers.front().size(),
+               "all ranks must contribute equal-length buffers");
+  }
+}
+
+/// Chunk boundaries: n split into r chunks, remainder on the leading chunks.
+std::vector<std::size_t> chunk_offsets(std::size_t n, std::size_t r) {
+  std::vector<std::size_t> off(r + 1, 0);
+  const std::size_t base = n / r;
+  const std::size_t rem = n % r;
+  for (std::size_t c = 0; c < r; ++c) {
+    off[c + 1] = off[c] + base + (c < rem ? 1 : 0);
+  }
+  return off;
+}
+
+}  // namespace
+
+void ring_allreduce_sum(std::vector<std::span<float>>& buffers) {
+  check_buffers(buffers);
+  const std::size_t R = buffers.size();
+  if (R == 1) {
+    return;
+  }
+  const std::size_t n = buffers.front().size();
+  const auto off = chunk_offsets(n, R);
+  const auto chunk_of = [&](std::size_t step, std::size_t rank) {
+    return (rank + R - step % R) % R;
+  };
+
+  // Reduce-scatter: at step s, rank r sends chunk (r - s) to rank r+1,
+  // which accumulates it. Within a step no rank's outgoing chunk is also
+  // its incoming chunk, so in-place updates are safe.
+  for (std::size_t s = 0; s + 1 < R; ++s) {
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::size_t dst = (r + 1) % R;
+      const std::size_t c = chunk_of(s, r);
+      for (std::size_t i = off[c]; i < off[c + 1]; ++i) {
+        buffers[dst][i] += buffers[r][i];
+      }
+    }
+  }
+  // Allgather: rank r now owns the completed chunk (r + 1); circulate.
+  for (std::size_t s = 0; s + 1 < R; ++s) {
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::size_t dst = (r + 1) % R;
+      const std::size_t c = (r + 1 + R - s % R) % R;
+      for (std::size_t i = off[c]; i < off[c + 1]; ++i) {
+        buffers[dst][i] = buffers[r][i];
+      }
+    }
+  }
+}
+
+void recursive_doubling_allreduce_sum(
+    std::vector<std::span<float>>& buffers) {
+  check_buffers(buffers);
+  const std::size_t R = buffers.size();
+  if (R == 1) {
+    return;
+  }
+  const std::size_t n = buffers.front().size();
+  std::size_t p = 1;
+  while (p * 2 <= R) {
+    p *= 2;
+  }
+  // Fold the non-power-of-two remainder into the core.
+  for (std::size_t r = p; r < R; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      buffers[r - p][i] += buffers[r][i];
+    }
+  }
+  // Pairwise exchange-and-add among the core ranks.
+  std::vector<float> tmp(n);
+  for (std::size_t d = 1; d < p; d *= 2) {
+    for (std::size_t r = 0; r < p; ++r) {
+      const std::size_t partner = r ^ d;
+      if (partner < r) {
+        continue;  // handle each pair once
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        tmp[i] = buffers[r][i] + buffers[partner][i];
+      }
+      std::copy(tmp.begin(), tmp.end(), buffers[r].begin());
+      std::copy(tmp.begin(), tmp.end(), buffers[partner].begin());
+    }
+  }
+  // Send the result back to the folded ranks.
+  for (std::size_t r = p; r < R; ++r) {
+    std::copy(buffers[r - p].begin(), buffers[r - p].end(),
+              buffers[r].begin());
+  }
+}
+
+void hierarchical_allreduce_sum(std::vector<std::span<float>>& buffers,
+                                std::size_t ranks_per_node) {
+  check_buffers(buffers);
+  DLSR_CHECK(ranks_per_node > 0, "ranks_per_node must be positive");
+  const std::size_t R = buffers.size();
+  if (R == 1) {
+    return;
+  }
+  // Phase 1: intra-node ring allreduce; afterwards every rank of a node
+  // (in particular its leader, the first rank) holds the node sum.
+  for (std::size_t base = 0; base < R; base += ranks_per_node) {
+    const std::size_t end = std::min(base + ranks_per_node, R);
+    std::vector<std::span<float>> local(buffers.begin() + base,
+                                        buffers.begin() + end);
+    ring_allreduce_sum(local);
+  }
+  // Phase 2: ring across node leaders.
+  std::vector<std::span<float>> leaders;
+  for (std::size_t base = 0; base < R; base += ranks_per_node) {
+    leaders.push_back(buffers[base]);
+  }
+  ring_allreduce_sum(leaders);
+  // Phase 3: intra-node broadcast of the global sum.
+  for (std::size_t base = 0; base < R; base += ranks_per_node) {
+    const std::size_t end = std::min(base + ranks_per_node, R);
+    for (std::size_t r = base + 1; r < end; ++r) {
+      std::copy(buffers[base].begin(), buffers[base].end(),
+                buffers[r].begin());
+    }
+  }
+}
+
+void ring_allreduce_average(std::vector<std::span<float>>& buffers) {
+  ring_allreduce_sum(buffers);
+  const float inv = 1.0f / static_cast<float>(buffers.size());
+  for (auto& b : buffers) {
+    for (float& v : b) {
+      v *= inv;
+    }
+  }
+}
+
+}  // namespace dlsr::mpisim

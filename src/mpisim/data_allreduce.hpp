@@ -1,0 +1,37 @@
+// Data-plane allreduce: the actual arithmetic.
+//
+// The timing models in allreduce.hpp answer "how long"; these functions
+// answer "what result" — they run the real reduce-scatter/allgather steps on
+// in-memory buffers, one span per simulated rank. The functional training
+// path (dlsr::hvd::WorkerGroup) uses them to average gradients across model
+// replicas, so distributed training in this repo produces mathematically
+// correct results, and the tests verify the algorithms element-by-element
+// against a direct sum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dlsr::mpisim {
+
+/// In-place sum-allreduce via ring reduce-scatter + ring allgather.
+/// All spans must have equal length. After the call every span holds the
+/// elementwise sum. Chunk boundaries follow the standard M/R split with the
+/// remainder spread over the leading chunks.
+void ring_allreduce_sum(std::vector<std::span<float>>& buffers);
+
+/// In-place sum-allreduce via recursive doubling (ranks need not be a power
+/// of two; the standard fold-in/fold-out handles the remainder).
+void recursive_doubling_allreduce_sum(std::vector<std::span<float>>& buffers);
+
+/// Convenience: sum then divide by rank count (gradient averaging).
+void ring_allreduce_average(std::vector<std::span<float>>& buffers);
+
+/// In-place sum-allreduce with the two-level structure the timing model
+/// uses for large messages: ring allreduce within each node's ranks,
+/// ring across node leaders, broadcast within nodes. `ranks_per_node`
+/// groups consecutive buffers into nodes (the last node may be smaller).
+void hierarchical_allreduce_sum(std::vector<std::span<float>>& buffers,
+                                std::size_t ranks_per_node);
+
+}  // namespace dlsr::mpisim

@@ -1,0 +1,61 @@
+#include "mpisim/env.hpp"
+
+#include "common/strings.hpp"
+
+namespace dlsr::mpisim {
+
+bool MpiEnv::ipc_enabled() const {
+  if (!cuda_visible_devices_pinned) {
+    // Every process sees every local device; IPC always possible (at the
+    // cost of foreign contexts on each GPU).
+    return true;
+  }
+  if (cuda.ipc_requires_mutual_visibility()) {
+    // Pinned visibility hides the peers; IPC handles cannot be opened.
+    return false;
+  }
+  // CUDA >= 10.1: IPC works across visibility sets, but the MPI library
+  // still needs to know the peers exist — that is what MV2_VISIBLE_DEVICES
+  // provides.
+  return mv2_visible_devices_all;
+}
+
+std::size_t MpiEnv::foreign_contexts_per_gpu(std::size_t local_ranks) const {
+  if (cuda_visible_devices_pinned || local_ranks == 0) {
+    return 0;
+  }
+  return local_ranks - 1;
+}
+
+std::string MpiEnv::describe() const {
+  return strfmt(
+      "CUDA %d.%d, CUDA_VISIBLE_DEVICES %s, MV2_VISIBLE_DEVICES %s, "
+      "reg-cache %s, GDR %s -> IPC %s",
+      cuda.major, cuda.minor, cuda_visible_devices_pinned ? "pinned" : "unset",
+      mv2_visible_devices_all ? "all-local" : "unset",
+      use_reg_cache ? "on" : "off", use_gdr ? "on" : "off",
+      ipc_enabled() ? "enabled" : "disabled");
+}
+
+MpiEnv MpiEnv::mpi_default() {
+  MpiEnv e;
+  e.cuda_visible_devices_pinned = true;
+  e.mv2_visible_devices_all = false;
+  e.use_reg_cache = false;
+  return e;
+}
+
+MpiEnv MpiEnv::mpi_reg() {
+  MpiEnv e = mpi_default();
+  e.use_reg_cache = true;
+  return e;
+}
+
+MpiEnv MpiEnv::mpi_opt() {
+  MpiEnv e = mpi_default();
+  e.mv2_visible_devices_all = true;
+  e.use_reg_cache = true;
+  return e;
+}
+
+}  // namespace dlsr::mpisim

@@ -1,0 +1,72 @@
+// Environment semantics: CUDA_VISIBLE_DEVICES vs MV2_VISIBLE_DEVICES.
+//
+// This encodes the paper's §III-C root cause and fix:
+//
+//  * DL frameworks pin CUDA_VISIBLE_DEVICES to the local rank's GPU so
+//    Python libraries stop allocating "overhead kernels" (CUDA contexts) on
+//    every device (Fig. 6a).
+//  * With CUDA < 10.1 semantics, a process whose visible-device set does not
+//    include the peer GPU cannot open a CUDA IPC handle to it — so pinning
+//    CUDA_VISIBLE_DEVICES silently disables the MPI library's IPC designs
+//    and every intra-node GPU transfer falls back to host staging.
+//  * The proposed MV2_VISIBLE_DEVICES gives the MPI library its own device
+//    visibility (all local GPUs) while the framework stays pinned (Fig. 7);
+//    combined with CUDA >= 10.1 this restores IPC.
+//
+// The registration cache flag corresponds to MV2_USE_REG_CACHE (§III-D).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dlsr::mpisim {
+
+/// CUDA runtime version (only the IPC visibility rule depends on it).
+struct CudaRuntime {
+  int major = 10;
+  int minor = 2;
+
+  /// Before CUDA 10.1, IPC between two devices required both to be in the
+  /// process's visible set.
+  bool ipc_requires_mutual_visibility() const {
+    return major < 10 || (major == 10 && minor < 1);
+  }
+};
+
+/// Per-job environment configuration, as the launcher would set it.
+struct MpiEnv {
+  /// Framework behavior: CUDA_VISIBLE_DEVICES pinned to the local rank's
+  /// GPU (true, the recommended practice the paper critiques) or left unset
+  /// (false: Python allocates contexts on every local GPU, Fig. 6a).
+  bool cuda_visible_devices_pinned = true;
+
+  /// MV2_VISIBLE_DEVICES set to all local GPUs (the paper's proposal).
+  bool mv2_visible_devices_all = false;
+
+  /// MV2_USE_REG_CACHE: InfiniBand registration cache.
+  bool use_reg_cache = false;
+
+  /// GPUDirect RDMA available for inter-node transfers.
+  bool use_gdr = true;
+
+  CudaRuntime cuda;
+
+  /// Whether the MPI library can use CUDA IPC for intra-node GPU transfers.
+  bool ipc_enabled() const;
+
+  /// Foreign CUDA contexts resident on each GPU beyond the owning process's
+  /// own (the Fig. 6a overhead): (local_ranks - 1) when the framework is
+  /// unpinned, 0 when pinned.
+  std::size_t foreign_contexts_per_gpu(std::size_t local_ranks) const;
+
+  std::string describe() const;
+
+  /// Preset: default Horovod+MVAPICH2-GDR job ("MPI" in the paper's plots).
+  static MpiEnv mpi_default();
+  /// Preset: default plus registration cache ("MPI-Reg").
+  static MpiEnv mpi_reg();
+  /// Preset: MV2_VISIBLE_DEVICES + registration cache ("MPI-Opt").
+  static MpiEnv mpi_opt();
+};
+
+}  // namespace dlsr::mpisim

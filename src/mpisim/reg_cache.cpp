@@ -1,0 +1,66 @@
+#include "mpisim/reg_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace dlsr::mpisim {
+
+RegistrationCache::RegistrationCache(RegCacheConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  DLSR_CHECK(config_.registration_bandwidth > 0,
+             "registration bandwidth must be positive");
+}
+
+double RegistrationCache::register_time(std::size_t bytes) const {
+  return config_.registration_latency +
+         static_cast<double>(bytes) / config_.registration_bandwidth;
+}
+
+double RegistrationCache::registration_cost(std::uint64_t buf_id,
+                                            std::size_t bytes) {
+  if (!config_.enabled) {
+    // No cache: every message registers (MVAPICH2 alternatively pipelines
+    // through pre-registered bounce buffers; the copy cost is comparable).
+    ++misses_;
+    return register_time(bytes);
+  }
+  auto it = index_.find(buf_id);
+  const bool churned = rng_.uniform() < config_.allocator_churn;
+  if (it != index_.end() && !churned) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh LRU position
+    return 0.0;
+  }
+  if (it != index_.end()) {
+    // Allocator handed this tensor a new address: evict the stale entry.
+    resident_bytes_ -= it->second->second;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  ++misses_;
+  insert(buf_id, bytes);
+  return register_time(bytes);
+}
+
+void RegistrationCache::insert(std::uint64_t buf_id, std::size_t bytes) {
+  while (!lru_.empty() && resident_bytes_ + bytes > config_.capacity_bytes) {
+    const auto& victim = lru_.back();
+    resident_bytes_ -= victim.second;
+    index_.erase(victim.first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(buf_id, bytes);
+  index_[buf_id] = lru_.begin();
+  resident_bytes_ += bytes;
+}
+
+double RegistrationCache::hit_rate() const {
+  const std::size_t total = hits_ + misses_;
+  return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+}
+
+void RegistrationCache::reset_stats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dlsr::mpisim

@@ -1,0 +1,124 @@
+#include "mpisim/transport.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dlsr::mpisim {
+
+const char* path_name(PathKind kind) {
+  switch (kind) {
+    case PathKind::IntraIpc:
+      return "intra-ipc";
+    case PathKind::IntraStaged:
+      return "intra-staged";
+    case PathKind::InterGdr:
+      return "inter-gdr";
+    case PathKind::InterStaged:
+      return "inter-staged";
+  }
+  return "?";
+}
+
+TransportConfig TransportConfig::mvapich2_gdr() { return TransportConfig{}; }
+
+Transport::Transport(sim::Cluster& cluster, MpiEnv env, TransportConfig config,
+                     std::uint64_t seed)
+    : cluster_(cluster),
+      env_(env),
+      config_(config),
+      // One registration cache object stands in for the per-process caches
+      // of every rank (ids are salted per node), so capacity scales with
+      // the node count: 512 MB per node, MVAPICH2's default.
+      reg_cache_(
+          RegCacheConfig{env.use_reg_cache,
+                         512ull * 1024 * 1024 * cluster.node_count(), 5e9,
+                         20e-6, 0.05},
+          seed) {}
+
+PathKind Transport::path_for(std::size_t src_rank, std::size_t dst_rank,
+                             std::size_t bytes) const {
+  if (cluster_.same_node(src_rank, dst_rank)) {
+    if (env_.ipc_enabled() && bytes >= config_.ipc_rndv_threshold) {
+      return PathKind::IntraIpc;
+    }
+    return PathKind::IntraStaged;
+  }
+  return env_.use_gdr ? PathKind::InterGdr : PathKind::InterStaged;
+}
+
+double Transport::ideal_duration(std::size_t src_rank, std::size_t dst_rank,
+                                 std::size_t bytes) const {
+  const double b = static_cast<double>(bytes);
+  switch (path_for(src_rank, dst_rank, bytes)) {
+    case PathKind::IntraIpc:
+      return config_.ipc_latency +
+             b / (cluster_.same_socket(src_rank, dst_rank)
+                      ? config_.ipc_bandwidth
+                      : config_.ipc_cross_socket_bandwidth);
+    case PathKind::IntraStaged:
+      return config_.staged_latency + b / config_.staged_bandwidth;
+    case PathKind::InterGdr:
+      return config_.gdr_latency + b / config_.gdr_bandwidth;
+    case PathKind::InterStaged:
+      return config_.ib_staged_latency + b / config_.ib_staged_bandwidth;
+  }
+  return 0.0;
+}
+
+sim::SimTime Transport::send(std::size_t src_rank, std::size_t dst_rank,
+                             std::size_t bytes, std::uint64_t buf_id,
+                             sim::SimTime ready) {
+  DLSR_CHECK(src_rank != dst_rank, "self-send");
+  const PathKind kind = path_for(src_rank, dst_rank, bytes);
+  const double b = static_cast<double>(bytes);
+  switch (kind) {
+    case PathKind::IntraIpc: {
+      // Receiver maps the exporter's buffer and issues cuMemcpy: occupies
+      // the destination GPU's NVLink port for the copy. Cross-socket pairs
+      // ride the slower X-Bus.
+      const double bw = cluster_.same_socket(src_rank, dst_rank)
+                            ? config_.ipc_bandwidth
+                            : config_.ipc_cross_socket_bandwidth;
+      const double duration = config_.ipc_latency + b / bw;
+      return cluster_.gpu_port(dst_rank).occupy(ready, bytes, duration);
+    }
+    case PathKind::IntraStaged: {
+      // D2H + shm + H2D all flow through the node's host staging bus, which
+      // serializes concurrent staged transfers of every local rank — this
+      // shared resource is what makes no-IPC training collapse (Fig. 10).
+      const double duration =
+          config_.staged_latency + b / config_.staged_bandwidth;
+      return cluster_.host_bus(cluster_.node_of(src_rank))
+          .occupy(ready, bytes, duration);
+    }
+    case PathKind::InterGdr: {
+      const double reg = reg_cache_.registration_cost(buf_id, bytes);
+      const double duration =
+          config_.gdr_latency + reg + b / config_.gdr_bandwidth;
+      // Source-side HCA injects; destination HCA delivers.
+      sim::Link& src_ib = cluster_.least_busy_ib(cluster_.node_of(src_rank));
+      sim::Link& dst_ib = cluster_.least_busy_ib(cluster_.node_of(dst_rank));
+      const sim::SimTime src_done = src_ib.occupy(ready, bytes, duration);
+      return std::max(src_done, dst_ib.occupy(ready, bytes, duration));
+    }
+    case PathKind::InterStaged: {
+      const double reg = reg_cache_.registration_cost(buf_id, bytes);
+      const double duration =
+          config_.ib_staged_latency + reg + b / config_.ib_staged_bandwidth;
+      // Staging touches both hosts' buses and the wire.
+      const std::size_t src_node = cluster_.node_of(src_rank);
+      const std::size_t dst_node = cluster_.node_of(dst_rank);
+      const sim::SimTime staged =
+          cluster_.host_bus(src_node).occupy(ready, bytes,
+                                             b / config_.staged_bandwidth);
+      const sim::SimTime wire =
+          cluster_.least_busy_ib(src_node).occupy(staged, bytes, duration);
+      return cluster_.host_bus(dst_node).occupy(wire, bytes,
+                                                b / config_.staged_bandwidth);
+    }
+  }
+  DLSR_FAIL("unreachable transport path");
+}
+
+}  // namespace dlsr::mpisim

@@ -1,0 +1,87 @@
+// Point-to-point GPU transfer paths of a CUDA-aware MPI library.
+//
+// Four paths, selected per message by the environment and message size:
+//
+//   IntraIpc    — CUDA IPC device-to-device copy over NVLink (paper §II-A).
+//                 Only for intra-node peers, only when MpiEnv::ipc_enabled(),
+//                 and only above a small rendezvous threshold (IPC handle
+//                 setup does not pay off for eager-size messages). Note the
+//                 collective *algorithm* tuning (allreduce.hpp) keeps
+//                 medium messages on host-based algorithms, which is why
+//                 the paper's Table I shows ~0 improvement below 16 MB.
+//   IntraStaged — D2H copy + shared-memory + H2D copy through the host bus
+//                 (the fallback that makes default training slow at scale).
+//   InterGdr    — GPUDirect RDMA straight from device memory to the HCA.
+//   InterStaged — device -> host -> IB -> host -> device (GDR off).
+//
+// Inter-node paths pay InfiniBand registration cost through the
+// RegistrationCache. Effective bandwidths are software-level calibrations
+// (see DESIGN.md §2); physical occupancy is booked on the Cluster's links.
+#pragma once
+
+#include <cstdint>
+
+#include "mpisim/env.hpp"
+#include "mpisim/reg_cache.hpp"
+#include "sim/topology.hpp"
+
+namespace dlsr::mpisim {
+
+enum class PathKind { IntraIpc, IntraStaged, InterGdr, InterStaged };
+
+const char* path_name(PathKind kind);
+
+/// Effective software rates on top of the physical links.
+struct TransportConfig {
+  double ipc_bandwidth = 9.5e9;      ///< IPC copies between NVLink peers, B/s
+  /// IPC copies between GPUs on different sockets cross the Power9 X-Bus
+  /// (paper Fig. 8) and run slower; ring collectives are gated by these
+  /// hops.
+  double ipc_cross_socket_bandwidth = 8.0e9;
+  double ipc_latency = 10e-6;        ///< IPC handle/stream setup per message
+  std::size_t ipc_rndv_threshold = 64 * 1024;
+  double staged_bandwidth = 19.0e9;  ///< matches the host-bus physical rate
+  double staged_latency = 25e-6;
+  double gdr_bandwidth = 10.0e9;     ///< per-port effective GDR rate
+  double gdr_latency = 4e-6;
+  double ib_staged_bandwidth = 5.0e9;
+  double ib_staged_latency = 30e-6;
+
+  /// Calibrated against MVAPICH2-GDR 2.3.5 on Lassen (see DESIGN.md).
+  static TransportConfig mvapich2_gdr();
+};
+
+class Transport {
+ public:
+  Transport(sim::Cluster& cluster, MpiEnv env, TransportConfig config,
+            std::uint64_t seed);
+
+  const MpiEnv& env() const { return env_; }
+  const TransportConfig& config() const { return config_; }
+  sim::Cluster& cluster() { return cluster_; }
+
+  /// Path a message of `bytes` between the two ranks would take.
+  PathKind path_for(std::size_t src_rank, std::size_t dst_rank,
+                    std::size_t bytes) const;
+
+  /// Books the transfer on the physical links; returns completion time.
+  /// `buf_id` identifies the source buffer for registration caching.
+  sim::SimTime send(std::size_t src_rank, std::size_t dst_rank,
+                    std::size_t bytes, std::uint64_t buf_id,
+                    sim::SimTime ready);
+
+  /// Idle-network duration of such a transfer (no contention), seconds.
+  double ideal_duration(std::size_t src_rank, std::size_t dst_rank,
+                        std::size_t bytes) const;
+
+  RegistrationCache& reg_cache() { return reg_cache_; }
+  const RegistrationCache& reg_cache() const { return reg_cache_; }
+
+ private:
+  sim::Cluster& cluster_;
+  MpiEnv env_;
+  TransportConfig config_;
+  RegistrationCache reg_cache_;
+};
+
+}  // namespace dlsr::mpisim

@@ -1,0 +1,82 @@
+#include "ncclsim/nccl.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dlsr::ncclsim {
+
+NcclConfig NcclConfig::nccl_2_8() { return NcclConfig{}; }
+
+NcclCommunicator::NcclCommunicator(sim::Cluster& cluster, NcclConfig config)
+    : cluster_(cluster), config_(config) {
+  DLSR_CHECK(config_.nvlink_bandwidth > 0 && config_.ib_bandwidth > 0,
+             "NCCL bandwidths must be positive");
+  DLSR_CHECK(config_.chunk_bytes > 0, "chunk size must be positive");
+}
+
+sim::SimTime NcclCommunicator::ring_time(std::size_t bytes, sim::SimTime start,
+                                         double traffic_factor) {
+  const std::size_t R = cluster_.total_gpus();
+  if (R <= 1) {
+    return start;
+  }
+  // Each hop carries traffic_factor * bytes overall (2(R-1)/R for
+  // allreduce, ~1 for broadcast), pipelined in chunks.
+  const std::size_t hop_bytes =
+      static_cast<std::size_t>(traffic_factor * static_cast<double>(bytes));
+  const std::size_t chunks =
+      std::max<std::size_t>(1, bytes / config_.chunk_bytes);
+  // Pipeline latency: the chunk train passes every ring position.
+  const double latency =
+      static_cast<double>(2 * (R - 1) + chunks - 1) * config_.step_latency;
+
+  sim::SimTime done = start;
+  for (std::size_t r = 0; r < R; ++r) {
+    const std::size_t next = (r + 1) % R;
+    if (cluster_.same_node(r, next)) {
+      const double dur =
+          static_cast<double>(hop_bytes) / config_.nvlink_bandwidth;
+      done = std::max(done,
+                      cluster_.gpu_port(next).occupy(start, hop_bytes, dur));
+    } else {
+      // A node-boundary crossing occupies the sender's HCA for injection
+      // and the receiver's HCA for delivery. On dual-rail nodes these land
+      // on different ports; single-rail nodes serialize both directions.
+      const double dur = static_cast<double>(hop_bytes) / config_.ib_bandwidth;
+      done = std::max(done, cluster_.least_busy_ib(cluster_.node_of(r))
+                                .occupy(start, hop_bytes, dur));
+      done = std::max(done, cluster_.least_busy_ib(cluster_.node_of(next))
+                                .occupy(start, hop_bytes, dur));
+    }
+  }
+  return done + latency;
+}
+
+sim::SimTime NcclCommunicator::allreduce(std::size_t bytes,
+                                         std::uint64_t buf_id,
+                                         sim::SimTime ready) {
+  (void)buf_id;  // no registration cache: NCCL buffers are persistent
+  DLSR_CHECK(bytes > 0, "empty allreduce");
+  const sim::SimTime start = std::max(ready, engine_busy_until_);
+  const std::size_t R = cluster_.total_gpus();
+  const double factor =
+      R > 1 ? 2.0 * static_cast<double>(R - 1) / static_cast<double>(R) : 0.0;
+  const sim::SimTime done = ring_time(bytes, start, factor);
+  engine_busy_until_ = done;
+  profiler_.record(prof::Collective::Allreduce, bytes, done - start);
+  return done;
+}
+
+sim::SimTime NcclCommunicator::broadcast(std::size_t bytes,
+                                         std::uint64_t buf_id,
+                                         sim::SimTime ready) {
+  (void)buf_id;
+  const sim::SimTime start = std::max(ready, engine_busy_until_);
+  const sim::SimTime done = ring_time(bytes, start, 1.0);
+  engine_busy_until_ = done;
+  profiler_.record(prof::Collective::Broadcast, bytes, done - start);
+  return done;
+}
+
+}  // namespace dlsr::ncclsim

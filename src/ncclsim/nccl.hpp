@@ -1,0 +1,69 @@
+// NCCL-style collective timing model.
+//
+// NCCL (the paper's comparison backend) builds persistent IPC-mapped rings
+// at communicator-init time, so it is immune to the CUDA_VISIBLE_DEVICES
+// pitfall that breaks MPI IPC (it inherits device visibility through the
+// bootstrap exchange and CUDA >= 10.1 peer access). Its allreduce is a flat
+// chunked ring over every GPU: NVLink between node neighbors, one IB rail
+// per ring crossing between nodes. Strengths and weaknesses both follow:
+// excellent intra-node bandwidth, but latency grows linearly with the ring
+// length, which is what separates it from the hierarchical MPI-Opt at 512
+// GPUs in the paper's Figs. 12/13.
+#pragma once
+
+#include <cstdint>
+
+#include "prof/hvprof.hpp"
+#include "sim/topology.hpp"
+
+namespace dlsr::ncclsim {
+
+struct NcclConfig {
+  /// Effective per-GPU ring throughput over NVLink (NCCL 2.8 kernels).
+  double nvlink_bandwidth = 40e9;
+  /// Effective inter-node rate per ring crossing (single EDR rail; NCCL
+  /// 2.8 on Power9 did not aggregate both rails in one ring).
+  double ib_bandwidth = 8.5e9;
+  /// Per-ring-step latency (kernel handshake + wire).
+  double step_latency = 6e-6;
+  /// Pipeline chunk size.
+  std::size_t chunk_bytes = 4ull * 1024 * 1024;
+
+  static NcclConfig nccl_2_8();
+};
+
+class NcclCommunicator {
+ public:
+  NcclCommunicator(sim::Cluster& cluster, NcclConfig config);
+
+  sim::Cluster& cluster() { return cluster_; }
+  const NcclConfig& config() const { return config_; }
+
+  /// Flat ring allreduce entered by all ranks at `ready`.
+  sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready);
+
+  /// Ring broadcast from rank 0.
+  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready);
+
+  /// NCCL progresses on its own streams: overlaps compute.
+  bool overlaps_compute() const { return true; }
+
+  prof::Hvprof& profiler() { return profiler_; }
+  const prof::Hvprof& profiler() const { return profiler_; }
+
+  sim::SimTime engine_busy_until() const { return engine_busy_until_; }
+  void reset_engine() { engine_busy_until_ = 0.0; }
+
+ private:
+  sim::SimTime ring_time(std::size_t bytes, sim::SimTime start,
+                         double traffic_factor);
+
+  sim::Cluster& cluster_;
+  NcclConfig config_;
+  prof::Hvprof profiler_;
+  sim::SimTime engine_busy_until_ = 0.0;
+};
+
+}  // namespace dlsr::ncclsim

@@ -1,0 +1,47 @@
+#include "nn/activations.hpp"
+
+#include "common/error.hpp"
+
+namespace dlsr::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool pos = input[i] > 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+    out[i] = pos ? input[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  DLSR_CHECK(grad_output.same_shape(mask_), "ReLU::backward shape mismatch");
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = grad_output[i] * mask_[i];
+  }
+  return grad_input;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : negative_slope_ * input[i];
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  DLSR_CHECK(grad_output.same_shape(cached_input_),
+             "LeakyReLU::backward shape mismatch");
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] =
+        grad_output[i] * (cached_input_[i] > 0.0f ? 1.0f : negative_slope_);
+  }
+  return grad_input;
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,34 @@
+// Activation layers.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+/// Elementwise max(0, x).
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// Elementwise leaky ReLU with fixed negative slope.
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f)
+      : negative_slope_(negative_slope) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "LeakyReLU"; }
+
+ private:
+  float negative_slope_;
+  Tensor cached_input_;
+};
+
+}  // namespace dlsr::nn

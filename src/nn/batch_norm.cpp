@@ -1,0 +1,147 @@
+#include "nn/batch_norm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlsr::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::full({channels}, 1.0f)),
+      beta_({channels}),
+      gamma_grad_({channels}),
+      beta_grad_({channels}),
+      running_mean_({channels}),
+      running_var_(Tensor::full({channels}, 1.0f)) {
+  DLSR_CHECK(channels > 0, "BatchNorm2d needs channels");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  DLSR_CHECK(input.rank() == 4 && input.dim(1) == channels_,
+             "BatchNorm2d input must be [N, C, H, W] with matching channels");
+  const std::size_t N = input.dim(0);
+  const std::size_t HW = input.dim(2) * input.dim(3);
+  const std::size_t per_channel = N * HW;
+  DLSR_CHECK(per_channel > 0, "empty batch");
+
+  Tensor mean({channels_});
+  Tensor var({channels_});
+  if (training_) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      double acc = 0.0;
+      for (std::size_t n = 0; n < N; ++n) {
+        const float* plane = input.raw() + (n * channels_ + c) * HW;
+        for (std::size_t i = 0; i < HW; ++i) {
+          acc += plane[i];
+        }
+      }
+      mean[c] = static_cast<float>(acc / static_cast<double>(per_channel));
+      double acc2 = 0.0;
+      for (std::size_t n = 0; n < N; ++n) {
+        const float* plane = input.raw() + (n * channels_ + c) * HW;
+        for (std::size_t i = 0; i < HW; ++i) {
+          const double d = plane[i] - mean[c];
+          acc2 += d * d;
+        }
+      }
+      var[c] = static_cast<float>(acc2 / static_cast<double>(per_channel));
+      // Exponential running estimates (biased variance, as PyTorch stores
+      // the unbiased one; the difference is irrelevant for this study).
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  inv_std_ = Tensor({channels_});
+  for (std::size_t c = 0; c < channels_; ++c) {
+    inv_std_[c] = 1.0f / std::sqrt(var[c] + eps_);
+  }
+  x_hat_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* src = input.raw() + (n * channels_ + c) * HW;
+      float* xh = x_hat_.raw() + (n * channels_ + c) * HW;
+      float* dst = out.raw() + (n * channels_ + c) * HW;
+      const float m = mean[c];
+      const float is = inv_std_[c];
+      const float g = gamma_[c];
+      const float b = beta_[c];
+      for (std::size_t i = 0; i < HW; ++i) {
+        xh[i] = (src[i] - m) * is;
+        dst[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  DLSR_CHECK(x_hat_.numel() > 0, "BatchNorm2d::backward before forward");
+  DLSR_CHECK(grad_output.same_shape(x_hat_),
+             "BatchNorm2d::backward shape mismatch");
+  const std::size_t N = grad_output.dim(0);
+  const std::size_t HW = grad_output.dim(2) * grad_output.dim(3);
+  const double per_channel = static_cast<double>(N * HW);
+
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Channel-wise reductions: sum(dy), sum(dy * x_hat).
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* dy = grad_output.raw() + (n * channels_ + c) * HW;
+      const float* xh = x_hat_.raw() + (n * channels_ + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_grad_[c] += static_cast<float>(sum_dy_xhat);
+    beta_grad_[c] += static_cast<float>(sum_dy);
+
+    if (training_) {
+      // dx = gamma * inv_std * (dy - mean(dy) - x_hat * mean(dy*x_hat))
+      const float k = gamma_[c] * inv_std_[c];
+      const float mean_dy = static_cast<float>(sum_dy / per_channel);
+      const float mean_dy_xhat =
+          static_cast<float>(sum_dy_xhat / per_channel);
+      for (std::size_t n = 0; n < N; ++n) {
+        const float* dy = grad_output.raw() + (n * channels_ + c) * HW;
+        const float* xh = x_hat_.raw() + (n * channels_ + c) * HW;
+        float* dx = grad_input.raw() + (n * channels_ + c) * HW;
+        for (std::size_t i = 0; i < HW; ++i) {
+          dx[i] = k * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+        }
+      }
+    } else {
+      // Eval mode: statistics are constants.
+      const float k = gamma_[c] * inv_std_[c];
+      for (std::size_t n = 0; n < N; ++n) {
+        const float* dy = grad_output.raw() + (n * channels_ + c) * HW;
+        float* dx = grad_input.raw() + (n * channels_ + c) * HW;
+        for (std::size_t i = 0; i < HW; ++i) {
+          dx[i] = k * dy[i];
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::collect_parameters(const std::string& prefix,
+                                     std::vector<ParamRef>& out) {
+  const std::string base = prefix.empty() ? "bn" : prefix;
+  out.push_back({base + ".gamma", &gamma_, &gamma_grad_});
+  out.push_back({base + ".beta", &beta_, &beta_grad_});
+}
+
+}  // namespace dlsr::nn

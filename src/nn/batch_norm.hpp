@@ -1,0 +1,49 @@
+// 2-D batch normalization (Ioffe & Szegedy 2015).
+//
+// EDSR's architectural contribution (paper Fig. 5a) is *removing* these
+// layers from the SRResNet residual block — so reproducing the comparison
+// requires having them. Training mode normalizes with batch statistics and
+// maintains running estimates; eval mode uses the running estimates.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<ParamRef>& out) override;
+  std::string kind() const override { return "BatchNorm2d"; }
+
+  /// Training mode (batch statistics) vs eval mode (running statistics).
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  float momentum_;
+  bool training_ = true;
+
+  Tensor gamma_;  // scale, init 1
+  Tensor beta_;   // shift, init 0
+  Tensor gamma_grad_;
+  Tensor beta_grad_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cached from forward for backward.
+  Tensor x_hat_;
+  Tensor inv_std_;  // per channel
+};
+
+}  // namespace dlsr::nn

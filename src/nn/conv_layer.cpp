@@ -1,0 +1,47 @@
+#include "nn/conv_layer.hpp"
+
+#include "common/error.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::nn {
+
+Conv2d::Conv2d(Conv2dSpec spec, Rng& rng, bool bias)
+    : spec_(spec),
+      has_bias_(bias),
+      weight_(spec.weight_shape()),
+      bias_(bias ? Tensor({spec.out_channels}) : Tensor{}),
+      weight_grad_(spec.weight_shape()),
+      bias_grad_(bias ? Tensor({spec.out_channels}) : Tensor{}) {
+  kaiming_normal(weight_, spec_, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  cached_input_ = input;
+  return conv2d_forward(input, weight_, bias_, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  DLSR_CHECK(cached_input_.numel() > 0, "Conv2d::backward before forward");
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;
+  conv2d_backward(cached_input_, weight_, spec_, grad_output, grad_input,
+                  grad_weight, grad_bias, has_bias_);
+  add_inplace(weight_grad_, grad_weight);
+  if (has_bias_) {
+    add_inplace(bias_grad_, grad_bias);
+  }
+  return grad_input;
+}
+
+void Conv2d::collect_parameters(const std::string& prefix,
+                                std::vector<ParamRef>& out) {
+  const std::string base = prefix.empty() ? "conv" : prefix;
+  out.push_back({base + ".weight", &weight_, &weight_grad_});
+  if (has_bias_) {
+    out.push_back({base + ".bias", &bias_, &bias_grad_});
+  }
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,37 @@
+// Trainable 2-D convolution layer.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "tensor/conv2d.hpp"
+
+namespace dlsr::nn {
+
+/// Conv2d with optional bias; weights initialized Kaiming-normal.
+class Conv2d : public Module {
+ public:
+  Conv2d(Conv2dSpec spec, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<ParamRef>& out) override;
+  std::string kind() const override { return "Conv2d"; }
+
+  const Conv2dSpec& spec() const { return spec_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  Tensor& weight_grad() { return weight_grad_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  Conv2dSpec spec_;
+  bool has_bias_;
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;  // saved by forward() for the backward GEMMs
+};
+
+}  // namespace dlsr::nn

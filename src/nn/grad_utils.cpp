@@ -1,0 +1,77 @@
+#include "nn/grad_utils.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::nn {
+
+double global_grad_norm(const std::vector<ParamRef>& params) {
+  double sum = 0.0;
+  for (const auto& p : params) {
+    DLSR_CHECK(p.grad != nullptr, "parameter without gradient: " + p.name);
+    for (std::size_t i = 0; i < p.grad->numel(); ++i) {
+      const double g = (*p.grad)[i];
+      sum += g * g;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double clip_grad_norm(const std::vector<ParamRef>& params, double max_norm) {
+  DLSR_CHECK(max_norm > 0.0, "max_norm must be positive");
+  const double norm = global_grad_norm(params);
+  if (norm > max_norm) {
+    const float factor = static_cast<float>(max_norm / norm);
+    for (const auto& p : params) {
+      scale_inplace(*p.grad, factor);
+    }
+  }
+  return norm;
+}
+
+ParameterEma::ParameterEma(std::vector<ParamRef> params, double decay)
+    : params_(std::move(params)), decay_(decay) {
+  DLSR_CHECK(decay_ > 0.0 && decay_ < 1.0, "decay must be in (0, 1)");
+  DLSR_CHECK(!params_.empty(), "EMA over an empty parameter list");
+  shadow_.reserve(params_.size());
+  for (const auto& p : params_) {
+    shadow_.push_back(*p.value);  // initialize shadow at current weights
+  }
+}
+
+void ParameterEma::update() {
+  DLSR_CHECK(!applied_, "update() while shadow weights are applied");
+  const float d = static_cast<float>(decay_);
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    const Tensor& value = *params_[p].value;
+    Tensor& shadow = shadow_[p];
+    for (std::size_t i = 0; i < value.numel(); ++i) {
+      shadow[i] = d * shadow[i] + (1.0f - d) * value[i];
+    }
+  }
+  ++updates_;
+}
+
+void ParameterEma::apply() {
+  DLSR_CHECK(!applied_, "apply() twice without restore()");
+  backup_.clear();
+  backup_.reserve(params_.size());
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    backup_.push_back(*params_[p].value);
+    *params_[p].value = shadow_[p];
+  }
+  applied_ = true;
+}
+
+void ParameterEma::restore() {
+  DLSR_CHECK(applied_, "restore() without apply()");
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    *params_[p].value = backup_[p];
+  }
+  backup_.clear();
+  applied_ = false;
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,48 @@
+// Gradient and parameter utilities used by large-batch training recipes:
+// global-norm gradient clipping (standard when the effective batch grows
+// with the worker count) and an exponential moving average of parameters
+// (common SR evaluation trick).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+/// L2 norm over all gradients in the list.
+double global_grad_norm(const std::vector<ParamRef>& params);
+
+/// Scales all gradients so their global norm is at most `max_norm`.
+/// Returns the norm before clipping.
+double clip_grad_norm(const std::vector<ParamRef>& params, double max_norm);
+
+/// Exponential moving average of a module's parameters:
+///   shadow = decay * shadow + (1 - decay) * param
+/// apply()/restore() swap the shadow weights in and out for evaluation.
+class ParameterEma {
+ public:
+  ParameterEma(std::vector<ParamRef> params, double decay = 0.999);
+
+  /// Updates the shadow from the current parameter values.
+  void update();
+
+  /// Copies shadow -> parameters (saving the current values for restore()).
+  void apply();
+
+  /// Undoes apply().
+  void restore();
+
+  double decay() const { return decay_; }
+  std::size_t updates() const { return updates_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  double decay_;
+  std::size_t updates_ = 0;
+  bool applied_ = false;
+  std::vector<Tensor> shadow_;
+  std::vector<Tensor> backup_;
+};
+
+}  // namespace dlsr::nn

@@ -1,0 +1,65 @@
+#include "nn/linear.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "nn/init.hpp"
+#include "tensor/matmul.hpp"
+
+namespace dlsr::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      weight_grad_({out_features, in_features}),
+      bias_grad_({out_features}) {
+  kaiming_normal_linear(weight_, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  const std::size_t N = input.dim(0);
+  DLSR_CHECK(input.numel() == N * in_features_,
+             strfmt("Linear expects %zu features, got %zu per sample",
+                    in_features_, input.numel() / N));
+  cached_input_ = input.reshaped({N, in_features_});
+  Tensor out({N, out_features_});
+  // out[N, O] = x[N, I] * W[O, I]^T
+  matmul_a_bt(cached_input_.raw(), weight_.raw(), out.raw(), N, in_features_,
+              out_features_, /*accumulate=*/false);
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      out[n * out_features_ + o] += bias_[o];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  DLSR_CHECK(cached_input_.numel() > 0, "Linear::backward before forward");
+  const std::size_t N = cached_input_.dim(0);
+  DLSR_CHECK(grad_output.shape() == Shape({N, out_features_}),
+             "Linear::backward grad shape mismatch");
+  // dW[O, I] += dY[N, O]^T * X[N, I]
+  matmul_at_b(grad_output.raw(), cached_input_.raw(), weight_grad_.raw(), N,
+              out_features_, in_features_, /*accumulate=*/true);
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      bias_grad_[o] += grad_output[n * out_features_ + o];
+    }
+  }
+  // dX[N, I] = dY[N, O] * W[O, I]
+  Tensor grad_input({N, in_features_});
+  matmul_blocked(grad_output.raw(), weight_.raw(), grad_input.raw(), N,
+                 out_features_, in_features_, /*accumulate=*/false);
+  return grad_input;
+}
+
+void Linear::collect_parameters(const std::string& prefix,
+                                std::vector<ParamRef>& out) {
+  const std::string base = prefix.empty() ? "linear" : prefix;
+  out.push_back({base + ".weight", &weight_, &weight_grad_});
+  out.push_back({base + ".bias", &bias_, &bias_grad_});
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,30 @@
+// Fully-connected layer (used by the classifier baseline head).
+// Input may be [N, F] or [N, F, 1, 1]; output is [N, out_features].
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<ParamRef>& out) override;
+  std::string kind() const override { return "Linear"; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Tensor weight_;  // [out, in]
+  Tensor bias_;    // [out]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;  // flattened [N, in]
+};
+
+}  // namespace dlsr::nn

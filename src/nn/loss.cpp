@@ -1,0 +1,74 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlsr::nn {
+
+LossResult l1_loss(const Tensor& pred, const Tensor& target) {
+  DLSR_CHECK(pred.same_shape(target), "l1_loss shape mismatch");
+  DLSR_CHECK(pred.numel() > 0, "l1_loss on empty tensors");
+  LossResult result;
+  result.grad = Tensor(pred.shape());
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += std::fabs(static_cast<double>(d));
+    result.grad[i] = (d > 0.0f ? inv_n : (d < 0.0f ? -inv_n : 0.0f));
+  }
+  result.value = acc / static_cast<double>(pred.numel());
+  return result;
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  DLSR_CHECK(pred.same_shape(target), "mse_loss shape mismatch");
+  DLSR_CHECK(pred.numel() > 0, "mse_loss on empty tensors");
+  LossResult result;
+  result.grad = Tensor(pred.shape());
+  const float scale = 2.0f / static_cast<float>(pred.numel());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += static_cast<double>(d) * static_cast<double>(d);
+    result.grad[i] = scale * d;
+  }
+  result.value = acc / static_cast<double>(pred.numel());
+  return result;
+}
+
+LossResult cross_entropy_loss(const Tensor& logits,
+                              const std::vector<std::size_t>& labels) {
+  DLSR_CHECK(logits.rank() == 2, "cross_entropy expects [N, C] logits");
+  const std::size_t N = logits.dim(0);
+  const std::size_t C = logits.dim(1);
+  DLSR_CHECK(labels.size() == N, "one label per sample required");
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  for (std::size_t n = 0; n < N; ++n) {
+    DLSR_CHECK(labels[n] < C, "label out of range");
+    const float* row = logits.raw() + n * C;
+    float maxv = row[0];
+    for (std::size_t c = 1; c < C; ++c) {
+      maxv = std::max(maxv, row[c]);
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      denom += std::exp(static_cast<double>(row[c] - maxv));
+    }
+    const double log_denom = std::log(denom);
+    loss += log_denom - static_cast<double>(row[labels[n]] - maxv);
+    float* grow = result.grad.raw() + n * C;
+    for (std::size_t c = 0; c < C; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - maxv)) / denom;
+      grow[c] = static_cast<float>(
+          (p - (c == labels[n] ? 1.0 : 0.0)) / static_cast<double>(N));
+    }
+  }
+  result.value = loss / static_cast<double>(N);
+  return result;
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,62 @@
+#include "nn/lr_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlsr::nn {
+
+void LrScheduler::step() {
+  optimizer_.set_learning_rate(rate_at(steps_));
+  ++steps_;
+}
+
+StepDecay::StepDecay(Optimizer& optimizer, std::size_t period, double gamma)
+    : LrScheduler(optimizer), period_(period), gamma_(gamma) {
+  DLSR_CHECK(period_ > 0, "decay period must be positive");
+  DLSR_CHECK(gamma_ > 0.0 && gamma_ <= 1.0, "gamma must be in (0, 1]");
+}
+
+double StepDecay::rate_at(std::size_t step) const {
+  return base_lr_ *
+         std::pow(gamma_, static_cast<double>(step / period_));
+}
+
+MultiStepDecay::MultiStepDecay(Optimizer& optimizer,
+                               std::vector<std::size_t> milestones,
+                               double gamma)
+    : LrScheduler(optimizer), milestones_(std::move(milestones)),
+      gamma_(gamma) {
+  DLSR_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()),
+             "milestones must be sorted");
+  DLSR_CHECK(gamma_ > 0.0 && gamma_ <= 1.0, "gamma must be in (0, 1]");
+}
+
+double MultiStepDecay::rate_at(std::size_t step) const {
+  const auto passed = static_cast<double>(
+      std::upper_bound(milestones_.begin(), milestones_.end(), step) -
+      milestones_.begin());
+  return base_lr_ * std::pow(gamma_, passed);
+}
+
+WarmupSchedule::WarmupSchedule(Optimizer& optimizer, std::size_t warmup_steps,
+                               double start_fraction)
+    : LrScheduler(optimizer),
+      warmup_steps_(warmup_steps),
+      start_fraction_(start_fraction) {
+  DLSR_CHECK(warmup_steps_ > 0, "warmup needs at least one step");
+  DLSR_CHECK(start_fraction_ > 0.0 && start_fraction_ <= 1.0,
+             "start fraction must be in (0, 1]");
+}
+
+double WarmupSchedule::rate_at(std::size_t step) const {
+  if (step >= warmup_steps_) {
+    return base_lr_;
+  }
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(warmup_steps_);
+  return base_lr_ * (start_fraction_ + (1.0 - start_fraction_) * progress);
+}
+
+}  // namespace dlsr::nn

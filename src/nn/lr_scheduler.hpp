@@ -1,0 +1,86 @@
+// Learning-rate schedules.
+//
+// EDSR's recipe halves the learning rate every 2e5 steps (StepDecay); the
+// distributed-training literature the paper builds on (Goyal et al.) adds a
+// linear warmup when the effective batch grows with the worker count — the
+// practice that accompanies the paper's §III-A "scale the learning rate by
+// the number of devices".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+
+namespace dlsr::nn {
+
+/// Interface: call step() once per optimizer step; it adjusts the
+/// optimizer's learning rate before use.
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer& optimizer)
+      : optimizer_(optimizer), base_lr_(optimizer.learning_rate()) {}
+  virtual ~LrScheduler() = default;
+
+  /// Advances one step and applies the new rate to the optimizer.
+  void step();
+
+  std::size_t step_count() const { return steps_; }
+  double base_lr() const { return base_lr_; }
+  double current_lr() const { return optimizer_.learning_rate(); }
+
+ protected:
+  /// Rate for step index `step` (0-based).
+  virtual double rate_at(std::size_t step) const = 0;
+
+  Optimizer& optimizer_;
+  double base_lr_;
+
+ private:
+  std::size_t steps_ = 0;
+};
+
+/// lr = base * gamma^(step / period)  — EDSR uses gamma 0.5, period 2e5.
+class StepDecay : public LrScheduler {
+ public:
+  StepDecay(Optimizer& optimizer, std::size_t period, double gamma = 0.5);
+
+ protected:
+  double rate_at(std::size_t step) const override;
+
+ private:
+  std::size_t period_;
+  double gamma_;
+};
+
+/// lr = base * gamma^(number of milestones passed).
+class MultiStepDecay : public LrScheduler {
+ public:
+  MultiStepDecay(Optimizer& optimizer, std::vector<std::size_t> milestones,
+                 double gamma = 0.5);
+
+ protected:
+  double rate_at(std::size_t step) const override;
+
+ private:
+  std::vector<std::size_t> milestones_;  // sorted
+  double gamma_;
+};
+
+/// Linear warmup from base/workers to base over `warmup_steps`, then an
+/// inner schedule (may be null for constant-after-warmup). Implements the
+/// gradual-warmup rule for lr scaled by the worker count.
+class WarmupSchedule : public LrScheduler {
+ public:
+  WarmupSchedule(Optimizer& optimizer, std::size_t warmup_steps,
+                 double start_fraction = 0.1);
+
+ protected:
+  double rate_at(std::size_t step) const override;
+
+ private:
+  std::size_t warmup_steps_;
+  double start_fraction_;
+};
+
+}  // namespace dlsr::nn

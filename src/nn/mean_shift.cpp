@@ -1,0 +1,36 @@
+#include "nn/mean_shift.hpp"
+
+#include "common/error.hpp"
+
+namespace dlsr::nn {
+
+MeanShift::MeanShift(std::array<float, 3> rgb_mean, int sign) {
+  DLSR_CHECK(sign == 1 || sign == -1, "MeanShift sign must be +/-1");
+  for (std::size_t c = 0; c < 3; ++c) {
+    shift_[c] = static_cast<float>(sign) * rgb_mean[c];
+  }
+}
+
+Tensor MeanShift::forward(const Tensor& input) {
+  DLSR_CHECK(input.rank() == 4 && input.dim(1) == 3,
+             "MeanShift expects NCHW RGB input");
+  Tensor out = input;
+  const std::size_t N = input.dim(0);
+  const std::size_t HW = input.dim(2) * input.dim(3);
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      float* plane = out.raw() + (n * 3 + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        plane[i] += shift_[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MeanShift::backward(const Tensor& grad_output) {
+  // Adding a constant has identity Jacobian.
+  return grad_output;
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,26 @@
+// MeanShift: the fixed (non-trainable) per-channel normalization EDSR applies
+// at its head and tail — subtract the dataset RGB mean on input, add it back
+// on output. Implemented as a layer so the model graph matches the reference
+// EDSR-PyTorch code structure.
+#pragma once
+
+#include <array>
+
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+class MeanShift : public Module {
+ public:
+  /// sign = -1 subtracts the mean (head); sign = +1 adds it back (tail).
+  MeanShift(std::array<float, 3> rgb_mean, int sign);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "MeanShift"; }
+
+ private:
+  std::array<float, 3> shift_;
+};
+
+}  // namespace dlsr::nn

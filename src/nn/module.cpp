@@ -1,0 +1,68 @@
+#include "nn/module.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::nn {
+
+void Module::collect_parameters(const std::string& /*prefix*/,
+                                std::vector<ParamRef>& /*out*/) {}
+
+std::vector<ParamRef> Module::parameters() {
+  std::vector<ParamRef> out;
+  collect_parameters("", out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) {
+    if (p.grad) {
+      p.grad->zero();
+    }
+  }
+}
+
+std::size_t Module::parameter_count() {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) {
+    n += p.numel();
+  }
+  return n;
+}
+
+Module* Sequential::add(std::unique_ptr<Module> child) {
+  DLSR_CHECK(child != nullptr, "Sequential::add(nullptr)");
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Module& Sequential::child(std::size_t i) {
+  DLSR_CHECK(i < children_.size(), "Sequential child index out of range");
+  return *children_[i];
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& child : children_) {
+    x = child->forward(x);
+  }
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_parameters(const std::string& prefix,
+                                    std::vector<ParamRef>& out) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->collect_parameters(
+        prefix.empty() ? strfmt("%zu", i) : prefix + strfmt(".%zu", i), out);
+  }
+}
+
+}  // namespace dlsr::nn

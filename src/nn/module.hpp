@@ -1,0 +1,82 @@
+// Layer abstraction with explicit forward/backward.
+//
+// This is a tape-free design: each Module caches whatever it needs from its
+// own forward() and replays it in backward(). Composite modules (Sequential,
+// ResBlock, Edsr, ...) chain child backward() calls in reverse. The model
+// graphs in this paper are straight-line (no fan-out except the residual
+// skips, which the composite layers handle internally), so a general
+// autograd tape would be complexity without benefit.
+//
+// Parameters are exposed through ParamRef so optimizers and the Horovod
+// middleware can iterate gradients without knowing layer internals — this
+// mirrors how Horovod hooks framework gradient tensors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr::nn {
+
+/// Non-owning handle to one trainable parameter and its gradient.
+struct ParamRef {
+  std::string name;  ///< hierarchical, e.g. "body.3.conv1.weight"
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+
+  std::size_t numel() const { return value ? value->numel() : 0; }
+  std::size_t size_bytes() const { return value ? value->size_bytes() : 0; }
+};
+
+/// Base class for all layers.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output; caches activations needed by backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Propagates grad wrt output to grad wrt input; accumulates parameter
+  /// gradients. Must be called after forward() with a matching shape.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Appends this module's parameters under `prefix` (empty for none).
+  virtual void collect_parameters(const std::string& prefix,
+                                  std::vector<ParamRef>& out);
+
+  /// Convenience: all parameters rooted at this module.
+  std::vector<ParamRef> parameters();
+
+  /// Clears every parameter gradient.
+  void zero_grad();
+
+  /// Total trainable elements.
+  std::size_t parameter_count();
+
+  virtual std::string kind() const = 0;
+};
+
+/// Runs children in order; backward in reverse order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a child (takes ownership); returns a raw observer pointer.
+  Module* add(std::unique_ptr<Module> child);
+
+  std::size_t child_count() const { return children_.size(); }
+  Module& child(std::size_t i);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<ParamRef>& out) override;
+  std::string kind() const override { return "Sequential"; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace dlsr::nn

@@ -1,0 +1,87 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dlsr::nn {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) {
+    if (p.grad) {
+      p.grad->zero();
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.emplace_back(p.value->shape());
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& w = *params_[pi].value;
+    const Tensor& g = *params_[pi].grad;
+    DLSR_CHECK(w.same_shape(g), "Sgd: weight/grad shape mismatch");
+    const float lr = static_cast<float>(lr_);
+    const float wd = static_cast<float>(weight_decay_);
+    if (momentum_ == 0.0) {
+      for (std::size_t i = 0; i < w.numel(); ++i) {
+        w[i] -= lr * (g[i] + wd * w[i]);
+      }
+    } else {
+      Tensor& v = velocity_[pi];
+      const float mu = static_cast<float>(momentum_);
+      for (std::size_t i = 0; i < w.numel(); ++i) {
+        v[i] = mu * v[i] + g[i] + wd * w[i];
+        w[i] -= lr * v[i];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& w = *params_[pi].value;
+    const Tensor& g = *params_[pi].grad;
+    DLSR_CHECK(w.same_shape(g), "Adam: weight/grad shape mismatch");
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      w[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps);
+    }
+  }
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,67 @@
+// Optimizers over ParamRef lists.
+//
+// The distributed-training middleware (dlsr::hvd) wraps any Optimizer in a
+// DistributedOptimizer that allreduces gradients before step() — the same
+// layering Horovod uses.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+/// Interface: one step() applies current gradients to parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad();
+  const std::vector<ParamRef>& params() const { return params_; }
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<ParamRef> params_;
+  double lr_ = 1e-4;  // EDSR default (Adam, lr 1e-4)
+};
+
+/// SGD with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+
+  void step() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the optimizer EDSR uses.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, double lr = 1e-4, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+
+  void step() override;
+
+  std::size_t step_count() const { return t_; }
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace dlsr::nn

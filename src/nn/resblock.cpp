@@ -1,0 +1,47 @@
+#include "nn/resblock.hpp"
+
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::nn {
+namespace {
+
+Conv2dSpec same_conv(std::size_t features, std::size_t kernel) {
+  Conv2dSpec spec;
+  spec.in_channels = features;
+  spec.out_channels = features;
+  spec.kernel = kernel;
+  spec.stride = 1;
+  spec.padding = kernel / 2;
+  return spec;
+}
+
+}  // namespace
+
+ResBlock::ResBlock(std::size_t features, std::size_t kernel, float res_scale,
+                   Rng& rng)
+    : res_scale_(res_scale),
+      conv1_(same_conv(features, kernel), rng),
+      conv2_(same_conv(features, kernel), rng) {}
+
+Tensor ResBlock::forward(const Tensor& input) {
+  Tensor branch = conv2_.forward(relu_.forward(conv1_.forward(input)));
+  scale_inplace(branch, res_scale_);
+  add_inplace(branch, input);  // skip connection
+  return branch;
+}
+
+Tensor ResBlock::backward(const Tensor& grad_output) {
+  // d/dx [x + s * f(x)] = grad + s * f'(x)^T grad
+  Tensor branch_grad = scale(grad_output, res_scale_);
+  branch_grad = conv1_.backward(relu_.backward(conv2_.backward(branch_grad)));
+  add_inplace(branch_grad, grad_output);
+  return branch_grad;
+}
+
+void ResBlock::collect_parameters(const std::string& prefix,
+                                  std::vector<ParamRef>& out) {
+  conv1_.collect_parameters(prefix + ".conv1", out);
+  conv2_.collect_parameters(prefix + ".conv2", out);
+}
+
+}  // namespace dlsr::nn

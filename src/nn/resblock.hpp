@@ -1,0 +1,38 @@
+// EDSR residual block (Lim et al. 2017, Fig. 5a right).
+//
+// EDSR removes the batch-norm layers of the original ResNet / SRResNet
+// blocks (the paper's Fig. 5a) and scales the residual branch by a constant
+// (0.1 for the large model) to stabilize training:
+//
+//   out = x + res_scale * conv2(relu(conv1(x)))
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+class ResBlock : public Module {
+ public:
+  /// `features`: channel count (same in/out); `res_scale`: residual scaling.
+  ResBlock(std::size_t features, std::size_t kernel, float res_scale,
+           Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(const std::string& prefix,
+                          std::vector<ParamRef>& out) override;
+  std::string kind() const override { return "ResBlock"; }
+
+  float res_scale() const { return res_scale_; }
+
+ private:
+  float res_scale_;
+  Conv2d conv1_;
+  ReLU relu_;
+  Conv2d conv2_;
+};
+
+}  // namespace dlsr::nn

@@ -1,0 +1,124 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::nn {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'L', 'S', 'R', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DLSR_CHECK(in.good(), "truncated checkpoint");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  DLSR_CHECK(n < (1u << 20), "implausible name length in checkpoint");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  DLSR_CHECK(in.good(), "truncated checkpoint");
+  return s;
+}
+
+std::ifstream open_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DLSR_CHECK(in.good(), "cannot open checkpoint " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  DLSR_CHECK(in.good() && std::equal(magic, magic + 8, kMagic),
+             path + " is not a dlsr checkpoint");
+  const std::uint32_t version = read_u32(in);
+  DLSR_CHECK(version == kVersion,
+             strfmt("unsupported checkpoint version %u", version));
+  return in;
+}
+
+}  // namespace
+
+void save_parameters(Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DLSR_CHECK(out.good(), "cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  const auto params = module.parameters();
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    write_string(out, p.name);
+    const Shape& shape = p.value->shape();
+    write_u32(out, static_cast<std::uint32_t>(shape.size()));
+    for (const std::size_t d : shape) {
+      write_u32(out, static_cast<std::uint32_t>(d));
+    }
+    out.write(reinterpret_cast<const char*>(p.value->raw()),
+              static_cast<std::streamsize>(p.value->size_bytes()));
+  }
+  DLSR_CHECK(out.good(), "failed writing " + path);
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream in = open_checkpoint(path);
+  const std::uint32_t count = read_u32(in);
+
+  struct Stored {
+    Shape shape;
+    std::vector<float> data;
+  };
+  std::map<std::string, Stored> stored;
+  for (std::uint32_t t = 0; t < count; ++t) {
+    const std::string name = read_string(in);
+    const std::uint32_t rank = read_u32(in);
+    DLSR_CHECK(rank <= 8, "implausible tensor rank in checkpoint");
+    Stored s;
+    std::size_t numel = 1;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      s.shape.push_back(read_u32(in));
+      numel *= s.shape.back();
+    }
+    s.data.resize(numel);
+    in.read(reinterpret_cast<char*>(s.data.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    DLSR_CHECK(in.good(), "truncated checkpoint tensor " + name);
+    DLSR_CHECK(stored.emplace(name, std::move(s)).second,
+               "duplicate tensor in checkpoint: " + name);
+  }
+
+  const auto params = module.parameters();
+  DLSR_CHECK(params.size() == stored.size(),
+             strfmt("checkpoint has %zu tensors, module has %zu",
+                    stored.size(), params.size()));
+  for (const auto& p : params) {
+    const auto it = stored.find(p.name);
+    DLSR_CHECK(it != stored.end(), "checkpoint missing tensor " + p.name);
+    DLSR_CHECK(it->second.shape == p.value->shape(),
+               strfmt("shape mismatch for %s: checkpoint %s vs module %s",
+                      p.name.c_str(),
+                      shape_to_string(it->second.shape).c_str(),
+                      shape_to_string(p.value->shape()).c_str()));
+    *p.value = Tensor(it->second.shape, std::move(it->second.data));
+  }
+}
+
+std::size_t checkpoint_tensor_count(const std::string& path) {
+  std::ifstream in = open_checkpoint(path);
+  return read_u32(in);
+}
+
+}  // namespace dlsr::nn

@@ -1,0 +1,27 @@
+// Checkpointing: save/load a module's parameters.
+//
+// Binary format ("DLSRCKPT", version, then per parameter: name, rank,
+// dims, float32 data — little-endian). Loading is by-name with exact shape
+// checks, so checkpoints survive refactors that reorder parameters but fail
+// loudly on architecture mismatches.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace dlsr::nn {
+
+/// Writes every parameter of `module` to `path`. Throws dlsr::Error on I/O
+/// failure.
+void save_parameters(Module& module, const std::string& path);
+
+/// Loads parameters by name into `module`. Every parameter of the module
+/// must be present in the file with a matching shape; extra tensors in the
+/// file are an error too (a wrong-architecture checkpoint should not load).
+void load_parameters(Module& module, const std::string& path);
+
+/// Number of parameter tensors stored in a checkpoint file (inspection).
+std::size_t checkpoint_tensor_count(const std::string& path);
+
+}  // namespace dlsr::nn

@@ -1,0 +1,80 @@
+#include "nn/upsampler.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "tensor/pixel_shuffle.hpp"
+
+namespace dlsr::nn {
+namespace {
+
+Conv2dSpec expand_conv(std::size_t features, std::size_t r) {
+  Conv2dSpec spec;
+  spec.in_channels = features;
+  spec.out_channels = features * r * r;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  return spec;
+}
+
+}  // namespace
+
+SubPixelStage::SubPixelStage(std::size_t features, std::size_t r, Rng& rng)
+    : r_(r), conv_(expand_conv(features, r), rng) {
+  DLSR_CHECK(r >= 2, "SubPixelStage factor must be >= 2");
+}
+
+Tensor SubPixelStage::forward(const Tensor& input) {
+  return pixel_shuffle(conv_.forward(input), r_);
+}
+
+Tensor SubPixelStage::backward(const Tensor& grad_output) {
+  // pixel_shuffle is a permutation, so its adjoint is the inverse shuffle.
+  return conv_.backward(pixel_unshuffle(grad_output, r_));
+}
+
+void SubPixelStage::collect_parameters(const std::string& prefix,
+                                       std::vector<ParamRef>& out) {
+  conv_.collect_parameters(prefix + ".conv", out);
+}
+
+Upsampler::Upsampler(std::size_t features, std::size_t scale, Rng& rng)
+    : scale_(scale) {
+  DLSR_CHECK(scale >= 1 && scale <= 4 && scale != 0,
+             strfmt("unsupported upsampling scale %zu", scale));
+  if (scale == 2 || scale == 4) {
+    std::size_t remaining = scale;
+    while (remaining > 1) {
+      stages_.push_back(std::make_unique<SubPixelStage>(features, 2, rng));
+      remaining /= 2;
+    }
+  } else if (scale == 3) {
+    stages_.push_back(std::make_unique<SubPixelStage>(features, 3, rng));
+  }
+  // scale == 1: no stages (identity), used by tests.
+}
+
+Tensor Upsampler::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& stage : stages_) {
+    x = stage->forward(x);
+  }
+  return x;
+}
+
+Tensor Upsampler::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Upsampler::collect_parameters(const std::string& prefix,
+                                   std::vector<ParamRef>& out) {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stages_[i]->collect_parameters(prefix + strfmt(".%zu", i), out);
+  }
+}
+
+}  // namespace dlsr::nn

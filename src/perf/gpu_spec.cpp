@@ -1,0 +1,36 @@
+#include "perf/gpu_spec.hpp"
+
+#include "common/units.hpp"
+
+namespace dlsr::perf {
+
+GpuSpec GpuSpec::v100_16gb() {
+  GpuSpec g;
+  g.name = "Tesla V100-SXM2-16GB";
+  g.fp32_flops = tflops(15.7);
+  g.hbm_bandwidth = gbps(900.0);
+  g.memory_bytes = 16 * GiB;
+  g.kernel_launch_s = microseconds(8.0);
+  return g;
+}
+
+EfficiencyCalibration EfficiencyCalibration::edsr() {
+  EfficiencyCalibration c;
+  c.compute_efficiency = 0.38;  // fit to 10.3 img/s (paper Fig. 1)
+  return c;
+}
+
+EfficiencyCalibration EfficiencyCalibration::resnet50() {
+  EfficiencyCalibration c;
+  // Classification shapes hit cuDNN's fastest kernels and amortize Python
+  // overhead over larger batches; both constants fit to 360 img/s (Fig. 1).
+  c.compute_efficiency = 0.90;
+  c.framework_overhead_s = 4e-3;
+  return c;
+}
+
+EfficiencyCalibration EfficiencyCalibration::generic() {
+  return EfficiencyCalibration{};
+}
+
+}  // namespace dlsr::perf

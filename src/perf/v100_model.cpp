@@ -1,0 +1,108 @@
+#include "perf/v100_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dlsr::perf {
+
+PerfModel::PerfModel(GpuSpec gpu, EfficiencyCalibration calib)
+    : gpu_(std::move(gpu)), calib_(calib) {
+  DLSR_CHECK(gpu_.fp32_flops > 0 && gpu_.hbm_bandwidth > 0,
+             "GPU spec must have positive rates");
+  DLSR_CHECK(calib_.compute_efficiency > 0 && calib_.compute_efficiency <= 1,
+             "compute efficiency must be in (0, 1]");
+}
+
+double PerfModel::roofline_time(double flops, double bytes) const {
+  const double compute =
+      flops / (gpu_.fp32_flops * calib_.compute_efficiency);
+  const double memory =
+      bytes / (gpu_.hbm_bandwidth * calib_.memory_efficiency);
+  return std::max(compute, memory) + gpu_.kernel_launch_s;
+}
+
+double PerfModel::layer_forward_time(const models::LayerDesc& layer,
+                                     std::size_t batch) const {
+  const double b = static_cast<double>(batch);
+  // Forward reads the input and weights, writes the output.
+  const double bytes =
+      b * static_cast<double>(layer.input_bytes + layer.output_bytes) +
+      static_cast<double>(layer.param_bytes());
+  return roofline_time(b * layer.fwd_flops, bytes);
+}
+
+double PerfModel::layer_backward_time(const models::LayerDesc& layer,
+                                      std::size_t batch) const {
+  const double b = static_cast<double>(batch);
+  if (!layer.trainable()) {
+    // Stateless layers: dX costs about one forward (reads grad + cached
+    // input, writes grad).
+    const double bytes =
+        b * static_cast<double>(2 * layer.output_bytes + layer.input_bytes);
+    return roofline_time(b * layer.fwd_flops, bytes);
+  }
+  // Trainable layers: dX GEMM + dW GEMM, each about one forward.
+  const double bytes =
+      b * static_cast<double>(2 * layer.input_bytes + 2 * layer.output_bytes) +
+      2.0 * static_cast<double>(layer.param_bytes());
+  return roofline_time(2.0 * b * layer.fwd_flops, bytes) +
+         gpu_.kernel_launch_s;  // two kernels
+}
+
+StepTime PerfModel::step_time(const models::ModelGraph& graph,
+                              std::size_t batch) const {
+  DLSR_CHECK(batch > 0, "batch must be positive");
+  StepTime t;
+  for (const auto& layer : graph.layers()) {
+    t.forward += layer_forward_time(layer, batch);
+    t.backward += layer_backward_time(layer, batch);
+  }
+  // Optimizer (Adam): elementwise over parameters — read w/g/m/v, write
+  // w/m/v; ~7 accesses plus ~10 FLOPs per element.
+  const double pbytes = static_cast<double>(graph.param_bytes());
+  t.optimizer = roofline_time(10.0 * static_cast<double>(graph.param_count()),
+                              7.0 * pbytes);
+  t.overhead = calib_.framework_overhead_s;
+  return t;
+}
+
+double PerfModel::images_per_second(const models::ModelGraph& graph,
+                                    std::size_t batch) const {
+  return static_cast<double>(batch) / step_time(graph, batch).total();
+}
+
+std::size_t PerfModel::training_memory_bytes(
+    const models::ModelGraph& graph, std::size_t batch,
+    std::size_t extra_context_bytes) const {
+  const std::size_t params = graph.param_bytes();
+  // weights + grads + Adam m/v
+  const std::size_t states = 4 * params;
+  // Training holds every forward activation for backward, plus gradient
+  // activations of comparable size while backward runs.
+  const std::size_t activations =
+      2 * graph.activation_bytes_per_item() * batch;
+  // conv workspace (im2col / cuDNN algo scratch): ~kernel^2 blow-up of the
+  // single largest activation; 9x of the largest layer is a fair stand-in.
+  std::size_t largest = 0;
+  for (const auto& l : graph.layers()) {
+    largest = std::max(largest, l.input_bytes);
+  }
+  const std::size_t workspace = 9 * largest * batch;
+  // PyTorch's caching allocator fragments; ~35% slack is typical before
+  // cudaMalloc OOMs in practice.
+  const double fragmentation = 1.35;
+  return static_cast<std::size_t>(
+             fragmentation *
+             static_cast<double>(states + activations + workspace)) +
+         kCudaContextBytes + extra_context_bytes;
+}
+
+bool PerfModel::fits_in_memory(const models::ModelGraph& graph,
+                               std::size_t batch,
+                               std::size_t extra_context_bytes) const {
+  return training_memory_bytes(graph, batch, extra_context_bytes) <=
+         gpu_.memory_bytes;
+}
+
+}  // namespace dlsr::perf

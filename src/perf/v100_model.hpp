@@ -1,0 +1,76 @@
+// Analytic single-GPU training performance model (roofline + overheads).
+//
+// Per layer and pass, the kernel time is
+//     max(FLOPs / (peak_flops * compute_eff),
+//         bytes_moved / (hbm_bw * memory_eff)) + kernel_launch
+// summed over the graph; a per-iteration framework overhead (Python +
+// dataloader + launch queueing) is added once per step. This reproduces the
+// paper's Fig. 1 (EDSR 10.3 vs ResNet-50 360 images/s on one V100) and
+// drives the compute side of every distributed experiment.
+//
+// Memory model (for the Fig. 9 batch-size study):
+//     weights + gradients + Adam moments  (4x parameter bytes)
+//   + cached activations * batch          (training keeps them for backward)
+//   + im2col-style workspace
+//   + CUDA context overhead(s)            (see mpisim: the "overhead
+//                                          kernels" of the paper's Fig. 6)
+#pragma once
+
+#include <cstddef>
+
+#include "models/model_graph.hpp"
+#include "perf/gpu_spec.hpp"
+
+namespace dlsr::perf {
+
+/// Per-step time decomposition (seconds).
+struct StepTime {
+  double forward = 0.0;
+  double backward = 0.0;
+  double optimizer = 0.0;
+  double overhead = 0.0;
+  double total() const { return forward + backward + optimizer + overhead; }
+};
+
+class PerfModel {
+ public:
+  PerfModel(GpuSpec gpu, EfficiencyCalibration calib);
+
+  const GpuSpec& gpu() const { return gpu_; }
+
+  /// Kernel time of one layer for the whole batch (forward pass).
+  double layer_forward_time(const models::LayerDesc& layer,
+                            std::size_t batch) const;
+  /// Backward kernel time (dX + dW for trainable layers).
+  double layer_backward_time(const models::LayerDesc& layer,
+                             std::size_t batch) const;
+
+  /// Full training-step decomposition for the graph at the given batch size.
+  StepTime step_time(const models::ModelGraph& graph, std::size_t batch) const;
+
+  /// Single-GPU training throughput, images/second.
+  double images_per_second(const models::ModelGraph& graph,
+                           std::size_t batch) const;
+
+  /// Estimated training-resident bytes (see header comment).
+  /// `extra_context_bytes` models foreign CUDA contexts on this device.
+  std::size_t training_memory_bytes(const models::ModelGraph& graph,
+                                    std::size_t batch,
+                                    std::size_t extra_context_bytes = 0) const;
+
+  bool fits_in_memory(const models::ModelGraph& graph, std::size_t batch,
+                      std::size_t extra_context_bytes = 0) const;
+
+ private:
+  double roofline_time(double flops, double bytes) const;
+
+  GpuSpec gpu_;
+  EfficiencyCalibration calib_;
+};
+
+/// Bytes of one process's CUDA context + allocator pool on a device — the
+/// paper's "overhead kernel" footprint (Fig. 6a). Roughly 300 MB per process
+/// per visible device for CUDA 10.x era PyTorch.
+inline constexpr std::size_t kCudaContextBytes = 300ull * 1024 * 1024;
+
+}  // namespace dlsr::perf

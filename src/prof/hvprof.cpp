@@ -1,0 +1,139 @@
+#include "prof/hvprof.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace dlsr::prof {
+
+const char* collective_name(Collective c) {
+  switch (c) {
+    case Collective::Allreduce:
+      return "MPI_Allreduce";
+    case Collective::Broadcast:
+      return "MPI_Bcast";
+    case Collective::Allgather:
+      return "MPI_Allgather";
+  }
+  return "?";
+}
+
+const std::array<std::size_t, Hvprof::kBucketCount - 1>&
+Hvprof::bucket_bounds() {
+  static const std::array<std::size_t, kBucketCount - 1> bounds = {
+      128 * KiB, 16 * MiB, 32 * MiB, 64 * MiB};
+  return bounds;
+}
+
+const std::array<const char*, Hvprof::kBucketCount>& Hvprof::bucket_labels() {
+  static const std::array<const char*, kBucketCount> labels = {
+      "1-128 KB", "128 KB - 16 MB", "16 MB - 32 MB", "32 MB - 64 MB",
+      "> 64 MB"};
+  return labels;
+}
+
+std::size_t Hvprof::bucket_index(std::size_t bytes) {
+  // Bucket upper bounds are inclusive, matching the paper's Table I labels
+  // (a 64 MB fused buffer belongs to "32 MB - 64 MB").
+  const auto& bounds = bucket_bounds();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (bytes <= bounds[i]) {
+      return i;
+    }
+  }
+  return kBucketCount - 1;
+}
+
+void Hvprof::record(Collective collective, std::size_t bytes, double seconds) {
+  DLSR_CHECK(seconds >= 0.0, "negative collective duration");
+  auto& b = stats_[static_cast<std::size_t>(collective)][bucket_index(bytes)];
+  ++b.count;
+  b.bytes += bytes;
+  b.time += seconds;
+}
+
+const BucketStats& Hvprof::bucket(Collective collective,
+                                  std::size_t index) const {
+  DLSR_CHECK(index < kBucketCount, "bucket index out of range");
+  return stats_[static_cast<std::size_t>(collective)][index];
+}
+
+double Hvprof::total_time(Collective collective) const {
+  double total = 0.0;
+  for (const auto& b : stats_[static_cast<std::size_t>(collective)]) {
+    total += b.time;
+  }
+  return total;
+}
+
+std::size_t Hvprof::total_count(Collective collective) const {
+  std::size_t total = 0;
+  for (const auto& b : stats_[static_cast<std::size_t>(collective)]) {
+    total += b.count;
+  }
+  return total;
+}
+
+Table Hvprof::report(Collective collective) const {
+  Table t({"Message Size", "Count", "Total Bytes", "Time (ms)"});
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const BucketStats& b = bucket(collective, i);
+    t.add_row({bucket_labels()[i], strfmt("%zu", b.count),
+               format_bytes(b.bytes), strfmt("%.1f", b.time * 1e3)});
+  }
+  t.add_row({"Total", strfmt("%zu", total_count(collective)), "",
+             strfmt("%.1f", total_time(collective) * 1e3)});
+  return t;
+}
+
+Table Hvprof::compare(const Hvprof& default_run, const Hvprof& optimized_run,
+                      Collective collective) {
+  Table t({"Message Size (Bytes)", "Default (ms)", "Optimized (ms)",
+           "Improvement (%)"});
+  const auto improvement = [](double d, double o) {
+    if (d <= 0.0) {
+      return std::string("-");
+    }
+    const double pct = (d - o) / d * 100.0;
+    // The paper prints "~0" for noise-level differences.
+    if (pct < 2.0 && pct > -8.0) {
+      return std::string("~ 0");
+    }
+    return strfmt("%.1f", pct);
+  };
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const double d = default_run.bucket(collective, i).time * 1e3;
+    const double o = optimized_run.bucket(collective, i).time * 1e3;
+    if (d == 0.0 && o == 0.0) {
+      continue;  // the paper's table omits empty buckets
+    }
+    t.add_row({bucket_labels()[i], strfmt("%.1f", d), strfmt("%.1f", o),
+               improvement(d, o)});
+  }
+  const double dt = default_run.total_time(collective) * 1e3;
+  const double ot = optimized_run.total_time(collective) * 1e3;
+  t.add_row({"Total Time", strfmt("%.1f", dt), strfmt("%.1f", ot),
+             improvement(dt, ot)});
+  return t;
+}
+
+std::string Hvprof::to_csv() const {
+  Table t({"collective", "bucket", "count", "bytes", "time_ms"});
+  for (std::size_t c = 0; c < kCollectives; ++c) {
+    const auto collective = static_cast<Collective>(c);
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      const BucketStats& s = stats_[c][b];
+      if (s.count == 0) {
+        continue;
+      }
+      t.add_row({collective_name(collective), bucket_labels()[b],
+                 strfmt("%zu", s.count), strfmt("%zu", s.bytes),
+                 strfmt("%.3f", s.time * 1e3)});
+    }
+  }
+  return t.to_csv();
+}
+
+void Hvprof::reset() { stats_ = {}; }
+
+}  // namespace dlsr::prof

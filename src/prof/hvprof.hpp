@@ -1,0 +1,66 @@
+// hvprof — communication profiler for the Horovod/MPI layer.
+//
+// Reimplements the diagnostic methodology of Awan et al. (HotI'19), the tool
+// the paper uses (§III-B): every collective is recorded with its message
+// size and duration, aggregated into the message-size buckets of the paper's
+// Table I / Fig. 14:
+//   1 B – 128 KB, 128 KB – 16 MB, 16 MB – 32 MB, 32 MB – 64 MB, > 64 MB.
+// Reports render as ASCII tables matching the paper's layout, including the
+// default-vs-optimized comparison with percentage improvements.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace dlsr::prof {
+
+enum class Collective { Allreduce, Broadcast, Allgather };
+
+const char* collective_name(Collective c);
+
+/// One message-size bucket's accumulated totals.
+struct BucketStats {
+  std::size_t count = 0;
+  std::size_t bytes = 0;
+  double time = 0.0;  ///< seconds
+};
+
+class Hvprof {
+ public:
+  /// Bucket boundaries (upper bounds, inclusive), bytes.
+  static constexpr std::size_t kBucketCount = 5;
+  static const std::array<std::size_t, kBucketCount - 1>& bucket_bounds();
+  static const std::array<const char*, kBucketCount>& bucket_labels();
+  static std::size_t bucket_index(std::size_t bytes);
+
+  /// Records one collective completion.
+  void record(Collective collective, std::size_t bytes, double seconds);
+
+  const BucketStats& bucket(Collective collective, std::size_t index) const;
+  double total_time(Collective collective) const;
+  std::size_t total_count(Collective collective) const;
+
+  /// Fig. 14-style profile for one collective.
+  Table report(Collective collective) const;
+
+  /// Table-I-style comparison: per-bucket time, default vs optimized, with
+  /// percentage improvement and the total row.
+  static Table compare(const Hvprof& default_run, const Hvprof& optimized_run,
+                       Collective collective);
+
+  /// Machine-readable dump: one CSV row per (collective, bucket) with
+  /// count, bytes, and time — for external plotting.
+  std::string to_csv() const;
+
+  void reset();
+
+ private:
+  static constexpr std::size_t kCollectives = 3;
+  std::array<std::array<BucketStats, kBucketCount>, kCollectives> stats_{};
+};
+
+}  // namespace dlsr::prof

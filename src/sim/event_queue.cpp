@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::sim {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+  DLSR_CHECK(t >= now_,
+             strfmt("cannot schedule in the past (%g < %g)", t, now_));
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(SimTime dt, std::function<void()> fn) {
+  DLSR_CHECK(dt >= 0.0, "negative delay");
+  at(now_ + dt, std::move(fn));
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    // The callback may schedule more events; copy out before popping.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  now_ = std::max(now_, deadline);
+  return now_;
+}
+
+}  // namespace dlsr::sim

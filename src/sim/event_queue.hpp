@@ -1,0 +1,56 @@
+// Discrete-event simulation engine.
+//
+// Deterministic: events at equal timestamps fire in scheduling order (a
+// monotone sequence number breaks ties), so simulations are reproducible
+// regardless of platform. Time is simulated seconds (double).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dlsr::sim {
+
+using SimTime = double;
+
+/// Min-heap of (time, seq) -> callback.
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `dt` seconds from now (dt >= 0).
+  void after(SimTime dt, std::function<void()> fn);
+
+  /// Runs events until the queue is empty. Returns the final time.
+  SimTime run();
+
+  /// Runs events with time <= `deadline`; pending later events remain.
+  SimTime run_until(SimTime deadline);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dlsr::sim

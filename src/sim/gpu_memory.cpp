@@ -1,0 +1,43 @@
+#include "sim/gpu_memory.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::sim {
+
+GpuMemory::GpuMemory(std::string name, std::size_t capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {
+  DLSR_CHECK(capacity_ > 0, "GPU capacity must be positive");
+}
+
+bool GpuMemory::allocate(const std::string& tag, std::size_t bytes) {
+  if (used_ + bytes > capacity_) {
+    return false;
+  }
+  used_ += bytes;
+  by_tag_[tag] += bytes;
+  return true;
+}
+
+void GpuMemory::release(const std::string& tag, std::size_t bytes) {
+  auto it = by_tag_.find(tag);
+  DLSR_CHECK(it != by_tag_.end() && it->second >= bytes,
+             strfmt("release of %zu bytes exceeds tag balance", bytes));
+  it->second -= bytes;
+  used_ -= bytes;
+  if (it->second == 0) {
+    by_tag_.erase(it);
+  }
+}
+
+std::size_t GpuMemory::used_by(const std::string& tag) const {
+  const auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? 0 : it->second;
+}
+
+void GpuMemory::reset() {
+  used_ = 0;
+  by_tag_.clear();
+}
+
+}  // namespace dlsr::sim

@@ -1,0 +1,49 @@
+// Per-GPU device-memory accounting.
+//
+// Used to model the paper's Fig. 6 "overhead kernel" problem: when Python
+// libraries see every local device, each of the node's processes allocates a
+// CUDA context (and allocator pool) on *every* GPU, eating memory that the
+// training job needs. Allocations are tracked by a tag so experiments can
+// report the breakdown.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace dlsr::sim {
+
+class GpuMemory {
+ public:
+  GpuMemory(std::string name, std::size_t capacity_bytes);
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t available() const { return capacity_ - used_; }
+
+  /// Reserves bytes under `tag`. Returns false (no change) if it would
+  /// exceed capacity — the caller decides whether that is an OOM error.
+  [[nodiscard]] bool allocate(const std::string& tag, std::size_t bytes);
+
+  /// Releases bytes under `tag` (must not exceed the tag's balance).
+  void release(const std::string& tag, std::size_t bytes);
+
+  /// Current bytes held by a tag (0 if unknown).
+  std::size_t used_by(const std::string& tag) const;
+
+  /// Tag -> bytes snapshot.
+  const std::map<std::string, std::size_t>& breakdown() const {
+    return by_tag_;
+  }
+
+  void reset();
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::map<std::string, std::size_t> by_tag_;
+};
+
+}  // namespace dlsr::sim

@@ -1,0 +1,46 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dlsr::sim {
+
+Link::Link(std::string name, LinkSpec spec)
+    : name_(std::move(name)), spec_(spec) {
+  DLSR_CHECK(spec_.bandwidth > 0.0, "link bandwidth must be positive");
+  DLSR_CHECK(spec_.latency >= 0.0, "link latency must be non-negative");
+}
+
+double Link::ideal_duration(std::size_t bytes) const {
+  return spec_.latency + static_cast<double>(bytes) / spec_.bandwidth;
+}
+
+SimTime Link::transfer(SimTime ready, std::size_t bytes) {
+  return occupy(ready, bytes, ideal_duration(bytes));
+}
+
+SimTime Link::occupy(SimTime ready, std::size_t bytes, double duration) {
+  DLSR_CHECK(duration >= 0.0, "negative transfer duration");
+  duration *= degradation_;
+  const SimTime start = std::max(ready, busy_until_);
+  busy_until_ = start + duration;
+  total_bytes_ += bytes;
+  busy_time_ += duration;
+  ++transfers_;
+  return busy_until_;
+}
+
+void Link::degrade(double factor) {
+  DLSR_CHECK(factor >= 1.0, "degradation factor must be >= 1");
+  degradation_ = factor;
+}
+
+void Link::reset() {
+  busy_until_ = 0.0;
+  total_bytes_ = 0;
+  busy_time_ = 0.0;
+  transfers_ = 0;
+}
+
+}  // namespace dlsr::sim

@@ -1,0 +1,71 @@
+// FIFO bandwidth resources.
+//
+// A Link models one serializing transfer resource (an NVLink port, a host
+// memory bus, an InfiniBand HCA port). Transfers occupy the link back to
+// back: a transfer requested with readiness time `ready` starts at
+// max(ready, busy_until) and takes latency + bytes/bandwidth. Contention
+// between concurrent transfers therefore emerges from request order, which
+// the callers keep deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/event_queue.hpp"
+
+namespace dlsr::sim {
+
+/// Static link parameters.
+struct LinkSpec {
+  double bandwidth = 0.0;  ///< bytes/second (effective, not marketing peak)
+  double latency = 0.0;    ///< per-transfer setup latency, seconds
+};
+
+/// One serializing transfer resource with utilization accounting.
+class Link {
+ public:
+  Link(std::string name, LinkSpec spec);
+
+  const std::string& name() const { return name_; }
+  const LinkSpec& spec() const { return spec_; }
+
+  /// Books a transfer of `bytes` that becomes ready at `ready`.
+  /// Returns its completion time and advances the link occupancy.
+  SimTime transfer(SimTime ready, std::size_t bytes);
+
+  /// Books an occupancy with an explicitly computed duration. Software
+  /// layers (MPI transports, NCCL kernels) reach different effective rates
+  /// on the same physical link; they compute the duration and book it here
+  /// so contention accounting still happens on the physical resource.
+  SimTime occupy(SimTime ready, std::size_t bytes, double duration);
+
+  /// Duration such a transfer would take on an idle link.
+  double ideal_duration(std::size_t bytes) const;
+
+  SimTime busy_until() const { return busy_until_; }
+  std::size_t total_bytes() const { return total_bytes_; }
+  double busy_time() const { return busy_time_; }
+  std::size_t transfer_count() const { return transfers_; }
+
+  /// Failure injection: stretches every subsequent transfer/occupancy
+  /// duration by `factor` (>= 1; 1 = healthy). Models a flapping or
+  /// congested link without changing the caller's rate math.
+  void degrade(double factor);
+  double degradation() const { return degradation_; }
+
+  /// Clears occupancy and statistics (new experiment on the same topology).
+  /// Degradation persists across reset (it is a property of the hardware,
+  /// not of the run).
+  void reset();
+
+ private:
+  std::string name_;
+  LinkSpec spec_;
+  SimTime busy_until_ = 0.0;
+  double degradation_ = 1.0;
+  std::size_t total_bytes_ = 0;
+  double busy_time_ = 0.0;
+  std::size_t transfers_ = 0;
+};
+
+}  // namespace dlsr::sim

@@ -1,0 +1,238 @@
+#include "tensor/conv2d.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/matmul.hpp"
+
+namespace dlsr {
+namespace {
+
+void check_conv_args(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv2dSpec& spec) {
+  DLSR_CHECK(input.rank() == 4, "conv2d input must be NCHW");
+  DLSR_CHECK(weight.rank() == 4, "conv2d weight must be [Co,Ci,K,K]");
+  DLSR_CHECK(input.dim(1) == spec.in_channels,
+             strfmt("input channels %zu != spec %zu", input.dim(1),
+                    spec.in_channels));
+  DLSR_CHECK(weight.shape() == spec.weight_shape(),
+             strfmt("weight shape %s != spec %s",
+                    shape_to_string(weight.shape()).c_str(),
+                    shape_to_string(spec.weight_shape()).c_str()));
+  DLSR_CHECK(bias.numel() == 0 || bias.shape() == Shape{spec.out_channels},
+             "bias must be empty or [out_channels]");
+  DLSR_CHECK(spec.stride >= 1, "stride must be >= 1");
+  DLSR_CHECK(input.dim(2) + 2 * spec.padding >= spec.kernel &&
+                 input.dim(3) + 2 * spec.padding >= spec.kernel,
+             "kernel larger than padded input");
+}
+
+}  // namespace
+
+std::size_t Conv2dSpec::out_extent(std::size_t in_extent) const {
+  return (in_extent + 2 * padding - kernel) / stride + 1;
+}
+
+Shape Conv2dSpec::weight_shape() const {
+  return {out_channels, in_channels, kernel, kernel};
+}
+
+Tensor conv2d_forward_naive(const Tensor& input, const Tensor& weight,
+                            const Tensor& bias, const Conv2dSpec& spec) {
+  check_conv_args(input, weight, bias, spec);
+  const std::size_t N = input.dim(0);
+  const std::size_t H = input.dim(2);
+  const std::size_t W = input.dim(3);
+  const std::size_t Ho = spec.out_extent(H);
+  const std::size_t Wo = spec.out_extent(W);
+  const std::size_t K = spec.kernel;
+  Tensor out({N, spec.out_channels, Ho, Wo});
+  const long pad = static_cast<long>(spec.padding);
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t co = 0; co < spec.out_channels; ++co) {
+      const float b = bias.numel() ? bias[co] : 0.0f;
+      for (std::size_t ho = 0; ho < Ho; ++ho) {
+        for (std::size_t wo = 0; wo < Wo; ++wo) {
+          float acc = b;
+          for (std::size_t ci = 0; ci < spec.in_channels; ++ci) {
+            for (std::size_t kh = 0; kh < K; ++kh) {
+              const long h = static_cast<long>(ho * spec.stride + kh) - pad;
+              if (h < 0 || h >= static_cast<long>(H)) continue;
+              for (std::size_t kw = 0; kw < K; ++kw) {
+                const long w = static_cast<long>(wo * spec.stride + kw) - pad;
+                if (w < 0 || w >= static_cast<long>(W)) continue;
+                acc += input.at4(n, ci, static_cast<std::size_t>(h),
+                                 static_cast<std::size_t>(w)) *
+                       weight.at4(co, ci, kh, kw);
+              }
+            }
+          }
+          out.at4(n, co, ho, wo) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void im2col(const float* input, std::size_t channels, std::size_t height,
+            std::size_t width, const Conv2dSpec& spec, float* columns) {
+  const std::size_t K = spec.kernel;
+  const std::size_t Ho = spec.out_extent(height);
+  const std::size_t Wo = spec.out_extent(width);
+  const long pad = static_cast<long>(spec.padding);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* plane = input + c * height * width;
+    for (std::size_t kh = 0; kh < K; ++kh) {
+      for (std::size_t kw = 0; kw < K; ++kw, ++row) {
+        float* dst = columns + row * Ho * Wo;
+        for (std::size_t ho = 0; ho < Ho; ++ho) {
+          const long h = static_cast<long>(ho * spec.stride + kh) - pad;
+          if (h < 0 || h >= static_cast<long>(height)) {
+            std::memset(dst + ho * Wo, 0, Wo * sizeof(float));
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(h) * width;
+          for (std::size_t wo = 0; wo < Wo; ++wo) {
+            const long w = static_cast<long>(wo * spec.stride + kw) - pad;
+            dst[ho * Wo + wo] =
+                (w < 0 || w >= static_cast<long>(width))
+                    ? 0.0f
+                    : src[static_cast<std::size_t>(w)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, const Conv2dSpec& spec, float* input_grad) {
+  const std::size_t K = spec.kernel;
+  const std::size_t Ho = spec.out_extent(height);
+  const std::size_t Wo = spec.out_extent(width);
+  const long pad = static_cast<long>(spec.padding);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = input_grad + c * height * width;
+    for (std::size_t kh = 0; kh < K; ++kh) {
+      for (std::size_t kw = 0; kw < K; ++kw, ++row) {
+        const float* src = columns + row * Ho * Wo;
+        for (std::size_t ho = 0; ho < Ho; ++ho) {
+          const long h = static_cast<long>(ho * spec.stride + kh) - pad;
+          if (h < 0 || h >= static_cast<long>(height)) continue;
+          float* dstrow = plane + static_cast<std::size_t>(h) * width;
+          for (std::size_t wo = 0; wo < Wo; ++wo) {
+            const long w = static_cast<long>(wo * spec.stride + kw) - pad;
+            if (w < 0 || w >= static_cast<long>(width)) continue;
+            dstrow[static_cast<std::size_t>(w)] += src[ho * Wo + wo];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  check_conv_args(input, weight, bias, spec);
+  const std::size_t N = input.dim(0);
+  const std::size_t H = input.dim(2);
+  const std::size_t W = input.dim(3);
+  const std::size_t Ho = spec.out_extent(H);
+  const std::size_t Wo = spec.out_extent(W);
+  const std::size_t col_rows = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t col_cols = Ho * Wo;
+  Tensor out({N, spec.out_channels, Ho, Wo});
+
+  parallel_for(0, N, [&](std::size_t n) {
+    std::vector<float> columns(col_rows * col_cols);
+    im2col(input.raw() + n * spec.in_channels * H * W, spec.in_channels, H, W,
+           spec, columns.data());
+    float* out_n = out.raw() + n * spec.out_channels * col_cols;
+    // out[Co, HoWo] = weight[Co, CiKK] * columns[CiKK, HoWo]
+    matmul_blocked(weight.raw(), columns.data(), out_n, spec.out_channels,
+                   col_rows, col_cols, /*accumulate=*/false);
+    if (bias.numel()) {
+      for (std::size_t co = 0; co < spec.out_channels; ++co) {
+        const float b = bias[co];
+        float* row = out_n + co * col_cols;
+        for (std::size_t i = 0; i < col_cols; ++i) {
+          row[i] += b;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Conv2dSpec& spec, const Tensor& grad_output,
+                     Tensor& grad_input, Tensor& grad_weight,
+                     Tensor& grad_bias, bool bias_present) {
+  check_conv_args(input, weight, Tensor{}, spec);
+  const std::size_t N = input.dim(0);
+  const std::size_t H = input.dim(2);
+  const std::size_t W = input.dim(3);
+  const std::size_t Ho = spec.out_extent(H);
+  const std::size_t Wo = spec.out_extent(W);
+  DLSR_CHECK(grad_output.shape() == Shape({N, spec.out_channels, Ho, Wo}),
+             "conv2d_backward: grad_output shape mismatch");
+  const std::size_t col_rows = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t col_cols = Ho * Wo;
+
+  grad_input = Tensor(input.shape());
+  grad_weight = Tensor(weight.shape());
+  if (bias_present) {
+    grad_bias = Tensor({spec.out_channels});
+  }
+
+  // Samples are independent once grad_weight/grad_bias accumulate into
+  // per-sample partials, so the batch loop shards across the pool like the
+  // forward pass. The sequential reduction afterwards keeps results
+  // bit-identical regardless of thread count.
+  std::vector<std::vector<float>> weight_partials(
+      N, std::vector<float>(grad_weight.numel(), 0.0f));
+  std::vector<std::vector<float>> bias_partials(
+      bias_present ? N : 0, std::vector<float>(spec.out_channels, 0.0f));
+  parallel_for(0, N, [&](std::size_t n) {
+    std::vector<float> columns(col_rows * col_cols);
+    std::vector<float> grad_columns(col_rows * col_cols);
+    const float* in_n = input.raw() + n * spec.in_channels * H * W;
+    const float* go_n = grad_output.raw() + n * spec.out_channels * col_cols;
+    im2col(in_n, spec.in_channels, H, W, spec, columns.data());
+    // grad_weight[Co, CiKK] += grad_out[Co, HoWo] * columns[CiKK, HoWo]^T
+    matmul_a_bt(go_n, columns.data(), weight_partials[n].data(),
+                spec.out_channels, col_cols, col_rows, /*accumulate=*/true);
+    // grad_columns[CiKK, HoWo] = weight[Co, CiKK]^T * grad_out[Co, HoWo]
+    matmul_at_b(weight.raw(), go_n, grad_columns.data(), spec.out_channels,
+                col_rows, col_cols, /*accumulate=*/false);
+    col2im(grad_columns.data(), spec.in_channels, H, W, spec,
+           grad_input.raw() + n * spec.in_channels * H * W);
+    if (bias_present) {
+      for (std::size_t co = 0; co < spec.out_channels; ++co) {
+        const float* row = go_n + co * col_cols;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < col_cols; ++i) {
+          acc += row[i];
+        }
+        bias_partials[n][co] = acc;
+      }
+    }
+  });
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t i = 0; i < grad_weight.numel(); ++i) {
+      grad_weight[i] += weight_partials[n][i];
+    }
+    if (bias_present) {
+      for (std::size_t co = 0; co < spec.out_channels; ++co) {
+        grad_bias[co] += bias_partials[n][co];
+      }
+    }
+  }
+}
+
+}  // namespace dlsr

@@ -1,0 +1,57 @@
+// 2-D convolution (NCHW) forward and backward kernels.
+//
+// Two forward implementations are provided:
+//  * conv2d_forward_naive — direct 7-loop reference, used as ground truth
+//    in tests and for tiny problem sizes;
+//  * conv2d_forward — im2col + blocked GEMM, the production path.
+// The backward pass computes input/weight/bias gradients via the transposed
+// GEMMs over the same im2col buffer.
+//
+// Weight layout: [out_channels, in_channels, kernel, kernel].
+// Bias layout: [out_channels]; pass an empty tensor for no bias.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr {
+
+/// Static convolution parameters (square kernels, symmetric padding).
+struct Conv2dSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+
+  /// Output spatial size for an input extent (floor division as in PyTorch).
+  std::size_t out_extent(std::size_t in_extent) const;
+  /// Weight tensor shape for this spec.
+  Shape weight_shape() const;
+};
+
+/// Reference direct convolution.
+Tensor conv2d_forward_naive(const Tensor& input, const Tensor& weight,
+                            const Tensor& bias, const Conv2dSpec& spec);
+
+/// im2col + GEMM convolution (production path).
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec);
+
+/// Gradients of the convolution. Outputs are overwritten (not accumulated).
+/// `grad_bias` is skipped when `bias_present` is false.
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Conv2dSpec& spec, const Tensor& grad_output,
+                     Tensor& grad_input, Tensor& grad_weight,
+                     Tensor& grad_bias, bool bias_present);
+
+/// Unpacks one sample [C,H,W] into columns [C*K*K, Ho*Wo].
+void im2col(const float* input, std::size_t channels, std::size_t height,
+            std::size_t width, const Conv2dSpec& spec, float* columns);
+
+/// Accumulates columns [C*K*K, Ho*Wo] back into one sample [C,H,W].
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, const Conv2dSpec& spec, float* input_grad);
+
+}  // namespace dlsr

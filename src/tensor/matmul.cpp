@@ -1,0 +1,105 @@
+#include "tensor/matmul.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr {
+
+void matmul_naive(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * n + j] : 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void matmul_blocked(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n, bool accumulate) {
+  // Tile sizes chosen so one A tile + one B tile + one C tile fit in L1
+  // (32 KiB): 64*64*4B * 3 tiles would overflow, so A is kept narrow.
+  constexpr std::size_t MB = 32;
+  constexpr std::size_t KB = 64;
+  constexpr std::size_t NB = 256;
+  if (!accumulate) {
+    std::memset(c, 0, m * n * sizeof(float));
+  }
+  for (std::size_t i0 = 0; i0 < m; i0 += MB) {
+    const std::size_t i1 = std::min(i0 + MB, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += KB) {
+      const std::size_t p1 = std::min(p0 + KB, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += NB) {
+        const std::size_t j1 = std::min(j0 + NB, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          for (std::size_t p = p0; p < p1; ++p) {
+            const float av = a[i * k + p];
+            const float* brow = b + p * n;
+            for (std::size_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DLSR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 inputs");
+  DLSR_CHECK(a.dim(1) == b.dim(0),
+             strfmt("matmul inner dims differ: %zu vs %zu", a.dim(1),
+                    b.dim(0)));
+  Tensor c({a.dim(0), b.dim(1)});
+  matmul_blocked(a.raw(), b.raw(), c.raw(), a.dim(0), a.dim(1), b.dim(1),
+                 /*accumulate=*/false);
+  return c;
+}
+
+void matmul_at_b(const float* a, const float* b, float* c, std::size_t k,
+                 std::size_t m, std::size_t n, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, m * n * sizeof(float));
+  }
+  // C[i, j] += sum_p A[p, i] * B[p, j]; iterate p outermost so both reads
+  // stream contiguously.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, bool accumulate) {
+  // C[i, j] = sum_p A[i, p] * B[j, p]; dot of two contiguous rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = accumulate ? c[i * n + j] : 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += arow[p] * brow[p];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace dlsr

@@ -1,0 +1,66 @@
+#include "tensor/pixel_shuffle.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr {
+
+Tensor pixel_shuffle(const Tensor& input, std::size_t r) {
+  DLSR_CHECK(input.rank() == 4, "pixel_shuffle input must be NCHW");
+  DLSR_CHECK(r >= 1, "pixel_shuffle factor must be >= 1");
+  const std::size_t N = input.dim(0);
+  const std::size_t C_in = input.dim(1);
+  const std::size_t H = input.dim(2);
+  const std::size_t W = input.dim(3);
+  DLSR_CHECK(C_in % (r * r) == 0,
+             strfmt("channels %zu not divisible by r^2=%zu", C_in, r * r));
+  const std::size_t C = C_in / (r * r);
+  Tensor out({N, C, H * r, W * r});
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t dy = 0; dy < r; ++dy) {
+        for (std::size_t dx = 0; dx < r; ++dx) {
+          // PyTorch layout: input channel = c*r^2 + dy*r + dx.
+          const std::size_t ci = c * r * r + dy * r + dx;
+          for (std::size_t h = 0; h < H; ++h) {
+            for (std::size_t w = 0; w < W; ++w) {
+              out.at4(n, c, h * r + dy, w * r + dx) = input.at4(n, ci, h, w);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pixel_unshuffle(const Tensor& input, std::size_t r) {
+  DLSR_CHECK(input.rank() == 4, "pixel_unshuffle input must be NCHW");
+  DLSR_CHECK(r >= 1, "pixel_unshuffle factor must be >= 1");
+  const std::size_t N = input.dim(0);
+  const std::size_t C = input.dim(1);
+  const std::size_t Hr = input.dim(2);
+  const std::size_t Wr = input.dim(3);
+  DLSR_CHECK(Hr % r == 0 && Wr % r == 0,
+             "pixel_unshuffle spatial dims must be divisible by r");
+  const std::size_t H = Hr / r;
+  const std::size_t W = Wr / r;
+  Tensor out({N, C * r * r, H, W});
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t dy = 0; dy < r; ++dy) {
+        for (std::size_t dx = 0; dx < r; ++dx) {
+          const std::size_t co = c * r * r + dy * r + dx;
+          for (std::size_t h = 0; h < H; ++h) {
+            for (std::size_t w = 0; w < W; ++w) {
+              out.at4(n, co, h, w) = input.at4(n, c, h * r + dy, w * r + dx);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dlsr

@@ -1,0 +1,21 @@
+// Pixel shuffle (depth-to-space), the sub-pixel upsampling primitive used by
+// EDSR's tail (Shi et al., "Real-Time Single Image and Video Super-Resolution
+// Using an Efficient Sub-Pixel Convolutional Neural Network").
+//
+// Forward rearranges [N, C*r^2, H, W] -> [N, C, H*r, W*r]; backward is the
+// exact inverse permutation (space-to-depth), so no arithmetic is involved.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr {
+
+/// [N, C*r^2, H, W] -> [N, C, H*r, W*r]. Requires channels % r^2 == 0.
+Tensor pixel_shuffle(const Tensor& input, std::size_t r);
+
+/// Inverse: [N, C, H*r, W*r] -> [N, C*r^2, H, W].
+Tensor pixel_unshuffle(const Tensor& input, std::size_t r);
+
+}  // namespace dlsr

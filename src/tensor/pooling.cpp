@@ -1,0 +1,110 @@
+#include "tensor/pooling.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dlsr {
+
+Tensor max_pool2d(const Tensor& input, std::size_t window, std::size_t stride,
+                  std::size_t padding, std::vector<std::size_t>* argmax) {
+  DLSR_CHECK(input.rank() == 4, "max_pool2d input must be NCHW");
+  DLSR_CHECK(window >= 1 && stride >= 1, "window/stride must be >= 1");
+  const std::size_t N = input.dim(0);
+  const std::size_t C = input.dim(1);
+  const std::size_t H = input.dim(2);
+  const std::size_t W = input.dim(3);
+  DLSR_CHECK(H + 2 * padding >= window && W + 2 * padding >= window,
+             "window larger than padded input");
+  const std::size_t Ho = (H + 2 * padding - window) / stride + 1;
+  const std::size_t Wo = (W + 2 * padding - window) / stride + 1;
+  Tensor out({N, C, Ho, Wo});
+  if (argmax) {
+    argmax->assign(out.numel(), 0);
+  }
+  const long pad = static_cast<long>(padding);
+  std::size_t oi = 0;
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const float* plane = input.raw() + (n * C + c) * H * W;
+      for (std::size_t ho = 0; ho < Ho; ++ho) {
+        for (std::size_t wo = 0; wo < Wo; ++wo, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t kh = 0; kh < window; ++kh) {
+            const long h = static_cast<long>(ho * stride + kh) - pad;
+            if (h < 0 || h >= static_cast<long>(H)) continue;
+            for (std::size_t kw = 0; kw < window; ++kw) {
+              const long w = static_cast<long>(wo * stride + kw) - pad;
+              if (w < 0 || w >= static_cast<long>(W)) continue;
+              const std::size_t idx =
+                  static_cast<std::size_t>(h) * W + static_cast<std::size_t>(w);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = (n * C + c) * H * W + idx;
+              }
+            }
+          }
+          // Fully-padded windows (possible only with pathological padding)
+          // contribute zero.
+          out[oi] = (best == -std::numeric_limits<float>::infinity()) ? 0.0f
+                                                                      : best;
+          if (argmax) {
+            (*argmax)[oi] = best_idx;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor max_pool2d_backward(const Shape& input_shape, const Tensor& grad_output,
+                           const std::vector<std::size_t>& argmax) {
+  DLSR_CHECK(argmax.size() == grad_output.numel(),
+             "argmax size must match grad_output");
+  Tensor grad_input(input_shape);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+Tensor global_avg_pool2d(const Tensor& input) {
+  DLSR_CHECK(input.rank() == 4, "global_avg_pool2d input must be NCHW");
+  const std::size_t N = input.dim(0);
+  const std::size_t C = input.dim(1);
+  const std::size_t HW = input.dim(2) * input.dim(3);
+  DLSR_CHECK(HW > 0, "empty spatial extent");
+  Tensor out({N, C, 1, 1});
+  for (std::size_t nc = 0; nc < N * C; ++nc) {
+    const float* plane = input.raw() + nc * HW;
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < HW; ++i) {
+      acc += plane[i];
+    }
+    out[nc] = acc / static_cast<float>(HW);
+  }
+  return out;
+}
+
+Tensor global_avg_pool2d_backward(const Shape& input_shape,
+                                  const Tensor& grad_output) {
+  DLSR_CHECK(input_shape.size() == 4, "input_shape must be NCHW");
+  const std::size_t N = input_shape[0];
+  const std::size_t C = input_shape[1];
+  const std::size_t HW = input_shape[2] * input_shape[3];
+  DLSR_CHECK(grad_output.shape() == Shape({N, C, 1, 1}),
+             "grad_output must be [N,C,1,1]");
+  Tensor grad_input(input_shape);
+  for (std::size_t nc = 0; nc < N * C; ++nc) {
+    const float g = grad_output[nc] / static_cast<float>(HW);
+    float* plane = grad_input.raw() + nc * HW;
+    for (std::size_t i = 0; i < HW; ++i) {
+      plane[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace dlsr

@@ -1,0 +1,26 @@
+// Pooling kernels (used by the ResNet-style classifier baseline).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr {
+
+/// Max pool with square window/stride and symmetric zero padding.
+/// Also returns the argmax indices (flat, per output element) for backward.
+Tensor max_pool2d(const Tensor& input, std::size_t window, std::size_t stride,
+                  std::size_t padding, std::vector<std::size_t>* argmax);
+
+/// Routes grad_output back to the argmax positions recorded by max_pool2d.
+Tensor max_pool2d_backward(const Shape& input_shape, const Tensor& grad_output,
+                           const std::vector<std::size_t>& argmax);
+
+/// Global average pool: [N, C, H, W] -> [N, C, 1, 1].
+Tensor global_avg_pool2d(const Tensor& input);
+
+/// Backward of global average pooling.
+Tensor global_avg_pool2d_backward(const Shape& input_shape,
+                                  const Tensor& grad_output);
+
+}  // namespace dlsr

@@ -1,0 +1,103 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> dims)
+    : Tensor(Shape(dims)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  DLSR_CHECK(data_.size() == shape_numel(shape_),
+             strfmt("value count %zu does not match shape %s numel %zu",
+                    data_.size(), shape_to_string(shape_).c_str(),
+                    shape_numel(shape_)));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::arange(std::size_t n) {
+  Tensor t({n});
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  DLSR_CHECK(i < shape_.size(),
+             strfmt("dim %zu out of range for rank %zu", i, shape_.size()));
+  return shape_[i];
+}
+
+float& Tensor::at(std::size_t i) {
+  DLSR_CHECK(i < data_.size(), strfmt("index %zu out of range", i));
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  DLSR_CHECK(i < data_.size(), strfmt("index %zu out of range", i));
+  return data_[i];
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w) {
+  DLSR_CHECK(rank() == 4, "at4 requires a rank-4 tensor");
+  DLSR_CHECK(n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
+             "at4 index out of range");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  DLSR_CHECK(shape_numel(new_shape) == numel(),
+             strfmt("cannot reshape %s to %s",
+                    shape_to_string(shape_).c_str(),
+                    shape_to_string(new_shape).c_str()));
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace dlsr

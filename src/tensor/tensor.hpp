@@ -1,0 +1,86 @@
+// Dense float32 tensor in row-major (NCHW for images) layout.
+//
+// Design notes:
+//  * Values are always contiguous; views/strides are deliberately omitted —
+//    every kernel in this library reads and writes whole tensors, and
+//    contiguity keeps the conv/matmul inner loops vectorizable.
+//  * Copying is deep (value semantics); moves are O(1). Layers hold tensors
+//    by value, which makes ownership trivially correct (Core Guidelines R.1).
+//  * Shapes are small vectors of std::size_t; rank ≤ 4 in practice.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dlsr {
+
+/// Tensor shape: dims[0] is the slowest-varying (outermost) dimension.
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements for a shape (product of dims; 1 for rank-0).
+std::size_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 48, 48]"
+std::string shape_to_string(const Shape& shape);
+
+/// Dense float32 tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty rank-0 tensor with no elements.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(std::initializer_list<std::size_t> dims);
+
+  /// Takes ownership of `values`; size must match the shape.
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  /// 1-D tensor [0, 1, ..., n-1]; handy in tests.
+  static Tensor arange(std::size_t n);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(float); }
+  /// Dimension i; throws when out of range.
+  std::size_t dim(std::size_t i) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  /// Flat element access with bounds checks in debug-style code paths.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// NCHW accessors (rank-4 only; checked).
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Unchecked flat access for kernels.
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Returns a tensor with the same data and a new shape (same numel).
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+  /// Sets every element to zero (gradient reset).
+  void zero() { fill(0.0f); }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dlsr

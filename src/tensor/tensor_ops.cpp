@@ -1,0 +1,138 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr {
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  DLSR_CHECK(a.same_shape(b),
+             strfmt("%s: shape mismatch %s vs %s", op,
+                    shape_to_string(a.shape()).c_str(),
+                    shape_to_string(b.shape()).c_str()));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    out[i] = a[i] + b[i];
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    out[i] = a[i] * b[i];
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    out[i] = a[i] * s;
+  }
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    a[i] += b[i];
+  }
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    a[i] -= b[i];
+  }
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    a[i] *= s;
+  }
+}
+
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    a[i] += alpha * b[i];
+  }
+}
+
+void clamp_inplace(Tensor& a, float lo, float hi) {
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    a[i] = std::clamp(a[i], lo, hi);
+  }
+}
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    s += static_cast<double>(a[i]);
+  }
+  return s;
+}
+
+double mean(const Tensor& a) {
+  if (a.numel() == 0) {
+    return 0.0;
+  }
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a[i]));
+  }
+  return m;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double l2_norm(const Tensor& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  return std::sqrt(s);
+}
+
+bool all_finite(const Tensor& a) {
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    if (!std::isfinite(a[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dlsr

@@ -1,0 +1,43 @@
+// Elementwise and reduction kernels over Tensor.
+//
+// All binary ops require identical shapes (no broadcasting — the layers in
+// dlsr::nn never need it, and its absence removes a whole class of silent
+// shape bugs). In-place variants are provided for the optimizer hot path.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr {
+
+/// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+/// out = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// out = a * b elementwise.
+Tensor mul(const Tensor& a, const Tensor& b);
+/// out = a * s.
+Tensor scale(const Tensor& a, float s);
+
+/// a += b.
+void add_inplace(Tensor& a, const Tensor& b);
+/// a -= b.
+void sub_inplace(Tensor& a, const Tensor& b);
+/// a *= s.
+void scale_inplace(Tensor& a, float s);
+/// a += alpha * b (BLAS axpy).
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b);
+/// a = clamp(a, lo, hi).
+void clamp_inplace(Tensor& a, float lo, float hi);
+
+double sum(const Tensor& a);
+double mean(const Tensor& a);
+float max_abs(const Tensor& a);
+/// Largest |a[i] - b[i]|; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+/// sqrt(sum(a^2)).
+double l2_norm(const Tensor& a);
+
+/// True when every element is finite (no NaN/Inf) — training sanity check.
+bool all_finite(const Tensor& a);
+
+}  // namespace dlsr

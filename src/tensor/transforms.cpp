@@ -1,0 +1,91 @@
+#include "tensor/transforms.hpp"
+
+#include "common/error.hpp"
+
+namespace dlsr {
+namespace {
+
+void check_nchw(const Tensor& t) {
+  DLSR_CHECK(t.rank() == 4, "spatial transform expects NCHW");
+}
+
+}  // namespace
+
+Tensor flip_horizontal(const Tensor& images) {
+  check_nchw(images);
+  const std::size_t NC = images.dim(0) * images.dim(1);
+  const std::size_t H = images.dim(2);
+  const std::size_t W = images.dim(3);
+  Tensor out(images.shape());
+  for (std::size_t nc = 0; nc < NC; ++nc) {
+    const float* src = images.raw() + nc * H * W;
+    float* dst = out.raw() + nc * H * W;
+    for (std::size_t y = 0; y < H; ++y) {
+      for (std::size_t x = 0; x < W; ++x) {
+        dst[y * W + x] = src[y * W + (W - 1 - x)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor flip_vertical(const Tensor& images) {
+  check_nchw(images);
+  const std::size_t NC = images.dim(0) * images.dim(1);
+  const std::size_t H = images.dim(2);
+  const std::size_t W = images.dim(3);
+  Tensor out(images.shape());
+  for (std::size_t nc = 0; nc < NC; ++nc) {
+    const float* src = images.raw() + nc * H * W;
+    float* dst = out.raw() + nc * H * W;
+    for (std::size_t y = 0; y < H; ++y) {
+      std::copy(src + (H - 1 - y) * W, src + (H - y) * W, dst + y * W);
+    }
+  }
+  return out;
+}
+
+Tensor rot90(const Tensor& images, int k) {
+  check_nchw(images);
+  k = ((k % 4) + 4) % 4;
+  if (k == 0) {
+    return images;
+  }
+  const std::size_t NC = images.dim(0) * images.dim(1);
+  const std::size_t H = images.dim(2);
+  const std::size_t W = images.dim(3);
+  // One counter-clockwise quarter turn: out[x', y'] with H' = W, W' = H and
+  // out(y', x') = in(x', W-1-y')... applied k times iteratively for clarity.
+  Tensor cur = images;
+  for (int turn = 0; turn < k; ++turn) {
+    const std::size_t h = cur.dim(2);
+    const std::size_t w = cur.dim(3);
+    Tensor next({cur.dim(0), cur.dim(1), w, h});
+    for (std::size_t nc = 0; nc < NC; ++nc) {
+      const float* src = cur.raw() + nc * h * w;
+      float* dst = next.raw() + nc * h * w;
+      // CCW: dst(y2, x2) = src(x2, w-1-y2), dst is [w x h].
+      for (std::size_t y2 = 0; y2 < w; ++y2) {
+        for (std::size_t x2 = 0; x2 < h; ++x2) {
+          dst[y2 * h + x2] = src[x2 * w + (w - 1 - y2)];
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Tensor dihedral_transform(const Tensor& images, int index) {
+  DLSR_CHECK(index >= 0 && index < 8, "dihedral index must be in [0, 8)");
+  const Tensor base = index >= 4 ? flip_horizontal(images) : images;
+  return rot90(base, index % 4);
+}
+
+Tensor dihedral_inverse(const Tensor& images, int index) {
+  DLSR_CHECK(index >= 0 && index < 8, "dihedral index must be in [0, 8)");
+  Tensor unrotated = rot90(images, -(index % 4));
+  return index >= 4 ? flip_horizontal(unrotated) : unrotated;
+}
+
+}  // namespace dlsr

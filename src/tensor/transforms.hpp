@@ -1,0 +1,27 @@
+// Spatial transforms on NCHW tensors (dihedral group D4): flips and
+// quarter-turn rotations. Used by EDSR's geometric self-ensemble and by
+// data augmentation.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr {
+
+/// Mirrors along the width axis.
+Tensor flip_horizontal(const Tensor& images);
+
+/// Mirrors along the height axis.
+Tensor flip_vertical(const Tensor& images);
+
+/// Rotates 90 degrees counter-clockwise `k` times (k taken mod 4).
+/// Non-square spatial dims are supported (H and W swap for odd k).
+Tensor rot90(const Tensor& images, int k = 1);
+
+/// One of the 8 dihedral transforms: index 0-3 are rot90^i, 4-7 are
+/// rot90^i of the horizontally flipped image.
+Tensor dihedral_transform(const Tensor& images, int index);
+
+/// Inverse of dihedral_transform(_, index).
+Tensor dihedral_inverse(const Tensor& images, int index);
+
+}  // namespace dlsr

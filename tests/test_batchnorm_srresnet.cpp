@@ -1,0 +1,226 @@
+// Tests for BatchNorm2d and SRResNet — the paper's Fig. 5a comparison
+// substrate (original ResNet / SRResNet / EDSR residual blocks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "models/edsr_graph.hpp"
+#include "models/srresnet.hpp"
+#include "nn/batch_norm.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.5, 2.0));
+  }
+  return t;
+}
+
+TEST(BatchNorm, NormalizesPerChannel) {
+  nn::BatchNorm2d bn(3);
+  const Tensor in = random_tensor({4, 3, 5, 5}, 1);
+  const Tensor out = bn.forward(in);
+  // With gamma=1, beta=0 each channel of the output has ~zero mean and
+  // ~unit variance over (N, H, W).
+  const std::size_t N = 4, HW = 25;
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t n = 0; n < N; ++n) {
+      for (std::size_t i = 0; i < HW; ++i) {
+        mean += out.raw()[(n * 3 + c) * HW + i];
+      }
+    }
+    mean /= (N * HW);
+    for (std::size_t n = 0; n < N; ++n) {
+      for (std::size_t i = 0; i < HW; ++i) {
+        const double d = out.raw()[(n * 3 + c) * HW + i] - mean;
+        var += d * d;
+      }
+    }
+    var /= (N * HW);
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, AffineParametersApplied) {
+  nn::BatchNorm2d bn(2);
+  auto params = bn.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  (*params[0].value)[0] = 3.0f;  // gamma channel 0
+  (*params[1].value)[1] = -1.0f; // beta channel 1
+  const Tensor in = random_tensor({2, 2, 4, 4}, 2);
+  const Tensor out = bn.forward(in);
+  // Channel 0 variance ~9, channel 1 mean ~-1.
+  double mean1 = 0.0;
+  double var0 = 0.0;
+  const std::size_t N = 2, HW = 16;
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t i = 0; i < HW; ++i) {
+      var0 += out.raw()[(n * 2 + 0) * HW + i] * out.raw()[(n * 2 + 0) * HW + i];
+      mean1 += out.raw()[(n * 2 + 1) * HW + i];
+    }
+  }
+  EXPECT_NEAR(var0 / (N * HW), 9.0, 0.05);
+  EXPECT_NEAR(mean1 / (N * HW), -1.0, 1e-5);
+}
+
+TEST(BatchNorm, RunningStatsConvergeAndDriveEval) {
+  nn::BatchNorm2d bn(1, 1e-5f, 0.5f);
+  // Feed batches with mean ~5, std ~2.
+  for (int i = 0; i < 30; ++i) {
+    Rng rng(100 + i);
+    Tensor in({8, 1, 4, 4});
+    for (std::size_t j = 0; j < in.numel(); ++j) {
+      in[j] = static_cast<float>(rng.normal(5.0, 2.0));
+    }
+    bn.forward(in);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 0.8f);
+
+  // Eval mode: a constant input equal to the running mean maps to ~beta.
+  bn.set_training(false);
+  const Tensor in = Tensor::full({1, 1, 4, 4}, bn.running_mean()[0]);
+  const Tensor out = bn.forward(in);
+  EXPECT_NEAR(out[0], 0.0f, 1e-3f);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  nn::BatchNorm2d bn(2);
+  Tensor input = random_tensor({3, 2, 3, 3}, 5);
+  const Tensor probe = random_tensor(input.shape(), 6);
+  const auto objective = [&]() {
+    // Fresh statistics each call: BN's forward depends on the whole batch.
+    const Tensor out = bn.forward(input);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      acc += static_cast<double>(out[i]) * probe[i];
+    }
+    return acc;
+  };
+  bn.zero_grad();
+  bn.forward(input);
+  const Tensor grad_input = bn.backward(probe);
+  const float eps = 1e-2f;
+  Rng pick(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t i = pick.uniform_index(input.numel());
+    const float orig = input[i];
+    input[i] = orig + eps;
+    const double up = objective();
+    input[i] = orig - eps;
+    const double down = objective();
+    input[i] = orig;
+    EXPECT_NEAR((up - down) / (2 * eps), grad_input[i],
+                5e-2 * (std::abs(grad_input[i]) + 0.5))
+        << "input[" << i << "]";
+  }
+  // Parameter gradients.
+  auto params = bn.parameters();
+  for (auto& p : params) {
+    for (std::size_t i = 0; i < p.value->numel(); ++i) {
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + eps;
+      const double up = objective();
+      (*p.value)[i] = orig - eps;
+      const double down = objective();
+      (*p.value)[i] = orig;
+      EXPECT_NEAR((up - down) / (2 * eps), (*p.grad)[i],
+                  5e-2 * (std::abs((*p.grad)[i]) + 0.5))
+          << p.name;
+    }
+  }
+}
+
+TEST(BatchNorm, Validation) {
+  EXPECT_THROW(nn::BatchNorm2d(0), Error);
+  nn::BatchNorm2d bn(2);
+  EXPECT_THROW(bn.forward(random_tensor({1, 3, 2, 2}, 1)), Error);
+  EXPECT_THROW(bn.backward(random_tensor({1, 2, 2, 2}, 1)), Error);
+}
+
+TEST(SrResNetModel, OutputShape) {
+  Rng rng(10);
+  models::SrResNet net(models::SrResNetConfig::tiny(), rng);
+  const Tensor lr = random_tensor({1, 3, 6, 6}, 11);
+  EXPECT_EQ(net.forward(lr).shape(), Shape({1, 3, 12, 12}));
+}
+
+TEST(SrResNetModel, GraphMatchesModuleParameterCount) {
+  const models::SrResNetConfig cfg = models::SrResNetConfig::tiny();
+  Rng rng(12);
+  models::SrResNet net(cfg, rng);
+  const models::ModelGraph g = models::build_srresnet_graph(cfg, 6);
+  EXPECT_EQ(net.parameter_count(), g.param_count());
+}
+
+TEST(SrResNetModel, HasMoreParamsPerBlockThanEdsr) {
+  // Fig. 5a: SRResNet blocks carry BN parameters that EDSR removed.
+  Rng rng(13);
+  models::SrResBlock sr_block(16, 3, rng);
+  Rng rng2(13);
+  nn::ResBlock edsr_block(16, 3, 0.1f, rng2);
+  // Same conv weights count, but SRResNet adds 2*2*C of BN affine params
+  // and drops conv biases.
+  EXPECT_EQ(sr_block.parameter_count(),
+            edsr_block.parameter_count() - 2 * 16 + 4 * 16);
+}
+
+TEST(SrResNetModel, TrainsOnToyProblem) {
+  Rng rng(14);
+  models::SrResNet net(models::SrResNetConfig::tiny(), rng);
+  nn::Adam adam(net.parameters(), 1e-3);
+  Rng drng(15);
+  Tensor lr({2, 3, 6, 6});
+  Tensor hr({2, 3, 12, 12});
+  for (std::size_t i = 0; i < lr.numel(); ++i) lr[i] = (float)drng.uniform();
+  for (std::size_t i = 0; i < hr.numel(); ++i) hr[i] = (float)drng.uniform();
+  double first = 0.0;
+  double last = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    net.zero_grad();
+    const nn::LossResult loss = nn::l1_loss(net.forward(lr), hr);
+    net.backward(loss.grad);
+    adam.step();
+    if (step == 0) first = loss.value;
+    last = loss.value;
+  }
+  EXPECT_LT(last, 0.8 * first);
+}
+
+TEST(SrResNetModel, EvalModeIsDeterministicAcrossBatthSizes) {
+  // In eval mode BN uses running stats, so a sample's output must not
+  // depend on its batch companions.
+  Rng rng(16);
+  models::SrResNet net(models::SrResNetConfig::tiny(), rng);
+  // Populate running stats.
+  for (int i = 0; i < 5; ++i) {
+    net.forward(random_tensor({2, 3, 6, 6}, 20 + i));
+  }
+  net.set_training(false);
+  const Tensor single = random_tensor({1, 3, 6, 6}, 30);
+  const Tensor alone = net.forward(single);
+  Tensor pair({2, 3, 6, 6});
+  std::copy(single.data().begin(), single.data().end(), pair.data().begin());
+  const Tensor other = random_tensor({1, 3, 6, 6}, 31);
+  std::copy(other.data().begin(), other.data().end(),
+            pair.data().begin() + single.numel());
+  const Tensor together = net.forward(pair);
+  for (std::size_t i = 0; i < alone.numel(); ++i) {
+    EXPECT_NEAR(alone[i], together[i], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace dlsr

@@ -1,0 +1,246 @@
+// Tests for the convolution kernels: im2col/col2im adjointness, the GEMM
+// path against the direct reference, and numerical gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/conv2d.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+TEST(Conv2dSpecTest, OutputExtent) {
+  Conv2dSpec s;
+  s.kernel = 3;
+  s.stride = 1;
+  s.padding = 1;
+  EXPECT_EQ(s.out_extent(48), 48u);  // "same" conv
+  s.stride = 2;
+  EXPECT_EQ(s.out_extent(48), 24u);
+  s.kernel = 7;
+  s.padding = 3;
+  s.stride = 2;
+  EXPECT_EQ(s.out_extent(224), 112u);  // ResNet stem
+}
+
+TEST(Conv2dForward, IdentityKernel) {
+  // 1x1 conv with weight 1 and no padding is the identity.
+  Conv2dSpec s;
+  s.in_channels = 1;
+  s.out_channels = 1;
+  s.kernel = 1;
+  s.padding = 0;
+  const Tensor input = random_tensor({1, 1, 5, 5}, 3);
+  Tensor w = Tensor::full(s.weight_shape(), 1.0f);
+  const Tensor out = conv2d_forward(input, w, Tensor{}, s);
+  EXPECT_LT(max_abs_diff(out, input), 1e-6f);
+}
+
+TEST(Conv2dForward, HandComputed3x3) {
+  // Single channel, 3x3 input, 3x3 averaging kernel, padding 1.
+  Conv2dSpec s;
+  s.in_channels = 1;
+  s.out_channels = 1;
+  s.kernel = 3;
+  s.padding = 1;
+  Tensor input({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w = Tensor::full(s.weight_shape(), 1.0f);
+  const Tensor out = conv2d_forward(input, w, Tensor{}, s);
+  // Center output = sum of all 9 = 45; corner (0,0) = 1+2+4+5 = 12.
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 45.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 12.0f);
+}
+
+TEST(Conv2dForward, BiasApplied) {
+  Conv2dSpec s;
+  s.in_channels = 1;
+  s.out_channels = 2;
+  s.kernel = 1;
+  s.padding = 0;
+  const Tensor input = Tensor::full({1, 1, 2, 2}, 0.0f);
+  const Tensor w(s.weight_shape());
+  Tensor bias({2}, {1.5f, -2.5f});
+  const Tensor out = conv2d_forward(input, w, bias, s);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 1, 1), -2.5f);
+}
+
+TEST(Conv2dForward, ArgumentValidation) {
+  Conv2dSpec s;
+  s.in_channels = 2;
+  s.out_channels = 3;
+  const Tensor bad_input = random_tensor({1, 4, 8, 8}, 1);
+  const Tensor w = random_tensor(s.weight_shape(), 2);
+  EXPECT_THROW(conv2d_forward(bad_input, w, Tensor{}, s), Error);
+  const Tensor input = random_tensor({1, 2, 8, 8}, 1);
+  const Tensor bad_w = random_tensor({3, 2, 5, 5}, 2);
+  EXPECT_THROW(conv2d_forward(input, bad_w, Tensor{}, s), Error);
+}
+
+struct ConvCase {
+  std::size_t batch, in_ch, out_ch, kernel, stride, padding, h, w;
+};
+
+class ConvParam : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParam, GemmPathMatchesNaive) {
+  const ConvCase c = GetParam();
+  Conv2dSpec s;
+  s.in_channels = c.in_ch;
+  s.out_channels = c.out_ch;
+  s.kernel = c.kernel;
+  s.stride = c.stride;
+  s.padding = c.padding;
+  const Tensor input = random_tensor({c.batch, c.in_ch, c.h, c.w}, 11);
+  const Tensor weight = random_tensor(s.weight_shape(), 12);
+  const Tensor bias = random_tensor({c.out_ch}, 13);
+  const Tensor fast = conv2d_forward(input, weight, bias, s);
+  const Tensor ref = conv2d_forward_naive(input, weight, bias, s);
+  EXPECT_TRUE(fast.same_shape(ref));
+  EXPECT_LT(max_abs_diff(fast, ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvParam,
+    ::testing::Values(ConvCase{1, 1, 1, 3, 1, 1, 6, 6},
+                      ConvCase{2, 3, 8, 3, 1, 1, 9, 7},
+                      ConvCase{1, 4, 4, 5, 1, 2, 8, 8},
+                      ConvCase{1, 2, 6, 3, 2, 1, 11, 11},
+                      ConvCase{3, 5, 2, 1, 1, 0, 4, 4},
+                      ConvCase{1, 3, 3, 7, 2, 3, 14, 10},
+                      ConvCase{2, 8, 16, 3, 1, 1, 5, 5}));
+
+TEST(Im2Col, RoundTripAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property that
+  // makes the backward pass correct.
+  Conv2dSpec s;
+  s.in_channels = 3;
+  s.out_channels = 1;  // unused
+  s.kernel = 3;
+  s.stride = 2;
+  s.padding = 1;
+  const std::size_t H = 7, W = 5;
+  const std::size_t rows = s.in_channels * s.kernel * s.kernel;
+  const std::size_t cols = s.out_extent(H) * s.out_extent(W);
+  const Tensor x = random_tensor({s.in_channels, H, W}, 21);
+  const Tensor y = random_tensor({rows, cols}, 22);
+
+  std::vector<float> colx(rows * cols);
+  im2col(x.raw(), s.in_channels, H, W, s, colx.data());
+  Tensor backy({s.in_channels, H, W});
+  col2im(y.raw(), s.in_channels, H, W, s, backy.raw());
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < colx.size(); ++i) {
+    lhs += static_cast<double>(colx[i]) * static_cast<double>(y[i]);
+  }
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * static_cast<double>(backy[i]);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-4);
+}
+
+/// Central-difference gradient check of conv2d_backward.
+void check_conv_gradients(const ConvCase& c) {
+  Conv2dSpec s;
+  s.in_channels = c.in_ch;
+  s.out_channels = c.out_ch;
+  s.kernel = c.kernel;
+  s.stride = c.stride;
+  s.padding = c.padding;
+  Tensor input = random_tensor({c.batch, c.in_ch, c.h, c.w}, 31);
+  Tensor weight = random_tensor(s.weight_shape(), 32);
+  Tensor bias = random_tensor({c.out_ch}, 33);
+  const Tensor grad_out =
+      random_tensor({c.batch, c.out_ch, s.out_extent(c.h), s.out_extent(c.w)},
+                    34);
+
+  Tensor gi, gw, gb;
+  conv2d_backward(input, weight, s, grad_out, gi, gw, gb, true);
+
+  // Scalar objective L = <out, grad_out>; dL/dθ must equal the analytic
+  // gradients.
+  const auto objective = [&]() {
+    const Tensor out = conv2d_forward(input, weight, bias, s);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      acc += static_cast<double>(out[i]) * static_cast<double>(grad_out[i]);
+    }
+    return acc;
+  };
+  const float eps = 1e-2f;
+  Rng pick(99);
+  // Spot-check a handful of coordinates in each gradient tensor.
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t wi = pick.uniform_index(weight.numel());
+    const float orig = weight[wi];
+    weight[wi] = orig + eps;
+    const double up = objective();
+    weight[wi] = orig - eps;
+    const double down = objective();
+    weight[wi] = orig;
+    EXPECT_NEAR((up - down) / (2 * eps), gw[wi],
+                2e-2 * (std::abs(gw[wi]) + 1.0));
+  }
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t ii = pick.uniform_index(input.numel());
+    const float orig = input[ii];
+    input[ii] = orig + eps;
+    const double up = objective();
+    input[ii] = orig - eps;
+    const double down = objective();
+    input[ii] = orig;
+    EXPECT_NEAR((up - down) / (2 * eps), gi[ii],
+                2e-2 * (std::abs(gi[ii]) + 1.0));
+  }
+  for (std::size_t bi = 0; bi < bias.numel(); ++bi) {
+    const float orig = bias[bi];
+    bias[bi] = orig + eps;
+    const double up = objective();
+    bias[bi] = orig - eps;
+    const double down = objective();
+    bias[bi] = orig;
+    EXPECT_NEAR((up - down) / (2 * eps), gb[bi],
+                2e-2 * (std::abs(gb[bi]) + 1.0));
+  }
+}
+
+TEST(Conv2dBackward, GradientCheckSameConv) {
+  check_conv_gradients({1, 2, 3, 3, 1, 1, 6, 6});
+}
+
+TEST(Conv2dBackward, GradientCheckStrided) {
+  check_conv_gradients({2, 3, 2, 3, 2, 1, 7, 7});
+}
+
+TEST(Conv2dBackward, GradientCheckNoPadding) {
+  check_conv_gradients({1, 2, 2, 3, 1, 0, 6, 5});
+}
+
+TEST(Conv2dBackward, ShapeValidation) {
+  Conv2dSpec s;
+  s.in_channels = 1;
+  s.out_channels = 1;
+  const Tensor input = random_tensor({1, 1, 4, 4}, 1);
+  const Tensor weight = random_tensor(s.weight_shape(), 2);
+  const Tensor bad_grad = random_tensor({1, 1, 3, 3}, 3);
+  Tensor gi, gw, gb;
+  EXPECT_THROW(conv2d_backward(input, weight, s, bad_grad, gi, gw, gb, true),
+               Error);
+}
+
+}  // namespace
+}  // namespace dlsr

@@ -1,0 +1,187 @@
+// Tests for the data-plane allreduce algorithms — the arithmetic that keeps
+// the functional distributed training correct.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mpisim/data_allreduce.hpp"
+
+namespace dlsr::mpisim {
+namespace {
+
+/// Builds per-rank buffers of length n with deterministic contents and
+/// returns (storage, expected elementwise sum).
+struct Fixture {
+  std::vector<std::vector<float>> storage;
+  std::vector<float> expected_sum;
+
+  Fixture(std::size_t ranks, std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    storage.resize(ranks);
+    expected_sum.assign(n, 0.0f);
+    for (auto& buf : storage) {
+      buf.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        buf[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+        expected_sum[i] += buf[i];
+      }
+    }
+  }
+
+  std::vector<std::span<float>> spans() {
+    std::vector<std::span<float>> s;
+    s.reserve(storage.size());
+    for (auto& buf : storage) {
+      s.emplace_back(buf);
+    }
+    return s;
+  }
+};
+
+class AllreduceParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AllreduceParam, RingMatchesDirectSum) {
+  const auto [ranks, n] = GetParam();
+  Fixture fx(ranks, n, 1000 + ranks * 31 + n);
+  auto spans = fx.spans();
+  ring_allreduce_sum(spans);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(fx.storage[r][i], fx.expected_sum[i],
+                  1e-4f * (std::fabs(fx.expected_sum[i]) + 1.0f))
+          << "rank " << r << " index " << i;
+    }
+  }
+}
+
+TEST_P(AllreduceParam, RecursiveDoublingMatchesDirectSum) {
+  const auto [ranks, n] = GetParam();
+  Fixture fx(ranks, n, 2000 + ranks * 17 + n);
+  auto spans = fx.spans();
+  recursive_doubling_allreduce_sum(spans);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(fx.storage[r][i], fx.expected_sum[i],
+                  1e-4f * (std::fabs(fx.expected_sum[i]) + 1.0f));
+    }
+  }
+}
+
+// Sweep rank counts (including non-powers-of-two and counts exceeding the
+// element count, which leaves some ring chunks empty) and buffer lengths.
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndSizes, AllreduceParam,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                       ::testing::Values(1, 2, 13, 64, 1000)));
+
+TEST(RingAllreduce, AverageDividesByRanks) {
+  Fixture fx(4, 32, 3);
+  auto spans = fx.spans();
+  ring_allreduce_average(spans);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(fx.storage[0][i], fx.expected_sum[i] / 4.0f, 1e-5f);
+  }
+}
+
+TEST(RingAllreduce, AllRanksIdenticalAfter) {
+  Fixture fx(5, 100, 4);
+  auto spans = fx.spans();
+  ring_allreduce_sum(spans);
+  for (std::size_t r = 1; r < 5; ++r) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(fx.storage[r][i], fx.storage[0][i]);
+    }
+  }
+}
+
+TEST(RingAllreduce, SingleRankUntouched) {
+  Fixture fx(1, 8, 5);
+  const std::vector<float> before = fx.storage[0];
+  auto spans = fx.spans();
+  ring_allreduce_sum(spans);
+  EXPECT_EQ(fx.storage[0], before);
+}
+
+TEST(RingAllreduce, Deterministic) {
+  Fixture a(6, 77, 6);
+  Fixture b(6, 77, 6);
+  auto sa = a.spans();
+  auto sb = b.spans();
+  ring_allreduce_sum(sa);
+  ring_allreduce_sum(sb);
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(a.storage[r], b.storage[r]);
+  }
+}
+
+TEST(RingAllreduce, MismatchedLengthsThrow) {
+  std::vector<float> a(4);
+  std::vector<float> b(5);
+  std::vector<std::span<float>> spans{a, b};
+  EXPECT_THROW(ring_allreduce_sum(spans), Error);
+  std::vector<std::span<float>> empty;
+  EXPECT_THROW(ring_allreduce_sum(empty), Error);
+}
+
+TEST(RingAllreduce, AgreesWithRecursiveDoubling) {
+  Fixture a(7, 129, 8);
+  Fixture b = a;
+  auto sa = a.spans();
+  auto sb = b.spans();
+  ring_allreduce_sum(sa);
+  recursive_doubling_allreduce_sum(sb);
+  for (std::size_t i = 0; i < 129; ++i) {
+    EXPECT_NEAR(a.storage[0][i], b.storage[0][i], 1e-4f);
+  }
+}
+
+
+class HierarchicalParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(HierarchicalParam, MatchesDirectSum) {
+  const auto [ranks, per_node] = GetParam();
+  Fixture fx(ranks, 77, 3000 + ranks * 13 + per_node);
+  auto spans = fx.spans();
+  hierarchical_allreduce_sum(spans, per_node);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < 77; ++i) {
+      ASSERT_NEAR(fx.storage[r][i], fx.expected_sum[i],
+                  1e-4f * (std::fabs(fx.expected_sum[i]) + 1.0f))
+          << "rank " << r;
+    }
+  }
+}
+
+// Node widths including uneven last nodes and degenerate 1-rank nodes.
+INSTANTIATE_TEST_SUITE_P(
+    NodeShapes, HierarchicalParam,
+    ::testing::Values(std::make_tuple(8, 4), std::make_tuple(16, 4),
+                      std::make_tuple(7, 4), std::make_tuple(6, 2),
+                      std::make_tuple(5, 1), std::make_tuple(4, 8),
+                      std::make_tuple(1, 4)));
+
+TEST(HierarchicalAllreduce, AgreesWithFlatRing) {
+  Fixture a(12, 256, 9);
+  Fixture b = a;
+  auto sa = a.spans();
+  auto sb = b.spans();
+  hierarchical_allreduce_sum(sa, 4);
+  ring_allreduce_sum(sb);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_NEAR(a.storage[0][i], b.storage[0][i], 1e-4f);
+  }
+}
+
+TEST(HierarchicalAllreduce, Validation) {
+  std::vector<float> buf(4);
+  std::vector<std::span<float>> spans{buf};
+  EXPECT_THROW(hierarchical_allreduce_sum(spans, 0), Error);
+}
+
+}  // namespace
+}  // namespace dlsr::mpisim

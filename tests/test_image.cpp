@@ -1,0 +1,389 @@
+// Tests for dlsr::img — bicubic resampling, quality metrics, PPM I/O,
+// synthetic dataset, patch sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "image/metrics.hpp"
+#include "image/patch_sampler.hpp"
+#include "image/ppm_io.hpp"
+#include "image/resize.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::img {
+namespace {
+
+Tensor random_image(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform());
+  }
+  return t;
+}
+
+TEST(BicubicWeight, PartitionOfUnity) {
+  // For any phase, the four taps' weights sum to 1 (after the kernel's own
+  // normalization; the a=-0.5 kernel satisfies this exactly).
+  for (double frac = 0.0; frac < 1.0; frac += 0.1) {
+    double sum = 0.0;
+    for (int k = -1; k <= 2; ++k) {
+      sum += bicubic_weight(static_cast<float>(k - frac));
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5) << "frac " << frac;
+  }
+}
+
+TEST(BicubicWeight, KernelShape) {
+  EXPECT_FLOAT_EQ(bicubic_weight(0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(bicubic_weight(1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(bicubic_weight(2.0f), 0.0f);
+  EXPECT_FLOAT_EQ(bicubic_weight(2.5f), 0.0f);
+  EXPECT_LT(bicubic_weight(1.5f), 0.0f);  // the negative lobe
+}
+
+TEST(Resize, ConstantImageInvariant) {
+  const Tensor in = Tensor::full({1, 3, 12, 12}, 0.42f);
+  for (const auto& [h, w] : {std::pair<std::size_t, std::size_t>{6, 6},
+                             {24, 24},
+                             {7, 13}}) {
+    const Tensor out = resize_bicubic(in, h, w);
+    EXPECT_EQ(out.shape(), Shape({1, 3, h, w}));
+    EXPECT_NEAR(mean(out), 0.42, 1e-5);
+    EXPECT_LT(max_abs_diff(out, Tensor::full({1, 3, h, w}, 0.42f)), 1e-4f);
+  }
+}
+
+TEST(Resize, IdentityAtSameSize) {
+  const Tensor in = random_image({1, 1, 9, 9}, 1);
+  const Tensor out = resize_bicubic(in, 9, 9);
+  EXPECT_LT(max_abs_diff(out, in), 1e-5f);
+}
+
+TEST(Resize, PreservesLinearRamp) {
+  // Bicubic interpolation reproduces linear functions exactly (away from
+  // clamped borders).
+  Tensor in({1, 1, 16, 16});
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      in.at4(0, 0, y, x) = static_cast<float>(x) / 16.0f;
+    }
+  }
+  const Tensor up = upscale_bicubic(in, 2);
+  for (std::size_t x = 8; x < 24; ++x) {
+    // Output pixel x samples the source at x/2 - 0.25 (pixel centers); the
+    // ramp value there is (x/2 - 0.25) / 16.
+    const float expected = (static_cast<float>(x) / 2.0f - 0.25f) / 16.0f;
+    EXPECT_NEAR(up.at4(0, 0, 16, x), expected, 5e-3) << "x " << x;
+  }
+}
+
+TEST(Resize, DownThenUpRecoversSmoothImage) {
+  // A smooth (low-frequency) image survives a x2 round trip well.
+  Tensor in({1, 1, 32, 32});
+  for (std::size_t y = 0; y < 32; ++y) {
+    for (std::size_t x = 0; x < 32; ++x) {
+      in.at4(0, 0, y, x) =
+          0.5f + 0.4f * std::sin(0.2f * static_cast<float>(x)) *
+                     std::cos(0.2f * static_cast<float>(y));
+    }
+  }
+  const Tensor round = upscale_bicubic(downscale_bicubic(in, 2), 2);
+  EXPECT_GT(psnr(round, in), 30.0);
+}
+
+TEST(Resize, DownscaleValidation) {
+  const Tensor in = random_image({1, 3, 9, 9}, 2);
+  EXPECT_THROW(downscale_bicubic(in, 2), Error);  // 9 % 2 != 0
+  EXPECT_NO_THROW(downscale_bicubic(in, 3));
+}
+
+TEST(Metrics, PsnrIdentical) {
+  const Tensor a = random_image({1, 3, 8, 8}, 3);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  // Uniform error of 0.1 -> MSE 0.01 -> PSNR = 10*log10(1/0.01) = 20 dB.
+  const Tensor a = Tensor::full({1, 1, 8, 8}, 0.5f);
+  const Tensor b = Tensor::full({1, 1, 8, 8}, 0.6f);
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-4);
+}
+
+TEST(Metrics, PsnrPeakParameter) {
+  const Tensor a = Tensor::full({1, 1, 8, 8}, 100.0f);
+  const Tensor b = Tensor::full({1, 1, 8, 8}, 125.5f);
+  // With peak 255: PSNR = 20*log10(255/25.5) = 20 dB.
+  EXPECT_NEAR(psnr(a, b, 255.0), 20.0, 1e-3);
+}
+
+TEST(Metrics, SsimIdenticalIsOne) {
+  const Tensor a = random_image({1, 3, 16, 16}, 4);
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
+}
+
+TEST(Metrics, SsimDegradesWithNoise) {
+  const Tensor a = random_image({1, 1, 16, 16}, 5);
+  Tensor noisy = a;
+  Rng rng(6);
+  for (std::size_t i = 0; i < noisy.numel(); ++i) {
+    noisy[i] += static_cast<float>(rng.normal(0.0, 0.2));
+  }
+  const double s = ssim(a, noisy);
+  EXPECT_LT(s, 0.9);
+  EXPECT_GT(s, -1.0);
+}
+
+TEST(Metrics, SsimOrdersDegradations) {
+  const Tensor a = random_image({1, 1, 16, 16}, 7);
+  Tensor slightly = a;
+  Tensor badly = a;
+  Rng rng(8);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const float n = static_cast<float>(rng.normal());
+    slightly[i] += 0.02f * n;
+    badly[i] += 0.3f * n;
+  }
+  EXPECT_GT(ssim(a, slightly), ssim(a, badly));
+}
+
+TEST(PpmIo, RoundTrip) {
+  const std::string path = "/tmp/dlsr_test_roundtrip.ppm";
+  const Tensor img = random_image({1, 3, 7, 9}, 9);
+  write_ppm(path, img);
+  const Tensor back = read_ppm(path);
+  EXPECT_EQ(back.shape(), img.shape());
+  // 8-bit quantization: max error 1/510 + rounding.
+  EXPECT_LT(max_abs_diff(back, img), 1.0f / 255.0f);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, ClampsOutOfRange) {
+  const std::string path = "/tmp/dlsr_test_clamp.ppm";
+  Tensor img({1, 3, 2, 2});
+  img.fill(2.0f);  // above 1.0
+  write_ppm(path, img);
+  const Tensor back = read_ppm(path);
+  EXPECT_FLOAT_EQ(back[0], 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, RejectsMissingFile) {
+  EXPECT_THROW(read_ppm("/tmp/definitely_missing_dlsr.ppm"), Error);
+}
+
+TEST(SyntheticDataset, SplitSizesMatchDiv2k) {
+  const SyntheticDiv2k data(Div2kConfig{});
+  EXPECT_EQ(data.size(Split::Train), 800u);
+  EXPECT_EQ(data.size(Split::Validation), 100u);
+  EXPECT_EQ(data.size(Split::Test), 100u);
+}
+
+TEST(SyntheticDataset, Deterministic) {
+  Div2kConfig cfg;
+  cfg.image_size = 32;
+  const SyntheticDiv2k a(cfg);
+  const SyntheticDiv2k b(cfg);
+  const Tensor ia = a.hr_image(Split::Train, 5);
+  const Tensor ib = b.hr_image(Split::Train, 5);
+  EXPECT_LT(max_abs_diff(ia, ib), 0.0f + 1e-9f);
+}
+
+TEST(SyntheticDataset, ImagesDifferAcrossIndicesAndSplits) {
+  Div2kConfig cfg;
+  cfg.image_size = 32;
+  const SyntheticDiv2k data(cfg);
+  const Tensor t0 = data.hr_image(Split::Train, 0);
+  const Tensor t1 = data.hr_image(Split::Train, 1);
+  const Tensor v0 = data.hr_image(Split::Validation, 0);
+  EXPECT_GT(max_abs_diff(t0, t1), 0.05f);
+  EXPECT_GT(max_abs_diff(t0, v0), 0.05f);
+}
+
+TEST(SyntheticDataset, ValuesInRange) {
+  Div2kConfig cfg;
+  cfg.image_size = 24;
+  const SyntheticDiv2k data(cfg);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Tensor img = data.hr_image(Split::Test, i);
+    for (std::size_t j = 0; j < img.numel(); ++j) {
+      EXPECT_GE(img[j], 0.0f);
+      EXPECT_LE(img[j], 1.0f);
+    }
+  }
+}
+
+TEST(SyntheticDataset, HasHighFrequencyContent) {
+  // The whole point of the generator: bicubic downsample + upsample must
+  // lose measurable detail (so SR has something to learn).
+  Div2kConfig cfg;
+  cfg.image_size = 64;
+  const SyntheticDiv2k data(cfg);
+  double worst = 1e9;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Tensor hr = data.hr_image(Split::Train, i);
+    const Tensor round = upscale_bicubic(downscale_bicubic(hr, 2), 2);
+    worst = std::min(worst, psnr(round, hr));
+  }
+  EXPECT_LT(worst, 40.0);  // not trivially recoverable
+  EXPECT_GT(worst, 10.0);  // but not pure noise either
+}
+
+TEST(SyntheticDataset, LrMatchesDownscaledHr) {
+  Div2kConfig cfg;
+  cfg.image_size = 32;
+  const SyntheticDiv2k data(cfg);
+  const Tensor lr = data.lr_image(Split::Train, 3, 2);
+  const Tensor manual = downscale_bicubic(data.hr_image(Split::Train, 3), 2);
+  EXPECT_LT(max_abs_diff(lr, manual), 1e-7f);
+}
+
+TEST(SyntheticDataset, IndexValidation) {
+  Div2kConfig cfg;
+  cfg.image_size = 16;
+  cfg.test_images = 2;
+  const SyntheticDiv2k data(cfg);
+  EXPECT_THROW(data.hr_image(Split::Test, 2), Error);
+}
+
+TEST(PatchSampler, BatchShapes) {
+  Div2kConfig cfg;
+  cfg.image_size = 48;
+  const SyntheticDiv2k data(cfg);
+  PatchSampler sampler(data, Split::Train, 4, 2, 12, 77);
+  const Batch batch = sampler.sample_batch(3);
+  EXPECT_EQ(batch.lr.shape(), Shape({3, 3, 12, 12}));
+  EXPECT_EQ(batch.hr.shape(), Shape({3, 3, 24, 24}));
+}
+
+TEST(PatchSampler, Deterministic) {
+  Div2kConfig cfg;
+  cfg.image_size = 48;
+  const SyntheticDiv2k data(cfg);
+  PatchSampler a(data, Split::Train, 4, 2, 12, 5);
+  PatchSampler b(data, Split::Train, 4, 2, 12, 5);
+  const Batch ba = a.sample_batch(2);
+  const Batch bb = b.sample_batch(2);
+  EXPECT_LT(max_abs_diff(ba.lr, bb.lr), 1e-9f);
+  EXPECT_LT(max_abs_diff(ba.hr, bb.hr), 1e-9f);
+}
+
+TEST(PatchSampler, PatchesAlignedWithScale) {
+  // The HR patch must be the scale-aligned crop: downscaling it should give
+  // a patch close to the LR patch (identical interior, border effects from
+  // cropping tolerated).
+  Div2kConfig cfg;
+  cfg.image_size = 64;
+  const SyntheticDiv2k data(cfg);
+  PatchSampler sampler(data, Split::Train, 2, 2, 16, 6);
+  const Batch batch = sampler.sample_batch(1);
+  const Tensor down = downscale_bicubic(batch.hr, 2);
+  double err = 0.0;
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t y = 2; y < 14; ++y) {
+      for (std::size_t x = 2; x < 14; ++x) {
+        err += std::fabs(down.at4(0, c, y, x) - batch.lr.at4(0, c, y, x));
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(err / count, 0.08);
+}
+
+TEST(PatchSampler, Validation) {
+  Div2kConfig cfg;
+  cfg.image_size = 16;
+  const SyntheticDiv2k data(cfg);
+  EXPECT_THROW(PatchSampler(data, Split::Train, 0, 2, 8, 1), Error);
+  EXPECT_THROW(PatchSampler(data, Split::Train, 2, 2, 16, 1), Error);
+}
+
+
+TEST(PatchSampler, AugmentationPreservesPairAlignment) {
+  // A dihedral transform applied to both patches keeps them aligned: the
+  // downscaled HR patch must still approximate the LR patch.
+  Div2kConfig cfg;
+  cfg.image_size = 64;
+  const SyntheticDiv2k data(cfg);
+  PatchSampler sampler(data, Split::Train, 2, 2, 16, 6);
+  sampler.set_augmentation(true);
+  EXPECT_TRUE(sampler.augmentation());
+  for (int trial = 0; trial < 6; ++trial) {
+    const Batch batch = sampler.sample_batch(1);
+    const Tensor down = downscale_bicubic(batch.hr, 2);
+    double err = 0.0;
+    std::size_t count = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t y = 2; y < 14; ++y) {
+        for (std::size_t x = 2; x < 14; ++x) {
+          err += std::fabs(down.at4(0, c, y, x) - batch.lr.at4(0, c, y, x));
+          ++count;
+        }
+      }
+    }
+    EXPECT_LT(err / count, 0.08) << "trial " << trial;
+  }
+}
+
+TEST(PatchSampler, AugmentationChangesPatchStatistics) {
+  // With augmentation on, repeated draws from a 1-image pool produce
+  // transformed (not always identical-orientation) patches.
+  Div2kConfig cfg;
+  cfg.image_size = 32;
+  const SyntheticDiv2k data(cfg);
+  PatchSampler plain(data, Split::Train, 1, 2, 16, 9);
+  PatchSampler augmented(data, Split::Train, 1, 2, 16, 9);
+  augmented.set_augmentation(true);
+  // Full-image patches (16 = 32/2) remove crop randomness; any difference
+  // must come from the dihedral transform.
+  bool differs = false;
+  for (int i = 0; i < 8 && !differs; ++i) {
+    const Batch a = plain.sample_batch(1);
+    const Batch b = augmented.sample_batch(1);
+    differs = max_abs_diff(a.lr, b.lr) > 1e-6f;
+  }
+  EXPECT_TRUE(differs);
+}
+
+
+TEST(MetricsY, LumaConversion) {
+  Tensor rgb({1, 3, 1, 1}, {1.0f, 0.0f, 0.0f});  // pure red
+  EXPECT_NEAR(rgb_to_y(rgb)[0], 0.299f, 1e-6f);
+  Tensor white({1, 3, 2, 2});
+  white.fill(1.0f);
+  const Tensor y = rgb_to_y(white);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_NEAR(y[0], 1.0f, 1e-5f);
+}
+
+TEST(MetricsY, PsnrYCropsBorder) {
+  // Identical interiors, corrupted borders: psnr_y with crop must be inf.
+  Tensor a = random_image({1, 3, 12, 12}, 20);
+  Tensor b = a;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 12; ++i) {
+      b.at4(0, c, 0, i) = 0.0f;   // top row
+      b.at4(0, c, 11, i) = 1.0f;  // bottom row
+    }
+  }
+  EXPECT_TRUE(std::isinf(psnr_y(a, b, 2)));
+  EXPECT_FALSE(std::isinf(psnr_y(a, b, 0)));
+  EXPECT_THROW(psnr_y(a, b, 6), Error);
+}
+
+TEST(MetricsY, TracksRgbPsnrOrdering) {
+  const SyntheticDiv2k data(Div2kConfig{32, 4, 1, 1, 5});
+  const Tensor hr = data.hr_image(Split::Train, 0);
+  const Tensor x2 = upscale_bicubic(downscale_bicubic(hr, 2), 2);
+  const Tensor x4 = upscale_bicubic(downscale_bicubic(hr, 4), 4);
+  EXPECT_GT(psnr_y(x2, hr, 2), psnr_y(x4, hr, 4));
+}
+
+}  // namespace
+}  // namespace dlsr::img

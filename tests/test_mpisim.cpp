@@ -1,0 +1,373 @@
+// Tests for the CUDA-aware MPI model: the paper's environment semantics
+// (§III-C), registration cache (§III-D), transport path selection, and
+// allreduce algorithm behavior.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "mpisim/allreduce.hpp"
+#include "mpisim/communicator.hpp"
+#include "mpisim/env.hpp"
+#include "mpisim/reg_cache.hpp"
+#include "mpisim/transport.hpp"
+
+namespace dlsr::mpisim {
+namespace {
+
+// ---------------------------------------------------------------- MpiEnv --
+
+TEST(EnvSemantics, DefaultJobDisablesIpc) {
+  // The paper's root cause: framework pins CUDA_VISIBLE_DEVICES, no
+  // MV2_VISIBLE_DEVICES -> MPI loses CUDA IPC.
+  const MpiEnv env = MpiEnv::mpi_default();
+  EXPECT_TRUE(env.cuda_visible_devices_pinned);
+  EXPECT_FALSE(env.mv2_visible_devices_all);
+  EXPECT_FALSE(env.ipc_enabled());
+}
+
+TEST(EnvSemantics, Mv2VisibleDevicesRestoresIpc) {
+  // The paper's fix (Fig. 7): MV2_VISIBLE_DEVICES + CUDA >= 10.1.
+  const MpiEnv env = MpiEnv::mpi_opt();
+  EXPECT_TRUE(env.cuda_visible_devices_pinned);
+  EXPECT_TRUE(env.mv2_visible_devices_all);
+  EXPECT_TRUE(env.ipc_enabled());
+}
+
+TEST(EnvSemantics, OldCudaBlocksIpcEvenWithMv2) {
+  // Before CUDA 10.1 IPC required mutual visibility, so the MV2 variable
+  // alone cannot help.
+  MpiEnv env = MpiEnv::mpi_opt();
+  env.cuda = CudaRuntime{9, 2};
+  EXPECT_TRUE(env.cuda.ipc_requires_mutual_visibility());
+  EXPECT_FALSE(env.ipc_enabled());
+  env.cuda = CudaRuntime{10, 0};
+  EXPECT_FALSE(env.ipc_enabled());
+  env.cuda = CudaRuntime{10, 1};
+  EXPECT_TRUE(env.ipc_enabled());
+}
+
+TEST(EnvSemantics, UnpinnedFrameworkKeepsIpcButCostsContexts) {
+  // Fig. 6a: leaving CUDA_VISIBLE_DEVICES unset keeps IPC but every sibling
+  // process allocates an overhead context on every GPU.
+  MpiEnv env = MpiEnv::mpi_default();
+  env.cuda_visible_devices_pinned = false;
+  EXPECT_TRUE(env.ipc_enabled());
+  EXPECT_EQ(env.foreign_contexts_per_gpu(4), 3u);
+  // Pinned: no foreign contexts.
+  EXPECT_EQ(MpiEnv::mpi_default().foreign_contexts_per_gpu(4), 0u);
+}
+
+TEST(EnvSemantics, PresetsMatchPaperNames) {
+  EXPECT_FALSE(MpiEnv::mpi_default().use_reg_cache);
+  EXPECT_TRUE(MpiEnv::mpi_reg().use_reg_cache);
+  EXPECT_FALSE(MpiEnv::mpi_reg().ipc_enabled());
+  EXPECT_TRUE(MpiEnv::mpi_opt().use_reg_cache);
+  EXPECT_NE(MpiEnv::mpi_opt().describe().find("IPC enabled"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ RegistrationCache --
+
+RegCacheConfig cache_config(bool enabled, double churn = 0.0) {
+  RegCacheConfig c;
+  c.enabled = enabled;
+  c.allocator_churn = churn;
+  c.capacity_bytes = 1024;
+  c.registration_bandwidth = 1e9;
+  c.registration_latency = 1e-6;
+  return c;
+}
+
+TEST(RegCache, DisabledAlwaysPays) {
+  RegistrationCache cache(cache_config(false), 1);
+  const double first = cache.registration_cost(1, 1000);
+  const double second = cache.registration_cost(1, 1000);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_NEAR(first, 1e-6 + 1000 / 1e9, 1e-12);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(RegCache, HitIsFree) {
+  RegistrationCache cache(cache_config(true), 1);
+  EXPECT_GT(cache.registration_cost(1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(cache.registration_cost(1, 100), 0.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(RegCache, LruEviction) {
+  RegistrationCache cache(cache_config(true), 1);  // capacity 1024
+  cache.registration_cost(1, 600);
+  cache.registration_cost(2, 600);  // evicts 1
+  EXPECT_GT(cache.registration_cost(1, 600), 0.0);  // miss again
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(RegCache, LruRefreshOnHit) {
+  RegCacheConfig cfg = cache_config(true);
+  cfg.capacity_bytes = 1200;
+  RegistrationCache cache(cfg, 1);
+  cache.registration_cost(1, 500);
+  cache.registration_cost(2, 500);
+  cache.registration_cost(1, 500);  // hit refreshes 1
+  cache.registration_cost(3, 500);  // evicts 2, not 1
+  EXPECT_DOUBLE_EQ(cache.registration_cost(1, 500), 0.0);
+  EXPECT_GT(cache.registration_cost(2, 500), 0.0);
+}
+
+TEST(RegCache, ChurnForcesOccasionalMisses) {
+  RegCacheConfig cfg = cache_config(true, /*churn=*/0.5);
+  cfg.capacity_bytes = 1 << 20;
+  RegistrationCache cache(cfg, 7);
+  for (int i = 0; i < 2000; ++i) {
+    cache.registration_cost(42, 100);
+  }
+  EXPECT_NEAR(cache.hit_rate(), 0.5, 0.05);
+}
+
+TEST(RegCache, StatsReset) {
+  RegistrationCache cache(cache_config(true), 1);
+  cache.registration_cost(1, 100);
+  cache.reset_stats();
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+// -------------------------------------------------------------- Transport --
+
+TEST(TransportPaths, SelectionMatrix) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  const TransportConfig cfg = TransportConfig::mvapich2_gdr();
+
+  Transport no_ipc(cluster, MpiEnv::mpi_default(), cfg, 1);
+  EXPECT_EQ(no_ipc.path_for(0, 1, 1 * MiB), PathKind::IntraStaged);
+  EXPECT_EQ(no_ipc.path_for(0, 4, 1 * MiB), PathKind::InterGdr);
+
+  Transport ipc(cluster, MpiEnv::mpi_opt(), cfg, 1);
+  EXPECT_EQ(ipc.path_for(0, 1, 1 * MiB), PathKind::IntraIpc);
+  // Below the rendezvous threshold even IPC-capable jobs stage.
+  EXPECT_EQ(ipc.path_for(0, 1, 1 * KiB), PathKind::IntraStaged);
+  EXPECT_EQ(ipc.path_for(0, 4, 1 * MiB), PathKind::InterGdr);
+
+  MpiEnv no_gdr = MpiEnv::mpi_default();
+  no_gdr.use_gdr = false;
+  Transport staged(cluster, no_gdr, cfg, 1);
+  EXPECT_EQ(staged.path_for(0, 4, 1 * MiB), PathKind::InterStaged);
+}
+
+TEST(TransportPaths, IpcWinsUnderNodeWideConcurrency) {
+  // A lone staged copy can be fast (the pipelined host path has high burst
+  // bandwidth) — IPC's advantage is that all four local ranks copy in
+  // parallel on their own NVLink ports while staged copies share one bus.
+  // This is exactly the paper's all-ranks-allreduce situation.
+  const TransportConfig cfg = TransportConfig::mvapich2_gdr();
+  const std::size_t bytes = 64 * MiB;
+  const auto node_wide = [&](MpiEnv env, std::uint64_t seed) {
+    sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+    Transport t(cluster, env, cfg, seed);
+    sim::SimTime last = 0.0;
+    for (std::size_t r = 0; r < 4; ++r) {
+      last = std::max(last, t.send(r, (r + 1) % 4, bytes, r, 0.0));
+    }
+    return last;
+  };
+  EXPECT_LT(node_wide(MpiEnv::mpi_opt(), 1),
+            0.7 * node_wide(MpiEnv::mpi_default(), 2));
+}
+
+TEST(TransportPaths, StagedTransfersSerializeOnHostBus) {
+  // The emergent bottleneck: 4 concurrent staged sends through one node's
+  // host bus take ~4x one send; IPC sends on distinct GPU ports do not.
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  const TransportConfig cfg = TransportConfig::mvapich2_gdr();
+  {
+    Transport staged(cluster, MpiEnv::mpi_default(), cfg, 1);
+    const std::size_t bytes = 32 * MiB;
+    const double single = staged.ideal_duration(0, 1, bytes);
+    sim::SimTime last = 0.0;
+    last = std::max(last, staged.send(0, 1, bytes, 1, 0.0));
+    last = std::max(last, staged.send(1, 2, bytes, 2, 0.0));
+    last = std::max(last, staged.send(2, 3, bytes, 3, 0.0));
+    last = std::max(last, staged.send(3, 0, bytes, 4, 0.0));
+    EXPECT_NEAR(last, 4.0 * single, single * 0.05);
+  }
+  cluster.reset();
+  {
+    Transport ipc(cluster, MpiEnv::mpi_opt(), cfg, 2);
+    const std::size_t bytes = 32 * MiB;
+    // The four transfers run in parallel on distinct GPU ports; the ring's
+    // slowest hop is a cross-socket (X-Bus) pair, e.g. 1 -> 2.
+    const double slowest = ipc.ideal_duration(1, 2, bytes);
+    EXPECT_GT(slowest, ipc.ideal_duration(0, 1, bytes));  // X-Bus penalty
+    sim::SimTime last = 0.0;
+    last = std::max(last, ipc.send(0, 1, bytes, 1, 0.0));
+    last = std::max(last, ipc.send(1, 2, bytes, 2, 0.0));
+    last = std::max(last, ipc.send(2, 3, bytes, 3, 0.0));
+    last = std::max(last, ipc.send(3, 0, bytes, 4, 0.0));
+    EXPECT_NEAR(last, slowest, slowest * 0.05);  // fully parallel
+  }
+}
+
+TEST(TransportPaths, InterNodeUsesBothRails) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  Transport t(cluster, MpiEnv::mpi_opt(), TransportConfig::mvapich2_gdr(), 3);
+  const std::size_t bytes = 16 * MiB;
+  const double single = t.ideal_duration(0, 4, bytes);
+  // Two concurrent inter-node sends land on different rails: the second
+  // finishes with the first instead of queuing behind it.
+  const sim::SimTime a = t.send(0, 4, bytes, 1, 0.0);
+  const sim::SimTime b = t.send(1, 5, bytes, 2, 0.0);
+  EXPECT_NEAR(b, a, single * 0.25);
+  // A third send must queue behind one of the rails.
+  const sim::SimTime c = t.send(2, 6, bytes, 3, 0.0);
+  EXPECT_GT(c, 1.5 * single);
+}
+
+TEST(TransportPaths, SelfSendRejected) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  Transport t(cluster, MpiEnv::mpi_opt(), TransportConfig::mvapich2_gdr(), 1);
+  EXPECT_THROW(t.send(0, 0, 100, 1, 0.0), Error);
+}
+
+// -------------------------------------------------------------- Allreduce --
+
+TEST(AllreduceSelect, TuningTable) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  Transport t(cluster, MpiEnv::mpi_opt(), TransportConfig::mvapich2_gdr(), 1);
+  AllreduceEngine engine(t, AllreduceConfig{});
+  EXPECT_EQ(engine.select(1 * KiB), AllreduceAlgo::RecursiveDoubling);
+  EXPECT_EQ(engine.select(1 * MiB), AllreduceAlgo::Ring);
+  EXPECT_EQ(engine.select(64 * MiB), AllreduceAlgo::TwoLevel);
+}
+
+TEST(AllreduceCosts, MonotonicInMessageSize) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(4));
+  Transport t(cluster, MpiEnv::mpi_opt(), TransportConfig::mvapich2_gdr(), 1);
+  AllreduceEngine engine(t, AllreduceConfig{});
+  double prev = 0.0;
+  for (const std::size_t bytes : {16 * MiB, 32 * MiB, 64 * MiB, 128 * MiB}) {
+    cluster.reset();
+    const double done = engine.run(bytes, 1, 0.0).done;
+    EXPECT_GT(done, prev);
+    prev = done;
+  }
+}
+
+TEST(AllreduceCosts, IpcAcceleratesOnlyLargeMessages) {
+  // The paper's Table I pattern as an engine-level property.
+  for (const std::size_t bytes : {1 * MiB, 8 * MiB}) {
+    sim::Cluster c1(sim::ClusterSpec::lassen(1));
+    Transport t1(c1, MpiEnv::mpi_default(), TransportConfig::mvapich2_gdr(), 1);
+    AllreduceEngine e1(t1, AllreduceConfig{});
+    sim::Cluster c2(sim::ClusterSpec::lassen(1));
+    Transport t2(c2, MpiEnv::mpi_opt(), TransportConfig::mvapich2_gdr(), 1);
+    AllreduceEngine e2(t2, AllreduceConfig{});
+    const double d = e1.run(bytes, 1, 0.0).done;
+    const double o = e2.run(bytes, 1, 0.0).done;
+    EXPECT_NEAR(o, d, d * 0.02) << "medium message " << bytes;
+  }
+  for (const std::size_t bytes : {32 * MiB, 64 * MiB}) {
+    sim::Cluster c1(sim::ClusterSpec::lassen(1));
+    Transport t1(c1, MpiEnv::mpi_default(), TransportConfig::mvapich2_gdr(), 1);
+    AllreduceEngine e1(t1, AllreduceConfig{});
+    sim::Cluster c2(sim::ClusterSpec::lassen(1));
+    Transport t2(c2, MpiEnv::mpi_opt(), TransportConfig::mvapich2_gdr(), 1);
+    AllreduceEngine e2(t2, AllreduceConfig{});
+    const double d = e1.run(bytes, 1, 0.0).done;
+    const double o = e2.run(bytes, 1, 0.0).done;
+    EXPECT_LT(o, 0.65 * d) << "large message " << bytes;
+  }
+}
+
+TEST(AllreduceCosts, SingleRankIsFree) {
+  sim::ClusterSpec spec = sim::ClusterSpec::lassen(1);
+  spec.gpus_per_node = 1;
+  sim::Cluster cluster(spec);
+  Transport t(cluster, MpiEnv::mpi_opt(), TransportConfig::mvapich2_gdr(), 1);
+  AllreduceEngine engine(t, AllreduceConfig{});
+  EXPECT_DOUBLE_EQ(engine.run(64 * MiB, 1, 3.5).done, 3.5);
+}
+
+TEST(AllreduceCosts, DesyncPenaltyGrowsWithScale) {
+  const auto cost_at = [](std::size_t nodes) {
+    sim::Cluster cluster(sim::ClusterSpec::lassen(nodes));
+    Transport t(cluster, MpiEnv::mpi_default(),
+                TransportConfig::mvapich2_gdr(), 1);
+    AllreduceEngine engine(t, AllreduceConfig{});
+    return engine.run(1 * KiB, 1, 0.0).done;  // latency-bound
+  };
+  EXPECT_GT(cost_at(64), cost_at(4));
+}
+
+TEST(Communicator, SerializesCollectives) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  MpiCommunicator comm(cluster, MpiEnv::mpi_opt(),
+                       TransportConfig::mvapich2_gdr(), AllreduceConfig{});
+  const sim::SimTime first = comm.allreduce(64 * MiB, 1, 0.0);
+  const sim::SimTime second = comm.allreduce(64 * MiB, 2, 0.0);
+  EXPECT_GT(second, first);  // queued behind the engine
+  EXPECT_DOUBLE_EQ(comm.engine_busy_until(), second);
+  comm.reset_engine();
+  EXPECT_DOUBLE_EQ(comm.engine_busy_until(), 0.0);
+}
+
+TEST(Communicator, ProfilerRecordsBuckets) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  MpiCommunicator comm(cluster, MpiEnv::mpi_opt(),
+                       TransportConfig::mvapich2_gdr(), AllreduceConfig{});
+  comm.allreduce(64 * MiB, 1, 0.0);
+  comm.allreduce(1 * KiB, 2, 0.0);
+  comm.broadcast(8 * MiB, 3, 0.0);
+  const prof::Hvprof& p = comm.profiler();
+  EXPECT_EQ(p.total_count(prof::Collective::Allreduce), 2u);
+  EXPECT_EQ(p.total_count(prof::Collective::Broadcast), 1u);
+  EXPECT_GT(p.bucket(prof::Collective::Allreduce, 3).time, 0.0);  // 32-64MB
+  EXPECT_GT(p.bucket(prof::Collective::Allreduce, 0).count, 0u);
+}
+
+TEST(Communicator, OverlapFollowsIpc) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  MpiCommunicator opt(cluster, MpiEnv::mpi_opt(),
+                      TransportConfig::mvapich2_gdr(), AllreduceConfig{});
+  EXPECT_TRUE(opt.overlaps_compute());
+  MpiCommunicator def(cluster, MpiEnv::mpi_default(),
+                      TransportConfig::mvapich2_gdr(), AllreduceConfig{});
+  EXPECT_FALSE(def.overlaps_compute());
+}
+
+
+TEST(Allgather, RecordedAndScalesWithRanks) {
+  sim::Cluster small(sim::ClusterSpec::lassen(2));
+  MpiCommunicator comm_small(small, MpiEnv::mpi_opt(),
+                             TransportConfig::mvapich2_gdr(),
+                             AllreduceConfig{});
+  const double t_small = comm_small.allgather(256 * KiB, 1, 0.0);
+  EXPECT_EQ(comm_small.profiler().total_count(prof::Collective::Allgather),
+            1u);
+  sim::Cluster big(sim::ClusterSpec::lassen(16));
+  MpiCommunicator comm_big(big, MpiEnv::mpi_opt(),
+                           TransportConfig::mvapich2_gdr(),
+                           AllreduceConfig{});
+  const double t_big = comm_big.allgather(256 * KiB, 1, 0.0);
+  EXPECT_GT(t_big, t_small);  // (R-1) x payload grows with rank count
+}
+
+TEST(Broadcast, CostGrowsLogarithmicallyWithNodes) {
+  const auto cost_at = [](std::size_t nodes) {
+    sim::Cluster cluster(sim::ClusterSpec::lassen(nodes));
+    MpiCommunicator comm(cluster, MpiEnv::mpi_opt(),
+                         TransportConfig::mvapich2_gdr(), AllreduceConfig{});
+    return comm.broadcast(64 * MiB, 1, 0.0);
+  };
+  const double c2 = cost_at(2);
+  const double c16 = cost_at(16);
+  const double c64 = cost_at(64);
+  EXPECT_GT(c16, c2);
+  // log growth: 16 -> 64 nodes adds about as much as 2 -> 16 did per
+  // doubling, nowhere near linear.
+  EXPECT_LT(c64, 2.0 * c16);
+}
+
+}  // namespace
+}  // namespace dlsr::mpisim

@@ -1,0 +1,106 @@
+// Tests for the NCCL-style backend timing model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "ncclsim/nccl.hpp"
+
+namespace dlsr::ncclsim {
+namespace {
+
+TEST(Nccl, SingleGpuIsFree) {
+  sim::ClusterSpec spec = sim::ClusterSpec::lassen(1);
+  spec.gpus_per_node = 1;
+  sim::Cluster cluster(spec);
+  NcclCommunicator comm(cluster, NcclConfig::nccl_2_8());
+  EXPECT_DOUBLE_EQ(comm.allreduce(64 * MiB, 0, 1.25), 1.25);
+}
+
+TEST(Nccl, CostGrowsWithMessageSize) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(4));
+  NcclCommunicator comm(cluster, NcclConfig::nccl_2_8());
+  double prev = 0.0;
+  for (const std::size_t bytes : {1 * MiB, 16 * MiB, 64 * MiB, 256 * MiB}) {
+    cluster.reset();
+    comm.reset_engine();
+    const double done = comm.allreduce(bytes, 0, 0.0);
+    EXPECT_GT(done, prev);
+    prev = done;
+  }
+}
+
+TEST(Nccl, InterNodeBandwidthBound) {
+  // At multi-node scale the node-boundary IB crossing is the bottleneck:
+  // time approaches 2 * M / ib_bw, independent of node count.
+  const NcclConfig cfg = NcclConfig::nccl_2_8();
+  const std::size_t bytes = 64 * MiB;
+  const auto cost_at = [&](std::size_t nodes) {
+    sim::Cluster cluster(sim::ClusterSpec::lassen(nodes));
+    NcclCommunicator comm(cluster, cfg);
+    return comm.allreduce(bytes, 0, 0.0);
+  };
+  const double bw_term = 2.0 * static_cast<double>(bytes) / cfg.ib_bandwidth;
+  EXPECT_NEAR(cost_at(8), bw_term, bw_term * 0.5);
+  // Ring latency grows linearly with the GPU count, so 128 nodes are
+  // measurably slower than 8 even though the bandwidth term is flat.
+  EXPECT_GT(cost_at(128), cost_at(8));
+  EXPECT_LT(cost_at(128), 3.0 * cost_at(8));
+}
+
+TEST(Nccl, IntraNodeMuchFasterThanInter) {
+  const std::size_t bytes = 64 * MiB;
+  sim::Cluster one(sim::ClusterSpec::lassen(1));
+  NcclCommunicator intra(one, NcclConfig::nccl_2_8());
+  sim::Cluster many(sim::ClusterSpec::lassen(16));
+  NcclCommunicator inter(many, NcclConfig::nccl_2_8());
+  EXPECT_LT(intra.allreduce(bytes, 0, 0.0),
+            0.5 * inter.allreduce(bytes, 0, 0.0));
+}
+
+TEST(Nccl, EngineSerializes) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  NcclCommunicator comm(cluster, NcclConfig::nccl_2_8());
+  const double first = comm.allreduce(64 * MiB, 0, 0.0);
+  const double second = comm.allreduce(64 * MiB, 0, 0.0);
+  EXPECT_GT(second, first);
+  comm.reset_engine();
+  EXPECT_DOUBLE_EQ(comm.engine_busy_until(), 0.0);
+}
+
+TEST(Nccl, ProfilerRecords) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  NcclCommunicator comm(cluster, NcclConfig::nccl_2_8());
+  comm.allreduce(32 * MiB, 0, 0.0);
+  comm.broadcast(8 * MiB, 0, 0.0);
+  EXPECT_EQ(comm.profiler().total_count(prof::Collective::Allreduce), 1u);
+  EXPECT_EQ(comm.profiler().total_count(prof::Collective::Broadcast), 1u);
+}
+
+TEST(Nccl, BroadcastCheaperThanAllreduce) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(4));
+  NcclCommunicator comm(cluster, NcclConfig::nccl_2_8());
+  const double ar = comm.allreduce(64 * MiB, 0, 0.0) ;
+  comm.reset_engine();
+  cluster.reset();
+  const double bc = comm.broadcast(64 * MiB, 0, 0.0);
+  EXPECT_LT(bc, ar);  // ~1x traffic vs ~2x
+}
+
+TEST(Nccl, AlwaysOverlapsCompute) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  NcclCommunicator comm(cluster, NcclConfig::nccl_2_8());
+  EXPECT_TRUE(comm.overlaps_compute());
+}
+
+TEST(Nccl, RejectsBadConfig) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  NcclConfig bad = NcclConfig::nccl_2_8();
+  bad.chunk_bytes = 0;
+  EXPECT_THROW(NcclCommunicator(cluster, bad), Error);
+  bad = NcclConfig::nccl_2_8();
+  bad.ib_bandwidth = 0.0;
+  EXPECT_THROW(NcclCommunicator(cluster, bad), Error);
+}
+
+}  // namespace
+}  // namespace dlsr::ncclsim

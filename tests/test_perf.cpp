@@ -1,0 +1,140 @@
+// Tests for the V100 performance model — calibration targets, roofline
+// behavior, and the training-memory model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/edsr_graph.hpp"
+#include "models/resnet50_graph.hpp"
+#include "perf/v100_model.hpp"
+
+namespace dlsr::perf {
+namespace {
+
+using models::build_edsr_graph;
+using models::build_resnet50_graph;
+using models::EdsrConfig;
+
+TEST(GpuSpecTest, V100Constants) {
+  const GpuSpec v100 = GpuSpec::v100_16gb();
+  EXPECT_DOUBLE_EQ(v100.fp32_flops, 15.7e12);
+  EXPECT_DOUBLE_EQ(v100.hbm_bandwidth, 900e9);
+  EXPECT_EQ(v100.memory_bytes, 16ull * 1024 * 1024 * 1024);
+}
+
+TEST(Calibration, EdsrMatchesPaperFig1) {
+  // Paper Fig. 1: EDSR ~10.3 images/s on one V100 at batch 4.
+  const PerfModel model(GpuSpec::v100_16gb(), EfficiencyCalibration::edsr());
+  const auto graph = build_edsr_graph(EdsrConfig::paper(), 48);
+  EXPECT_NEAR(model.images_per_second(graph, 4), 10.3, 1.0);
+}
+
+TEST(Calibration, Resnet50MatchesPaperFig1) {
+  // Paper Fig. 1: ResNet-50 ~360 images/s.
+  const PerfModel model(GpuSpec::v100_16gb(),
+                        EfficiencyCalibration::resnet50());
+  const auto graph = build_resnet50_graph(224, 1000);
+  EXPECT_NEAR(model.images_per_second(graph, 32), 360.0, 36.0);
+}
+
+TEST(Calibration, SrVsClassificationGap) {
+  // The motivating 30x+ throughput gap between the model classes.
+  const PerfModel edsr_model(GpuSpec::v100_16gb(),
+                             EfficiencyCalibration::edsr());
+  const PerfModel resnet_model(GpuSpec::v100_16gb(),
+                               EfficiencyCalibration::resnet50());
+  const double edsr =
+      edsr_model.images_per_second(build_edsr_graph(EdsrConfig::paper(), 48), 4);
+  const double resnet =
+      resnet_model.images_per_second(build_resnet50_graph(224, 1000), 32);
+  EXPECT_GT(resnet / edsr, 25.0);
+  EXPECT_LT(resnet / edsr, 45.0);
+}
+
+TEST(PerfModelTest, ThroughputRisesWithBatchThenSaturates) {
+  const PerfModel model(GpuSpec::v100_16gb(), EfficiencyCalibration::edsr());
+  const auto graph = build_edsr_graph(EdsrConfig::paper(), 48);
+  double prev = 0.0;
+  for (const std::size_t batch : {1ul, 2ul, 4ul, 8ul, 16ul}) {
+    const double ips = model.images_per_second(graph, batch);
+    EXPECT_GT(ips, prev);  // amortizing fixed overhead
+    prev = ips;
+  }
+  // But gains saturate: doubling 8 -> 16 gains < 5%.
+  EXPECT_LT(model.images_per_second(graph, 16) /
+                model.images_per_second(graph, 8),
+            1.05);
+}
+
+TEST(PerfModelTest, StepDecompositionPositiveAndOrdered) {
+  const PerfModel model(GpuSpec::v100_16gb(), EfficiencyCalibration::edsr());
+  const auto graph = build_edsr_graph(EdsrConfig::paper(), 48);
+  const StepTime t = model.step_time(graph, 4);
+  EXPECT_GT(t.forward, 0.0);
+  EXPECT_GT(t.backward, t.forward);  // backward ~2x forward
+  EXPECT_LT(t.backward, 3.0 * t.forward);
+  EXPECT_GT(t.optimizer, 0.0);
+  EXPECT_LT(t.optimizer, t.forward);
+  EXPECT_DOUBLE_EQ(t.total(),
+                   t.forward + t.backward + t.optimizer + t.overhead);
+}
+
+TEST(PerfModelTest, LayerTimesScaleWithBatch) {
+  const PerfModel model(GpuSpec::v100_16gb(), EfficiencyCalibration::edsr());
+  const auto graph = build_edsr_graph(EdsrConfig::paper(), 48);
+  const auto& conv = graph.layers()[1];  // a body conv
+  const double t1 = model.layer_forward_time(conv, 1);
+  const double t8 = model.layer_forward_time(conv, 8);
+  EXPECT_GT(t8, 6.0 * t1);  // near-linear minus launch overhead
+  EXPECT_LT(t8, 8.5 * t1);
+}
+
+TEST(PerfModelTest, MemoryBoundLayerUsesBandwidth) {
+  // A ReLU moves bytes but does ~no FLOPs: time must track bandwidth.
+  const PerfModel model(GpuSpec::v100_16gb(),
+                        EfficiencyCalibration::generic());
+  models::LayerDesc relu = models::relu_desc("r", 256, 48, 48);
+  const double t = model.layer_forward_time(relu, 4);
+  const double bytes = 4.0 * 2 * 256 * 48 * 48 * 4;
+  const double expected =
+      bytes / (900e9 * EfficiencyCalibration{}.memory_efficiency) + 8e-6;
+  EXPECT_NEAR(t, expected, expected * 0.01);
+}
+
+TEST(MemoryModel, GrowsWithBatch) {
+  const PerfModel model(GpuSpec::v100_16gb(), EfficiencyCalibration::edsr());
+  const auto graph = build_edsr_graph(EdsrConfig::paper(), 48);
+  std::size_t prev = 0;
+  for (const std::size_t batch : {1ul, 2ul, 4ul, 8ul}) {
+    const std::size_t mem = model.training_memory_bytes(graph, batch);
+    EXPECT_GT(mem, prev);
+    prev = mem;
+  }
+}
+
+TEST(MemoryModel, PaperBatchFitsLargeDoesNot) {
+  const PerfModel model(GpuSpec::v100_16gb(), EfficiencyCalibration::edsr());
+  const auto graph = build_edsr_graph(EdsrConfig::paper(), 48);
+  EXPECT_TRUE(model.fits_in_memory(graph, 4));
+  EXPECT_FALSE(model.fits_in_memory(graph, 32));
+}
+
+TEST(MemoryModel, ForeignContextsShrinkHeadroom) {
+  const PerfModel model(GpuSpec::v100_16gb(), EfficiencyCalibration::edsr());
+  const auto graph = build_edsr_graph(EdsrConfig::paper(), 48);
+  const std::size_t base = model.training_memory_bytes(graph, 4, 0);
+  const std::size_t crowded =
+      model.training_memory_bytes(graph, 4, 3 * kCudaContextBytes);
+  EXPECT_EQ(crowded - base, 3 * kCudaContextBytes);
+}
+
+TEST(PerfModelTest, RejectsBadConfig) {
+  GpuSpec bad = GpuSpec::v100_16gb();
+  bad.fp32_flops = 0.0;
+  EXPECT_THROW(PerfModel(bad, EfficiencyCalibration::edsr()), Error);
+  EfficiencyCalibration bad_calib;
+  bad_calib.compute_efficiency = 0.0;
+  EXPECT_THROW(PerfModel(GpuSpec::v100_16gb(), bad_calib), Error);
+}
+
+}  // namespace
+}  // namespace dlsr::perf

@@ -1,0 +1,102 @@
+// Tests for hvprof — bucketing, aggregation, and Table-I-style reports.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "prof/hvprof.hpp"
+
+namespace dlsr::prof {
+namespace {
+
+TEST(Buckets, BoundariesMatchTableI) {
+  // Inclusive upper bounds: 128 KB is "1-128 KB", 16 MB is "128 KB-16 MB".
+  EXPECT_EQ(Hvprof::bucket_index(1), 0u);
+  EXPECT_EQ(Hvprof::bucket_index(128 * KiB), 0u);
+  EXPECT_EQ(Hvprof::bucket_index(128 * KiB + 1), 1u);
+  EXPECT_EQ(Hvprof::bucket_index(16 * MiB), 1u);
+  EXPECT_EQ(Hvprof::bucket_index(16 * MiB + 1), 2u);
+  EXPECT_EQ(Hvprof::bucket_index(32 * MiB), 2u);
+  EXPECT_EQ(Hvprof::bucket_index(48 * MiB), 3u);
+  EXPECT_EQ(Hvprof::bucket_index(64 * MiB), 3u);
+  EXPECT_EQ(Hvprof::bucket_index(64 * MiB + 1), 4u);
+  EXPECT_EQ(Hvprof::bucket_index(1024 * MiB), 4u);
+}
+
+TEST(Buckets, LabelsAligned) {
+  EXPECT_STREQ(Hvprof::bucket_labels()[0], "1-128 KB");
+  EXPECT_STREQ(Hvprof::bucket_labels()[3], "32 MB - 64 MB");
+}
+
+TEST(Recording, AccumulatesPerBucketAndCollective) {
+  Hvprof prof;
+  prof.record(Collective::Allreduce, 64 * MiB, 0.025);
+  prof.record(Collective::Allreduce, 48 * MiB, 0.015);
+  prof.record(Collective::Allreduce, 1 * KiB, 0.001);
+  prof.record(Collective::Broadcast, 64 * MiB, 0.099);
+
+  const BucketStats& big = prof.bucket(Collective::Allreduce, 3);
+  EXPECT_EQ(big.count, 2u);
+  EXPECT_EQ(big.bytes, 112 * MiB);
+  EXPECT_DOUBLE_EQ(big.time, 0.040);
+  EXPECT_DOUBLE_EQ(prof.total_time(Collective::Allreduce), 0.041);
+  EXPECT_EQ(prof.total_count(Collective::Allreduce), 3u);
+  // Broadcast kept separate.
+  EXPECT_DOUBLE_EQ(prof.total_time(Collective::Broadcast), 0.099);
+}
+
+TEST(Recording, RejectsNegativeDuration) {
+  Hvprof prof;
+  EXPECT_THROW(prof.record(Collective::Allreduce, 10, -1.0), Error);
+}
+
+TEST(Recording, Reset) {
+  Hvprof prof;
+  prof.record(Collective::Allreduce, 10, 0.5);
+  prof.reset();
+  EXPECT_EQ(prof.total_count(Collective::Allreduce), 0u);
+  EXPECT_DOUBLE_EQ(prof.total_time(Collective::Allreduce), 0.0);
+}
+
+TEST(Report, ContainsBucketRowsAndTotal) {
+  Hvprof prof;
+  prof.record(Collective::Allreduce, 64 * MiB, 0.0255);
+  const std::string s = prof.report(Collective::Allreduce).to_string();
+  EXPECT_NE(s.find("32 MB - 64 MB"), std::string::npos);
+  EXPECT_NE(s.find("Total"), std::string::npos);
+  EXPECT_NE(s.find("25.5"), std::string::npos);
+}
+
+TEST(Compare, ImprovementMath) {
+  Hvprof def;
+  Hvprof opt;
+  // 16-32 MB bucket: 100 ms -> 46.9 ms = 53.1 % improvement (Table I).
+  def.record(Collective::Allreduce, 20 * MiB, 0.100);
+  opt.record(Collective::Allreduce, 20 * MiB, 0.0469);
+  // small bucket: equal -> "~ 0".
+  def.record(Collective::Allreduce, 1 * KiB, 0.004);
+  opt.record(Collective::Allreduce, 1 * KiB, 0.004);
+  const Table t = Hvprof::compare(def, opt, Collective::Allreduce);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("53.1"), std::string::npos);
+  EXPECT_NE(s.find("~ 0"), std::string::npos);
+  EXPECT_NE(s.find("Total Time"), std::string::npos);
+}
+
+TEST(Compare, OmitsEmptyBuckets) {
+  Hvprof def;
+  Hvprof opt;
+  def.record(Collective::Allreduce, 64 * MiB, 0.1);
+  opt.record(Collective::Allreduce, 64 * MiB, 0.05);
+  const Table t = Hvprof::compare(def, opt, Collective::Allreduce);
+  // Only the 32-64 MB row plus the total row.
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(CollectiveNames, Stable) {
+  EXPECT_STREQ(collective_name(Collective::Allreduce), "MPI_Allreduce");
+  EXPECT_STREQ(collective_name(Collective::Broadcast), "MPI_Bcast");
+  EXPECT_STREQ(collective_name(Collective::Allgather), "MPI_Allgather");
+}
+
+}  // namespace
+}  // namespace dlsr::prof

@@ -1,0 +1,241 @@
+// Tests for dlsr::tensor — Tensor container, elementwise ops, GEMM kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+TEST(TensorBasics, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorBasics, ShapeHelpers) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_to_string({1, 2}), "[1, 2]");
+}
+
+TEST(TensorBasics, FromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(3), 4.0f);
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(TensorBasics, FullAndArange) {
+  Tensor f = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(f[0], 2.5f);
+  Tensor a = Tensor::arange(4);
+  EXPECT_EQ(a[3], 3.0f);
+}
+
+TEST(TensorBasics, At4Layout) {
+  // NCHW: index = ((n*C + c)*H + h)*W + w
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+  EXPECT_THROW(t.at4(2, 0, 0, 0), Error);
+  EXPECT_THROW(t.at4(0, 3, 0, 0), Error);
+}
+
+TEST(TensorBasics, BoundsChecked) {
+  Tensor t({2});
+  EXPECT_THROW(t.at(2), Error);
+  EXPECT_THROW(t.dim(1), Error);
+}
+
+TEST(TensorBasics, Reshape) {
+  Tensor t = Tensor::arange(6);
+  Tensor r = t.reshaped({2, 3});
+  EXPECT_EQ(r.dim(0), 2u);
+  EXPECT_EQ(r[5], 5.0f);
+  EXPECT_THROW(t.reshaped({4}), Error);
+}
+
+TEST(TensorBasics, ValueSemantics) {
+  Tensor a = Tensor::full({2}, 1.0f);
+  Tensor b = a;
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 1.0f);  // deep copy
+}
+
+TEST(TensorOps, AddSubMulScale) {
+  const Tensor a({2}, {1, 2});
+  const Tensor b({2}, {3, 5});
+  EXPECT_EQ(add(a, b)[1], 7.0f);
+  EXPECT_EQ(sub(b, a)[0], 2.0f);
+  EXPECT_EQ(mul(a, b)[1], 10.0f);
+  EXPECT_EQ(scale(a, 2.0f)[0], 2.0f);
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  const Tensor a({2});
+  const Tensor b({3});
+  EXPECT_THROW(add(a, b), Error);
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+TEST(TensorOps, InplaceVariants) {
+  Tensor a({2}, {1, 2});
+  const Tensor b({2}, {10, 20});
+  add_inplace(a, b);
+  EXPECT_EQ(a[1], 22.0f);
+  sub_inplace(a, b);
+  EXPECT_EQ(a[1], 2.0f);
+  scale_inplace(a, 3.0f);
+  EXPECT_EQ(a[0], 3.0f);
+  axpy_inplace(a, 0.5f, b);
+  EXPECT_EQ(a[0], 8.0f);
+  clamp_inplace(a, 0.0f, 10.0f);
+  EXPECT_EQ(a[1], 10.0f);
+}
+
+TEST(TensorOps, Reductions) {
+  const Tensor a({4}, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(sum(a), -2.0);
+  EXPECT_DOUBLE_EQ(mean(a), -0.5);
+  EXPECT_EQ(max_abs(a), 4.0f);
+  EXPECT_NEAR(l2_norm(a), std::sqrt(30.0), 1e-12);
+}
+
+TEST(TensorOps, AllFiniteDetectsNan) {
+  Tensor a({2}, {1.0f, 2.0f});
+  EXPECT_TRUE(all_finite(a));
+  a[1] = std::nanf("");
+  EXPECT_FALSE(all_finite(a));
+  a[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(a));
+}
+
+TEST(Matmul, KnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const Tensor a({2, 2}, {1, 2, 3, 4});
+  const Tensor b({2, 2}, {5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c[0], 19.0f);
+  EXPECT_EQ(c[1], 22.0f);
+  EXPECT_EQ(c[2], 43.0f);
+  EXPECT_EQ(c[3], 50.0f);
+}
+
+TEST(Matmul, ShapeChecks) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 2});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+/// Property sweep: blocked kernel == naive kernel on irregular shapes.
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, BlockedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Tensor a = random_tensor({static_cast<std::size_t>(m),
+                                  static_cast<std::size_t>(k)},
+                                 100 + m);
+  const Tensor b = random_tensor({static_cast<std::size_t>(k),
+                                  static_cast<std::size_t>(n)},
+                                 200 + n);
+  Tensor c1({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+  Tensor c2 = c1;
+  matmul_naive(a.raw(), b.raw(), c1.raw(), m, k, n, false);
+  matmul_blocked(a.raw(), b.raw(), c2.raw(), m, k, n, false);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-4f)
+      << "m=" << m << " k=" << k << " n=" << n;
+}
+
+TEST_P(MatmulShapes, AccumulateMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Tensor a = random_tensor({static_cast<std::size_t>(m),
+                                  static_cast<std::size_t>(k)},
+                                 7);
+  const Tensor b = random_tensor({static_cast<std::size_t>(k),
+                                  static_cast<std::size_t>(n)},
+                                 8);
+  Tensor c1 = random_tensor({static_cast<std::size_t>(m),
+                             static_cast<std::size_t>(n)},
+                            9);
+  Tensor c2 = c1;
+  matmul_naive(a.raw(), b.raw(), c1.raw(), m, k, n, true);
+  matmul_blocked(a.raw(), b.raw(), c2.raw(), m, k, n, true);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(32, 64, 33), std::make_tuple(65, 63, 17),
+                      std::make_tuple(128, 16, 256),
+                      std::make_tuple(33, 257, 31)));
+
+TEST(Matmul, AtBMatchesExplicitTranspose) {
+  // C = A^T * B with A (k x m): compare against naive on transposed A.
+  const std::size_t k = 13, m = 7, n = 11;
+  const Tensor a = random_tensor({k, m}, 31);
+  const Tensor b = random_tensor({k, n}, 32);
+  Tensor at({m, k});
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      at[j * k + i] = a[i * m + j];
+    }
+  }
+  Tensor c1({m, n});
+  Tensor c2({m, n});
+  matmul_naive(at.raw(), b.raw(), c1.raw(), m, k, n, false);
+  matmul_at_b(a.raw(), b.raw(), c2.raw(), k, m, n, false);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-4f);
+}
+
+TEST(Matmul, ABtMatchesExplicitTranspose) {
+  // C = A * B^T with B (n x k).
+  const std::size_t m = 6, k = 9, n = 5;
+  const Tensor a = random_tensor({m, k}, 41);
+  const Tensor b = random_tensor({n, k}, 42);
+  Tensor bt({k, n});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      bt[j * n + i] = b[i * k + j];
+    }
+  }
+  Tensor c1({m, n});
+  Tensor c2({m, n});
+  matmul_naive(a.raw(), bt.raw(), c1.raw(), m, k, n, false);
+  matmul_a_bt(a.raw(), b.raw(), c2.raw(), m, k, n, false);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-4f);
+}
+
+TEST(Matmul, AtBAccumulates) {
+  const std::size_t k = 4, m = 3, n = 2;
+  const Tensor a = random_tensor({k, m}, 51);
+  const Tensor b = random_tensor({k, n}, 52);
+  Tensor c = Tensor::full({m, n}, 1.0f);
+  Tensor expected = c;
+  matmul_at_b(a.raw(), b.raw(), c.raw(), k, m, n, true);
+  Tensor fresh({m, n});
+  matmul_at_b(a.raw(), b.raw(), fresh.raw(), k, m, n, false);
+  add_inplace(expected, fresh);
+  EXPECT_LT(max_abs_diff(c, expected), 1e-5f);
+}
+
+}  // namespace
+}  // namespace dlsr

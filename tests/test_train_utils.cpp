@@ -1,0 +1,382 @@
+// Tests for the training utilities added around the core study:
+// serialization, LR schedulers, spatial transforms, self-ensemble, dataset
+// evaluation, and the TrainingSession orchestration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/training_session.hpp"
+#include "image/eval.hpp"
+#include "models/edsr.hpp"
+#include "models/self_ensemble.hpp"
+#include "models/vdsr.hpp"
+#include "nn/lr_scheduler.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "tensor/transforms.hpp"
+
+namespace dlsr {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform());
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- serialize --
+
+TEST(Serialize, RoundTripRestoresExactWeights) {
+  const std::string path = "/tmp/dlsr_ckpt_roundtrip.bin";
+  Rng rng(1);
+  models::Edsr original(models::EdsrConfig::tiny(), rng);
+  nn::save_parameters(original, path);
+
+  Rng rng2(2);  // different init
+  models::Edsr restored(models::EdsrConfig::tiny(), rng2);
+  nn::load_parameters(restored, path);
+
+  const auto a = original.parameters();
+  const auto b = restored.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(max_abs_diff(*a[i].value, *b[i].value), 0.0f + 1e-12f)
+        << a[i].name;
+  }
+  EXPECT_EQ(nn::checkpoint_tensor_count(path), a.size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  const std::string path = "/tmp/dlsr_ckpt_mismatch.bin";
+  Rng rng(3);
+  models::Edsr tiny(models::EdsrConfig::tiny(), rng);
+  nn::save_parameters(tiny, path);
+
+  models::EdsrConfig bigger = models::EdsrConfig::tiny();
+  bigger.n_feats = 16;
+  Rng rng2(4);
+  models::Edsr other(bigger, rng2);
+  EXPECT_THROW(nn::load_parameters(other, path), Error);
+
+  Rng rng3(5);
+  models::Vdsr different(models::VdsrConfig::tiny(), rng3);
+  EXPECT_THROW(nn::load_parameters(different, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptFiles) {
+  const std::string path = "/tmp/dlsr_ckpt_corrupt.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint at all", f);
+    std::fclose(f);
+  }
+  Rng rng(6);
+  models::Edsr model(models::EdsrConfig::tiny(), rng);
+  EXPECT_THROW(nn::load_parameters(model, path), Error);
+  EXPECT_THROW(nn::load_parameters(model, "/tmp/definitely_missing.bin"),
+               Error);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ schedulers --
+
+struct SchedFixture {
+  Tensor value{Shape{1}};
+  Tensor grad{Shape{1}};
+  nn::Sgd sgd{{{"p", &value, &grad}}, 1.0};
+};
+
+TEST(LrScheduler, StepDecayHalvesEachPeriod) {
+  SchedFixture f;
+  nn::StepDecay sched(f.sgd, /*period=*/3, /*gamma=*/0.5);
+  std::vector<double> rates;
+  for (int i = 0; i < 7; ++i) {
+    sched.step();
+    rates.push_back(f.sgd.learning_rate());
+  }
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[2], 1.0);
+  EXPECT_DOUBLE_EQ(rates[3], 0.5);
+  EXPECT_DOUBLE_EQ(rates[6], 0.25);
+}
+
+TEST(LrScheduler, MultiStepDropsAtMilestones) {
+  SchedFixture f;
+  nn::MultiStepDecay sched(f.sgd, {2, 5}, 0.1);
+  std::vector<double> rates;
+  for (int i = 0; i < 7; ++i) {
+    sched.step();
+    rates.push_back(f.sgd.learning_rate());
+  }
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);
+  // PyTorch MultiStepLR semantics: the drop applies at the milestone step.
+  EXPECT_NEAR(rates[2], 0.1, 1e-12);
+  EXPECT_NEAR(rates[4], 0.1, 1e-12);
+  EXPECT_NEAR(rates[5], 0.01, 1e-12);
+}
+
+TEST(LrScheduler, WarmupRampsLinearly) {
+  SchedFixture f;
+  nn::WarmupSchedule sched(f.sgd, /*warmup_steps=*/4, /*start_fraction=*/0.25);
+  std::vector<double> rates;
+  for (int i = 0; i < 6; ++i) {
+    sched.step();
+    rates.push_back(f.sgd.learning_rate());
+  }
+  EXPECT_DOUBLE_EQ(rates[0], 0.25);
+  EXPECT_NEAR(rates[1], 0.4375, 1e-12);
+  EXPECT_DOUBLE_EQ(rates[4], 1.0);
+  EXPECT_DOUBLE_EQ(rates[5], 1.0);
+}
+
+TEST(LrScheduler, Validation) {
+  SchedFixture f;
+  EXPECT_THROW(nn::StepDecay(f.sgd, 0), Error);
+  EXPECT_THROW(nn::MultiStepDecay(f.sgd, {5, 2}), Error);
+  EXPECT_THROW(nn::WarmupSchedule(f.sgd, 0), Error);
+}
+
+// ------------------------------------------------------------ transforms --
+
+TEST(Transforms, FlipsAreInvolutions) {
+  const Tensor img = random_tensor({2, 3, 4, 5}, 10);
+  EXPECT_LT(max_abs_diff(flip_horizontal(flip_horizontal(img)), img), 1e-9f);
+  EXPECT_LT(max_abs_diff(flip_vertical(flip_vertical(img)), img), 1e-9f);
+}
+
+TEST(Transforms, Rot90Composition) {
+  const Tensor img = random_tensor({1, 2, 3, 4}, 11);
+  // Four quarter turns = identity; rot90(k=2) == flip both axes.
+  EXPECT_LT(max_abs_diff(rot90(img, 4), img), 1e-9f);
+  EXPECT_LT(max_abs_diff(rot90(img, 2),
+                         flip_horizontal(flip_vertical(img))),
+            1e-9f);
+  // Shapes swap on odd turns.
+  EXPECT_EQ(rot90(img, 1).shape(), Shape({1, 2, 4, 3}));
+  EXPECT_EQ(rot90(img, -1).shape(), Shape({1, 2, 4, 3}));
+  EXPECT_LT(max_abs_diff(rot90(rot90(img, 1), -1), img), 1e-9f);
+}
+
+TEST(Transforms, Rot90KnownValues) {
+  // 2x2 image [[1,2],[3,4]] rotated CCW once -> [[2,4],[1,3]].
+  Tensor img({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor r = rot90(img, 1);
+  EXPECT_FLOAT_EQ(r.at4(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(r.at4(0, 0, 0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(r.at4(0, 0, 1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(r.at4(0, 0, 1, 1), 3.0f);
+}
+
+TEST(Transforms, DihedralInversePairs) {
+  const Tensor img = random_tensor({1, 3, 6, 6}, 12);
+  for (int t = 0; t < 8; ++t) {
+    const Tensor round = dihedral_inverse(dihedral_transform(img, t), t);
+    EXPECT_LT(max_abs_diff(round, img), 1e-9f) << "transform " << t;
+  }
+  EXPECT_THROW(dihedral_transform(img, 8), Error);
+}
+
+TEST(Transforms, DihedralProducesDistinctImages) {
+  const Tensor img = random_tensor({1, 1, 4, 4}, 13);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      const Tensor ta = dihedral_transform(img, a);
+      const Tensor tb = dihedral_transform(img, b);
+      if (ta.same_shape(tb)) {
+        EXPECT_GT(max_abs_diff(ta, tb), 1e-6f) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- self-ensemble --
+
+TEST(SelfEnsemble, IdentityModelPassesThrough) {
+  // A model that is exactly equivariant (identity) must be unchanged by
+  // self-ensembling.
+  struct Identity : nn::Module {
+    Tensor forward(const Tensor& x) override { return x; }
+    Tensor backward(const Tensor& g) override { return g; }
+    std::string kind() const override { return "Identity"; }
+  } identity;
+  const Tensor img = random_tensor({1, 3, 5, 5}, 14);
+  EXPECT_LT(max_abs_diff(models::self_ensemble_forward(identity, img), img),
+            1e-6f);
+}
+
+TEST(SelfEnsemble, OutputIsEquivariantAverage) {
+  // For an arbitrary conv model the ensemble output must itself be
+  // D4-equivariant: ensembling a rotated input gives the rotated output.
+  Rng rng(15);
+  models::Edsr edsr(models::EdsrConfig::tiny(), rng);
+  const Tensor img = random_tensor({1, 3, 6, 6}, 16);
+  const Tensor a = models::self_ensemble_forward(edsr, img);
+  const Tensor b = models::self_ensemble_forward(edsr, rot90(img, 1));
+  EXPECT_LT(max_abs_diff(rot90(a, 1), b), 1e-4f);
+}
+
+// ------------------------------------------------------------------ eval --
+
+TEST(Evaluation, BicubicBaselineConsistent) {
+  img::Div2kConfig cfg;
+  cfg.image_size = 32;
+  const img::SyntheticDiv2k data(cfg);
+  const img::SrEvalResult r =
+      img::evaluate_bicubic(data, img::Split::Validation, 3, 2);
+  EXPECT_EQ(r.images, 3u);
+  EXPECT_GT(r.mean_psnr, 15.0);
+  EXPECT_LT(r.mean_psnr, 45.0);
+  EXPECT_GT(r.mean_ssim, 0.5);
+  EXPECT_LE(r.mean_ssim, 1.0);
+}
+
+TEST(Evaluation, ModelEvalUsesCorrectInputKind) {
+  img::Div2kConfig cfg;
+  cfg.image_size = 32;
+  const img::SyntheticDiv2k data(cfg);
+  // Identity VDSR (zero residual) must exactly reproduce bicubic numbers.
+  models::VdsrConfig vc = models::VdsrConfig::tiny();
+  vc.final_init_scale = 0.0f;
+  Rng rng(17);
+  models::Vdsr vdsr(vc, rng);
+  const img::SrEvalResult model_r = img::evaluate_sr(
+      vdsr, data, img::Split::Validation, 2, 2,
+      img::SrInputKind::BicubicUpscaled);
+  const img::SrEvalResult base_r =
+      img::evaluate_bicubic(data, img::Split::Validation, 2, 2);
+  EXPECT_NEAR(model_r.mean_psnr, base_r.mean_psnr, 1e-9);
+  // EDSR consumes the LR image directly.
+  Rng rng2(18);
+  models::Edsr edsr(models::EdsrConfig::tiny(), rng2);
+  const img::SrEvalResult edsr_r = img::evaluate_sr(
+      edsr, data, img::Split::Validation, 2, 2, img::SrInputKind::LowRes);
+  // Untrained EDSR output is arbitrary (PSNR may even be negative), but the
+  // evaluation itself must be finite and well-formed.
+  EXPECT_TRUE(std::isfinite(edsr_r.mean_psnr));
+  EXPECT_EQ(edsr_r.images, 2u);
+}
+
+// ------------------------------------------------------- TrainingSession --
+
+core::SessionConfig small_session() {
+  core::SessionConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_per_worker = 2;
+  cfg.lr_patch = 10;
+  cfg.train_pool = 4;
+  cfg.learning_rate = 1e-3;
+  return cfg;
+}
+
+std::unique_ptr<nn::Module> make_tiny_edsr() {
+  static std::uint64_t seed = 100;
+  Rng rng(seed++);
+  return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(), rng);
+}
+
+TEST(TrainingSessionTest, LossDecreasesAndReplicasStaySynced) {
+  img::Div2kConfig dc;
+  dc.image_size = 40;
+  const img::SyntheticDiv2k data(dc);
+  core::TrainingSession session(data, make_tiny_edsr, small_session());
+  const core::SessionStats stats = session.run_steps(25);
+  EXPECT_EQ(stats.steps, 25u);
+  EXPECT_LT(stats.last_loss, stats.first_loss);
+  EXPECT_EQ(stats.images, 25u * 2 * 2);
+  EXPECT_TRUE(session.workers().replicas_in_sync());
+  EXPECT_EQ(session.total_steps(), 25u);
+  EXPECT_GT(session.validate_psnr(1), 5.0);
+}
+
+TEST(TrainingSessionTest, LearningRateScaledByWorkers) {
+  img::Div2kConfig dc;
+  dc.image_size = 40;
+  const img::SyntheticDiv2k data(dc);
+  core::SessionConfig cfg = small_session();
+  cfg.scale_lr_by_workers = true;
+  core::TrainingSession session(data, make_tiny_edsr, cfg);
+  EXPECT_DOUBLE_EQ(session.current_lr(), 1e-3 * 2);
+  cfg.scale_lr_by_workers = false;
+  core::TrainingSession plain(data, make_tiny_edsr, cfg);
+  EXPECT_DOUBLE_EQ(plain.current_lr(), 1e-3);
+}
+
+TEST(TrainingSessionTest, WarmupRampsTheRate) {
+  img::Div2kConfig dc;
+  dc.image_size = 40;
+  const img::SyntheticDiv2k data(dc);
+  core::SessionConfig cfg = small_session();
+  cfg.warmup_steps = 10;
+  core::TrainingSession session(data, make_tiny_edsr, cfg);
+  session.run_steps(2);
+  const double early = session.current_lr();
+  session.run_steps(12);
+  const double late = session.current_lr();
+  EXPECT_LT(early, late);
+  EXPECT_DOUBLE_EQ(late, 2e-3);  // scaled base reached after warmup
+  EXPECT_TRUE(session.workers().replicas_in_sync());
+}
+
+TEST(TrainingSessionTest, CheckpointRoundTrip) {
+  const std::string path = "/tmp/dlsr_session_ckpt.bin";
+  img::Div2kConfig dc;
+  dc.image_size = 40;
+  const img::SyntheticDiv2k data(dc);
+  core::TrainingSession session(data, make_tiny_edsr, small_session());
+  session.run_steps(5);
+  const double psnr_trained = session.validate_psnr(1);
+  session.save_checkpoint(path);
+
+  core::TrainingSession fresh(data, make_tiny_edsr, small_session());
+  fresh.load_checkpoint(path);
+  EXPECT_NEAR(fresh.validate_psnr(1), psnr_trained, 1e-6);
+  EXPECT_TRUE(fresh.workers().replicas_in_sync());
+  std::remove(path.c_str());
+}
+
+
+TEST(MetricsLogTest, RecordsAndSummarizes) {
+  core::MetricsLog log;
+  log.record({1, 1.0, 1e-3, std::nullopt});
+  log.record({2, 0.5, 1e-3, std::nullopt});
+  log.record({2, 0.5, 1e-3, 25.0});  // validation at the same step
+  log.record({3, 0.25, 5e-4, 27.5});
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_DOUBLE_EQ(log.smoothed_loss(2), (0.5 + 0.25) / 2.0);
+  ASSERT_TRUE(log.best_val_psnr().has_value());
+  EXPECT_DOUBLE_EQ(*log.best_val_psnr(), 27.5);
+  const std::string csv = log.to_csv();
+  EXPECT_NE(csv.find("step,loss,learning_rate,val_psnr"), std::string::npos);
+  EXPECT_NE(csv.find("27.500"), std::string::npos);
+  // Decreasing steps rejected.
+  EXPECT_THROW(log.record({1, 0.1, 1e-3, std::nullopt}), Error);
+}
+
+TEST(MetricsLogTest, SessionPopulatesLog) {
+  img::Div2kConfig dc;
+  dc.image_size = 40;
+  const img::SyntheticDiv2k data(dc);
+  core::TrainingSession session(data, make_tiny_edsr, small_session());
+  session.run_steps(5);
+  session.validate_psnr(1);
+  EXPECT_EQ(session.metrics().size(), 6u);  // 5 train + 1 validation
+  EXPECT_TRUE(session.metrics().best_val_psnr().has_value());
+  const std::string path = "/tmp/dlsr_metrics_test.csv";
+  session.metrics().write_csv(path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dlsr

@@ -1,0 +1,290 @@
+// dlsr — command-line front end for the library.
+//
+// Subcommands:
+//   simulate  — run the Lassen-scale training simulation and print a
+//               throughput/efficiency table (optionally CSV, optionally a
+//               Chrome-trace timeline of one run).
+//   profile   — hvprof: bucketed allreduce profile under a backend config.
+//   train     — functional data-parallel training on synthetic DIV2K with
+//               checkpointing.
+//   models    — model-zoo inventory: parameters, gradient bytes, FLOPs.
+//
+// Examples:
+//   dlsr simulate --backends MPI,MPI-Opt --nodes 1,8,64 --steps 30 --csv
+//   dlsr profile --backend MPI-Opt --nodes 1 --steps 100
+//   dlsr train --workers 4 --steps 50 --checkpoint /tmp/edsr.ckpt
+//   dlsr models
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/experiments.hpp"
+#include "core/training_session.hpp"
+#include "hvd/timeline.hpp"
+#include "image/eval.hpp"
+#include "models/edsr_graph.hpp"
+#include "models/resnet50_graph.hpp"
+#include "models/srresnet.hpp"
+#include "models/vdsr.hpp"
+
+namespace {
+
+using namespace dlsr;
+
+core::BackendKind parse_backend(const std::string& name) {
+  if (name == "MPI") return core::BackendKind::Mpi;
+  if (name == "MPI-Reg") return core::BackendKind::MpiReg;
+  if (name == "MPI-Opt") return core::BackendKind::MpiOpt;
+  if (name == "NCCL") return core::BackendKind::Nccl;
+  throw Error("unknown backend \"" + name +
+              "\" (expected MPI, MPI-Reg, MPI-Opt, or NCCL)");
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  for (const std::string& part : split(csv, ',')) {
+    const std::string t = trim(part);
+    DLSR_CHECK(!t.empty(), "empty entry in list: " + csv);
+    out.push_back(static_cast<std::size_t>(std::stoul(t)));
+  }
+  return out;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  Flags flags;
+  flags.define("backends", "comma list: MPI,MPI-Reg,MPI-Opt,NCCL",
+               "MPI,MPI-Opt");
+  flags.define("nodes", "comma list of node counts", "1,2,4,8,16,32,64,128");
+  flags.define("steps", "training steps per point", "30");
+  flags.define("csv", "emit CSV instead of a table", "false");
+  flags.define("timeline", "write a Chrome-trace JSON for the largest run",
+               std::nullopt);
+  flags.parse(argc, argv);
+
+  const core::PaperExperiment exp;
+  const core::DistributedTrainer trainer = exp.make_trainer();
+  const auto nodes = parse_size_list(flags.get("nodes"));
+  const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
+
+  std::vector<std::string> headers = {"nodes", "gpus"};
+  std::vector<core::BackendKind> kinds;
+  for (const std::string& b : split(flags.get("backends"), ',')) {
+    kinds.push_back(parse_backend(trim(b)));
+    headers.push_back(trim(b) + " img/s");
+    headers.push_back(trim(b) + " eff%");
+  }
+  Table table(headers);
+  for (const std::size_t n : nodes) {
+    std::vector<std::string> row = {strfmt("%zu", n), strfmt("%zu", n * 4)};
+    for (const core::BackendKind kind : kinds) {
+      const core::RunResult r = trainer.run(kind, n, steps);
+      row.push_back(strfmt("%.1f", r.images_per_second));
+      row.push_back(strfmt("%.1f", r.scaling_efficiency * 100.0));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", flags.get_bool("csv") ? table.to_csv().c_str()
+                                          : table.to_string().c_str());
+
+  if (flags.has("timeline")) {
+    hvd::TimelineWriter timeline;
+    trainer.run(kinds.back(), nodes.back(), steps, &timeline);
+    timeline.write(flags.get("timeline"));
+    std::printf("timeline written to %s (open in chrome://tracing)\n",
+                flags.get("timeline").c_str());
+  }
+  return 0;
+}
+
+int cmd_profile(int argc, const char* const* argv) {
+  Flags flags;
+  flags.define("backend", "MPI, MPI-Reg, MPI-Opt, or NCCL", "MPI");
+  flags.define("nodes", "node count", "1");
+  flags.define("steps", "training steps to profile", "100");
+  flags.parse(argc, argv);
+
+  const core::PaperExperiment exp;
+  const core::DistributedTrainer trainer = exp.make_trainer();
+  const core::RunResult r = trainer.run(
+      parse_backend(flags.get("backend")),
+      static_cast<std::size_t>(flags.get_int("nodes")),
+      static_cast<std::size_t>(flags.get_int("steps")));
+  std::printf("%s\n",
+              r.profiler.report(prof::Collective::Allreduce).to_string()
+                  .c_str());
+  std::printf("throughput %.1f img/s, efficiency %.1f%%, reg-cache hits "
+              "%.1f%%\n",
+              r.images_per_second, r.scaling_efficiency * 100.0,
+              r.reg_cache_hit_rate * 100.0);
+  return 0;
+}
+
+int cmd_train(int argc, const char* const* argv) {
+  Flags flags;
+  flags.define("workers", "data-parallel replicas", "4");
+  flags.define("steps", "training steps", "50");
+  flags.define("image-size", "synthetic DIV2K image side", "48");
+  flags.define("lr", "base learning rate (scaled by workers)", "5e-4");
+  flags.define("warmup", "warmup steps", "10");
+  flags.define("checkpoint", "path to save the trained weights",
+               std::nullopt);
+  flags.parse(argc, argv);
+
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size =
+      static_cast<std::size_t>(flags.get_int("image-size"));
+  const img::SyntheticDiv2k dataset(data_cfg);
+
+  core::SessionConfig cfg;
+  cfg.workers = static_cast<std::size_t>(flags.get_int("workers"));
+  cfg.learning_rate = flags.get_double("lr");
+  cfg.warmup_steps = static_cast<std::size_t>(flags.get_int("warmup"));
+  std::uint64_t seed = 7;
+  core::TrainingSession session(
+      dataset,
+      [&seed] {
+        Rng rng(seed);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(),
+                                              rng);
+      },
+      cfg);
+
+  const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
+  const core::SessionStats stats = session.run_steps(steps);
+  std::printf("trained %zu steps on %zu workers: loss %.4f -> %.4f, "
+              "val PSNR %.2f dB\n",
+              stats.steps, cfg.workers, stats.first_loss, stats.last_loss,
+              session.validate_psnr(2));
+  if (flags.has("checkpoint")) {
+    session.save_checkpoint(flags.get("checkpoint"));
+    std::printf("checkpoint written to %s\n",
+                flags.get("checkpoint").c_str());
+  }
+  return 0;
+}
+
+models::ModelGraph graph_by_name(const std::string& name) {
+  if (name == "edsr") {
+    return models::build_edsr_graph(models::EdsrConfig::paper(), 48);
+  }
+  if (name == "edsr-baseline") {
+    return models::build_edsr_graph(models::EdsrConfig::baseline(), 48);
+  }
+  if (name == "srresnet") {
+    return models::build_srresnet_graph(models::SrResNetConfig{}, 48);
+  }
+  if (name == "vdsr") {
+    return models::build_vdsr_graph(models::VdsrConfig{}, 96, 96);
+  }
+  if (name == "resnet50") {
+    return models::build_resnet50_graph(224, 1000);
+  }
+  throw Error("unknown model \"" + name +
+              "\" (edsr, edsr-baseline, srresnet, vdsr, resnet50)");
+}
+
+int cmd_layers(int argc, const char* const* argv) {
+  Flags flags;
+  flags.define("model", "edsr, edsr-baseline, srresnet, vdsr, or resnet50",
+               "edsr");
+  flags.define("batch", "batch size for the timing columns", "4");
+  flags.define("top", "show only the N most expensive layers (0 = all)",
+               "0");
+  flags.parse(argc, argv);
+
+  const models::ModelGraph graph = graph_by_name(flags.get("model"));
+  const perf::PerfModel perf_model(
+      perf::GpuSpec::v100_16gb(),
+      flags.get("model") == "resnet50"
+          ? perf::EfficiencyCalibration::resnet50()
+          : perf::EfficiencyCalibration::edsr());
+  const auto batch = static_cast<std::size_t>(flags.get_int("batch"));
+  auto top = static_cast<std::size_t>(flags.get_int("top"));
+
+  std::vector<const models::LayerDesc*> layers;
+  for (const auto& l : graph.layers()) {
+    layers.push_back(&l);
+  }
+  if (top > 0 && top < layers.size()) {
+    std::partial_sort(layers.begin(), layers.begin() + top, layers.end(),
+                      [](const auto* a, const auto* b) {
+                        return a->fwd_flops > b->fwd_flops;
+                      });
+    layers.resize(top);
+  }
+  Table t({"Layer", "Kind", "MFLOP/img", "Act KB", "Params",
+           "fwd+bwd ms @batch"});
+  for (const auto* l : layers) {
+    t.add_row({l->name, l->kind, strfmt("%.1f", l->fwd_flops / 1e6),
+               strfmt("%.1f", l->output_bytes / 1e3),
+               strfmt("%zu", l->param_count),
+               strfmt("%.3f", (perf_model.layer_forward_time(*l, batch) +
+                               perf_model.layer_backward_time(*l, batch)) *
+                                  1e3)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("total: %.2f GFLOP fwd/img, %.1f MB params, %zu layers\n",
+              graph.fwd_flops_per_item() / 1e9, graph.param_bytes() / 1e6,
+              graph.layers().size());
+  return 0;
+}
+
+int cmd_models(int argc, const char* const* argv) {
+  Flags flags;
+  flags.parse(argc, argv);
+  Table t({"Model", "Params (M)", "Grad MB", "Fwd GFLOP/img", "Input"});
+  const auto add = [&](const char* name, const models::ModelGraph& g,
+                       const char* input) {
+    t.add_row({name, strfmt("%.2f", g.param_count() / 1e6),
+               strfmt("%.1f", g.param_bytes() / 1e6),
+               strfmt("%.2f", g.fwd_flops_per_item() / 1e9), input});
+  };
+  add("EDSR (paper, B32/F256/x2)",
+      models::build_edsr_graph(models::EdsrConfig::paper(), 48),
+      "48x48 LR patch");
+  add("EDSR-baseline (B16/F64)",
+      models::build_edsr_graph(models::EdsrConfig::baseline(), 48),
+      "48x48 LR patch");
+  add("SRResNet (B16/F64)",
+      models::build_srresnet_graph(models::SrResNetConfig{}, 48),
+      "48x48 LR patch");
+  add("VDSR (20 layers)",
+      models::build_vdsr_graph(models::VdsrConfig{}, 96, 96),
+      "96x96 upscaled");
+  add("ResNet-50", models::build_resnet50_graph(224, 1000), "224x224 image");
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: dlsr <simulate|profile|train|models|layers> [flags]\n"
+      "run `dlsr <command> --help` conceptually: flags are listed in "
+      "tools/dlsr_cli.cpp\n";
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", usage.c_str());
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "profile") return cmd_profile(argc - 1, argv + 1);
+    if (command == "train") return cmd_train(argc - 1, argv + 1);
+    if (command == "models") return cmd_models(argc - 1, argv + 1);
+    if (command == "layers") return cmd_layers(argc - 1, argv + 1);
+    std::fprintf(stderr, "unknown command \"%s\"\n%s", command.c_str(),
+                 usage.c_str());
+    return 2;
+  } catch (const dlsr::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
