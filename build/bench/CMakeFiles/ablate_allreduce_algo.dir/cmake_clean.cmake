@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_allreduce_algo.dir/ablate_allreduce_algo.cpp.o"
+  "CMakeFiles/ablate_allreduce_algo.dir/ablate_allreduce_algo.cpp.o.d"
+  "ablate_allreduce_algo"
+  "ablate_allreduce_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_allreduce_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

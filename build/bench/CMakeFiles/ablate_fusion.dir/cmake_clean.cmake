@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fusion.dir/ablate_fusion.cpp.o"
+  "CMakeFiles/ablate_fusion.dir/ablate_fusion.cpp.o.d"
+  "ablate_fusion"
+  "ablate_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_model_arch.dir/ablate_model_arch.cpp.o"
+  "CMakeFiles/ablate_model_arch.dir/ablate_model_arch.cpp.o.d"
+  "ablate_model_arch"
+  "ablate_model_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_model_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

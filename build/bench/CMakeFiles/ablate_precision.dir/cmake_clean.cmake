@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_precision.dir/ablate_precision.cpp.o"
+  "CMakeFiles/ablate_precision.dir/ablate_precision.cpp.o.d"
+  "ablate_precision"
+  "ablate_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_vs_scale.dir/convergence_vs_scale.cpp.o"
+  "CMakeFiles/convergence_vs_scale.dir/convergence_vs_scale.cpp.o.d"
+  "convergence_vs_scale"
+  "convergence_vs_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_vs_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_single_node.dir/fig01_single_node.cpp.o"
+  "CMakeFiles/fig01_single_node.dir/fig01_single_node.cpp.o.d"
+  "fig01_single_node"
+  "fig01_single_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_overhead_kernels.dir/fig06_overhead_kernels.cpp.o"
+  "CMakeFiles/fig06_overhead_kernels.dir/fig06_overhead_kernels.cpp.o.d"
+  "fig06_overhead_kernels"
+  "fig06_overhead_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_overhead_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

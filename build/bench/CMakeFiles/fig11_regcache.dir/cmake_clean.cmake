@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_regcache.dir/fig11_regcache.cpp.o"
+  "CMakeFiles/fig11_regcache.dir/fig11_regcache.cpp.o.d"
+  "fig11_regcache"
+  "fig11_regcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_optimized.dir/fig12_optimized.cpp.o"
+  "CMakeFiles/fig12_optimized.dir/fig12_optimized.cpp.o.d"
+  "fig12_optimized"
+  "fig12_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_efficiency.dir/fig13_efficiency.cpp.o"
+  "CMakeFiles/fig13_efficiency.dir/fig13_efficiency.cpp.o.d"
+  "fig13_efficiency"
+  "fig13_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hvprof_profile.dir/fig14_hvprof_profile.cpp.o"
+  "CMakeFiles/fig14_hvprof_profile.dir/fig14_hvprof_profile.cpp.o.d"
+  "fig14_hvprof_profile"
+  "fig14_hvprof_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hvprof_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

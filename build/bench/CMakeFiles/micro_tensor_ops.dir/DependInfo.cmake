@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_tensor_ops.cpp" "bench/CMakeFiles/micro_tensor_ops.dir/micro_tensor_ops.cpp.o" "gcc" "bench/CMakeFiles/micro_tensor_ops.dir/micro_tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlsr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvd/CMakeFiles/dlsr_hvd.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dlsr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dlsr_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncclsim/CMakeFiles/dlsr_ncclsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dlsr_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dlsr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dlsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/dlsr_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlsr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

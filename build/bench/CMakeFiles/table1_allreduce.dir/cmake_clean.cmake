@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_allreduce.dir/table1_allreduce.cpp.o"
+  "CMakeFiles/table1_allreduce.dir/table1_allreduce.cpp.o.d"
+  "table1_allreduce"
+  "table1_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_to_train.dir/time_to_train.cpp.o"
+  "CMakeFiles/time_to_train.dir/time_to_train.cpp.o.d"
+  "time_to_train"
+  "time_to_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_to_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_platforms.dir/whatif_platforms.cpp.o"
+  "CMakeFiles/whatif_platforms.dir/whatif_platforms.cpp.o.d"
+  "whatif_platforms"
+  "whatif_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

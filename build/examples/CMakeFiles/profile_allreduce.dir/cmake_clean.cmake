@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_allreduce.dir/profile_allreduce.cpp.o"
+  "CMakeFiles/profile_allreduce.dir/profile_allreduce.cpp.o.d"
+  "profile_allreduce"
+  "profile_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

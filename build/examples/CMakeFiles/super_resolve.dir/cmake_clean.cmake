@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/super_resolve.dir/super_resolve.cpp.o"
+  "CMakeFiles/super_resolve.dir/super_resolve.cpp.o.d"
+  "super_resolve"
+  "super_resolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/super_resolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

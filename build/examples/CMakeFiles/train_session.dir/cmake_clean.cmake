@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_session.dir/train_session.cpp.o"
+  "CMakeFiles/train_session.dir/train_session.cpp.o.d"
+  "train_session"
+  "train_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

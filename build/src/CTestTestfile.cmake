@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("nn")
+subdirs("models")
+subdirs("image")
+subdirs("perf")
+subdirs("sim")
+subdirs("mpisim")
+subdirs("ncclsim")
+subdirs("hvd")
+subdirs("prof")
+subdirs("core")

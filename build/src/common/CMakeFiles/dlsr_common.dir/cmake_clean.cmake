@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_common.dir/error.cpp.o"
+  "CMakeFiles/dlsr_common.dir/error.cpp.o.d"
+  "CMakeFiles/dlsr_common.dir/flags.cpp.o"
+  "CMakeFiles/dlsr_common.dir/flags.cpp.o.d"
+  "CMakeFiles/dlsr_common.dir/logging.cpp.o"
+  "CMakeFiles/dlsr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dlsr_common.dir/rng.cpp.o"
+  "CMakeFiles/dlsr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dlsr_common.dir/stats.cpp.o"
+  "CMakeFiles/dlsr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dlsr_common.dir/strings.cpp.o"
+  "CMakeFiles/dlsr_common.dir/strings.cpp.o.d"
+  "CMakeFiles/dlsr_common.dir/table.cpp.o"
+  "CMakeFiles/dlsr_common.dir/table.cpp.o.d"
+  "CMakeFiles/dlsr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dlsr_common.dir/thread_pool.cpp.o.d"
+  "libdlsr_common.a"
+  "libdlsr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_core.dir/backend_kind.cpp.o"
+  "CMakeFiles/dlsr_core.dir/backend_kind.cpp.o.d"
+  "CMakeFiles/dlsr_core.dir/distributed_trainer.cpp.o"
+  "CMakeFiles/dlsr_core.dir/distributed_trainer.cpp.o.d"
+  "CMakeFiles/dlsr_core.dir/experiments.cpp.o"
+  "CMakeFiles/dlsr_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/dlsr_core.dir/metrics_log.cpp.o"
+  "CMakeFiles/dlsr_core.dir/metrics_log.cpp.o.d"
+  "CMakeFiles/dlsr_core.dir/training_session.cpp.o"
+  "CMakeFiles/dlsr_core.dir/training_session.cpp.o.d"
+  "libdlsr_core.a"
+  "libdlsr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_hvd.dir/backend.cpp.o"
+  "CMakeFiles/dlsr_hvd.dir/backend.cpp.o.d"
+  "CMakeFiles/dlsr_hvd.dir/distributed_optimizer.cpp.o"
+  "CMakeFiles/dlsr_hvd.dir/distributed_optimizer.cpp.o.d"
+  "CMakeFiles/dlsr_hvd.dir/fusion.cpp.o"
+  "CMakeFiles/dlsr_hvd.dir/fusion.cpp.o.d"
+  "CMakeFiles/dlsr_hvd.dir/timeline.cpp.o"
+  "CMakeFiles/dlsr_hvd.dir/timeline.cpp.o.d"
+  "CMakeFiles/dlsr_hvd.dir/worker_group.cpp.o"
+  "CMakeFiles/dlsr_hvd.dir/worker_group.cpp.o.d"
+  "libdlsr_hvd.a"
+  "libdlsr_hvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_hvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/eval.cpp" "src/image/CMakeFiles/dlsr_image.dir/eval.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/eval.cpp.o.d"
+  "/root/repo/src/image/metrics.cpp" "src/image/CMakeFiles/dlsr_image.dir/metrics.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/metrics.cpp.o.d"
+  "/root/repo/src/image/painters.cpp" "src/image/CMakeFiles/dlsr_image.dir/painters.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/painters.cpp.o.d"
+  "/root/repo/src/image/patch_sampler.cpp" "src/image/CMakeFiles/dlsr_image.dir/patch_sampler.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/patch_sampler.cpp.o.d"
+  "/root/repo/src/image/ppm_io.cpp" "src/image/CMakeFiles/dlsr_image.dir/ppm_io.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/ppm_io.cpp.o.d"
+  "/root/repo/src/image/resize.cpp" "src/image/CMakeFiles/dlsr_image.dir/resize.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/resize.cpp.o.d"
+  "/root/repo/src/image/shapes_dataset.cpp" "src/image/CMakeFiles/dlsr_image.dir/shapes_dataset.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/shapes_dataset.cpp.o.d"
+  "/root/repo/src/image/synthetic_div2k.cpp" "src/image/CMakeFiles/dlsr_image.dir/synthetic_div2k.cpp.o" "gcc" "src/image/CMakeFiles/dlsr_image.dir/synthetic_div2k.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dlsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dlsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlsr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_image.dir/eval.cpp.o"
+  "CMakeFiles/dlsr_image.dir/eval.cpp.o.d"
+  "CMakeFiles/dlsr_image.dir/metrics.cpp.o"
+  "CMakeFiles/dlsr_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/dlsr_image.dir/painters.cpp.o"
+  "CMakeFiles/dlsr_image.dir/painters.cpp.o.d"
+  "CMakeFiles/dlsr_image.dir/patch_sampler.cpp.o"
+  "CMakeFiles/dlsr_image.dir/patch_sampler.cpp.o.d"
+  "CMakeFiles/dlsr_image.dir/ppm_io.cpp.o"
+  "CMakeFiles/dlsr_image.dir/ppm_io.cpp.o.d"
+  "CMakeFiles/dlsr_image.dir/resize.cpp.o"
+  "CMakeFiles/dlsr_image.dir/resize.cpp.o.d"
+  "CMakeFiles/dlsr_image.dir/shapes_dataset.cpp.o"
+  "CMakeFiles/dlsr_image.dir/shapes_dataset.cpp.o.d"
+  "CMakeFiles/dlsr_image.dir/synthetic_div2k.cpp.o"
+  "CMakeFiles/dlsr_image.dir/synthetic_div2k.cpp.o.d"
+  "libdlsr_image.a"
+  "libdlsr_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

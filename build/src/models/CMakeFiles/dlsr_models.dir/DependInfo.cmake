@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/edsr.cpp" "src/models/CMakeFiles/dlsr_models.dir/edsr.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/edsr.cpp.o.d"
+  "/root/repo/src/models/edsr_graph.cpp" "src/models/CMakeFiles/dlsr_models.dir/edsr_graph.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/edsr_graph.cpp.o.d"
+  "/root/repo/src/models/mdsr.cpp" "src/models/CMakeFiles/dlsr_models.dir/mdsr.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/mdsr.cpp.o.d"
+  "/root/repo/src/models/mini_resnet.cpp" "src/models/CMakeFiles/dlsr_models.dir/mini_resnet.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/mini_resnet.cpp.o.d"
+  "/root/repo/src/models/model_graph.cpp" "src/models/CMakeFiles/dlsr_models.dir/model_graph.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/model_graph.cpp.o.d"
+  "/root/repo/src/models/resnet50_graph.cpp" "src/models/CMakeFiles/dlsr_models.dir/resnet50_graph.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/resnet50_graph.cpp.o.d"
+  "/root/repo/src/models/self_ensemble.cpp" "src/models/CMakeFiles/dlsr_models.dir/self_ensemble.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/self_ensemble.cpp.o.d"
+  "/root/repo/src/models/srcnn.cpp" "src/models/CMakeFiles/dlsr_models.dir/srcnn.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/srcnn.cpp.o.d"
+  "/root/repo/src/models/srresnet.cpp" "src/models/CMakeFiles/dlsr_models.dir/srresnet.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/srresnet.cpp.o.d"
+  "/root/repo/src/models/vdsr.cpp" "src/models/CMakeFiles/dlsr_models.dir/vdsr.cpp.o" "gcc" "src/models/CMakeFiles/dlsr_models.dir/vdsr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dlsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlsr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_models.dir/edsr.cpp.o"
+  "CMakeFiles/dlsr_models.dir/edsr.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/edsr_graph.cpp.o"
+  "CMakeFiles/dlsr_models.dir/edsr_graph.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/mdsr.cpp.o"
+  "CMakeFiles/dlsr_models.dir/mdsr.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/mini_resnet.cpp.o"
+  "CMakeFiles/dlsr_models.dir/mini_resnet.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/model_graph.cpp.o"
+  "CMakeFiles/dlsr_models.dir/model_graph.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/resnet50_graph.cpp.o"
+  "CMakeFiles/dlsr_models.dir/resnet50_graph.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/self_ensemble.cpp.o"
+  "CMakeFiles/dlsr_models.dir/self_ensemble.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/srcnn.cpp.o"
+  "CMakeFiles/dlsr_models.dir/srcnn.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/srresnet.cpp.o"
+  "CMakeFiles/dlsr_models.dir/srresnet.cpp.o.d"
+  "CMakeFiles/dlsr_models.dir/vdsr.cpp.o"
+  "CMakeFiles/dlsr_models.dir/vdsr.cpp.o.d"
+  "libdlsr_models.a"
+  "libdlsr_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

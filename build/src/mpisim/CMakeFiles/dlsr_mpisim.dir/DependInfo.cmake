@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/allreduce.cpp" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/allreduce.cpp.o" "gcc" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/allreduce.cpp.o.d"
+  "/root/repo/src/mpisim/communicator.cpp" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/communicator.cpp.o" "gcc" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/communicator.cpp.o.d"
+  "/root/repo/src/mpisim/data_allreduce.cpp" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/data_allreduce.cpp.o" "gcc" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/data_allreduce.cpp.o.d"
+  "/root/repo/src/mpisim/env.cpp" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/env.cpp.o" "gcc" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/env.cpp.o.d"
+  "/root/repo/src/mpisim/reg_cache.cpp" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/reg_cache.cpp.o" "gcc" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/reg_cache.cpp.o.d"
+  "/root/repo/src/mpisim/transport.cpp" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/transport.cpp.o" "gcc" "src/mpisim/CMakeFiles/dlsr_mpisim.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dlsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/dlsr_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dlsr_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dlsr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dlsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlsr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_mpisim.dir/allreduce.cpp.o"
+  "CMakeFiles/dlsr_mpisim.dir/allreduce.cpp.o.d"
+  "CMakeFiles/dlsr_mpisim.dir/communicator.cpp.o"
+  "CMakeFiles/dlsr_mpisim.dir/communicator.cpp.o.d"
+  "CMakeFiles/dlsr_mpisim.dir/data_allreduce.cpp.o"
+  "CMakeFiles/dlsr_mpisim.dir/data_allreduce.cpp.o.d"
+  "CMakeFiles/dlsr_mpisim.dir/env.cpp.o"
+  "CMakeFiles/dlsr_mpisim.dir/env.cpp.o.d"
+  "CMakeFiles/dlsr_mpisim.dir/reg_cache.cpp.o"
+  "CMakeFiles/dlsr_mpisim.dir/reg_cache.cpp.o.d"
+  "CMakeFiles/dlsr_mpisim.dir/transport.cpp.o"
+  "CMakeFiles/dlsr_mpisim.dir/transport.cpp.o.d"
+  "libdlsr_mpisim.a"
+  "libdlsr_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

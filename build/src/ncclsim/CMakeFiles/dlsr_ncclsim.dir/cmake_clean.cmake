@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_ncclsim.dir/nccl.cpp.o"
+  "CMakeFiles/dlsr_ncclsim.dir/nccl.cpp.o.d"
+  "libdlsr_ncclsim.a"
+  "libdlsr_ncclsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_ncclsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

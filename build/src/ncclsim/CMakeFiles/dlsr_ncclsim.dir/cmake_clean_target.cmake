@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlsr_ncclsim.a"
+)

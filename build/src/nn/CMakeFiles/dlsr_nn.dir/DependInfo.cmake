@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batch_norm.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/batch_norm.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/batch_norm.cpp.o.d"
+  "/root/repo/src/nn/conv_layer.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/conv_layer.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/nn/grad_utils.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/grad_utils.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/grad_utils.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lr_scheduler.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/lr_scheduler.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/lr_scheduler.cpp.o.d"
+  "/root/repo/src/nn/mean_shift.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/mean_shift.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/mean_shift.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/resblock.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/resblock.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/resblock.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/upsampler.cpp" "src/nn/CMakeFiles/dlsr_nn.dir/upsampler.cpp.o" "gcc" "src/nn/CMakeFiles/dlsr_nn.dir/upsampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dlsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlsr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_nn.dir/activations.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/batch_norm.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/batch_norm.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/conv_layer.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/conv_layer.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/grad_utils.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/grad_utils.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/init.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/init.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/linear.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/loss.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/lr_scheduler.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/lr_scheduler.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/mean_shift.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/mean_shift.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/module.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/module.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/resblock.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/resblock.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/dlsr_nn.dir/upsampler.cpp.o"
+  "CMakeFiles/dlsr_nn.dir/upsampler.cpp.o.d"
+  "libdlsr_nn.a"
+  "libdlsr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

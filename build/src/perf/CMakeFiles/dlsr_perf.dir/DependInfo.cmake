@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/gpu_spec.cpp" "src/perf/CMakeFiles/dlsr_perf.dir/gpu_spec.cpp.o" "gcc" "src/perf/CMakeFiles/dlsr_perf.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/perf/v100_model.cpp" "src/perf/CMakeFiles/dlsr_perf.dir/v100_model.cpp.o" "gcc" "src/perf/CMakeFiles/dlsr_perf.dir/v100_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/dlsr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dlsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlsr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

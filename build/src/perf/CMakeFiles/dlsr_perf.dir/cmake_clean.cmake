@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_perf.dir/gpu_spec.cpp.o"
+  "CMakeFiles/dlsr_perf.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/dlsr_perf.dir/v100_model.cpp.o"
+  "CMakeFiles/dlsr_perf.dir/v100_model.cpp.o.d"
+  "libdlsr_perf.a"
+  "libdlsr_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_prof.dir/hvprof.cpp.o"
+  "CMakeFiles/dlsr_prof.dir/hvprof.cpp.o.d"
+  "libdlsr_prof.a"
+  "libdlsr_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

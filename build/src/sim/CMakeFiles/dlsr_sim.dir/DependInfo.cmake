@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/dlsr_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/dlsr_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/gpu_memory.cpp" "src/sim/CMakeFiles/dlsr_sim.dir/gpu_memory.cpp.o" "gcc" "src/sim/CMakeFiles/dlsr_sim.dir/gpu_memory.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/dlsr_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/dlsr_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/dlsr_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/dlsr_sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlsr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dlsr_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dlsr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dlsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlsr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dlsr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dlsr_sim.dir/gpu_memory.cpp.o"
+  "CMakeFiles/dlsr_sim.dir/gpu_memory.cpp.o.d"
+  "CMakeFiles/dlsr_sim.dir/link.cpp.o"
+  "CMakeFiles/dlsr_sim.dir/link.cpp.o.d"
+  "CMakeFiles/dlsr_sim.dir/topology.cpp.o"
+  "CMakeFiles/dlsr_sim.dir/topology.cpp.o.d"
+  "libdlsr_sim.a"
+  "libdlsr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

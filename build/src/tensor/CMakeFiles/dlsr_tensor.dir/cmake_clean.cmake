@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_tensor.dir/conv2d.cpp.o"
+  "CMakeFiles/dlsr_tensor.dir/conv2d.cpp.o.d"
+  "CMakeFiles/dlsr_tensor.dir/matmul.cpp.o"
+  "CMakeFiles/dlsr_tensor.dir/matmul.cpp.o.d"
+  "CMakeFiles/dlsr_tensor.dir/pixel_shuffle.cpp.o"
+  "CMakeFiles/dlsr_tensor.dir/pixel_shuffle.cpp.o.d"
+  "CMakeFiles/dlsr_tensor.dir/pooling.cpp.o"
+  "CMakeFiles/dlsr_tensor.dir/pooling.cpp.o.d"
+  "CMakeFiles/dlsr_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dlsr_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/dlsr_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/dlsr_tensor.dir/tensor_ops.cpp.o.d"
+  "CMakeFiles/dlsr_tensor.dir/transforms.cpp.o"
+  "CMakeFiles/dlsr_tensor.dir/transforms.cpp.o.d"
+  "libdlsr_tensor.a"
+  "libdlsr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

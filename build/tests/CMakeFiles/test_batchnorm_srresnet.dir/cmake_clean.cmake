@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batchnorm_srresnet.dir/test_batchnorm_srresnet.cpp.o"
+  "CMakeFiles/test_batchnorm_srresnet.dir/test_batchnorm_srresnet.cpp.o.d"
+  "test_batchnorm_srresnet"
+  "test_batchnorm_srresnet.pdb"
+  "test_batchnorm_srresnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batchnorm_srresnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

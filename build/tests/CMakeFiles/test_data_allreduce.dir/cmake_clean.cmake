@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_allreduce.dir/test_data_allreduce.cpp.o"
+  "CMakeFiles/test_data_allreduce.dir/test_data_allreduce.cpp.o.d"
+  "test_data_allreduce"
+  "test_data_allreduce.pdb"
+  "test_data_allreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

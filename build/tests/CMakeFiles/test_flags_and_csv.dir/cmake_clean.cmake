@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flags_and_csv.dir/test_flags_and_csv.cpp.o"
+  "CMakeFiles/test_flags_and_csv.dir/test_flags_and_csv.cpp.o.d"
+  "test_flags_and_csv"
+  "test_flags_and_csv.pdb"
+  "test_flags_and_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flags_and_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

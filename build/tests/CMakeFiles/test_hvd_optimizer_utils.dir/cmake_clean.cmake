@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hvd_optimizer_utils.dir/test_hvd_optimizer_utils.cpp.o"
+  "CMakeFiles/test_hvd_optimizer_utils.dir/test_hvd_optimizer_utils.cpp.o.d"
+  "test_hvd_optimizer_utils"
+  "test_hvd_optimizer_utils.pdb"
+  "test_hvd_optimizer_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hvd_optimizer_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ncclsim.dir/test_ncclsim.cpp.o"
+  "CMakeFiles/test_ncclsim.dir/test_ncclsim.cpp.o.d"
+  "test_ncclsim"
+  "test_ncclsim.pdb"
+  "test_ncclsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ncclsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shuffle_pool.dir/test_shuffle_pool.cpp.o"
+  "CMakeFiles/test_shuffle_pool.dir/test_shuffle_pool.cpp.o.d"
+  "test_shuffle_pool"
+  "test_shuffle_pool.pdb"
+  "test_shuffle_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shuffle_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

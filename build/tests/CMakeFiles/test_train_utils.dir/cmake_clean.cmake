@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train_utils.dir/test_train_utils.cpp.o"
+  "CMakeFiles/test_train_utils.dir/test_train_utils.cpp.o.d"
+  "test_train_utils"
+  "test_train_utils.pdb"
+  "test_train_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

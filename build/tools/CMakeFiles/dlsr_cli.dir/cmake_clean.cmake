@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsr_cli.dir/dlsr_cli.cpp.o"
+  "CMakeFiles/dlsr_cli.dir/dlsr_cli.cpp.o.d"
+  "dlsr"
+  "dlsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
