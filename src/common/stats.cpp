@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hpp"
-
 namespace dlsr {
 
 void RunningStats::add(double x) {
@@ -49,8 +47,16 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double percentile(std::vector<double> values, double p) {
-  DLSR_CHECK(!values.empty(), "percentile of empty set");
-  DLSR_CHECK(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  if (values.empty()) {
+    return 0.0;
+  }
+  // Clamp instead of throwing: metric paths summarize whatever they have.
+  // NaN comparisons are false, so a NaN p falls through to 0.
+  if (!(p >= 0.0)) {
+    p = 0.0;
+  } else if (p > 1.0) {
+    p = 1.0;
+  }
   std::sort(values.begin(), values.end());
   if (values.size() == 1) {
     return values.front();

@@ -31,7 +31,10 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// p in [0,1]; linear interpolation between order statistics.
+/// Linear interpolation between order statistics. Total on all inputs so
+/// metrics paths never throw or produce NaN: an empty series yields 0.0, a
+/// single sample yields that sample for every p, and p is clamped to [0,1]
+/// (p<=0 -> min, p>=1 -> max, NaN p -> min).
 /// Copies and sorts — intended for end-of-run summaries, not hot paths.
 double percentile(std::vector<double> values, double p);
 

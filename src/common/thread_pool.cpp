@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+
+#include "common/logging.hpp"
 
 namespace dlsr {
 
@@ -52,7 +55,13 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      log_error(std::string("thread pool task threw: ") + e.what());
+    } catch (...) {
+      log_error("thread pool task threw a non-std exception");
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) {
@@ -88,13 +97,24 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   std::atomic<std::size_t> done{0};
   std::mutex m;
   std::condition_variable cv;
+  std::exception_ptr first_error;
   std::size_t lo = begin;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t len = base + (c < rem ? 1 : 0);
     const std::size_t hi = lo + len;
     pool.submit([&, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) {
-        body(i);
+      // The chunk counter must advance even when body() throws, or the
+      // calling thread would wait forever; the first exception is kept and
+      // rethrown by the caller below.
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          body(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(m);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
       }
       if (done.fetch_add(1) + 1 == chunks) {
         const std::lock_guard<std::mutex> lock(m);
@@ -105,6 +125,9 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
   std::unique_lock<std::mutex> lock(m);
   cv.wait(lock, [&] { return done.load() == chunks; });
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -29,7 +29,10 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw (they run detached from callers).
+  /// Enqueues a task. Tasks run detached from callers, so a thrown
+  /// exception has nowhere to propagate: the pool catches it, logs an
+  /// error, and the worker keeps serving (a faulty task must not shrink
+  /// the pool).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
@@ -52,6 +55,9 @@ class ThreadPool {
 
 /// Runs body(i) for i in [begin, end), sharded across `pool`.
 /// Iterations of `body` must be independent. Blocks until all complete.
+/// If any iteration throws, the first exception is rethrown in the calling
+/// thread after every chunk has finished (remaining iterations of the
+/// throwing chunk are skipped; other chunks still run).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

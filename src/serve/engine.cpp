@@ -1,0 +1,164 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "serve/tiler.hpp"
+#include "tensor/pixel_shuffle.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dlsr::serve {
+namespace {
+
+/// Elementwise x = max(0, x) with the exact comparison ReLU::forward uses,
+/// so engine activations are bit-identical to the training path.
+void relu_inplace(Tensor& x) {
+  for (float& v : x.data()) {
+    v = v > 0.0f ? v : 0.0f;
+  }
+}
+
+void shift_rgb_inplace(Tensor& x, const std::array<float, 3>& rgb_mean,
+                       float sign) {
+  DLSR_CHECK(x.rank() == 4 && x.dim(1) == 3,
+             "EdsrEngine expects NCHW RGB tensors");
+  const std::size_t hw = x.dim(2) * x.dim(3);
+  for (std::size_t n = 0; n < x.dim(0); ++n) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float s = sign * rgb_mean[c];
+      float* plane = x.raw() + (n * 3 + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        plane[i] += s;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EdsrEngine::EdsrEngine(models::Edsr& model) : config_(model.config()) {
+  std::map<std::string, nn::ParamRef> params;
+  for (nn::ParamRef& p : model.parameters()) {
+    params[p.name] = p;
+  }
+  const auto conv_ref = [&params](const std::string& base) {
+    const auto w = params.find(base + ".weight");
+    DLSR_CHECK(w != params.end(),
+               "EdsrEngine: missing parameter " + base + ".weight");
+    ConvRef ref;
+    ref.weight = w->second.value;
+    const auto b = params.find(base + ".bias");
+    ref.bias = b != params.end() ? b->second.value : nullptr;
+    ref.spec.out_channels = ref.weight->dim(0);
+    ref.spec.in_channels = ref.weight->dim(1);
+    ref.spec.kernel = ref.weight->dim(2);
+    ref.spec.stride = 1;
+    ref.spec.padding = ref.spec.kernel / 2;
+    return ref;
+  };
+
+  head_ = conv_ref("edsr.head");
+  blocks_.reserve(config_.n_resblocks);
+  for (std::size_t i = 0; i < config_.n_resblocks; ++i) {
+    const std::string base = strfmt("edsr.body.%zu", i);
+    blocks_.push_back({conv_ref(base + ".conv1"), conv_ref(base + ".conv2")});
+  }
+  body_end_ = conv_ref("edsr.body_end");
+  // Upsampler stage structure mirrors nn::Upsampler: x2/x4 as one/two x2
+  // sub-pixel stages, x3 as a single x3 stage, x1 as identity.
+  std::vector<std::size_t> factors;
+  if (config_.scale == 2 || config_.scale == 4) {
+    for (std::size_t s = config_.scale; s > 1; s /= 2) {
+      factors.push_back(2);
+    }
+  } else if (config_.scale == 3) {
+    factors.push_back(3);
+  } else {
+    DLSR_CHECK(config_.scale == 1,
+               strfmt("EdsrEngine: unsupported scale %zu", config_.scale));
+  }
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    up_stages_.emplace_back(conv_ref(strfmt("edsr.upsample.%zu.conv", i)),
+                            factors[i]);
+  }
+  tail_ = conv_ref("edsr.tail");
+}
+
+Tensor EdsrEngine::infer(const Tensor& input) const {
+  const Tensor empty_bias;
+  const auto conv = [&empty_bias](const Tensor& x, const ConvRef& c) {
+    return conv2d_forward(x, *c.weight, c.bias ? *c.bias : empty_bias,
+                          c.spec);
+  };
+  Tensor x = input;
+  shift_rgb_inplace(x, config_.rgb_mean, -1.0f);
+  x = conv(x, head_);
+  const Tensor skip = x;  // long skip around the whole body
+  for (const auto& block : blocks_) {
+    Tensor branch = conv(x, block[0]);
+    relu_inplace(branch);
+    branch = conv(branch, block[1]);
+    scale_inplace(branch, config_.res_scale);
+    add_inplace(branch, x);
+    x = std::move(branch);
+  }
+  x = conv(x, body_end_);
+  add_inplace(x, skip);
+  for (const auto& [stage_conv, r] : up_stages_) {
+    x = pixel_shuffle(conv(x, stage_conv), r);
+  }
+  x = conv(x, tail_);
+  shift_rgb_inplace(x, config_.rgb_mean, +1.0f);
+  return x;
+}
+
+std::size_t EdsrEngine::receptive_radius() const {
+  const std::size_t r = config_.kernel / 2;
+  // Convs at base LR resolution: head, 2 per ResBlock, body_end.
+  std::size_t radius = r * (2 + 2 * config_.n_resblocks);
+  // Upsampler stage convs run at progressively upscaled resolutions; a
+  // radius at factor f costs ceil(r / f) LR pixels. The tail conv runs at
+  // the full output scale.
+  std::size_t factor = 1;
+  for (const auto& [stage_conv, stage_r] : up_stages_) {
+    (void)stage_conv;
+    radius += (r + factor - 1) / factor;
+    factor *= stage_r;
+  }
+  radius += (r + factor - 1) / factor;
+  return radius;
+}
+
+Tensor tiled_upscale(const EdsrEngine& engine, const Tensor& image,
+                     std::size_t tile_size, std::size_t halo,
+                     std::size_t max_batch) {
+  DLSR_CHECK(image.rank() == 4 && image.dim(0) == 1 && image.dim(1) == 3,
+             "tiled_upscale expects a [1,3,H,W] image");
+  DLSR_CHECK(max_batch >= 1, "tiled_upscale: max_batch must be >= 1");
+  const std::size_t scale = engine.scale();
+  const TilePlan plan =
+      plan_tiles(image.dim(2), image.dim(3), tile_size, halo);
+  if (plan.tiles.size() == 1) {
+    return engine.infer(image);  // whole image fits one tile: no copies
+  }
+  Tensor out({1, 3, image.dim(2) * scale, image.dim(3) * scale});
+  for (std::size_t first = 0; first < plan.tiles.size();
+       first += max_batch) {
+    const std::size_t n =
+        std::min(max_batch, plan.tiles.size() - first);
+    Tensor batch({n, 3, plan.tile_h, plan.tile_w});
+    for (std::size_t i = 0; i < n; ++i) {
+      pack_tile(image, plan, first + i, batch, i);
+    }
+    const Tensor up = engine.infer(batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      stitch_core(up, i, plan, first + i, scale, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace dlsr::serve

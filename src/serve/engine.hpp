@@ -1,0 +1,68 @@
+// Inference-only EDSR executor for the serving path.
+//
+// Module::forward is built for training: every Conv2d deep-copies its input
+// and every ReLU materializes a mask so backward() can replay the step, and
+// the whole object is stateful (one in-flight forward per model instance).
+// Serving needs neither — so the engine snapshots const references to the
+// model's weights (via its named parameters) and replays the exact same
+// arithmetic with no activation caching and no mutable state. This makes
+// infer():
+//   * bit-identical to Edsr::forward (same kernels, same op order);
+//   * const and thread-safe — one engine serves every worker concurrently,
+//     with no per-worker model replicas;
+//   * cheaper per tile (no per-layer input copies / mask tensors).
+//
+// The engine also reports the model's receptive-field radius in LR pixels,
+// which is the halo at which tiled execution becomes bit-exact.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "models/edsr.hpp"
+#include "tensor/conv2d.hpp"
+
+namespace dlsr::serve {
+
+/// Non-owning snapshot of one convolution (weights stay in the model).
+struct ConvRef {
+  Conv2dSpec spec;
+  const Tensor* weight = nullptr;
+  const Tensor* bias = nullptr;
+};
+
+class EdsrEngine {
+ public:
+  /// Snapshots weight references from `model`; the model must outlive the
+  /// engine and must not be trained while serving.
+  explicit EdsrEngine(models::Edsr& model);
+
+  /// [N,3,h,w] in [0,1] -> [N,3,h*scale,w*scale]. Thread-safe.
+  Tensor infer(const Tensor& input) const;
+
+  std::size_t scale() const { return config_.scale; }
+  const models::EdsrConfig& config() const { return config_; }
+
+  /// Receptive-field radius in LR pixels: the minimum tile halo for which
+  /// tiled inference is bit-identical to a whole-image forward.
+  std::size_t receptive_radius() const;
+
+ private:
+  models::EdsrConfig config_;
+  ConvRef head_;
+  std::vector<std::array<ConvRef, 2>> blocks_;  // conv1, conv2 per ResBlock
+  ConvRef body_end_;
+  std::vector<std::pair<ConvRef, std::size_t>> up_stages_;  // conv, shuffle r
+  ConvRef tail_;
+};
+
+/// Serial convenience: split `image` ([1,3,H,W]) into tiles, run them
+/// through the engine in batches of `max_batch`, and stitch the scaled
+/// cores. The building block the server schedules asynchronously; also the
+/// reference implementation the tests compare against.
+Tensor tiled_upscale(const EdsrEngine& engine, const Tensor& image,
+                     std::size_t tile_size, std::size_t halo,
+                     std::size_t max_batch);
+
+}  // namespace dlsr::serve

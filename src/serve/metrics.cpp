@@ -1,0 +1,98 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace dlsr::serve {
+
+std::string MetricsSnapshot::to_json() const {
+  std::string hist = "[";
+  for (std::size_t i = 0; i < batch_hist.size(); ++i) {
+    hist += strfmt("%s%llu", i ? "," : "",
+                   static_cast<unsigned long long>(batch_hist[i]));
+  }
+  hist += "]";
+  return strfmt(
+      "{\"requests\":%llu,\"completed\":%llu,\"rejected\":%llu,"
+      "\"timed_out\":%llu,\"cache_hits\":%llu,\"batches\":%llu,"
+      "\"tiles\":%llu,\"queue_depth\":%zu,\"queue_peak\":%zu,"
+      "\"batch_hist\":%s,\"mean_batch\":%.3f,"
+      "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
+      "\"mean\":%.3f,\"max\":%.3f}}",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(timed_out),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(tiles), queue_depth, queue_peak,
+      hist.c_str(), mean_batch, latency_p50_ms, latency_p95_ms,
+      latency_p99_ms, latency_mean_ms, latency_max_ms);
+}
+
+ServerMetrics::ServerMetrics(std::size_t max_batch) {
+  counts_.batch_hist.assign(std::max<std::size_t>(max_batch, 1), 0);
+}
+
+void ServerMetrics::on_request() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.requests;
+}
+
+void ServerMetrics::on_rejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.rejected;
+}
+
+void ServerMetrics::on_timed_out() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.timed_out;
+}
+
+void ServerMetrics::on_cache_hit() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.cache_hits;
+}
+
+void ServerMetrics::on_batch(std::size_t batch_size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.batches;
+  counts_.tiles += batch_size;
+  if (batch_size >= 1) {
+    const std::size_t slot =
+        std::min(batch_size, counts_.batch_hist.size()) - 1;
+    ++counts_.batch_hist[slot];
+  }
+}
+
+void ServerMetrics::on_complete(double latency_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.completed;
+  const double ms = latency_seconds * 1e3;
+  latencies_ms_.push_back(ms);
+  latency_stats_.add(ms);
+}
+
+void ServerMetrics::on_queue_depth(std::size_t depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counts_.queue_depth = depth;
+  counts_.queue_peak = std::max(counts_.queue_peak, depth);
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap = counts_;
+  snap.mean_batch =
+      counts_.batches ? static_cast<double>(counts_.tiles) /
+                            static_cast<double>(counts_.batches)
+                      : 0.0;
+  snap.latency_p50_ms = percentile(latencies_ms_, 0.50);
+  snap.latency_p95_ms = percentile(latencies_ms_, 0.95);
+  snap.latency_p99_ms = percentile(latencies_ms_, 0.99);
+  snap.latency_mean_ms = latency_stats_.mean();
+  snap.latency_max_ms = latency_stats_.max();
+  return snap;
+}
+
+}  // namespace dlsr::serve

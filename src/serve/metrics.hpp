@@ -1,0 +1,66 @@
+// Serving metrics registry: the counters and latency distributions an SLO
+// dashboard needs. All mutators are thread-safe and cheap (one mutex, a few
+// scalar updates); percentile computation is deferred to snapshot().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dlsr::serve {
+
+/// Point-in-time copy of every served metric. Latency percentiles are
+/// computed over all completed requests (cache hits included — a hit is a
+/// served request too).
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;    ///< submitted (admitted or not)
+  std::uint64_t completed = 0;   ///< finished OK (incl. cache hits)
+  std::uint64_t rejected = 0;    ///< refused at admission (backpressure)
+  std::uint64_t timed_out = 0;   ///< deadline expired before completion
+  std::uint64_t cache_hits = 0;  ///< served from the LRU result cache
+  std::uint64_t batches = 0;     ///< model forward calls
+  std::uint64_t tiles = 0;       ///< tiles pushed through forwards
+  std::size_t queue_depth = 0;   ///< sampled at the last queue operation
+  std::size_t queue_peak = 0;
+
+  /// batch_hist[i] counts forwards with batch size i+1 (size capped at the
+  /// configured max batch).
+  std::vector<std::uint64_t> batch_hist;
+  double mean_batch = 0.0;
+
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// One-line JSON object (stable key order) for bench/CLI output.
+  std::string to_json() const;
+};
+
+class ServerMetrics {
+ public:
+  explicit ServerMetrics(std::size_t max_batch = 8);
+
+  void on_request();
+  void on_rejected();
+  void on_timed_out();
+  void on_cache_hit();
+  void on_batch(std::size_t batch_size);
+  void on_complete(double latency_seconds);
+  void on_queue_depth(std::size_t depth);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot counts_;             // counters only; percentiles filled
+  std::vector<double> latencies_ms_;   // per-completion samples
+  RunningStats latency_stats_;
+};
+
+}  // namespace dlsr::serve

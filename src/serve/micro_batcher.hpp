@@ -1,0 +1,141 @@
+// Dynamic micro-batching queue — the serving counterpart of the batch-size
+// tradeoff the paper measures in Fig. 9: larger forward batches amortize
+// per-kernel overhead and (on parallel hardware) fill the machine, but
+// waiting to fill a batch adds queueing latency. The batcher implements the
+// standard two-trigger policy used by production inference servers
+// (TF-Serving / Triton style):
+//
+//   * size trigger  — flush as soon as `max_batch` jobs are queued;
+//   * delay trigger — flush whatever is queued once the OLDEST job has
+//                     waited `max_delay` (bounds the latency cost of
+//                     batching under light load).
+//
+// The queue is bounded (`capacity`), and admission is all-or-nothing per
+// request (`push_many`), which gives the server its backpressure high-water
+// mark: a request whose tiles do not fit is rejected instead of growing the
+// queue without bound.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dlsr::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 8;
+  std::chrono::microseconds max_delay{2000};
+  std::size_t capacity = 1024;  ///< high-water mark, in jobs
+};
+
+/// Thread-safe bounded queue with size/delay flush triggers. Job is any
+/// movable type; the batcher never copies jobs.
+template <typename Job>
+class MicroBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit MicroBatcher(BatcherConfig config) : config_(config) {
+    DLSR_CHECK(config_.max_batch >= 1, "MicroBatcher: max_batch must be >= 1");
+    DLSR_CHECK(config_.capacity >= config_.max_batch,
+               "MicroBatcher: capacity below max_batch");
+  }
+
+  /// Enqueues one job; false when the queue is full or shut down.
+  bool try_push(Job job) {
+    std::vector<Job> one;
+    one.push_back(std::move(job));
+    return push_many(std::move(one));
+  }
+
+  /// Enqueues all jobs or none (admission control): false when the batch
+  /// would overflow `capacity` or the batcher is shut down.
+  bool push_many(std::vector<Job> jobs) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_ || queue_.size() + jobs.size() > config_.capacity) {
+        return false;
+      }
+      const Clock::time_point now = Clock::now();
+      for (Job& job : jobs) {
+        queue_.push_back({std::move(job), now});
+      }
+    }
+    ready_.notify_all();
+    return true;
+  }
+
+  /// Blocks until a flush trigger fires, then returns up to `max_batch`
+  /// jobs in FIFO order. An empty vector means the batcher was shut down
+  /// and fully drained — the consumer should exit.
+  std::vector<Job> pop_batch() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (queue_.size() >= config_.max_batch) {
+        break;  // size trigger
+      }
+      if (!queue_.empty()) {
+        if (stopping_) {
+          break;  // draining: flush whatever is left
+        }
+        const Clock::time_point flush_at =
+            queue_.front().enqueued + config_.max_delay;
+        if (Clock::now() >= flush_at) {
+          break;  // delay trigger
+        }
+        ready_.wait_until(lock, flush_at);
+        continue;
+      }
+      if (stopping_) {
+        return {};
+      }
+      ready_.wait(lock);
+    }
+    const std::size_t n = std::min(config_.max_batch, queue_.size());
+    std::vector<Job> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front().job));
+      queue_.pop_front();
+    }
+    return batch;
+  }
+
+  /// Stops admission and wakes consumers; queued jobs are still drained by
+  /// subsequent pop_batch() calls (graceful shutdown).
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    Job job;
+    Clock::time_point enqueued;
+  };
+
+  BatcherConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Entry> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace dlsr::serve

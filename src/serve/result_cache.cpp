@@ -1,0 +1,73 @@
+#include "serve/result_cache.hpp"
+
+#include <cstring>
+
+namespace dlsr::serve {
+
+std::uint64_t hash_tensor(const Tensor& t) {
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](const unsigned char* bytes, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= kPrime;
+    }
+  };
+  for (const std::size_t d : t.shape()) {
+    mix(reinterpret_cast<const unsigned char*>(&d), sizeof(d));
+  }
+  mix(reinterpret_cast<const unsigned char*>(t.raw()), t.size_bytes());
+  return h;
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool ResultCache::lookup(const CacheKey& key, Tensor* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  if (out != nullptr) {
+    *out = it->second->second;
+  }
+  return true;
+}
+
+void ResultCache::insert(const CacheKey& key, const Tensor& value) {
+  if (capacity_ == 0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, value);
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::vector<CacheKey> ResultCache::keys_mru_to_lru() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CacheKey> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& e : lru_) {
+    keys.push_back(e.first);
+  }
+  return keys;
+}
+
+}  // namespace dlsr::serve

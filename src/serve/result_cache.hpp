@@ -1,0 +1,70 @@
+// LRU cache of recent super-resolution results, keyed by (image hash,
+// scale). Serving traffic is heavy-tailed — popular images recur — and an SR
+// forward is orders of magnitude more expensive than a hash + copy, so even
+// a small cache removes whole forwards from the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr::serve {
+
+/// FNV-1a over the tensor's shape and raw float bytes. Deterministic across
+/// runs and platforms of equal endianness; collisions are astronomically
+/// unlikely at cache sizes (64-bit space, tens of entries).
+std::uint64_t hash_tensor(const Tensor& t);
+
+struct CacheKey {
+  std::uint64_t image_hash = 0;
+  std::size_t scale = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return image_hash == other.image_hash && scale == other.scale;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return static_cast<std::size_t>(k.image_hash ^
+                                    (k.scale * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Thread-safe LRU map CacheKey -> Tensor. Capacity 0 disables caching
+/// (lookups miss, inserts drop).
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity);
+
+  /// On hit, copies the cached tensor into `out`, promotes the entry to
+  /// most-recently-used, and returns true.
+  bool lookup(const CacheKey& key, Tensor* out);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when over capacity.
+  void insert(const CacheKey& key, const Tensor& value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Keys from most- to least-recently used (for tests and introspection).
+  std::vector<CacheKey> keys_mru_to_lru() const;
+
+ private:
+  using Entry = std::pair<CacheKey, Tensor>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+};
+
+}  // namespace dlsr::serve

@@ -1,0 +1,256 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::serve {
+
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::Ok:
+      return "ok";
+    case ServeStatus::Rejected:
+      return "rejected";
+    case ServeStatus::TimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
+namespace {
+
+models::Edsr& require_model(const std::shared_ptr<models::Edsr>& model) {
+  DLSR_CHECK(model != nullptr, "SrServer: model must not be null");
+  return *model;
+}
+
+}  // namespace
+
+/// Shared, mostly-immutable state of one in-flight request. Workers touch
+/// disjoint regions of `output` (each tile owns a disjoint core), so the
+/// only cross-thread coordination is the atomic tile countdown and the
+/// `finished` latch that makes completion/timeout race-free.
+struct SrServer::RequestState {
+  std::promise<ServeResult> promise;
+  Tensor image;   ///< LR input, [1,3,H,W]
+  Tensor output;  ///< stitched HR result, [1,3,H*s,W*s]
+  TilePlan plan;
+  CacheKey key;
+  Clock::time_point enqueued;
+  Clock::time_point deadline;  ///< only meaningful when has_deadline
+  bool has_deadline = false;
+  std::atomic<std::size_t> tiles_remaining{0};
+  std::atomic<bool> finished{false};
+};
+
+SrServer::SrServer(std::shared_ptr<models::Edsr> model, ServeConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      engine_(require_model(model_)),
+      batcher_(BatcherConfig{
+          config.max_batch, config.max_queue_delay,
+          std::max(config.queue_high_water, config.max_batch)}),
+      cache_(config.cache_capacity),
+      metrics_(config.max_batch) {
+  DLSR_CHECK(config_.workers >= 1, "SrServer: need at least one worker");
+  if (config_.halo == 0) {
+    config_.halo = engine_.receptive_radius();
+  }
+  DLSR_CHECK(config_.tile_size > 2 * config_.halo,
+             strfmt("SrServer: tile_size %zu must exceed 2*halo (%zu); "
+                    "use a larger tile or a smaller model",
+                    config_.tile_size, 2 * config_.halo));
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+}
+
+SrServer::~SrServer() { shutdown(); }
+
+void SrServer::shutdown() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  batcher_.shutdown();
+  pool_.reset();  // joins the workers after they drain the queue
+}
+
+std::future<ServeResult> SrServer::submit(const Tensor& image) {
+  return submit(image, config_.default_deadline);
+}
+
+std::future<ServeResult> SrServer::submit(const Tensor& image,
+                                          std::chrono::milliseconds deadline) {
+  metrics_.on_request();
+  auto req = std::make_shared<RequestState>();
+  std::future<ServeResult> future = req->promise.get_future();
+  const auto reject = [&](const std::string& why) {
+    metrics_.on_rejected();
+    ServeResult r;
+    r.status = ServeStatus::Rejected;
+    r.error = why;
+    req->promise.set_value(std::move(r));
+    return std::move(future);
+  };
+
+  if (image.rank() == 3 && image.dim(0) == 3) {
+    req->image = image.reshaped({1, 3, image.dim(1), image.dim(2)});
+  } else if (image.rank() == 4 && image.dim(0) == 1 && image.dim(1) == 3) {
+    req->image = image;
+  } else {
+    return reject("expected a [3,H,W] or [1,3,H,W] image, got " +
+                  shape_to_string(image.shape()));
+  }
+  req->enqueued = Clock::now();
+  if (deadline.count() > 0) {
+    req->has_deadline = true;
+    req->deadline = req->enqueued + deadline;
+  }
+  req->key = CacheKey{hash_tensor(req->image), engine_.scale()};
+
+  Tensor cached;
+  if (cache_.lookup(req->key, &cached)) {
+    metrics_.on_cache_hit();
+    ServeResult r;
+    r.image = std::move(cached);
+    r.cache_hit = true;
+    r.latency_seconds =
+        std::chrono::duration<double>(Clock::now() - req->enqueued).count();
+    metrics_.on_complete(r.latency_seconds);
+    req->promise.set_value(std::move(r));
+    return future;
+  }
+
+  req->plan = plan_tiles(req->image.dim(2), req->image.dim(3),
+                         config_.tile_size, config_.halo);
+  const std::size_t scale = engine_.scale();
+  req->output = Tensor(
+      {1, 3, req->image.dim(2) * scale, req->image.dim(3) * scale});
+  req->tiles_remaining.store(req->plan.tiles.size());
+
+  std::vector<TileJob> jobs;
+  jobs.reserve(req->plan.tiles.size());
+  for (std::size_t i = 0; i < req->plan.tiles.size(); ++i) {
+    jobs.push_back(TileJob{req, i});
+  }
+  // All-or-nothing admission: a request past the high-water mark is
+  // rejected outright rather than stranding a partial tile set in a queue
+  // that is already over capacity.
+  if (!batcher_.push_many(std::move(jobs))) {
+    return reject(strfmt("queue over high-water mark (%zu tiles queued, "
+                         "request needs %zu)",
+                         batcher_.depth(), req->plan.tiles.size()));
+  }
+  metrics_.on_queue_depth(batcher_.depth());
+  return future;
+}
+
+ServeResult SrServer::upscale(const Tensor& image) {
+  return submit(image).get();
+}
+
+void SrServer::finish_timed_out(RequestState& req) {
+  if (req.finished.exchange(true)) {
+    return;  // completion already raced ahead
+  }
+  metrics_.on_timed_out();
+  ServeResult r;
+  r.status = ServeStatus::TimedOut;
+  r.latency_seconds =
+      std::chrono::duration<double>(Clock::now() - req.enqueued).count();
+  r.error = "deadline expired before the request was scheduled";
+  req.promise.set_value(std::move(r));
+}
+
+void SrServer::worker_loop() {
+  for (;;) {
+    std::vector<TileJob> batch = batcher_.pop_batch();
+    if (batch.empty()) {
+      return;  // shut down and drained
+    }
+    metrics_.on_queue_depth(batcher_.depth());
+
+    // Deadline handling happens at schedule time: tiles of an expired or
+    // already-finished request are dropped before they cost a forward.
+    const Clock::time_point now = Clock::now();
+    std::vector<TileJob> live;
+    live.reserve(batch.size());
+    for (TileJob& job : batch) {
+      RequestState& req = *job.request;
+      if (req.finished.load()) {
+        continue;
+      }
+      if (req.has_deadline && now >= req.deadline) {
+        finish_timed_out(req);
+        continue;
+      }
+      live.push_back(std::move(job));
+    }
+
+    // Group by tile dims so every forward sees a uniform NCHW batch; tiles
+    // from different requests batch together as long as their dims match.
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<TileJob>>
+        groups;
+    for (TileJob& job : live) {
+      const TilePlan& plan = job.request->plan;
+      groups[{plan.tile_h, plan.tile_w}].push_back(std::move(job));
+    }
+    for (auto& [dims, jobs] : groups) {
+      const auto [tile_h, tile_w] = dims;
+      Tensor tiles({jobs.size(), 3, tile_h, tile_w});
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const RequestState& req = *jobs[i].request;
+        pack_tile(req.image, req.plan, jobs[i].tile_index, tiles, i);
+      }
+      Tensor up;
+      try {
+        up = engine_.infer(tiles);
+      } catch (const Error& e) {
+        log_error(std::string("serve worker forward failed: ") + e.what());
+        for (TileJob& job : jobs) {
+          RequestState& req = *job.request;
+          if (!req.finished.exchange(true)) {
+            ServeResult r;
+            r.status = ServeStatus::Rejected;
+            r.error = std::string("forward failed: ") + e.what();
+            req.promise.set_value(std::move(r));
+          }
+        }
+        continue;
+      }
+      metrics_.on_batch(jobs.size());
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        RequestState& req = *jobs[i].request;
+        stitch_core(up, i, req.plan, jobs[i].tile_index, engine_.scale(),
+                    req.output);
+        if (req.tiles_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          if (req.finished.exchange(true)) {
+            continue;  // timed out while its last tiles were in flight
+          }
+          ServeResult r;
+          r.latency_seconds =
+              std::chrono::duration<double>(Clock::now() - req.enqueued)
+                  .count();
+          cache_.insert(req.key, req.output);
+          metrics_.on_complete(r.latency_seconds);
+          r.image = std::move(req.output);
+          req.promise.set_value(std::move(r));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dlsr::serve

@@ -1,0 +1,115 @@
+// SrServer — batched super-resolution inference serving core.
+//
+// Request lifecycle:
+//
+//   submit(image)                       admission (backpressure + cache)
+//     -> LRU result cache probe         hit: resolve immediately
+//     -> tile decomposition (tiler)     miss: one job per tile
+//     -> MicroBatcher                   bounded queue; reject past high water
+//     -> worker pool (common/thread_pool)
+//          pop_batch (size/delay triggers)
+//          drop tiles of expired-deadline requests
+//          group by tile dims, batched EdsrEngine::infer
+//          stitch scaled cores into the request's output
+//     -> last tile resolves the promise; result enters the cache
+//
+// Tiles from different requests share forwards — that is the dynamic
+// micro-batching: under concurrent load the batcher fills batches from the
+// whole queue, reusing the batch-throughput tradeoff of paper Fig. 9 on the
+// serving side. ServerMetrics records every decision for SLO accounting.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "models/edsr.hpp"
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/micro_batcher.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/tiler.hpp"
+
+namespace dlsr::serve {
+
+struct ServeConfig {
+  std::size_t tile_size = 48;  ///< LR pixels per tile side
+  std::size_t halo = 0;  ///< 0 = model receptive radius (bit-exact stitching)
+  std::size_t max_batch = 8;
+  std::chrono::microseconds max_queue_delay{2000};
+  std::size_t queue_high_water = 512;  ///< max queued tiles before rejecting
+  std::size_t workers = 2;
+  std::size_t cache_capacity = 32;
+  /// Applied when submit() is called without an explicit deadline;
+  /// zero means no deadline.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+enum class ServeStatus { Ok, Rejected, TimedOut };
+
+const char* to_string(ServeStatus status);
+
+struct ServeResult {
+  ServeStatus status = ServeStatus::Ok;
+  Tensor image;             ///< upscaled [1,3,H*s,W*s]; empty unless Ok
+  bool cache_hit = false;
+  double latency_seconds = 0.0;
+  std::string error;        ///< reason when status != Ok
+};
+
+class SrServer {
+ public:
+  /// The model must outlive the server and must not be trained while
+  /// serving (the engine reads its weights in place).
+  SrServer(std::shared_ptr<models::Edsr> model, ServeConfig config);
+  ~SrServer();
+
+  SrServer(const SrServer&) = delete;
+  SrServer& operator=(const SrServer&) = delete;
+
+  /// Accepts an LR image ([3,H,W] or [1,3,H,W], values in [0,1]) and
+  /// resolves the future when the upscaled result is ready, the request is
+  /// rejected at admission, or its deadline expires. Never blocks on model
+  /// compute.
+  std::future<ServeResult> submit(const Tensor& image);
+  std::future<ServeResult> submit(const Tensor& image,
+                                  std::chrono::milliseconds deadline);
+
+  /// Synchronous convenience wrapper around submit().
+  ServeResult upscale(const Tensor& image);
+
+  /// Stops admission, drains queued work, and joins the workers. Called by
+  /// the destructor; idempotent.
+  void shutdown();
+
+  const ServeConfig& config() const { return config_; }
+  const EdsrEngine& engine() const { return engine_; }
+  ServerMetrics& metrics() { return metrics_; }
+  MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+
+ private:
+  struct RequestState;  // defined in server.cpp
+
+  /// One unit of queued work: one tile of one request.
+  struct TileJob {
+    std::shared_ptr<RequestState> request;
+    std::size_t tile_index = 0;
+  };
+
+  void worker_loop();
+  void finish_timed_out(RequestState& req);
+
+  std::shared_ptr<models::Edsr> model_;
+  ServeConfig config_;
+  EdsrEngine engine_;
+  MicroBatcher<TileJob> batcher_;
+  ResultCache cache_;
+  ServerMetrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool stopped_ = false;
+};
+
+}  // namespace dlsr::serve

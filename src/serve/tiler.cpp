@@ -1,0 +1,141 @@
+#include "serve/tiler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::serve {
+namespace {
+
+/// Tile positions and core spans along one axis of length `extent`.
+/// Positions step by tile - 2*halo and the final tile is clamped to the end
+/// of the axis; cores abut exactly (each starts where the previous ended),
+/// and every interior core pixel keeps >= halo pixels of real context inside
+/// its tile input.
+struct AxisSlot {
+  std::size_t pos;      // input origin
+  std::size_t core_lo;  // [core_lo, core_hi) in image coordinates
+  std::size_t core_hi;
+};
+
+std::vector<AxisSlot> plan_axis(std::size_t extent, std::size_t tile,
+                                std::size_t halo) {
+  if (tile >= extent) {
+    return {{0, 0, extent}};
+  }
+  const std::size_t stride = tile - 2 * halo;
+  std::vector<std::size_t> positions;
+  for (std::size_t p = 0;; p += stride) {
+    if (p + tile >= extent) {
+      positions.push_back(extent - tile);
+      break;
+    }
+    positions.push_back(p);
+  }
+  std::vector<AxisSlot> slots(positions.size());
+  std::size_t core_lo = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const bool last = i + 1 == positions.size();
+    slots[i].pos = positions[i];
+    slots[i].core_lo = core_lo;
+    slots[i].core_hi = last ? extent : positions[i] + tile - halo;
+    core_lo = slots[i].core_hi;
+  }
+  return slots;
+}
+
+void check_image(const Tensor& image) {
+  DLSR_CHECK(image.rank() == 4 && image.dim(0) == 1 && image.dim(1) == 3,
+             "tiler expects a single [1,3,H,W] image, got " +
+                 shape_to_string(image.shape()));
+}
+
+}  // namespace
+
+TilePlan plan_tiles(std::size_t h, std::size_t w, std::size_t tile_size,
+                    std::size_t halo) {
+  DLSR_CHECK(h > 0 && w > 0, "plan_tiles: empty image");
+  DLSR_CHECK(tile_size > 2 * halo,
+             strfmt("plan_tiles: tile_size %zu must exceed 2*halo (%zu)",
+                    tile_size, 2 * halo));
+  TilePlan plan;
+  plan.image_h = h;
+  plan.image_w = w;
+  plan.tile_h = std::min(tile_size, h);
+  plan.tile_w = std::min(tile_size, w);
+  plan.halo = halo;
+  const std::vector<AxisSlot> rows = plan_axis(h, plan.tile_h, halo);
+  const std::vector<AxisSlot> cols = plan_axis(w, plan.tile_w, halo);
+  plan.tiles.reserve(rows.size() * cols.size());
+  for (const AxisSlot& r : rows) {
+    for (const AxisSlot& c : cols) {
+      TileRect t;
+      t.in_y = r.pos;
+      t.in_x = c.pos;
+      t.core_y0 = r.core_lo;
+      t.core_y1 = r.core_hi;
+      t.core_x0 = c.core_lo;
+      t.core_x1 = c.core_hi;
+      plan.tiles.push_back(t);
+    }
+  }
+  return plan;
+}
+
+void pack_tile(const Tensor& image, const TilePlan& plan, std::size_t idx,
+               Tensor& batch, std::size_t n) {
+  check_image(image);
+  DLSR_CHECK(idx < plan.tiles.size(), "pack_tile: tile index out of range");
+  DLSR_CHECK(batch.rank() == 4 && n < batch.dim(0) && batch.dim(1) == 3 &&
+                 batch.dim(2) == plan.tile_h && batch.dim(3) == plan.tile_w,
+             "pack_tile: batch slot does not match plan tile dims");
+  const TileRect& t = plan.tiles[idx];
+  const std::size_t H = plan.image_h;
+  const std::size_t W = plan.image_w;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const float* src = image.raw() + c * H * W;
+    float* dst =
+        batch.raw() + (n * 3 + c) * plan.tile_h * plan.tile_w;
+    for (std::size_t y = 0; y < plan.tile_h; ++y) {
+      std::memcpy(dst + y * plan.tile_w,
+                  src + (t.in_y + y) * W + t.in_x,
+                  plan.tile_w * sizeof(float));
+    }
+  }
+}
+
+void stitch_core(const Tensor& batch_out, std::size_t n, const TilePlan& plan,
+                 std::size_t idx, std::size_t scale, Tensor& out) {
+  DLSR_CHECK(idx < plan.tiles.size(), "stitch_core: tile index out of range");
+  DLSR_CHECK(batch_out.rank() == 4 && n < batch_out.dim(0) &&
+                 batch_out.dim(2) == plan.tile_h * scale &&
+                 batch_out.dim(3) == plan.tile_w * scale,
+             "stitch_core: batch output does not match plan tile dims");
+  DLSR_CHECK(out.rank() == 4 && out.dim(0) == 1 && out.dim(1) == 3 &&
+                 out.dim(2) == plan.image_h * scale &&
+                 out.dim(3) == plan.image_w * scale,
+             "stitch_core: output tensor does not match plan image dims");
+  const TileRect& t = plan.tiles[idx];
+  const std::size_t tw = plan.tile_w * scale;
+  const std::size_t th = plan.tile_h * scale;
+  const std::size_t OW = plan.image_w * scale;
+  const std::size_t OH = plan.image_h * scale;
+  const std::size_t y0 = t.core_y0 * scale;
+  const std::size_t y1 = t.core_y1 * scale;
+  const std::size_t x0 = t.core_x0 * scale;
+  const std::size_t x1 = t.core_x1 * scale;
+  const std::size_t row_bytes = (x1 - x0) * sizeof(float);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const float* src = batch_out.raw() + (n * 3 + c) * th * tw;
+    float* dst = out.raw() + c * OH * OW;
+    for (std::size_t y = y0; y < y1; ++y) {
+      std::memcpy(dst + y * OW + x0,
+                  src + (y - t.in_y * scale) * tw + (x0 - t.in_x * scale),
+                  row_bytes);
+    }
+  }
+}
+
+}  // namespace dlsr::serve

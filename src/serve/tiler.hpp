@@ -1,0 +1,63 @@
+// Tiled execution geometry for SR inference serving.
+//
+// Arbitrary-size images are split into fixed-size input tiles with a halo
+// overlap so every served tile fits the model's trained patch regime and the
+// batcher can stack tiles from different requests into one uniform forward.
+// Each tile owns a disjoint "core" rectangle of the image; after upscaling,
+// only the core (scaled) is copied into the output, so the stitched result
+// has no blending seams. With halo >= the model's receptive-field radius the
+// stitched image is bit-identical to a whole-image forward: every core pixel
+// sees exactly the same receptive field it would in the full image (tiles at
+// the image border keep the real border, interior tiles carry enough halo
+// context that the zero padding at tile edges never reaches a core pixel).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dlsr::serve {
+
+/// One tile: where its input rectangle sits in the LR image and which core
+/// rectangle (half-open, LR coordinates) it is responsible for producing.
+struct TileRect {
+  std::size_t in_y = 0;  ///< input-rectangle origin (size = plan tile dims)
+  std::size_t in_x = 0;
+  std::size_t core_y0 = 0;  ///< core region this tile renders, [y0, y1)
+  std::size_t core_x0 = 0;
+  std::size_t core_y1 = 0;
+  std::size_t core_x1 = 0;
+};
+
+/// Tile decomposition of one image. All tiles share the same input dims so
+/// they can be stacked into a single NCHW batch.
+struct TilePlan {
+  std::size_t image_h = 0;
+  std::size_t image_w = 0;
+  std::size_t tile_h = 0;  ///< uniform input tile height (<= tile_size)
+  std::size_t tile_w = 0;
+  std::size_t halo = 0;
+  std::vector<TileRect> tiles;
+};
+
+/// Plans the decomposition of an h x w image into tiles of at most
+/// `tile_size` per side with `halo` pixels of overlap context. Requires
+/// tile_size > 2 * halo. Images that fit in one tile produce a single tile
+/// whose input is the whole image (no padding, bit-identical forward).
+/// The cores of the returned tiles partition the image exactly.
+TilePlan plan_tiles(std::size_t h, std::size_t w, std::size_t tile_size,
+                    std::size_t halo);
+
+/// Copies tile `idx` of `image` ([1,3,H,W]) into slot `n` of `batch`
+/// ([N,3,tile_h,tile_w]).
+void pack_tile(const Tensor& image, const TilePlan& plan, std::size_t idx,
+               Tensor& batch, std::size_t n);
+
+/// Copies the scaled core region of tile `idx` from slot `n` of the model
+/// output `batch_out` ([N,3,tile_h*scale,tile_w*scale]) into the stitched
+/// result `out` ([1,3,H*scale,W*scale]).
+void stitch_core(const Tensor& batch_out, std::size_t n, const TilePlan& plan,
+                 std::size_t idx, std::size_t scale, Tensor& out);
+
+}  // namespace dlsr::serve

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/error.hpp"
@@ -191,9 +192,22 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.35), 3.5);
 }
 
-TEST(Percentile, RejectsBadInput) {
-  EXPECT_THROW(percentile({}, 0.5), Error);
-  EXPECT_THROW(percentile({1.0}, 1.5), Error);
+TEST(Percentile, TotalOnDegenerateInput) {
+  // Serving metrics snapshot percentiles on whatever has been recorded so
+  // far; percentile() must stay total instead of throwing or emitting NaN.
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeRank) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 3.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(percentile(v, nan), 1.0);
 }
 
 TEST(Strings, Strfmt) {

@@ -8,16 +8,22 @@
 //   train     — functional data-parallel training on synthetic DIV2K with
 //               checkpointing.
 //   models    — model-zoo inventory: parameters, gradient bytes, FLOPs.
+//   serve     — batched tiled SR inference server demo on a synthetic
+//               request stream; prints SLO metrics and a JSON snapshot.
 //
 // Examples:
 //   dlsr simulate --backends MPI,MPI-Opt --nodes 1,8,64 --steps 30 --csv
 //   dlsr profile --backend MPI-Opt --nodes 1 --steps 100
 //   dlsr train --workers 4 --steps 50 --checkpoint /tmp/edsr.ckpt
 //   dlsr models
+//   dlsr serve --requests 24 --image 96 --clients 4
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -32,6 +38,7 @@
 #include "models/resnet50_graph.hpp"
 #include "models/srresnet.hpp"
 #include "models/vdsr.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -262,11 +269,104 @@ int cmd_models(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  Flags flags;
+  flags.define("requests", "synthetic requests to issue", "24");
+  flags.define("unique", "distinct images in the request stream", "8");
+  flags.define("image", "LR image side in pixels", "96");
+  flags.define("clients", "concurrent client threads", "4");
+  flags.define("tile", "tile side in pixels", "48");
+  flags.define("max-batch", "micro-batch size cap", "8");
+  flags.define("workers", "server worker threads", "2");
+  flags.define("cache", "LRU result-cache capacity", "32");
+  flags.define("deadline-ms", "per-request deadline (0 = none)", "0");
+  flags.define("seed", "rng seed", "7");
+  flags.parse(argc, argv);
+
+  serve::ServeConfig cfg;
+  cfg.tile_size = static_cast<std::size_t>(flags.get_int("tile"));
+  cfg.max_batch = static_cast<std::size_t>(flags.get_int("max-batch"));
+  cfg.workers = static_cast<std::size_t>(flags.get_int("workers"));
+  cfg.cache_capacity = static_cast<std::size_t>(flags.get_int("cache"));
+  cfg.default_deadline =
+      std::chrono::milliseconds(flags.get_int("deadline-ms"));
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  auto model =
+      std::make_shared<models::Edsr>(models::EdsrConfig::tiny(), rng);
+  serve::SrServer server(model, cfg);
+
+  const auto unique = static_cast<std::size_t>(flags.get_int("unique"));
+  const auto side = static_cast<std::size_t>(flags.get_int("image"));
+  std::vector<Tensor> pool;
+  for (std::size_t i = 0; i < unique; ++i) {
+    Tensor img({1, 3, side, side});
+    for (float& v : img.data()) {
+      v = static_cast<float>(rng.uniform());
+    }
+    pool.push_back(std::move(img));
+  }
+
+  const auto requests = static_cast<std::size_t>(flags.get_int("requests"));
+  const auto clients = static_cast<std::size_t>(flags.get_int("clients"));
+  std::printf("serving %zu requests over %zu unique %zux%zu images "
+              "(%zu clients, tile %zu, halo %zu, max batch %zu)\n",
+              requests, unique, side, side, clients, cfg.tile_size,
+              server.config().halo, cfg.max_batch);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> ok{0}, failed{0};
+  std::mutex mu;
+  Rng pick(static_cast<std::uint64_t>(flags.get_int("seed")) + 1);
+  std::vector<std::size_t> sequence;
+  for (std::size_t i = 0; i < requests; ++i) {
+    sequence.push_back(pick.uniform_index(unique));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= sequence.size()) return;
+        const serve::ServeResult r = server.upscale(pool[sequence[i]]);
+        if (r.status == serve::ServeStatus::Ok) {
+          ++ok;
+        } else {
+          ++failed;
+          std::lock_guard<std::mutex> lock(mu);
+          std::printf("request %zu %s: %s\n", i, to_string(r.status),
+                      r.error.c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::MetricsSnapshot snap = server.metrics_snapshot();
+  Table t({"metric", "value"});
+  t.add_row({"completed", strfmt("%zu", snap.completed)});
+  t.add_row({"rejected", strfmt("%zu", snap.rejected)});
+  t.add_row({"timed_out", strfmt("%zu", snap.timed_out)});
+  t.add_row({"cache_hits", strfmt("%zu", snap.cache_hits)});
+  t.add_row({"throughput", strfmt("%.1f req/s", ok.load() / wall)});
+  t.add_row({"mean batch", strfmt("%.2f tiles", snap.mean_batch)});
+  t.add_row({"latency p50", strfmt("%.2f ms", snap.latency_p50_ms)});
+  t.add_row({"latency p95", strfmt("%.2f ms", snap.latency_p95_ms)});
+  t.add_row({"latency p99", strfmt("%.2f ms", snap.latency_p99_ms)});
+  std::printf("%s", t.to_string().c_str());
+  std::printf("%s\n", snap.to_json().c_str());
+  return failed.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: dlsr <simulate|profile|train|models|layers> [flags]\n"
+      "usage: dlsr <simulate|profile|train|models|layers|serve> [flags]\n"
       "run `dlsr <command> --help` conceptually: flags are listed in "
       "tools/dlsr_cli.cpp\n";
   if (argc < 2) {
@@ -280,6 +380,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(argc - 1, argv + 1);
     if (command == "models") return cmd_models(argc - 1, argv + 1);
     if (command == "layers") return cmd_layers(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     std::fprintf(stderr, "unknown command \"%s\"\n%s", command.c_str(),
                  usage.c_str());
     return 2;
