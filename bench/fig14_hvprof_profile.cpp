@@ -42,6 +42,7 @@ int main() {
         strfmt("%s total allreduce (ms/100 steps)", run.label),
         run.kind == core::BackendKind::Mpi ? 7179.9 : 3918.5,
         r.profiler.total_time(prof::Collective::Allreduce) * 1e3, "ms");
+    std::printf("profile_json %s\n", r.profiler.to_json().c_str());
   }
   bench::print_note(
       "the 16-64 MB buckets dominate and are the ones CUDA IPC accelerates; "

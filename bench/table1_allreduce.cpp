@@ -56,5 +56,8 @@ int main() {
       "paper states F=64 feature maps, but its 16-64 MB fused messages imply "
       "the full EDSR width F=256 (~173 MB of gradients); we use F=256. See "
       "EXPERIMENTS.md.");
+  std::printf("-- machine-readable profiles --\n");
+  std::printf("default_json %s\n", def.profiler.to_json().c_str());
+  std::printf("optimized_json %s\n", opt.profiler.to_json().c_str());
   return 0;
 }

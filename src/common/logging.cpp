@@ -1,8 +1,12 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
 
 namespace dlsr {
 namespace {
@@ -26,18 +30,49 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+double seconds_since_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+unsigned thread_log_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
+// Touch the clock epoch at static-init time so timestamps are relative to
+// process start, not to the first log call.
+const double g_epoch_touch = seconds_since_start();
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw Error("unknown log level \"" + name +
+              "\" (expected debug, info, warn, error, or off)");
+}
+
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
     return;
   }
+  (void)g_epoch_touch;
+  const std::string line =
+      strfmt("[%12.6f] [t%02u] [%s] %s\n", seconds_since_start(),
+             thread_log_id(), level_name(level), message.c_str());
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace dlsr

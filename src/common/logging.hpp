@@ -15,7 +15,15 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line ("[level] message\n") if `level` passes the threshold.
+/// "debug" | "info" | "warn" | "error" | "off" -> LogLevel.
+/// Throws dlsr::Error on anything else (CLI --log-level parsing).
+LogLevel parse_log_level(const std::string& name);
+
+/// Emits one line if `level` passes the threshold, prefixed with a
+/// monotonic timestamp (seconds since process start) and a small stable
+/// thread id: "[   12.345678] [t00] [warn] message\n". The line is
+/// formatted up front and written with a single locked write, so
+/// concurrent messages never interleave.
 void log(LogLevel level, const std::string& message);
 
 inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }

@@ -5,9 +5,43 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/topology.hpp"
 
 namespace dlsr::core {
+namespace {
+
+/// Mirrors one simulated step onto the trace's simulated-time process
+/// (pid kSimPid): compute phases and every fused allreduce message, with
+/// SimTime seconds mapped to trace microseconds.
+void emit_sim_step_events(std::size_t step, sim::SimTime step_start,
+                          sim::SimTime backward_start,
+                          const hvd::StepTimeline& comm,
+                          sim::SimTime step_end) {
+  auto& tracer = obs::Tracer::instance();
+  const auto us = [](sim::SimTime t) { return t * 1e6; };
+  const std::string args = strfmt("{\"step\":%zu}", step);
+  tracer.complete("forward", "sim", us(step_start),
+                  us(backward_start - step_start), args, obs::kSimPid);
+  tracer.complete("backward", "sim", us(backward_start),
+                  us(comm.backward_end - backward_start), args, obs::kSimPid);
+  for (const auto& m : comm.messages) {
+    tracer.complete("allreduce", "sim", us(m.issued_at),
+                    us(m.done_at - m.issued_at),
+                    strfmt("{\"step\":%zu,\"bytes\":%zu,\"tensors\":%zu}",
+                           step, m.bytes, m.tensor_count),
+                    obs::kSimPid);
+  }
+  const sim::SimTime comm_done = std::max(comm.backward_end, comm.comm_end);
+  if (step_end > comm_done) {
+    tracer.complete("optimizer", "sim", us(comm_done),
+                    us(step_end - comm_done), args, obs::kSimPid);
+  }
+}
+
+}  // namespace
 
 TrainingJobConfig TrainingJobConfig::paper_edsr() {
   TrainingJobConfig c;
@@ -30,6 +64,13 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
                                   std::size_t steps,
                                   hvd::TimelineWriter* timeline) const {
   DLSR_CHECK(nodes > 0 && steps > 0, "run needs nodes and steps");
+  obs::ScopedSpan run_span("core", "simulate_run");
+  if (run_span.active()) {
+    run_span.set_args(strfmt("{\"nodes\":%zu,\"steps\":%zu}", nodes, steps));
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  const auto step_ms_hist = registry.histogram("sim/step_ms");
+  const auto exposed_ms_hist = registry.histogram("sim/exposed_comm_ms");
   sim::Cluster cluster(sim::ClusterSpec::lassen(nodes));
   auto backend = make_backend(kind, cluster, config_.seed);
   hvd::TensorFusionEngine fusion(config_.fusion, *backend);
@@ -90,6 +131,12 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
       trace.comm = comm_timeline;
       timeline->record_step(std::move(trace));
     }
+    if (obs::tracing_enabled()) {
+      emit_sim_step_events(s, step_start, backward_start, comm_timeline,
+                           step_end);
+    }
+    step_ms_hist->observe((step_end - step_start) * 1e3);
+    exposed_ms_hist->observe(comm_timeline.exposed_comm() * 1e3);
     result.step_times.push_back(step_end - step_start);
     exposed_total += comm_timeline.exposed_comm();
     t = step_end;

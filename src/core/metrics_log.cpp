@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
 
 namespace dlsr::core {
 
@@ -13,6 +14,15 @@ void MetricsLog::record(MetricRecord record) {
   DLSR_CHECK(records_.empty() || record.step >= records_.back().step,
              "metric steps must be non-decreasing");
   records_.push_back(record);
+  // Mirror into the process-global registry so --metrics-out exports pick
+  // up training progress alongside the step-phase histograms.
+  auto& registry = obs::MetricsRegistry::global();
+  registry.gauge("train/loss")->set(record.loss);
+  registry.gauge("train/lr")->set(record.learning_rate);
+  registry.counter("train/steps_logged")->add(1);
+  if (record.val_psnr) {
+    registry.histogram("train/val_psnr")->observe(*record.val_psnr);
+  }
 }
 
 const MetricRecord& MetricsLog::back() const {

@@ -1,12 +1,25 @@
 #include "core/training_session.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
 #include "image/metrics.hpp"
 #include "image/resize.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::core {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 TrainingSession::TrainingSession(
     const img::SyntheticDiv2k& dataset,
@@ -47,9 +60,14 @@ TrainingSession::TrainingSession(
 
 SessionStats TrainingSession::run_steps(std::size_t steps) {
   DLSR_CHECK(steps > 0, "run_steps needs steps");
+  auto& registry = obs::MetricsRegistry::global();
+  const auto step_ms = registry.histogram("train/step_ms");
+  const auto data_ms = registry.histogram("train/data_ms");
   SessionStats stats;
   stats.steps = steps;
   for (std::size_t s = 0; s < steps; ++s) {
+    OBS_SPAN("core", "step");
+    const auto step_start = std::chrono::steady_clock::now();
     for (auto& warmup : warmups_) {
       warmup->step();
     }
@@ -57,12 +75,18 @@ SessionStats TrainingSession::run_steps(std::size_t steps) {
     std::vector<Tensor> targets;
     inputs.reserve(config_.workers);
     targets.reserve(config_.workers);
-    for (std::size_t w = 0; w < config_.workers; ++w) {
-      img::Batch batch = samplers_[w].sample_batch(config_.batch_per_worker);
-      inputs.push_back(std::move(batch.lr));
-      targets.push_back(std::move(batch.hr));
+    {
+      OBS_SPAN("core", "data");
+      const auto data_start = std::chrono::steady_clock::now();
+      for (std::size_t w = 0; w < config_.workers; ++w) {
+        img::Batch batch = samplers_[w].sample_batch(config_.batch_per_worker);
+        inputs.push_back(std::move(batch.lr));
+        targets.push_back(std::move(batch.hr));
+      }
+      data_ms->observe(ms_since(data_start));
     }
     const hvd::WorkerStepResult r = group_.train_step(inputs, targets);
+    step_ms->observe(ms_since(step_start));
     if (s == 0) {
       stats.first_loss = r.mean_loss;
     }
@@ -77,6 +101,7 @@ SessionStats TrainingSession::run_steps(std::size_t steps) {
 }
 
 double TrainingSession::validate_psnr(std::size_t count) {
+  OBS_SPAN("core", "validate");
   DLSR_CHECK(count > 0 && count <= dataset_.size(img::Split::Validation),
              "validation count out of range");
   double total = 0.0;

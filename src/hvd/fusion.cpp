@@ -5,6 +5,8 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::hvd {
 
@@ -19,6 +21,7 @@ StepTimeline TensorFusionEngine::simulate_step(
     const std::vector<models::GradTensor>& grads, sim::SimTime backward_start,
     double backward_duration) {
   DLSR_CHECK(!grads.empty(), "no gradients to reduce");
+  obs::ScopedSpan span("hvd", "fusion_step");
   StepTimeline timeline;
   timeline.backward_end = backward_start + backward_duration;
 
@@ -79,6 +82,10 @@ StepTimeline TensorFusionEngine::simulate_step(
       }
       if (uncached) {
         cycle_issue += config_.negotiation_latency;
+        // A paid negotiation round (gather+broadcast for tensors the
+        // coordinator's response cache has not seen yet).
+        OBS_INSTANT("hvd", "negotiation_round");
+        OBS_COUNTER("hvd", "negotiated_tensors", negotiated_);
       }
     }
     // Pack ready tensors (in order) into fusion buffers.
@@ -117,6 +124,10 @@ StepTimeline TensorFusionEngine::simulate_step(
     }
   }
   timeline.comm_end = comm_end;
+  if (span.active()) {
+    span.set_args(strfmt("{\"tensors\":%zu,\"messages\":%zu}", grads.size(),
+                         timeline.messages.size()));
+  }
   return timeline;
 }
 

@@ -1,11 +1,24 @@
 #include "hvd/worker_group.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "mpisim/data_allreduce.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::hvd {
+namespace {
+
+using PhaseClock = std::chrono::steady_clock;
+
+double ms_since(PhaseClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(PhaseClock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 WorkerGroup::WorkerGroup(
     std::size_t workers,
@@ -13,7 +26,15 @@ WorkerGroup::WorkerGroup(
     const std::function<std::unique_ptr<nn::Optimizer>(
         std::vector<nn::ParamRef>)>& make_optimizer,
     LossKind loss)
-    : loss_(loss) {
+    : loss_(loss),
+      forward_ms_(obs::MetricsRegistry::global().histogram(
+          "train/forward_ms")),
+      backward_ms_(obs::MetricsRegistry::global().histogram(
+          "train/backward_ms")),
+      allreduce_ms_(obs::MetricsRegistry::global().histogram(
+          "train/allreduce_ms")),
+      optimizer_ms_(obs::MetricsRegistry::global().histogram(
+          "train/optimizer_ms")) {
   DLSR_CHECK(workers > 0, "worker group needs at least one worker");
   models_.reserve(workers);
   optimizers_.reserve(workers);
@@ -38,6 +59,7 @@ nn::Optimizer& WorkerGroup::optimizer(std::size_t i) {
 }
 
 void WorkerGroup::broadcast_parameters() {
+  OBS_SPAN("hvd", "broadcast_parameters");
   for (std::size_t w = 1; w < models_.size(); ++w) {
     for (std::size_t p = 0; p < params_[0].size(); ++p) {
       DLSR_CHECK(params_[w][p].value->same_shape(*params_[0][p].value),
@@ -83,22 +105,52 @@ WorkerStepResult WorkerGroup::train_step(const std::vector<Tensor>& inputs,
   DLSR_CHECK(inputs.size() == models_.size() &&
                  targets.size() == models_.size(),
              "one batch per worker required");
+  OBS_SPAN("hvd", "train_step");
   WorkerStepResult result;
-  for (std::size_t w = 0; w < models_.size(); ++w) {
-    models_[w]->zero_grad();
-    const Tensor pred = models_[w]->forward(inputs[w]);
-    const nn::LossResult loss = loss_ == LossKind::L1
-                                    ? nn::l1_loss(pred, targets[w])
-                                    : nn::mse_loss(pred, targets[w]);
-    models_[w]->backward(loss.grad);
-    result.mean_loss += loss.value;
-    result.images += inputs[w].dim(0);
+
+  // Forward (incl. loss): keeps per-worker loss gradients for backward.
+  std::vector<Tensor> loss_grads(models_.size());
+  PhaseClock::time_point phase = PhaseClock::now();
+  {
+    OBS_SPAN("hvd", "forward");
+    for (std::size_t w = 0; w < models_.size(); ++w) {
+      models_[w]->zero_grad();
+      const Tensor pred = models_[w]->forward(inputs[w]);
+      const nn::LossResult loss = loss_ == LossKind::L1
+                                      ? nn::l1_loss(pred, targets[w])
+                                      : nn::mse_loss(pred, targets[w]);
+      loss_grads[w] = loss.grad;
+      result.mean_loss += loss.value;
+      result.images += inputs[w].dim(0);
+    }
+    result.mean_loss /= static_cast<double>(models_.size());
   }
-  result.mean_loss /= static_cast<double>(models_.size());
-  allreduce_gradients();
-  for (auto& opt : optimizers_) {
-    opt->step();
+  forward_ms_->observe(ms_since(phase));
+
+  phase = PhaseClock::now();
+  {
+    OBS_SPAN("hvd", "backward");
+    for (std::size_t w = 0; w < models_.size(); ++w) {
+      models_[w]->backward(loss_grads[w]);
+    }
   }
+  backward_ms_->observe(ms_since(phase));
+
+  phase = PhaseClock::now();
+  {
+    OBS_SPAN("hvd", "allreduce");
+    allreduce_gradients();
+  }
+  allreduce_ms_->observe(ms_since(phase));
+
+  phase = PhaseClock::now();
+  {
+    OBS_SPAN("hvd", "optimizer");
+    for (auto& opt : optimizers_) {
+      opt->step();
+    }
+  }
+  optimizer_ms_->observe(ms_since(phase));
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "nn/loss.hpp"
 #include "nn/module.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dlsr::hvd {
@@ -66,6 +67,12 @@ class WorkerGroup {
   std::vector<std::unique_ptr<nn::Module>> models_;
   std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
   std::vector<std::vector<nn::ParamRef>> params_;  // cached per worker
+  /// Step-phase latency histograms in the process-global metrics registry
+  /// (train/{forward,backward,allreduce,optimizer}_ms).
+  std::shared_ptr<obs::Histogram> forward_ms_;
+  std::shared_ptr<obs::Histogram> backward_ms_;
+  std::shared_ptr<obs::Histogram> allreduce_ms_;
+  std::shared_ptr<obs::Histogram> optimizer_ms_;
 };
 
 }  // namespace dlsr::hvd

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::mpisim {
 namespace {
@@ -57,6 +59,11 @@ AllreduceTiming AllreduceEngine::run(std::size_t bytes, std::uint64_t buf_id,
   DLSR_CHECK(bytes > 0, "empty allreduce");
   if (algo == AllreduceAlgo::Auto) {
     algo = select(bytes);
+  }
+  obs::ScopedSpan span("mpisim", "allreduce_model");
+  if (span.active()) {
+    span.set_args(strfmt("{\"bytes\":%zu,\"algo\":\"%s\"}", bytes,
+                         allreduce_algo_name(algo)));
   }
   const std::size_t ranks = transport_.cluster().total_gpus();
   AllreduceTiming timing;

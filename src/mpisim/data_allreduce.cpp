@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::mpisim {
 namespace {
+
+/// Span args for a data-plane collective: payload and rank count.
+std::string collective_args(const std::vector<std::span<float>>& buffers) {
+  return strfmt("{\"bytes\":%zu,\"ranks\":%zu}",
+                buffers.empty() ? 0 : buffers.front().size() * sizeof(float),
+                buffers.size());
+}
 
 void check_buffers(const std::vector<std::span<float>>& buffers) {
   DLSR_CHECK(!buffers.empty(), "allreduce with zero ranks");
@@ -29,6 +38,10 @@ std::vector<std::size_t> chunk_offsets(std::size_t n, std::size_t r) {
 }  // namespace
 
 void ring_allreduce_sum(std::vector<std::span<float>>& buffers) {
+  obs::ScopedSpan span("mpisim", "ring_allreduce");
+  if (span.active()) {
+    span.set_args(collective_args(buffers));
+  }
   check_buffers(buffers);
   const std::size_t R = buffers.size();
   if (R == 1) {
@@ -66,6 +79,10 @@ void ring_allreduce_sum(std::vector<std::span<float>>& buffers) {
 
 void recursive_doubling_allreduce_sum(
     std::vector<std::span<float>>& buffers) {
+  obs::ScopedSpan span("mpisim", "recursive_doubling_allreduce");
+  if (span.active()) {
+    span.set_args(collective_args(buffers));
+  }
   check_buffers(buffers);
   const std::size_t R = buffers.size();
   if (R == 1) {
@@ -106,6 +123,10 @@ void recursive_doubling_allreduce_sum(
 
 void hierarchical_allreduce_sum(std::vector<std::span<float>>& buffers,
                                 std::size_t ranks_per_node) {
+  obs::ScopedSpan span("mpisim", "hierarchical_allreduce");
+  if (span.active()) {
+    span.set_args(collective_args(buffers));
+  }
   check_buffers(buffers);
   DLSR_CHECK(ranks_per_node > 0, "ranks_per_node must be positive");
   const std::size_t R = buffers.size();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::ncclsim {
 
@@ -58,6 +60,10 @@ sim::SimTime NcclCommunicator::allreduce(std::size_t bytes,
                                          sim::SimTime ready) {
   (void)buf_id;  // no registration cache: NCCL buffers are persistent
   DLSR_CHECK(bytes > 0, "empty allreduce");
+  obs::ScopedSpan span("ncclsim", "allreduce_model");
+  if (span.active()) {
+    span.set_args(strfmt("{\"bytes\":%zu}", bytes));
+  }
   const sim::SimTime start = std::max(ready, engine_busy_until_);
   const std::size_t R = cluster_.total_gpus();
   const double factor =

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::obs {
+
+void Histogram::observe(double v) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(v);
+  stats_.add(v);
+}
+
+std::size_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::vector<double> samples;
+  HistogramSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples = samples_;
+    snap.count = stats_.count();
+    snap.mean = stats_.mean();
+    snap.min = stats_.min();
+    snap.max = stats_.max();
+  }
+  snap.p50 = percentile(samples, 0.50);
+  snap.p95 = percentile(samples, 0.95);
+  snap.p99 = percentile(std::move(samples), 0.99);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_shared<Counter>();
+  }
+  return slot;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_shared<Gauge>();
+  }
+  return slot;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::histogram(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_shared<Histogram>();
+  }
+  return slot;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::make_counter(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto made = std::make_shared<Counter>();
+  counters_[name] = made;
+  return made;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::make_gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto made = std::make_shared<Gauge>();
+  gauges_[name] = made;
+  return made;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::make_histogram(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto made = std::make_shared<Histogram>();
+  histograms_[name] = made;
+  return made;
+}
+
+namespace {
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Prometheus metric name: "dlsr_" + name with /.- mapped to _.
+std::string prom_name(const std::string& name) {
+  std::string out = "dlsr_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << json_string(name) << ":"
+       << strfmt("%llu", static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << json_string(name) << ":"
+       << strfmt("%.6g", g->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    os << (first ? "" : ",") << json_string(name)
+       << strfmt(":{\"count\":%zu,\"mean\":%.6g,\"min\":%.6g,\"max\":%.6g,"
+                 "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}",
+                 s.count, s.mean, s.min, s.max, s.p50, s.p95, s.p99);
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n"
+       << p << " "
+       << strfmt("%llu", static_cast<unsigned long long>(c->value()))
+       << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n"
+       << p << " " << strfmt("%.6g", g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    const HistogramSnapshot s = h->snapshot();
+    os << "# TYPE " << p << " summary\n";
+    os << p << "{quantile=\"0.5\"} " << strfmt("%.6g", s.p50) << "\n";
+    os << p << "{quantile=\"0.95\"} " << strfmt("%.6g", s.p95) << "\n";
+    os << p << "{quantile=\"0.99\"} " << strfmt("%.6g", s.p99) << "\n";
+    os << p << "_sum " << strfmt("%.6g", s.mean * static_cast<double>(s.count))
+       << "\n";
+    os << p << "_count " << strfmt("%zu", s.count) << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  DLSR_CHECK(out.good(), "cannot open " + path + " for writing");
+  out << to_json() << "\n";
+  DLSR_CHECK(out.good(), "failed writing " + path);
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace dlsr::obs

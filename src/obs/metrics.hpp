@@ -1,0 +1,115 @@
+// dlsr::obs — unified metrics registry.
+//
+// Three instrument kinds, all thread-safe:
+//   Counter   — monotonically increasing integer (atomic add).
+//   Gauge     — last-set floating-point value (atomic store).
+//   Histogram — sample distribution; snapshot() computes count/mean/min/max
+//               and p50/p95/p99 via common/stats percentile().
+//
+// A MetricsRegistry maps names ("serve/latency_ms") to shared instruments
+// and exports everything as a JSON object or Prometheus text. Subsystems
+// register their instruments into the process-global registry instead of
+// keeping private copies: serve::ServerMetrics, core::MetricsLog, and the
+// training/simulation step phases all publish here, so one
+// `--metrics-out` file covers the whole process.
+//
+// make_*() creates a fresh instrument and (re-)binds the name to it —
+// per-instance metrics (one server's latencies) replace a predecessor's
+// registration while the old owner keeps its shared_ptr. counter()/gauge()/
+// histogram() get-or-create shared process-wide instruments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dlsr::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class Histogram {
+ public:
+  void observe(double v);
+  std::size_t count() const;
+  HistogramSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  RunningStats stats_;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem publishes into.
+  static MetricsRegistry& global();
+
+  /// Get-or-create shared instruments.
+  std::shared_ptr<Counter> counter(const std::string& name);
+  std::shared_ptr<Gauge> gauge(const std::string& name);
+  std::shared_ptr<Histogram> histogram(const std::string& name);
+
+  /// Create fresh instruments and (re-)bind `name` to them.
+  std::shared_ptr<Counter> make_counter(const std::string& name);
+  std::shared_ptr<Gauge> make_gauge(const std::string& name);
+  std::shared_ptr<Histogram> make_histogram(const std::string& name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,
+  /// max,p50,p95,p99}}} — stable (sorted) key order.
+  std::string to_json() const;
+
+  /// Prometheus text exposition: counters and gauges as-is, histograms as
+  /// summaries (quantile labels + _sum/_count). Names are sanitized and
+  /// prefixed "dlsr_".
+  std::string to_prometheus() const;
+
+  /// Writes to_json() to a file (throws dlsr::Error on failure).
+  void write_json(const std::string& path) const;
+
+  /// Drops every registration (owners keep their shared_ptrs).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Counter>> counters_;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dlsr::obs

@@ -1,0 +1,200 @@
+// dlsr::obs — unified span tracer.
+//
+// A process-global tracer with per-thread ring buffers. Instrumented code
+// opens nestable scoped spans (OBS_SPAN), emits instant events and counter
+// samples; the tracer exports everything as Chrome trace-event JSON loadable
+// in Perfetto / chrome://tracing. One trace file therefore shows a training
+// step, a simulated allreduce schedule, and a served request side by side.
+//
+// Cost model:
+//   - Disabled (the default): every macro boils down to one relaxed atomic
+//     load and a branch. No allocation, no lock, no thread registration —
+//     bench/obs_overhead verifies the hot path is indistinguishable from
+//     uninstrumented code.
+//   - Enabled: events append to a per-thread ring buffer under that
+//     buffer's own (uncontended) mutex; when the ring fills, the oldest
+//     events are overwritten and counted as dropped.
+//
+// Wall-clock events record microseconds since enable() on pid 0. Callers
+// with their own clock (the discrete-event simulator) can emit complete
+// events with explicit timestamps on a different pid, keeping simulated
+// time and wall time separated per-process in the viewer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlsr::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+/// The one check on every instrumentation hot path.
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Trace-event process ids: wall-clock events vs simulated-time events.
+inline constexpr std::uint32_t kWallPid = 0;
+inline constexpr std::uint32_t kSimPid = 1;
+
+enum class EventPhase : char {
+  Complete = 'X',
+  Instant = 'i',
+  Counter = 'C',
+};
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";  ///< static string (category / module name)
+  EventPhase phase = EventPhase::Complete;
+  double ts_us = 0.0;
+  double dur_us = 0.0;   ///< Complete events only
+  double value = 0.0;    ///< Counter events only
+  std::uint32_t pid = kWallPid;
+  std::string args;      ///< JSON object text, or empty
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Starts recording: resets the clock epoch, drops previous events, and
+  /// sets the per-thread ring capacity (events per producer thread).
+  void enable(std::size_t ring_capacity = 1 << 15);
+
+  /// Stops recording. Already-buffered events remain exportable.
+  void disable();
+
+  /// Drops all buffers and events (does not change enabled state).
+  void reset();
+
+  /// Microseconds since enable() on the steady clock.
+  double now_us() const;
+
+  /// Appends a complete ("X") event. `ts_us`/`dur_us` are caller-provided,
+  /// so simulated-time schedules can be mirrored in (use pid = kSimPid).
+  void complete(std::string name, const char* cat, double ts_us,
+                double dur_us, std::string args = {},
+                std::uint32_t pid = kWallPid);
+
+  /// Appends an instant ("i") event at now_us().
+  void instant(std::string name, const char* cat, std::string args = {});
+
+  /// Appends a counter ("C") sample at now_us().
+  void counter(std::string name, const char* cat, double value);
+
+  std::size_t event_count() const;
+  std::size_t thread_count() const;
+  std::size_t dropped_count() const;
+
+  /// All buffered events merged and sorted by timestamp, as a valid Chrome
+  /// trace-event JSON array (plus process-name metadata events).
+  std::string to_chrome_trace_json() const;
+
+  /// Writes the JSON to a file (throws dlsr::Error on I/O failure).
+  void write(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> ring;  ///< capacity-sized once first used
+    std::size_t capacity = 0;
+    std::size_t head = 0;   ///< next write slot
+    std::size_t count = 0;  ///< live events (<= capacity)
+    std::size_t dropped = 0;
+    std::uint32_t tid = 0;
+    void push(TraceEvent event);
+  };
+
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+  void record(TraceEvent event);
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = 1 << 15;
+  /// Bumped by enable()/reset(); lets threads detect a stale binding with
+  /// one relaxed load instead of taking the registry mutex per event.
+  std::atomic<std::uint64_t> generation_{0};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span. Construction snapshots the start time when tracing is
+/// enabled; destruction (or finish()) records one complete event covering
+/// the scope. Nesting follows scope nesting. When tracing is disabled the
+/// object is inert: no clock read, no allocation.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name) {
+    if (!tracing_enabled()) {
+      return;
+    }
+    active_ = true;
+    cat_ = cat;
+    name_ = name;
+    start_us_ = Tracer::instance().now_us();
+  }
+  ~ScopedSpan() { finish(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a JSON-object args string ({"bytes":123}); only kept when the
+  /// span is live, so callers guard expensive formatting on active().
+  void set_args(std::string args_json) {
+    if (active_) {
+      args_ = std::move(args_json);
+    }
+  }
+  bool active() const { return active_; }
+
+  void finish() {
+    if (!active_) {
+      return;
+    }
+    active_ = false;
+    Tracer& tracer = Tracer::instance();
+    tracer.complete(name_, cat_, start_us_, tracer.now_us() - start_us_,
+                    std::move(args_));
+  }
+
+ private:
+  bool active_ = false;
+  const char* cat_ = "";
+  const char* name_ = "";
+  double start_us_ = 0.0;
+  std::string args_;
+};
+
+#define DLSR_OBS_CONCAT_(a, b) a##b
+#define DLSR_OBS_CONCAT(a, b) DLSR_OBS_CONCAT_(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define OBS_SPAN(cat, name) \
+  ::dlsr::obs::ScopedSpan DLSR_OBS_CONCAT(obs_span_, __LINE__)(cat, name)
+
+#define OBS_INSTANT(cat, name)                            \
+  do {                                                    \
+    if (::dlsr::obs::tracing_enabled()) {                 \
+      ::dlsr::obs::Tracer::instance().instant(name, cat); \
+    }                                                     \
+  } while (0)
+
+#define OBS_COUNTER(cat, name, value)                     \
+  do {                                                    \
+    if (::dlsr::obs::tracing_enabled()) {                 \
+      ::dlsr::obs::Tracer::instance().counter(            \
+          name, cat, static_cast<double>(value));         \
+    }                                                     \
+  } while (0)
+
+}  // namespace dlsr::obs

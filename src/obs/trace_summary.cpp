@@ -1,0 +1,389 @@
+#include "obs/trace_summary.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+/// Minimal recursive-descent JSON reader. It validates full JSON syntax
+/// and surfaces just enough structure (object fields with string/number
+/// values) for trace-event extraction.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  /// Validates one complete JSON document.
+  bool validate() {
+    try {
+      skip_ws();
+      parse_value(nullptr);
+      skip_ws();
+      return pos_ == text_.size();
+    } catch (const Error&) {
+      return false;
+    }
+  }
+
+  /// Parses the top level as an array of objects, invoking `on_field` for
+  /// every scalar field of each top-level object, and `on_object_end`
+  /// after each object. Nested containers (e.g. "args") are validated and
+  /// skipped.
+  template <typename OnField, typename OnObjectEnd>
+  void parse_event_array(OnField on_field, OnObjectEnd on_object_end) {
+    skip_ws();
+    if (peek() == '{') {
+      // {"traceEvents":[...]} wrapper: scan for the array field.
+      expect('{');
+      skip_ws();
+      bool found = false;
+      if (peek() != '}') {
+        for (;;) {
+          const std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          skip_ws();
+          if (key == "traceEvents") {
+            parse_array_of_objects(on_field, on_object_end);
+            found = true;
+          } else {
+            parse_value(nullptr);
+          }
+          skip_ws();
+          if (peek() != ',') {
+            break;
+          }
+          expect(',');
+          skip_ws();
+        }
+      }
+      expect('}');
+      DLSR_CHECK(found, "trace JSON object has no \"traceEvents\" array");
+    } else {
+      parse_array_of_objects(on_field, on_object_end);
+    }
+    skip_ws();
+    DLSR_CHECK(pos_ == text_.size(), "trailing data after trace JSON");
+  }
+
+ private:
+  struct Scalar {
+    enum Kind { String, Number, Bool, Null, Container } kind = Null;
+    std::string str;
+    double num = 0.0;
+  };
+
+  char peek() const {
+    DLSR_CHECK(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    DLSR_CHECK(pos_ < text_.size() && text_[pos_] == c,
+               strfmt("JSON: expected '%c' at offset %zu", c, pos_));
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      DLSR_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        DLSR_CHECK(pos_ < text_.size(), "unterminated JSON escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            DLSR_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              DLSR_CHECK(std::isxdigit(static_cast<unsigned char>(
+                             text_[pos_ + i])),
+                         "bad \\u escape");
+            }
+            // Keep escaped code points literal; names are ASCII here.
+            out += text_.substr(pos_ - 2, 6);
+            pos_ += 4;
+            break;
+          }
+          default:
+            DLSR_FAIL(strfmt("bad JSON escape '\\%c'", e));
+        }
+      } else {
+        DLSR_CHECK(static_cast<unsigned char>(c) >= 0x20,
+                   "raw control character in JSON string");
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    DLSR_CHECK(pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])),
+               "malformed JSON number");
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      DLSR_CHECK(pos_ < text_.size() &&
+                     std::isdigit(static_cast<unsigned char>(text_[pos_])),
+                 "malformed JSON fraction");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      DLSR_CHECK(pos_ < text_.size() &&
+                     std::isdigit(static_cast<unsigned char>(text_[pos_])),
+                 "malformed JSON exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return std::strtod(text_.c_str() + start, nullptr);
+  }
+
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      expect(*p);
+    }
+  }
+
+  /// Parses any value; fills `out` for scalars when non-null.
+  void parse_value(Scalar* out) {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      expect('{');
+      skip_ws();
+      if (peek() != '}') {
+        for (;;) {
+          parse_string();
+          skip_ws();
+          expect(':');
+          parse_value(nullptr);
+          skip_ws();
+          if (peek() != ',') {
+            break;
+          }
+          expect(',');
+          skip_ws();
+        }
+      }
+      expect('}');
+      if (out) out->kind = Scalar::Container;
+    } else if (c == '[') {
+      expect('[');
+      skip_ws();
+      if (peek() != ']') {
+        for (;;) {
+          parse_value(nullptr);
+          skip_ws();
+          if (peek() != ',') {
+            break;
+          }
+          expect(',');
+          skip_ws();
+        }
+      }
+      expect(']');
+      if (out) out->kind = Scalar::Container;
+    } else if (c == '"') {
+      std::string s = parse_string();
+      if (out) {
+        out->kind = Scalar::String;
+        out->str = std::move(s);
+      }
+    } else if (c == 't') {
+      parse_literal("true");
+      if (out) { out->kind = Scalar::Bool; out->num = 1.0; }
+    } else if (c == 'f') {
+      parse_literal("false");
+      if (out) { out->kind = Scalar::Bool; out->num = 0.0; }
+    } else if (c == 'n') {
+      parse_literal("null");
+      if (out) out->kind = Scalar::Null;
+    } else {
+      const double n = parse_number();
+      if (out) {
+        out->kind = Scalar::Number;
+        out->num = n;
+      }
+    }
+  }
+
+  template <typename OnField, typename OnObjectEnd>
+  void parse_array_of_objects(OnField on_field, OnObjectEnd on_object_end) {
+    skip_ws();
+    expect('[');
+    skip_ws();
+    if (peek() != ']') {
+      for (;;) {
+        skip_ws();
+        expect('{');
+        skip_ws();
+        if (peek() != '}') {
+          for (;;) {
+            const std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            Scalar value;
+            parse_value(&value);
+            if (value.kind == Scalar::String) {
+              on_field(key, value.str, true, 0.0);
+            } else if (value.kind == Scalar::Number) {
+              on_field(key, std::string(), false, value.num);
+            }
+            skip_ws();
+            if (peek() != ',') {
+              break;
+            }
+            expect(',');
+            skip_ws();
+          }
+        }
+        expect('}');
+        on_object_end();
+        skip_ws();
+        if (peek() != ',') {
+          break;
+        }
+        expect(',');
+        skip_ws();
+      }
+    }
+    expect(']');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Collapses per-instance span names into families: strips one trailing
+/// "/<digits>" or "/<digits>.<digits>" tag ("forward/17" -> "forward").
+std::string normalize_name(const std::string& name) {
+  const std::size_t slash = name.rfind('/');
+  if (slash == std::string::npos || slash + 1 == name.size()) {
+    return name;
+  }
+  for (std::size_t i = slash + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.') {
+      return name;
+    }
+  }
+  return name.substr(0, slash);
+}
+
+}  // namespace
+
+bool json_valid(const std::string& text) {
+  return JsonReader(text).validate();
+}
+
+std::vector<ParsedEvent> parse_trace_events(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  ParsedEvent current;
+  JsonReader reader(json);
+  reader.parse_event_array(
+      [&](const std::string& key, const std::string& str, bool is_string,
+          double num) {
+        if (is_string) {
+          if (key == "name") current.name = str;
+          else if (key == "cat") current.cat = str;
+          else if (key == "ph" && !str.empty()) current.phase = str[0];
+        } else {
+          if (key == "ts") current.ts_us = num;
+          else if (key == "dur") current.dur_us = num;
+          else if (key == "pid") current.pid = static_cast<int>(num);
+          else if (key == "tid") current.tid = static_cast<int>(num);
+        }
+      },
+      [&] {
+        events.push_back(current);
+        current = ParsedEvent{};
+      });
+  return events;
+}
+
+Table trace_summary(const std::vector<ParsedEvent>& events) {
+  struct Row {
+    std::size_t count = 0;
+    double total_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Row> rows;
+  double grand_total = 0.0;
+  for (const ParsedEvent& e : events) {
+    if (e.phase != 'X') {
+      continue;
+    }
+    Row& row = rows[{e.cat, normalize_name(e.name)}];
+    if (row.count == 0 || e.dur_us < row.min_us) {
+      row.min_us = e.dur_us;
+    }
+    row.max_us = std::max(row.max_us, e.dur_us);
+    ++row.count;
+    row.total_us += e.dur_us;
+    grand_total += e.dur_us;
+  }
+
+  // Heaviest phases first.
+  std::vector<std::pair<std::pair<std::string, std::string>, Row>> sorted(
+      rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.total_us > b.second.total_us;
+            });
+
+  Table t({"category", "phase", "count", "total ms", "mean ms", "min ms",
+           "max ms", "share %"});
+  for (const auto& [key, row] : sorted) {
+    t.add_row({key.first, key.second, strfmt("%zu", row.count),
+               strfmt("%.3f", row.total_us / 1e3),
+               strfmt("%.3f", row.total_us / 1e3 /
+                                  static_cast<double>(row.count)),
+               strfmt("%.3f", row.min_us / 1e3),
+               strfmt("%.3f", row.max_us / 1e3),
+               grand_total > 0.0
+                   ? strfmt("%.1f", row.total_us / grand_total * 100.0)
+                   : std::string("-")});
+  }
+  return t;
+}
+
+}  // namespace dlsr::obs

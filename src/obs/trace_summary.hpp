@@ -1,0 +1,40 @@
+// Trace-file analysis: parse a Chrome trace-event JSON file back into
+// events and aggregate it into a per-phase time table (the `dlsr
+// trace-summary` subcommand). The parser is a full JSON syntax checker —
+// tests use it to assert that every exporter in the repo (obs::Tracer,
+// hvd::TimelineWriter, the metrics registry) emits valid JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace dlsr::obs {
+
+/// One event read back from a trace file.
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+};
+
+/// Strict JSON syntax check (objects, arrays, strings with escapes,
+/// numbers, true/false/null; trailing garbage rejected).
+bool json_valid(const std::string& text);
+
+/// Parses a trace-event JSON array (or {"traceEvents":[...]} wrapper).
+/// Throws dlsr::Error on malformed JSON or a non-array top level.
+std::vector<ParsedEvent> parse_trace_events(const std::string& json);
+
+/// Aggregates complete ("X") events per (category, normalized name):
+/// count, total/mean/min/max duration, and share of the summed span time.
+/// Names are normalized by stripping trailing "/<index>" tags so per-step
+/// span families ("forward/17") collapse into one row.
+Table trace_summary(const std::vector<ParsedEvent>& events);
+
+}  // namespace dlsr::obs

@@ -134,6 +134,37 @@ std::string Hvprof::to_csv() const {
   return t.to_csv();
 }
 
+std::string Hvprof::to_json() const {
+  std::string out = "{";
+  bool first_collective = true;
+  for (std::size_t c = 0; c < kCollectives; ++c) {
+    const auto collective = static_cast<Collective>(c);
+    if (total_count(collective) == 0) {
+      continue;
+    }
+    out += strfmt("%s\"%s\":{\"buckets\":[", first_collective ? "" : ",",
+                  collective_name(collective));
+    first_collective = false;
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      const BucketStats& s = stats_[c][b];
+      if (s.count == 0) {
+        continue;
+      }
+      out += strfmt(
+          "%s{\"bucket\":\"%s\",\"count\":%zu,\"bytes\":%zu,"
+          "\"time_ms\":%.3f}",
+          first_bucket ? "" : ",", bucket_labels()[b], s.count, s.bytes,
+          s.time * 1e3);
+      first_bucket = false;
+    }
+    out += strfmt("],\"total_count\":%zu,\"total_time_ms\":%.3f}",
+                  total_count(collective), total_time(collective) * 1e3);
+  }
+  out += "}";
+  return out;
+}
+
 void Hvprof::reset() { stats_ = {}; }
 
 }  // namespace dlsr::prof

@@ -56,6 +56,11 @@ class Hvprof {
   /// count, bytes, and time — for external plotting.
   std::string to_csv() const;
 
+  /// JSON dump with the same content as to_csv(): an object keyed by
+  /// collective name, each value a list of non-empty bucket records
+  /// ({"bucket","count","bytes","time_ms"}) plus per-collective totals.
+  std::string to_json() const;
+
   void reset();
 
  private:

@@ -19,7 +19,9 @@ std::string MetricsSnapshot::to_json() const {
       "\"tiles\":%llu,\"queue_depth\":%zu,\"queue_peak\":%zu,"
       "\"batch_hist\":%s,\"mean_batch\":%.3f,"
       "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
-      "\"mean\":%.3f,\"max\":%.3f}}",
+      "\"mean\":%.3f,\"max\":%.3f},"
+      "\"queue_wait_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},"
+      "\"forward_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}}",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(rejected),
@@ -28,31 +30,50 @@ std::string MetricsSnapshot::to_json() const {
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(tiles), queue_depth, queue_peak,
       hist.c_str(), mean_batch, latency_p50_ms, latency_p95_ms,
-      latency_p99_ms, latency_mean_ms, latency_max_ms);
+      latency_p99_ms, latency_mean_ms, latency_max_ms, queue_wait_p50_ms,
+      queue_wait_p95_ms, queue_wait_p99_ms, forward_p50_ms, forward_p95_ms,
+      forward_p99_ms);
 }
 
-ServerMetrics::ServerMetrics(std::size_t max_batch) {
+ServerMetrics::ServerMetrics(std::size_t max_batch,
+                             obs::MetricsRegistry* registry) {
   counts_.batch_hist.assign(std::max<std::size_t>(max_batch, 1), 0);
+  auto& reg = registry ? *registry : obs::MetricsRegistry::global();
+  requests_c_ = reg.make_counter("serve/requests");
+  completed_c_ = reg.make_counter("serve/completed");
+  rejected_c_ = reg.make_counter("serve/rejected");
+  timed_out_c_ = reg.make_counter("serve/timed_out");
+  cache_hits_c_ = reg.make_counter("serve/cache_hits");
+  batches_c_ = reg.make_counter("serve/batches");
+  queue_depth_g_ = reg.make_gauge("serve/queue_depth");
+  latency_h_ = reg.make_histogram("serve/latency_ms");
+  queue_wait_h_ = reg.make_histogram("serve/queue_wait_ms");
+  forward_h_ = reg.make_histogram("serve/forward_ms");
+  batch_size_h_ = reg.make_histogram("serve/batch_size");
 }
 
 void ServerMetrics::on_request() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counts_.requests;
+  requests_c_->add(1);
 }
 
 void ServerMetrics::on_rejected() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counts_.rejected;
+  rejected_c_->add(1);
 }
 
 void ServerMetrics::on_timed_out() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counts_.timed_out;
+  timed_out_c_->add(1);
 }
 
 void ServerMetrics::on_cache_hit() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counts_.cache_hits;
+  cache_hits_c_->add(1);
 }
 
 void ServerMetrics::on_batch(std::size_t batch_size) {
@@ -64,6 +85,8 @@ void ServerMetrics::on_batch(std::size_t batch_size) {
         std::min(batch_size, counts_.batch_hist.size()) - 1;
     ++counts_.batch_hist[slot];
   }
+  batches_c_->add(1);
+  batch_size_h_->observe(static_cast<double>(batch_size));
 }
 
 void ServerMetrics::on_complete(double latency_seconds) {
@@ -72,12 +95,29 @@ void ServerMetrics::on_complete(double latency_seconds) {
   const double ms = latency_seconds * 1e3;
   latencies_ms_.push_back(ms);
   latency_stats_.add(ms);
+  completed_c_->add(1);
+  latency_h_->observe(ms);
+}
+
+void ServerMetrics::on_queue_wait(double wait_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double ms = wait_seconds * 1e3;
+  queue_waits_ms_.push_back(ms);
+  queue_wait_h_->observe(ms);
+}
+
+void ServerMetrics::on_forward(double forward_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double ms = forward_seconds * 1e3;
+  forwards_ms_.push_back(ms);
+  forward_h_->observe(ms);
 }
 
 void ServerMetrics::on_queue_depth(std::size_t depth) {
   const std::lock_guard<std::mutex> lock(mutex_);
   counts_.queue_depth = depth;
   counts_.queue_peak = std::max(counts_.queue_peak, depth);
+  queue_depth_g_->set(static_cast<double>(depth));
 }
 
 MetricsSnapshot ServerMetrics::snapshot() const {
@@ -92,6 +132,12 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   snap.latency_p99_ms = percentile(latencies_ms_, 0.99);
   snap.latency_mean_ms = latency_stats_.mean();
   snap.latency_max_ms = latency_stats_.max();
+  snap.queue_wait_p50_ms = percentile(queue_waits_ms_, 0.50);
+  snap.queue_wait_p95_ms = percentile(queue_waits_ms_, 0.95);
+  snap.queue_wait_p99_ms = percentile(queue_waits_ms_, 0.99);
+  snap.forward_p50_ms = percentile(forwards_ms_, 0.50);
+  snap.forward_p95_ms = percentile(forwards_ms_, 0.95);
+  snap.forward_p99_ms = percentile(forwards_ms_, 0.99);
   return snap;
 }
 

@@ -1,15 +1,23 @@
 // Serving metrics registry: the counters and latency distributions an SLO
 // dashboard needs. All mutators are thread-safe and cheap (one mutex, a few
 // scalar updates); percentile computation is deferred to snapshot().
+//
+// Every instrument is additionally mirrored into an obs::MetricsRegistry
+// (the process-global one by default) under "serve/..." names, so server
+// metrics show up in --metrics-out JSON and Prometheus exports alongside
+// training metrics. The mirror is write-through: snapshot() is still
+// computed from the internal state, never from the registry.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace dlsr::serve {
 
@@ -38,13 +46,26 @@ struct MetricsSnapshot {
   double latency_mean_ms = 0.0;
   double latency_max_ms = 0.0;
 
+  /// Time a request sat queued before its first tile was scheduled.
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+
+  /// Model forward wall time per batch.
+  double forward_p50_ms = 0.0;
+  double forward_p95_ms = 0.0;
+  double forward_p99_ms = 0.0;
+
   /// One-line JSON object (stable key order) for bench/CLI output.
   std::string to_json() const;
 };
 
 class ServerMetrics {
  public:
-  explicit ServerMetrics(std::size_t max_batch = 8);
+  /// `registry` defaults to the process-global obs registry; pass a private
+  /// one in tests that must not observe cross-test state.
+  explicit ServerMetrics(std::size_t max_batch = 8,
+                         obs::MetricsRegistry* registry = nullptr);
 
   void on_request();
   void on_rejected();
@@ -52,6 +73,8 @@ class ServerMetrics {
   void on_cache_hit();
   void on_batch(std::size_t batch_size);
   void on_complete(double latency_seconds);
+  void on_queue_wait(double wait_seconds);
+  void on_forward(double forward_seconds);
   void on_queue_depth(std::size_t depth);
 
   MetricsSnapshot snapshot() const;
@@ -60,7 +83,24 @@ class ServerMetrics {
   mutable std::mutex mutex_;
   MetricsSnapshot counts_;             // counters only; percentiles filled
   std::vector<double> latencies_ms_;   // per-completion samples
+  std::vector<double> queue_waits_ms_;
+  std::vector<double> forwards_ms_;
   RunningStats latency_stats_;
+
+  // Write-through mirrors in the obs registry (serve/* namespace). The
+  // newest ServerMetrics instance owns the canonical names (make_*), so a
+  // restarted server does not accumulate into its predecessor's series.
+  std::shared_ptr<obs::Counter> requests_c_;
+  std::shared_ptr<obs::Counter> completed_c_;
+  std::shared_ptr<obs::Counter> rejected_c_;
+  std::shared_ptr<obs::Counter> timed_out_c_;
+  std::shared_ptr<obs::Counter> cache_hits_c_;
+  std::shared_ptr<obs::Counter> batches_c_;
+  std::shared_ptr<obs::Gauge> queue_depth_g_;
+  std::shared_ptr<obs::Histogram> latency_h_;
+  std::shared_ptr<obs::Histogram> queue_wait_h_;
+  std::shared_ptr<obs::Histogram> forward_h_;
+  std::shared_ptr<obs::Histogram> batch_size_h_;
 };
 
 }  // namespace dlsr::serve

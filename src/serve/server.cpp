@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::serve {
 
@@ -50,6 +51,9 @@ struct SrServer::RequestState {
   bool has_deadline = false;
   std::atomic<std::size_t> tiles_remaining{0};
   std::atomic<bool> finished{false};
+  /// Queue wait is recorded once per request, when its first tile reaches a
+  /// worker; later tiles of the same request skip it.
+  std::atomic<bool> wait_recorded{false};
 };
 
 SrServer::SrServer(std::shared_ptr<models::Edsr> model, ServeConfig config)
@@ -92,6 +96,7 @@ std::future<ServeResult> SrServer::submit(const Tensor& image) {
 
 std::future<ServeResult> SrServer::submit(const Tensor& image,
                                           std::chrono::milliseconds deadline) {
+  OBS_SPAN("serve", "submit");
   metrics_.on_request();
   auto req = std::make_shared<RequestState>();
   std::future<ServeResult> future = req->promise.get_future();
@@ -121,6 +126,7 @@ std::future<ServeResult> SrServer::submit(const Tensor& image,
 
   Tensor cached;
   if (cache_.lookup(req->key, &cached)) {
+    OBS_INSTANT("serve", "cache_hit");
     metrics_.on_cache_hit();
     ServeResult r;
     r.image = std::move(cached);
@@ -164,6 +170,7 @@ void SrServer::finish_timed_out(RequestState& req) {
   if (req.finished.exchange(true)) {
     return;  // completion already raced ahead
   }
+  OBS_INSTANT("serve", "timed_out");
   metrics_.on_timed_out();
   ServeResult r;
   r.status = ServeStatus::TimedOut;
@@ -195,6 +202,10 @@ void SrServer::worker_loop() {
         finish_timed_out(req);
         continue;
       }
+      if (!req.wait_recorded.exchange(true)) {
+        metrics_.on_queue_wait(
+            std::chrono::duration<double>(now - req.enqueued).count());
+      }
       live.push_back(std::move(job));
     }
 
@@ -207,6 +218,12 @@ void SrServer::worker_loop() {
       groups[{plan.tile_h, plan.tile_w}].push_back(std::move(job));
     }
     for (auto& [dims, jobs] : groups) {
+      obs::ScopedSpan batch_span("serve", "batch");
+      if (batch_span.active()) {
+        batch_span.set_args(strfmt("{\"tiles\":%zu,\"tile_h\":%zu,"
+                                   "\"tile_w\":%zu}",
+                                   jobs.size(), dims.first, dims.second));
+      }
       const auto [tile_h, tile_w] = dims;
       Tensor tiles({jobs.size(), 3, tile_h, tile_w});
       for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -214,7 +231,9 @@ void SrServer::worker_loop() {
         pack_tile(req.image, req.plan, jobs[i].tile_index, tiles, i);
       }
       Tensor up;
+      const Clock::time_point forward_start = Clock::now();
       try {
+        OBS_SPAN("serve", "forward");
         up = engine_.infer(tiles);
       } catch (const Error& e) {
         log_error(std::string("serve worker forward failed: ") + e.what());
@@ -229,7 +248,11 @@ void SrServer::worker_loop() {
         }
         continue;
       }
+      metrics_.on_forward(
+          std::chrono::duration<double>(Clock::now() - forward_start)
+              .count());
       metrics_.on_batch(jobs.size());
+      OBS_SPAN("serve", "stitch");
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         RequestState& req = *jobs[i].request;
         stitch_core(up, i, req.plan, jobs[i].tile_index, engine_.scale(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::sim {
 
@@ -28,6 +29,9 @@ SimTime Link::occupy(SimTime ready, std::size_t bytes, double duration) {
   total_bytes_ += bytes;
   busy_time_ += duration;
   ++transfers_;
+  // Link-occupancy counter track: cumulative busy seconds per link, so a
+  // trace shows which physical resource saturates during a collective.
+  OBS_COUNTER("sim", name_, busy_time_);
   return busy_until_;
 }
 

@@ -1,0 +1,327 @@
+// Tests for dlsr::obs — the span tracer (JSON validity, nesting under
+// concurrent producers, ring-buffer overwrite, disabled-path inertness),
+// the metrics registry (percentiles vs common/stats, exports, rebinding),
+// the trace parser/summary, and the end-to-end training pipeline producing
+// spans from core, hvd, and mpisim plus step-phase histograms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "core/training_session.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "models/edsr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+/// RAII guard: tests that enable the tracer always leave it disabled and
+/// empty for the next test.
+struct TracerGuard {
+  explicit TracerGuard(std::size_t capacity = 1 << 15) {
+    Tracer::instance().enable(capacity);
+  }
+  ~TracerGuard() {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+  }
+};
+
+TEST(Tracer, DisabledByDefaultAndInert) {
+  Tracer& tracer = Tracer::instance();
+  tracer.disable();
+  tracer.reset();
+  ASSERT_FALSE(tracing_enabled());
+  {
+    OBS_SPAN("test", "noop");
+    OBS_INSTANT("test", "noop");
+    OBS_COUNTER("test", "noop", 1);
+    ScopedSpan span("test", "explicit");
+    EXPECT_FALSE(span.active());
+    span.set_args("{\"ignored\":true}");
+  }
+  // A disabled tracer records nothing and registers no thread buffers —
+  // the macros never reach the allocation path.
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.thread_count(), 0u);
+  EXPECT_EQ(tracer.dropped_count(), 0u);
+}
+
+TEST(Tracer, RecordsCompleteInstantAndCounterEvents) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  {
+    OBS_SPAN("alpha", "outer");
+    OBS_INSTANT("alpha", "ping");
+    OBS_COUNTER("alpha", "queue_depth", 3);
+  }
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.thread_count(), 1u);
+
+  const std::string json = tracer.to_chrome_trace_json();
+  EXPECT_TRUE(json_valid(json));
+  const auto events = parse_trace_events(json);
+  // Two "M" process-name metadata events precede the recorded three.
+  std::size_t x = 0, i = 0, c = 0;
+  for (const auto& e : events) {
+    x += e.phase == 'X';
+    i += e.phase == 'i';
+    c += e.phase == 'C';
+  }
+  EXPECT_EQ(x, 1u);
+  EXPECT_EQ(i, 1u);
+  EXPECT_EQ(c, 1u);
+}
+
+TEST(Tracer, SpanNestingUnderConcurrentProducers) {
+  TracerGuard guard;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::size_t s = 0; s < kSpansPerThread; ++s) {
+        OBS_SPAN("outer", "parent");
+        OBS_SPAN("inner", "child");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  Tracer& tracer = Tracer::instance();
+  EXPECT_EQ(tracer.event_count(), 2 * kThreads * kSpansPerThread);
+  EXPECT_EQ(tracer.thread_count(), kThreads);
+  EXPECT_EQ(tracer.dropped_count(), 0u);
+
+  const std::string json = tracer.to_chrome_trace_json();
+  ASSERT_TRUE(json_valid(json));
+  const auto events = parse_trace_events(json);
+  // Chrome-trace nesting: per (pid, tid), every child span lies within
+  // its parent's [ts, ts+dur] envelope. Reconstruct with a per-tid stack
+  // over the time-sorted events.
+  std::map<int, std::vector<const ParsedEvent*>> stacks;
+  std::size_t children = 0;
+  for (const auto& e : events) {
+    if (e.phase != 'X') {
+      continue;
+    }
+    auto& stack = stacks[e.tid];
+    while (!stack.empty() &&
+           e.ts_us >= stack.back()->ts_us + stack.back()->dur_us - 1e-9) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      const ParsedEvent& parent = *stack.back();
+      EXPECT_EQ(parent.name, "parent");
+      EXPECT_EQ(e.name, "child");
+      EXPECT_GE(e.ts_us, parent.ts_us - 1e-9);
+      EXPECT_LE(e.ts_us + e.dur_us, parent.ts_us + parent.dur_us + 1e-9);
+      ++children;
+    }
+    stack.push_back(&e);
+  }
+  EXPECT_EQ(children, kThreads * kSpansPerThread);
+}
+
+TEST(Tracer, RingBufferDropsOldestWhenFull) {
+  TracerGuard guard(/*capacity=*/8);
+  Tracer& tracer = Tracer::instance();
+  for (int i = 0; i < 20; ++i) {
+    tracer.instant(strfmt("e%d", i), "ring");
+  }
+  EXPECT_EQ(tracer.event_count(), 8u);
+  EXPECT_EQ(tracer.dropped_count(), 12u);
+  const auto events = parse_trace_events(tracer.to_chrome_trace_json());
+  // The survivors are the newest 8 (e12..e19), exported oldest-first.
+  std::vector<std::string> names;
+  for (const auto& e : events) {
+    if (e.phase == 'i') {
+      names.push_back(e.name);
+    }
+  }
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.front(), "e12");
+  EXPECT_EQ(names.back(), "e19");
+}
+
+TEST(Tracer, ExplicitTimestampEventsLandOnSimPid) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.complete("allreduce", "sim", 1000.0, 250.0, "{\"bytes\":64}",
+                  kSimPid);
+  const auto events = parse_trace_events(tracer.to_chrome_trace_json());
+  const auto it = std::find_if(events.begin(), events.end(),
+                               [](const ParsedEvent& e) {
+                                 return e.name == "allreduce";
+                               });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->pid, static_cast<int>(kSimPid));
+  EXPECT_DOUBLE_EQ(it->ts_us, 1000.0);
+  EXPECT_DOUBLE_EQ(it->dur_us, 250.0);
+}
+
+TEST(Metrics, HistogramPercentilesMatchCommonStats) {
+  Histogram hist;
+  std::vector<double> samples;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform() * 100.0;
+    samples.push_back(v);
+    hist.observe(v);
+  }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, samples.size());
+  EXPECT_DOUBLE_EQ(snap.p50, percentile(samples, 0.50));
+  EXPECT_DOUBLE_EQ(snap.p95, percentile(samples, 0.95));
+  EXPECT_DOUBLE_EQ(snap.p99, percentile(samples, 0.99));
+  EXPECT_DOUBLE_EQ(snap.min, *std::min_element(samples.begin(),
+                                               samples.end()));
+  EXPECT_DOUBLE_EQ(snap.max, *std::max_element(samples.begin(),
+                                               samples.end()));
+}
+
+TEST(Metrics, RegistryExportsJsonAndPrometheus) {
+  MetricsRegistry reg;
+  reg.counter("req/total")->add(7);
+  reg.gauge("queue/depth")->set(3.5);
+  auto hist = reg.histogram("lat/ms");
+  hist->observe(1.0);
+  hist->observe(2.0);
+  hist->observe(3.0);
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"req/total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"queue/depth\":3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat/ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":2"), std::string::npos);
+
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("dlsr_req_total 7"), std::string::npos);
+  EXPECT_NE(prom.find("dlsr_queue_depth 3.5"), std::string::npos);
+  EXPECT_NE(prom.find("dlsr_lat_ms_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.5\""), std::string::npos);
+}
+
+TEST(Metrics, GetOrCreateSharesAndMakeRebinds) {
+  MetricsRegistry reg;
+  auto a = reg.counter("shared");
+  auto b = reg.counter("shared");
+  EXPECT_EQ(a.get(), b.get());
+  a->add(2);
+  EXPECT_EQ(b->value(), 2u);
+
+  auto fresh = reg.make_counter("shared");
+  EXPECT_NE(fresh.get(), a.get());
+  EXPECT_EQ(fresh->value(), 0u);
+  // The registry now reports the fresh instrument; the old owner's handle
+  // still works but is detached from the name.
+  EXPECT_EQ(reg.counter("shared").get(), fresh.get());
+  EXPECT_EQ(a->value(), 2u);
+}
+
+TEST(TraceSummary, ValidatorRejectsMalformedJson) {
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("{\"a\":[1,2.5e-3,\"x\\n\",true,null]}"));
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{\"a\":1"));
+  EXPECT_FALSE(json_valid("[} "));
+  EXPECT_FALSE(json_valid("[1] trailing"));
+  EXPECT_THROW(parse_trace_events("{\"traceEvents\":"), Error);
+  EXPECT_THROW(parse_trace_events("42"), Error);
+}
+
+TEST(TraceSummary, AggregatesPerCategoryAndNormalizesNames) {
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 3; ++i) {
+    ParsedEvent e;
+    e.name = strfmt("forward/%d", i);
+    e.cat = "core";
+    e.phase = 'X';
+    e.ts_us = i * 100.0;
+    e.dur_us = 10.0;
+    events.push_back(e);
+  }
+  ParsedEvent other;
+  other.name = "allreduce";
+  other.cat = "mpisim";
+  other.phase = 'X';
+  other.dur_us = 70.0;
+  events.push_back(other);
+
+  const Table t = trace_summary(events);
+  const std::string text = t.to_string();
+  // Per-step "forward/<n>" spans collapse into one family row of count 3;
+  // the heavier mpisim row sorts first.
+  EXPECT_NE(text.find("forward"), std::string::npos);
+  EXPECT_EQ(text.find("forward/0"), std::string::npos);
+  EXPECT_NE(text.find("mpisim"), std::string::npos);
+  EXPECT_LT(text.find("allreduce"), text.find("forward"));
+}
+
+TEST(Pipeline, TrainStepProducesSpansAndPhaseHistograms) {
+  // Fresh global registry state for the assertion below.
+  MetricsRegistry::global().clear();
+  TracerGuard guard;
+
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size = 32;
+  const img::SyntheticDiv2k dataset(data_cfg);
+  core::SessionConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_per_worker = 1;
+  cfg.lr_patch = 12;
+  core::TrainingSession session(
+      dataset,
+      [] {
+        Rng rng(3);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(),
+                                              rng);
+      },
+      cfg);
+  session.run_steps(3);
+
+  const std::string json = Tracer::instance().to_chrome_trace_json();
+  ASSERT_TRUE(json_valid(json));
+  const auto events = parse_trace_events(json);
+  std::set<std::string> cats;
+  for (const auto& e : events) {
+    cats.insert(e.cat);
+  }
+  // The functional training path traverses all three layers.
+  EXPECT_TRUE(cats.count("core")) << json.substr(0, 400);
+  EXPECT_TRUE(cats.count("hvd"));
+  EXPECT_TRUE(cats.count("mpisim"));
+
+  const std::string metrics = MetricsRegistry::global().to_json();
+  ASSERT_TRUE(json_valid(metrics));
+  for (const char* name :
+       {"train/step_ms", "train/data_ms", "train/forward_ms",
+        "train/backward_ms", "train/allreduce_ms", "train/optimizer_ms"}) {
+    EXPECT_NE(metrics.find(strfmt("\"%s\"", name)), std::string::npos)
+        << name;
+  }
+  const auto snap =
+      MetricsRegistry::global().histogram("train/forward_ms")->snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_GT(snap.p50, 0.0);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+}
+
+}  // namespace
+}  // namespace dlsr::obs

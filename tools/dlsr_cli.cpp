@@ -15,19 +15,31 @@
 //   dlsr simulate --backends MPI,MPI-Opt --nodes 1,8,64 --steps 30 --csv
 //   dlsr profile --backend MPI-Opt --nodes 1 --steps 100
 //   dlsr train --workers 4 --steps 50 --checkpoint /tmp/edsr.ckpt
+//   dlsr train --trace-out trace.json --metrics-out metrics.json
+//   dlsr trace-summary trace.json
 //   dlsr models
 //   dlsr serve --requests 24 --image 96 --clients 4
+//
+// Global flags (any position before the subcommand's own flags):
+//   --log-level <debug|info|warn|error|off>
+//
+// simulate, profile, train, and serve all take --trace-out FILE (Chrome
+// trace-event JSON, open in chrome://tracing or ui.perfetto.dev) and
+// --metrics-out FILE (unified metrics-registry JSON).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/flags.hpp"
+#include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/experiments.hpp"
@@ -38,11 +50,48 @@
 #include "models/resnet50_graph.hpp"
 #include "models/srresnet.hpp"
 #include "models/vdsr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
 using namespace dlsr;
+
+/// Observability flags shared by simulate/profile/train/serve.
+void define_obs_flags(Flags& flags) {
+  flags.define("trace-out", "write a Chrome trace-event JSON here",
+               std::nullopt);
+  flags.define("metrics-out", "write the unified metrics JSON here",
+               std::nullopt);
+}
+
+/// Turns tracing on before the command body when --trace-out was given.
+void obs_begin(const Flags& flags) {
+  if (flags.has("trace-out")) {
+    obs::Tracer::instance().enable();
+  }
+}
+
+/// Writes the requested trace/metrics files after the command body.
+void obs_end(const Flags& flags) {
+  if (flags.has("trace-out")) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.write(flags.get("trace-out"));
+    std::printf("trace written to %s (%zu events%s; open in "
+                "chrome://tracing or ui.perfetto.dev)\n",
+                flags.get("trace-out").c_str(), tracer.event_count(),
+                tracer.dropped_count()
+                    ? strfmt(", %zu dropped", tracer.dropped_count()).c_str()
+                    : "");
+    tracer.disable();
+  }
+  if (flags.has("metrics-out")) {
+    obs::MetricsRegistry::global().write_json(flags.get("metrics-out"));
+    std::printf("metrics written to %s\n", flags.get("metrics-out").c_str());
+  }
+}
 
 core::BackendKind parse_backend(const std::string& name) {
   if (name == "MPI") return core::BackendKind::Mpi;
@@ -72,7 +121,9 @@ int cmd_simulate(int argc, const char* const* argv) {
   flags.define("csv", "emit CSV instead of a table", "false");
   flags.define("timeline", "write a Chrome-trace JSON for the largest run",
                std::nullopt);
+  define_obs_flags(flags);
   flags.parse(argc, argv);
+  obs_begin(flags);
 
   const core::PaperExperiment exp;
   const core::DistributedTrainer trainer = exp.make_trainer();
@@ -106,6 +157,7 @@ int cmd_simulate(int argc, const char* const* argv) {
     std::printf("timeline written to %s (open in chrome://tracing)\n",
                 flags.get("timeline").c_str());
   }
+  obs_end(flags);
   return 0;
 }
 
@@ -114,7 +166,9 @@ int cmd_profile(int argc, const char* const* argv) {
   flags.define("backend", "MPI, MPI-Reg, MPI-Opt, or NCCL", "MPI");
   flags.define("nodes", "node count", "1");
   flags.define("steps", "training steps to profile", "100");
+  define_obs_flags(flags);
   flags.parse(argc, argv);
+  obs_begin(flags);
 
   const core::PaperExperiment exp;
   const core::DistributedTrainer trainer = exp.make_trainer();
@@ -129,6 +183,7 @@ int cmd_profile(int argc, const char* const* argv) {
               "%.1f%%\n",
               r.images_per_second, r.scaling_efficiency * 100.0,
               r.reg_cache_hit_rate * 100.0);
+  obs_end(flags);
   return 0;
 }
 
@@ -141,7 +196,9 @@ int cmd_train(int argc, const char* const* argv) {
   flags.define("warmup", "warmup steps", "10");
   flags.define("checkpoint", "path to save the trained weights",
                std::nullopt);
+  define_obs_flags(flags);
   flags.parse(argc, argv);
+  obs_begin(flags);
 
   img::Div2kConfig data_cfg;
   data_cfg.image_size =
@@ -173,6 +230,7 @@ int cmd_train(int argc, const char* const* argv) {
     std::printf("checkpoint written to %s\n",
                 flags.get("checkpoint").c_str());
   }
+  obs_end(flags);
   return 0;
 }
 
@@ -281,7 +339,9 @@ int cmd_serve(int argc, const char* const* argv) {
   flags.define("cache", "LRU result-cache capacity", "32");
   flags.define("deadline-ms", "per-request deadline (0 = none)", "0");
   flags.define("seed", "rng seed", "7");
+  define_obs_flags(flags);
   flags.parse(argc, argv);
+  obs_begin(flags);
 
   serve::ServeConfig cfg;
   cfg.tile_size = static_cast<std::size_t>(flags.get_int("tile"));
@@ -359,28 +419,70 @@ int cmd_serve(int argc, const char* const* argv) {
   t.add_row({"latency p99", strfmt("%.2f ms", snap.latency_p99_ms)});
   std::printf("%s", t.to_string().c_str());
   std::printf("%s\n", snap.to_json().c_str());
+  obs_end(flags);
   return failed.load() == 0 ? 0 : 1;
+}
+
+int cmd_trace_summary(int argc, const char* const* argv) {
+  Flags flags;
+  flags.parse(argc, argv);
+  DLSR_CHECK(flags.positional().size() == 1,
+             "usage: dlsr trace-summary <trace.json>");
+  const std::string& path = flags.positional().front();
+  std::ifstream in(path, std::ios::binary);
+  DLSR_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto events = obs::parse_trace_events(buf.str());
+  std::printf("%zu events in %s\n", events.size(), path.c_str());
+  std::printf("%s", obs::trace_summary(events).to_string().c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: dlsr <simulate|profile|train|models|layers|serve> [flags]\n"
+      "usage: dlsr [--log-level LEVEL] "
+      "<simulate|profile|train|models|layers|serve|trace-summary> [flags]\n"
       "run `dlsr <command> --help` conceptually: flags are listed in "
       "tools/dlsr_cli.cpp\n";
-  if (argc < 2) {
-    std::fprintf(stderr, "%s", usage.c_str());
-    return 2;
-  }
-  const std::string command = argv[1];
+  // Strip the global --log-level flag (valid anywhere before the
+  // subcommand's own flags) so subcommand parsers never see it.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
   try {
-    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
-    if (command == "profile") return cmd_profile(argc - 1, argv + 1);
-    if (command == "train") return cmd_train(argc - 1, argv + 1);
-    if (command == "models") return cmd_models(argc - 1, argv + 1);
-    if (command == "layers") return cmd_layers(argc - 1, argv + 1);
-    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
+    for (int i = 0; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--log-level") {
+        if (i + 1 >= argc) {
+          throw dlsr::Error("--log-level needs a value");
+        }
+        dlsr::set_log_level(dlsr::parse_log_level(argv[++i]));
+      } else if (arg.rfind("--log-level=", 0) == 0) {
+        dlsr::set_log_level(
+            dlsr::parse_log_level(arg.substr(std::string("--log-level=")
+                                                 .size())));
+      } else {
+        args.push_back(argv[i]);
+      }
+    }
+    if (args.size() < 2) {
+      std::fprintf(stderr, "%s", usage.c_str());
+      return 2;
+    }
+    const std::string command = args[1];
+    const int sub_argc = static_cast<int>(args.size()) - 1;
+    char** sub_argv = args.data() + 1;
+    if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "profile") return cmd_profile(sub_argc, sub_argv);
+    if (command == "train") return cmd_train(sub_argc, sub_argv);
+    if (command == "models") return cmd_models(sub_argc, sub_argv);
+    if (command == "layers") return cmd_layers(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (command == "trace-summary") {
+      return cmd_trace_summary(sub_argc, sub_argv);
+    }
     std::fprintf(stderr, "unknown command \"%s\"\n%s", command.c_str(),
                  usage.c_str());
     return 2;
