@@ -1,0 +1,285 @@
+// kernel_suite — before/after benchmark for the packed GEMM + tile-parallel
+// conv engine (PR: packed SIMD micro-kernels for the train/serve hot path).
+//
+// Measures, against the pre-change kernels (matmul_blocked, whole-sample
+// im2col + blocked GEMM, per-sample matmul backward):
+//
+//   gemm      square GEMMs, blocked vs packed, GFLOP/s and speedup
+//   conv_fwd  batch-1 EDSR-tile conv forward (64ch 3x3 48x48), legacy vs new
+//   conv_bwd  conv backward, legacy per-sample matmul path vs new engine
+//   train     one EDSR-tiny training step (forward + L1 + backward), ms
+//   serve     EdsrEngine tile inference latency and tiled_upscale wall time
+//
+// Output: a human table on stdout plus machine-readable JSON written to
+// --out (default BENCH_kernels.json). --smoke shrinks sizes/reps so CI can
+// run the suite in seconds; the acceptance thresholds (packed >= 2x blocked
+// at 256^3, new conv forward >= 1.5x legacy on the batch-1 EDSR tile) are
+// checked in both modes and reported in the JSON as `pass`.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "models/edsr.hpp"
+#include "nn/loss.hpp"
+#include "serve/engine.hpp"
+#include "tensor/conv2d.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/matmul.hpp"
+
+namespace dlsr {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+/// Median-of-reps wall time of fn(), in seconds, after one warm-up call.
+template <typename Fn>
+double time_median(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Pre-change conv2d_forward: whole-sample im2col + matmul_blocked.
+Tensor legacy_conv_forward(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const Conv2dSpec& spec) {
+  const std::size_t N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const std::size_t Ho = spec.out_extent(H), Wo = spec.out_extent(W);
+  const std::size_t col_rows = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t col_cols = Ho * Wo;
+  Tensor out({N, spec.out_channels, Ho, Wo});
+  for (std::size_t n = 0; n < N; ++n) {
+    std::vector<float> columns(col_rows * col_cols);
+    im2col(input.raw() + n * spec.in_channels * H * W, spec.in_channels, H, W,
+           spec, columns.data());
+    float* out_n = out.raw() + n * spec.out_channels * col_cols;
+    matmul_blocked(weight.raw(), columns.data(), out_n, spec.out_channels,
+                   col_rows, col_cols, false);
+    if (bias.numel() != 0) {
+      for (std::size_t co = 0; co < spec.out_channels; ++co) {
+        const float b = bias[co];
+        float* row = out_n + co * col_cols;
+        for (std::size_t i = 0; i < col_cols; ++i) {
+          row[i] += b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Pre-change conv2d_backward: per-sample im2col + transpose matmuls.
+void legacy_conv_backward(const Tensor& input, const Tensor& weight,
+                          const Conv2dSpec& spec, const Tensor& grad_output,
+                          Tensor& grad_input, Tensor& grad_weight) {
+  const std::size_t N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const std::size_t Ho = spec.out_extent(H), Wo = spec.out_extent(W);
+  const std::size_t col_rows = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t col_cols = Ho * Wo;
+  grad_input = Tensor(input.shape());
+  grad_weight = Tensor(weight.shape());
+  std::vector<float> columns(col_rows * col_cols);
+  std::vector<float> grad_columns(col_rows * col_cols);
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* go_n = grad_output.raw() + n * spec.out_channels * col_cols;
+    im2col(input.raw() + n * spec.in_channels * H * W, spec.in_channels, H, W,
+           spec, columns.data());
+    matmul_a_bt(go_n, columns.data(), grad_weight.raw(), spec.out_channels,
+                col_cols, col_rows, /*accumulate=*/true);
+    matmul_at_b(weight.raw(), go_n, grad_columns.data(), spec.out_channels,
+                col_rows, col_cols, /*accumulate=*/false);
+    col2im(grad_columns.data(), spec.in_channels, H, W, spec,
+           grad_input.raw() + n * spec.in_channels * H * W);
+  }
+}
+
+struct JsonWriter {
+  std::string body = "{";
+  bool first = true;
+  void raw(const std::string& key, const std::string& value) {
+    body += strfmt("%s\"%s\":%s", first ? "" : ",", key.c_str(),
+                   value.c_str());
+    first = false;
+  }
+  void num(const std::string& key, double value) {
+    raw(key, strfmt("%.4f", value));
+  }
+  std::string close() { return body + "}"; }
+};
+
+}  // namespace
+}  // namespace dlsr
+
+int main(int argc, char** argv) {
+  using namespace dlsr;
+  Flags flags;
+  flags.define("smoke", "small sizes / few reps (CI mode)", "false");
+  flags.define("out", "JSON output path", "BENCH_kernels.json");
+  flags.parse(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+  const int reps = smoke ? 5 : 15;
+
+  bench::print_header(
+      "kernel_suite",
+      "packed GEMM + tile-parallel conv engine vs pre-change kernels");
+
+  JsonWriter json;
+  json.raw("bench", "\"kernel_suite\"");
+  json.raw("smoke", smoke ? "true" : "false");
+  json.raw("mr_x_nr", strfmt("\"%zux%zu\"", gemm_mr(), gemm_nr()));
+
+  // --- GEMM: blocked vs packed ------------------------------------------
+  Table gemm_table({"gemm", "blocked GF/s", "packed GF/s", "speedup"});
+  double speedup_256 = 0.0;
+  std::string gemm_json = "[";
+  const std::vector<std::size_t> gemm_sizes =
+      smoke ? std::vector<std::size_t>{128, 256}
+            : std::vector<std::size_t>{128, 256, 512};
+  for (std::size_t idx = 0; idx < gemm_sizes.size(); ++idx) {
+    const std::size_t n = gemm_sizes[idx];
+    const Tensor a = random_tensor({n, n}, 1);
+    const Tensor b = random_tensor({n, n}, 2);
+    Tensor c({n, n});
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const double t_blocked = time_median(reps, [&] {
+      matmul_blocked(a.raw(), b.raw(), c.raw(), n, n, n, false);
+    });
+    const double t_packed = time_median(
+        reps, [&] { gemm(a.raw(), b.raw(), c.raw(), n, n, n, false); });
+    const double gf_blocked = flops / t_blocked / 1e9;
+    const double gf_packed = flops / t_packed / 1e9;
+    const double speedup = t_blocked / t_packed;
+    if (n == 256) {
+      speedup_256 = speedup;
+    }
+    gemm_table.add_row_numeric(strfmt("%zu^3", n),
+                               {gf_blocked, gf_packed, speedup});
+    gemm_json += strfmt(
+        "%s{\"n\":%zu,\"blocked_gflops\":%.2f,\"packed_gflops\":%.2f,"
+        "\"speedup\":%.3f}",
+        idx == 0 ? "" : ",", n, gf_blocked, gf_packed, speedup);
+  }
+  gemm_json += "]";
+  json.raw("gemm", gemm_json);
+  bench::print_table(gemm_table);
+
+  // --- Conv forward: batch-1 EDSR tile ----------------------------------
+  Conv2dSpec edsr;
+  edsr.in_channels = 64;
+  edsr.out_channels = 64;
+  edsr.kernel = 3;
+  edsr.stride = 1;
+  edsr.padding = 1;
+  const std::size_t tile = smoke ? 32 : 48;
+  const Tensor cin = random_tensor({1, 64, tile, tile}, 3);
+  const Tensor cw = random_tensor(edsr.weight_shape(), 4);
+  const Tensor cb = random_tensor({64}, 5);
+  const double t_fwd_legacy = time_median(
+      reps, [&] { (void)legacy_conv_forward(cin, cw, cb, edsr); });
+  const double t_fwd_new =
+      time_median(reps, [&] { (void)conv2d_forward(cin, cw, cb, edsr); });
+  const double fwd_speedup = t_fwd_legacy / t_fwd_new;
+
+  // --- Conv backward ----------------------------------------------------
+  const Tensor cgo = random_tensor({1, 64, tile, tile}, 6);
+  const double t_bwd_legacy = time_median(reps, [&] {
+    Tensor gi, gw;
+    legacy_conv_backward(cin, cw, edsr, cgo, gi, gw);
+  });
+  const double t_bwd_new = time_median(reps, [&] {
+    Tensor gi, gw, gb;
+    conv2d_backward(cin, cw, edsr, cgo, gi, gw, gb, true);
+  });
+  const double bwd_speedup = t_bwd_legacy / t_bwd_new;
+
+  Table conv_table({"conv 64ch 3x3", "legacy ms", "new ms", "speedup"});
+  conv_table.add_row_numeric(strfmt("fwd b1 %zux%zu", tile, tile),
+                             {t_fwd_legacy * 1e3, t_fwd_new * 1e3,
+                              fwd_speedup});
+  conv_table.add_row_numeric(strfmt("bwd b1 %zux%zu", tile, tile),
+                             {t_bwd_legacy * 1e3, t_bwd_new * 1e3,
+                              bwd_speedup});
+  bench::print_table(conv_table);
+  json.raw("conv_forward",
+           strfmt("{\"tile\":%zu,\"legacy_ms\":%.3f,\"new_ms\":%.3f,"
+                  "\"speedup\":%.3f}",
+                  tile, t_fwd_legacy * 1e3, t_fwd_new * 1e3, fwd_speedup));
+  json.raw("conv_backward",
+           strfmt("{\"tile\":%zu,\"legacy_ms\":%.3f,\"new_ms\":%.3f,"
+                  "\"speedup\":%.3f}",
+                  tile, t_bwd_legacy * 1e3, t_bwd_new * 1e3, bwd_speedup));
+
+  // --- End-to-end: EDSR-tiny training step + serve tile latency ---------
+  Rng rng(7);
+  models::Edsr model(models::EdsrConfig::tiny(), rng);
+  const std::size_t patch = smoke ? 16 : 24;
+  const Tensor lr = random_tensor({1, 3, patch, patch}, 8);
+  const Tensor hr = random_tensor(
+      {1, 3, patch * model.config().scale, patch * model.config().scale}, 9);
+  const double t_step = time_median(smoke ? 3 : 8, [&] {
+    const Tensor pred = model.forward(lr);
+    const nn::LossResult loss = nn::l1_loss(pred, hr);
+    (void)model.backward(loss.grad);
+  });
+
+  const serve::EdsrEngine engine(model);
+  const double t_infer =
+      time_median(smoke ? 3 : 8, [&] { (void)engine.infer(lr); });
+  const Tensor image = random_tensor({1, 3, 2 * patch, 2 * patch}, 10);
+  const double t_tiled = time_median(smoke ? 3 : 8, [&] {
+    (void)serve::tiled_upscale(engine, image, patch, /*halo=*/4,
+                               /*max_batch=*/4);
+  });
+
+  Table e2e({"end-to-end", "ms"});
+  e2e.add_row_numeric(strfmt("EDSR-tiny train step %zux%zu", patch, patch),
+                      {t_step * 1e3});
+  e2e.add_row_numeric(strfmt("serve infer tile %zux%zu", patch, patch),
+                      {t_infer * 1e3});
+  e2e.add_row_numeric(strfmt("serve tiled_upscale %zux%zu", 2 * patch,
+                             2 * patch),
+                      {t_tiled * 1e3});
+  bench::print_table(e2e);
+  json.num("train_step_ms", t_step * 1e3);
+  json.num("serve_infer_ms", t_infer * 1e3);
+  json.num("serve_tiled_ms", t_tiled * 1e3);
+
+  // --- Acceptance thresholds --------------------------------------------
+  const bool pass = speedup_256 >= 2.0 && fwd_speedup >= 1.5;
+  json.raw("pass", pass ? "true" : "false");
+  bench::print_claim("packed vs blocked GEMM 256^3 (x, min 2.0)", 2.0,
+                     speedup_256, "x");
+  bench::print_claim("conv fwd batch-1 EDSR tile (x, min 1.5)", 1.5,
+                     fwd_speedup, "x");
+  bench::print_note(pass ? "acceptance thresholds met"
+                         : "ACCEPTANCE THRESHOLDS NOT MET");
+
+  const std::string out_path = flags.get("out");
+  std::ofstream out(out_path);
+  out << json.close() << "\n";
+  std::printf("KERNEL_SUITE_JSON written to %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}

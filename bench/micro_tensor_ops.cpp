@@ -8,6 +8,7 @@
 #include "image/resize.hpp"
 #include "mpisim/data_allreduce.hpp"
 #include "tensor/conv2d.hpp"
+#include "tensor/gemm_kernel.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/pixel_shuffle.hpp"
 
@@ -37,6 +38,40 @@ void BM_MatmulBlocked(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmPacked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a.raw(), b.raw(), c.raw(), n, n, n, false);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmPacked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmPackedPrepacked(benchmark::State& state) {
+  // Steady-state conv shape: weights packed once outside the loop, only B
+  // repacked per call (what a layer call with a warm arena looks like).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c({n, n});
+  std::vector<float> pa(packed_a_size(n, n));
+  std::vector<float> pb(packed_b_size(n, n));
+  pack_a(a.raw(), n, n, n, pa.data());
+  for (auto _ : state) {
+    pack_b(b.raw(), n, n, n, pb.data());
+    gemm_packed(pa.data(), pb.data(), c.raw(), n, n, n, n, false);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmPackedPrepacked)->Arg(128)->Arg(256);
 
 void BM_MatmulNaive(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,196 @@
+// Per-thread scratch arena for kernel workspace (im2col buffers, packed
+// GEMM panels, padded input planes).
+//
+// The tensor kernels used to heap-allocate a fresh std::vector per call;
+// under the serve path that is one malloc/free pair per tile per layer.
+// The arena replaces that with bump allocation out of thread-local slabs
+// that are retained across calls, so steady-state kernel invocations
+// allocate nothing.
+//
+// Lifetime rules (see docs/kernels.md for the long form):
+//  * acquire() returns a Lease; leases on one arena must be released in
+//    LIFO order, which scoped RAII usage gives for free.
+//  * A lease's memory may be handed to thread-pool workers inside a
+//    fork-join region (parallel_for) as long as the lease outlives the
+//    join — the owning thread's arena is just memory.
+//  * Workers that need private scratch take leases from their own
+//    ScratchArena::local(); a worker task always releases what it
+//    acquired before finishing, so interleaved tasks on one worker stay
+//    LIFO.
+//  * Slabs are never freed until the thread exits; capacity is the
+//    high-water mark of concurrently live leases.
+//
+// Global statistics (slab allocation count, live bytes, peak bytes) are
+// process-wide atomics so tests can assert that a kernel's steady state
+// performs zero allocations and that peak scratch does not scale with
+// batch size.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dlsr {
+
+namespace detail {
+struct ScratchStats {
+  static inline std::atomic<std::uint64_t> slab_allocations{0};
+  static inline std::atomic<std::uint64_t> bytes_in_use{0};
+  static inline std::atomic<std::uint64_t> peak_bytes{0};
+};
+}  // namespace detail
+
+/// Thread-local bump allocator with LIFO leases over retained slabs.
+class ScratchArena {
+ public:
+  /// RAII handle for a float span; releases on destruction (LIFO).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      arena_ = other.arena_;
+      ptr_ = other.ptr_;
+      count_ = other.count_;
+      slab_ = other.slab_;
+      offset_before_ = other.offset_before_;
+      other.arena_ = nullptr;
+      other.ptr_ = nullptr;
+      other.count_ = 0;
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    float* data() const { return ptr_; }
+    std::size_t size() const { return count_; }
+
+    void release() {
+      if (arena_ != nullptr) {
+        arena_->release_to(slab_, offset_before_, count_);
+        arena_ = nullptr;
+      }
+    }
+
+   private:
+    friend class ScratchArena;
+    ScratchArena* arena_ = nullptr;
+    float* ptr_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t slab_ = 0;
+    std::size_t offset_before_ = 0;
+  };
+
+  /// Uninitialized scratch of `count` floats (16-float aligned start).
+  Lease acquire(std::size_t count) {
+    const std::size_t rounded = round_up(count);
+    std::size_t slab = active_;
+    if (slab >= slabs_.size() ||
+        slabs_[slab].capacity - slabs_[slab].used < rounded) {
+      slab = find_or_grow(rounded);
+    }
+    Slab& s = slabs_[slab];
+    Lease lease;
+    lease.arena_ = this;
+    lease.ptr_ = s.data.get() + s.used;
+    lease.count_ = count;
+    lease.slab_ = slab;
+    lease.offset_before_ = s.used;
+    s.used += rounded;
+    active_ = slab;
+    using detail::ScratchStats;
+    const std::uint64_t now =
+        ScratchStats::bytes_in_use.fetch_add(rounded * sizeof(float),
+                                             std::memory_order_relaxed) +
+        rounded * sizeof(float);
+    std::uint64_t peak = ScratchStats::peak_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !ScratchStats::peak_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    return lease;
+  }
+
+  /// The calling thread's arena (created on first use, lives until the
+  /// thread exits).
+  static ScratchArena& local() {
+    static thread_local ScratchArena arena;
+    return arena;
+  }
+
+  /// Retained capacity across all slabs of this arena, in bytes.
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Slab& s : slabs_) {
+      total += s.capacity * sizeof(float);
+    }
+    return total;
+  }
+
+  // Process-wide statistics across every thread's arena.
+  static std::uint64_t total_slab_allocations() {
+    return detail::ScratchStats::slab_allocations.load(
+        std::memory_order_relaxed);
+  }
+  static std::uint64_t bytes_in_use() {
+    return detail::ScratchStats::bytes_in_use.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t peak_bytes() {
+    return detail::ScratchStats::peak_bytes.load(std::memory_order_relaxed);
+  }
+  /// Resets the peak high-water mark (to measure one region's peak).
+  static void reset_peak_bytes() {
+    detail::ScratchStats::peak_bytes.store(bytes_in_use(),
+                                           std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slab {
+    std::unique_ptr<float[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t round_up(std::size_t count) {
+    constexpr std::size_t kAlign = 16;  // floats; 64-byte lines
+    return (count + kAlign - 1) / kAlign * kAlign;
+  }
+
+  std::size_t find_or_grow(std::size_t rounded) {
+    // Later slabs are empty (LIFO invariant); reuse one that fits.
+    for (std::size_t s = active_ + 1; s < slabs_.size(); ++s) {
+      if (slabs_[s].capacity >= rounded) {
+        return s;
+      }
+    }
+    constexpr std::size_t kMinSlabFloats = 1 << 16;  // 256 KiB
+    std::size_t total = 0;
+    for (const Slab& s : slabs_) {
+      total += s.capacity;
+    }
+    Slab slab;
+    slab.capacity = std::max({rounded, kMinSlabFloats, total});
+    slab.data = std::make_unique<float[]>(slab.capacity);
+    slabs_.push_back(std::move(slab));
+    detail::ScratchStats::slab_allocations.fetch_add(
+        1, std::memory_order_relaxed);
+    return slabs_.size() - 1;
+  }
+
+  void release_to(std::size_t slab, std::size_t offset_before,
+                  std::size_t count) {
+    const std::size_t rounded = round_up(count);
+    slabs_[slab].used = offset_before;
+    active_ = slab;
+    detail::ScratchStats::bytes_in_use.fetch_sub(rounded * sizeof(float),
+                                                 std::memory_order_relaxed);
+  }
+
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace dlsr

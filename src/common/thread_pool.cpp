@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 
 namespace dlsr {
 
@@ -71,8 +74,39 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Worker count for the global pool: DLSR_THREADS when set and valid,
+/// otherwise hardware concurrency (via the ThreadPool(0) default).
+std::size_t global_pool_threads() {
+  const char* env = std::getenv("DLSR_THREADS");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  constexpr long kMaxThreads = 1024;
+  if (end == env || *end != '\0' || parsed < 1 || parsed > kMaxThreads) {
+    log_warn(strfmt("ignoring invalid DLSR_THREADS=\"%s\" (want 1..%ld)", env,
+                    kMaxThreads));
+    return 0;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(global_pool_threads());
+  // One-time startup note so every run records the compute parallelism.
+  static const bool logged = [] {
+    log_info(strfmt("thread pool: %zu worker(s)%s", pool.thread_count(),
+                    std::getenv("DLSR_THREADS") != nullptr
+                        ? " (from DLSR_THREADS)"
+                        : ""));
+    return true;
+  }();
+  (void)logged;
   return pool;
 }
 

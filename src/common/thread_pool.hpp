@@ -38,7 +38,10 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
-  /// Process-wide default pool (created on first use).
+  /// Process-wide default pool (created on first use). Size defaults to
+  /// std::thread::hardware_concurrency(); set DLSR_THREADS=<n> to override
+  /// (logged once at startup, published as obs gauge `pool/threads` by the
+  /// tensor kernel layer).
   static ThreadPool& global();
 
  private:

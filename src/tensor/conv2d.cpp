@@ -1,11 +1,16 @@
 #include "tensor/conv2d.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/error.hpp"
+#include "common/scratch.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
-#include "tensor/matmul.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace dlsr {
 namespace {
@@ -27,6 +32,158 @@ void check_conv_args(const Tensor& input, const Tensor& weight,
   DLSR_CHECK(input.dim(2) + 2 * spec.padding >= spec.kernel &&
                  input.dim(3) + 2 * spec.padding >= spec.kernel,
              "kernel larger than padded input");
+}
+
+/// The pool size gauge lives here rather than in common/thread_pool because
+/// common cannot depend on obs; the kernel layer is the first obs-aware
+/// user of the pool.
+void note_pool_metrics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::MetricsRegistry::global().gauge("pool/threads")->set(
+        static_cast<double>(ThreadPool::global().thread_count()));
+  });
+}
+
+obs::Counter& kernel_flops_counter() {
+  static const std::shared_ptr<obs::Counter> c =
+      obs::MetricsRegistry::global().counter("kernel/flops");
+  return *c;
+}
+
+obs::Counter& kernel_packed_bytes_counter() {
+  static const std::shared_ptr<obs::Counter> c =
+      obs::MetricsRegistry::global().counter("kernel/packed_bytes");
+  return *c;
+}
+
+void count_kernel_work(double flops, double packed_bytes) {
+  kernel_flops_counter().add(static_cast<std::uint64_t>(flops));
+  kernel_packed_bytes_counter().add(static_cast<std::uint64_t>(packed_bytes));
+  OBS_COUNTER("tensor", "kernel/flops", flops);
+  OBS_COUNTER("tensor", "kernel/packed_bytes", packed_bytes);
+}
+
+/// Output rows per tile for the (sample, row-block) grid. Shape-only: the
+/// grid must not depend on the pool size or results would vary with it.
+std::size_t rows_per_tile(std::size_t ho, std::size_t wo) {
+  constexpr std::size_t kTargetTileCols = 512;
+  const std::size_t rows = (kTargetTileCols + wo - 1) / wo;
+  return std::clamp<std::size_t>(rows, 1, ho);
+}
+
+/// Packs the im2col matrix of a 3×3 / stride-1 / pad-1 tile directly from
+/// the input into GEMM B panels — the im2col indexing is fused into the
+/// packer, so the columns buffer is never materialized. For this kernel
+/// shape each (ci, kh, kw) row of a panel is a contiguous run of one input
+/// row with at most one zero at each end, so the hot path is memcpy.
+void pack_b_im2col_3x3(const float* in_n, std::size_t ci_n, std::size_t h,
+                       std::size_t w, std::size_t ho0, std::size_t ho1,
+                       float* dst) {
+  const std::size_t NR = gemm_nr();
+  const std::size_t k = ci_n * 9;
+  const std::size_t tile_cols = (ho1 - ho0) * w;
+  for (std::size_t col0 = 0; col0 < tile_cols; col0 += NR) {
+    const std::size_t jn = std::min(NR, tile_cols - col0);
+    float* panel = dst + col0 * k;  // == (col0 / NR) * NR * k
+    for (std::size_t ci = 0; ci < ci_n; ++ci) {
+      const float* plane = in_n + ci * h * w;
+      for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t s = 0; s < 3; ++s) {
+          float* drow = panel + (ci * 9 + r * 3 + s) * NR;
+          std::size_t j = 0;
+          while (j < jn) {
+            // Columns [j, j+seg) share one output row ho.
+            const std::size_t col = col0 + j;
+            const std::size_t ho = ho0 + col / w;
+            const std::size_t wo = col % w;
+            const std::size_t seg = std::min(jn - j, w - wo);
+            const long hin = static_cast<long>(ho + r) - 1;
+            if (hin < 0 || hin >= static_cast<long>(h)) {
+              std::memset(drow + j, 0, seg * sizeof(float));
+            } else {
+              const float* srow =
+                  plane + static_cast<std::size_t>(hin) * w;
+              const long win0 = static_cast<long>(wo + s) - 1;
+              // At most one leading zero (wo==0, s==0) and one trailing
+              // zero (segment reaching wo==w-1 with s==2).
+              const std::size_t lead = win0 < 0 ? 1 : 0;
+              std::size_t copy_end = seg;
+              if (win0 + static_cast<long>(seg) > static_cast<long>(w)) {
+                copy_end = static_cast<std::size_t>(static_cast<long>(w) -
+                                                    win0);
+              }
+              for (std::size_t t = 0; t < lead; ++t) {
+                drow[j + t] = 0.0f;
+              }
+              std::memcpy(drow + j + lead, srow + win0 + lead,
+                          (copy_end - lead) * sizeof(float));
+              for (std::size_t t = copy_end; t < seg; ++t) {
+                drow[j + t] = 0.0f;
+              }
+            }
+            j += seg;
+          }
+          // Zero-fill the panel tail so the micro-kernel stays branch-free.
+          for (std::size_t t = jn; t < NR; ++t) {
+            drow[t] = 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Direct 3×3 / stride-1 / pad-1 tile: implicit GEMM. B panels are packed
+/// straight from the input (no im2col buffer) and fed to the packed
+/// micro-kernel against the shared pre-packed weight panels.
+void direct3x3_tile(const float* in_n, const float* packed_w,
+                    const float* bias, std::size_t ci_n, std::size_t co_n,
+                    std::size_t h, std::size_t w, std::size_t ho0,
+                    std::size_t ho1, float* out_n) {
+  const std::size_t k = ci_n * 9;
+  const std::size_t tile_cols = (ho1 - ho0) * w;
+  ScratchArena& arena = ScratchArena::local();
+  auto pb = arena.acquire(packed_b_size(k, tile_cols));
+  pack_b_im2col_3x3(in_n, ci_n, h, w, ho0, ho1, pb.data());
+  gemm_packed(packed_w, pb.data(), out_n + ho0 * w, h * w, co_n, k,
+              tile_cols, /*accumulate=*/false);
+  if (bias != nullptr) {
+    for (std::size_t co = 0; co < co_n; ++co) {
+      float* row = out_n + co * h * w + ho0 * w;
+      const float b = bias[co];
+      for (std::size_t i = 0; i < tile_cols; ++i) {
+        row[i] += b;
+      }
+    }
+  }
+}
+
+/// General-kernel tile: im2col the output-row slice, pack it as the GEMM B
+/// operand, and multiply against the pre-packed weight panels.
+void gemm_conv_tile(const float* in_n, const float* packed_w,
+                    const float* bias, const Conv2dSpec& spec, std::size_t h,
+                    std::size_t w, std::size_t ho_total, std::size_t wo,
+                    std::size_t col_rows, std::size_t ho0, std::size_t ho1,
+                    float* out_n) {
+  const std::size_t tile_cols = (ho1 - ho0) * wo;
+  ScratchArena& arena = ScratchArena::local();
+  auto colbuf = arena.acquire(col_rows * tile_cols);
+  im2col_part(in_n, h, w, spec, 0, spec.in_channels, ho0, ho1, tile_cols,
+              colbuf.data());
+  auto pb = arena.acquire(packed_b_size(col_rows, tile_cols));
+  pack_b(colbuf.data(), tile_cols, col_rows, tile_cols, pb.data());
+  gemm_packed(packed_w, pb.data(), out_n + ho0 * wo, ho_total * wo,
+              spec.out_channels, col_rows, tile_cols, /*accumulate=*/false);
+  if (bias != nullptr) {
+    for (std::size_t co = 0; co < spec.out_channels; ++co) {
+      float* row = out_n + co * ho_total * wo + ho0 * wo;
+      const float b = bias[co];
+      for (std::size_t i = 0; i < tile_cols; ++i) {
+        row[i] += b;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -77,31 +234,32 @@ Tensor conv2d_forward_naive(const Tensor& input, const Tensor& weight,
   return out;
 }
 
-void im2col(const float* input, std::size_t channels, std::size_t height,
-            std::size_t width, const Conv2dSpec& spec, float* columns) {
+void im2col_part(const float* input, std::size_t height, std::size_t width,
+                 const Conv2dSpec& spec, std::size_t c0, std::size_t c1,
+                 std::size_t ho0, std::size_t ho1, std::size_t row_stride,
+                 float* dst) {
   const std::size_t K = spec.kernel;
-  const std::size_t Ho = spec.out_extent(height);
   const std::size_t Wo = spec.out_extent(width);
   const long pad = static_cast<long>(spec.padding);
   std::size_t row = 0;
-  for (std::size_t c = 0; c < channels; ++c) {
+  for (std::size_t c = c0; c < c1; ++c) {
     const float* plane = input + c * height * width;
     for (std::size_t kh = 0; kh < K; ++kh) {
       for (std::size_t kw = 0; kw < K; ++kw, ++row) {
-        float* dst = columns + row * Ho * Wo;
-        for (std::size_t ho = 0; ho < Ho; ++ho) {
+        float* drow = dst + row * row_stride;
+        for (std::size_t ho = ho0; ho < ho1; ++ho) {
+          float* out_seg = drow + (ho - ho0) * Wo;
           const long h = static_cast<long>(ho * spec.stride + kh) - pad;
           if (h < 0 || h >= static_cast<long>(height)) {
-            std::memset(dst + ho * Wo, 0, Wo * sizeof(float));
+            std::memset(out_seg, 0, Wo * sizeof(float));
             continue;
           }
           const float* src = plane + static_cast<std::size_t>(h) * width;
           for (std::size_t wo = 0; wo < Wo; ++wo) {
             const long w = static_cast<long>(wo * spec.stride + kw) - pad;
-            dst[ho * Wo + wo] =
-                (w < 0 || w >= static_cast<long>(width))
-                    ? 0.0f
-                    : src[static_cast<std::size_t>(w)];
+            out_seg[wo] = (w < 0 || w >= static_cast<long>(width))
+                              ? 0.0f
+                              : src[static_cast<std::size_t>(w)];
           }
         }
       }
@@ -109,18 +267,27 @@ void im2col(const float* input, std::size_t channels, std::size_t height,
   }
 }
 
-void col2im(const float* columns, std::size_t channels, std::size_t height,
-            std::size_t width, const Conv2dSpec& spec, float* input_grad) {
+void im2col(const float* input, std::size_t channels, std::size_t height,
+            std::size_t width, const Conv2dSpec& spec, float* columns) {
+  const std::size_t Ho = spec.out_extent(height);
+  const std::size_t Wo = spec.out_extent(width);
+  im2col_part(input, height, width, spec, 0, channels, 0, Ho, Ho * Wo,
+              columns);
+}
+
+void col2im_part(const float* columns, std::size_t height, std::size_t width,
+                 const Conv2dSpec& spec, std::size_t c0, std::size_t c1,
+                 std::size_t row_stride, float* input_grad) {
   const std::size_t K = spec.kernel;
   const std::size_t Ho = spec.out_extent(height);
   const std::size_t Wo = spec.out_extent(width);
   const long pad = static_cast<long>(spec.padding);
   std::size_t row = 0;
-  for (std::size_t c = 0; c < channels; ++c) {
+  for (std::size_t c = c0; c < c1; ++c) {
     float* plane = input_grad + c * height * width;
     for (std::size_t kh = 0; kh < K; ++kh) {
       for (std::size_t kw = 0; kw < K; ++kw, ++row) {
-        const float* src = columns + row * Ho * Wo;
+        const float* src = columns + row * row_stride;
         for (std::size_t ho = 0; ho < Ho; ++ho) {
           const long h = static_cast<long>(ho * spec.stride + kh) - pad;
           if (h < 0 || h >= static_cast<long>(height)) continue;
@@ -136,103 +303,204 @@ void col2im(const float* columns, std::size_t channels, std::size_t height,
   }
 }
 
-Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
-                      const Tensor& bias, const Conv2dSpec& spec) {
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, const Conv2dSpec& spec, float* input_grad) {
+  const std::size_t Ho = spec.out_extent(height);
+  const std::size_t Wo = spec.out_extent(width);
+  col2im_part(columns, height, width, spec, 0, channels, Ho * Wo, input_grad);
+}
+
+Tensor conv2d_forward(ThreadPool& pool, const Tensor& input,
+                      const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
   check_conv_args(input, weight, bias, spec);
+  note_pool_metrics();
+  OBS_SPAN("tensor", "conv2d_forward");
   const std::size_t N = input.dim(0);
   const std::size_t H = input.dim(2);
   const std::size_t W = input.dim(3);
   const std::size_t Ho = spec.out_extent(H);
   const std::size_t Wo = spec.out_extent(W);
-  const std::size_t col_rows = spec.in_channels * spec.kernel * spec.kernel;
-  const std::size_t col_cols = Ho * Wo;
-  Tensor out({N, spec.out_channels, Ho, Wo});
+  const std::size_t Ci = spec.in_channels;
+  const std::size_t Co = spec.out_channels;
+  const std::size_t col_rows = Ci * spec.kernel * spec.kernel;
+  Tensor out({N, Co, Ho, Wo});
+  if (out.numel() == 0) {
+    return out;
+  }
 
-  parallel_for(0, N, [&](std::size_t n) {
-    std::vector<float> columns(col_rows * col_cols);
-    im2col(input.raw() + n * spec.in_channels * H * W, spec.in_channels, H, W,
-           spec, columns.data());
-    float* out_n = out.raw() + n * spec.out_channels * col_cols;
-    // out[Co, HoWo] = weight[Co, CiKK] * columns[CiKK, HoWo]
-    matmul_blocked(weight.raw(), columns.data(), out_n, spec.out_channels,
-                   col_rows, col_cols, /*accumulate=*/false);
-    if (bias.numel()) {
-      for (std::size_t co = 0; co < spec.out_channels; ++co) {
-        const float b = bias[co];
-        float* row = out_n + co * col_cols;
-        for (std::size_t i = 0; i < col_cols; ++i) {
-          row[i] += b;
-        }
-      }
+  const bool direct =
+      spec.kernel == 3 && spec.stride == 1 && spec.padding == 1;
+  const std::size_t block = rows_per_tile(Ho, Wo);
+  const std::size_t tiles_per_sample = (Ho + block - 1) / block;
+
+  // The weight panel is packed once per layer call and shared read-only by
+  // every (sample, row-block) tile (both the im2col and the implicit-GEMM
+  // direct path consume it).
+  auto packed_w = ScratchArena::local().acquire(packed_a_size(Co, col_rows));
+  pack_a(weight.raw(), col_rows, Co, col_rows, packed_w.data());
+  const double packed_bytes =
+      static_cast<double>(packed_w.size()) * sizeof(float) +
+      static_cast<double>(N * tiles_per_sample *
+                          packed_b_size(col_rows, block * Wo)) *
+          sizeof(float);
+  count_kernel_work(2.0 * N * Co * col_rows * Ho * Wo, packed_bytes);
+
+  const float* bias_ptr = bias.numel() ? bias.raw() : nullptr;
+  parallel_for(pool, 0, N * tiles_per_sample, [&](std::size_t t) {
+    const std::size_t n = t / tiles_per_sample;
+    const std::size_t ho0 = (t % tiles_per_sample) * block;
+    const std::size_t ho1 = std::min(ho0 + block, Ho);
+    const float* in_n = input.raw() + n * Ci * H * W;
+    float* out_n = out.raw() + n * Co * Ho * Wo;
+    if (direct) {
+      direct3x3_tile(in_n, packed_w.data(), bias_ptr, Ci, Co, H, W, ho0, ho1,
+                     out_n);
+    } else {
+      gemm_conv_tile(in_n, packed_w.data(), bias_ptr, spec, H, W, Ho, Wo,
+                     col_rows, ho0, ho1, out_n);
     }
   });
   return out;
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  return conv2d_forward(ThreadPool::global(), input, weight, bias, spec);
+}
+
+void conv2d_backward(ThreadPool& pool, const Tensor& input,
+                     const Tensor& weight, const Conv2dSpec& spec,
+                     const Tensor& grad_output, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias,
+                     bool bias_present) {
+  check_conv_args(input, weight, Tensor{}, spec);
+  note_pool_metrics();
+  OBS_SPAN("tensor", "conv2d_backward");
+  const std::size_t N = input.dim(0);
+  const std::size_t H = input.dim(2);
+  const std::size_t W = input.dim(3);
+  const std::size_t Ho = spec.out_extent(H);
+  const std::size_t Wo = spec.out_extent(W);
+  const std::size_t Ci = spec.in_channels;
+  const std::size_t Co = spec.out_channels;
+  DLSR_CHECK(grad_output.shape() == Shape({N, Co, Ho, Wo}),
+             "conv2d_backward: grad_output shape mismatch");
+  const std::size_t K = spec.kernel;
+  const std::size_t col_rows = Ci * K * K;
+  const std::size_t col_cols = Ho * Wo;
+
+  grad_input = Tensor(input.shape());
+  grad_weight = Tensor(weight.shape());
+  if (bias_present) {
+    grad_bias = Tensor({Co});
+  }
+
+  const std::size_t MR = gemm_mr();
+  const std::size_t NR = gemm_nr();
+  ScratchArena& arena = ScratchArena::local();
+  // Wᵀ packed once per call; everything else is per-sample and reused
+  // across the serial sample loop, so peak scratch is independent of N.
+  auto packed_wt = arena.acquire(packed_a_size(col_rows, Co));
+  pack_a_transposed(weight.raw(), col_rows, col_rows, Co, packed_wt.data());
+  auto columns = arena.acquire(col_rows * col_cols);
+  auto grad_columns = arena.acquire(col_rows * col_cols);
+  auto packed_go_a = arena.acquire(packed_a_size(Co, col_cols));
+  auto packed_go_b = arena.acquire(packed_b_size(Co, col_cols));
+  auto packed_cols_bt = arena.acquire(packed_b_size(col_cols, col_rows));
+  count_kernel_work(
+      4.0 * N * Co * col_rows * col_cols,
+      static_cast<double>(packed_wt.size() +
+                          N * (packed_go_a.size() + packed_go_b.size() +
+                               packed_cols_bt.size())) *
+          sizeof(float));
+
+  // Fixed tile grids over GEMM output rows (multiples of MR; shape-only).
+  const std::size_t gw_panels = (Co + MR - 1) / MR;
+  const std::size_t gc_panels = (col_rows + MR - 1) / MR;
+  const std::size_t gc_group = std::max<std::size_t>(1, gc_panels / 16);
+  const std::size_t gc_tiles = (gc_panels + gc_group - 1) / gc_group;
+  const std::size_t go_a_panels = gw_panels;
+  const std::size_t go_b_panels = (col_cols + NR - 1) / NR;
+  const std::size_t cols_bt_panels = (col_rows + NR - 1) / NR;
+
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* in_n = input.raw() + n * Ci * H * W;
+    const float* go_n = grad_output.raw() + n * Co * col_cols;
+    float* gi_n = grad_input.raw() + n * Ci * H * W;
+
+    // 1. im2col the sample, sharded by input channel (disjoint rows).
+    parallel_for(pool, 0, Ci, [&](std::size_t ci) {
+      im2col_part(in_n, H, W, spec, ci, ci + 1, 0, Ho, col_cols,
+                  columns.data() + ci * K * K * col_cols);
+    });
+
+    // 2. Pack grad_output as both GEMM operands and columnsᵀ as a B
+    //    operand, sharded by panel (disjoint writes).
+    const std::size_t pack_tasks = go_a_panels + go_b_panels + cols_bt_panels;
+    parallel_for(pool, 0, pack_tasks, [&](std::size_t t) {
+      if (t < go_a_panels) {
+        const std::size_t i0 = t * MR;
+        pack_a(go_n + i0 * col_cols, col_cols, std::min(MR, Co - i0),
+               col_cols, packed_go_a.data() + i0 * col_cols);
+      } else if (t < go_a_panels + go_b_panels) {
+        const std::size_t j0 = (t - go_a_panels) * NR;
+        pack_b(go_n + j0, col_cols, Co, std::min(NR, col_cols - j0),
+               packed_go_b.data() + j0 * Co);
+      } else {
+        const std::size_t j0 = (t - go_a_panels - go_b_panels) * NR;
+        pack_b_transposed(columns.data() + j0 * col_cols, col_cols, col_cols,
+                          std::min(NR, col_rows - j0),
+                          packed_cols_bt.data() + j0 * col_cols);
+      }
+    });
+
+    // 3. grad_weight += go_n · columnsᵀ, sharded by output-channel panel.
+    //    Each grad_weight element is owned by one tile and accumulated in
+    //    sample order n = 0..N-1 — bit-identical for any pool size.
+    parallel_for(pool, 0, gw_panels, [&](std::size_t t) {
+      const std::size_t i0 = t * MR;
+      gemm_packed(packed_go_a.data() + i0 * col_cols, packed_cols_bt.data(),
+                  grad_weight.raw() + i0 * col_rows, col_rows,
+                  std::min(MR, Co - i0), col_cols, col_rows,
+                  /*accumulate=*/true);
+    });
+
+    // 4. grad_columns = Wᵀ · go_n, sharded by row-panel group.
+    parallel_for(pool, 0, gc_tiles, [&](std::size_t t) {
+      const std::size_t i0 = t * gc_group * MR;
+      const std::size_t i1 = std::min(i0 + gc_group * MR, col_rows);
+      gemm_packed(packed_wt.data() + i0 * Co, packed_go_b.data(),
+                  grad_columns.data() + i0 * col_cols, col_cols, i1 - i0, Co,
+                  col_cols, /*accumulate=*/false);
+    });
+
+    // 5. col2im into this sample's grad_input, sharded by channel.
+    parallel_for(pool, 0, Ci, [&](std::size_t ci) {
+      col2im_part(grad_columns.data() + ci * K * K * col_cols, H, W, spec, ci,
+                  ci + 1, col_cols, gi_n);
+    });
+
+    // 6. Bias gradient: per-channel sums in fixed order (cheap; serial).
+    if (bias_present) {
+      for (std::size_t co = 0; co < Co; ++co) {
+        const float* row = go_n + co * col_cols;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < col_cols; ++i) {
+          acc += row[i];
+        }
+        grad_bias[co] += acc;
+      }
+    }
+  }
 }
 
 void conv2d_backward(const Tensor& input, const Tensor& weight,
                      const Conv2dSpec& spec, const Tensor& grad_output,
                      Tensor& grad_input, Tensor& grad_weight,
                      Tensor& grad_bias, bool bias_present) {
-  check_conv_args(input, weight, Tensor{}, spec);
-  const std::size_t N = input.dim(0);
-  const std::size_t H = input.dim(2);
-  const std::size_t W = input.dim(3);
-  const std::size_t Ho = spec.out_extent(H);
-  const std::size_t Wo = spec.out_extent(W);
-  DLSR_CHECK(grad_output.shape() == Shape({N, spec.out_channels, Ho, Wo}),
-             "conv2d_backward: grad_output shape mismatch");
-  const std::size_t col_rows = spec.in_channels * spec.kernel * spec.kernel;
-  const std::size_t col_cols = Ho * Wo;
-
-  grad_input = Tensor(input.shape());
-  grad_weight = Tensor(weight.shape());
-  if (bias_present) {
-    grad_bias = Tensor({spec.out_channels});
-  }
-
-  // Samples are independent once grad_weight/grad_bias accumulate into
-  // per-sample partials, so the batch loop shards across the pool like the
-  // forward pass. The sequential reduction afterwards keeps results
-  // bit-identical regardless of thread count.
-  std::vector<std::vector<float>> weight_partials(
-      N, std::vector<float>(grad_weight.numel(), 0.0f));
-  std::vector<std::vector<float>> bias_partials(
-      bias_present ? N : 0, std::vector<float>(spec.out_channels, 0.0f));
-  parallel_for(0, N, [&](std::size_t n) {
-    std::vector<float> columns(col_rows * col_cols);
-    std::vector<float> grad_columns(col_rows * col_cols);
-    const float* in_n = input.raw() + n * spec.in_channels * H * W;
-    const float* go_n = grad_output.raw() + n * spec.out_channels * col_cols;
-    im2col(in_n, spec.in_channels, H, W, spec, columns.data());
-    // grad_weight[Co, CiKK] += grad_out[Co, HoWo] * columns[CiKK, HoWo]^T
-    matmul_a_bt(go_n, columns.data(), weight_partials[n].data(),
-                spec.out_channels, col_cols, col_rows, /*accumulate=*/true);
-    // grad_columns[CiKK, HoWo] = weight[Co, CiKK]^T * grad_out[Co, HoWo]
-    matmul_at_b(weight.raw(), go_n, grad_columns.data(), spec.out_channels,
-                col_rows, col_cols, /*accumulate=*/false);
-    col2im(grad_columns.data(), spec.in_channels, H, W, spec,
-           grad_input.raw() + n * spec.in_channels * H * W);
-    if (bias_present) {
-      for (std::size_t co = 0; co < spec.out_channels; ++co) {
-        const float* row = go_n + co * col_cols;
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < col_cols; ++i) {
-          acc += row[i];
-        }
-        bias_partials[n][co] = acc;
-      }
-    }
-  });
-  for (std::size_t n = 0; n < N; ++n) {
-    for (std::size_t i = 0; i < grad_weight.numel(); ++i) {
-      grad_weight[i] += weight_partials[n][i];
-    }
-    if (bias_present) {
-      for (std::size_t co = 0; co < spec.out_channels; ++co) {
-        grad_bias[co] += bias_partials[n][co];
-      }
-    }
-  }
+  conv2d_backward(ThreadPool::global(), input, weight, spec, grad_output,
+                  grad_input, grad_weight, grad_bias, bias_present);
 }
 
 }  // namespace dlsr

@@ -1,11 +1,30 @@
 // 2-D convolution (NCHW) forward and backward kernels.
 //
-// Two forward implementations are provided:
+// Three forward implementations:
 //  * conv2d_forward_naive — direct 7-loop reference, used as ground truth
-//    in tests and for tiny problem sizes;
-//  * conv2d_forward — im2col + blocked GEMM, the production path.
-// The backward pass computes input/weight/bias gradients via the transposed
-// GEMMs over the same im2col buffer.
+//    in tests and property sweeps;
+//  * a specialized direct 3×3 / stride-1 / pad-1 path (the EDSR/SRResNet/
+//    VDSR hot case): implicit GEMM — the im2col indexing is fused into the
+//    B-panel packer, so no columns buffer is ever materialized;
+//  * the general path: per-tile im2col + packed register-blocked GEMM
+//    (tensor/gemm_kernel) with the weight panel packed once per layer call.
+// conv2d_forward dispatches between the last two.
+//
+// Work decomposition is 2-D: parallel_for over (sample, output-row-block)
+// tiles, so a batch-1 serve tile saturates the pool just like a full
+// training batch. The tile grid depends only on the problem shape — never
+// on the pool size — so results are bit-identical for any thread count.
+//
+// The backward pass walks samples in a fixed serial order and parallelizes
+// *within* each sample (im2col / panel packing / GEMM row-tiles / col2im).
+// Every grad element is owned by exactly one tile and accumulated in a
+// fixed reduction order, which makes gradients bit-identical across thread
+// counts and keeps peak scratch independent of the batch size (the old
+// implementation kept N per-sample copies of grad_weight).
+//
+// All scratch (im2col buffers, packed panels, padded planes) comes from
+// per-thread ScratchArenas (common/scratch.hpp): steady-state calls
+// allocate nothing.
 //
 // Weight layout: [out_channels, in_channels, kernel, kernel].
 // Bias layout: [out_channels]; pass an empty tensor for no bias.
@@ -16,6 +35,8 @@
 #include "tensor/tensor.hpp"
 
 namespace dlsr {
+
+class ThreadPool;
 
 /// Static convolution parameters (square kernels, symmetric padding).
 struct Conv2dSpec {
@@ -35,23 +56,52 @@ struct Conv2dSpec {
 Tensor conv2d_forward_naive(const Tensor& input, const Tensor& weight,
                             const Tensor& bias, const Conv2dSpec& spec);
 
-/// im2col + GEMM convolution (production path).
+/// Production forward path (direct 3×3 or packed GEMM; global pool).
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec);
 
+/// Same, sharding tiles over an explicit pool (tests use this to verify
+/// thread-count invariance).
+Tensor conv2d_forward(ThreadPool& pool, const Tensor& input,
+                      const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec);
+
 /// Gradients of the convolution. Outputs are overwritten (not accumulated).
-/// `grad_bias` is skipped when `bias_present` is false.
+/// `grad_bias` is skipped when `bias_present` is false. Bit-identical for
+/// any pool size.
 void conv2d_backward(const Tensor& input, const Tensor& weight,
                      const Conv2dSpec& spec, const Tensor& grad_output,
                      Tensor& grad_input, Tensor& grad_weight,
                      Tensor& grad_bias, bool bias_present);
 
+/// Same, on an explicit pool.
+void conv2d_backward(ThreadPool& pool, const Tensor& input,
+                     const Tensor& weight, const Conv2dSpec& spec,
+                     const Tensor& grad_output, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias,
+                     bool bias_present);
+
 /// Unpacks one sample [C,H,W] into columns [C*K*K, Ho*Wo].
 void im2col(const float* input, std::size_t channels, std::size_t height,
             std::size_t width, const Conv2dSpec& spec, float* columns);
 
+/// Partial im2col: channels [c0, c1) and output rows [ho0, ho1) only.
+/// `dst` points at the row for (c0, kh=0, kw=0); each of the
+/// (c1-c0)*K*K rows is `row_stride` floats apart and (ho1-ho0)*Wo wide.
+void im2col_part(const float* input, std::size_t height, std::size_t width,
+                 const Conv2dSpec& spec, std::size_t c0, std::size_t c1,
+                 std::size_t ho0, std::size_t ho1, std::size_t row_stride,
+                 float* dst);
+
 /// Accumulates columns [C*K*K, Ho*Wo] back into one sample [C,H,W].
 void col2im(const float* columns, std::size_t channels, std::size_t height,
             std::size_t width, const Conv2dSpec& spec, float* input_grad);
+
+/// Partial col2im: channels [c0, c1) only. `columns` points at the row for
+/// (c0, kh=0, kw=0) with rows `row_stride` floats apart; `input_grad`
+/// points at the whole-sample base (plane c0 is written first).
+void col2im_part(const float* columns, std::size_t height, std::size_t width,
+                 const Conv2dSpec& spec, std::size_t c0, std::size_t c1,
+                 std::size_t row_stride, float* input_grad);
 
 }  // namespace dlsr

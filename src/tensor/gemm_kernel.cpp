@@ -1,0 +1,163 @@
+#include "tensor/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/scratch.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr {
+namespace {
+
+// Register tile shaped to the accumulator file the build ISA offers: the
+// acc[kMR][kNR] block must stay in vector registers across the whole k
+// loop. 8×32 fills half the AVX-512 register file; 6×16 is the classic
+// Haswell FMA shape; 4×8 fits the 16 XMM registers of baseline x86-64.
+#if defined(__AVX512F__)
+constexpr std::size_t kMR = 8;
+constexpr std::size_t kNR = 32;
+#elif defined(__AVX2__) || defined(__AVX__)
+constexpr std::size_t kMR = 6;
+constexpr std::size_t kNR = 16;
+#else
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+#endif
+
+/// One MR×NR tile: acc += A_panel(k×MR) × B_panel(k×NR). Branch-free; the
+/// panels are zero-padded so edge tiles take the same path.
+inline void micro_kernel(std::size_t k, const float* __restrict a_panel,
+                         const float* __restrict b_panel,
+                         float acc[kMR][kNR]) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* __restrict a = a_panel + p * kMR;
+    const float* __restrict b = b_panel + p * kNR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc[i][j] += av * b[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t gemm_mr() { return kMR; }
+std::size_t gemm_nr() { return kNR; }
+
+std::size_t packed_a_size(std::size_t m, std::size_t k) {
+  return (m + kMR - 1) / kMR * kMR * k;
+}
+
+std::size_t packed_b_size(std::size_t k, std::size_t n) {
+  return (n + kNR - 1) / kNR * kNR * k;
+}
+
+void pack_a(const float* a, std::size_t lda, std::size_t m, std::size_t k,
+            float* dst) {
+  for (std::size_t i0 = 0; i0 < m; i0 += kMR) {
+    const std::size_t rows = std::min(kMR, m - i0);
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t i = 0; i < rows; ++i) {
+        dst[i] = a[(i0 + i) * lda + p];
+      }
+      for (std::size_t i = rows; i < kMR; ++i) {
+        dst[i] = 0.0f;
+      }
+      dst += kMR;
+    }
+  }
+}
+
+void pack_a_transposed(const float* src, std::size_t lds, std::size_t m,
+                       std::size_t k, float* dst) {
+  for (std::size_t i0 = 0; i0 < m; i0 += kMR) {
+    const std::size_t rows = std::min(kMR, m - i0);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* col = src + p * lds + i0;
+      for (std::size_t i = 0; i < rows; ++i) {
+        dst[i] = col[i];
+      }
+      for (std::size_t i = rows; i < kMR; ++i) {
+        dst[i] = 0.0f;
+      }
+      dst += kMR;
+    }
+  }
+}
+
+void pack_b(const float* b, std::size_t ldb, std::size_t k, std::size_t n,
+            float* dst) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kNR) {
+    const std::size_t cols = std::min(kNR, n - j0);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* row = b + p * ldb + j0;
+      for (std::size_t j = 0; j < cols; ++j) {
+        dst[j] = row[j];
+      }
+      for (std::size_t j = cols; j < kNR; ++j) {
+        dst[j] = 0.0f;
+      }
+      dst += kNR;
+    }
+  }
+}
+
+void pack_b_transposed(const float* src, std::size_t lds, std::size_t k,
+                       std::size_t n, float* dst) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kNR) {
+    const std::size_t cols = std::min(kNR, n - j0);
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        dst[j] = src[(j0 + j) * lds + p];
+      }
+      for (std::size_t j = cols; j < kNR; ++j) {
+        dst[j] = 0.0f;
+      }
+      dst += kNR;
+    }
+  }
+}
+
+void gemm_packed(const float* packed_a, const float* packed_b, float* c,
+                 std::size_t ldc, std::size_t m, std::size_t k, std::size_t n,
+                 bool accumulate) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kNR) {
+    const std::size_t cols = std::min(kNR, n - j0);
+    const float* b_panel = packed_b + (j0 / kNR) * kNR * k;
+    for (std::size_t i0 = 0; i0 < m; i0 += kMR) {
+      const std::size_t rows = std::min(kMR, m - i0);
+      const float* a_panel = packed_a + (i0 / kMR) * kMR * k;
+      alignas(64) float acc[kMR][kNR] = {};
+      micro_kernel(k, a_panel, b_panel, acc);
+      for (std::size_t i = 0; i < rows; ++i) {
+        float* crow = c + (i0 + i) * ldc + j0;
+        if (accumulate) {
+          for (std::size_t j = 0; j < cols; ++j) {
+            crow[j] += acc[i][j];
+          }
+        } else {
+          for (std::size_t j = 0; j < cols; ++j) {
+            crow[j] = acc[i][j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate) {
+  ScratchArena& arena = ScratchArena::local();
+  auto pa = arena.acquire(packed_a_size(m, k));
+  auto pb = arena.acquire(packed_b_size(k, n));
+  pack_a(a, k, m, k, pa.data());
+  pack_b(b, n, k, n, pb.data());
+  OBS_COUNTER("tensor", "gemm/packed_bytes",
+              (pa.size() + pb.size()) * sizeof(float));
+  OBS_COUNTER("tensor", "gemm/flops", 2.0 * m * k * n);
+  gemm_packed(pa.data(), pb.data(), c, n, m, k, n, accumulate);
+}
+
+}  // namespace dlsr

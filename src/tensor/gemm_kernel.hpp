@@ -1,0 +1,71 @@
+// Packed, register-blocked GEMM engine.
+//
+// The engine follows the standard BLIS/GotoBLAS decomposition: operands are
+// repacked into panel layouts that the MR×NR micro-kernel streams
+// contiguously, and the micro-kernel keeps a full MR×NR accumulator tile in
+// registers across the entire k loop (the cache-blocked matmul_blocked
+// kernel, by contrast, loads and stores every C element once per k-block).
+// The inner loops are plain C with compile-time extents, which GCC/Clang
+// auto-vectorize to the widest ISA the build enables (see DLSR_NATIVE in
+// the top-level CMakeLists).
+//
+// Packed layouts (zero-padded to full MR/NR tiles so the micro-kernel is
+// branch-free):
+//   A panels: ceil(m/MR) panels, each k×MR — panel p holds rows
+//             [p*MR, p*MR+MR) of A, column-interleaved: a_panel[x*MR + i].
+//   B panels: ceil(n/NR) panels, each k×NR — panel q holds columns
+//             [q*NR, q*NR+NR) of B, row-interleaved: b_panel[x*NR + j].
+//
+// Callers that reuse one operand across many GEMMs (the conv engine packs
+// the layer's weights once per call and reuses them for every batch sample
+// and row-block tile) pack explicitly into arena scratch and call
+// gemm_packed(); one-shot users call gemm(), which packs into the calling
+// thread's ScratchArena.
+//
+// All entry points are single-threaded and deterministic: a given output
+// element is always computed by the same fixed-order reduction, so callers
+// can shard tiles across a thread pool without changing results.
+#pragma once
+
+#include <cstddef>
+
+namespace dlsr {
+
+/// Micro-kernel tile extents chosen for the build ISA (introspection for
+/// tests and panel-offset arithmetic; fixed at compile time).
+std::size_t gemm_mr();
+std::size_t gemm_nr();
+
+/// Required packed sizes, in floats (zero-padded to full tiles).
+std::size_t packed_a_size(std::size_t m, std::size_t k);
+std::size_t packed_b_size(std::size_t k, std::size_t n);
+
+/// Packs A (m×k, row stride `lda`) into MR-row panels.
+void pack_a(const float* a, std::size_t lda, std::size_t m, std::size_t k,
+            float* dst);
+
+/// Packs the transpose of `src` as A panels: logical A(i, p) = src[p*lds + i]
+/// where src is k×m row-major. Used to pack W^T once per conv backward call.
+void pack_a_transposed(const float* src, std::size_t lds, std::size_t m,
+                       std::size_t k, float* dst);
+
+/// Packs B (k×n, row stride `ldb`) into NR-column panels.
+void pack_b(const float* b, std::size_t ldb, std::size_t k, std::size_t n,
+            float* dst);
+
+/// Packs the transpose of `src` as B panels: logical B(p, j) = src[j*lds + p]
+/// where src is n×k row-major. Used for grad_weight (A·Bᵀ as packed GEMM).
+void pack_b_transposed(const float* src, std::size_t lds, std::size_t k,
+                       std::size_t n, float* dst);
+
+/// C (m×n, row stride `ldc`) = packedA × packedB, or += when `accumulate`.
+void gemm_packed(const float* packed_a, const float* packed_b, float* c,
+                 std::size_t ldc, std::size_t m, std::size_t k, std::size_t n,
+                 bool accumulate);
+
+/// Convenience full GEMM (row-major, ldc = n): packs both operands into the
+/// calling thread's scratch arena, then runs gemm_packed.
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate);
+
+}  // namespace dlsr

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace dlsr {
 
@@ -58,8 +59,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
              strfmt("matmul inner dims differ: %zu vs %zu", a.dim(1),
                     b.dim(0)));
   Tensor c({a.dim(0), b.dim(1)});
-  matmul_blocked(a.raw(), b.raw(), c.raw(), a.dim(0), a.dim(1), b.dim(1),
-                 /*accumulate=*/false);
+  gemm(a.raw(), b.raw(), c.raw(), a.dim(0), a.dim(1), b.dim(1),
+       /*accumulate=*/false);
   return c;
 }
 
@@ -69,15 +70,13 @@ void matmul_at_b(const float* a, const float* b, float* c, std::size_t k,
     std::memset(c, 0, m * n * sizeof(float));
   }
   // C[i, j] += sum_p A[p, i] * B[p, j]; iterate p outermost so both reads
-  // stream contiguously.
+  // stream contiguously. No zero-skip: a data-dependent branch here costs
+  // more in mispredicts than it saves and makes timing input-dependent.
   for (std::size_t p = 0; p < k; ++p) {
     const float* arow = a + p * m;
     const float* brow = b + p * n;
     for (std::size_t i = 0; i < m; ++i) {
       const float av = arow[i];
-      if (av == 0.0f) {
-        continue;
-      }
       float* crow = c + i * n;
       for (std::size_t j = 0; j < n; ++j) {
         crow[j] += av * brow[j];

@@ -1,8 +1,11 @@
-// Matrix multiply kernels used by the im2col convolution path.
+// Matrix multiply kernels.
 //
 // C[m, n] = sum_k A[m, k] * B[k, n], with optional accumulate-into-C.
-// The blocked kernel tiles for L1 and keeps the innermost loop over `n`
-// contiguous in both B and C so the compiler can vectorize it.
+// matmul_naive is the reference oracle for tests; matmul_blocked is the
+// legacy cache-blocked kernel, kept as the baseline the bench suite
+// compares against and for small helpers (nn::Linear). The production
+// GEMM engine is tensor/gemm_kernel (packed panels + register-blocked
+// micro-kernel); matmul() routes through it.
 #pragma once
 
 #include <cstddef>
@@ -19,7 +22,7 @@ void matmul_naive(const float* a, const float* b, float* c, std::size_t m,
 void matmul_blocked(const float* a, const float* b, float* c, std::size_t m,
                     std::size_t k, std::size_t n, bool accumulate);
 
-/// C = A(mxk) * B(kxn) on rank-2 tensors (shape-checked, blocked kernel).
+/// C = A(mxk) * B(kxn) on rank-2 tensors (shape-checked, packed engine).
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C = A^T * B where A is (k x m), B is (k x n) -> C (m x n).

@@ -1,11 +1,15 @@
 // Tests for the convolution kernels: im2col/col2im adjointness, the GEMM
-// path against the direct reference, and numerical gradient checks.
+// path against the direct reference, numerical gradient checks, a
+// randomized property sweep over the spec space, and bit-exact
+// thread-count invariance.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/conv2d.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -228,6 +232,133 @@ TEST(Conv2dBackward, GradientCheckStrided) {
 
 TEST(Conv2dBackward, GradientCheckNoPadding) {
   check_conv_gradients({1, 2, 2, 3, 1, 0, 6, 5});
+}
+
+TEST(Conv2dProperty, SpecSweepForwardAndBackward) {
+  // Full cross product of the spec space the engine dispatches over:
+  // every (kernel, stride, padding, bias) combination on a non-square
+  // input, randomized data per case. The fast path must match the naive
+  // oracle to 1e-4 and the analytic gradients must match central
+  // differences.
+  std::uint64_t seed = 1000;
+  for (const std::size_t kernel : {1u, 3u, 5u}) {
+    for (const std::size_t stride : {1u, 2u}) {
+      for (const std::size_t padding : {0u, 1u, 2u}) {
+        for (const bool with_bias : {false, true}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "kernel=" << kernel << " stride=" << stride
+                       << " padding=" << padding << " bias=" << with_bias);
+          Conv2dSpec s;
+          s.in_channels = 2;
+          s.out_channels = 3;
+          s.kernel = kernel;
+          s.stride = stride;
+          s.padding = padding;
+          const std::size_t H = 10, W = 7;  // non-square on purpose
+          Tensor input = random_tensor({2, s.in_channels, H, W}, seed++);
+          Tensor weight = random_tensor(s.weight_shape(), seed++);
+          Tensor bias =
+              with_bias ? random_tensor({s.out_channels}, seed++) : Tensor{};
+
+          const Tensor fast = conv2d_forward(input, weight, bias, s);
+          const Tensor ref = conv2d_forward_naive(input, weight, bias, s);
+          ASSERT_TRUE(fast.same_shape(ref));
+          EXPECT_LT(max_abs_diff(fast, ref), 1e-4f);
+
+          // Gradient check: L = <out, g>, dL/dθ vs central differences.
+          const Tensor g = random_tensor(ref.shape(), seed++);
+          Tensor gi, gw, gb;
+          conv2d_backward(input, weight, s, g, gi, gw, gb, with_bias);
+          const auto objective = [&]() {
+            const Tensor out = conv2d_forward(input, weight, bias, s);
+            double acc = 0.0;
+            for (std::size_t i = 0; i < out.numel(); ++i) {
+              acc += static_cast<double>(out[i]) * static_cast<double>(g[i]);
+            }
+            return acc;
+          };
+          const float eps = 1e-2f;
+          Rng pick(seed++);
+          const auto check_coord = [&](Tensor& param, const Tensor& grad) {
+            const std::size_t idx = pick.uniform_index(param.numel());
+            const float orig = param[idx];
+            param[idx] = orig + eps;
+            const double up = objective();
+            param[idx] = orig - eps;
+            const double down = objective();
+            param[idx] = orig;
+            EXPECT_NEAR((up - down) / (2 * eps), grad[idx],
+                        2e-2 * (std::abs(grad[idx]) + 1.0));
+          };
+          for (int trial = 0; trial < 3; ++trial) {
+            check_coord(weight, gw);
+            check_coord(input, gi);
+          }
+          if (with_bias) {
+            check_coord(bias, gb);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Runs forward + backward on an explicit pool and returns all results.
+struct ConvResults {
+  Tensor out, gi, gw, gb;
+};
+
+ConvResults run_on_pool(std::size_t threads, const ConvCase& c) {
+  ThreadPool pool(threads);
+  Conv2dSpec s;
+  s.in_channels = c.in_ch;
+  s.out_channels = c.out_ch;
+  s.kernel = c.kernel;
+  s.stride = c.stride;
+  s.padding = c.padding;
+  const Tensor input = random_tensor({c.batch, c.in_ch, c.h, c.w}, 71);
+  const Tensor weight = random_tensor(s.weight_shape(), 72);
+  const Tensor bias = random_tensor({c.out_ch}, 73);
+  const Tensor grad_out = random_tensor(
+      {c.batch, c.out_ch, s.out_extent(c.h), s.out_extent(c.w)}, 74);
+  ConvResults r;
+  r.out = conv2d_forward(pool, input, weight, bias, s);
+  conv2d_backward(pool, input, weight, s, grad_out, r.gi, r.gw, r.gb, true);
+  return r;
+}
+
+void expect_bit_identical(const Tensor& a, const Tensor& b,
+                          const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  EXPECT_EQ(std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)), 0)
+      << what << " differs across thread counts";
+}
+
+/// The tile grids depend only on the problem shape and every output/grad
+/// element has a fixed owner and reduction order, so results must be
+/// bit-identical — not merely close — for any pool size.
+void check_thread_invariance(const ConvCase& c) {
+  const ConvResults r1 = run_on_pool(1, c);
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    const ConvResults rn = run_on_pool(threads, c);
+    expect_bit_identical(r1.out, rn.out, "forward output");
+    expect_bit_identical(r1.gi, rn.gi, "grad_input");
+    expect_bit_identical(r1.gw, rn.gw, "grad_weight");
+    expect_bit_identical(r1.gb, rn.gb, "grad_bias");
+  }
+}
+
+TEST(Conv2dDeterminism, BitIdenticalAcrossThreadCountsDirect3x3) {
+  check_thread_invariance({3, 4, 5, 3, 1, 1, 13, 9});
+}
+
+TEST(Conv2dDeterminism, BitIdenticalAcrossThreadCountsGemmPath) {
+  check_thread_invariance({2, 3, 4, 5, 1, 2, 12, 10});
+}
+
+TEST(Conv2dDeterminism, BitIdenticalAcrossThreadCountsStrided) {
+  check_thread_invariance({3, 2, 6, 3, 2, 1, 15, 11});
 }
 
 TEST(Conv2dBackward, ShapeValidation) {

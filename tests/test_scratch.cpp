@@ -1,0 +1,151 @@
+// Tests for the per-thread scratch arena and the kernel-engine guarantees
+// built on it: steady-state kernel calls allocate nothing, and backward-pass
+// peak scratch is independent of the batch size.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "common/scratch.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/conv2d.hpp"
+
+namespace dlsr {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+TEST(ScratchArena, LeaseLifecycle) {
+  ScratchArena arena;
+  const std::uint64_t in_use0 = ScratchArena::bytes_in_use();
+  {
+    auto a = arena.acquire(100);
+    ASSERT_NE(a.data(), nullptr);
+    EXPECT_EQ(a.size(), 100u);
+    EXPECT_GT(ScratchArena::bytes_in_use(), in_use0);
+    a.data()[0] = 1.0f;
+    a.data()[99] = 2.0f;
+  }
+  EXPECT_EQ(ScratchArena::bytes_in_use(), in_use0);
+}
+
+TEST(ScratchArena, LifoReuseSameAddress) {
+  ScratchArena arena;
+  float* first;
+  {
+    auto a = arena.acquire(64);
+    first = a.data();
+  }
+  {
+    auto b = arena.acquire(64);
+    EXPECT_EQ(b.data(), first) << "LIFO release must rewind the bump pointer";
+  }
+}
+
+TEST(ScratchArena, NestedLeasesAreDisjoint) {
+  ScratchArena arena;
+  auto a = arena.acquire(32);
+  auto b = arena.acquire(32);
+  EXPECT_GE(b.data(), a.data() + 32) << "live leases must not overlap";
+}
+
+TEST(ScratchArena, SteadyStateAllocatesNothing) {
+  ScratchArena arena;
+  {
+    auto a = arena.acquire(1000);
+    auto b = arena.acquire(2000);
+  }
+  const std::uint64_t slabs = ScratchArena::total_slab_allocations();
+  for (int i = 0; i < 100; ++i) {
+    auto a = arena.acquire(1000);
+    auto b = arena.acquire(2000);
+    auto c = arena.acquire(500);
+  }
+  EXPECT_EQ(ScratchArena::total_slab_allocations(), slabs);
+}
+
+TEST(ScratchArena, MoveTransfersOwnership) {
+  ScratchArena arena;
+  const std::uint64_t in_use0 = ScratchArena::bytes_in_use();
+  {
+    auto a = arena.acquire(64);
+    ScratchArena::Lease b = std::move(a);
+    EXPECT_EQ(a.data(), nullptr);
+    ASSERT_NE(b.data(), nullptr);
+  }
+  EXPECT_EQ(ScratchArena::bytes_in_use(), in_use0);
+}
+
+Conv2dSpec edsr_spec() {
+  Conv2dSpec s;
+  s.in_channels = 8;
+  s.out_channels = 8;
+  s.kernel = 3;
+  s.stride = 1;
+  s.padding = 1;
+  return s;
+}
+
+TEST(ConvScratch, ForwardSteadyStateAllocatesNothing) {
+  // With a single-thread pool every acquire happens on this thread, so the
+  // assertion is deterministic: after one warm-up call the arena is sized
+  // and subsequent calls must not create slabs.
+  ThreadPool pool(1);
+  const Conv2dSpec s = edsr_spec();
+  const Tensor input = random_tensor({2, 8, 24, 24}, 1);
+  const Tensor weight = random_tensor(s.weight_shape(), 2);
+  const Tensor bias = random_tensor({8}, 3);
+  (void)conv2d_forward(pool, input, weight, bias, s);
+  const std::uint64_t slabs = ScratchArena::total_slab_allocations();
+  for (int i = 0; i < 5; ++i) {
+    (void)conv2d_forward(pool, input, weight, bias, s);
+  }
+  EXPECT_EQ(ScratchArena::total_slab_allocations(), slabs);
+}
+
+TEST(ConvScratch, BackwardSteadyStateAllocatesNothing) {
+  // All backward scratch is acquired by the calling thread (pool workers
+  // only write into caller-leased buffers), so this holds for any pool.
+  const Conv2dSpec s = edsr_spec();
+  const Tensor input = random_tensor({2, 8, 24, 24}, 4);
+  const Tensor weight = random_tensor(s.weight_shape(), 5);
+  const Tensor grad_out = random_tensor({2, 8, 24, 24}, 6);
+  Tensor gi, gw, gb;
+  conv2d_backward(input, weight, s, grad_out, gi, gw, gb, true);
+  const std::uint64_t slabs = ScratchArena::total_slab_allocations();
+  for (int i = 0; i < 5; ++i) {
+    conv2d_backward(input, weight, s, grad_out, gi, gw, gb, true);
+  }
+  EXPECT_EQ(ScratchArena::total_slab_allocations(), slabs);
+}
+
+TEST(ConvScratch, BackwardPeakScratchIndependentOfBatch) {
+  // The old implementation materialized per-sample weight-gradient partials
+  // (peak scratch O(N·|W|)). The rewrite walks samples serially with
+  // N-independent buffers, so the scratch high-water mark for N=8 must
+  // equal the one for N=2 exactly.
+  const Conv2dSpec s = edsr_spec();
+  const Tensor weight = random_tensor(s.weight_shape(), 7);
+  const auto run = [&](std::size_t n) {
+    const Tensor input = random_tensor({n, 8, 16, 16}, 10 + n);
+    const Tensor grad_out = random_tensor({n, 8, 16, 16}, 20 + n);
+    Tensor gi, gw, gb;
+    conv2d_backward(input, weight, s, grad_out, gi, gw, gb, true);
+    ScratchArena::reset_peak_bytes();
+    conv2d_backward(input, weight, s, grad_out, gi, gw, gb, true);
+    return ScratchArena::peak_bytes();
+  };
+  const std::uint64_t peak2 = run(2);
+  const std::uint64_t peak8 = run(8);
+  EXPECT_EQ(peak2, peak8);
+}
+
+}  // namespace
+}  // namespace dlsr
