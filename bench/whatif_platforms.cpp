@@ -36,8 +36,9 @@ double images_per_second_on(sim::Cluster& cluster, core::BackendKind kind,
       worst = std::max(worst, std::exp(exp.job.jitter_sigma * rng.normal()));
     }
     const double fwd = (compute.forward + compute.overhead) * worst;
-    const double bwd =
-        compute.backward * worst * backend->compute_contention();
+    // Raw backward work; contending backends stretch it inside the fusion
+    // engine where compute overlaps in-service collectives.
+    const double bwd = compute.backward * worst;
     const hvd::StepTimeline timeline =
         fusion.simulate_step(grads, t + fwd, bwd);
     t = std::max(timeline.backward_end, timeline.comm_end) +

@@ -1,0 +1,227 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr::comm {
+
+namespace {
+
+/// Trace lanes for comm ops sit above any real thread ids so slot lanes
+/// group together under the simulated-time process.
+constexpr std::uint32_t kSlotLaneBase = 1000;
+
+prof::Collective to_prof(Op op) {
+  switch (op) {
+    case Op::Allreduce:
+      return prof::Collective::Allreduce;
+    case Op::Broadcast:
+      return prof::Collective::Broadcast;
+    case Op::Allgather:
+      return prof::Collective::Allgather;
+  }
+  return prof::Collective::Allreduce;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Allreduce:
+      return "allreduce";
+    case Op::Broadcast:
+      return "broadcast";
+    case Op::Allgather:
+      return "allgather";
+  }
+  return "?";
+}
+
+AsyncCommBackend::AsyncCommBackend(CommConfig config) : config_(config) {
+  DLSR_CHECK(config_.max_inflight >= 1, "comm backend needs >= 1 slot");
+  slots_.assign(config_.max_inflight, 0.0);
+}
+
+Handle AsyncCommBackend::post(const CollectiveDesc& desc, sim::SimTime ready,
+                              CompletionCallback on_complete) {
+  DLSR_CHECK(desc.bytes > 0, "empty collective");
+  OpRecord rec;
+  rec.handle = static_cast<Handle>(records_.size() + 1);
+  rec.desc = desc;
+  rec.posted_at = ready;
+  records_.push_back(std::move(rec));
+  callbacks_.push_back(std::move(on_complete));
+  // Insert keeping (priority, handle) order; posts usually arrive already
+  // ordered, so scan from the back.
+  QueueEntry entry{records_.back().handle, desc.priority};
+  auto it = queue_.end();
+  while (it != queue_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->priority <= entry.priority) {
+      break;
+    }
+    it = prev;
+  }
+  queue_.insert(it, entry);
+  return records_.back().handle;
+}
+
+OpRecord& AsyncCommBackend::record_mut(Handle h) {
+  DLSR_CHECK(h >= 1 && h <= records_.size(),
+             strfmt("unknown comm handle %llu",
+                    static_cast<unsigned long long>(h)));
+  return records_[h - 1];
+}
+
+const OpRecord& AsyncCommBackend::record(Handle h) const {
+  return const_cast<AsyncCommBackend*>(this)->record_mut(h);
+}
+
+bool AsyncCommBackend::start_front(sim::SimTime horizon) {
+  if (queue_.empty()) {
+    return false;
+  }
+  OpRecord& rec = record_mut(queue_.front().handle);
+  // Earliest free service slot; ties go to the lowest lane so the schedule
+  // is deterministic.
+  std::size_t lane = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i] < slots_[lane]) {
+      lane = i;
+    }
+  }
+  const sim::SimTime start = std::max(rec.posted_at, slots_[lane]);
+  if (start > horizon) {
+    return false;
+  }
+  std::size_t concurrent = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i != lane && slots_[i] > start) {
+      ++concurrent;
+    }
+  }
+  queue_.erase(queue_.begin());
+  const sim::SimTime done = execute(rec.desc, start, concurrent);
+  DLSR_CHECK(done >= start, "collective completed before it started");
+  rec.started_at = start;
+  rec.done_at = done;
+  rec.slot = lane;
+  rec.state = OpState::Complete;
+  rec.desc.payload = nullptr;  // reduced in place; do not keep the pointer
+  slots_[lane] = done;
+  high_water_ = std::max(high_water_, done);
+  ++completed_;
+  profiler_.record(to_prof(rec.desc.op), rec.desc.bytes, done - start);
+  if (config_.trace_ops && obs::tracing_enabled()) {
+    auto& tracer = obs::Tracer::instance();
+    const auto lane_tid = kSlotLaneBase + static_cast<std::uint32_t>(lane);
+    tracer.complete(
+        op_name(rec.desc.op), "comm", start * 1e6, (done - start) * 1e6,
+        strfmt("{\"bytes\":%zu,\"buf\":\"%llx\",\"queued_us\":%.1f,"
+               "\"concurrent\":%zu}",
+               rec.desc.bytes,
+               static_cast<unsigned long long>(rec.desc.buf_id),
+               (start - rec.posted_at) * 1e6, concurrent),
+        obs::kSimPid, lane_tid);
+  }
+  if (callbacks_[rec.handle - 1]) {
+    CompletionCallback cb = std::move(callbacks_[rec.handle - 1]);
+    callbacks_[rec.handle - 1] = nullptr;
+    cb(rec);
+  }
+  return true;
+}
+
+void AsyncCommBackend::progress(sim::SimTime horizon) {
+  while (start_front(horizon)) {
+  }
+}
+
+sim::SimTime AsyncCommBackend::drain() {
+  progress(std::numeric_limits<sim::SimTime>::infinity());
+  return high_water_;
+}
+
+bool AsyncCommBackend::test(Handle h, sim::SimTime now) {
+  const OpRecord& rec = record_mut(h);
+  DLSR_CHECK(rec.state != OpState::Consumed,
+             "comm handle already waited (reused handle)");
+  if (rec.state == OpState::Pending) {
+    progress(now);
+  }
+  return rec.state == OpState::Complete && rec.done_at <= now;
+}
+
+sim::SimTime AsyncCommBackend::wait(Handle h) {
+  OpRecord& rec = record_mut(h);
+  DLSR_CHECK(rec.state != OpState::Consumed,
+             "comm handle already waited (double wait)");
+  while (rec.state == OpState::Pending) {
+    DLSR_CHECK(start_front(std::numeric_limits<sim::SimTime>::infinity()),
+               "pending comm op unreachable by progress");
+  }
+  rec.state = OpState::Consumed;
+  return rec.done_at;
+}
+
+void AsyncCommBackend::set_max_inflight(std::size_t n) {
+  DLSR_CHECK(n >= 1, "comm backend needs >= 1 slot");
+  if (n == slots_.size()) {
+    return;
+  }
+  DLSR_CHECK(queue_.empty(), "cannot resize in-flight slots with queued ops");
+  if (n > slots_.size()) {
+    slots_.resize(n, 0.0);  // extra lanes start free
+  } else {
+    // Shrinking must not forget wire occupancy: fold the dropped lanes'
+    // busy-until into the surviving first lane.
+    sim::SimTime latest = 0.0;
+    for (const sim::SimTime t : slots_) {
+      latest = std::max(latest, t);
+    }
+    slots_.assign(n, 0.0);
+    slots_[0] = latest;
+  }
+  config_.max_inflight = n;
+}
+
+void AsyncCommBackend::reset_engine() {
+  DLSR_CHECK(queue_.empty(), "cannot reset engine with queued ops");
+  std::fill(slots_.begin(), slots_.end(), 0.0);
+  high_water_ = 0.0;
+  on_reset_engine();
+}
+
+sim::SimTime AsyncCommBackend::run_sync(Op op, std::size_t bytes,
+                                        std::uint64_t buf_id,
+                                        sim::SimTime ready) {
+  CollectiveDesc desc;
+  desc.op = op;
+  desc.bytes = bytes;
+  desc.buf_id = buf_id;
+  return wait(post(desc, ready));
+}
+
+sim::SimTime AsyncCommBackend::allreduce(std::size_t bytes,
+                                         std::uint64_t buf_id,
+                                         sim::SimTime ready) {
+  return run_sync(Op::Allreduce, bytes, buf_id, ready);
+}
+
+sim::SimTime AsyncCommBackend::broadcast(std::size_t bytes,
+                                         std::uint64_t buf_id,
+                                         sim::SimTime ready) {
+  return run_sync(Op::Broadcast, bytes, buf_id, ready);
+}
+
+sim::SimTime AsyncCommBackend::allgather(std::size_t bytes_per_rank,
+                                         std::uint64_t buf_id,
+                                         sim::SimTime ready) {
+  return run_sync(Op::Allgather, bytes_per_rank, buf_id, ready);
+}
+
+}  // namespace dlsr::comm

@@ -1,0 +1,196 @@
+// dlsr::comm — nonblocking collective layer (Horovod's engine shape).
+//
+// Every backend exposes the same asynchronous surface: post() enqueues a
+// collective and returns a Handle, test()/wait() query or block on it, and
+// an optional completion callback fires when the operation's outcome is
+// determined. Behind the surface sits a deterministic event queue: posted
+// operations are served strictly in (priority, post-order), each starting on
+// the earliest of `max_inflight` service slots that is free, never before
+// the operation's ready time. Time is simulated (sim::SimTime seconds);
+// "progress" means resolving queued operations up to a time horizon, so the
+// same sequence of posts always produces the same timeline.
+//
+// Per-backend progress models are expressed as event-queue behavior, not a
+// constant multiplier:
+//
+//   - MPI (host progress): collectives advance on host cores; concurrent
+//     operations contend only where they share physical links, which the
+//     timing engine books per hop (mpisim::AllreduceEngine). Host-staged
+//     configurations additionally cannot start service while the framework
+//     computes — the scheduler (TensorFusionEngine) gates their ready
+//     times at backward_end.
+//   - NCCL (SM contention): ring kernels run on the GPU's SMs. An
+//     operation that starts while k others are in service runs its kernels
+//     `sm_contention^k` slower; compute that overlaps in-service windows is
+//     stretched by the same factor (see fusion.cpp's BackwardProgress).
+//
+// With max_inflight == 1 the queue degenerates to the old synchronous
+// chain (start = max(ready, previous done)), reproducing the pre-refactor
+// numbers exactly; depth >= 2 lets fused buffers overlap on the wire.
+//
+// The same interface carries the timing simulation (hvd::MpiBackend /
+// hvd::NcclBackend) and the real data plane (comm::LocalRingBackend, which
+// reduces actual gradient buffers when an operation executes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "prof/hvprof.hpp"
+#include "sim/event_queue.hpp"
+
+namespace dlsr::comm {
+
+enum class Op { Allreduce, Broadcast, Allgather };
+
+const char* op_name(Op op);
+
+/// One collective operation as seen by the queue.
+struct CollectiveDesc {
+  Op op = Op::Allreduce;
+  std::size_t bytes = 0;       ///< payload per rank (wire sizing)
+  std::uint64_t buf_id = 0;    ///< registration-cache identity
+  int priority = 0;            ///< lower = served earlier among queued ops
+  /// Data-plane payload: one gradient span per replica, reduced in place
+  /// when the operation executes. Null for timing-only backends. The
+  /// pointee must stay alive until the operation has been progressed.
+  std::vector<std::span<float>>* payload = nullptr;
+  bool average = true;  ///< payload reduction: average vs plain sum
+};
+
+/// Opaque ticket for a posted operation. 0 is never a valid handle.
+using Handle = std::uint64_t;
+
+enum class OpState : std::uint8_t {
+  Pending,   ///< queued, service start not yet determined
+  Complete,  ///< executed; started_at/done_at are final
+  Consumed,  ///< wait() already returned it; the handle is dead
+};
+
+/// Full life record of one operation (the event trace entry).
+struct OpRecord {
+  Handle handle = 0;
+  CollectiveDesc desc;
+  OpState state = OpState::Pending;
+  sim::SimTime posted_at = 0.0;   ///< ready time given to post()
+  sim::SimTime started_at = 0.0;  ///< service start (valid once Complete)
+  sim::SimTime done_at = 0.0;     ///< completion (valid once Complete)
+  std::size_t slot = 0;           ///< service lane the op ran on
+};
+
+using CompletionCallback = std::function<void(const OpRecord&)>;
+
+struct CommConfig {
+  /// Service slots: how many collectives may be on the wire at once.
+  std::size_t max_inflight = 1;
+  /// Mirror every executed op onto the simulated-time trace (pid kSimPid),
+  /// one lane per service slot, when obs tracing is enabled.
+  bool trace_ops = true;
+};
+
+/// Deterministic nonblocking collective engine. Subclasses provide the
+/// timing/transfer model via execute(); the base owns queueing, in-flight
+/// slot accounting, the profiler, and obs instrumentation — the plumbing
+/// previously copy-pasted across MpiBackend and NcclBackend.
+class AsyncCommBackend {
+ public:
+  explicit AsyncCommBackend(CommConfig config = {});
+  virtual ~AsyncCommBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Whether in-service collectives progress while the framework computes.
+  virtual bool overlaps_compute() const = 0;
+
+  /// Compute slowdown while a collective is in service (NCCL's SM
+  /// contention). 1.0 = communication steals no compute cycles.
+  virtual double compute_contention() const { return 1.0; }
+
+  /// Enqueues a collective whose participants are ready at `ready`.
+  Handle post(const CollectiveDesc& desc, sim::SimTime ready,
+              CompletionCallback on_complete = nullptr);
+
+  /// True when the operation has completed by simulated time `now`.
+  /// Resolves queued operations whose service start is <= now (and no
+  /// further), so calling test never perturbs the timeline.
+  bool test(Handle h, sim::SimTime now);
+
+  /// Blocks (resolves queued work) until `h` completes; returns its
+  /// completion time. Each handle can be waited exactly once — a second
+  /// wait, or a wait on a handle this backend never issued, throws.
+  sim::SimTime wait(Handle h);
+
+  /// Resolves every queued operation whose service start is <= `horizon`.
+  void progress(sim::SimTime horizon);
+
+  /// Resolves everything queued; returns the latest completion time seen
+  /// over the backend's lifetime (0 if nothing ever ran).
+  sim::SimTime drain();
+
+  /// Read-only record of a posted operation (throws on unknown handle).
+  const OpRecord& record(Handle h) const;
+
+  std::size_t posted_count() const { return records_.size(); }
+  std::size_t completed_count() const { return completed_; }
+  std::size_t pending_count() const { return queue_.size(); }
+
+  std::size_t max_inflight() const { return slots_.size(); }
+  /// Changes the service-slot count. Only legal while nothing is queued.
+  void set_max_inflight(std::size_t n);
+
+  prof::Hvprof& profiler() { return profiler_; }
+  const prof::Hvprof& profiler() const { return profiler_; }
+
+  /// Forgets service-slot occupancy (not the profiler or past records), so
+  /// a fresh run can reuse the backend from simulated time 0.
+  void reset_engine();
+
+  // Synchronous convenience used by one-off collectives (initial parameter
+  // broadcast, per-step metric scalars): post + drain + consume.
+  sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready);
+  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
+                         sim::SimTime ready);
+  sim::SimTime allgather(std::size_t bytes_per_rank, std::uint64_t buf_id,
+                         sim::SimTime ready);
+
+ protected:
+  /// Runs the collective starting exactly at `start` with `concurrent`
+  /// other operations already in service, and returns its completion time.
+  /// Called exactly once per operation, in nondecreasing start order —
+  /// stateful timing engines (link bookings) rely on both.
+  virtual sim::SimTime execute(const CollectiveDesc& desc, sim::SimTime start,
+                               std::size_t concurrent) = 0;
+
+  /// Subclass hook for reset_engine().
+  virtual void on_reset_engine() {}
+
+ private:
+  struct QueueEntry {
+    Handle handle;
+    int priority;
+  };
+
+  OpRecord& record_mut(Handle h);
+  /// Starts the front queued op if its service start is <= horizon;
+  /// returns false when the queue is empty or the front op starts later.
+  bool start_front(sim::SimTime horizon);
+  sim::SimTime run_sync(Op op, std::size_t bytes, std::uint64_t buf_id,
+                        sim::SimTime ready);
+
+  CommConfig config_;
+  std::vector<OpRecord> records_;  ///< indexed by handle - 1
+  std::vector<CompletionCallback> callbacks_;
+  /// Queued (unstarted) ops, kept sorted by (priority, handle).
+  std::vector<QueueEntry> queue_;
+  std::vector<sim::SimTime> slots_;  ///< per-lane busy-until
+  sim::SimTime high_water_ = 0.0;    ///< latest completion ever
+  std::size_t completed_ = 0;
+  prof::Hvprof profiler_;
+};
+
+}  // namespace dlsr::comm

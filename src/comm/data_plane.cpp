@@ -1,0 +1,29 @@
+#include "comm/data_plane.hpp"
+
+#include "common/error.hpp"
+#include "mpisim/data_allreduce.hpp"
+
+namespace dlsr::comm {
+
+LocalRingBackend::LocalRingBackend(LocalRingConfig config)
+    : AsyncCommBackend(config.comm), config_(config) {
+  DLSR_CHECK(config_.seconds_per_byte >= 0.0,
+             "seconds_per_byte must be >= 0");
+}
+
+sim::SimTime LocalRingBackend::execute(const CollectiveDesc& desc,
+                                       sim::SimTime start,
+                                       std::size_t concurrent) {
+  (void)concurrent;  // in-process reduction: no wire to contend on
+  DLSR_CHECK(desc.op == Op::Allreduce,
+             "data plane only implements allreduce");
+  DLSR_CHECK(desc.payload != nullptr, "data-plane allreduce needs a payload");
+  if (desc.average) {
+    mpisim::ring_allreduce_average(*desc.payload);
+  } else {
+    mpisim::ring_allreduce_sum(*desc.payload);
+  }
+  return start + static_cast<double>(desc.bytes) * config_.seconds_per_byte;
+}
+
+}  // namespace dlsr::comm

@@ -1,0 +1,41 @@
+// Data-plane backend: the nonblocking comm interface over the real
+// in-process ring allreduce (mpisim::ring_allreduce_average).
+//
+// Timing backends simulate when bytes move; this one actually moves them.
+// When an operation with a payload executes, the replicas' gradient spans
+// are reduced in place with the same deterministic chunked ring the old
+// WorkerGroup::allreduce_gradients called directly. Operations are served
+// strictly in post order (the base queue), so replica arithmetic — and
+// therefore bit-identical replicas — is independent of in-flight depth.
+//
+// Simulated time is a formality here (gradient reduction happens at wall
+// clock); ops complete `bytes * seconds_per_byte` after they start, which
+// defaults to 0 so handles resolve immediately on progress.
+#pragma once
+
+#include "comm/comm.hpp"
+
+namespace dlsr::comm {
+
+struct LocalRingConfig {
+  CommConfig comm;
+  /// Synthetic service time per payload byte (0 = instantaneous).
+  double seconds_per_byte = 0.0;
+};
+
+class LocalRingBackend : public AsyncCommBackend {
+ public:
+  explicit LocalRingBackend(LocalRingConfig config = {});
+
+  std::string name() const override { return "local-ring"; }
+  bool overlaps_compute() const override { return true; }
+
+ protected:
+  sim::SimTime execute(const CollectiveDesc& desc, sim::SimTime start,
+                       std::size_t concurrent) override;
+
+ private:
+  LocalRingConfig config_;
+};
+
+}  // namespace dlsr::comm

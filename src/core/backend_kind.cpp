@@ -18,7 +18,7 @@ const char* backend_kind_name(BackendKind kind) {
   return "?";
 }
 
-std::unique_ptr<hvd::CollectiveBackend> make_backend(BackendKind kind,
+std::unique_ptr<comm::AsyncCommBackend> make_backend(BackendKind kind,
                                                      sim::Cluster& cluster,
                                                      std::uint64_t seed) {
   switch (kind) {

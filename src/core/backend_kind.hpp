@@ -17,8 +17,9 @@ enum class BackendKind { Mpi, MpiReg, MpiOpt, Nccl };
 
 const char* backend_kind_name(BackendKind kind);
 
-/// Builds the backend over `cluster` with the paper's configuration.
-std::unique_ptr<hvd::CollectiveBackend> make_backend(BackendKind kind,
+/// Builds the backend over `cluster` with the paper's configuration. The
+/// returned backend speaks the nonblocking dlsr::comm interface.
+std::unique_ptr<comm::AsyncCommBackend> make_backend(BackendKind kind,
                                                      sim::Cluster& cluster,
                                                      std::uint64_t seed = 1);
 

@@ -13,9 +13,10 @@
 namespace dlsr::core {
 namespace {
 
-/// Mirrors one simulated step onto the trace's simulated-time process
-/// (pid kSimPid): compute phases and every fused allreduce message, with
-/// SimTime seconds mapped to trace microseconds.
+/// Mirrors one simulated step's compute phases onto the trace's
+/// simulated-time process (pid kSimPid), SimTime seconds mapped to trace
+/// microseconds. Communication spans are emitted by the dlsr::comm layer
+/// itself, one lane per in-flight slot, as operations execute.
 void emit_sim_step_events(std::size_t step, sim::SimTime step_start,
                           sim::SimTime backward_start,
                           const hvd::StepTimeline& comm,
@@ -27,13 +28,6 @@ void emit_sim_step_events(std::size_t step, sim::SimTime step_start,
                   us(backward_start - step_start), args, obs::kSimPid);
   tracer.complete("backward", "sim", us(backward_start),
                   us(comm.backward_end - backward_start), args, obs::kSimPid);
-  for (const auto& m : comm.messages) {
-    tracer.complete("allreduce", "sim", us(m.issued_at),
-                    us(m.done_at - m.issued_at),
-                    strfmt("{\"step\":%zu,\"bytes\":%zu,\"tensors\":%zu}",
-                           step, m.bytes, m.tensor_count),
-                    obs::kSimPid);
-  }
   const sim::SimTime comm_done = std::max(comm.backward_end, comm.comm_end);
   if (step_end > comm_done) {
     tracer.complete("optimizer", "sim", us(comm_done),
@@ -105,9 +99,11 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
       }
       worst = std::max(worst, factor);
     }
-    const double contention = backend->compute_contention();
+    // `bwd` is full-rate backward work; backends whose collectives steal
+    // compute cycles (NCCL SM contention) stretch it inside the fusion
+    // engine, only where compute actually overlaps an in-service op.
     const double fwd = (compute.forward + compute.overhead) * worst;
-    const double bwd = compute.backward * worst * contention;
+    const double bwd = compute.backward * worst;
 
     const sim::SimTime step_start = t;
     const sim::SimTime backward_start = step_start + fwd;

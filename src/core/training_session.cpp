@@ -37,7 +37,12 @@ TrainingSession::TrainingSession(
                     : config.learning_rate;
             return std::make_unique<nn::Adam>(std::move(params), lr);
           },
-          config.loss) {
+          config.loss,
+          [&config] {
+            comm::LocalRingConfig cc;
+            cc.comm.max_inflight = config.inflight_buffers;
+            return cc;
+          }()) {
   DLSR_CHECK(config_.workers > 0, "need at least one worker");
   // Per-worker data shards: each worker samples from the same pool with an
   // independent stream (i.i.d. sharding, as Horovod's default sampler).

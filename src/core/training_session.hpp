@@ -35,6 +35,9 @@ struct SessionConfig {
   /// Goyal-style gradual warmup steps (0 = off).
   std::size_t warmup_steps = 0;
   hvd::LossKind loss = hvd::LossKind::L1;
+  /// Gradient allreduces allowed in flight on the data-plane comm backend
+  /// (arithmetic is order-preserving at any depth).
+  std::size_t inflight_buffers = 1;
   std::uint64_t seed = 1;
 };
 

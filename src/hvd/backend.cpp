@@ -1,11 +1,16 @@
 #include "hvd/backend.hpp"
 
+#include <cmath>
+
+#include "common/error.hpp"
+
 namespace dlsr::hvd {
 
 MpiBackend::MpiBackend(sim::Cluster& cluster, mpisim::MpiEnv env,
                        mpisim::TransportConfig tcfg,
-                       mpisim::AllreduceConfig acfg, std::uint64_t seed)
-    : comm_(cluster, env, tcfg, acfg, seed) {}
+                       mpisim::AllreduceConfig acfg, std::uint64_t seed,
+                       comm::CommConfig comm_cfg)
+    : comm::AsyncCommBackend(comm_cfg), comm_(cluster, env, tcfg, acfg, seed) {}
 
 std::string MpiBackend::name() const {
   const mpisim::MpiEnv& e = comm_.env();
@@ -14,37 +19,49 @@ std::string MpiBackend::name() const {
   return "MPI";
 }
 
-sim::SimTime MpiBackend::allreduce(std::size_t bytes, std::uint64_t buf_id,
-                                   sim::SimTime ready) {
-  return comm_.allreduce(bytes, buf_id, ready);
+sim::SimTime MpiBackend::execute(const comm::CollectiveDesc& desc,
+                                 sim::SimTime start, std::size_t concurrent) {
+  // Host progress: concurrency costs nothing beyond the physical link
+  // bookings the engine makes per hop.
+  (void)concurrent;
+  switch (desc.op) {
+    case comm::Op::Allreduce:
+      return comm_.run_allreduce_at(desc.bytes, desc.buf_id, start).done;
+    case comm::Op::Broadcast:
+      return comm_.run_broadcast_at(desc.bytes, desc.buf_id, start);
+    case comm::Op::Allgather:
+      return comm_.run_allgather_at(desc.bytes, desc.buf_id, start);
+  }
+  DLSR_FAIL("unknown collective op");
 }
 
-sim::SimTime MpiBackend::broadcast(std::size_t bytes, std::uint64_t buf_id,
-                                   sim::SimTime ready) {
-  return comm_.broadcast(bytes, buf_id, ready);
+NcclBackend::NcclBackend(sim::Cluster& cluster, ncclsim::NcclConfig cfg,
+                         comm::CommConfig comm_cfg)
+    : comm::AsyncCommBackend(comm_cfg), comm_(cluster, cfg) {}
+
+sim::SimTime NcclBackend::execute(const comm::CollectiveDesc& desc,
+                                  sim::SimTime start,
+                                  std::size_t concurrent) {
+  sim::SimTime done = 0.0;
+  switch (desc.op) {
+    case comm::Op::Allreduce:
+      done = comm_.run_allreduce_at(desc.bytes, desc.buf_id, start);
+      break;
+    case comm::Op::Broadcast:
+      done = comm_.run_broadcast_at(desc.bytes, desc.buf_id, start);
+      break;
+    case comm::Op::Allgather:
+      DLSR_FAIL("ncclsim does not model allgather");
+    default:
+      DLSR_FAIL("unknown collective op");
+  }
+  if (concurrent > 0) {
+    // SM contention: rings already on the GPU slow this one's kernels.
+    const double stretch = std::pow(comm_.config().sm_contention,
+                                    static_cast<double>(concurrent));
+    done = start + (done - start) * stretch;
+  }
+  return done;
 }
-
-bool MpiBackend::overlaps_compute() const { return comm_.overlaps_compute(); }
-
-prof::Hvprof& MpiBackend::profiler() { return comm_.profiler(); }
-
-void MpiBackend::reset_engine() { comm_.reset_engine(); }
-
-NcclBackend::NcclBackend(sim::Cluster& cluster, ncclsim::NcclConfig cfg)
-    : comm_(cluster, cfg) {}
-
-sim::SimTime NcclBackend::allreduce(std::size_t bytes, std::uint64_t buf_id,
-                                    sim::SimTime ready) {
-  return comm_.allreduce(bytes, buf_id, ready);
-}
-
-sim::SimTime NcclBackend::broadcast(std::size_t bytes, std::uint64_t buf_id,
-                                    sim::SimTime ready) {
-  return comm_.broadcast(bytes, buf_id, ready);
-}
-
-prof::Hvprof& NcclBackend::profiler() { return comm_.profiler(); }
-
-void NcclBackend::reset_engine() { comm_.reset_engine(); }
 
 }  // namespace dlsr::hvd

@@ -1,81 +1,77 @@
-// Communication-backend abstraction (paper Fig. 3): Horovod sits between
-// the DL framework and a collective backend — MPI (MVAPICH2-GDR) or NCCL.
+// Timing-simulation comm backends (paper Fig. 3): Horovod sits between the
+// DL framework and a collective backend — MPI (MVAPICH2-GDR) or NCCL.
+//
+// Both are dlsr::comm::AsyncCommBackend subclasses: the shared base owns
+// the nonblocking post/test/wait queue, in-flight slots, the profiler, and
+// tracing; the subclasses supply only the timing model (execute) and the
+// progress-model knobs. Their progress models differ in kind, not just in
+// constants:
+//
+//   MpiBackend  — host progress. Collectives advance on host cores, so
+//                 compute is never slowed (compute_contention() == 1);
+//                 concurrent collectives contend only where the timing
+//                 engine books the same physical links. Host-staged
+//                 configurations (ipc disabled) cannot progress during
+//                 compute at all: overlaps_compute() == false and the
+//                 scheduler defers their service past backward.
+//   NcclBackend — SM contention. Ring kernels share the GPU with training
+//                 kernels: an op that starts with k collectives already in
+//                 service runs sm_contention^k slower, and overlapped
+//                 compute is stretched by the same factor.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "comm/comm.hpp"
 #include "mpisim/communicator.hpp"
 #include "ncclsim/nccl.hpp"
 
 namespace dlsr::hvd {
 
-/// What the fusion engine needs from a backend.
-class CollectiveBackend {
- public:
-  virtual ~CollectiveBackend() = default;
-
-  virtual std::string name() const = 0;
-
-  /// Allreduce entered by all ranks at `ready`; returns completion time.
-  virtual sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
-                                 sim::SimTime ready) = 0;
-  virtual sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
-                                 sim::SimTime ready) = 0;
-
-  /// Whether collectives progress while the framework computes.
-  virtual bool overlaps_compute() const = 0;
-
-  /// Multiplier on compute time while communication overlaps it. NCCL's
-  /// ring kernels run on the GPU's SMs and contend with the training
-  /// kernels; MPI progresses on host cores and does not.
-  virtual double compute_contention() const { return 1.0; }
-
-  virtual prof::Hvprof& profiler() = 0;
-  virtual void reset_engine() = 0;
-};
-
 /// MVAPICH2-GDR-style MPI backend.
-class MpiBackend : public CollectiveBackend {
+class MpiBackend : public comm::AsyncCommBackend {
  public:
   MpiBackend(sim::Cluster& cluster, mpisim::MpiEnv env,
              mpisim::TransportConfig tcfg = mpisim::TransportConfig::mvapich2_gdr(),
-             mpisim::AllreduceConfig acfg = {}, std::uint64_t seed = 1);
+             mpisim::AllreduceConfig acfg = {}, std::uint64_t seed = 1,
+             comm::CommConfig comm_cfg = {});
 
   std::string name() const override;
-  sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
-                         sim::SimTime ready) override;
-  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
-                         sim::SimTime ready) override;
-  bool overlaps_compute() const override;
-  prof::Hvprof& profiler() override;
-  void reset_engine() override;
+  bool overlaps_compute() const override { return comm_.overlaps_compute(); }
 
   mpisim::MpiCommunicator& communicator() { return comm_; }
   const mpisim::MpiCommunicator& communicator() const { return comm_; }
+
+ protected:
+  sim::SimTime execute(const comm::CollectiveDesc& desc, sim::SimTime start,
+                       std::size_t concurrent) override;
+  void on_reset_engine() override { comm_.reset_engine(); }
 
  private:
   mpisim::MpiCommunicator comm_;
 };
 
 /// NCCL backend.
-class NcclBackend : public CollectiveBackend {
+class NcclBackend : public comm::AsyncCommBackend {
  public:
   NcclBackend(sim::Cluster& cluster,
-              ncclsim::NcclConfig cfg = ncclsim::NcclConfig::nccl_2_8());
+              ncclsim::NcclConfig cfg = ncclsim::NcclConfig::nccl_2_8(),
+              comm::CommConfig comm_cfg = {});
 
   std::string name() const override { return "NCCL"; }
-  sim::SimTime allreduce(std::size_t bytes, std::uint64_t buf_id,
-                         sim::SimTime ready) override;
-  sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
-                         sim::SimTime ready) override;
   bool overlaps_compute() const override { return true; }
-  double compute_contention() const override { return 1.08; }
-  prof::Hvprof& profiler() override;
-  void reset_engine() override;
+  double compute_contention() const override {
+    return comm_.config().sm_contention;
+  }
 
   ncclsim::NcclCommunicator& communicator() { return comm_; }
+
+ protected:
+  sim::SimTime execute(const comm::CollectiveDesc& desc, sim::SimTime start,
+                       std::size_t concurrent) override;
+  void on_reset_engine() override { comm_.reset_engine(); }
 
  private:
   ncclsim::NcclCommunicator comm_;

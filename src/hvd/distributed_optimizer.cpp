@@ -3,7 +3,6 @@
 #include <span>
 
 #include "common/error.hpp"
-#include "mpisim/data_allreduce.hpp"
 
 namespace dlsr::hvd {
 
@@ -30,16 +29,26 @@ nn::Optimizer& DistributedOptimizer::replica(std::size_t i) {
 }
 
 void DistributedOptimizer::step() {
+  // Post one nonblocking allreduce per parameter through the data plane,
+  // then drain; the queue executes them in post order.
   const std::size_t param_count = replicas_.front()->params().size();
+  std::vector<std::vector<std::span<float>>> payloads(param_count);
   for (std::size_t p = 0; p < param_count; ++p) {
-    std::vector<std::span<float>> buffers;
-    buffers.reserve(replicas_.size());
+    payloads[p].reserve(replicas_.size());
     for (auto& r : replicas_) {
-      buffers.push_back(r->params()[p].grad->data());
+      payloads[p].push_back(r->params()[p].grad->data());
     }
-    mpisim::ring_allreduce_average(buffers);
+    comm::CollectiveDesc desc;
+    desc.op = comm::Op::Allreduce;
+    desc.bytes = replicas_.front()->params()[p].grad->numel() * sizeof(float);
+    desc.buf_id = p;
+    desc.priority = static_cast<int>(p);
+    desc.payload = &payloads[p];
+    desc.average = true;
+    comm_.post(desc, 0.0);
     ++allreduce_count_;
   }
+  comm_.drain();
   for (auto& r : replicas_) {
     r->step();
   }

@@ -3,15 +3,16 @@
 // optimizer").
 //
 // Wraps one optimizer per replica; step() averages every parameter's
-// gradient across replicas with the data-plane ring allreduce, then steps
-// each inner optimizer. WorkerGroup uses the same arithmetic internally;
-// this class exposes it as a standalone composable wrapper for user code
-// that manages its own replicas.
+// gradient across replicas by posting nonblocking allreduces through the
+// dlsr::comm data plane, then steps each inner optimizer. WorkerGroup uses
+// the same arithmetic internally; this class exposes it as a standalone
+// composable wrapper for user code that manages its own replicas.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "comm/data_plane.hpp"
 #include "nn/optimizer.hpp"
 
 namespace dlsr::hvd {
@@ -40,8 +41,12 @@ class DistributedOptimizer {
   /// step).
   std::size_t allreduce_count() const { return allreduce_count_; }
 
+  /// The data-plane comm backend gradients flow through.
+  comm::LocalRingBackend& comm_backend() { return comm_; }
+
  private:
   std::vector<std::unique_ptr<nn::Optimizer>> replicas_;
+  comm::LocalRingBackend comm_;
   std::size_t allreduce_count_ = 0;
 };
 

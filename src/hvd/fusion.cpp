@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -10,11 +11,103 @@
 
 namespace dlsr::hvd {
 
+namespace {
+
+/// Piecewise backward-compute integrator. Backward performs work at rate 1,
+/// except while a collective is in service on a contending backend (NCCL SM
+/// contention), where the rate drops to 1/contention. Windows arrive in
+/// nondecreasing start order (the comm queue serves FIFO) and are merged
+/// into a disjoint union on the fly.
+class BackwardProgress {
+ public:
+  BackwardProgress(sim::SimTime start, double contention)
+      : start_(start), c_(contention) {}
+
+  /// Registers an in-service window [s, e).
+  void add_window(sim::SimTime s, sim::SimTime e) {
+    if (c_ == 1.0) {
+      return;  // host-progress backend: comm never slows compute
+    }
+    s = std::max(s, start_);
+    if (e <= s) {
+      return;
+    }
+    if (!merged_.empty() && s <= merged_.back().second) {
+      merged_.back().second = std::max(merged_.back().second, e);
+    } else {
+      merged_.emplace_back(s, e);
+    }
+  }
+
+  /// Time at which `work` seconds of full-rate backward work complete.
+  sim::SimTime time_at_work(double work) const {
+    if (c_ == 1.0) {
+      return start_ + work;
+    }
+    sim::SimTime t = start_;
+    double remaining = work;
+    for (const auto& [s, e] : merged_) {
+      if (e <= t) {
+        continue;
+      }
+      if (s > t) {
+        const double gap = s - t;
+        if (remaining <= gap) {
+          return t + remaining;
+        }
+        remaining -= gap;
+        t = s;
+      }
+      const double contended_work = (e - t) / c_;
+      if (remaining <= contended_work) {
+        return t + remaining * c_;
+      }
+      remaining -= contended_work;
+      t = e;
+    }
+    return t + remaining;
+  }
+
+ private:
+  sim::SimTime start_;
+  double c_;
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> merged_;
+};
+
+}  // namespace
+
+double StepTimeline::exposed_comm() const {
+  std::vector<std::pair<double, double>> busy;
+  busy.reserve(messages.size());
+  for (const IssuedMessage& m : messages) {
+    const double s = std::max(m.started_at, backward_end);
+    if (m.done_at > s) {
+      busy.emplace_back(s, m.done_at);
+    }
+  }
+  std::sort(busy.begin(), busy.end());
+  double total = 0.0;
+  double cover_end = 0.0;
+  bool open = false;
+  for (const auto& [s, e] : busy) {
+    if (!open || s > cover_end) {
+      total += e - s;
+      cover_end = e;
+      open = true;
+    } else if (e > cover_end) {
+      total += e - cover_end;
+      cover_end = e;
+    }
+  }
+  return total;
+}
+
 TensorFusionEngine::TensorFusionEngine(FusionConfig config,
-                                       CollectiveBackend& backend)
+                                       comm::AsyncCommBackend& backend)
     : config_(config), backend_(backend) {
   DLSR_CHECK(config_.fusion_threshold > 0, "fusion threshold must be > 0");
   DLSR_CHECK(config_.cycle_time > 0, "cycle time must be > 0");
+  DLSR_CHECK(config_.inflight_buffers > 0, "need >= 1 in-flight buffer");
 }
 
 StepTimeline TensorFusionEngine::simulate_step(
@@ -23,13 +116,16 @@ StepTimeline TensorFusionEngine::simulate_step(
   DLSR_CHECK(!grads.empty(), "no gradients to reduce");
   obs::ScopedSpan span("hvd", "fusion_step");
   StepTimeline timeline;
-  timeline.backward_end = backward_start + backward_duration;
+  backend_.set_max_inflight(config_.inflight_buffers);
 
-  // Readiness times in backward order (grads are already sorted by
-  // ready_fraction because gradient_sequence walks layers back to front).
+  // Work (full-rate backward seconds) at which each gradient becomes ready,
+  // in backward order (grads are already sorted by ready_fraction because
+  // gradient_sequence walks layers back to front). Actual ready *times*
+  // depend on how much in-service communication stretches backward, so they
+  // are integrated on demand.
   struct Pending {
     std::size_t bytes;
-    sim::SimTime ready;
+    double work;
     std::uint64_t id;
   };
   DLSR_CHECK(config_.gradient_dtype_bytes == 2 ||
@@ -42,10 +138,17 @@ StepTimeline TensorFusionEngine::simulate_step(
     // compression.
     const std::size_t wire_bytes =
         g.bytes * config_.gradient_dtype_bytes / sizeof(float);
-    pending.push_back({wire_bytes,
-                       backward_start + g.ready_fraction * backward_duration,
+    pending.push_back({wire_bytes, g.ready_fraction * backward_duration,
                        std::hash<std::string>{}(g.name)});
   }
+
+  BackwardProgress progress(backward_start, backend_.compute_contention());
+  const auto ready_at = [&](std::size_t i) {
+    return progress.time_at_work(pending[i].work);
+  };
+  const auto backward_end_now = [&] {
+    return progress.time_at_work(backward_duration);
+  };
 
   // A backend that cannot progress during compute (host-staged MPI) starts
   // every collective after backward finishes.
@@ -53,28 +156,29 @@ StepTimeline TensorFusionEngine::simulate_step(
 
   sim::SimTime comm_end = backward_start;
   std::size_t next = 0;  // first unreduced tensor
+  int msg_priority = 0;  // backward order: earlier layers first
   sim::SimTime cycle = backward_start;
-  // Once the last tensor is ready (backward complete) the engine flushes
-  // immediately instead of waiting out the current cycle.
-  const sim::SimTime flush = pending.back().ready;
   while (next < pending.size()) {
+    const sim::SimTime next_ready = ready_at(next);
+    // Once the last tensor is ready (backward complete) the engine flushes
+    // immediately instead of waiting out the current cycle.
+    const sim::SimTime flush = ready_at(pending.size() - 1);
     sim::SimTime target = cycle + config_.cycle_time;
     // Nothing ready this cycle: skip ahead to the first cycle boundary at or
     // after the next readiness to avoid spinning through empty cycles.
-    if (pending[next].ready > target) {
-      const double k =
-          std::ceil((pending[next].ready - cycle) / config_.cycle_time);
+    if (next_ready > target) {
+      const double k = std::ceil((next_ready - cycle) / config_.cycle_time);
       target = cycle + k * config_.cycle_time;
     }
-    cycle = std::min(target, std::max(flush, pending[next].ready));
+    cycle = std::min(target, std::max(flush, next_ready));
     // Negotiation round: a cycle that introduces tensors the coordinator
     // has not seen pays one gather+broadcast; cached tensors are free
     // (Horovod's response cache).
     sim::SimTime cycle_issue = cycle;
     {
       bool uncached = false;
-      for (std::size_t i = next; i < pending.size() && pending[i].ready <= cycle;
-           ++i) {
+      for (std::size_t i = next;
+           i < pending.size() && ready_at(i) <= cycle; ++i) {
         if (cache_.insert(pending[i].id).second) {
           uncached = true;
           ++negotiated_;
@@ -88,12 +192,12 @@ StepTimeline TensorFusionEngine::simulate_step(
         OBS_COUNTER("hvd", "negotiated_tensors", negotiated_);
       }
     }
-    // Pack ready tensors (in order) into fusion buffers.
-    while (next < pending.size() && pending[next].ready <= cycle) {
+    // Pack ready tensors (in order) into fusion buffers and post each one.
+    while (next < pending.size() && ready_at(next) <= cycle) {
       std::size_t bytes = 0;
       std::size_t count = 0;
       std::uint64_t solo_id = pending[next].id;
-      while (next < pending.size() && pending[next].ready <= cycle) {
+      while (next < pending.size() && ready_at(next) <= cycle) {
         if (count > 0 && bytes + pending[next].bytes > config_.fusion_threshold) {
           break;  // buffer full; next buffer this same cycle
         }
@@ -115,14 +219,26 @@ StepTimeline TensorFusionEngine::simulate_step(
                 : 0.0;
       sim::SimTime issue = cycle_issue + pack_cost;
       if (!overlap) {
-        issue = std::max(issue, timeline.backward_end);
+        issue = std::max(issue, backward_end_now());
       }
-      const sim::SimTime done =
-          backend_.allreduce(bytes, buf_id, issue) + pack_cost;
+      comm::CollectiveDesc desc;
+      desc.op = comm::Op::Allreduce;
+      desc.bytes = bytes;
+      desc.buf_id = buf_id;
+      desc.priority = msg_priority++;
+      const comm::Handle h = backend_.post(desc, issue);
+      // Resolve immediately: the queue serves FIFO, so later posts cannot
+      // move this operation's start, and its in-service window must be
+      // known before later readiness times are integrated.
+      const sim::SimTime wire_done = backend_.wait(h);
+      const comm::OpRecord& rec = backend_.record(h);
+      progress.add_window(rec.started_at, wire_done);
+      const sim::SimTime done = wire_done + pack_cost;
       comm_end = std::max(comm_end, done);
-      timeline.messages.push_back({bytes, count, issue, done});
+      timeline.messages.push_back({bytes, count, issue, rec.started_at, done});
     }
   }
+  timeline.backward_end = backward_end_now();
   timeline.comm_end = comm_end;
   if (span.active()) {
     span.set_args(strfmt("{\"tensors\":%zu,\"messages\":%zu}", grads.size(),

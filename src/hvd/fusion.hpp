@@ -1,24 +1,36 @@
-// Tensor Fusion timing engine (paper §II-D).
+// Tensor Fusion scheduler (paper §II-D).
 //
 // Horovod's communication engine runs a cycle loop: every cycle_time it
 // collects the gradient tensors that have become ready on *all* ranks since
 // the last cycle, packs as many as fit into a fusion buffer of
-// fusion_threshold bytes (same dtype, ready order), copies them in, runs one
-// allreduce on the packed buffer, and scatters the results back. Tensors
-// larger than the threshold go alone, straight from their own buffer.
+// fusion_threshold bytes (same dtype, ready order), copies them in, posts
+// one allreduce for the packed buffer, and scatters the results back.
+// Tensors larger than the threshold go alone, straight from their own
+// buffer.
 //
-// This engine simulates exactly that schedule for one training step, given
-// the model's gradient-readiness profile (models::ModelGraph) and a
-// CollectiveBackend, and produces the step's communication timeline. The
-// fused message-size distribution that falls out of this schedule is what
-// the paper's Table I / Fig. 14 bucket.
+// This engine drives that schedule for one training step over the
+// nonblocking dlsr::comm interface: fused buffers are *posted* in backward
+// order (earlier-finishing layers get higher priority) and up to
+// `inflight_buffers` of them may be in service at once — Horovod's
+// HOROVOD_NUM_NCCL_STREAMS / multi-buffer pipelining. With
+// inflight_buffers == 1 the schedule degenerates to the classic serial
+// chain and reproduces the pre-refactor numbers exactly.
+//
+// Backends whose collectives steal compute cycles (NCCL SM contention)
+// stretch backward while an operation is in service: gradient readiness is
+// integrated piecewise over the in-service windows instead of scaling the
+// whole backward pass by a constant.
+//
+// The StepTimeline falls out of the comm layer's event records: per message
+// it keeps the post (issue) time, the wire service start, and completion,
+// so exposed_comm() can union the actually-busy intervals.
 #pragma once
 
 #include <cstddef>
 #include <unordered_set>
 #include <vector>
 
-#include "hvd/backend.hpp"
+#include "comm/comm.hpp"
 #include "models/model_graph.hpp"
 
 namespace dlsr::hvd {
@@ -37,14 +49,18 @@ struct FusionConfig {
   /// readiness at rank 0, broadcast the response). After the first step
   /// every tensor is cached and cycles proceed without negotiation.
   double negotiation_latency = 0.5e-3;
+  /// Fused buffers allowed in service concurrently (comm slots). 1 =
+  /// classic serial Horovod engine; >= 2 overlaps allreduces on the wire.
+  std::size_t inflight_buffers = 1;
 };
 
-/// One issued allreduce within a step.
+/// One allreduce posted within a step.
 struct IssuedMessage {
   std::size_t bytes = 0;
   std::size_t tensor_count = 0;
-  sim::SimTime issued_at = 0.0;
-  sim::SimTime done_at = 0.0;
+  sim::SimTime issued_at = 0.0;   ///< posted (ready to go on the wire)
+  sim::SimTime started_at = 0.0;  ///< wire service start (>= issued_at)
+  sim::SimTime done_at = 0.0;     ///< completion including unpack
 };
 
 /// Communication timeline of one training step.
@@ -53,15 +69,17 @@ struct StepTimeline {
   sim::SimTime comm_end = 0.0;  ///< last allreduce completion
   std::vector<IssuedMessage> messages;
 
-  /// Communication time not hidden behind backward compute.
-  double exposed_comm() const {
-    return comm_end > backward_end ? comm_end - backward_end : 0.0;
-  }
+  /// Communication time not hidden behind backward compute: the union of
+  /// the post-backward_end portions of every message's busy interval
+  /// [started_at, done_at]. With one in-flight buffer the intervals chain
+  /// and this reduces to the old comm_end - backward_end (minus idle gaps);
+  /// with overlap, concurrent intervals are not double-counted.
+  double exposed_comm() const;
 };
 
 class TensorFusionEngine {
  public:
-  TensorFusionEngine(FusionConfig config, CollectiveBackend& backend);
+  TensorFusionEngine(FusionConfig config, comm::AsyncCommBackend& backend);
 
   const FusionConfig& config() const { return config_; }
 
@@ -72,15 +90,16 @@ class TensorFusionEngine {
   /// Simulates the cycle loop for one step.
   ///
   /// `grads` come from ModelGraph::gradient_sequence() (backward order with
-  /// readiness fractions); backward runs over
-  /// [backward_start, backward_start + backward_duration].
+  /// readiness fractions); backward performs `backward_duration` seconds of
+  /// full-rate work starting at `backward_start` (stretched where it
+  /// overlaps in-service collectives on contending backends).
   StepTimeline simulate_step(const std::vector<models::GradTensor>& grads,
                              sim::SimTime backward_start,
                              double backward_duration);
 
  private:
   FusionConfig config_;
-  CollectiveBackend& backend_;
+  comm::AsyncCommBackend& backend_;
   /// Horovod double-buffers its fusion buffer; ids alternate.
   std::uint64_t fusion_buffer_toggle_ = 0;
   /// Response cache: tensors whose metadata has been negotiated.

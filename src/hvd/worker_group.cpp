@@ -4,7 +4,6 @@
 #include <chrono>
 
 #include "common/error.hpp"
-#include "mpisim/data_allreduce.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -25,8 +24,9 @@ WorkerGroup::WorkerGroup(
     const std::function<std::unique_ptr<nn::Module>()>& make_model,
     const std::function<std::unique_ptr<nn::Optimizer>(
         std::vector<nn::ParamRef>)>& make_optimizer,
-    LossKind loss)
+    LossKind loss, comm::LocalRingConfig comm_cfg)
     : loss_(loss),
+      comm_(comm_cfg),
       forward_ms_(obs::MetricsRegistry::global().histogram(
           "train/forward_ms")),
       backward_ms_(obs::MetricsRegistry::global().histogram(
@@ -88,16 +88,27 @@ bool WorkerGroup::replicas_in_sync() const {
 }
 
 void WorkerGroup::allreduce_gradients() {
-  // One ring allreduce per parameter tensor (Horovod fuses them for speed;
-  // arithmetic is identical either way).
-  for (std::size_t p = 0; p < params_[0].size(); ++p) {
-    std::vector<std::span<float>> buffers;
-    buffers.reserve(models_.size());
+  // One allreduce per parameter tensor, posted nonblocking through the
+  // data-plane comm backend and drained at the end (Horovod fuses tensors
+  // for speed; arithmetic is identical either way). The queue executes in
+  // post order, so the reductions run exactly as the old serial loop did.
+  const std::size_t param_count = params_[0].size();
+  std::vector<std::vector<std::span<float>>> payloads(param_count);
+  for (std::size_t p = 0; p < param_count; ++p) {
+    payloads[p].reserve(models_.size());
     for (std::size_t w = 0; w < models_.size(); ++w) {
-      buffers.push_back(params_[w][p].grad->data());
+      payloads[p].push_back(params_[w][p].grad->data());
     }
-    mpisim::ring_allreduce_average(buffers);
+    comm::CollectiveDesc desc;
+    desc.op = comm::Op::Allreduce;
+    desc.bytes = params_[0][p].grad->numel() * sizeof(float);
+    desc.buf_id = p;
+    desc.priority = static_cast<int>(p);  // backward-order issue
+    desc.payload = &payloads[p];
+    desc.average = true;
+    comm_.post(desc, 0.0);
   }
+  comm_.drain();
 }
 
 WorkerStepResult WorkerGroup::train_step(const std::vector<Tensor>& inputs,

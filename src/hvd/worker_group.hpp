@@ -6,19 +6,24 @@
 //   1. broadcast_parameters() copies rank 0's weights to every replica
 //      (Horovod's hvd.broadcast_parameters step).
 //   2. Each train_step forwards/backwards every replica on its own batch
-//      shard, then averages the gradients across replicas with the
-//      data-plane ring allreduce (mpisim::ring_allreduce_average) — the
-//      DistributedOptimizer pattern — and steps each replica's optimizer.
+//      shard, then averages the gradients across replicas by posting one
+//      nonblocking allreduce per parameter through the dlsr::comm data
+//      plane (comm::LocalRingBackend over mpisim::ring_allreduce_average)
+//      — the DistributedOptimizer pattern — and steps each replica's
+//      optimizer.
 //
-// Because gradients are genuinely averaged, all replicas stay bit-identical
-// after every step (an invariant the tests assert), and training converges
-// exactly as single-process training on the concatenated batch would.
+// Because gradients are genuinely averaged — the comm queue executes the
+// same deterministic chunked ring in post order regardless of in-flight
+// depth — all replicas stay bit-identical after every step (an invariant
+// the tests assert), and training converges exactly as single-process
+// training on the concatenated batch would.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "comm/data_plane.hpp"
 #include "nn/loss.hpp"
 #include "nn/module.hpp"
 #include "nn/optimizer.hpp"
@@ -44,7 +49,7 @@ class WorkerGroup {
       const std::function<std::unique_ptr<nn::Module>()>& make_model,
       const std::function<std::unique_ptr<nn::Optimizer>(
           std::vector<nn::ParamRef>)>& make_optimizer,
-      LossKind loss = LossKind::L1);
+      LossKind loss = LossKind::L1, comm::LocalRingConfig comm_cfg = {});
 
   std::size_t size() const { return models_.size(); }
   nn::Module& worker(std::size_t i);
@@ -56,6 +61,11 @@ class WorkerGroup {
   /// True when every replica's parameters match rank 0's bit-for-bit.
   bool replicas_in_sync() const;
 
+  /// The data-plane comm backend gradients flow through (inspectable:
+  /// posted/completed counts, profiler).
+  comm::LocalRingBackend& comm_backend() { return comm_; }
+  const comm::LocalRingBackend& comm_backend() const { return comm_; }
+
   /// One synchronous step: per-worker (input, target) pairs.
   WorkerStepResult train_step(const std::vector<Tensor>& inputs,
                               const std::vector<Tensor>& targets);
@@ -64,6 +74,7 @@ class WorkerGroup {
   void allreduce_gradients();
 
   LossKind loss_;
+  comm::LocalRingBackend comm_;
   std::vector<std::unique_ptr<nn::Module>> models_;
   std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
   std::vector<std::vector<nn::ParamRef>> params_;  // cached per worker

@@ -40,4 +40,29 @@ sim::SimTime MpiCommunicator::allgather(std::size_t bytes_per_rank,
   return done;
 }
 
+AllreduceTiming MpiCommunicator::run_allreduce_at(std::size_t bytes,
+                                                  std::uint64_t buf_id,
+                                                  sim::SimTime start,
+                                                  AllreduceAlgo algo) {
+  const AllreduceTiming timing = engine_.run(bytes, buf_id, start, algo);
+  engine_busy_until_ = std::max(engine_busy_until_, timing.done);
+  return timing;
+}
+
+sim::SimTime MpiCommunicator::run_broadcast_at(std::size_t bytes,
+                                               std::uint64_t buf_id,
+                                               sim::SimTime start) {
+  const sim::SimTime done = engine_.broadcast(bytes, buf_id, start);
+  engine_busy_until_ = std::max(engine_busy_until_, done);
+  return done;
+}
+
+sim::SimTime MpiCommunicator::run_allgather_at(std::size_t bytes_per_rank,
+                                               std::uint64_t buf_id,
+                                               sim::SimTime start) {
+  const sim::SimTime done = engine_.allgather(bytes_per_rank, buf_id, start);
+  engine_busy_until_ = std::max(engine_busy_until_, done);
+  return done;
+}
+
 }  // namespace dlsr::mpisim

@@ -40,6 +40,21 @@ class MpiCommunicator {
   sim::SimTime allgather(std::size_t bytes_per_rank, std::uint64_t buf_id,
                          sim::SimTime ready);
 
+  // Scheduler entry points: run a collective starting exactly at `start`,
+  // without serializing on this communicator's engine occupancy and without
+  // recording the profiler — the dlsr::comm layer owns queueing and
+  // accounting, and may keep several collectives on the wire at once.
+  // Physical contention still applies through the cluster link bookings.
+  // Calls must arrive in nondecreasing `start` order (the comm queue
+  // guarantees this).
+  AllreduceTiming run_allreduce_at(std::size_t bytes, std::uint64_t buf_id,
+                                   sim::SimTime start,
+                                   AllreduceAlgo algo = AllreduceAlgo::Auto);
+  sim::SimTime run_broadcast_at(std::size_t bytes, std::uint64_t buf_id,
+                                sim::SimTime start);
+  sim::SimTime run_allgather_at(std::size_t bytes_per_rank,
+                                std::uint64_t buf_id, sim::SimTime start);
+
   /// Whether in-flight collectives can overlap GPU compute. Host-staged
   /// configurations block (copies contend with the framework's own
   /// streams); IPC/GDR configurations progress asynchronously.

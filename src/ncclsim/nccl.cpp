@@ -55,20 +55,37 @@ sim::SimTime NcclCommunicator::ring_time(std::size_t bytes, sim::SimTime start,
   return done + latency;
 }
 
-sim::SimTime NcclCommunicator::allreduce(std::size_t bytes,
-                                         std::uint64_t buf_id,
-                                         sim::SimTime ready) {
+sim::SimTime NcclCommunicator::run_allreduce_at(std::size_t bytes,
+                                                std::uint64_t buf_id,
+                                                sim::SimTime start) {
   (void)buf_id;  // no registration cache: NCCL buffers are persistent
   DLSR_CHECK(bytes > 0, "empty allreduce");
   obs::ScopedSpan span("ncclsim", "allreduce_model");
   if (span.active()) {
     span.set_args(strfmt("{\"bytes\":%zu}", bytes));
   }
-  const sim::SimTime start = std::max(ready, engine_busy_until_);
   const std::size_t R = cluster_.total_gpus();
   const double factor =
       R > 1 ? 2.0 * static_cast<double>(R - 1) / static_cast<double>(R) : 0.0;
   const sim::SimTime done = ring_time(bytes, start, factor);
+  engine_busy_until_ = std::max(engine_busy_until_, done);
+  return done;
+}
+
+sim::SimTime NcclCommunicator::run_broadcast_at(std::size_t bytes,
+                                                std::uint64_t buf_id,
+                                                sim::SimTime start) {
+  (void)buf_id;
+  const sim::SimTime done = ring_time(bytes, start, 1.0);
+  engine_busy_until_ = std::max(engine_busy_until_, done);
+  return done;
+}
+
+sim::SimTime NcclCommunicator::allreduce(std::size_t bytes,
+                                         std::uint64_t buf_id,
+                                         sim::SimTime ready) {
+  const sim::SimTime start = std::max(ready, engine_busy_until_);
+  const sim::SimTime done = run_allreduce_at(bytes, buf_id, start);
   engine_busy_until_ = done;
   profiler_.record(prof::Collective::Allreduce, bytes, done - start);
   return done;
@@ -77,9 +94,8 @@ sim::SimTime NcclCommunicator::allreduce(std::size_t bytes,
 sim::SimTime NcclCommunicator::broadcast(std::size_t bytes,
                                          std::uint64_t buf_id,
                                          sim::SimTime ready) {
-  (void)buf_id;
   const sim::SimTime start = std::max(ready, engine_busy_until_);
-  const sim::SimTime done = ring_time(bytes, start, 1.0);
+  const sim::SimTime done = run_broadcast_at(bytes, buf_id, start);
   engine_busy_until_ = done;
   profiler_.record(prof::Collective::Broadcast, bytes, done - start);
   return done;

@@ -28,6 +28,11 @@ struct NcclConfig {
   double step_latency = 6e-6;
   /// Pipeline chunk size.
   std::size_t chunk_bytes = 4ull * 1024 * 1024;
+  /// SM-contention factor: NCCL's ring kernels share the GPU's SMs with
+  /// whatever else is running. A collective that starts while k others are
+  /// in flight runs sm_contention^k slower, and training kernels that
+  /// overlap an in-service collective are stretched by the same factor.
+  double sm_contention = 1.08;
 
   static NcclConfig nccl_2_8();
 };
@@ -46,6 +51,15 @@ class NcclCommunicator {
   /// Ring broadcast from rank 0.
   sim::SimTime broadcast(std::size_t bytes, std::uint64_t buf_id,
                          sim::SimTime ready);
+
+  // Scheduler entry points: run the ring starting exactly at `start`
+  // without serializing on engine occupancy or recording the profiler
+  // (the dlsr::comm layer owns both). Calls must arrive in nondecreasing
+  // `start` order.
+  sim::SimTime run_allreduce_at(std::size_t bytes, std::uint64_t buf_id,
+                                sim::SimTime start);
+  sim::SimTime run_broadcast_at(std::size_t bytes, std::uint64_t buf_id,
+                                sim::SimTime start);
 
   /// NCCL progresses on its own streams: overlaps compute.
   bool overlaps_compute() const { return true; }

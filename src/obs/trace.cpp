@@ -124,7 +124,8 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 void Tracer::record(TraceEvent event) { local_buffer().push(std::move(event)); }
 
 void Tracer::complete(std::string name, const char* cat, double ts_us,
-                      double dur_us, std::string args, std::uint32_t pid) {
+                      double dur_us, std::string args, std::uint32_t pid,
+                      std::int64_t tid) {
   TraceEvent e;
   e.name = std::move(name);
   e.cat = cat;
@@ -132,6 +133,7 @@ void Tracer::complete(std::string name, const char* cat, double ts_us,
   e.ts_us = ts_us;
   e.dur_us = dur_us;
   e.pid = pid;
+  e.tid_override = tid;
   e.args = std::move(args);
   record(std::move(e));
 }
@@ -215,11 +217,14 @@ std::string Tracer::to_chrome_trace_json() const {
                kSimPid);
   for (const Snapshot& s : events) {
     const TraceEvent& e = s.event;
+    const std::uint32_t tid =
+        e.tid_override >= 0 ? static_cast<std::uint32_t>(e.tid_override)
+                            : s.tid;
     os << ",\n";
     os << strfmt(R"({"name":"%s","cat":"%s","ph":"%c","pid":%u,"tid":%u,)"
                  R"("ts":%.3f)",
                  json_escape(e.name).c_str(), json_escape(e.cat).c_str(),
-                 static_cast<char>(e.phase), e.pid, s.tid, e.ts_us);
+                 static_cast<char>(e.phase), e.pid, tid, e.ts_us);
     switch (e.phase) {
       case EventPhase::Complete:
         os << strfmt(R"(,"dur":%.3f)", e.dur_us);

@@ -59,6 +59,9 @@ struct TraceEvent {
   double dur_us = 0.0;   ///< Complete events only
   double value = 0.0;    ///< Counter events only
   std::uint32_t pid = kWallPid;
+  /// Explicit lane: exported instead of the producer thread's id when >= 0.
+  /// Simulated schedules use it to give each in-flight comm slot a lane.
+  std::int64_t tid_override = -1;
   std::string args;      ///< JSON object text, or empty
 };
 
@@ -81,9 +84,11 @@ class Tracer {
 
   /// Appends a complete ("X") event. `ts_us`/`dur_us` are caller-provided,
   /// so simulated-time schedules can be mirrored in (use pid = kSimPid).
+  /// `tid >= 0` pins the event to an explicit lane instead of the calling
+  /// thread's id.
   void complete(std::string name, const char* cat, double ts_us,
                 double dur_us, std::string args = {},
-                std::uint32_t pid = kWallPid);
+                std::uint32_t pid = kWallPid, std::int64_t tid = -1);
 
   /// Appends an instant ("i") event at now_us().
   void instant(std::string name, const char* cat, std::string args = {});

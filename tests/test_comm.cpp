@@ -1,0 +1,342 @@
+// Tests for dlsr::comm — the nonblocking collective layer: event-queue
+// determinism, exact equivalence of the depth-1 queue with the old blocking
+// chain, handle lifecycle errors, and the real data plane staying
+// bit-identical at any in-flight depth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/data_plane.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hvd/backend.hpp"
+#include "hvd/worker_group.hpp"
+#include "models/edsr.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dlsr::comm {
+namespace {
+
+constexpr std::size_t MiB = 1024 * 1024;
+
+comm::CollectiveDesc allreduce_desc(std::size_t bytes, std::uint64_t buf,
+                                    int priority = 0) {
+  comm::CollectiveDesc d;
+  d.op = comm::Op::Allreduce;
+  d.bytes = bytes;
+  d.buf_id = buf;
+  d.priority = priority;
+  return d;
+}
+
+// ----------------------------------------------------------- determinism --
+
+TEST(CommQueue, SamePostsSameTimeline) {
+  // The event queue is deterministic: two fresh backends given the same
+  // sequence of posts produce bit-identical op records.
+  const auto run = [] {
+    sim::Cluster cluster(sim::ClusterSpec::lassen(8));
+    comm::CommConfig cc;
+    cc.max_inflight = 3;
+    hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt(),
+                            mpisim::TransportConfig::mvapich2_gdr(), {}, 1,
+                            cc);
+    std::vector<comm::Handle> handles;
+    for (int i = 0; i < 12; ++i) {
+      handles.push_back(backend.post(
+          allreduce_desc((1 + i % 4) * MiB, 100 + i, i % 3), 1e-3 * i));
+    }
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> spans;
+    backend.drain();
+    for (const comm::Handle h : handles) {
+      const comm::OpRecord& r = backend.record(h);
+      spans.emplace_back(r.started_at, r.done_at);
+    }
+    return spans;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].first, b[i].first) << "op " << i;
+    EXPECT_DOUBLE_EQ(a[i].second, b[i].second) << "op " << i;
+  }
+}
+
+TEST(CommQueue, PriorityOrdersQueuedService) {
+  // Among simultaneously queued ops, lower priority is served first; the
+  // scheduler uses this for backward-order issue of fused buffers.
+  sim::Cluster cluster(sim::ClusterSpec::lassen(4));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  const comm::Handle low = backend.post(allreduce_desc(8 * MiB, 1, 5), 0.0);
+  const comm::Handle high = backend.post(allreduce_desc(8 * MiB, 2, 0), 0.0);
+  backend.drain();
+  EXPECT_LT(backend.record(high).started_at, backend.record(low).started_at);
+}
+
+// ----------------------------------------- depth-1 == old blocking chain --
+
+TEST(CommQueue, DepthOneMatchesBlockingChainExactly) {
+  // With one service slot the queue must reproduce the pre-dlsr::comm
+  // synchronous numbers bit-for-bit: start = max(ready, previous done),
+  // identical timing-engine calls. Tolerance zero.
+  sim::Cluster c1(sim::ClusterSpec::lassen(16));
+  sim::Cluster c2(sim::ClusterSpec::lassen(16));
+  hvd::MpiBackend backend(c1, mpisim::MpiEnv::mpi_opt());
+  ASSERT_EQ(backend.max_inflight(), 1u);
+  mpisim::MpiCommunicator blocking(c2, mpisim::MpiEnv::mpi_opt(),
+                                   mpisim::TransportConfig::mvapich2_gdr(),
+                                   {}, 1);
+  Rng rng(7);
+  sim::SimTime ready = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t bytes = (1 + i % 7) * MiB / 2;
+    const comm::Handle h = backend.post(allreduce_desc(bytes, 40 + i), ready);
+    const sim::SimTime async_done = backend.wait(h);
+    const sim::SimTime sync_done = blocking.allreduce(bytes, 40 + i, ready);
+    ASSERT_DOUBLE_EQ(async_done, sync_done) << "op " << i;
+    ready += rng.uniform() * 1e-3;
+  }
+}
+
+TEST(CommQueue, SyncConvenienceMatchesPostWait) {
+  sim::Cluster c1(sim::ClusterSpec::lassen(8));
+  sim::Cluster c2(sim::ClusterSpec::lassen(8));
+  hvd::MpiBackend a(c1, mpisim::MpiEnv::mpi_opt());
+  hvd::MpiBackend b(c2, mpisim::MpiEnv::mpi_opt());
+  const sim::SimTime via_sync = a.allreduce(4 * MiB, 9, 2e-3);
+  const sim::SimTime via_post = b.wait(b.post(allreduce_desc(4 * MiB, 9), 2e-3));
+  EXPECT_DOUBLE_EQ(via_sync, via_post);
+}
+
+// ----------------------------------------------------------- overlapping --
+
+TEST(CommQueue, DeeperQueueOverlapsOperations) {
+  // Two ops ready at t=0 on a contention-free wire: depth 1 serializes
+  // them, depth 2 runs them on separate slots concurrently.
+  comm::LocalRingConfig serial_cfg;
+  serial_cfg.seconds_per_byte = 1e-9;
+  comm::LocalRingConfig deep_cfg = serial_cfg;
+  deep_cfg.comm.max_inflight = 2;
+  comm::LocalRingBackend serial(serial_cfg);
+  comm::LocalRingBackend deep(deep_cfg);
+
+  std::vector<float> x{1.0f, 2.0f};
+  std::vector<float> y{3.0f, 4.0f};
+  for (comm::LocalRingBackend* backend : {&serial, &deep}) {
+    std::vector<std::span<float>> px{std::span<float>(x)};
+    std::vector<std::span<float>> py{std::span<float>(y)};
+    comm::CollectiveDesc d1 = allreduce_desc(16 * MiB, 1);
+    d1.payload = &px;
+    comm::CollectiveDesc d2 = allreduce_desc(16 * MiB, 2);
+    d2.payload = &py;
+    backend->post(d1, 0.0);
+    backend->post(d2, 0.0);
+    backend->drain();
+  }
+  const sim::SimTime wire = 16 * MiB * 1e-9;
+  EXPECT_DOUBLE_EQ(serial.record(2).started_at, wire);
+  EXPECT_DOUBLE_EQ(serial.record(2).done_at, 2 * wire);
+  EXPECT_DOUBLE_EQ(deep.record(2).started_at, 0.0);
+  EXPECT_DOUBLE_EQ(deep.record(2).done_at, wire);
+  EXPECT_EQ(deep.record(1).slot, 0u);
+  EXPECT_EQ(deep.record(2).slot, 1u);
+}
+
+TEST(CommQueue, NcclContentionStretchesConcurrentOps) {
+  // An NCCL op that starts with another in service runs sm_contention^k
+  // slower — the progress model is event behavior, not a constant tax.
+  ncclsim::NcclConfig mild = ncclsim::NcclConfig::nccl_2_8();
+  mild.sm_contention = 1.0;
+  ncclsim::NcclConfig harsh = ncclsim::NcclConfig::nccl_2_8();
+  harsh.sm_contention = 2.0;
+  comm::CommConfig cc;
+  cc.max_inflight = 2;
+
+  const auto second_op_duration = [&](const ncclsim::NcclConfig& cfg) {
+    sim::Cluster cluster(sim::ClusterSpec::lassen(8));
+    hvd::NcclBackend backend(cluster, cfg, cc);
+    backend.post(allreduce_desc(32 * MiB, 1), 0.0);
+    backend.post(allreduce_desc(32 * MiB, 2), 0.0);
+    backend.drain();
+    const comm::OpRecord& r = backend.record(2);
+    EXPECT_LT(r.started_at, backend.record(1).done_at);  // genuinely overlaps
+    return r.done_at - r.started_at;
+  };
+  const double base = second_op_duration(mild);
+  const double stretched = second_op_duration(harsh);
+  EXPECT_DOUBLE_EQ(stretched, base * 2.0);
+}
+
+// --------------------------------------------------------- handle errors --
+
+TEST(CommQueue, DoubleWaitThrows) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  const comm::Handle h = backend.post(allreduce_desc(MiB, 1), 0.0);
+  backend.wait(h);
+  EXPECT_THROW(backend.wait(h), Error);
+}
+
+TEST(CommQueue, TestAfterWaitThrows) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  const comm::Handle h = backend.post(allreduce_desc(MiB, 1), 0.0);
+  backend.wait(h);
+  EXPECT_THROW(backend.test(h, 1.0), Error);
+}
+
+TEST(CommQueue, UnknownHandleThrows) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  EXPECT_THROW(backend.wait(42), Error);
+  EXPECT_THROW(backend.record(0), Error);
+}
+
+TEST(CommQueue, TestResolvesWithoutPerturbingTimeline) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(4));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  const comm::Handle h = backend.post(allreduce_desc(8 * MiB, 1), 5e-3);
+  EXPECT_FALSE(backend.test(h, 1e-3));  // before it could even start
+  EXPECT_TRUE(backend.test(h, 10.0));
+  const sim::SimTime done = backend.record(h).done_at;
+  EXPECT_DOUBLE_EQ(backend.wait(h), done);
+}
+
+TEST(CommQueue, CompletionCallbackFires) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(2));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  std::size_t fired = 0;
+  comm::OpRecord seen;
+  backend.post(allreduce_desc(MiB, 77), 0.0,
+               [&](const comm::OpRecord& r) {
+                 ++fired;
+                 seen = r;
+               });
+  backend.drain();
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(seen.desc.buf_id, 77u);
+  EXPECT_EQ(seen.state, comm::OpState::Complete);
+}
+
+// ------------------------------------------------------------ data plane --
+
+TEST(DataPlane, ReductionBitIdenticalAtAnyDepth) {
+  // The queue executes payload reductions in deterministic order, so the
+  // reduced values cannot depend on the in-flight depth.
+  const auto reduce_all = [](std::size_t depth) {
+    Rng rng(11);
+    std::vector<std::vector<float>> replicas(4, std::vector<float>(256));
+    for (auto& r : replicas) {
+      for (float& v : r) v = static_cast<float>(rng.normal());
+    }
+    comm::LocalRingConfig cfg;
+    cfg.comm.max_inflight = depth;
+    comm::LocalRingBackend backend(cfg);
+    std::vector<std::span<float>> spans;
+    for (auto& r : replicas) spans.emplace_back(r);
+    comm::CollectiveDesc d = allreduce_desc(256 * sizeof(float), 1);
+    d.payload = &spans;
+    backend.post(d, 0.0);
+    backend.drain();
+    return replicas;
+  };
+  const auto d1 = reduce_all(1);
+  const auto d4 = reduce_all(4);
+  for (std::size_t r = 0; r < d1.size(); ++r) {
+    EXPECT_EQ(0, std::memcmp(d1[r].data(), d4[r].data(),
+                             d1[r].size() * sizeof(float)))
+        << "replica " << r;
+  }
+}
+
+hvd::WorkerGroup make_group(std::size_t workers, std::uint64_t seed_base,
+                            std::size_t inflight) {
+  auto seed = std::make_shared<std::uint64_t>(seed_base);
+  comm::LocalRingConfig cfg;
+  cfg.comm.max_inflight = inflight;
+  return hvd::WorkerGroup(
+      workers,
+      [seed]() {
+        Rng rng((*seed)++);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(), rng);
+      },
+      [](std::vector<nn::ParamRef> params) {
+        return std::make_unique<nn::Adam>(std::move(params), 1e-3);
+      },
+      hvd::LossKind::L1, cfg);
+}
+
+Tensor random_image(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform());
+  }
+  return t;
+}
+
+TEST(DataPlane, WorkerGroupBitIdenticalAcrossDepths) {
+  // End-to-end: training through the nonblocking interface with a deep
+  // queue yields exactly the weights the depth-1 (old blocking) path does,
+  // and replicas stay in sync either way.
+  hvd::WorkerGroup shallow = make_group(3, 900, 1);
+  hvd::WorkerGroup deep = make_group(3, 900, 4);
+  shallow.broadcast_parameters();
+  deep.broadcast_parameters();
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  for (std::size_t w = 0; w < 3; ++w) {
+    inputs.push_back(random_image({1, 3, 6, 6}, 30 + w));
+    targets.push_back(random_image({1, 3, 12, 12}, 60 + w));
+  }
+  for (int step = 0; step < 3; ++step) {
+    shallow.train_step(inputs, targets);
+    deep.train_step(inputs, targets);
+    ASSERT_TRUE(shallow.replicas_in_sync()) << "step " << step;
+    ASSERT_TRUE(deep.replicas_in_sync()) << "step " << step;
+  }
+  const auto& p_shallow = shallow.optimizer(0).params();
+  const auto& p_deep = deep.optimizer(0).params();
+  ASSERT_EQ(p_shallow.size(), p_deep.size());
+  for (std::size_t p = 0; p < p_shallow.size(); ++p) {
+    const auto a = p_shallow[p].value->data();
+    const auto b = p_deep[p].value->data();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+        << p_shallow[p].name;
+  }
+  EXPECT_EQ(deep.comm_backend().completed_count(),
+            shallow.comm_backend().completed_count());
+}
+
+// --------------------------------------------------------------- plumbing --
+
+TEST(CommQueue, ResetEngineRequiresEmptyQueueAndRestartsClock) {
+  // mpi_default keeps the registration cache off, so the only state that
+  // could shift the repeat run is the slot clock reset_engine must clear.
+  sim::Cluster cluster(sim::ClusterSpec::lassen(4));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_default());
+  const sim::SimTime first = backend.allreduce(4 * MiB, 1, 0.0);
+  cluster.reset();
+  backend.reset_engine();
+  const sim::SimTime again = backend.allreduce(4 * MiB, 1, 0.0);
+  EXPECT_DOUBLE_EQ(first, again);  // slot clock really went back to 0
+}
+
+TEST(CommQueue, ProfilerOwnedByBaseRecordsEveryOp) {
+  sim::Cluster cluster(sim::ClusterSpec::lassen(4));
+  hvd::MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  backend.allreduce(4 * MiB, 1, 0.0);
+  backend.broadcast(2 * MiB, 2, 0.0);
+  EXPECT_EQ(backend.profiler().total_count(prof::Collective::Allreduce), 1u);
+  EXPECT_EQ(backend.profiler().total_count(prof::Collective::Broadcast), 1u);
+  EXPECT_EQ(backend.completed_count(), 2u);
+}
+
+}  // namespace
+}  // namespace dlsr::comm

@@ -152,12 +152,31 @@ TEST(FusionEngine, OverlappingBackendIssuesDuringBackward) {
 }
 
 TEST(FusionEngine, ExposedCommDefinition) {
+  // Exposed comm is the union of per-message busy time past backward_end,
+  // not comm_end - backward_end: messages overlapping on separate in-flight
+  // slots must not be double counted.
   StepTimeline t;
   t.backward_end = 2.0;
   t.comm_end = 2.5;
+  t.messages.push_back({0, 0, 1.9, 1.9, 2.5});
   EXPECT_DOUBLE_EQ(t.exposed_comm(), 0.5);
+  t.messages.back().done_at = 1.5;
   t.comm_end = 1.5;
   EXPECT_DOUBLE_EQ(t.exposed_comm(), 0.0);
+}
+
+TEST(FusionEngine, ExposedCommUnionsOverlappingMessages) {
+  // Two messages past backward_end: [2.0, 2.6] (clipped from start 1.8)
+  // and [2.4, 3.0] overlap on [2.4, 2.6]; the union is 1.0, not the 1.2
+  // a per-message sum would report. A third message entirely inside
+  // backward adds nothing.
+  StepTimeline t;
+  t.backward_end = 2.0;
+  t.comm_end = 3.0;
+  t.messages.push_back({0, 0, 1.7, 1.8, 2.6});
+  t.messages.push_back({0, 0, 2.3, 2.4, 3.0});
+  t.messages.push_back({0, 0, 0.5, 0.6, 1.4});
+  EXPECT_DOUBLE_EQ(t.exposed_comm(), 1.0);
 }
 
 TEST(FusionEngine, RealEdsrGradientSequence) {

@@ -13,8 +13,10 @@
 //
 // Examples:
 //   dlsr simulate --backends MPI,MPI-Opt --nodes 1,8,64 --steps 30 --csv
+//   dlsr simulate --nodes 32 --inflight-buffers 4 --fusion-threshold 16777216
 //   dlsr profile --backend MPI-Opt --nodes 1 --steps 100
 //   dlsr train --workers 4 --steps 50 --checkpoint /tmp/edsr.ckpt
+//   dlsr train --workers 4 --inflight-buffers 4
 //   dlsr train --trace-out trace.json --metrics-out metrics.json
 //   dlsr trace-summary trace.json
 //   dlsr models
@@ -26,6 +28,11 @@
 // simulate, profile, train, and serve all take --trace-out FILE (Chrome
 // trace-event JSON, open in chrome://tracing or ui.perfetto.dev) and
 // --metrics-out FILE (unified metrics-registry JSON).
+//
+// simulate and profile expose the fusion-scheduler knobs
+// --fusion-threshold (bytes), --cycle-time (ms), and --inflight-buffers
+// (dlsr::comm service slots; 1 = the paper's blocking schedule). train
+// takes --inflight-buffers for the real gradient data plane.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -93,6 +100,33 @@ void obs_end(const Flags& flags) {
   }
 }
 
+/// Fusion/scheduler knobs shared by simulate and profile.
+void define_fusion_flags(Flags& flags) {
+  flags.define("fusion-threshold",
+               "HOROVOD_FUSION_THRESHOLD in bytes (fused-buffer capacity)",
+               std::nullopt);
+  flags.define("cycle-time", "HOROVOD_CYCLE_TIME in milliseconds",
+               std::nullopt);
+  flags.define("inflight-buffers",
+               "fused buffers allowed in flight concurrently (1 = serial)",
+               std::nullopt);
+}
+
+/// Applies the fusion flags onto a job config copy.
+void apply_fusion_flags(const Flags& flags, core::TrainingJobConfig& job) {
+  if (flags.has("fusion-threshold")) {
+    job.fusion.fusion_threshold =
+        static_cast<std::size_t>(flags.get_int("fusion-threshold"));
+  }
+  if (flags.has("cycle-time")) {
+    job.fusion.cycle_time = flags.get_double("cycle-time") * 1e-3;
+  }
+  if (flags.has("inflight-buffers")) {
+    job.fusion.inflight_buffers =
+        static_cast<std::size_t>(flags.get_int("inflight-buffers"));
+  }
+}
+
 core::BackendKind parse_backend(const std::string& name) {
   if (name == "MPI") return core::BackendKind::Mpi;
   if (name == "MPI-Reg") return core::BackendKind::MpiReg;
@@ -121,12 +155,15 @@ int cmd_simulate(int argc, const char* const* argv) {
   flags.define("csv", "emit CSV instead of a table", "false");
   flags.define("timeline", "write a Chrome-trace JSON for the largest run",
                std::nullopt);
+  define_fusion_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
 
   const core::PaperExperiment exp;
-  const core::DistributedTrainer trainer = exp.make_trainer();
+  core::TrainingJobConfig job = exp.job;
+  apply_fusion_flags(flags, job);
+  const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const auto nodes = parse_size_list(flags.get("nodes"));
   const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
 
@@ -166,12 +203,15 @@ int cmd_profile(int argc, const char* const* argv) {
   flags.define("backend", "MPI, MPI-Reg, MPI-Opt, or NCCL", "MPI");
   flags.define("nodes", "node count", "1");
   flags.define("steps", "training steps to profile", "100");
+  define_fusion_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
 
   const core::PaperExperiment exp;
-  const core::DistributedTrainer trainer = exp.make_trainer();
+  core::TrainingJobConfig job = exp.job;
+  apply_fusion_flags(flags, job);
+  const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const core::RunResult r = trainer.run(
       parse_backend(flags.get("backend")),
       static_cast<std::size_t>(flags.get_int("nodes")),
@@ -196,6 +236,9 @@ int cmd_train(int argc, const char* const* argv) {
   flags.define("warmup", "warmup steps", "10");
   flags.define("checkpoint", "path to save the trained weights",
                std::nullopt);
+  flags.define("inflight-buffers",
+               "gradient allreduces allowed in flight on the data plane",
+               "1");
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -209,6 +252,8 @@ int cmd_train(int argc, const char* const* argv) {
   cfg.workers = static_cast<std::size_t>(flags.get_int("workers"));
   cfg.learning_rate = flags.get_double("lr");
   cfg.warmup_steps = static_cast<std::size_t>(flags.get_int("warmup"));
+  cfg.inflight_buffers =
+      static_cast<std::size_t>(flags.get_int("inflight-buffers"));
   std::uint64_t seed = 7;
   core::TrainingSession session(
       dataset,
