@@ -123,14 +123,18 @@ int main(int argc, char** argv) {
       "depth 1 reproduces the pre-dlsr::comm blocking schedule; deeper "
       "queues overlap fused buffers on separate slots and cut exposed comm");
 
-  const std::string out = flags.get("out");
-  std::ofstream f(out);
-  f << strfmt(
-      "{\"bench\":\"ablate_fusion_overlap\",\"smoke\":%s,\"backend\":"
-      "\"MPI-Opt\",\"nodes\":%zu,\"steps\":%zu,\"exposed_depth1_ms\":%.4f,"
-      "\"exposed_best_deep_ms\":%.4f,\"rows\":%s}\n",
-      smoke ? "true" : "false", kNodes, kSteps, exposed_depth1, exposed_best,
-      rows.c_str());
-  std::printf("  wrote %s\n", out.c_str());
+  // The sweep runs on the deterministic simulator, so tolerances can be
+  // tight: any drift is a modelling change, not machine noise.
+  bench::ResultEnvelope envelope("ablate_fusion", smoke);
+  envelope.metric("exposed_depth1_ms", exposed_depth1, "ms",
+                  /*higher_is_better=*/false, /*tolerance_pct=*/2.0);
+  envelope.metric("exposed_best_deep_ms", exposed_best, "ms", false, 2.0);
+  envelope.metric("overlap_gain",
+                  exposed_best > 0.0 ? exposed_depth1 / exposed_best : 0.0,
+                  "x", /*higher_is_better=*/true, 5.0);
+  envelope.extra(strfmt(
+      "{\"backend\":\"MPI-Opt\",\"nodes\":%zu,\"steps\":%zu,\"rows\":%s}",
+      kNodes, kSteps, rows.c_str()));
+  envelope.write(flags.get("out"));
   return 0;
 }

@@ -3,11 +3,23 @@
 // Every bench prints: a header identifying the paper artifact it
 // regenerates, the measured table, and a PAPER-vs-MEASURED summary of the
 // headline quantities so EXPERIMENTS.md can be filled by reading the output.
+//
+// Benches that feed the perf gate additionally write a ResultEnvelope: a
+// schema-versioned JSON document carrying run context (git sha, build
+// flags, thread count, timestamp) and a list of named metrics, each tagged
+// with its improvement direction and noise tolerance. `dlsr perf-compare`
+// diffs one envelope against a checked-in baseline from bench/baselines/.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 
@@ -33,5 +45,97 @@ inline void print_claim(const std::string& what, double paper, double measured,
 inline void print_note(const std::string& note) {
   std::printf("  note: %s\n", note.c_str());
 }
+
+/// Perf-gate result envelope (schema "dlsr-bench-v1").
+///
+/// Each metric carries its own comparison policy — direction and noise
+/// tolerance in percent — so the gate needs no out-of-band configuration:
+/// the checked-in baseline file IS the policy. Bench-specific detail that
+/// the gate does not compare (per-size rows, sweep grids) rides along under
+/// "extra" for humans and dashboards.
+class ResultEnvelope {
+ public:
+  ResultEnvelope(std::string bench, bool smoke)
+      : bench_(std::move(bench)), smoke_(smoke) {}
+
+  /// Adds one gated metric. `tolerance_pct` is how far the value may move
+  /// against `higher_is_better` before perf-compare flags a regression.
+  void metric(const std::string& name, double value, const std::string& unit,
+              bool higher_is_better, double tolerance_pct) {
+    metrics_.push_back(strfmt(
+        "{\"name\":\"%s\",\"value\":%.6g,\"unit\":\"%s\","
+        "\"higher_is_better\":%s,\"tolerance_pct\":%.6g}",
+        name.c_str(), value, unit.c_str(), higher_is_better ? "true" : "false",
+        tolerance_pct));
+  }
+
+  /// Attaches the bench's legacy payload (must be a JSON object/array/value)
+  /// under "extra"; not compared by the gate.
+  void extra(std::string raw_json) { extra_ = std::move(raw_json); }
+
+  std::string to_json() const {
+    std::string json = strfmt(
+        "{\"schema\":\"dlsr-bench-v1\",\"bench\":\"%s\","
+        "\"context\":{\"git_sha\":\"%s\",\"build\":\"%s\","
+        "\"compiler\":\"%s\",\"threads\":%u,\"smoke\":%s,"
+        "\"unix_time\":%lld},\"metrics\":[",
+        bench_.c_str(), git_sha().c_str(), build_flavor(), compiler_id(),
+        std::thread::hardware_concurrency(), smoke_ ? "true" : "false",
+        static_cast<long long>(std::time(nullptr)));
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      json += (i == 0 ? "" : ",") + metrics_[i];
+    }
+    json += "]";
+    if (!extra_.empty()) {
+      json += ",\"extra\":" + extra_;
+    }
+    json += "}";
+    return json;
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    DLSR_CHECK(out.good(), "cannot open " + path + " for writing");
+    out << to_json() << "\n";
+    DLSR_CHECK(out.good(), "failed writing " + path);
+    std::printf("  wrote %s (%zu gated metrics)\n", path.c_str(),
+                metrics_.size());
+  }
+
+ private:
+  /// CI exports the commit under GITHUB_SHA; DLSR_GIT_SHA overrides for
+  /// local runs. The envelope never shells out to git.
+  static std::string git_sha() {
+    for (const char* var : {"DLSR_GIT_SHA", "GITHUB_SHA"}) {
+      if (const char* sha = std::getenv(var); sha && *sha) {
+        return sha;
+      }
+    }
+    return "unknown";
+  }
+
+  static const char* build_flavor() {
+#ifdef NDEBUG
+    return "Release";
+#else
+    return "Debug";
+#endif
+  }
+
+  static const char* compiler_id() {
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+  }
+
+  std::string bench_;
+  bool smoke_ = false;
+  std::vector<std::string> metrics_;
+  std::string extra_;
+};
 
 }  // namespace dlsr::bench

@@ -277,9 +277,16 @@ int main(int argc, char** argv) {
   bench::print_note(pass ? "acceptance thresholds met"
                          : "ACCEPTANCE THRESHOLDS NOT MET");
 
-  const std::string out_path = flags.get("out");
-  std::ofstream out(out_path);
-  out << json.close() << "\n";
-  std::printf("KERNEL_SUITE_JSON written to %s\n", out_path.c_str());
+  bench::ResultEnvelope envelope("kernel_suite", smoke);
+  envelope.metric("speedup_256", speedup_256, "x",
+                  /*higher_is_better=*/true, /*tolerance_pct=*/30.0);
+  envelope.metric("fwd_speedup", fwd_speedup, "x", true, 30.0);
+  envelope.metric("bwd_speedup", bwd_speedup, "x", true, 30.0);
+  envelope.metric("train_step_ms", t_step * 1e3, "ms",
+                  /*higher_is_better=*/false, 50.0);
+  envelope.metric("serve_infer_ms", t_infer * 1e3, "ms", false, 50.0);
+  envelope.metric("serve_tiled_ms", t_tiled * 1e3, "ms", false, 50.0);
+  envelope.extra(json.close());
+  envelope.write(flags.get("out"));
   return pass ? 0 : 1;
 }

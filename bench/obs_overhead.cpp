@@ -4,18 +4,23 @@
 // compiled into production paths. The bench runs the same xorshift-mixing
 // loop bare and with a span per iteration, and reports the overhead; the
 // acceptance bar is < 5 %. For contrast it also measures the enabled cost.
+//
+// The flight recorder is ENABLED for the whole measurement: its always-on
+// claim is that an armed ring (crash handlers installed, log sink attached)
+// costs the hot path nothing until record() is actually called. A separate
+// variant prices record() itself per call — the realistic rate is one or
+// two records per training step, not per inner-loop iteration.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace {
-
-constexpr std::size_t kIters = 20'000'000;
-constexpr int kRepeats = 5;
 
 /// A few xorshift rounds: enough work that the loop is not optimized away,
 /// little enough that a span would dominate if it cost anything.
@@ -26,18 +31,28 @@ inline std::uint64_t mix(std::uint64_t x) {
   return x;
 }
 
-std::uint64_t loop_bare(std::uint64_t seed) {
+std::uint64_t loop_bare(std::size_t iters, std::uint64_t seed) {
   std::uint64_t x = seed;
-  for (std::size_t i = 0; i < kIters; ++i) {
+  for (std::size_t i = 0; i < iters; ++i) {
     x = mix(x);
   }
   return x;
 }
 
-std::uint64_t loop_instrumented(std::uint64_t seed) {
+std::uint64_t loop_instrumented(std::size_t iters, std::uint64_t seed) {
   std::uint64_t x = seed;
-  for (std::size_t i = 0; i < kIters; ++i) {
+  for (std::size_t i = 0; i < iters; ++i) {
     OBS_SPAN("bench", "mix");
+    x = mix(x);
+  }
+  return x;
+}
+
+std::uint64_t loop_recording(std::size_t iters, std::uint64_t seed) {
+  auto& fr = dlsr::obs::FlightRecorder::instance();
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < iters; ++i) {
+    fr.record("bench", "mix");
     x = mix(x);
   }
   return x;
@@ -45,9 +60,9 @@ std::uint64_t loop_instrumented(std::uint64_t seed) {
 
 /// Best-of-N wall time for one variant; the min filters scheduler noise.
 template <typename F>
-double best_ms(F&& f, std::uint64_t& sink) {
+double best_ms(int repeats, F&& f, std::uint64_t& sink) {
   double best = 1e300;
-  for (int r = 0; r < kRepeats; ++r) {
+  for (int r = 0; r < repeats; ++r) {
     const auto start = std::chrono::steady_clock::now();
     sink ^= f(0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(r));
     const double ms = std::chrono::duration<double, std::milli>(
@@ -60,35 +75,79 @@ double best_ms(F&& f, std::uint64_t& sink) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlsr;
-  bench::print_header("obs overhead",
-                      "disabled-tracer span cost on a 20M-iteration hot loop");
+  Flags flags;
+  flags.define("smoke", "fewer iterations / repeats (CI mode)", "false");
+  flags.define("out", "perf-gate envelope output path", "BENCH_obs.json");
+  flags.parse(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+  const std::size_t iters = smoke ? 5'000'000 : 20'000'000;
+  const int repeats = smoke ? 3 : 5;
+  const double per_iter = 1e6 / static_cast<double>(iters);  // ms -> ns/iter
+
+  bench::print_header(
+      "obs overhead",
+      "disabled-tracer span cost on a hot loop, flight recorder armed");
+
+  // Arm the recorder exactly as `dlsr train --flight-recorder` would — the
+  // overhead bar below is measured with the ring live.
+  obs::FlightRecorder::Config fr_cfg;
+  fr_cfg.dump_path = "BENCH_obs_flight.dump";
+  fr_cfg.install_crash_handlers = false;  // the bench should die loudly
+  obs::FlightRecorder::instance().enable(fr_cfg);
 
   std::uint64_t sink = 0;
   obs::Tracer::instance().disable();
-  const double bare_ms = best_ms(loop_bare, sink);
-  const double disabled_ms = best_ms(loop_instrumented, sink);
+  const double bare_ms = best_ms(
+      repeats, [&](std::uint64_t s) { return loop_bare(iters, s); }, sink);
+  const double disabled_ms = best_ms(
+      repeats, [&](std::uint64_t s) { return loop_instrumented(iters, s); },
+      sink);
 
   obs::Tracer::instance().enable(/*ring_capacity=*/1 << 12);
-  const double enabled_ms = best_ms(loop_instrumented, sink);
+  const double enabled_ms = best_ms(
+      repeats, [&](std::uint64_t s) { return loop_instrumented(iters, s); },
+      sink);
   obs::Tracer::instance().disable();
   obs::Tracer::instance().reset();
 
+  const double recording_ms = best_ms(
+      repeats, [&](std::uint64_t s) { return loop_recording(iters, s); },
+      sink);
+  obs::FlightRecorder::instance().disable();
+
   const double overhead_pct = (disabled_ms - bare_ms) / bare_ms * 100.0;
-  Table t({"variant", "best of 5 (ms)", "ns/iter"});
+  const double record_ns = (recording_ms - bare_ms) * per_iter;
+  Table t({"variant", "best (ms)", "ns/iter"});
   const auto row = [&](const char* label, double ms) {
-    t.add_row({label, strfmt("%.2f", ms),
-               strfmt("%.3f", ms * 1e6 / static_cast<double>(kIters))});
+    t.add_row({label, strfmt("%.2f", ms), strfmt("%.3f", ms * per_iter)});
   };
   row("bare loop", bare_ms);
   row("span, tracing disabled", disabled_ms);
   row("span, tracing enabled", enabled_ms);
+  row("flight-recorder record()", recording_ms);
   bench::print_table(t);
 
   bench::print_claim("disabled-span overhead (target < 5)", 5.0,
                      overhead_pct, "%");
-  bench::print_note(strfmt("sink=%llu (keeps the loops live)",
-                           static_cast<unsigned long long>(sink)));
+  bench::print_note(strfmt(
+      "record() costs %.1f ns/call — at one step marker per ~100 ms train "
+      "step that is noise; sink=%llu keeps the loops live",
+      record_ns, static_cast<unsigned long long>(sink)));
+
+  bench::ResultEnvelope envelope("obs_overhead", smoke);
+  // The overhead sits near zero, so a relative band on it only catches
+  // order-of-magnitude blowups; the ns metrics carry the real gate.
+  envelope.metric("disabled_overhead_pct", overhead_pct, "%",
+                  /*higher_is_better=*/false, /*tolerance_pct=*/300.0);
+  envelope.metric("enabled_span_ns", enabled_ms * per_iter, "ns", false,
+                  75.0);
+  envelope.metric("record_ns", record_ns, "ns", false, 75.0);
+  envelope.extra(strfmt(
+      "{\"iters\":%zu,\"repeats\":%d,\"bare_ms\":%.3f,\"disabled_ms\":%.3f,"
+      "\"enabled_ms\":%.3f,\"recording_ms\":%.3f}",
+      iters, repeats, bare_ms, disabled_ms, enabled_ms, recording_ms));
+  envelope.write(flags.get("out"));
   return overhead_pct < 5.0 ? 0 : 1;
 }

@@ -237,6 +237,8 @@ LoadResult run_served_open(std::shared_ptr<models::Edsr> model,
 
 int run(int argc, char** argv) {
   Flags flags;
+  flags.define("smoke", "shrink the request sequence (CI mode)", "false");
+  flags.define("out", "perf-gate envelope output path", "BENCH_serve.json");
   flags.define("requests", "requests per configuration", "40");
   flags.define("unique", "distinct images in the pool", "12");
   flags.define("repeat-frac", "fraction of requests that repeat an image",
@@ -253,8 +255,9 @@ int run(int argc, char** argv) {
   flags.define("skip-open", "skip the open-loop configuration", "false");
   flags.parse(argc, argv);
 
+  const bool smoke = flags.get_bool("smoke");
   const std::size_t requests =
-      static_cast<std::size_t>(flags.get_int("requests"));
+      smoke ? 24 : static_cast<std::size_t>(flags.get_int("requests"));
   const std::size_t unique =
       static_cast<std::size_t>(flags.get_int("unique"));
   const std::uint64_t seed =
@@ -337,6 +340,18 @@ int run(int argc, char** argv) {
   std::printf("SERVE_LOAD_JSON {\"bench\":\"serve_load\","
               "\"config\":\"summary\",\"speedup\":%.3f}\n",
               speedup);
+
+  std::vector<double> served_lat = served.latencies_ms;
+  bench::ResultEnvelope envelope("serve_load", smoke);
+  envelope.metric("served_vs_serial_speedup", speedup, "x",
+                  /*higher_is_better=*/true, /*tolerance_pct=*/40.0);
+  envelope.metric("served_rps", throughput_rps(served), "req/s", true, 50.0);
+  envelope.metric("served_p95_ms", percentile(served_lat, 0.95), "ms",
+                  /*higher_is_better=*/false, 75.0);
+  envelope.extra(strfmt("{\"serial\":%s,\"served\":%s}",
+                        to_json(serial).c_str(), to_json(served).c_str()));
+  envelope.write(flags.get("out"));
+
   if (throughput_rps(served) <= throughput_rps(serial)) {
     std::printf("FAIL: served throughput did not beat the serial baseline\n");
     return 1;

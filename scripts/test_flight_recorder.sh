@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Crash-dump acceptance test for the flight recorder, run from ctest.
+#
+# Drives `dlsr train` with fault injection (--crash-with segv/abort/throw)
+# and asserts that each fatal path leaves a readable dump carrying the last
+# step markers, while the process still dies with a crash exit status.
+# Usage: test_flight_recorder.sh <path-to-dlsr-binary>
+set -u
+
+DLSR="${1:?usage: test_flight_recorder.sh <dlsr-binary>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+FAILURES=0
+
+check_crash() {
+  local mode="$1" marker="$2"
+  local dump="${WORK}/flight-${mode}.dump"
+  "${DLSR}" train --workers 2 --steps 3 --image-size 32 --warmup 1 \
+    --flight-recorder true --flight-dump "${dump}" \
+    --crash-with "${mode}" >"${WORK}/${mode}.out" 2>&1
+  local status=$?
+  if [ "${status}" -eq 0 ]; then
+    echo "FAIL(${mode}): expected a crash exit, got 0"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if [ ! -s "${dump}" ]; then
+    echo "FAIL(${mode}): no dump at ${dump}"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  # The dump must carry the injected-fault marker and the last train step.
+  if ! grep -q "${marker}" "${dump}"; then
+    echo "FAIL(${mode}): dump lacks \"${marker}\""
+    sed 's/^/  | /' "${dump}"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if ! grep -q "train step 3" "${dump}"; then
+    echo "FAIL(${mode}): dump lacks the last step marker"
+    sed 's/^/  | /' "${dump}"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "ok(${mode}): exit ${status}, dump has fault + step markers"
+}
+
+check_crash segv  "fatal signal 11"
+check_crash abort "fatal signal 6"
+check_crash throw "uncaught exception"
+
+# A healthy run must NOT dump: the recorder is forensics, not logging.
+dump="${WORK}/flight-clean.dump"
+if ! "${DLSR}" train --workers 2 --steps 3 --image-size 32 --warmup 1 \
+    --flight-recorder true --flight-dump "${dump}" \
+    >"${WORK}/clean.out" 2>&1; then
+  echo "FAIL(clean): healthy train run exited nonzero"
+  FAILURES=$((FAILURES + 1))
+elif [ -e "${dump}" ]; then
+  echo "FAIL(clean): healthy run left a dump at ${dump}"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok(clean): healthy run, no dump"
+fi
+
+exit "${FAILURES}"

@@ -11,10 +11,6 @@ namespace dlsr::comm {
 
 namespace {
 
-/// Trace lanes for comm ops sit above any real thread ids so slot lanes
-/// group together under the simulated-time process.
-constexpr std::uint32_t kSlotLaneBase = 1000;
-
 prof::Collective to_prof(Op op) {
   switch (op) {
     case Op::Allreduce:
@@ -118,7 +114,8 @@ bool AsyncCommBackend::start_front(sim::SimTime horizon) {
   profiler_.record(to_prof(rec.desc.op), rec.desc.bytes, done - start);
   if (config_.trace_ops && obs::tracing_enabled()) {
     auto& tracer = obs::Tracer::instance();
-    const auto lane_tid = kSlotLaneBase + static_cast<std::uint32_t>(lane);
+    const auto lane_tid =
+        obs::kCommLaneBase + static_cast<std::int64_t>(lane);
     tracer.complete(
         op_name(rec.desc.op), "comm", start * 1e6, (done - start) * 1e6,
         strfmt("{\"bytes\":%zu,\"buf\":\"%llx\",\"queued_us\":%.1f,"

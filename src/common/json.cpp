@@ -1,0 +1,259 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::json {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    DLSR_CHECK(pos_ == text_.size(),
+               strfmt("JSON: trailing data at offset %zu", pos_));
+    return v;
+  }
+
+ private:
+  char peek() const {
+    DLSR_CHECK(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    DLSR_CHECK(pos_ < text_.size() && text_[pos_] == c,
+               strfmt("JSON: expected '%c' at offset %zu", c, pos_));
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      DLSR_CHECK(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        DLSR_CHECK(pos_ < text_.size(), "JSON: unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            DLSR_CHECK(pos_ + 4 <= text_.size(), "JSON: truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + i];
+              DLSR_CHECK(std::isxdigit(static_cast<unsigned char>(h)),
+                         "JSON: bad \\u escape");
+              cp = cp * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are kept as
+            // their raw halves; exporter output here is ASCII).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            DLSR_FAIL(strfmt("JSON: bad escape '\\%c'", e));
+        }
+      } else {
+        DLSR_CHECK(static_cast<unsigned char>(c) >= 0x20,
+                   "JSON: raw control character in string");
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    const auto digits = [this] {
+      DLSR_CHECK(pos_ < text_.size() &&
+                     std::isdigit(static_cast<unsigned char>(text_[pos_])),
+                 "JSON: malformed number");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits();
+    }
+    return std::strtod(text_.c_str() + start, nullptr);
+  }
+
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      expect(*p);
+    }
+  }
+
+  Value parse_value() {
+    skip_ws();
+    Value v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = Value::Kind::Object;
+      expect('{');
+      skip_ws();
+      if (peek() != '}') {
+        for (;;) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value());
+          skip_ws();
+          if (peek() != ',') {
+            break;
+          }
+          expect(',');
+        }
+      }
+      expect('}');
+    } else if (c == '[') {
+      v.kind = Value::Kind::Array;
+      expect('[');
+      skip_ws();
+      if (peek() != ']') {
+        for (;;) {
+          v.array.push_back(parse_value());
+          skip_ws();
+          if (peek() != ',') {
+            break;
+          }
+          expect(',');
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      v.kind = Value::Kind::String;
+      v.str = parse_string();
+    } else if (c == 't') {
+      parse_literal("true");
+      v.kind = Value::Kind::Bool;
+      v.boolean = true;
+    } else if (c == 'f') {
+      parse_literal("false");
+      v.kind = Value::Kind::Bool;
+    } else if (c == 'n') {
+      parse_literal("null");
+    } else {
+      v.kind = Value::Kind::Number;
+      v.number = parse_number();
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::Object) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+double Value::as_number() const {
+  DLSR_CHECK(kind == Kind::Number, "JSON value is not a number");
+  return number;
+}
+
+const std::string& Value::as_string() const {
+  DLSR_CHECK(kind == Kind::String, "JSON value is not a string");
+  return str;
+}
+
+bool Value::as_bool() const {
+  DLSR_CHECK(kind == Kind::Bool, "JSON value is not a bool");
+  return boolean;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v ? v->as_number() : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             const std::string& fallback) const {
+  const Value* v = find(key);
+  return v ? v->as_string() : fallback;
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v ? v->as_bool() : fallback;
+}
+
+Value parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DLSR_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+}  // namespace dlsr::json

@@ -12,6 +12,7 @@ namespace dlsr {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<LogSink> g_sink{nullptr};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -71,8 +72,18 @@ void log(LogLevel level, const std::string& message) {
   const std::string line =
       strfmt("[%12.6f] [t%02u] [%s] %s\n", seconds_since_start(),
              thread_log_id(), level_name(level), message.c_str());
+  // The sink runs before the mutex is taken: it gets the same preformatted
+  // line, and a sink that blocks (or recursively logs) can never deadlock
+  // against the stderr write lock.
+  if (const LogSink sink = g_sink.load(std::memory_order_acquire)) {
+    sink(level, line.c_str());
+  }
   const std::lock_guard<std::mutex> lock(g_mutex);
   std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void set_log_sink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_release);
 }
 
 }  // namespace dlsr

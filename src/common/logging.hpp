@@ -26,6 +26,16 @@ LogLevel parse_log_level(const std::string& name);
 /// concurrent messages never interleave.
 void log(LogLevel level, const std::string& message);
 
+/// Secondary consumer of formatted log lines (the obs flight recorder).
+/// The sink is invoked outside the stderr write mutex with the already
+/// formatted line (no trailing newline trimming), so a sink that takes its
+/// own locks cannot deadlock against logging and the log mutex is never
+/// held twice. The sink must be callable from any thread.
+using LogSink = void (*)(LogLevel level, const char* line);
+
+/// Installs (or, with nullptr, removes) the process-global log sink.
+void set_log_sink(LogSink sink);
+
 inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }
 inline void log_info(const std::string& m) { log(LogLevel::Info, m); }
 inline void log_warn(const std::string& m) { log(LogLevel::Warn, m); }

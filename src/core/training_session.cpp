@@ -52,6 +52,10 @@ TrainingSession::TrainingSession(
                            config_.scale, config_.lr_patch,
                            config_.seed * 7919 + w);
   }
+  if (config_.stall_timeout_seconds > 0.0) {
+    watchdog_ =
+        std::make_unique<obs::StallWatchdog>(config_.stall_timeout_seconds);
+  }
   // Paper §III-A step 2: broadcast initial parameters.
   group_.broadcast_parameters();
   if (config_.warmup_steps > 0) {
@@ -92,6 +96,14 @@ SessionStats TrainingSession::run_steps(std::size_t steps) {
     }
     const hvd::WorkerStepResult r = group_.train_step(inputs, targets);
     step_ms->observe(ms_since(step_start));
+    // Flight-recorder step marker (no-op unless the recorder is enabled);
+    // the watchdog heartbeat keeps a stalled step from going silent.
+    obs::FlightRecorder::instance().recordf(
+        "step", "train step %zu loss %.4f (%.1f ms)", total_steps_ + 1,
+        r.mean_loss, ms_since(step_start));
+    if (watchdog_) {
+      watchdog_->kick();
+    }
     if (s == 0) {
       stats.first_loss = r.mean_loss;
     }

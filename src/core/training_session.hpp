@@ -20,6 +20,7 @@
 #include "image/patch_sampler.hpp"
 #include "image/synthetic_div2k.hpp"
 #include "nn/lr_scheduler.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace dlsr::core {
 
@@ -38,6 +39,9 @@ struct SessionConfig {
   /// Gradient allreduces allowed in flight on the data-plane comm backend
   /// (arithmetic is order-preserving at any depth).
   std::size_t inflight_buffers = 1;
+  /// Step-stall watchdog: if no step completes for this many seconds the
+  /// flight recorder dumps and an error is logged (0 = no watchdog).
+  double stall_timeout_seconds = 0.0;
   std::uint64_t seed = 1;
 };
 
@@ -85,6 +89,8 @@ class TrainingSession {
   /// bit-identical.
   std::vector<std::unique_ptr<nn::WarmupSchedule>> warmups_;
   MetricsLog metrics_;
+  /// Armed when config.stall_timeout_seconds > 0; kicked once per step.
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
   std::size_t total_steps_ = 0;
 };
 

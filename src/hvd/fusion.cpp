@@ -234,6 +234,16 @@ StepTimeline TensorFusionEngine::simulate_step(
       const comm::OpRecord& rec = backend_.record(h);
       progress.add_window(rec.started_at, wire_done);
       const sim::SimTime done = wire_done + pack_cost;
+      if (pack_cost > 0.0 && obs::tracing_enabled()) {
+        // Mirror the unfuse copy after the wire op on the same slot lane, so
+        // trace analyzers see the full busy window the step timeline uses
+        // (done_at = wire_done + unpack), not just the wire time.
+        obs::Tracer::instance().complete(
+            "unpack", "comm", wire_done * 1e6, pack_cost * 1e6,
+            strfmt("{\"bytes\":%zu,\"tensors\":%zu}", bytes, count),
+            obs::kSimPid,
+            obs::kCommLaneBase + static_cast<std::int64_t>(rec.slot));
+      }
       comm_end = std::max(comm_end, done);
       timeline.messages.push_back({bytes, count, issue, rec.started_at, done});
     }

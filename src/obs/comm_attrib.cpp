@@ -1,0 +1,57 @@
+#include "obs/comm_attrib.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr::obs {
+
+std::vector<CommEvent> extract_comm_events(
+    const std::vector<ParsedEvent>& events) {
+  std::vector<CommEvent> comm;
+  for (const ParsedEvent& e : events) {
+    if (e.phase != 'X' || e.cat != "comm" ||
+        e.pid != static_cast<int>(kSimPid) || e.tid < kCommLaneBase) {
+      continue;
+    }
+    CommEvent c;
+    c.name = e.name;
+    c.ts_us = e.ts_us;
+    c.dur_us = e.dur_us;
+    c.bytes = static_cast<std::size_t>(e.arg("bytes", 0.0));
+    c.slot = static_cast<int>(e.tid - kCommLaneBase);
+    comm.push_back(std::move(c));
+  }
+  std::sort(comm.begin(), comm.end(),
+            [](const CommEvent& a, const CommEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return comm;
+}
+
+prof::Collective collective_from_name(const std::string& name) {
+  if (name == "allreduce") {
+    return prof::Collective::Allreduce;
+  }
+  if (name == "broadcast") {
+    return prof::Collective::Broadcast;
+  }
+  if (name == "allgather") {
+    return prof::Collective::Allgather;
+  }
+  DLSR_FAIL("not a wire collective: \"" + name + "\"");
+}
+
+prof::Hvprof hvprof_from_trace(const std::vector<CommEvent>& comm) {
+  prof::Hvprof profile;
+  for (const CommEvent& c : comm) {
+    if (!c.is_wire_op()) {
+      continue;
+    }
+    profile.record(collective_from_name(c.name), c.bytes, c.dur_us * 1e-6);
+  }
+  return profile;
+}
+
+}  // namespace dlsr::obs

@@ -1,0 +1,48 @@
+// Communication attribution from trace files.
+//
+// The dlsr::comm layer traces every executed collective as a complete event
+// on a simulated-time slot lane (pid kSimPid, tid kCommLaneBase + slot) with
+// {"bytes":...} args, and the fusion engine mirrors the post-wire unpack
+// copy onto the same lane. This module reads those lanes back out of a
+// parsed trace and rebuilds the hvprof view offline: per-collective
+// message-size buckets identical to the live prof::Hvprof the backend kept
+// during the run (the wire ops feed both, so bucket counts match exactly
+// and times match to the exporter's microsecond rounding).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace_summary.hpp"
+#include "prof/hvprof.hpp"
+
+namespace dlsr::obs {
+
+/// One simulated comm-lane event read back from a trace.
+struct CommEvent {
+  std::string name;   ///< "allreduce" / "broadcast" / "allgather" / "unpack"
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::size_t bytes = 0;
+  int slot = 0;       ///< tid - kCommLaneBase
+
+  double end_us() const { return ts_us + dur_us; }
+  /// Wire collectives feed hvprof buckets; unpack copies do not (the live
+  /// profiler records wire time only).
+  bool is_wire_op() const { return name != "unpack"; }
+};
+
+/// Extracts the simulated comm-lane events (pid kSimPid, cat "comm",
+/// tid >= kCommLaneBase) in timestamp order.
+std::vector<CommEvent> extract_comm_events(
+    const std::vector<ParsedEvent>& events);
+
+/// Rebuilds the run's hvprof profile from the traced wire ops.
+prof::Hvprof hvprof_from_trace(const std::vector<CommEvent>& comm);
+
+/// Maps a traced op name back to its collective; throws on "unpack" or
+/// unknown names.
+prof::Collective collective_from_name(const std::string& name);
+
+}  // namespace dlsr::obs

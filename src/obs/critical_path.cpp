@@ -1,0 +1,339 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+/// Export rounding slack: trace timestamps carry %.3f microseconds.
+constexpr double kEpsUs = 0.5;
+
+using Interval = std::pair<double, double>;
+
+/// Sorted disjoint union of a set of [start, end) intervals.
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    if (iv.second <= iv.first) {
+      continue;
+    }
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+double total_covered(const std::vector<Interval>& merged) {
+  double total = 0.0;
+  for (const Interval& iv : merged) {
+    total += iv.second - iv.first;
+  }
+  return total;
+}
+
+/// Covered time of `a` not covered by `b`; both must be merged/disjoint.
+double subtract_covered(const std::vector<Interval>& a,
+                        const std::vector<Interval>& b) {
+  double total = 0.0;
+  std::size_t j = 0;
+  for (const Interval& iv : a) {
+    double cursor = iv.first;
+    while (j < b.size() && b[j].second <= cursor) {
+      ++j;
+    }
+    std::size_t k = j;
+    while (k < b.size() && b[k].first < iv.second) {
+      if (b[k].first > cursor) {
+        total += b[k].first - cursor;
+      }
+      cursor = std::max(cursor, b[k].second);
+      if (cursor >= iv.second) {
+        break;
+      }
+      ++k;
+    }
+    if (cursor < iv.second) {
+      total += iv.second - cursor;
+    }
+  }
+  return total;
+}
+
+std::vector<Interval> clip(const std::vector<Interval>& merged, double lo,
+                           double hi) {
+  std::vector<Interval> out;
+  for (const Interval& iv : merged) {
+    const double s = std::max(iv.first, lo);
+    const double e = std::min(iv.second, hi);
+    if (e > s) {
+      out.emplace_back(s, e);
+    }
+  }
+  return out;
+}
+
+struct StepBuild {
+  StepAttribution attr;
+  std::vector<Interval> compute;
+  std::vector<Interval> data;
+  std::vector<Interval> comm;
+  std::vector<CommEvent> wire_ops;  ///< bounding-op candidates
+  bool has_forward = false;
+};
+
+}  // namespace
+
+AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
+  // Pass 1: per-step compute spans from the simulated-time process.
+  std::map<std::size_t, StepBuild> by_step;
+  for (const ParsedEvent& e : events) {
+    if (e.phase != 'X' || e.pid != static_cast<int>(kSimPid) ||
+        e.tid >= kCommLaneBase || e.cat != "sim") {
+      continue;
+    }
+    const double step_arg = e.arg("step", -1.0);
+    if (step_arg < 0.0) {
+      continue;  // not a per-step span
+    }
+    StepBuild& sb = by_step[static_cast<std::size_t>(step_arg)];
+    StepAttribution& a = sb.attr;
+    a.step = static_cast<std::size_t>(step_arg);
+    if (e.name == "forward") {
+      DLSR_CHECK(!sb.has_forward,
+                 strfmt("step %zu appears twice — the trace holds more than "
+                        "one run; re-run with a single backend and node "
+                        "count",
+                        a.step));
+      sb.has_forward = true;
+      a.forward_us += e.dur_us;
+      sb.compute.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+    } else if (e.name == "backward") {
+      a.backward_us += e.dur_us;
+      sb.compute.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+    } else if (e.name == "optimizer") {
+      a.optimizer_us += e.dur_us;
+      sb.compute.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+    } else if (e.name == "data") {
+      a.data_us += e.dur_us;
+      sb.data.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+    } else {
+      continue;
+    }
+    const double end = e.ts_us + e.dur_us;
+    if (sb.compute.size() + sb.data.size() == 1) {
+      a.start_us = e.ts_us;
+      a.end_us = end;
+    } else {
+      a.start_us = std::min(a.start_us, e.ts_us);
+      a.end_us = std::max(a.end_us, end);
+    }
+  }
+  DLSR_CHECK(!by_step.empty(),
+             "trace has no per-step sim spans (forward/backward/optimizer "
+             "with a step arg) — was it produced with --trace-out on "
+             "simulate or train?");
+
+  std::vector<StepBuild> steps;
+  steps.reserve(by_step.size());
+  for (auto& [step, sb] : by_step) {
+    steps.push_back(std::move(sb));
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const StepBuild& a, const StepBuild& b) {
+              return a.attr.start_us < b.attr.start_us;
+            });
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    DLSR_CHECK(
+        steps[i].attr.start_us >= steps[i - 1].attr.end_us - kEpsUs,
+        strfmt("step windows %zu and %zu overlap — the trace holds more "
+               "than one run; re-run with a single backend and node count",
+               steps[i - 1].attr.step, steps[i].attr.step));
+  }
+
+  // Pass 2: comm-lane events, assigned to the step whose window opened
+  // last before the op started; earlier ops (the initial parameter
+  // broadcast) are setup.
+  AnalysisReport report;
+  const std::vector<CommEvent> comm = extract_comm_events(events);
+  std::vector<Interval> setup;
+  for (const CommEvent& c : comm) {
+    if (c.ts_us < steps.front().attr.start_us - kEpsUs) {
+      setup.emplace_back(c.ts_us, c.end_us());
+      continue;
+    }
+    // Last step with start <= ts (+ rounding slack).
+    std::size_t idx = steps.size() - 1;
+    for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+      if (steps[i + 1].attr.start_us > c.ts_us + kEpsUs) {
+        idx = i;
+        break;
+      }
+    }
+    StepBuild& sb = steps[idx];
+    sb.comm.emplace_back(c.ts_us, c.end_us());
+    if (c.is_wire_op()) {
+      sb.wire_ops.push_back(c);
+    }
+  }
+  report.setup_comm_us = total_covered(merge_intervals(std::move(setup)));
+  report.comm_profile = hvprof_from_trace(comm);
+
+  // Pass 3: per-step interval arithmetic.
+  for (StepBuild& sb : steps) {
+    StepAttribution& a = sb.attr;
+    const auto compute = merge_intervals(sb.compute);
+    const auto comm_busy = merge_intervals(sb.comm);
+    a.comm_busy_us = total_covered(comm_busy);
+    a.exposed_comm_us = subtract_covered(comm_busy, compute);
+    a.overlapped_comm_us = a.comm_busy_us - a.exposed_comm_us;
+    // Stall: step-window time covered by neither compute, data, nor comm.
+    std::vector<Interval> all = sb.compute;
+    all.insert(all.end(), sb.data.begin(), sb.data.end());
+    all.insert(all.end(), sb.comm.begin(), sb.comm.end());
+    const double covered = total_covered(
+        clip(merge_intervals(std::move(all)), a.start_us, a.end_us));
+    a.stall_us = std::max(0.0, a.duration_us() - covered);
+
+    // Critical path: the step is comm-bound when a collective (or its
+    // unpack copy) outlived backward, serializing ahead of the optimizer.
+    // Forward and backward are contiguous from the step start.
+    const double backward_end = a.start_us + a.forward_us + a.backward_us;
+    double comm_end = a.start_us;
+    for (const Interval& iv : sb.comm) {
+      comm_end = std::max(comm_end, iv.second);
+    }
+    a.comm_bound = comm_end > backward_end + kEpsUs &&
+                   a.exposed_comm_us > kEpsUs;
+    // Bounding op: the latest-ending wire op that actually contributed
+    // exposed time. Fully-overlapped ops (e.g. the 8-byte metric
+    // allreduces inside the optimizer span) never gate the step.
+    const CommEvent* bounding = nullptr;
+    for (const CommEvent& c : sb.wire_ops) {
+      if (bounding && c.end_us() <= bounding->end_us()) {
+        continue;
+      }
+      const std::vector<Interval> op{{c.ts_us, c.end_us()}};
+      if (subtract_covered(op, compute) > kEpsUs) {
+        bounding = &c;
+      }
+    }
+    if (bounding) {
+      a.bounding_op = strfmt(
+          "%s %s", bounding->name.c_str(),
+          prof::Hvprof::bucket_labels()[prof::Hvprof::bucket_index(
+              bounding->bytes)]);
+    }
+    report.steps.push_back(a);
+  }
+  return report;
+}
+
+double AnalysisReport::total_exposed_comm_us() const {
+  double total = 0.0;
+  for (const StepAttribution& s : steps) {
+    total += s.exposed_comm_us;
+  }
+  return total;
+}
+
+double AnalysisReport::total_step_us() const {
+  double total = 0.0;
+  for (const StepAttribution& s : steps) {
+    total += s.duration_us();
+  }
+  return total;
+}
+
+Table AnalysisReport::attribution_table() const {
+  double fwd = 0.0, bwd = 0.0, opt = 0.0, data = 0.0, exposed = 0.0,
+         overlapped = 0.0, stall = 0.0;
+  for (const StepAttribution& s : steps) {
+    fwd += s.forward_us;
+    bwd += s.backward_us;
+    opt += s.optimizer_us;
+    data += s.data_us;
+    exposed += s.exposed_comm_us;
+    overlapped += s.overlapped_comm_us;
+    stall += s.stall_us;
+  }
+  const double total = total_step_us();
+  const auto share = [&](double us) {
+    return total > 0.0 ? strfmt("%.1f", us / total * 100.0)
+                       : std::string("-");
+  };
+  Table t({"class", "time ms", "share %"});
+  t.add_row({"forward", strfmt("%.3f", fwd / 1e3), share(fwd)});
+  t.add_row({"backward", strfmt("%.3f", bwd / 1e3), share(bwd)});
+  t.add_row({"optimizer", strfmt("%.3f", opt / 1e3), share(opt)});
+  t.add_row({"data", strfmt("%.3f", data / 1e3), share(data)});
+  t.add_row({"exposed comm", strfmt("%.3f", exposed / 1e3), share(exposed)});
+  t.add_row({"stall", strfmt("%.3f", stall / 1e3), share(stall)});
+  // Overlapped comm is hidden under the compute rows above, so it has no
+  // additive share of step time.
+  t.add_row({"overlapped comm", strfmt("%.3f", overlapped / 1e3), "-"});
+  t.add_row({"setup comm", strfmt("%.3f", setup_comm_us / 1e3), "-"});
+  t.add_row({"total steps", strfmt("%.3f", total / 1e3), "100.0"});
+  return t;
+}
+
+Table AnalysisReport::step_table() const {
+  Table t({"step", "total ms", "fwd ms", "bwd ms", "opt ms", "exposed ms",
+           "overlap ms", "stall ms", "bound by", "bounding op"});
+  for (const StepAttribution& s : steps) {
+    t.add_row({strfmt("%zu", s.step), strfmt("%.3f", s.duration_us() / 1e3),
+               strfmt("%.3f", s.forward_us / 1e3),
+               strfmt("%.3f", s.backward_us / 1e3),
+               strfmt("%.3f", s.optimizer_us / 1e3),
+               strfmt("%.3f", s.exposed_comm_us / 1e3),
+               strfmt("%.3f", s.overlapped_comm_us / 1e3),
+               strfmt("%.3f", s.stall_us / 1e3),
+               s.comm_bound ? "comm" : "compute", s.bounding_op});
+  }
+  return t;
+}
+
+std::string AnalysisReport::to_json() const {
+  std::string out = "{\"schema\":\"dlsr-analysis-v1\",\"steps\":[";
+  bool first = true;
+  double fwd = 0.0, bwd = 0.0, opt = 0.0, data = 0.0, exposed = 0.0,
+         overlapped = 0.0, stall = 0.0;
+  for (const StepAttribution& s : steps) {
+    fwd += s.forward_us;
+    bwd += s.backward_us;
+    opt += s.optimizer_us;
+    data += s.data_us;
+    exposed += s.exposed_comm_us;
+    overlapped += s.overlapped_comm_us;
+    stall += s.stall_us;
+    out += strfmt(
+        "%s{\"step\":%zu,\"start_us\":%.3f,\"end_us\":%.3f,"
+        "\"forward_us\":%.3f,\"backward_us\":%.3f,\"optimizer_us\":%.3f,"
+        "\"data_us\":%.3f,\"comm_busy_us\":%.3f,\"exposed_comm_us\":%.3f,"
+        "\"overlapped_comm_us\":%.3f,\"stall_us\":%.3f,"
+        "\"bound_by\":\"%s\",\"bounding_op\":\"%s\"}",
+        first ? "" : ",", s.step, s.start_us, s.end_us, s.forward_us,
+        s.backward_us, s.optimizer_us, s.data_us, s.comm_busy_us,
+        s.exposed_comm_us, s.overlapped_comm_us, s.stall_us,
+        s.comm_bound ? "comm" : "compute", s.bounding_op.c_str());
+    first = false;
+  }
+  out += strfmt(
+      "],\"totals\":{\"steps\":%zu,\"step_us\":%.3f,\"forward_us\":%.3f,"
+      "\"backward_us\":%.3f,\"optimizer_us\":%.3f,\"data_us\":%.3f,"
+      "\"exposed_comm_us\":%.3f,\"overlapped_comm_us\":%.3f,"
+      "\"stall_us\":%.3f,\"setup_comm_us\":%.3f},\"comm_profile\":%s}",
+      steps.size(), total_step_us(), fwd, bwd, opt, data, exposed,
+      overlapped, stall, setup_comm_us, comm_profile.to_json().c_str());
+  return out;
+}
+
+}  // namespace dlsr::obs

@@ -1,0 +1,84 @@
+// Critical-path analyzer: per-step time attribution from a trace file.
+//
+// Consumes the parsed events of one simulated run (the "sim" compute spans
+// forward/backward/optimizer emitted per step by core::DistributedTrainer
+// plus the per-slot comm lanes from dlsr::comm) and answers the paper's
+// profiling questions offline:
+//   - where did each step's time go: compute, exposed communication
+//     (comm busy time not covered by any compute span — the serialized
+//     cost the paper's MPI-Opt tuning attacks), overlapped communication
+//     (hidden under compute), data, and unexplained stall;
+//   - which chain bounds each step (compute- or comm-bound, and which
+//     collective/message-size bucket gated the optimizer);
+//   - the hvprof message-size buckets, rebuilt from the trace.
+//
+// Exposed comm is computed as union(comm) \ union(compute) per step, which
+// reproduces hvd::StepTimeline::exposed_comm() exactly for traces that
+// include the fusion engine's unpack spans: gradient comm during backward
+// is subtracted as overlapped, and the post-step metric allreduces sit
+// inside the optimizer span.
+//
+// Backed by `dlsr analyze <trace.json> [--json out]`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/comm_attrib.hpp"
+#include "obs/trace_summary.hpp"
+
+namespace dlsr::obs {
+
+/// Where one training step's wall (simulated) time went. All figures in
+/// trace microseconds.
+struct StepAttribution {
+  std::size_t step = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  double forward_us = 0.0;
+  double backward_us = 0.0;
+  double optimizer_us = 0.0;
+  double data_us = 0.0;            ///< sim-lane data spans (0 for the simulator)
+  double comm_busy_us = 0.0;       ///< union of comm intervals in the step
+  double exposed_comm_us = 0.0;    ///< comm not covered by compute
+  double overlapped_comm_us = 0.0; ///< comm hidden under compute
+  double stall_us = 0.0;           ///< step span covered by nothing
+  bool comm_bound = false;         ///< did comm outlive backward?
+  std::string bounding_op;         ///< e.g. "allreduce 32 MB - 64 MB"
+
+  double duration_us() const { return end_us - start_us; }
+  double compute_us() const {
+    return forward_us + backward_us + optimizer_us;
+  }
+};
+
+/// Whole-trace analysis result.
+struct AnalysisReport {
+  std::vector<StepAttribution> steps;
+  /// Comm busy time before the first step (initial parameter broadcast).
+  double setup_comm_us = 0.0;
+  /// hvprof buckets rebuilt from the traced wire ops.
+  prof::Hvprof comm_profile;
+
+  double total_exposed_comm_us() const;
+  double total_step_us() const;
+
+  /// Totals table: one row per attribution class with time and share.
+  Table attribution_table() const;
+  /// One row per step: phase durations, exposed/overlapped comm, stall,
+  /// and the bounding chain.
+  Table step_table() const;
+  /// Machine-readable dump ("dlsr-analysis-v1"): steps, totals, and the
+  /// embedded hvprof profile.
+  std::string to_json() const;
+};
+
+/// Analyzes one simulated run. Throws dlsr::Error when the trace has no
+/// per-step sim spans or contains overlapping step windows (e.g. several
+/// `dlsr simulate` configurations traced into one file — re-run with a
+/// single backend and node count).
+AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events);
+
+}  // namespace dlsr::obs

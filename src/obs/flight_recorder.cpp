@@ -1,0 +1,330 @@
+#include "obs/flight_recorder.hpp"
+
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+/// Small stable per-thread id for dump readability (independent of the
+/// logging counter so the recorder works before any log line).
+std::uint32_t recorder_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void copy_truncated(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  for (; src && src[i] && i + 1 < cap; ++i) {
+    dst[i] = src[i];
+  }
+  dst[i] = '\0';
+}
+
+// --- signal-safe text rendering (no stdio, no allocation) ---------------
+
+void append_str(char* buf, std::size_t cap, std::size_t& len,
+                const char* s) {
+  for (std::size_t i = 0; s[i] && len + 1 < cap; ++i) {
+    buf[len++] = s[i];
+  }
+  buf[len] = '\0';
+}
+
+void append_u64(char* buf, std::size_t cap, std::size_t& len,
+                std::uint64_t v, int min_digits = 1) {
+  char digits[20];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n < min_digits) {
+    digits[n++] = '0';
+  }
+  while (n > 0 && len + 1 < cap) {
+    buf[len++] = digits[--n];
+  }
+  buf[len] = '\0';
+}
+
+/// Microseconds rendered as "SSSS.UUUUUU" seconds.
+void append_ts(char* buf, std::size_t cap, std::size_t& len,
+               std::uint64_t us) {
+  append_u64(buf, cap, len, us / 1000000);
+  append_str(buf, cap, len, ".");
+  append_u64(buf, cap, len, us % 1000000, 6);
+}
+
+bool g_handlers_installed = false;
+std::atomic<bool> g_dump_in_flight{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+void terminate_with_dump() {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.record("fatal", "uncaught exception (std::terminate)");
+  if (!g_dump_in_flight.exchange(true)) {
+    fr.dump();
+    const char msg[] = "dlsr: flight recorder dumped on terminate\n";
+    (void)!write(STDERR_FILENO, msg, sizeof(msg) - 1);
+  }
+  if (g_prev_terminate) {
+    g_prev_terminate();
+  }
+  std::abort();
+}
+
+}  // namespace
+
+/// Fatal-signal handler: record, dump once, re-raise with the default
+/// disposition (SA_RESETHAND already restored it) so the exit status still
+/// reflects the crash.
+void flight_recorder_signal_dump(int sig) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  char line[64];
+  std::size_t len = 0;
+  append_str(line, sizeof(line), len, "fatal signal ");
+  append_u64(line, sizeof(line), len, static_cast<std::uint64_t>(sig));
+  fr.record("fatal", line);
+  if (!g_dump_in_flight.exchange(true)) {
+    fr.dump(fr.dump_path_c_);
+    char msg[192];
+    len = 0;
+    append_str(msg, sizeof(msg), len, "dlsr: flight recorder dumped to ");
+    append_str(msg, sizeof(msg), len, fr.dump_path_c_);
+    append_str(msg, sizeof(msg), len, "\n");
+    (void)!write(STDERR_FILENO, msg, len);
+  }
+  raise(sig);
+}
+
+namespace {
+
+void log_sink_to_recorder(LogLevel level, const char* line) {
+  if (static_cast<int>(level) < static_cast<int>(LogLevel::Warn)) {
+    return;
+  }
+  FlightRecorder::instance().record(
+      level == LogLevel::Error ? "error" : "warn", line);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::enable(const Config& config) {
+  DLSR_CHECK(config.capacity >= 2, "flight recorder needs >= 2 entries");
+  DLSR_CHECK(!config.dump_path.empty(), "flight recorder needs a dump path");
+  enabled_.store(false, std::memory_order_release);
+  std::size_t cap = 2;
+  while (cap < config.capacity) {
+    cap *= 2;
+  }
+  ring_ = std::vector<Entry>(cap);
+  mask_ = cap - 1;
+  next_seq_.store(0, std::memory_order_relaxed);
+  dump_path_ = config.dump_path;
+  copy_truncated(dump_path_c_, sizeof(dump_path_c_), dump_path_.c_str());
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+
+  if (config.capture_log) {
+    set_log_sink(&log_sink_to_recorder);
+  }
+  if (config.install_crash_handlers && !g_handlers_installed) {
+    g_handlers_installed = true;
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = &flight_recorder_signal_dump;
+    // One shot: the handler dumps, then raise(sig) hits the restored
+    // default disposition and kills the process with the right status.
+    action.sa_flags = SA_RESETHAND | SA_NODEFER;
+    sigemptyset(&action.sa_mask);
+    for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+      sigaction(sig, &action, nullptr);
+    }
+    g_prev_terminate = std::set_terminate(&terminate_with_dump);
+  }
+}
+
+void FlightRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+  set_log_sink(nullptr);
+}
+
+void FlightRecorder::record(const char* kind, const char* text) {
+  if (!enabled()) {
+    return;
+  }
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Entry& e = ring_[seq & mask_];
+  // Invalidate while the fields are in flux; a concurrent dump skips
+  // entries whose seq does not match the expected value.
+  e.seq.store(0, std::memory_order_release);
+  e.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  e.tid = recorder_thread_id();
+  copy_truncated(e.kind, sizeof(e.kind), kind);
+  copy_truncated(e.text, sizeof(e.text), text);
+  e.seq.store(seq, std::memory_order_release);
+}
+
+void FlightRecorder::recordf(const char* kind, const char* fmt, ...) {
+  if (!enabled()) {
+    return;
+  }
+  char buf[sizeof(Entry::text)];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  record(kind, buf);
+}
+
+void FlightRecorder::dump_to_fd(int fd) const {
+  char buf[512];
+  std::size_t len = 0;
+  const std::uint64_t last = next_seq_.load(std::memory_order_acquire);
+  append_str(buf, sizeof(buf), len, "# dlsr flight recorder dump: ");
+  append_u64(buf, sizeof(buf), len, last);
+  append_str(buf, sizeof(buf), len,
+             " events recorded, newest last, ts in seconds since enable\n");
+  (void)!write(fd, buf, len);
+  if (ring_.empty() || last == 0) {
+    return;
+  }
+  const std::uint64_t window = ring_.size();
+  const std::uint64_t first = last > window ? last - window + 1 : 1;
+  for (std::uint64_t seq = first; seq <= last; ++seq) {
+    const Entry& e = ring_[seq & mask_];
+    if (e.seq.load(std::memory_order_acquire) != seq) {
+      continue;  // overwritten or mid-write
+    }
+    len = 0;
+    append_str(buf, sizeof(buf), len, "[");
+    append_ts(buf, sizeof(buf), len, e.ts_us);
+    append_str(buf, sizeof(buf), len, "] [t");
+    append_u64(buf, sizeof(buf), len, e.tid, 2);
+    append_str(buf, sizeof(buf), len, "] [");
+    append_str(buf, sizeof(buf), len, e.kind);
+    append_str(buf, sizeof(buf), len, "] ");
+    append_str(buf, sizeof(buf), len, e.text);
+    // Routed log lines already end in '\n'; keep one newline either way.
+    if (len == 0 || buf[len - 1] != '\n') {
+      append_str(buf, sizeof(buf), len, "\n");
+    }
+    (void)!write(fd, buf, len);
+  }
+}
+
+bool FlightRecorder::dump(const char* path) const {
+  const int fd = open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  dump_to_fd(fd);
+  close(fd);
+  return true;
+}
+
+bool FlightRecorder::dump() const { return dump(dump_path_c_); }
+
+std::string FlightRecorder::dump_to_string() const {
+  char path[] = "/tmp/dlsr-flight-XXXXXX";
+  const int fd = mkstemp(path);
+  DLSR_CHECK(fd >= 0, "cannot create temp file for flight dump");
+  dump_to_fd(fd);
+  lseek(fd, 0, SEEK_SET);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  unlink(path);
+  return out;
+}
+
+StallWatchdog::StallWatchdog(double timeout_seconds,
+                             std::function<void()> on_stall)
+    : timeout_(timeout_seconds), on_stall_(std::move(on_stall)) {
+  DLSR_CHECK(timeout_seconds > 0.0, "watchdog timeout must be positive");
+  last_kick_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+StallWatchdog::~StallWatchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void StallWatchdog::kick() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    last_kick_ = std::chrono::steady_clock::now();
+    stalled_ = false;
+  }
+  cv_.notify_all();
+}
+
+void StallWatchdog::run() {
+  const auto period =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          timeout_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_) {
+      return;
+    }
+    if (stalled_) {
+      // Episode already reported; wait for the next kick to re-arm.
+      cv_.wait(lock, [this] { return stop_ || !stalled_; });
+      continue;
+    }
+    const auto kick_snapshot = last_kick_;
+    if (cv_.wait_until(lock, kick_snapshot + period, [&] {
+          return stop_ || last_kick_ != kick_snapshot;
+        })) {
+      continue;  // kicked (new deadline) or stopping
+    }
+    stalled_ = true;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    auto& fr = FlightRecorder::instance();
+    fr.recordf("stall", "watchdog: no step heartbeat for %.1f s",
+               timeout_.count());
+    const bool dumped = fr.enabled() && fr.dump();
+    log_error(strfmt(
+        "step stalled for %.1f s%s", timeout_.count(),
+        dumped ? (" — flight recorder dumped to " + fr.dump_path()).c_str()
+               : ""));
+    if (on_stall_) {
+      on_stall_();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace dlsr::obs

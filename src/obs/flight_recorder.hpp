@@ -1,0 +1,138 @@
+// Flight recorder: always-on crash/hang forensics for long runs.
+//
+// A preallocated lock-free ring of fixed-size entries (step markers, span
+// summaries, warn/error log lines) that costs one atomic fetch_add plus a
+// few bounded string copies per record — cheap enough to leave on for every
+// training step. On a fatal signal (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+// SIGILL), an uncaught exception, or a step-stall watchdog timeout, the
+// last `capacity` entries are written to a dump file so the tail of the run
+// is diagnosable post-mortem, in the spirit of always-on production
+// profilers (Google-Wide Profiling; see PAPERS.md).
+//
+// Signal-safety: record() and dump_to_fd() touch only preallocated memory,
+// atomics, and write(2)-style calls — no malloc, no locks, no stdio — so
+// the crash handlers can run them from any context. The handlers re-raise
+// with the default disposition after dumping, preserving the process's
+// crash exit status.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dlsr::obs {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Ring entries kept (rounded up to a power of two).
+    std::size_t capacity = 1024;
+    /// Dump file written by the crash handlers / watchdog.
+    std::string dump_path = "dlsr-flight.dump";
+    /// Install fatal-signal + std::terminate handlers on enable().
+    bool install_crash_handlers = true;
+    /// Mirror warn/error log lines into the ring via the logging sink.
+    bool capture_log = true;
+  };
+
+  /// One ring entry, fixed-size so recording never allocates.
+  struct Entry {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = empty / being written
+    std::uint64_t ts_us = 0;            ///< microseconds since enable()
+    std::uint32_t tid = 0;              ///< small per-thread id
+    char kind[8] = {};                  ///< "step", "span", "log", ...
+    char text[192] = {};                ///< truncated payload
+  };
+
+  static FlightRecorder& instance();
+
+  /// Allocates the ring, arms the handlers, and starts recording.
+  void enable(const Config& config);
+  void enable() { enable(Config{}); }
+  /// Stops recording and detaches the log sink (ring stays dumpable).
+  void disable();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one entry; async-signal-safe, no-op when disabled. Both
+  /// strings are truncated to the entry's fixed fields.
+  void record(const char* kind, const char* text);
+
+  /// printf-style convenience (formats into a stack buffer, then records;
+  /// not signal-safe because of vsnprintf).
+  void recordf(const char* kind, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// Writes the ring oldest-first to an open fd. Async-signal-safe.
+  void dump_to_fd(int fd) const;
+  /// open(2) + dump_to_fd + close. Async-signal-safe. Returns false when
+  /// the file cannot be opened.
+  bool dump(const char* path) const;
+  /// Dumps to the configured dump_path.
+  bool dump() const;
+  /// The dump rendered into a string (tests / interactive inspection).
+  std::string dump_to_string() const;
+
+  std::uint64_t recorded_count() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  const std::string& dump_path() const { return dump_path_; }
+
+ private:
+  FlightRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::vector<Entry> ring_;
+  std::size_t mask_ = 0;
+  std::string dump_path_;
+  char dump_path_c_[256] = {};  ///< signal-handler copy of dump_path
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  friend void flight_recorder_signal_dump(int sig);
+};
+
+/// Step-stall watchdog: a background thread that dumps the flight recorder
+/// (and logs an error) when kick() has not been called for
+/// `timeout_seconds`. One dump per stall episode; a later kick() re-arms.
+class StallWatchdog {
+ public:
+  /// `on_stall` (optional) runs after the dump, still on the watchdog
+  /// thread — tests use it to observe the trigger.
+  StallWatchdog(double timeout_seconds, std::function<void()> on_stall = {});
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Heartbeat: the monitored loop calls this once per step/batch.
+  void kick();
+  std::size_t stall_count() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  const std::chrono::duration<double> timeout_;
+  std::function<void()> on_stall_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::chrono::steady_clock::time_point last_kick_;
+  bool stop_ = false;
+  bool stalled_ = false;  ///< current episode already reported
+  std::atomic<std::size_t> stalls_{0};
+  std::thread thread_;
+};
+
+}  // namespace dlsr::obs

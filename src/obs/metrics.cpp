@@ -30,6 +30,16 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.min = stats_.min();
     snap.max = stats_.max();
   }
+  for (const double v : samples) {
+    std::size_t b = kHistogramBucketBounds.size();  // overflow
+    for (std::size_t i = 0; i < kHistogramBucketBounds.size(); ++i) {
+      if (v <= kHistogramBucketBounds[i]) {
+        b = i;
+        break;
+      }
+    }
+    ++snap.buckets[b];
+  }
   snap.p50 = percentile(samples, 0.50);
   snap.p95 = percentile(samples, 0.95);
   snap.p99 = percentile(std::move(samples), 0.99);
@@ -142,8 +152,17 @@ std::string MetricsRegistry::to_json() const {
     const HistogramSnapshot s = h->snapshot();
     os << (first ? "" : ",") << json_string(name)
        << strfmt(":{\"count\":%zu,\"mean\":%.6g,\"min\":%.6g,\"max\":%.6g,"
-                 "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}",
+                 "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g,\"buckets\":[",
                  s.count, s.mean, s.min, s.max, s.p50, s.p95, s.p99);
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i < kHistogramBucketBounds.size()) {
+        os << strfmt("%s{\"le\":%g,\"count\":%zu}", i ? "," : "",
+                     kHistogramBucketBounds[i], s.buckets[i]);
+      } else {
+        os << strfmt(",{\"le\":null,\"count\":%zu}", s.buckets[i]);
+      }
+    }
+    os << "]}";
     first = false;
   }
   os << "}}";

@@ -19,6 +19,7 @@
 // histogram() get-or-create shared process-wide instruments.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -53,6 +54,14 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Fixed log-spaced export-bucket upper bounds (inclusive, "le" semantics).
+/// Samples above the last bound land in an overflow bucket, so a snapshot
+/// can be re-aggregated offline without the raw sample vector. One shared
+/// ladder covers every unit the registry holds (ms, counts, ratios).
+inline constexpr std::array<double, 12> kHistogramBucketBounds = {
+    0.001, 0.01, 0.1, 0.5, 1.0,   5.0,
+    10.0,  50.0, 100.0, 500.0, 1000.0, 10000.0};
+
 struct HistogramSnapshot {
   std::size_t count = 0;
   double mean = 0.0;
@@ -61,6 +70,9 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  /// Per-bucket (non-cumulative) sample counts; index i counts samples in
+  /// (bounds[i-1], bounds[i]], with one trailing overflow bucket.
+  std::array<std::size_t, kHistogramBucketBounds.size() + 1> buckets{};
 };
 
 class Histogram {
@@ -91,7 +103,9 @@ class MetricsRegistry {
   std::shared_ptr<Histogram> make_histogram(const std::string& name);
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,
-  /// max,p50,p95,p99}}} — stable (sorted) key order.
+  /// max,p50,p95,p99,buckets:[{"le":bound|null,"count":n},...]}}} — stable
+  /// (sorted) key order; bucket list covers kHistogramBucketBounds plus the
+  /// overflow bucket ("le":null).
   std::string to_json() const;
 
   /// Prometheus text exposition: counters and gauges as-is, histograms as

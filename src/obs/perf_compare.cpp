@@ -1,0 +1,174 @@
+#include "obs/perf_compare.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+struct Metric {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+  bool higher_is_better = true;
+  double tolerance_pct = 0.0;
+};
+
+std::vector<Metric> read_envelope(const json::Value& doc, std::string* bench) {
+  DLSR_CHECK(doc.is_object() &&
+                 doc.string_or("schema", "") == "dlsr-bench-v1",
+             "not a dlsr-bench-v1 envelope (missing or wrong \"schema\")");
+  *bench = doc.string_or("bench", "");
+  DLSR_CHECK(!bench->empty(), "envelope has no \"bench\" name");
+  const json::Value* metrics = doc.find("metrics");
+  DLSR_CHECK(metrics && metrics->is_array(),
+             "envelope has no \"metrics\" array");
+  std::vector<Metric> out;
+  for (const json::Value& m : metrics->array) {
+    DLSR_CHECK(m.is_object(), "metric entry is not an object");
+    Metric metric;
+    metric.name = m.string_or("name", "");
+    DLSR_CHECK(!metric.name.empty(), "metric entry has no \"name\"");
+    const json::Value* value = m.find("value");
+    DLSR_CHECK(value && value->is_number(),
+               "metric \"" + metric.name + "\" has no numeric \"value\"");
+    metric.value = value->as_number();
+    metric.unit = m.string_or("unit", "");
+    metric.higher_is_better = m.bool_or("higher_is_better", true);
+    metric.tolerance_pct = m.number_or("tolerance_pct", 0.0);
+    DLSR_CHECK(metric.tolerance_pct >= 0.0,
+               "metric \"" + metric.name + "\" has negative tolerance");
+    out.push_back(std::move(metric));
+  }
+  return out;
+}
+
+const Metric* find_metric(const std::vector<Metric>& metrics,
+                          const std::string& name) {
+  for (const Metric& m : metrics) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CompareResult perf_compare(const json::Value& current,
+                           const json::Value& baseline) {
+  CompareResult result;
+  std::string current_bench;
+  const std::vector<Metric> cur = read_envelope(current, &current_bench);
+  const std::vector<Metric> base = read_envelope(baseline, &result.bench);
+  DLSR_CHECK(current_bench == result.bench,
+             strfmt("bench mismatch: current is \"%s\", baseline is \"%s\"",
+                    current_bench.c_str(), result.bench.c_str()));
+
+  for (const Metric& b : base) {
+    MetricDelta d;
+    d.name = b.name;
+    d.unit = b.unit;
+    d.baseline = b.value;
+    // Direction and tolerance come from the checked-in baseline so the
+    // current run cannot loosen its own gate.
+    d.higher_is_better = b.higher_is_better;
+    d.tolerance_pct = b.tolerance_pct;
+    const Metric* c = find_metric(cur, b.name);
+    if (!c) {
+      d.status = MetricDelta::Status::MissingCurrent;
+      result.regression = true;
+      result.metrics.push_back(std::move(d));
+      continue;
+    }
+    d.current = c->value;
+    if (b.value != 0.0) {
+      const double change_pct = (c->value - b.value) / std::fabs(b.value) *
+                                100.0;
+      d.improvement_pct = b.higher_is_better ? change_pct : -change_pct;
+    }
+    if (d.improvement_pct < -d.tolerance_pct) {
+      d.status = MetricDelta::Status::Regressed;
+      result.regression = true;
+    } else if (d.improvement_pct > d.tolerance_pct) {
+      d.status = MetricDelta::Status::Improved;
+    } else {
+      d.status = MetricDelta::Status::Ok;
+    }
+    result.metrics.push_back(std::move(d));
+  }
+  for (const Metric& c : cur) {
+    if (find_metric(base, c.name)) {
+      continue;
+    }
+    MetricDelta d;
+    d.name = c.name;
+    d.unit = c.unit;
+    d.current = c.value;
+    d.higher_is_better = c.higher_is_better;
+    d.status = MetricDelta::Status::NewMetric;
+    result.metrics.push_back(std::move(d));
+  }
+  return result;
+}
+
+CompareResult perf_compare_files(const std::string& current_path,
+                                 const std::string& baseline_path) {
+  return perf_compare(json::parse_file(current_path),
+                      json::parse_file(baseline_path));
+}
+
+Table CompareResult::table() const {
+  Table t({"metric", "current", "baseline", "delta %", "tol %", "status"});
+  const auto status_name = [](MetricDelta::Status s) {
+    switch (s) {
+      case MetricDelta::Status::Ok:
+        return "ok";
+      case MetricDelta::Status::Improved:
+        return "improved";
+      case MetricDelta::Status::Regressed:
+        return "REGRESSED";
+      case MetricDelta::Status::MissingCurrent:
+        return "MISSING";
+      case MetricDelta::Status::NewMetric:
+        return "new";
+    }
+    return "?";
+  };
+  for (const MetricDelta& d : metrics) {
+    const bool missing = d.status == MetricDelta::Status::MissingCurrent;
+    const bool fresh = d.status == MetricDelta::Status::NewMetric;
+    t.add_row({d.name + (d.unit.empty() ? "" : " (" + d.unit + ")"),
+               missing ? "-" : strfmt("%.4g", d.current),
+               fresh ? "-" : strfmt("%.4g", d.baseline),
+               missing || fresh ? "-" : strfmt("%+.1f", d.improvement_pct),
+               missing || fresh ? "-" : strfmt("%.0f", d.tolerance_pct),
+               status_name(d.status)});
+  }
+  return t;
+}
+
+std::string CompareResult::summary() const {
+  std::size_t regressed = 0, improved = 0, ok = 0;
+  for (const MetricDelta& d : metrics) {
+    switch (d.status) {
+      case MetricDelta::Status::Regressed:
+      case MetricDelta::Status::MissingCurrent:
+        ++regressed;
+        break;
+      case MetricDelta::Status::Improved:
+        ++improved;
+        break;
+      default:
+        ++ok;
+        break;
+    }
+  }
+  return strfmt("%s: %s (%zu regressed, %zu improved, %zu within tolerance)",
+                bench.c_str(), regression ? "REGRESSION" : "pass", regressed,
+                improved, ok);
+}
+
+}  // namespace dlsr::obs

@@ -1,0 +1,59 @@
+// Perf gate: compare two bench result envelopes ("dlsr-bench-v1").
+//
+// Every bench emits a JSON envelope (bench/bench_util.hpp) carrying run
+// context and a list of metrics, each tagged with its direction
+// (higher_is_better) and a per-metric noise tolerance in percent. Checked-in
+// baselines live under bench/baselines/. perf_compare() walks the baseline's
+// metrics, looks each one up in the current run, and flags a regression when
+// the current value is worse than the baseline by more than the baseline's
+// tolerance (the checked-in file pins the policy, so a bench cannot loosen
+// its own gate). Metrics missing from the current run are regressions;
+// metrics new in the current run are informational.
+//
+// Backed by `dlsr perf-compare <current.json> <baseline.json>`, which exits
+// nonzero on regression; CI runs it warn-only on --smoke results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace dlsr::obs {
+
+struct MetricDelta {
+  enum class Status { Ok, Improved, Regressed, MissingCurrent, NewMetric };
+
+  std::string name;
+  std::string unit;
+  double current = 0.0;
+  double baseline = 0.0;
+  bool higher_is_better = true;
+  double tolerance_pct = 0.0;
+  /// Signed change in the metric's good direction (+ = better), percent of
+  /// the baseline value.
+  double improvement_pct = 0.0;
+  Status status = Status::Ok;
+};
+
+struct CompareResult {
+  std::string bench;
+  std::vector<MetricDelta> metrics;
+  bool regression = false;
+
+  Table table() const;
+  /// One-line verdict for CI logs.
+  std::string summary() const;
+};
+
+/// Compares two parsed envelopes. Throws dlsr::Error when either document
+/// is not a dlsr-bench-v1 envelope or the bench names differ.
+CompareResult perf_compare(const json::Value& current,
+                           const json::Value& baseline);
+
+/// File-path convenience wrapper.
+CompareResult perf_compare_files(const std::string& current_path,
+                                 const std::string& baseline_path);
+
+}  // namespace dlsr::obs

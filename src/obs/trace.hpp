@@ -45,6 +45,11 @@ inline bool tracing_enabled() {
 inline constexpr std::uint32_t kWallPid = 0;
 inline constexpr std::uint32_t kSimPid = 1;
 
+/// First tid of the simulated comm-slot lanes: in-flight comm slot s traces
+/// on lane kCommLaneBase + s (pid kSimPid). Shared between the comm backends
+/// that emit those lanes and the analyzers that fold them back together.
+inline constexpr std::int64_t kCommLaneBase = 1000;
+
 enum class EventPhase : char {
   Complete = 'X',
   Instant = 'i',

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <map>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::obs {
 namespace {
@@ -260,12 +262,42 @@ class JsonReader {
             const std::string key = parse_string();
             skip_ws();
             expect(':');
-            Scalar value;
-            parse_value(&value);
-            if (value.kind == Scalar::String) {
-              on_field(key, value.str, true, 0.0);
-            } else if (value.kind == Scalar::Number) {
-              on_field(key, std::string(), false, value.num);
+            skip_ws();
+            if (key == "args" && peek() == '{') {
+              // Descend one level so scalar args members surface as
+              // "args.<key>" fields; deeper containers are skipped.
+              expect('{');
+              skip_ws();
+              if (peek() != '}') {
+                for (;;) {
+                  const std::string arg_key = parse_string();
+                  skip_ws();
+                  expect(':');
+                  Scalar value;
+                  parse_value(&value);
+                  if (value.kind == Scalar::String) {
+                    on_field("args." + arg_key, value.str, true, 0.0);
+                  } else if (value.kind == Scalar::Number) {
+                    on_field("args." + arg_key, std::string(), false,
+                             value.num);
+                  }
+                  skip_ws();
+                  if (peek() != ',') {
+                    break;
+                  }
+                  expect(',');
+                  skip_ws();
+                }
+              }
+              expect('}');
+            } else {
+              Scalar value;
+              parse_value(&value);
+              if (value.kind == Scalar::String) {
+                on_field(key, value.str, true, 0.0);
+              } else if (value.kind == Scalar::Number) {
+                on_field(key, std::string(), false, value.num);
+              }
             }
             skip_ws();
             if (peek() != ',') {
@@ -310,6 +342,34 @@ std::string normalize_name(const std::string& name) {
 
 }  // namespace
 
+double ParsedEvent::arg(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+double interval_union_us(std::vector<std::pair<double, double>> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  double covered = 0.0;
+  double cursor = -std::numeric_limits<double>::infinity();
+  for (const auto& [start, end] : intervals) {
+    if (end <= start) {
+      continue;
+    }
+    if (start > cursor) {
+      covered += end - start;
+      cursor = end;
+    } else if (end > cursor) {
+      covered += end - cursor;
+      cursor = end;
+    }
+  }
+  return covered;
+}
+
 bool json_valid(const std::string& text) {
   return JsonReader(text).validate();
 }
@@ -325,6 +385,8 @@ std::vector<ParsedEvent> parse_trace_events(const std::string& json) {
           if (key == "name") current.name = str;
           else if (key == "cat") current.cat = str;
           else if (key == "ph" && !str.empty()) current.phase = str[0];
+        } else if (key.rfind("args.", 0) == 0) {
+          current.args.emplace_back(key.substr(5), num);
         } else {
           if (key == "ts") current.ts_us = num;
           else if (key == "dur") current.dur_us = num;
@@ -345,9 +407,11 @@ Table trace_summary(const std::vector<ParsedEvent>& events) {
     double total_us = 0.0;
     double min_us = 0.0;
     double max_us = 0.0;
+    /// Simulated comm-slot spans; merged by union so concurrent slots are
+    /// not double-counted.
+    std::vector<std::pair<double, double>> slot_intervals;
   };
   std::map<std::pair<std::string, std::string>, Row> rows;
-  double grand_total = 0.0;
   for (const ParsedEvent& e : events) {
     if (e.phase != 'X') {
       continue;
@@ -358,8 +422,18 @@ Table trace_summary(const std::vector<ParsedEvent>& events) {
     }
     row.max_us = std::max(row.max_us, e.dur_us);
     ++row.count;
-    row.total_us += e.dur_us;
-    grand_total += e.dur_us;
+    if (e.pid == static_cast<int>(kSimPid) && e.tid >= kCommLaneBase) {
+      row.slot_intervals.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+    } else {
+      row.total_us += e.dur_us;
+    }
+  }
+  double grand_total = 0.0;
+  for (auto& [key, row] : rows) {
+    if (!row.slot_intervals.empty()) {
+      row.total_us += interval_union_us(std::move(row.slot_intervals));
+    }
+    grand_total += row.total_us;
   }
 
   // Heaviest phases first.

@@ -21,6 +21,11 @@ struct ParsedEvent {
   double dur_us = 0.0;
   int pid = 0;
   int tid = 0;
+  /// Numeric members of the event's "args" object, in file order.
+  std::vector<std::pair<std::string, double>> args;
+
+  /// Value of a numeric args member, or `fallback` when absent.
+  double arg(const std::string& key, double fallback) const;
 };
 
 /// Strict JSON syntax check (objects, arrays, strings with escapes,
@@ -35,6 +40,16 @@ std::vector<ParsedEvent> parse_trace_events(const std::string& json);
 /// count, total/mean/min/max duration, and share of the summed span time.
 /// Names are normalized by stripping trailing "/<index>" tags so per-step
 /// span families ("forward/17") collapse into one row.
+///
+/// Simulated comm-slot lanes (pid kSimPid, tid >= kCommLaneBase) are merged
+/// per family by interval union before totalling, so two allreduces that
+/// overlap in simulated time contribute their covered time once instead of
+/// being double-counted across slots.
 Table trace_summary(const std::vector<ParsedEvent>& events);
+
+/// Total covered time of a set of [start, end) intervals (their union).
+/// Degenerate (end <= start) intervals contribute nothing.
+double interval_union_us(
+    std::vector<std::pair<double, double>> intervals);
 
 }  // namespace dlsr::obs

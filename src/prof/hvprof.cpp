@@ -151,11 +151,18 @@ std::string Hvprof::to_json() const {
       if (s.count == 0) {
         continue;
       }
+      // Numeric edges alongside the display label so offline tools can
+      // re-bucket without parsing "128 KB - 16 MB": lo_bytes is the
+      // exclusive lower bound, hi_bytes the inclusive upper (null for the
+      // open-ended last bucket).
+      const std::size_t lo = b == 0 ? 0 : bucket_bounds()[b - 1];
+      const std::string hi =
+          b + 1 < kBucketCount ? strfmt("%zu", bucket_bounds()[b]) : "null";
       out += strfmt(
-          "%s{\"bucket\":\"%s\",\"count\":%zu,\"bytes\":%zu,"
-          "\"time_ms\":%.3f}",
-          first_bucket ? "" : ",", bucket_labels()[b], s.count, s.bytes,
-          s.time * 1e3);
+          "%s{\"bucket\":\"%s\",\"lo_bytes\":%zu,\"hi_bytes\":%s,"
+          "\"count\":%zu,\"bytes\":%zu,\"time_ms\":%.3f}",
+          first_bucket ? "" : ",", bucket_labels()[b], lo, hi.c_str(),
+          s.count, s.bytes, s.time * 1e3);
       first_bucket = false;
     }
     out += strfmt("],\"total_count\":%zu,\"total_time_ms\":%.3f}",

@@ -58,7 +58,11 @@ class Hvprof {
 
   /// JSON dump with the same content as to_csv(): an object keyed by
   /// collective name, each value a list of non-empty bucket records
-  /// ({"bucket","count","bytes","time_ms"}) plus per-collective totals.
+  /// ({"bucket","lo_bytes","hi_bytes","count","bytes","time_ms"} — the
+  /// numeric edges let offline tools re-bucket without parsing the label;
+  /// hi_bytes is null for the open-ended last bucket) plus per-collective
+  /// totals. An empty profile dumps as "{}". This layout is
+  /// schema-stable: tests/test_prof.cpp pins it.
   std::string to_json() const;
 
   void reset();

@@ -73,6 +73,10 @@ SrServer::SrServer(std::shared_ptr<models::Edsr> model, ServeConfig config)
              strfmt("SrServer: tile_size %zu must exceed 2*halo (%zu); "
                     "use a larger tile or a smaller model",
                     config_.tile_size, 2 * config_.halo));
+  if (config_.stall_timeout_seconds > 0.0) {
+    watchdog_ =
+        std::make_unique<obs::StallWatchdog>(config_.stall_timeout_seconds);
+  }
   pool_ = std::make_unique<ThreadPool>(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     pool_->submit([this] { worker_loop(); });
@@ -86,6 +90,7 @@ void SrServer::shutdown() {
     return;
   }
   stopped_ = true;
+  watchdog_.reset();  // a draining shutdown is not a stall
   batcher_.shutdown();
   pool_.reset();  // joins the workers after they drain the queue
 }
@@ -98,6 +103,9 @@ std::future<ServeResult> SrServer::submit(const Tensor& image,
                                           std::chrono::milliseconds deadline) {
   OBS_SPAN("serve", "submit");
   metrics_.on_request();
+  if (watchdog_) {
+    watchdog_->kick();
+  }
   auto req = std::make_shared<RequestState>();
   std::future<ServeResult> future = req->promise.get_future();
   const auto reject = [&](const std::string& why) {
@@ -187,6 +195,15 @@ void SrServer::worker_loop() {
       return;  // shut down and drained
     }
     metrics_.on_queue_depth(batcher_.depth());
+    // Heartbeat: a popped batch proves the serving loop is alive. submit()
+    // kicks too, so an idle server without traffic reports at most one
+    // (re-armed) stall per idle episode.
+    if (watchdog_) {
+      watchdog_->kick();
+    }
+    obs::FlightRecorder::instance().recordf(
+        "batch", "serve batch of %zu tiles, queue depth %zu", batch.size(),
+        batcher_.depth());
 
     // Deadline handling happens at schedule time: tiles of an expired or
     // already-finished request are dropped before they cost a forward.

@@ -27,6 +27,7 @@
 
 #include "common/thread_pool.hpp"
 #include "models/edsr.hpp"
+#include "obs/flight_recorder.hpp"
 #include "serve/engine.hpp"
 #include "serve/metrics.hpp"
 #include "serve/micro_batcher.hpp"
@@ -46,6 +47,9 @@ struct ServeConfig {
   /// Applied when submit() is called without an explicit deadline;
   /// zero means no deadline.
   std::chrono::milliseconds default_deadline{0};
+  /// Step-stall watchdog: if the workers pop no batch for this many seconds
+  /// while requests are queued, the flight recorder dumps (0 = off).
+  double stall_timeout_seconds = 0.0;
 };
 
 enum class ServeStatus { Ok, Rejected, TimedOut };
@@ -108,6 +112,8 @@ class SrServer {
   MicroBatcher<TileJob> batcher_;
   ResultCache cache_;
   ServerMetrics metrics_;
+  /// Armed when config.stall_timeout_seconds > 0; kicked per popped batch.
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
   std::unique_ptr<ThreadPool> pool_;
   bool stopped_ = false;
 };

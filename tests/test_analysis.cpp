@@ -1,0 +1,367 @@
+// Tests for the critical-path analyzer (obs/critical_path, obs/comm_attrib)
+// and the perf gate (obs/perf_compare): hand-built traces with known
+// attribution, the multi-run error paths, hvprof reconstruction from comm
+// lanes, the end-to-end equivalence of analyzed exposed comm against the
+// simulator's own StepTimeline accounting, and envelope comparison
+// semantics (self-compare clean, synthetic regression flagged, baseline
+// pins the tolerance policy).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "core/experiments.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/perf_compare.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+constexpr int kSim = static_cast<int>(kSimPid);
+constexpr int kLane = static_cast<int>(kCommLaneBase);
+constexpr std::size_t MiB = 1024 * 1024;
+
+ParsedEvent span(const std::string& name, const std::string& cat, double ts,
+                 double dur, int tid,
+                 std::vector<std::pair<std::string, double>> args = {}) {
+  ParsedEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.ts_us = ts;
+  e.dur_us = dur;
+  e.pid = kSim;
+  e.tid = tid;
+  e.args = std::move(args);
+  return e;
+}
+
+ParsedEvent step_span(const std::string& name, std::size_t step, double ts,
+                      double dur) {
+  return span(name, "sim", ts, dur, 0, {{"step", static_cast<double>(step)}});
+}
+
+ParsedEvent comm_span(const std::string& name, double ts, double dur,
+                      std::size_t bytes, int slot = 0) {
+  return span(name, "comm", ts, dur, kLane + slot,
+              {{"bytes", static_cast<double>(bytes)}});
+}
+
+// --- hand-built traces --------------------------------------------------
+
+TEST(AnalyzeTrace, AttributesOneStepExactly) {
+  // forward [0,100) backward [100,300) optimizer [360,400); one 40 MiB
+  // allreduce [250,340) and one 8-byte metric allreduce [365,370).
+  const std::vector<ParsedEvent> events = {
+      step_span("forward", 0, 0.0, 100.0),
+      step_span("backward", 0, 100.0, 200.0),
+      step_span("optimizer", 0, 360.0, 40.0),
+      comm_span("allreduce", 250.0, 90.0, 40 * MiB),
+      comm_span("allreduce", 365.0, 5.0, 8),
+  };
+  const AnalysisReport report = analyze_trace(events);
+  ASSERT_EQ(report.steps.size(), 1u);
+  const StepAttribution& s = report.steps.front();
+  EXPECT_DOUBLE_EQ(s.forward_us, 100.0);
+  EXPECT_DOUBLE_EQ(s.backward_us, 200.0);
+  EXPECT_DOUBLE_EQ(s.optimizer_us, 40.0);
+  EXPECT_DOUBLE_EQ(s.duration_us(), 400.0);
+  EXPECT_DOUBLE_EQ(s.comm_busy_us, 95.0);
+  // Comm not covered by compute: [300,340) only — the metric allreduce
+  // sits inside the optimizer span.
+  EXPECT_DOUBLE_EQ(s.exposed_comm_us, 40.0);
+  EXPECT_DOUBLE_EQ(s.overlapped_comm_us, 55.0);
+  // Nothing runs in [340,360).
+  EXPECT_DOUBLE_EQ(s.stall_us, 20.0);
+  EXPECT_TRUE(s.comm_bound);
+  // The bounding op is the exposed gradient allreduce, not the
+  // later-ending but fully-hidden metric allreduce.
+  EXPECT_EQ(s.bounding_op, "allreduce 32 MB - 64 MB");
+  EXPECT_DOUBLE_EQ(report.total_exposed_comm_us(), 40.0);
+  EXPECT_DOUBLE_EQ(report.total_step_us(), 400.0);
+}
+
+TEST(AnalyzeTrace, ComputeBoundStepHasNoExposedComm) {
+  const std::vector<ParsedEvent> events = {
+      step_span("forward", 0, 0.0, 100.0),
+      step_span("backward", 0, 100.0, 200.0),
+      step_span("optimizer", 0, 300.0, 40.0),
+      comm_span("allreduce", 150.0, 100.0, 40 * MiB),  // inside backward
+  };
+  const AnalysisReport report = analyze_trace(events);
+  const StepAttribution& s = report.steps.front();
+  EXPECT_DOUBLE_EQ(s.exposed_comm_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.overlapped_comm_us, 100.0);
+  EXPECT_FALSE(s.comm_bound);
+  EXPECT_TRUE(s.bounding_op.empty());
+}
+
+TEST(AnalyzeTrace, CommBeforeFirstStepIsSetup) {
+  const std::vector<ParsedEvent> events = {
+      comm_span("broadcast", 0.0, 800.0, 150 * MiB),
+      step_span("forward", 0, 1000.0, 100.0),
+      step_span("backward", 0, 1100.0, 200.0),
+      step_span("optimizer", 0, 1300.0, 50.0),
+  };
+  const AnalysisReport report = analyze_trace(events);
+  EXPECT_DOUBLE_EQ(report.setup_comm_us, 800.0);
+  EXPECT_DOUBLE_EQ(report.steps.front().comm_busy_us, 0.0);
+  // Setup ops still feed the traced hvprof profile.
+  EXPECT_EQ(report.comm_profile.total_count(prof::Collective::Broadcast), 1u);
+}
+
+TEST(AnalyzeTrace, UnpackSpansCountAsCommTimeButNotWireOps) {
+  const std::vector<ParsedEvent> events = {
+      step_span("forward", 0, 0.0, 100.0),
+      comm_span("allreduce", 50.0, 40.0, 1 * MiB),
+      comm_span("unpack", 90.0, 20.0, 1 * MiB),
+  };
+  const AnalysisReport report = analyze_trace(events);
+  const StepAttribution& s = report.steps.front();
+  // Comm runs [50,110); compute covers [0,100): exposed is the unpack tail.
+  EXPECT_DOUBLE_EQ(s.comm_busy_us, 60.0);
+  EXPECT_DOUBLE_EQ(s.exposed_comm_us, 10.0);
+  // Only the wire op feeds the profile, matching the live prof::Hvprof.
+  EXPECT_EQ(report.comm_profile.total_count(prof::Collective::Allreduce), 1u);
+  const prof::BucketStats& b = report.comm_profile.bucket(
+      prof::Collective::Allreduce, prof::Hvprof::bucket_index(1 * MiB));
+  EXPECT_EQ(b.count, 1u);
+  EXPECT_EQ(b.bytes, 1 * MiB);
+}
+
+TEST(AnalyzeTrace, OverlappingSlotLanesUnionOnce) {
+  // Two allreduces on different slots overlap [100,200)∩[150,250): busy
+  // time is the union (150), not the sum (200).
+  const std::vector<ParsedEvent> events = {
+      step_span("forward", 0, 0.0, 80.0),
+      comm_span("allreduce", 100.0, 100.0, 40 * MiB, /*slot=*/0),
+      comm_span("allreduce", 150.0, 100.0, 40 * MiB, /*slot=*/1),
+  };
+  const AnalysisReport report = analyze_trace(events);
+  const StepAttribution& s = report.steps.front();
+  EXPECT_DOUBLE_EQ(s.comm_busy_us, 150.0);
+  EXPECT_DOUBLE_EQ(s.exposed_comm_us, 150.0);
+  EXPECT_EQ(report.comm_profile.total_count(prof::Collective::Allreduce), 2u);
+}
+
+TEST(AnalyzeTrace, RejectsEmptyAndMultiRunTraces) {
+  EXPECT_THROW(analyze_trace({}), Error);
+  // The same step number appearing twice means several runs were traced
+  // into one file (sim time restarts per run).
+  const std::vector<ParsedEvent> duplicate = {
+      step_span("forward", 0, 0.0, 100.0),
+      step_span("forward", 0, 5000.0, 100.0),
+  };
+  EXPECT_THROW(analyze_trace(duplicate), Error);
+  // Distinct step numbers with overlapping windows are the same disease.
+  const std::vector<ParsedEvent> overlapping = {
+      step_span("forward", 0, 0.0, 100.0),
+      step_span("forward", 1, 50.0, 100.0),
+  };
+  try {
+    analyze_trace(overlapping);
+    FAIL() << "expected a multi-run error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("more than one run"),
+              std::string::npos);
+  }
+}
+
+TEST(CommAttrib, CollectiveNamesRoundTrip) {
+  EXPECT_EQ(collective_from_name("allreduce"), prof::Collective::Allreduce);
+  EXPECT_EQ(collective_from_name("broadcast"), prof::Collective::Broadcast);
+  EXPECT_EQ(collective_from_name("allgather"), prof::Collective::Allgather);
+  EXPECT_THROW(collective_from_name("unpack"), Error);
+  EXPECT_THROW(collective_from_name("sendrecv"), Error);
+}
+
+// --- end-to-end equivalence against the simulator -----------------------
+
+TEST(AnalyzeTrace, MatchesSimulatorExposedCommAndHvprof) {
+  auto& tracer = Tracer::instance();
+  tracer.disable();
+  tracer.reset();
+  tracer.enable(/*ring_capacity=*/1 << 20);
+
+  const core::PaperExperiment exp;
+  core::TrainingJobConfig job = exp.job;
+  job.fusion.inflight_buffers = 4;
+  const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
+  constexpr std::size_t kSteps = 10;
+  const core::RunResult r =
+      trainer.run(core::BackendKind::MpiOpt, 32, kSteps);
+
+  const std::string path = testing::TempDir() + "dlsr_analyze_e2e.json";
+  tracer.write(path);
+  tracer.disable();
+  tracer.reset();
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const AnalysisReport report = analyze_trace(parse_trace_events(buf.str()));
+
+  ASSERT_EQ(report.steps.size(), kSteps);
+  // Acceptance: exposed comm from interval arithmetic on the trace matches
+  // the simulator's own StepTimeline::exposed_comm within 1 %.
+  const double sim_exposed_us = r.mean_exposed_comm * kSteps * 1e6;
+  ASSERT_GT(sim_exposed_us, 0.0);
+  EXPECT_NEAR(report.total_exposed_comm_us(), sim_exposed_us,
+              sim_exposed_us * 0.01);
+
+  // The traced wire ops rebuild the live hvprof exactly: same counts and
+  // bytes per (collective, bucket); times agree to the trace exporter's
+  // microsecond rounding (0.0005 us per op).
+  for (const prof::Collective c :
+       {prof::Collective::Allreduce, prof::Collective::Broadcast,
+        prof::Collective::Allgather}) {
+    for (std::size_t b = 0; b < prof::Hvprof::kBucketCount; ++b) {
+      const prof::BucketStats& live = r.profiler.bucket(c, b);
+      const prof::BucketStats& traced = report.comm_profile.bucket(c, b);
+      EXPECT_EQ(traced.count, live.count)
+          << collective_name(c) << " bucket " << b;
+      EXPECT_EQ(traced.bytes, live.bytes)
+          << collective_name(c) << " bucket " << b;
+      EXPECT_NEAR(traced.time, live.time,
+                  1e-9 * static_cast<double>(live.count) + 1e-9)
+          << collective_name(c) << " bucket " << b;
+    }
+  }
+
+  // The report JSON is valid and carries the analysis schema tag.
+  const std::string json = report.to_json();
+  EXPECT_TRUE(json_valid(json));
+  const json::Value doc = json::parse(json);
+  EXPECT_EQ(doc.find("schema")->as_string(), "dlsr-analysis-v1");
+  std::remove(path.c_str());
+}
+
+// --- perf gate ----------------------------------------------------------
+
+struct MetricSpec {
+  std::string name;
+  double value;
+  bool higher_is_better;
+  double tolerance_pct;
+};
+
+std::string envelope_json(const std::string& bench,
+                          const std::vector<MetricSpec>& metrics) {
+  std::string out = strfmt(
+      "{\"schema\":\"dlsr-bench-v1\",\"bench\":\"%s\","
+      "\"context\":{\"git_sha\":\"test\",\"threads\":4},\"metrics\":[",
+      bench.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSpec& m = metrics[i];
+    out += strfmt(
+        "%s{\"name\":\"%s\",\"value\":%.6g,\"unit\":\"x\","
+        "\"higher_is_better\":%s,\"tolerance_pct\":%.6g}",
+        i == 0 ? "" : ",", m.name.c_str(), m.value,
+        m.higher_is_better ? "true" : "false", m.tolerance_pct);
+  }
+  return out + "]}";
+}
+
+CompareResult compare(const std::vector<MetricSpec>& current,
+                      const std::vector<MetricSpec>& baseline) {
+  return perf_compare(json::parse(envelope_json("bench", current)),
+                      json::parse(envelope_json("bench", baseline)));
+}
+
+TEST(PerfCompare, SelfCompareIsClean) {
+  const std::vector<MetricSpec> m = {{"speedup", 2.5, true, 10.0},
+                                     {"step_ms", 12.0, false, 25.0}};
+  const CompareResult r = compare(m, m);
+  EXPECT_FALSE(r.regression);
+  ASSERT_EQ(r.metrics.size(), 2u);
+  for (const MetricDelta& d : r.metrics) {
+    EXPECT_EQ(d.status, MetricDelta::Status::Ok);
+    EXPECT_DOUBLE_EQ(d.improvement_pct, 0.0);
+  }
+}
+
+TEST(PerfCompare, TwentyPercentRegressionIsFlagged) {
+  // Acceptance: a synthetic 20 % regression against a 10 % tolerance exits
+  // the gate nonzero (the CLI returns CompareResult::regression).
+  const CompareResult r = compare({{"speedup", 2.0, true, 10.0}},
+                                  {{"speedup", 2.5, true, 10.0}});
+  EXPECT_TRUE(r.regression);
+  ASSERT_EQ(r.metrics.size(), 1u);
+  EXPECT_EQ(r.metrics[0].status, MetricDelta::Status::Regressed);
+  EXPECT_NEAR(r.metrics[0].improvement_pct, -20.0, 1e-9);
+}
+
+TEST(PerfCompare, DirectionAwareForLowerIsBetter) {
+  // step_ms rising is a regression, falling is an improvement.
+  EXPECT_TRUE(compare({{"step_ms", 13.0, false, 20.0}},
+                      {{"step_ms", 10.0, false, 20.0}})
+                  .regression);
+  const CompareResult improved = compare({{"step_ms", 7.0, false, 20.0}},
+                                         {{"step_ms", 10.0, false, 20.0}});
+  EXPECT_FALSE(improved.regression);
+  EXPECT_EQ(improved.metrics[0].status, MetricDelta::Status::Improved);
+  EXPECT_NEAR(improved.metrics[0].improvement_pct, 30.0, 1e-9);
+}
+
+TEST(PerfCompare, WithinToleranceIsOk) {
+  const CompareResult r = compare({{"speedup", 2.3, true, 10.0}},
+                                  {{"speedup", 2.5, true, 10.0}});
+  EXPECT_FALSE(r.regression);
+  EXPECT_EQ(r.metrics[0].status, MetricDelta::Status::Ok);
+}
+
+TEST(PerfCompare, BaselinePinsTheTolerancePolicy) {
+  // The current run cannot loosen its own gate: a 15 % drop regresses
+  // against the baseline's 10 % band even if the current envelope claims a
+  // 50 % tolerance.
+  const CompareResult r = compare({{"speedup", 2.125, true, 50.0}},
+                                  {{"speedup", 2.5, true, 10.0}});
+  EXPECT_TRUE(r.regression);
+  EXPECT_DOUBLE_EQ(r.metrics[0].tolerance_pct, 10.0);
+}
+
+TEST(PerfCompare, MissingMetricRegressesNewMetricInforms) {
+  const CompareResult r =
+      compare({{"brand_new", 1.0, true, 10.0}},
+              {{"vanished", 2.5, true, 10.0}});
+  EXPECT_TRUE(r.regression);
+  ASSERT_EQ(r.metrics.size(), 2u);
+  EXPECT_EQ(r.metrics[0].status, MetricDelta::Status::MissingCurrent);
+  EXPECT_EQ(r.metrics[1].status, MetricDelta::Status::NewMetric);
+}
+
+TEST(PerfCompare, RejectsMismatchedBenchesAndBadSchemas) {
+  const json::Value a = json::parse(envelope_json("a", {}));
+  const json::Value b = json::parse(envelope_json("b", {}));
+  EXPECT_THROW(perf_compare(a, b), Error);
+  EXPECT_THROW(perf_compare(json::parse("{\"schema\":\"nope\"}"), a), Error);
+  EXPECT_THROW(perf_compare(json::parse("[1,2]"), a), Error);
+}
+
+TEST(PerfCompare, FileRoundTripMatchesInMemory) {
+  const std::string cur = testing::TempDir() + "pc_current.json";
+  const std::string base = testing::TempDir() + "pc_baseline.json";
+  {
+    std::ofstream(cur) << envelope_json("bench",
+                                        {{"speedup", 2.0, true, 10.0}});
+    std::ofstream(base) << envelope_json("bench",
+                                         {{"speedup", 2.5, true, 10.0}});
+  }
+  const CompareResult r = perf_compare_files(cur, base);
+  EXPECT_TRUE(r.regression);
+  EXPECT_FALSE(r.summary().empty());
+  EXPECT_THROW(perf_compare_files(cur, base + ".missing"), Error);
+  std::remove(cur.c_str());
+  std::remove(base.c_str());
+}
+
+}  // namespace
+}  // namespace dlsr::obs

@@ -6,19 +6,25 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "core/training_session.hpp"
 #include "image/synthetic_div2k.hpp"
 #include "models/edsr.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_summary.hpp"
@@ -321,6 +327,178 @@ TEST(Pipeline, TrainStepProducesSpansAndPhaseHistograms) {
   EXPECT_GT(snap.p50, 0.0);
   EXPECT_LE(snap.p50, snap.p95);
   EXPECT_LE(snap.p95, snap.p99);
+}
+
+TEST(TraceSummary, CommLanesMergeByIntervalUnion) {
+  // Two allreduces on different comm slots overlap [100,200) and [150,250):
+  // the family row must report the covered 150 us once, not 200 us summed
+  // across slots. Regression test for double-counted overlap rows.
+  const auto lane = [](int slot, double ts) {
+    ParsedEvent e;
+    e.name = "allreduce";
+    e.cat = "comm";
+    e.phase = 'X';
+    e.ts_us = ts;
+    e.dur_us = 100.0;
+    e.pid = static_cast<int>(kSimPid);
+    e.tid = static_cast<int>(kCommLaneBase) + slot;
+    return e;
+  };
+  const Table t = trace_summary({lane(0, 100.0), lane(1, 150.0)});
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("allreduce"), std::string::npos);
+  // count 2 ops, 0.150 ms covered (not 0.200).
+  EXPECT_NE(text.find("0.150"), std::string::npos) << text;
+  EXPECT_EQ(text.find("0.200"), std::string::npos) << text;
+  EXPECT_DOUBLE_EQ(interval_union_us({{100.0, 200.0}, {150.0, 250.0}}),
+                   150.0);
+}
+
+TEST(Metrics, HistogramJsonExportsBucketBoundsAndCounts) {
+  MetricsRegistry reg;
+  auto hist = reg.histogram("lat/ms");
+  hist->observe(0.4);   // (0.1, 0.5]
+  hist->observe(0.5);   // inclusive upper edge, same bucket
+  hist->observe(7.0);   // (5, 10]
+  hist->observe(1e6);   // overflow
+  const HistogramSnapshot snap = hist->snapshot();
+  EXPECT_EQ(snap.buckets[3], 2u);
+  EXPECT_EQ(snap.buckets[6], 1u);
+  EXPECT_EQ(snap.buckets[kHistogramBucketBounds.size()], 1u);
+
+  const std::string json = reg.to_json();
+  ASSERT_TRUE(json_valid(json));
+  // Every fixed bound appears as an "le" edge, the overflow as null, and
+  // the per-bucket counts ride along.
+  EXPECT_NE(json.find("\"le\":0.5,\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"le\":10,\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"le\":null,\"count\":1"), std::string::npos) << json;
+  std::size_t edges = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"le\":", pos)) != std::string::npos; ++pos) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, kHistogramBucketBounds.size() + 1);
+}
+
+/// RAII guard for flight-recorder tests: disable on exit so the log sink
+/// and crash handlers never leak into other tests.
+struct RecorderGuard {
+  explicit RecorderGuard(FlightRecorder::Config config) {
+    config.install_crash_handlers = false;  // keep gtest's death handling
+    FlightRecorder::instance().enable(config);
+  }
+  ~RecorderGuard() { FlightRecorder::instance().disable(); }
+};
+
+TEST(FlightRecorder, RingKeepsNewestEntriesAcrossOverwrite) {
+  FlightRecorder::Config cfg;
+  cfg.capacity = 8;
+  cfg.dump_path = testing::TempDir() + "fr_ring.dump";
+  cfg.capture_log = false;
+  RecorderGuard guard(cfg);
+  auto& fr = FlightRecorder::instance();
+  for (int i = 0; i < 30; ++i) {
+    fr.recordf("step", "marker %d", i);
+  }
+  EXPECT_EQ(fr.recorded_count(), 30u);
+  const std::string dump = fr.dump_to_string();
+  // The ring holds the last 8 entries: 29 survives, 0..21 are gone.
+  EXPECT_NE(dump.find("marker 29"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("marker 22"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("marker 21"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("30 events recorded"), std::string::npos) << dump;
+}
+
+TEST(FlightRecorder, RoutesWarnAndErrorLogLinesIntoRing) {
+  FlightRecorder::Config cfg;
+  cfg.capacity = 64;
+  cfg.dump_path = testing::TempDir() + "fr_log.dump";
+  RecorderGuard guard(cfg);
+  log_info("info stays out of the ring");
+  log_warn("warn lands in the ring");
+  log_error("error lands in the ring");
+  const std::string dump = FlightRecorder::instance().dump_to_string();
+  EXPECT_EQ(dump.find("info stays"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("[warn] warn lands in the ring"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("[error] error lands in the ring"), std::string::npos)
+      << dump;
+}
+
+TEST(FlightRecorder, ConcurrentLoggersAndRecordersDoNotDeadlock) {
+  // The log sink runs outside the stderr mutex, so threads that log (taking
+  // the log mutex, then the recorder's atomics) and threads that record
+  // directly can never deadlock; all lines land in the ring. The threshold
+  // must pass the warn lines: dropped messages never reach the sink.
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Warn);
+  FlightRecorder::Config cfg;
+  cfg.capacity = 4096;
+  cfg.dump_path = testing::TempDir() + "fr_mt.dump";
+  RecorderGuard guard(cfg);
+  auto& fr = FlightRecorder::instance();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fr, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          log_warn(strfmt("logger %d line %d", t, i));
+        } else {
+          fr.recordf("span", "recorder %d line %d", t, i);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  set_log_level(prev);
+  EXPECT_EQ(fr.recorded_count(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  const std::string dump = fr.dump_to_string();
+  EXPECT_NE(dump.find("logger 0 line 199"), std::string::npos);
+  EXPECT_NE(dump.find("recorder 1 line 199"), std::string::npos);
+}
+
+TEST(FlightRecorder, WatchdogDumpsOncePerStallEpisodeAndRearms) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Off);  // silence the expected stall error line
+  FlightRecorder::Config cfg;
+  cfg.capacity = 64;
+  cfg.dump_path = testing::TempDir() + "fr_stall.dump";
+  cfg.capture_log = false;
+  RecorderGuard guard(cfg);
+  std::remove(cfg.dump_path.c_str());
+
+  std::atomic<int> fired{0};
+  {
+    StallWatchdog dog(/*timeout_seconds=*/0.05,
+                      [&fired] { fired.fetch_add(1); });
+    dog.kick();
+    // First stall: no heartbeat for >> timeout. One report, not many.
+    while (fired.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_EQ(dog.stall_count(), 1u);
+    // A kick re-arms; a second silent stretch is a new episode.
+    dog.kick();
+    while (fired.load() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(dog.stall_count(), 2u);
+  }
+  set_log_level(prev);
+  std::ifstream dump(cfg.dump_path);
+  ASSERT_TRUE(dump.good()) << "watchdog did not write " << cfg.dump_path;
+  std::ostringstream text;
+  text << dump.rdbuf();
+  EXPECT_NE(text.str().find("watchdog: no step heartbeat"),
+            std::string::npos);
+  std::remove(cfg.dump_path.c_str());
 }
 
 }  // namespace

@@ -98,5 +98,58 @@ TEST(CollectiveNames, Stable) {
   EXPECT_STREQ(collective_name(Collective::Allgather), "MPI_Allgather");
 }
 
+// Golden-schema tests: to_json() is consumed by the critical-path analyzer
+// report and by offline plotting, so its layout is load-bearing. These pin
+// the exact byte-for-byte output; changing the schema means bumping every
+// consumer too.
+
+TEST(JsonExport, EmptyProfileIsEmptyObject) {
+  EXPECT_EQ(Hvprof{}.to_json(), "{}");
+}
+
+TEST(JsonExport, GoldenSchemaSingleCollective) {
+  Hvprof p;
+  p.record(Collective::Allreduce, 64 * KiB, 0.001);
+  p.record(Collective::Allreduce, 48 * MiB, 0.0105);
+  EXPECT_EQ(
+      p.to_json(),
+      "{\"MPI_Allreduce\":{\"buckets\":["
+      "{\"bucket\":\"1-128 KB\",\"lo_bytes\":0,\"hi_bytes\":131072,"
+      "\"count\":1,\"bytes\":65536,\"time_ms\":1.000},"
+      "{\"bucket\":\"32 MB - 64 MB\",\"lo_bytes\":33554432,"
+      "\"hi_bytes\":67108864,\"count\":1,\"bytes\":50331648,"
+      "\"time_ms\":10.500}"
+      "],\"total_count\":2,\"total_time_ms\":11.500}}");
+}
+
+TEST(JsonExport, OpenEndedLastBucketHasNullUpperEdge) {
+  Hvprof p;
+  p.record(Collective::Broadcast, 100 * MiB, 0.002);
+  EXPECT_EQ(
+      p.to_json(),
+      "{\"MPI_Bcast\":{\"buckets\":["
+      "{\"bucket\":\"> 64 MB\",\"lo_bytes\":67108864,\"hi_bytes\":null,"
+      "\"count\":1,\"bytes\":104857600,\"time_ms\":2.000}"
+      "],\"total_count\":1,\"total_time_ms\":2.000}}");
+}
+
+TEST(JsonExport, CollectivesKeyedInEnumOrderOmittingEmpty) {
+  Hvprof p;
+  p.record(Collective::Allgather, 1 * KiB, 0.0);
+  p.record(Collective::Allreduce, 1 * KiB, 0.0);
+  // Broadcast never recorded: absent. Allreduce precedes Allgather.
+  const std::string json = p.to_json();
+  EXPECT_EQ(json.find("MPI_Bcast"), std::string::npos);
+  const auto ar = json.find("MPI_Allreduce");
+  const auto ag = json.find("MPI_Allgather");
+  ASSERT_NE(ar, std::string::npos);
+  ASSERT_NE(ag, std::string::npos);
+  EXPECT_LT(ar, ag);
+  // Numeric bucket edges agree with bucket_bounds() so offline tools can
+  // re-bucket without parsing display labels.
+  EXPECT_NE(json.find("\"lo_bytes\":0,\"hi_bytes\":131072"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace dlsr::prof

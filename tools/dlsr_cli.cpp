@@ -18,7 +18,10 @@
 //   dlsr train --workers 4 --steps 50 --checkpoint /tmp/edsr.ckpt
 //   dlsr train --workers 4 --inflight-buffers 4
 //   dlsr train --trace-out trace.json --metrics-out metrics.json
+//   dlsr train --flight-recorder --stall-timeout 30
 //   dlsr trace-summary trace.json
+//   dlsr analyze trace.json --json report.json
+//   dlsr perf-compare BENCH_kernels.json bench/baselines/kernel_suite.json
 //   dlsr models
 //   dlsr serve --requests 24 --image 96 --clients 4
 //
@@ -35,8 +38,11 @@
 // takes --inflight-buffers for the real gradient data plane.
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -57,7 +63,10 @@
 #include "models/resnet50_graph.hpp"
 #include "models/srresnet.hpp"
 #include "models/vdsr.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_compare.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_summary.hpp"
 #include "serve/server.hpp"
@@ -98,6 +107,30 @@ void obs_end(const Flags& flags) {
     obs::MetricsRegistry::global().write_json(flags.get("metrics-out"));
     std::printf("metrics written to %s\n", flags.get("metrics-out").c_str());
   }
+}
+
+/// Flight-recorder knobs shared by train and serve.
+void define_recorder_flags(Flags& flags) {
+  flags.define("flight-recorder",
+               "arm the crash/hang flight-recorder ring", "false");
+  flags.define("flight-dump", "flight-recorder dump path",
+               "dlsr-flight.dump");
+  flags.define("stall-timeout",
+               "seconds without a step heartbeat before the ring dumps "
+               "(0 = off)",
+               "0");
+}
+
+/// Arms the recorder when requested; returns the stall timeout in seconds.
+double apply_recorder_flags(const Flags& flags) {
+  if (flags.get_bool("flight-recorder")) {
+    obs::FlightRecorder::Config cfg;
+    cfg.dump_path = flags.get("flight-dump");
+    obs::FlightRecorder::instance().enable(cfg);
+    log_info("flight recorder armed (dump on crash/stall: " +
+             cfg.dump_path + ")");
+  }
+  return flags.get_double("stall-timeout");
 }
 
 /// Fusion/scheduler knobs shared by simulate and profile.
@@ -239,9 +272,15 @@ int cmd_train(int argc, const char* const* argv) {
   flags.define("inflight-buffers",
                "gradient allreduces allowed in flight on the data plane",
                "1");
+  flags.define("crash-with",
+               "inject a fault after training (segv|abort|throw) to "
+               "exercise the flight recorder",
+               std::nullopt);
+  define_recorder_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
+  const double stall_timeout = apply_recorder_flags(flags);
 
   img::Div2kConfig data_cfg;
   data_cfg.image_size =
@@ -254,6 +293,7 @@ int cmd_train(int argc, const char* const* argv) {
   cfg.warmup_steps = static_cast<std::size_t>(flags.get_int("warmup"));
   cfg.inflight_buffers =
       static_cast<std::size_t>(flags.get_int("inflight-buffers"));
+  cfg.stall_timeout_seconds = stall_timeout;
   std::uint64_t seed = 7;
   core::TrainingSession session(
       dataset,
@@ -274,6 +314,22 @@ int cmd_train(int argc, const char* const* argv) {
     session.save_checkpoint(flags.get("checkpoint"));
     std::printf("checkpoint written to %s\n",
                 flags.get("checkpoint").c_str());
+  }
+  if (flags.has("crash-with")) {
+    const std::string mode = flags.get("crash-with");
+    std::printf("injecting fault after training: %s\n", mode.c_str());
+    std::fflush(stdout);
+    if (mode == "segv") {
+      std::raise(SIGSEGV);
+    } else if (mode == "abort") {
+      std::abort();
+    } else if (mode == "throw") {
+      // Not a dlsr::Error, so it escapes main() into std::terminate.
+      throw std::runtime_error("injected uncaught exception");
+    } else {
+      throw Error("unknown --crash-with \"" + mode +
+                  "\" (segv, abort, or throw)");
+    }
   }
   obs_end(flags);
   return 0;
@@ -384,11 +440,13 @@ int cmd_serve(int argc, const char* const* argv) {
   flags.define("cache", "LRU result-cache capacity", "32");
   flags.define("deadline-ms", "per-request deadline (0 = none)", "0");
   flags.define("seed", "rng seed", "7");
+  define_recorder_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
 
   serve::ServeConfig cfg;
+  cfg.stall_timeout_seconds = apply_recorder_flags(flags);
   cfg.tile_size = static_cast<std::size_t>(flags.get_int("tile"));
   cfg.max_batch = static_cast<std::size_t>(flags.get_int("max-batch"));
   cfg.workers = static_cast<std::size_t>(flags.get_int("workers"));
@@ -468,20 +526,69 @@ int cmd_serve(int argc, const char* const* argv) {
   return failed.load() == 0 ? 0 : 1;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DLSR_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 int cmd_trace_summary(int argc, const char* const* argv) {
   Flags flags;
   flags.parse(argc, argv);
   DLSR_CHECK(flags.positional().size() == 1,
              "usage: dlsr trace-summary <trace.json>");
   const std::string& path = flags.positional().front();
-  std::ifstream in(path, std::ios::binary);
-  DLSR_CHECK(in.good(), "cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const auto events = obs::parse_trace_events(buf.str());
+  const auto events = obs::parse_trace_events(read_file(path));
   std::printf("%zu events in %s\n", events.size(), path.c_str());
   std::printf("%s", obs::trace_summary(events).to_string().c_str());
   return 0;
+}
+
+int cmd_analyze(int argc, const char* const* argv) {
+  Flags flags;
+  flags.define("json", "write the machine-readable report here",
+               std::nullopt);
+  flags.parse(argc, argv);
+  DLSR_CHECK(flags.positional().size() == 1,
+             "usage: dlsr analyze <trace.json> [--json report.json]");
+  const std::string& path = flags.positional().front();
+  const auto events = obs::parse_trace_events(read_file(path));
+  const obs::AnalysisReport report = obs::analyze_trace(events);
+
+  std::printf("critical-path analysis of %s: %zu steps\n\n", path.c_str(),
+              report.steps.size());
+  std::printf("%s\n", report.attribution_table().to_string().c_str());
+  std::printf("%s\n", report.step_table().to_string().c_str());
+  std::printf("traced communication profile (hvprof buckets):\n%s\n",
+              report.comm_profile.report(prof::Collective::Allreduce)
+                  .to_string()
+                  .c_str());
+  const double total = report.total_step_us();
+  std::printf("exposed comm: %.1f us over %.1f us of steps (%.1f%%)\n",
+              report.total_exposed_comm_us(), total,
+              total > 0.0 ? report.total_exposed_comm_us() / total * 100.0
+                          : 0.0);
+  if (flags.has("json")) {
+    std::ofstream out(flags.get("json"));
+    DLSR_CHECK(out.good(), "cannot open " + flags.get("json"));
+    out << report.to_json() << "\n";
+    std::printf("report written to %s\n", flags.get("json").c_str());
+  }
+  return 0;
+}
+
+int cmd_perf_compare(int argc, const char* const* argv) {
+  Flags flags;
+  flags.parse(argc, argv);
+  DLSR_CHECK(flags.positional().size() == 2,
+             "usage: dlsr perf-compare <current.json> <baseline.json>");
+  const obs::CompareResult result = obs::perf_compare_files(
+      flags.positional()[0], flags.positional()[1]);
+  std::printf("%s\n", result.table().to_string().c_str());
+  std::printf("%s\n", result.summary().c_str());
+  return result.regression ? 1 : 0;
 }
 
 }  // namespace
@@ -489,7 +596,8 @@ int cmd_trace_summary(int argc, const char* const* argv) {
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: dlsr [--log-level LEVEL] "
-      "<simulate|profile|train|models|layers|serve|trace-summary> [flags]\n"
+      "<simulate|profile|train|models|layers|serve|trace-summary|analyze|"
+      "perf-compare> [flags]\n"
       "run `dlsr <command> --help` conceptually: flags are listed in "
       "tools/dlsr_cli.cpp\n";
   // Strip the global --log-level flag (valid anywhere before the
@@ -527,6 +635,10 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(sub_argc, sub_argv);
     if (command == "trace-summary") {
       return cmd_trace_summary(sub_argc, sub_argv);
+    }
+    if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
+    if (command == "perf-compare") {
+      return cmd_perf_compare(sub_argc, sub_argv);
     }
     std::fprintf(stderr, "unknown command \"%s\"\n%s", command.c_str(),
                  usage.c_str());
