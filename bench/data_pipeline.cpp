@@ -1,0 +1,225 @@
+// data_pipeline — inline vs prefetched input pipeline on the real trainer.
+//
+// Runs the same seeded TrainingSession twice with an injected per-step
+// decode latency (modeling the parallel-filesystem read + decode that the
+// paper's SR jobs stream): once on the legacy inline path, which pays the
+// latency serially ahead of every step, and once through the dlsr::data
+// prefetching loader, which produces batch N+1 while step N computes and
+// exposes only the residual wait. Both runs deliver bit-identical batches
+// (same seed, same RNG draw order), so the throughput delta is purely the
+// overlap.
+//
+// A sampler thread records the loader's queue depth during the prefetched
+// run — the depth trace shows the double buffer actually filling (depth ~=
+// prefetch_depth when the producer is ahead, 0 when it falls behind).
+//
+// Emits one QUEUE_DEPTH_TRACE line and two DATA_PIPELINE_JSON lines plus a
+// dlsr-bench-v1 envelope for `dlsr perf-compare` against
+// bench/baselines/data_pipeline.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/training_session.hpp"
+#include "models/edsr.hpp"
+
+namespace dlsr::data {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunOutcome {
+  std::string name;
+  double wall_seconds = 0.0;
+  double imgs_per_second = 0.0;
+  std::size_t images = 0;
+  double last_loss = 0.0;
+  double loader_wait_ms = 0.0;     ///< prefetched run only
+  double loader_produce_ms = 0.0;  ///< prefetched run only
+};
+
+std::string to_json(const RunOutcome& r) {
+  return strfmt(
+      "{\"bench\":\"data_pipeline\",\"config\":\"%s\",\"images\":%zu,"
+      "\"wall_seconds\":%.4f,\"imgs_per_second\":%.2f,\"last_loss\":%.6f,"
+      "\"loader_wait_ms\":%.2f,\"loader_produce_ms\":%.2f}",
+      r.name.c_str(), r.images, r.wall_seconds, r.imgs_per_second,
+      r.last_loss, r.loader_wait_ms, r.loader_produce_ms);
+}
+
+int run(int argc, char** argv) {
+  Flags flags;
+  flags.define("smoke", "shrink the run (CI mode)", "false");
+  flags.define("out", "perf-gate envelope output path",
+               "BENCH_data_pipeline.json");
+  flags.define("steps", "training steps per configuration", "30");
+  flags.define("delay-ms", "injected per-step decode latency", "2.5");
+  flags.define("workers", "data-parallel replicas", "2");
+  flags.define("batch", "batch per replica", "2");
+  flags.define("prefetch-depth", "loader queue capacity", "2");
+  flags.define("data-threads", "materialize threads (0 = shared pool)", "1");
+  flags.define("seed", "rng seed", "21");
+  flags.parse(argc, argv);
+
+  const bool smoke = flags.get_bool("smoke");
+  const std::size_t steps =
+      smoke ? 8 : static_cast<std::size_t>(flags.get_int("steps"));
+  const double delay_ms = flags.get_double("delay-ms");
+
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size = 32;
+  const img::SyntheticDiv2k dataset(data_cfg);
+
+  core::SessionConfig base;
+  base.workers = static_cast<std::size_t>(flags.get_int("workers"));
+  base.batch_per_worker = static_cast<std::size_t>(flags.get_int("batch"));
+  base.scale = 2;
+  // Sized so one step's compute exceeds the injected decode latency: the
+  // producer gets ahead and the depth trace shows the buffer actually full.
+  base.lr_patch = 16;
+  base.train_pool = 6;
+  base.loader_delay_ms = delay_ms;
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  bench::print_header("data_pipeline",
+                      "prefetching loader vs inline batch synthesis on the "
+                      "real trainer");
+  std::printf("  %zu steps, %zu workers x batch %zu, %.1f ms injected "
+              "decode latency, prefetch depth %ld\n\n",
+              steps, base.workers, base.batch_per_worker, delay_ms,
+              flags.get_int("prefetch-depth"));
+
+  const auto make_model = [&flags] {
+    Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")) + 1);
+    return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(), rng);
+  };
+
+  std::vector<std::size_t> depth_trace;
+  const auto measure = [&](bool pipeline) {
+    core::SessionConfig cfg = base;
+    cfg.data_pipeline = pipeline;
+    cfg.prefetch_depth =
+        static_cast<std::size_t>(flags.get_int("prefetch-depth"));
+    cfg.data_threads =
+        static_cast<std::size_t>(flags.get_int("data-threads"));
+    core::TrainingSession session(dataset, make_model, cfg);
+
+    // Sample the loader queue depth while the run is live; the trace shows
+    // the prefetch buffer filling and draining.
+    std::atomic<bool> done{false};
+    std::thread sampler;
+    if (pipeline) {
+      sampler = std::thread([&] {
+        while (!done.load()) {
+          depth_trace.push_back(session.loader()->queue_depth());
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    const auto t0 = Clock::now();
+    const core::SessionStats stats = session.run_steps(steps);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    done.store(true);
+    if (sampler.joinable()) {
+      sampler.join();
+    }
+
+    RunOutcome r;
+    r.name = pipeline ? "prefetched" : "inline";
+    r.wall_seconds = wall;
+    r.images = stats.images;
+    r.imgs_per_second = static_cast<double>(stats.images) / wall;
+    r.last_loss = stats.last_loss;
+    if (pipeline) {
+      const LoaderStats ls = session.loader()->stats();
+      r.loader_wait_ms = ls.wait_ms_total;
+      r.loader_produce_ms = ls.produce_ms_total;
+    }
+    return r;
+  };
+
+  const RunOutcome inline_run = measure(false);
+  const RunOutcome prefetched = measure(true);
+
+  Table table({"config", "images", "wall s", "img/s", "wait ms", "last loss"});
+  for (const RunOutcome* r : {&inline_run, &prefetched}) {
+    table.add_row({r->name, strfmt("%zu", r->images),
+                   strfmt("%.3f", r->wall_seconds),
+                   strfmt("%.2f", r->imgs_per_second),
+                   strfmt("%.1f", r->loader_wait_ms),
+                   strfmt("%.6f", r->last_loss)});
+  }
+  bench::print_table(table);
+
+  const double speedup = inline_run.imgs_per_second > 0.0
+                             ? prefetched.imgs_per_second /
+                                   inline_run.imgs_per_second
+                             : 0.0;
+  std::printf("  prefetched vs inline throughput: %.2fx\n", speedup);
+  if (prefetched.last_loss == inline_run.last_loss) {
+    bench::print_note("bit-identical training: both paths ended on the "
+                      "exact same loss");
+  } else {
+    std::printf("FAIL: losses diverged (%.9f vs %.9f) — the pipeline "
+                "changed the batch stream\n",
+                prefetched.last_loss, inline_run.last_loss);
+    return 1;
+  }
+
+  std::size_t depth_max = 0;
+  double depth_sum = 0.0;
+  std::string trace_head;
+  for (std::size_t i = 0; i < depth_trace.size(); ++i) {
+    depth_max = std::max(depth_max, depth_trace[i]);
+    depth_sum += static_cast<double>(depth_trace[i]);
+    if (i < 40) {
+      trace_head += (i ? "," : "") + strfmt("%zu", depth_trace[i]);
+    }
+  }
+  const double depth_mean =
+      depth_trace.empty() ? 0.0
+                          : depth_sum / static_cast<double>(depth_trace.size());
+  std::printf("  queue depth: mean %.2f, max %zu over %zu samples\n",
+              depth_mean, depth_max, depth_trace.size());
+  std::printf("\nQUEUE_DEPTH_TRACE [%s]\n", trace_head.c_str());
+  std::printf("DATA_PIPELINE_JSON %s\n", to_json(inline_run).c_str());
+  std::printf("DATA_PIPELINE_JSON %s\n", to_json(prefetched).c_str());
+
+  bench::ResultEnvelope envelope("data_pipeline", smoke);
+  // Overlap is the whole point; the injected latency is fixed, so the
+  // speedup is stable — but CI machines are noisy, keep tolerances loose.
+  envelope.metric("prefetched_vs_inline_speedup", speedup, "x",
+                  /*higher_is_better=*/true, /*tolerance_pct=*/35.0);
+  envelope.metric("prefetched_imgs_per_s", prefetched.imgs_per_second,
+                  "img/s", true, 60.0);
+  envelope.metric("inline_imgs_per_s", inline_run.imgs_per_second, "img/s",
+                  true, 60.0);
+  envelope.extra(strfmt(
+      "{\"inline\":%s,\"prefetched\":%s,\"queue_depth_mean\":%.2f,"
+      "\"queue_depth_max\":%zu}",
+      to_json(inline_run).c_str(), to_json(prefetched).c_str(), depth_mean,
+      depth_max));
+  envelope.write(flags.get("out"));
+
+  if (speedup <= 1.0) {
+    std::printf("FAIL: prefetching did not beat the inline path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dlsr::data
+
+int main(int argc, char** argv) { return dlsr::data::run(argc, argv); }

@@ -10,6 +10,12 @@
 #include "common/strings.hpp"
 
 namespace dlsr {
+namespace {
+
+/// The pool whose worker_loop owns the calling thread (nullptr off-pool).
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -46,7 +52,10 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::on_pool_thread() const { return t_current_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -117,7 +126,9 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
   const std::size_t n = end - begin;
   const std::size_t workers = pool.thread_count();
-  if (workers <= 1 || n == 1) {
+  // Nested fork-join guard: a worker that blocked here would hold its slot
+  // while its chunks wait in the queue behind other blocked workers.
+  if (workers <= 1 || n == 1 || pool.on_pool_thread()) {
     for (std::size_t i = begin; i < end; ++i) {
       body(i);
     }

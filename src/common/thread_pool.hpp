@@ -29,6 +29,13 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// parallel_for to detect nesting: a pool task that forks onto its own
+  /// pool and then blocks would occupy the very worker its chunks need
+  /// (with every worker doing so, the queue never drains — deadlock), so
+  /// nested calls degrade to a serial loop instead.
+  bool on_pool_thread() const;
+
   /// Enqueues a task. Tasks run detached from callers, so a thrown
   /// exception has nowhere to propagate: the pool catches it, logs an
   /// error, and the worker keeps serving (a faulty task must not shrink
@@ -61,6 +68,14 @@ class ThreadPool {
 /// If any iteration throws, the first exception is rethrown in the calling
 /// thread after every chunk has finished (remaining iterations of the
 /// throwing chunk are skipped; other chunks still run).
+///
+/// Safe to call from inside a task running on `pool`: the nested call runs
+/// the whole range serially on the calling worker instead of sharding. A
+/// blocking fork-join from a pool worker could otherwise starve — the
+/// caller holds a worker slot while waiting for chunks that sit behind
+/// other blocked callers in the FIFO queue — so nested data-pipeline
+/// stages and kernels compose without a reserved-thread budget, at the
+/// cost of no extra parallelism below the outermost fork.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

@@ -17,13 +17,20 @@ namespace {
 /// simulated-time process (pid kSimPid), SimTime seconds mapped to trace
 /// microseconds. Communication spans are emitted by the dlsr::comm layer
 /// itself, one lane per in-flight slot, as operations execute.
-void emit_sim_step_events(std::size_t step, sim::SimTime step_start,
+void emit_sim_step_events(std::size_t step, sim::SimTime step_begin,
+                          sim::SimTime step_start,
                           sim::SimTime backward_start,
                           const hvd::StepTimeline& comm,
                           sim::SimTime step_end) {
   auto& tracer = obs::Tracer::instance();
   const auto us = [](sim::SimTime t) { return t * 1e6; };
   const std::string args = strfmt("{\"step\":%zu}", step);
+  if (step_start > step_begin) {
+    // Exposed input wait: the full load on the inline path, only the
+    // producer-behind residual when the prefetching pipeline is modeled.
+    tracer.complete("data", "sim", us(step_begin),
+                    us(step_start - step_begin), args, obs::kSimPid);
+  }
   tracer.complete("forward", "sim", us(step_start),
                   us(backward_start - step_start), args, obs::kSimPid);
   tracer.complete("backward", "sim", us(backward_start),
@@ -65,6 +72,9 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
   auto& registry = obs::MetricsRegistry::global();
   const auto step_ms_hist = registry.histogram("sim/step_ms");
   const auto exposed_ms_hist = registry.histogram("sim/exposed_comm_ms");
+  const auto data_ms_hist = config_.data_time > 0.0
+                                ? registry.histogram("sim/data_ms")
+                                : std::shared_ptr<obs::Histogram>();
   sim::Cluster cluster(sim::ClusterSpec::lassen(nodes));
   auto backend = make_backend(kind, cluster, config_.seed);
   hvd::TensorFusionEngine fusion(config_.fusion, *backend);
@@ -85,7 +95,19 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
   // Initial parameter broadcast (hvd.broadcast_parameters).
   sim::SimTime t = backend->broadcast(graph_.param_bytes(), 0xB0ADCA57ull, 0.0);
 
+  // Prefetching-loader model (config.data_pipeline): the producer starts
+  // filling the bounded batch queue at t=0, overlapping the setup
+  // broadcast. Batch s starts producing once batch s-1 finished AND queue
+  // slot s-prefetch_depth was freed by consumption; only the residual wait
+  // (producer behind the consumer) lands on the step's critical path.
+  double producer_ready = 0.0;       // finish time of the last produced batch
+  std::vector<double> consumed;      // consume time of batch j (slot free)
+  if (config_.data_pipeline) {
+    consumed.reserve(steps);
+  }
+
   double exposed_total = 0.0;
+  double data_total = 0.0;
   for (std::size_t s = 0; s < steps; ++s) {
     // Straggler model: the synchronous step runs at the slowest rank's
     // pace. With lognormal(0, sigma) per-rank noise the expected max grows
@@ -104,6 +126,32 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
     // engine, only where compute actually overlaps an in-service op.
     const double fwd = (compute.forward + compute.overhead) * worst;
     const double bwd = compute.backward * worst;
+    // Input latency shares the step's jitter draw — a slow parallel
+    // filesystem is noisy the same way compute is, and reusing `worst`
+    // keeps the RNG stream identical to the data_time==0 simulation.
+    const double data_cost = config_.data_time * worst;
+
+    const sim::SimTime step_begin = t;
+    double data_stall = 0.0;
+    if (config_.data_pipeline) {
+      double produce_start = producer_ready;
+      if (s >= config_.prefetch_depth && config_.prefetch_depth > 0) {
+        produce_start =
+            std::max(produce_start, consumed[s - config_.prefetch_depth]);
+      }
+      producer_ready = produce_start + data_cost;
+      data_stall = std::max(0.0, producer_ready - t);
+    } else {
+      data_stall = data_cost;
+    }
+    t += data_stall;
+    if (config_.data_pipeline) {
+      consumed.push_back(t);
+    }
+    data_total += data_stall;
+    if (data_ms_hist) {
+      data_ms_hist->observe(data_stall * 1e3);
+    }
 
     const sim::SimTime step_start = t;
     const sim::SimTime backward_start = step_start + fwd;
@@ -128,12 +176,12 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
       timeline->record_step(std::move(trace));
     }
     if (obs::tracing_enabled()) {
-      emit_sim_step_events(s, step_start, backward_start, comm_timeline,
-                           step_end);
+      emit_sim_step_events(s, step_begin, step_start, backward_start,
+                           comm_timeline, step_end);
     }
-    step_ms_hist->observe((step_end - step_start) * 1e3);
+    step_ms_hist->observe((step_end - step_begin) * 1e3);
     exposed_ms_hist->observe(comm_timeline.exposed_comm() * 1e3);
-    result.step_times.push_back(step_end - step_start);
+    result.step_times.push_back(step_end - step_begin);
     exposed_total += comm_timeline.exposed_comm();
     t = step_end;
   }
@@ -146,6 +194,7 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
   }
   result.mean_step_time = step_sum / static_cast<double>(steps);
   result.mean_exposed_comm = exposed_total / static_cast<double>(steps);
+  result.mean_data_stall = data_total / static_cast<double>(steps);
   result.images_per_second =
       static_cast<double>(gpus * config_.batch_per_gpu) /
       result.mean_step_time;

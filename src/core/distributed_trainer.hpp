@@ -44,6 +44,19 @@ struct TrainingJobConfig {
   /// slowest rank's pace, so a single slow node gates the whole job.
   double straggler_slowdown = 1.0;
   std::size_t straggler_node = 0;
+  /// Per-replica input load/decode latency per step, seconds (parallel
+  /// filesystem read + decode + augment of one batch). 0 models free data
+  /// and reproduces pre-pipeline traces exactly — no extra RNG draws.
+  double data_time = 0.0;
+  /// When true the dlsr::data prefetching loader is modeled: batches are
+  /// produced ahead on the data threads (production of batch N+1 overlaps
+  /// step N's compute, bounded by `prefetch_depth` queue slots, with
+  /// warmup during the setup broadcast) and only the residual wait — the
+  /// producer falling behind — lands on the step's critical path. When
+  /// false the load is serialized ahead of forward, the legacy inline
+  /// behavior.
+  bool data_pipeline = false;
+  std::size_t prefetch_depth = 2;
   std::uint64_t seed = 2021;
 
   /// The paper's tuned Horovod settings for EDSR: a large cycle time and the
@@ -60,6 +73,7 @@ struct RunResult {
   double scaling_efficiency = 0.0;  ///< vs. GPUs x single-GPU throughput
   double mean_step_time = 0.0;      ///< seconds
   double mean_exposed_comm = 0.0;   ///< seconds of unhidden communication
+  double mean_data_stall = 0.0;     ///< seconds of exposed input wait
   double allreduce_time_total = 0.0;  ///< profiler total over all steps
   double reg_cache_hit_rate = 0.0;    ///< 0 for NCCL
   prof::Hvprof profiler;              ///< bucketed collective profile

@@ -1,6 +1,7 @@
 #include "core/training_session.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "common/error.hpp"
 #include "image/metrics.hpp"
@@ -46,11 +47,38 @@ TrainingSession::TrainingSession(
   DLSR_CHECK(config_.workers > 0, "need at least one worker");
   // Per-worker data shards: each worker samples from the same pool with an
   // independent stream (i.i.d. sharding, as Horovod's default sampler).
-  samplers_.reserve(config_.workers);
-  for (std::size_t w = 0; w < config_.workers; ++w) {
-    samplers_.emplace_back(dataset_, img::Split::Train, config_.train_pool,
-                           config_.scale, config_.lr_patch,
-                           config_.seed * 7919 + w);
+  // Both paths seed worker w with seed*7919+w, so the pipeline delivers
+  // bit-identical batches to the inline path.
+  if (config_.data_pipeline) {
+    // Pipeline path: decode the pool once into a shared SampleStore and
+    // hand every worker ref-counted views; a prefetching loader produces
+    // batches ahead of the step.
+    train_view_ =
+        std::make_unique<data::Div2kDataset>(dataset_, img::Split::Train);
+    store_ = std::make_shared<data::SampleStore>(*train_view_);
+    auto [lr_pool, hr_pool] =
+        store_->lr_hr_pool(config_.train_pool, config_.scale);
+    std::vector<img::PatchSampler> shard_samplers;
+    shard_samplers.reserve(config_.workers);
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      shard_samplers.emplace_back(lr_pool, hr_pool, config_.scale,
+                                  config_.lr_patch,
+                                  config_.seed * 7919 + w);
+    }
+    data::LoaderConfig loader_cfg;
+    loader_cfg.batch_per_worker = config_.batch_per_worker;
+    loader_cfg.prefetch_depth = config_.prefetch_depth;
+    loader_cfg.data_threads = config_.data_threads;
+    loader_cfg.produce_delay_ms = config_.loader_delay_ms;
+    loader_ = std::make_unique<data::TrainLoader>(std::move(shard_samplers),
+                                                  loader_cfg);
+  } else {
+    samplers_.reserve(config_.workers);
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      samplers_.emplace_back(dataset_, img::Split::Train, config_.train_pool,
+                             config_.scale, config_.lr_patch,
+                             config_.seed * 7919 + w);
+    }
   }
   if (config_.stall_timeout_seconds > 0.0) {
     watchdog_ =
@@ -87,10 +115,27 @@ SessionStats TrainingSession::run_steps(std::size_t steps) {
     {
       OBS_SPAN("core", "data");
       const auto data_start = std::chrono::steady_clock::now();
-      for (std::size_t w = 0; w < config_.workers; ++w) {
-        img::Batch batch = samplers_[w].sample_batch(config_.batch_per_worker);
-        inputs.push_back(std::move(batch.lr));
-        targets.push_back(std::move(batch.hr));
+      if (loader_) {
+        // Pipeline path: only the residual wait (producer behind) lands on
+        // the step's critical path.
+        std::vector<img::Batch> batches = loader_->next();
+        for (img::Batch& batch : batches) {
+          inputs.push_back(std::move(batch.lr));
+          targets.push_back(std::move(batch.hr));
+        }
+      } else {
+        if (config_.loader_delay_ms > 0.0) {
+          // Injected decode latency: the inline path pays it serially here.
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  config_.loader_delay_ms));
+        }
+        for (std::size_t w = 0; w < config_.workers; ++w) {
+          img::Batch batch =
+              samplers_[w].sample_batch(config_.batch_per_worker);
+          inputs.push_back(std::move(batch.lr));
+          targets.push_back(std::move(batch.hr));
+        }
       }
       data_ms->observe(ms_since(data_start));
     }

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "core/metrics_log.hpp"
+#include "data/loader.hpp"
+#include "data/sample_store.hpp"
 #include "hvd/worker_group.hpp"
 #include "image/patch_sampler.hpp"
 #include "image/synthetic_div2k.hpp"
@@ -42,6 +44,17 @@ struct SessionConfig {
   /// Step-stall watchdog: if no step completes for this many seconds the
   /// flight recorder dumps and an error is logged (0 = no watchdog).
   double stall_timeout_seconds = 0.0;
+  /// Async data pipeline (dlsr::data): replicas shard one SampleStore pool
+  /// and a prefetching TrainLoader produces batch N+1 while step N
+  /// computes. Batches are bit-identical to the inline path at equal seed.
+  bool data_pipeline = false;
+  /// Loader queue capacity in steps (2 = double buffering).
+  std::size_t prefetch_depth = 2;
+  /// Materialize-stage threads (0 = share the global compute pool).
+  std::size_t data_threads = 0;
+  /// Injected per-step decode latency in ms, both paths: the inline path
+  /// eats it on the critical path, the pipeline hides it. Test/bench knob.
+  double loader_delay_ms = 0.0;
   std::uint64_t seed = 1;
 };
 
@@ -72,6 +85,9 @@ class TrainingSession {
   /// Per-step training metrics (loss, lr, validation PSNR when measured).
   const MetricsLog& metrics() const { return metrics_; }
   hvd::WorkerGroup& workers() { return group_; }
+  /// Pipeline internals for tests and benches (null on the inline path).
+  const data::TrainLoader* loader() const { return loader_.get(); }
+  const data::SampleStore* sample_store() const { return store_.get(); }
   std::size_t total_steps() const { return total_steps_; }
   double current_lr() const;
 
@@ -84,7 +100,12 @@ class TrainingSession {
   const img::SyntheticDiv2k& dataset_;
   SessionConfig config_;
   hvd::WorkerGroup group_;
-  std::vector<img::PatchSampler> samplers_;  // one per worker (shard)
+  std::vector<img::PatchSampler> samplers_;  // inline path: one per worker
+  /// Pipeline path (config.data_pipeline): dataset view + shared decoded
+  /// pool + prefetching loader. The loader owns its per-worker samplers.
+  std::unique_ptr<data::Div2kDataset> train_view_;
+  std::shared_ptr<data::SampleStore> store_;
+  std::unique_ptr<data::TrainLoader> loader_;
   /// One schedule per replica optimizer — identical rates keep replicas
   /// bit-identical.
   std::vector<std::unique_ptr<nn::WarmupSchedule>> warmups_;

@@ -1,0 +1,41 @@
+#include "data/dataset.hpp"
+
+#include "common/error.hpp"
+#include "image/ppm_io.hpp"
+
+namespace dlsr::data {
+
+Div2kDataset::Div2kDataset(const img::SyntheticDiv2k& dataset,
+                           img::Split split)
+    : dataset_(dataset), split_(split) {}
+
+std::size_t Div2kDataset::size() const { return dataset_.size(split_); }
+
+Tensor Div2kDataset::load(std::size_t index) const {
+  DLSR_CHECK(index < size(), "Div2kDataset index out of range");
+  return dataset_.hr_image(split_, index);
+}
+
+ShapesFrameDataset::ShapesFrameDataset(const img::SyntheticShapes& dataset)
+    : dataset_(dataset) {}
+
+std::size_t ShapesFrameDataset::size() const { return dataset_.size(); }
+
+Tensor ShapesFrameDataset::load(std::size_t index) const {
+  DLSR_CHECK(index < size(), "ShapesFrameDataset index out of range");
+  return dataset_.image(index);
+}
+
+PpmDataset::PpmDataset(std::vector<std::string> paths)
+    : paths_(std::move(paths)) {
+  DLSR_CHECK(!paths_.empty(), "PpmDataset needs at least one path");
+}
+
+std::size_t PpmDataset::size() const { return paths_.size(); }
+
+Tensor PpmDataset::load(std::size_t index) const {
+  DLSR_CHECK(index < paths_.size(), "PpmDataset index out of range");
+  return img::read_ppm(paths_[index]);
+}
+
+}  // namespace dlsr::data

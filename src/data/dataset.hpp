@@ -1,0 +1,75 @@
+// dlsr::data — sample-list-driven dataset abstraction.
+//
+// A Dataset is an indexed, immutable collection of decodable samples: the
+// pipeline addresses samples by index, and load(index) produces the decoded
+// HR image tensor. Implementations wrap the existing synthetic generators
+// (DIV2K, shapes) and PPM files on disk, so the same prefetching machinery
+// feeds training, benchmarks, and the serve streaming-ingest path.
+//
+// load() must be thread-safe and deterministic: the pipeline calls it from
+// pool workers, and bit-reproducibility of a seeded run depends on
+// load(index) always returning the same bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "image/shapes_dataset.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::data {
+
+/// Indexed source of decoded HR images ([1,3,H,W], values in [0,1]).
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::size_t size() const = 0;
+  /// Decodes sample `index`; thread-safe, deterministic. Throws dlsr::Error
+  /// on out-of-range indices or decode failure.
+  virtual Tensor load(std::size_t index) const = 0;
+};
+
+/// One split of the synthetic DIV2K generator as a Dataset. The generator
+/// is procedural, so "decode" is the deterministic image synthesis.
+class Div2kDataset : public Dataset {
+ public:
+  /// `dataset` must outlive this view.
+  Div2kDataset(const img::SyntheticDiv2k& dataset, img::Split split);
+  std::size_t size() const override;
+  Tensor load(std::size_t index) const override;
+
+ private:
+  const img::SyntheticDiv2k& dataset_;
+  img::Split split_;
+};
+
+/// The labeled shapes generator's images as a frame sequence (labels are
+/// dropped) — a cheap deterministic source for streaming-ingest scenarios.
+class ShapesFrameDataset : public Dataset {
+ public:
+  /// `dataset` must outlive this view.
+  explicit ShapesFrameDataset(const img::SyntheticShapes& dataset);
+  std::size_t size() const override;
+  Tensor load(std::size_t index) const override;
+
+ private:
+  const img::SyntheticShapes& dataset_;
+};
+
+/// PPM (P6) files on disk, in the given order. Construction only records
+/// the paths; decoding happens per load() call so a large corpus costs
+/// nothing until the pipeline touches it.
+class PpmDataset : public Dataset {
+ public:
+  explicit PpmDataset(std::vector<std::string> paths);
+  std::size_t size() const override;
+  Tensor load(std::size_t index) const override;
+  const std::vector<std::string>& paths() const { return paths_; }
+
+ private:
+  std::vector<std::string> paths_;
+};
+
+}  // namespace dlsr::data

@@ -1,0 +1,165 @@
+#include "data/loader.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr::data {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+TrainLoader::TrainLoader(std::vector<img::PatchSampler> samplers,
+                         LoaderConfig config)
+    : samplers_(std::move(samplers)), config_(config) {
+  DLSR_CHECK(!samplers_.empty(), "TrainLoader needs at least one sampler");
+  DLSR_CHECK(config_.batch_per_worker > 0, "batch_per_worker must be > 0");
+  DLSR_CHECK(config_.prefetch_depth > 0, "prefetch_depth must be > 0");
+  if (config_.data_threads > 0) {
+    own_pool_ = std::make_unique<ThreadPool>(config_.data_threads);
+    stage_pool_ = own_pool_.get();
+  } else {
+    stage_pool_ = &ThreadPool::global();
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  wait_ms_ = registry.histogram("data/wait_ms");
+  produce_ms_ = registry.histogram("data/produce_ms");
+  depth_gauge_ = registry.gauge("data/queue_depth");
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+TrainLoader::~TrainLoader() { stop(); }
+
+void TrainLoader::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  space_.notify_all();
+  if (producer_.joinable()) {
+    producer_.join();
+  }
+}
+
+std::vector<img::Batch> TrainLoader::produce_step() {
+  OBS_SPAN("data", "produce");
+  const auto start = std::chrono::steady_clock::now();
+  // Plan phase: every RNG draw, in (worker, item) order — the same
+  // serialization the inline path uses, so seeds reproduce.
+  std::vector<std::vector<img::PatchPlan>> plans;
+  plans.reserve(samplers_.size());
+  for (img::PatchSampler& sampler : samplers_) {
+    plans.push_back(sampler.plan_batch(config_.batch_per_worker));
+  }
+  // Stage phase: allocate the batch tensors, then materialize every
+  // (worker, item) pair on the stage pool. Items write disjoint slots, so
+  // the result is bit-identical for any thread count.
+  const std::size_t P = samplers_.front().lr_patch();
+  const std::size_t HP = P * samplers_.front().scale();
+  std::vector<img::Batch> batches(samplers_.size());
+  for (img::Batch& batch : batches) {
+    batch.lr = Tensor({config_.batch_per_worker, 3, P, P});
+    batch.hr = Tensor({config_.batch_per_worker, 3, HP, HP});
+  }
+  const std::size_t per_worker = config_.batch_per_worker;
+  parallel_for(*stage_pool_, 0, samplers_.size() * per_worker,
+               [&](std::size_t i) {
+                 const std::size_t w = i / per_worker;
+                 const std::size_t b = i % per_worker;
+                 samplers_[w].materialize_item(plans[w][b], batches[w].lr,
+                                               batches[w].hr, b);
+               });
+  if (config_.produce_delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        config_.produce_delay_ms));
+  }
+  const double elapsed = ms_since(start);
+  produce_ms_->observe(elapsed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.produce_ms_total += elapsed;
+  }
+  return batches;
+}
+
+void TrainLoader::producer_loop() {
+  try {
+    for (;;) {
+      {
+        // Backpressure: hold production while the queue is at depth.
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_.wait(lock, [this] {
+          return stopping_ || queue_.size() < config_.prefetch_depth;
+        });
+        if (stopping_) {
+          return;
+        }
+      }
+      std::vector<img::Batch> batches = produce_step();
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+          return;
+        }
+        queue_.push_back(std::move(batches));
+        depth_gauge_->set(static_cast<double>(queue_.size()));
+      }
+      ready_.notify_one();
+    }
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      producer_error_ = std::current_exception();
+      stopping_ = true;
+    }
+    ready_.notify_all();
+  }
+}
+
+std::vector<img::Batch> TrainLoader::next() {
+  OBS_SPAN("data", "wait");
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<img::Batch> batches;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (producer_error_) {
+        std::rethrow_exception(producer_error_);
+      }
+      throw Error("TrainLoader::next() after stop()");
+    }
+    batches = std::move(queue_.front());
+    queue_.pop_front();
+    depth_gauge_->set(static_cast<double>(queue_.size()));
+    ++stats_.steps;
+    stats_.wait_ms_total += ms_since(start);
+  }
+  space_.notify_one();
+  wait_ms_->observe(ms_since(start));
+  return batches;
+}
+
+std::size_t TrainLoader::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+LoaderStats TrainLoader::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dlsr::data

@@ -1,0 +1,111 @@
+// dlsr::data — prefetching training-batch loader.
+//
+// The legacy inline path synthesizes each step's LR/HR batches on the
+// training thread, serializing decode/augment/collate ahead of compute.
+// The TrainLoader moves that work off the step's critical path:
+//
+//   producer thread                                   training thread
+//   ---------------                                   ---------------
+//   plan   (per-worker RNG draws, sequential)    ┌──  next() pops the
+//   stage  (materialize items in parallel on  ───┤    bounded queue; waits
+//          the thread pool; optional injected    │    only when the
+//          decode delay)                         │    producer fell behind
+//   push   (bounded queue, depth =              ─┘
+//          prefetch_depth; blocks when full —
+//          backpressure, batches never pile up)
+//
+// Bit-reproducibility: all RNG draws happen in plan order on the producer
+// thread (PatchSampler::plan_batch), and materialization is RNG-free pure
+// copies into disjoint batch slots — so the delivered batch sequence is
+// bit-identical to the inline path at equal seed, for any prefetch depth
+// and any number of data threads.
+//
+// A queue depth of N is N-way buffering: depth 2 is the classic double
+// buffer (batch N+1 produced while step N computes).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "image/patch_sampler.hpp"
+#include "obs/metrics.hpp"
+
+namespace dlsr::data {
+
+struct LoaderConfig {
+  std::size_t batch_per_worker = 4;
+  /// Bounded queue capacity in steps (1 = no overlap beyond the batch in
+  /// progress, 2 = double buffering).
+  std::size_t prefetch_depth = 2;
+  /// Threads for the materialize stage: 0 shares the global pool with the
+  /// compute kernels (fills idle cycles), N > 0 gives the pipeline a
+  /// private pool.
+  std::size_t data_threads = 0;
+  /// Injected per-step produce latency in milliseconds — models a slow
+  /// decode/filesystem for tests and the data_pipeline bench.
+  double produce_delay_ms = 0.0;
+};
+
+/// Cumulative loader counters (all steps since construction).
+struct LoaderStats {
+  std::size_t steps = 0;        ///< batches delivered via next()
+  double wait_ms_total = 0.0;   ///< consumer time blocked in next()
+  double produce_ms_total = 0.0;  ///< producer time per step batch-set
+};
+
+class TrainLoader {
+ public:
+  /// One sampler per simulated replica; the loader owns them and consumes
+  /// their RNG streams in (step, worker) order, exactly like the inline
+  /// path does.
+  TrainLoader(std::vector<img::PatchSampler> samplers, LoaderConfig config);
+  ~TrainLoader();
+
+  TrainLoader(const TrainLoader&) = delete;
+  TrainLoader& operator=(const TrainLoader&) = delete;
+
+  /// The next step's batches, one per worker, in worker order. Blocks while
+  /// the queue is empty (producer behind). Rethrows a producer failure.
+  std::vector<img::Batch> next();
+
+  /// Queued ready steps (0..prefetch_depth).
+  std::size_t queue_depth() const;
+  LoaderStats stats() const;
+  std::size_t workers() const { return samplers_.size(); }
+
+  /// Stops the producer and joins it; called by the destructor. Idempotent.
+  void stop();
+
+ private:
+  void producer_loop();
+  std::vector<img::Batch> produce_step();
+
+  std::vector<img::PatchSampler> samplers_;
+  LoaderConfig config_;
+  /// Private stage pool when data_threads > 0 (else the global pool).
+  std::unique_ptr<ThreadPool> own_pool_;
+  ThreadPool* stage_pool_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;      ///< queue became non-empty / stopped
+  std::condition_variable space_;      ///< queue left full / stopped
+  std::deque<std::vector<img::Batch>> queue_;
+  std::exception_ptr producer_error_;
+  bool stopping_ = false;
+  LoaderStats stats_;
+
+  std::shared_ptr<obs::Histogram> wait_ms_;
+  std::shared_ptr<obs::Histogram> produce_ms_;
+  std::shared_ptr<obs::Gauge> depth_gauge_;
+
+  std::thread producer_;  ///< started last: everything above must be live
+};
+
+}  // namespace dlsr::data

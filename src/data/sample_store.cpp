@@ -1,0 +1,105 @@
+#include "data/sample_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "image/resize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr::data {
+
+SampleStore::SampleStore(const Dataset& dataset, SampleStoreConfig config)
+    : dataset_(dataset), config_(config) {
+  DLSR_CHECK(config_.capacity > 0, "SampleStore capacity must be positive");
+  auto& registry = obs::MetricsRegistry::global();
+  hit_counter_ = registry.counter("data/store_hits");
+  miss_counter_ = registry.counter("data/store_misses");
+  resident_gauge_ = registry.gauge("data/store_resident");
+}
+
+std::shared_ptr<const Tensor> SampleStore::hr(std::size_t index) {
+  return get({index, 0});
+}
+
+std::shared_ptr<const Tensor> SampleStore::lr(std::size_t index,
+                                              std::size_t scale) {
+  DLSR_CHECK(scale >= 2, "LR scale must be >= 2");
+  return get({index, scale});
+}
+
+Tensor SampleStore::produce(const Key& key) {
+  OBS_SPAN("data", "decode");
+  if (key.second == 0) {
+    return dataset_.load(key.first);
+  }
+  // LR derivative: downscale the (cached) HR decode.
+  return img::downscale_bicubic(*hr(key.first), key.second);
+}
+
+std::shared_ptr<const Tensor> SampleStore::get(const Key& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      hit_counter_->add();
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.tensor;
+    }
+    ++stats_.misses;
+    miss_counter_->add();
+  }
+  // Decode outside the lock: hits never queue behind a slow decode. A
+  // concurrent miss on the same key decodes the same bytes; either insert
+  // wins and the loser's copy dies with its shared_ptr.
+  auto tensor = std::make_shared<const Tensor>(produce(key));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    return it->second.tensor;  // raced: keep the resident copy
+  }
+  lru_.push_front(key);
+  entries_[key] = {tensor, lru_.begin()};
+  stats_.resident_bytes += tensor->numel() * sizeof(float);
+  while (entries_.size() > config_.capacity) {
+    const Key victim = lru_.back();
+    const auto vit = entries_.find(victim);
+    stats_.resident_bytes -= vit->second.tensor->numel() * sizeof(float);
+    entries_.erase(vit);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.resident = entries_.size();
+  resident_gauge_->set(static_cast<double>(entries_.size()));
+  return tensor;
+}
+
+std::pair<std::vector<std::shared_ptr<const Tensor>>,
+          std::vector<std::shared_ptr<const Tensor>>>
+SampleStore::lr_hr_pool(std::size_t count, std::size_t scale) {
+  DLSR_CHECK(count > 0 && count <= dataset_.size(),
+             "pool size must be within the dataset");
+  {
+    // A pinned pool needs 2 entries per sample (HR + LR); never let the
+    // pool evict itself while being built.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_.capacity = std::max(config_.capacity, 2 * count);
+  }
+  std::vector<std::shared_ptr<const Tensor>> lrs;
+  std::vector<std::shared_ptr<const Tensor>> hrs;
+  lrs.reserve(count);
+  hrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    hrs.push_back(hr(i));
+    lrs.push_back(lr(i, scale));
+  }
+  return {std::move(lrs), std::move(hrs)};
+}
+
+SampleStoreStats SampleStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dlsr::data

@@ -1,0 +1,94 @@
+// dlsr::data — shared in-memory sample store.
+//
+// Decoded samples are the expensive artifact of the input pipeline: at K
+// simulated replicas the legacy inline path decodes (and bicubic-downscales)
+// the same training pool K times. The SampleStore decodes each sample once
+// and hands out ref-counted shared_ptr views, so replicas shard one resident
+// pool instead of materializing private copies.
+//
+// Entries are keyed by (sample index, scale): scale 0 is the decoded HR
+// image, scale s >= 2 the bicubic LR derivative (computed from the cached
+// HR, so one decode serves every scale). The store is capacity-bounded in
+// entries with LRU eviction; because consumers hold shared_ptrs, eviction
+// only drops the store's reference — in-flight users keep the sample alive
+// (ref-counted sharing), and a re-miss simply decodes again.
+//
+// Thread-safe. Concurrent misses on the same key may decode twice (the
+// decode runs outside the lock so hits never wait behind it); both decodes
+// produce identical bytes, one wins the insert.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::data {
+
+struct SampleStoreConfig {
+  /// Max resident entries (HR and each LR derivative count separately).
+  std::size_t capacity = 256;
+};
+
+struct SampleStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t resident = 0;
+  std::size_t resident_bytes = 0;
+};
+
+class SampleStore {
+ public:
+  /// `dataset` must outlive the store.
+  explicit SampleStore(const Dataset& dataset, SampleStoreConfig config = {});
+
+  /// Decoded HR image for `index` (cached).
+  std::shared_ptr<const Tensor> hr(std::size_t index);
+
+  /// Bicubic LR derivative of sample `index` at `scale` (cached; decodes
+  /// the HR on demand).
+  std::shared_ptr<const Tensor> lr(std::size_t index, std::size_t scale);
+
+  /// Pins the first `count` samples: decoded HR plus the `scale` LR
+  /// derivative for each, returned as parallel pools for PatchSampler's
+  /// shared-pool constructor. Grows capacity if the pool would not fit, so
+  /// a training pool never thrashes its own working set.
+  std::pair<std::vector<std::shared_ptr<const Tensor>>,
+            std::vector<std::shared_ptr<const Tensor>>>
+  lr_hr_pool(std::size_t count, std::size_t scale);
+
+  const Dataset& dataset() const { return dataset_; }
+  SampleStoreStats stats() const;
+
+ private:
+  /// (index, scale); scale 0 = HR.
+  using Key = std::pair<std::size_t, std::size_t>;
+
+  std::shared_ptr<const Tensor> get(const Key& key);
+  Tensor produce(const Key& key);
+
+  const Dataset& dataset_;
+  SampleStoreConfig config_;
+  mutable std::mutex mutex_;
+  std::list<Key> lru_;  ///< front = most recently used
+  struct Entry {
+    std::shared_ptr<const Tensor> tensor;
+    std::list<Key>::iterator lru_pos;
+  };
+  std::map<Key, Entry> entries_;
+  SampleStoreStats stats_;
+  /// obs instruments bound once (registry lookups are mutexed).
+  std::shared_ptr<obs::Counter> hit_counter_;
+  std::shared_ptr<obs::Counter> miss_counter_;
+  std::shared_ptr<obs::Gauge> resident_gauge_;
+};
+
+}  // namespace dlsr::data

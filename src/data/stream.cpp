@@ -1,0 +1,138 @@
+#include "data/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr::data {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+StreamReader::StreamReader(const Dataset& dataset,
+                           std::shared_ptr<SampleStore> store,
+                           StreamConfig config)
+    : dataset_(dataset), store_(std::move(store)), config_(config) {
+  DLSR_CHECK(config_.prefetch_depth > 0, "prefetch_depth must be > 0");
+  DLSR_CHECK(config_.begin < dataset_.size(), "stream begin out of range");
+  end_ = config_.count == 0
+             ? dataset_.size()
+             : std::min(dataset_.size(), config_.begin + config_.count);
+  auto& registry = obs::MetricsRegistry::global();
+  wait_ms_ = registry.histogram("data/stream_wait_ms");
+  depth_gauge_ = registry.gauge("data/stream_queue_depth");
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+StreamReader::~StreamReader() { stop(); }
+
+void StreamReader::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  space_.notify_all();
+  if (producer_.joinable()) {
+    producer_.join();
+  }
+}
+
+void StreamReader::producer_loop() {
+  try {
+    for (std::size_t i = config_.begin; i < end_; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_.wait(lock, [this] {
+          return stopping_ || queue_.size() < config_.prefetch_depth;
+        });
+        if (stopping_) {
+          return;
+        }
+      }
+      Tensor frame;
+      {
+        OBS_SPAN("data", "stream_decode");
+        // Through the store when shared, else straight decode — the store
+        // hands back shared tensors, but stream consumers own their frame,
+        // so copy out of the cache.
+        frame = store_ ? Tensor(*store_->hr(i)) : dataset_.load(i);
+      }
+      if (config_.decode_delay_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.decode_delay_ms));
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+          return;
+        }
+        queue_.push_back(std::move(frame));
+        depth_gauge_->set(static_cast<double>(queue_.size()));
+      }
+      ready_.notify_one();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      finished_ = true;
+    }
+    ready_.notify_all();
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      producer_error_ = std::current_exception();
+      finished_ = true;
+    }
+    ready_.notify_all();
+  }
+}
+
+std::optional<Tensor> StreamReader::next() {
+  OBS_SPAN("data", "stream_wait");
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Tensor> frame;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] {
+      return stopping_ || finished_ || !queue_.empty();
+    });
+    if (queue_.empty()) {
+      if (producer_error_) {
+        std::rethrow_exception(producer_error_);
+      }
+      return std::nullopt;  // end of stream (or stopped)
+    }
+    frame = std::move(queue_.front());
+    queue_.pop_front();
+    depth_gauge_->set(static_cast<double>(queue_.size()));
+    ++stats_.delivered;
+    stats_.wait_ms_total += ms_since(start);
+  }
+  space_.notify_one();
+  wait_ms_->observe(ms_since(start));
+  return frame;
+}
+
+std::size_t StreamReader::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+StreamStats StreamReader::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dlsr::data

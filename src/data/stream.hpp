@@ -1,0 +1,86 @@
+// dlsr::data — ordered prefetching frame stream.
+//
+// StreamReader turns any Dataset into an ordered frame sequence with
+// decode-ahead: a producer thread pulls frames [begin, begin+count) through
+// the shared SampleStore (or straight from the dataset) into a bounded
+// queue, and next() hands them out in order. This is the ingest side of the
+// video-frame serving scenario: decode of frame N+k overlaps inference of
+// frame N, bounded by prefetch_depth so a slow consumer backpressures the
+// decoder instead of buffering the whole clip.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "data/sample_store.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::data {
+
+struct StreamConfig {
+  std::size_t begin = 0;
+  /// Frames to stream; 0 = through the end of the dataset.
+  std::size_t count = 0;
+  std::size_t prefetch_depth = 4;
+  /// Injected per-frame decode latency in milliseconds (tests/benches).
+  double decode_delay_ms = 0.0;
+};
+
+struct StreamStats {
+  std::size_t delivered = 0;
+  double wait_ms_total = 0.0;  ///< consumer time blocked in next()
+};
+
+class StreamReader {
+ public:
+  /// Reads frames from `dataset`; when `store` is non-null decodes go
+  /// through it (shared, ref-counted, so several streams over one corpus
+  /// decode each frame once). Both must outlive the reader.
+  StreamReader(const Dataset& dataset, std::shared_ptr<SampleStore> store,
+               StreamConfig config = {});
+  ~StreamReader();
+
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+
+  /// The next frame in sequence, or nullopt at end of stream. Blocks while
+  /// the producer is behind; rethrows a producer decode failure.
+  std::optional<Tensor> next();
+
+  std::size_t queue_depth() const;
+  StreamStats stats() const;
+
+  /// Stops the producer and joins it; called by the destructor. Idempotent.
+  void stop();
+
+ private:
+  void producer_loop();
+
+  const Dataset& dataset_;
+  std::shared_ptr<SampleStore> store_;
+  StreamConfig config_;
+  std::size_t end_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<Tensor> queue_;
+  std::exception_ptr producer_error_;
+  bool finished_ = false;  ///< producer delivered the last frame
+  bool stopping_ = false;
+  StreamStats stats_;
+
+  std::shared_ptr<obs::Histogram> wait_ms_;
+  std::shared_ptr<obs::Gauge> depth_gauge_;
+
+  std::thread producer_;
+};
+
+}  // namespace dlsr::data

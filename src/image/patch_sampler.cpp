@@ -1,5 +1,7 @@
 #include "image/patch_sampler.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "image/resize.hpp"
 #include "tensor/transforms.hpp"
@@ -18,58 +20,100 @@ PatchSampler::PatchSampler(const SyntheticDiv2k& dataset, Split split,
   hr_images_.reserve(pool_images);
   for (std::size_t i = 0; i < pool_images; ++i) {
     Tensor hr = dataset.hr_image(split, i);
-    lr_images_.push_back(downscale_bicubic(hr, scale));
-    hr_images_.push_back(std::move(hr));
+    lr_images_.push_back(
+        std::make_shared<const Tensor>(downscale_bicubic(hr, scale)));
+    hr_images_.push_back(std::make_shared<const Tensor>(std::move(hr)));
   }
 }
 
-Batch PatchSampler::sample_batch(std::size_t batch_size) {
+PatchSampler::PatchSampler(
+    std::vector<std::shared_ptr<const Tensor>> lr_pool,
+    std::vector<std::shared_ptr<const Tensor>> hr_pool, std::size_t scale,
+    std::size_t lr_patch, std::uint64_t seed)
+    : scale_(scale),
+      lr_patch_(lr_patch),
+      lr_images_(std::move(lr_pool)),
+      hr_images_(std::move(hr_pool)),
+      rng_(seed) {
+  DLSR_CHECK(!lr_images_.empty() && lr_images_.size() == hr_images_.size(),
+             "shared pool must hold matching LR/HR pairs");
+  for (std::size_t i = 0; i < lr_images_.size(); ++i) {
+    DLSR_CHECK(lr_images_[i] && hr_images_[i], "null image in shared pool");
+    DLSR_CHECK(lr_images_[i]->dim(2) >= lr_patch,
+               "images smaller than the LR patch");
+    DLSR_CHECK(hr_images_[i]->dim(2) == lr_images_[i]->dim(2) * scale,
+               "HR/LR pool dims inconsistent with scale");
+  }
+}
+
+std::vector<PatchPlan> PatchSampler::plan_batch(std::size_t batch_size) {
   DLSR_CHECK(batch_size > 0, "batch_size must be positive");
+  std::vector<PatchPlan> plans(batch_size);
+  for (PatchPlan& plan : plans) {
+    // Draw order (transform, image, ox, oy) is the sampler's serialization
+    // contract: it must not change, or seeded runs stop reproducing.
+    plan.transform = augment_ ? static_cast<int>(rng_.uniform_index(8)) : 0;
+    plan.image = rng_.uniform_index(lr_images_.size());
+    const std::size_t lr_size = lr_images_[plan.image]->dim(2);
+    const std::size_t max_off = lr_size - lr_patch_;
+    plan.ox = max_off ? rng_.uniform_index(max_off + 1) : 0;
+    plan.oy = max_off ? rng_.uniform_index(max_off + 1) : 0;
+  }
+  return plans;
+}
+
+void PatchSampler::materialize_item(const PatchPlan& plan, Tensor& lr_batch,
+                                    Tensor& hr_batch, std::size_t b) const {
+  const std::size_t P = lr_patch_;
+  const std::size_t HP = P * scale_;
+  DLSR_CHECK(plan.image < lr_images_.size(), "plan image out of range");
+  const Tensor& lr = *lr_images_[plan.image];
+  const Tensor& hr = *hr_images_[plan.image];
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t y = 0; y < P; ++y) {
+      for (std::size_t x = 0; x < P; ++x) {
+        lr_batch.at4(b, c, y, x) = lr.at4(0, c, plan.oy + y, plan.ox + x);
+      }
+    }
+    for (std::size_t y = 0; y < HP; ++y) {
+      for (std::size_t x = 0; x < HP; ++x) {
+        hr_batch.at4(b, c, y, x) =
+            hr.at4(0, c, plan.oy * scale_ + y, plan.ox * scale_ + x);
+      }
+    }
+  }
+  if (plan.transform != 0) {
+    // Apply the same dihedral transform to both patches of this item.
+    Tensor lr_one({1, 3, P, P});
+    Tensor hr_one({1, 3, HP, HP});
+    std::copy(lr_batch.raw() + b * 3 * P * P,
+              lr_batch.raw() + (b + 1) * 3 * P * P, lr_one.raw());
+    std::copy(hr_batch.raw() + b * 3 * HP * HP,
+              hr_batch.raw() + (b + 1) * 3 * HP * HP, hr_one.raw());
+    lr_one = dihedral_transform(lr_one, plan.transform);
+    hr_one = dihedral_transform(hr_one, plan.transform);
+    std::copy(lr_one.raw(), lr_one.raw() + lr_one.numel(),
+              lr_batch.raw() + b * 3 * P * P);
+    std::copy(hr_one.raw(), hr_one.raw() + hr_one.numel(),
+              hr_batch.raw() + b * 3 * HP * HP);
+  }
+}
+
+Batch PatchSampler::materialize(const std::vector<PatchPlan>& plans) const {
+  DLSR_CHECK(!plans.empty(), "materialize needs at least one plan");
   const std::size_t P = lr_patch_;
   const std::size_t HP = P * scale_;
   Batch batch;
-  batch.lr = Tensor({batch_size, 3, P, P});
-  batch.hr = Tensor({batch_size, 3, HP, HP});
-  for (std::size_t b = 0; b < batch_size; ++b) {
-    const int transform =
-        augment_ ? static_cast<int>(rng_.uniform_index(8)) : 0;
-    const std::size_t idx = rng_.uniform_index(lr_images_.size());
-    const Tensor& lr = lr_images_[idx];
-    const Tensor& hr = hr_images_[idx];
-    const std::size_t lr_size = lr.dim(2);
-    const std::size_t max_off = lr_size - P;
-    const std::size_t ox = max_off ? rng_.uniform_index(max_off + 1) : 0;
-    const std::size_t oy = max_off ? rng_.uniform_index(max_off + 1) : 0;
-    for (std::size_t c = 0; c < 3; ++c) {
-      for (std::size_t y = 0; y < P; ++y) {
-        for (std::size_t x = 0; x < P; ++x) {
-          batch.lr.at4(b, c, y, x) = lr.at4(0, c, oy + y, ox + x);
-        }
-      }
-      for (std::size_t y = 0; y < HP; ++y) {
-        for (std::size_t x = 0; x < HP; ++x) {
-          batch.hr.at4(b, c, y, x) =
-              hr.at4(0, c, oy * scale_ + y, ox * scale_ + x);
-        }
-      }
-    }
-    if (transform != 0) {
-      // Apply the same dihedral transform to both patches of this item.
-      Tensor lr_one({1, 3, P, P});
-      Tensor hr_one({1, 3, HP, HP});
-      std::copy(batch.lr.raw() + b * 3 * P * P,
-                batch.lr.raw() + (b + 1) * 3 * P * P, lr_one.raw());
-      std::copy(batch.hr.raw() + b * 3 * HP * HP,
-                batch.hr.raw() + (b + 1) * 3 * HP * HP, hr_one.raw());
-      lr_one = dihedral_transform(lr_one, transform);
-      hr_one = dihedral_transform(hr_one, transform);
-      std::copy(lr_one.raw(), lr_one.raw() + lr_one.numel(),
-                batch.lr.raw() + b * 3 * P * P);
-      std::copy(hr_one.raw(), hr_one.raw() + hr_one.numel(),
-                batch.hr.raw() + b * 3 * HP * HP);
-    }
+  batch.lr = Tensor({plans.size(), 3, P, P});
+  batch.hr = Tensor({plans.size(), 3, HP, HP});
+  for (std::size_t b = 0; b < plans.size(); ++b) {
+    materialize_item(plans[b], batch.lr, batch.hr, b);
   }
   return batch;
+}
+
+Batch PatchSampler::sample_batch(std::size_t batch_size) {
+  return materialize(plan_batch(batch_size));
 }
 
 }  // namespace dlsr::img

@@ -3,8 +3,20 @@
 // EDSR trains on aligned random crops: an LR patch of P x P and the
 // corresponding HR patch of (P*scale) x (P*scale). The sampler precomputes
 // the LR images once (bicubic downscale) and draws aligned crops.
+//
+// Sampling is split into two phases so the data pipeline can parallelize it
+// without changing the bits:
+//   plan_batch()  — draws every random decision (image index, crop offsets,
+//                   dihedral transform) from the sampler's seeded RNG, in a
+//                   fixed order, on the calling thread;
+//   materialize() — turns plans into batch tensors; pure copies with no RNG,
+//                   so any item may run on any worker thread and the result
+//                   is bit-identical regardless of worker count.
+// sample_batch() == materialize(plan_batch()) and reproduces the historical
+// inline behavior exactly.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -19,15 +31,47 @@ struct Batch {
   Tensor hr;
 };
 
+/// Every random decision for one batch item. Materialization of a plan is
+/// deterministic: equal plans over equal pools give equal patches.
+struct PatchPlan {
+  std::size_t image = 0;  ///< pool index
+  std::size_t ox = 0;     ///< LR crop offset, x
+  std::size_t oy = 0;     ///< LR crop offset, y
+  int transform = 0;      ///< dihedral index (0 = identity)
+};
+
 class PatchSampler {
  public:
-  /// Materializes `pool_images` LR/HR pairs from the dataset split.
+  /// Materializes `pool_images` LR/HR pairs from the dataset split (each
+  /// sampler decodes and downscales its own private pool).
   PatchSampler(const SyntheticDiv2k& dataset, Split split,
                std::size_t pool_images, std::size_t scale,
                std::size_t lr_patch, std::uint64_t seed);
 
+  /// Samples over an externally owned (shared, ref-counted) image pool —
+  /// the data::SampleStore path: N replicas shard one decoded pool instead
+  /// of materializing it N times. `lr[i]` must be the bicubic downscale of
+  /// `hr[i]` by `scale`; draw behavior is identical to the private-pool
+  /// constructor at equal seed.
+  PatchSampler(std::vector<std::shared_ptr<const Tensor>> lr_pool,
+               std::vector<std::shared_ptr<const Tensor>> hr_pool,
+               std::size_t scale, std::size_t lr_patch, std::uint64_t seed);
+
   /// Draws a batch of aligned random crops (optionally augmented).
   Batch sample_batch(std::size_t batch_size);
+
+  /// Draws the random decisions for `batch_size` items, advancing the RNG
+  /// exactly as sample_batch would.
+  std::vector<PatchPlan> plan_batch(std::size_t batch_size);
+
+  /// Copies plan `plan` into slot `b` of preallocated batch tensors
+  /// (lr [B,3,P,P], hr [B,3,P*s,P*s]). Thread-safe and RNG-free.
+  void materialize_item(const PatchPlan& plan, Tensor& lr_batch,
+                        Tensor& hr_batch, std::size_t b) const;
+
+  /// Materializes a full plan serially. Equal to the parallel per-item path
+  /// bit-for-bit.
+  Batch materialize(const std::vector<PatchPlan>& plans) const;
 
   /// Enables the standard EDSR training augmentation: a random dihedral
   /// transform (flip/rotation) applied identically to the LR/HR pair.
@@ -36,13 +80,14 @@ class PatchSampler {
 
   std::size_t scale() const { return scale_; }
   std::size_t lr_patch() const { return lr_patch_; }
+  std::size_t pool_size() const { return lr_images_.size(); }
 
  private:
   std::size_t scale_;
   std::size_t lr_patch_;
   bool augment_ = false;
-  std::vector<Tensor> lr_images_;
-  std::vector<Tensor> hr_images_;
+  std::vector<std::shared_ptr<const Tensor>> lr_images_;
+  std::vector<std::shared_ptr<const Tensor>> hr_images_;
   Rng rng_;
 };
 

@@ -1,0 +1,62 @@
+#include "serve/stream_ingest.hpp"
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace dlsr::serve {
+
+StreamIngestStats serve_stream(
+    SrServer& server, data::StreamReader& reader, StreamIngestConfig config,
+    const std::function<void(std::size_t, const ServeResult&)>& sink) {
+  DLSR_CHECK(config.max_in_flight > 0, "max_in_flight must be > 0");
+  OBS_SPAN("serve", "stream");
+  StreamIngestStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::deque<std::future<ServeResult>> in_flight;
+  std::size_t resolved = 0;
+  const auto resolve_front = [&] {
+    ServeResult r = in_flight.front().get();
+    in_flight.pop_front();
+    if (r.status == ServeStatus::Ok) {
+      ++stats.ok;
+    } else {
+      ++stats.failed;
+    }
+    if (sink) {
+      sink(resolved, r);
+    }
+    ++resolved;
+  };
+
+  for (;;) {
+    std::optional<Tensor> frame = reader.next();
+    if (!frame.has_value()) {
+      break;  // end of stream
+    }
+    ++stats.frames;
+    in_flight.push_back(server.submit(*frame));
+    if (in_flight.size() >= config.max_in_flight) {
+      resolve_front();
+    }
+  }
+  while (!in_flight.empty()) {
+    resolve_front();
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stats.fps = stats.wall_seconds > 0.0
+                  ? static_cast<double>(stats.frames) / stats.wall_seconds
+                  : 0.0;
+  stats.ingest_wait_ms = reader.stats().wait_ms_total;
+  return stats;
+}
+
+}  // namespace dlsr::serve

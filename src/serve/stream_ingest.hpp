@@ -1,0 +1,44 @@
+// Streaming ingest for dlsr::serve — video-frame sequences through the
+// data pipeline.
+//
+// serve_stream() pulls decoded frames in order from a data::StreamReader
+// (whose producer thread prefetches through the shared SampleStore) and
+// feeds them to the SrServer, keeping up to `max_in_flight` frames
+// outstanding so frame N+1's tiles batch with frame N's — the serving-side
+// analogue of the training loader's prefetch overlap. Results are collected
+// in order; per-frame callbacks let callers sink upscaled frames without
+// buffering the whole clip.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "data/stream.hpp"
+#include "serve/server.hpp"
+
+namespace dlsr::serve {
+
+struct StreamIngestConfig {
+  /// Frames submitted but not yet resolved; bounds memory and keeps the
+  /// micro-batcher fed across frame boundaries.
+  std::size_t max_in_flight = 4;
+};
+
+struct StreamIngestStats {
+  std::size_t frames = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;   ///< rejected or timed out
+  double wall_seconds = 0.0;
+  double fps = 0.0;                 ///< delivered frames per second
+  double ingest_wait_ms = 0.0;      ///< total consumer wait on the decoder
+};
+
+/// Streams every frame of `reader` through `server` in order. `sink`, when
+/// non-null, is invoked in frame order with (frame index, result) as each
+/// frame resolves. Returns aggregate throughput/outcome stats.
+StreamIngestStats serve_stream(
+    SrServer& server, data::StreamReader& reader,
+    StreamIngestConfig config = {},
+    const std::function<void(std::size_t, const ServeResult&)>& sink = {});
+
+}  // namespace dlsr::serve

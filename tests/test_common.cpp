@@ -329,5 +329,49 @@ TEST(ThreadPool, ReusableAcrossBatches) {
   EXPECT_EQ(sum.load(), 500);
 }
 
+TEST(ThreadPool, OnPoolThreadIdentifiesOwningPool) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.on_pool_thread());
+  std::atomic<bool> saw_own{false};
+  std::atomic<bool> saw_other{true};
+  a.submit([&] {
+    saw_own = a.on_pool_thread();
+    saw_other = b.on_pool_thread();  // a's worker is not b's
+  });
+  a.wait_idle();
+  EXPECT_TRUE(saw_own.load());
+  EXPECT_FALSE(saw_other.load());
+}
+
+TEST(ThreadPool, NestedParallelForFromPoolTasksCompletes) {
+  // More blocking fork-join callers than workers: without the nesting
+  // guard every worker would park in parallel_for waiting for chunks that
+  // sit behind the other parked workers in the FIFO queue — deadlock. The
+  // guard runs nested calls serially on the calling worker instead.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int t = 0; t < 6; ++t) {
+    pool.submit([&] {
+      parallel_for(pool, 0, 32, [&](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 6 * 32);
+}
+
+TEST(ThreadPool, NestedParallelForInsideParallelForCompletes) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(8 * 16);
+  parallel_for(pool, 0, 8, [&](std::size_t outer) {
+    parallel_for(pool, 0, 16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);  // nested range covered exactly once
+  }
+}
+
 }  // namespace
 }  // namespace dlsr

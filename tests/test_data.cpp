@@ -1,0 +1,461 @@
+// Tests for the dlsr::data input pipeline: Dataset views over the synthetic
+// generators and PPM files, the shared ref-counted SampleStore, the
+// plan/materialize split in PatchSampler, the prefetching TrainLoader (bit
+// equality against the inline path, overlap, shutdown), the TrainingSession
+// pipeline wiring, and the serve-side streaming ingest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/training_session.hpp"
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "data/sample_store.hpp"
+#include "data/stream.hpp"
+#include "image/patch_sampler.hpp"
+#include "image/ppm_io.hpp"
+#include "image/resize.hpp"
+#include "models/edsr.hpp"
+#include "serve/stream_ingest.hpp"
+
+namespace dlsr::data {
+namespace {
+
+img::Div2kConfig small_div2k() {
+  img::Div2kConfig cfg;
+  cfg.image_size = 24;
+  cfg.train_images = 6;
+  cfg.val_images = 2;
+  cfg.test_images = 2;
+  return cfg;
+}
+
+img::ShapesConfig small_shapes(std::size_t frames = 5) {
+  img::ShapesConfig cfg;
+  cfg.image_size = 12;
+  cfg.samples = frames;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_tensors_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    ASSERT_EQ(da[i], db[i]) << what << " differs at flat index " << i;
+  }
+}
+
+// --- Dataset views --------------------------------------------------------
+
+TEST(Dataset, Div2kViewMatchesGenerator) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  const Div2kDataset view(div2k, img::Split::Train);
+  ASSERT_EQ(view.size(), div2k.size(img::Split::Train));
+  expect_tensors_equal(view.load(3), div2k.hr_image(img::Split::Train, 3),
+                       "div2k view load");
+  // load() is deterministic: same index, same bytes.
+  expect_tensors_equal(view.load(3), view.load(3), "repeated load");
+  EXPECT_THROW(view.load(view.size()), Error);
+}
+
+TEST(Dataset, ShapesViewMatchesGenerator) {
+  const img::SyntheticShapes shapes(small_shapes());
+  const ShapesFrameDataset view(shapes);
+  ASSERT_EQ(view.size(), shapes.size());
+  expect_tensors_equal(view.load(2), shapes.image(2), "shapes view load");
+  EXPECT_THROW(view.load(view.size()), Error);
+}
+
+TEST(Dataset, PpmRoundTrip) {
+  const img::SyntheticShapes shapes(small_shapes(2));
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::string path =
+        testing::TempDir() + "dlsr_ppm_ds_" + std::to_string(i) + ".ppm";
+    img::write_ppm(path, shapes.image(i));
+    paths.push_back(path);
+  }
+  const PpmDataset view(paths);
+  ASSERT_EQ(view.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    expect_tensors_equal(view.load(i), img::read_ppm(paths[i]),
+                         "ppm decode " + std::to_string(i));
+  }
+  EXPECT_THROW(view.load(2), Error);
+  EXPECT_THROW(PpmDataset({}), Error);
+  for (const std::string& p : paths) {
+    std::remove(p.c_str());
+  }
+}
+
+// --- SampleStore ----------------------------------------------------------
+
+TEST(SampleStore, HitsMissesAndLrDerivative) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  const Div2kDataset view(div2k, img::Split::Train);
+  SampleStore store(view);
+
+  const auto h0 = store.hr(0);
+  expect_tensors_equal(*h0, view.load(0), "cached hr");
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().hits, 0u);
+
+  const auto h0_again = store.hr(0);
+  EXPECT_EQ(h0.get(), h0_again.get());  // same resident tensor, not a copy
+  EXPECT_EQ(store.stats().hits, 1u);
+
+  // The LR derivative is the bicubic downscale of the cached HR; producing
+  // it hits the HR entry once.
+  const auto l0 = store.lr(0, 2);
+  expect_tensors_equal(*l0, img::downscale_bicubic(*h0, 2), "lr derivative");
+  EXPECT_EQ(store.stats().misses, 2u);
+  EXPECT_EQ(store.stats().hits, 2u);
+  EXPECT_EQ(store.stats().resident, 2u);
+  EXPECT_GT(store.stats().resident_bytes, 0u);
+  EXPECT_THROW(store.lr(0, 1), Error);
+}
+
+TEST(SampleStore, EvictionKeepsInFlightSamplesAlive) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  const Div2kDataset view(div2k, img::Split::Train);
+  SampleStoreConfig cfg;
+  cfg.capacity = 1;
+  SampleStore store(view, cfg);
+
+  const auto h0 = store.hr(0);
+  const auto h1 = store.hr(1);  // evicts entry 0
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.stats().resident, 1u);
+  // Ref-counted sharing: eviction drops the store's reference only; the
+  // in-flight shared_ptr still reads the original bytes.
+  expect_tensors_equal(*h0, view.load(0), "evicted but held sample");
+  // Re-fetch after eviction is a fresh miss with identical content.
+  const std::uint64_t misses_before = store.stats().misses;
+  const auto h0_reloaded = store.hr(0);
+  EXPECT_EQ(store.stats().misses, misses_before + 1);
+  expect_tensors_equal(*h0_reloaded, *h0, "reloaded sample");
+  (void)h1;
+}
+
+TEST(SampleStore, LrHrPoolPinsWithoutThrashing) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  const Div2kDataset view(div2k, img::Split::Train);
+  SampleStoreConfig cfg;
+  cfg.capacity = 1;  // would thrash; lr_hr_pool must grow it
+  SampleStore store(view, cfg);
+  const auto [lrs, hrs] = store.lr_hr_pool(3, 2);
+  ASSERT_EQ(lrs.size(), 3u);
+  ASSERT_EQ(hrs.size(), 3u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+  EXPECT_EQ(store.stats().resident, 6u);  // 3 HR + 3 LR
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_tensors_equal(*hrs[i], view.load(i),
+                         "pool hr " + std::to_string(i));
+    expect_tensors_equal(*lrs[i], img::downscale_bicubic(*hrs[i], 2),
+                         "pool lr " + std::to_string(i));
+  }
+  EXPECT_THROW(store.lr_hr_pool(view.size() + 1, 2), Error);
+}
+
+// --- PatchSampler plan/materialize ----------------------------------------
+
+TEST(PatchSampler, PlanMaterializeEqualsSampleBatch) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  img::PatchSampler a(div2k, img::Split::Train, 4, 2, 6, 99);
+  img::PatchSampler b(div2k, img::Split::Train, 4, 2, 6, 99);
+  a.set_augmentation(true);  // cover the transform draw as well
+  b.set_augmentation(true);
+  for (int round = 0; round < 3; ++round) {
+    const img::Batch direct = a.sample_batch(5);
+    const auto plans = b.plan_batch(5);
+    ASSERT_EQ(plans.size(), 5u);
+    const img::Batch staged = b.materialize(plans);
+    expect_tensors_equal(direct.lr, staged.lr, "planned lr");
+    expect_tensors_equal(direct.hr, staged.hr, "planned hr");
+  }
+}
+
+TEST(PatchSampler, SharedPoolMatchesPrivatePool) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  const Div2kDataset view(div2k, img::Split::Train);
+  SampleStore store(view);
+  const auto [lrs, hrs] = store.lr_hr_pool(4, 2);
+
+  img::PatchSampler private_pool(div2k, img::Split::Train, 4, 2, 6, 42);
+  img::PatchSampler shared_pool(lrs, hrs, 2, 6, 42);
+  for (int round = 0; round < 2; ++round) {
+    const img::Batch x = private_pool.sample_batch(4);
+    const img::Batch y = shared_pool.sample_batch(4);
+    expect_tensors_equal(x.lr, y.lr, "shared-pool lr");
+    expect_tensors_equal(x.hr, y.hr, "shared-pool hr");
+  }
+}
+
+// --- TrainLoader ----------------------------------------------------------
+
+/// Builds the loader's samplers exactly the way TrainingSession does.
+std::vector<img::PatchSampler> shard_samplers(SampleStore& store,
+                                              std::size_t workers,
+                                              std::uint64_t seed) {
+  const auto [lrs, hrs] = store.lr_hr_pool(4, 2);
+  std::vector<img::PatchSampler> samplers;
+  samplers.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    samplers.emplace_back(lrs, hrs, 2, 6, seed * 7919 + w);
+  }
+  return samplers;
+}
+
+TEST(TrainLoader, BitIdenticalToInlineForAnyThreadCountAndDepth) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  constexpr std::size_t kWorkers = 2;
+  constexpr std::size_t kSteps = 4;
+  constexpr std::uint64_t kSeed = 5;
+
+  // Reference: the inline path, private pools, serial draws.
+  std::vector<img::PatchSampler> inline_samplers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    inline_samplers.emplace_back(div2k, img::Split::Train, 4, 2, 6,
+                                 kSeed * 7919 + w);
+  }
+  std::vector<std::vector<img::Batch>> expected;
+  for (std::size_t s = 0; s < kSteps; ++s) {
+    std::vector<img::Batch> step;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      step.push_back(inline_samplers[w].sample_batch(3));
+    }
+    expected.push_back(std::move(step));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    for (const std::size_t depth : {std::size_t{1}, std::size_t{3}}) {
+      const Div2kDataset view(div2k, img::Split::Train);
+      SampleStore store(view);
+      LoaderConfig cfg;
+      cfg.batch_per_worker = 3;
+      cfg.prefetch_depth = depth;
+      cfg.data_threads = threads;
+      TrainLoader loader(shard_samplers(store, kWorkers, kSeed), cfg);
+      for (std::size_t s = 0; s < kSteps; ++s) {
+        const std::vector<img::Batch> got = loader.next();
+        ASSERT_EQ(got.size(), kWorkers);
+        for (std::size_t w = 0; w < kWorkers; ++w) {
+          const std::string tag = strfmt(
+              "threads=%zu depth=%zu step=%zu worker=%zu", threads, depth,
+              s, w);
+          expect_tensors_equal(got[w].lr, expected[s][w].lr, tag + " lr");
+          expect_tensors_equal(got[w].hr, expected[s][w].hr, tag + " hr");
+        }
+      }
+      EXPECT_EQ(loader.stats().steps, kSteps);
+    }
+  }
+}
+
+TEST(TrainLoader, PrefetchHidesProduceLatency) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  const Div2kDataset view(div2k, img::Split::Train);
+  SampleStore store(view);
+  LoaderConfig cfg;
+  cfg.batch_per_worker = 2;
+  cfg.prefetch_depth = 2;
+  cfg.data_threads = 1;
+  cfg.produce_delay_ms = 10.0;
+  TrainLoader loader(shard_samplers(store, 1, 3), cfg);
+
+  // A consumer slower than the producer: after warmup every next() should
+  // find a ready batch. The queue must fill to (and never exceed) depth.
+  (void)loader.next();
+  bool saw_full_queue = false;
+  double late_wait_ms = 0.0;
+  for (std::size_t s = 0; s < 5; ++s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_LE(loader.queue_depth(), cfg.prefetch_depth);
+    saw_full_queue |= loader.queue_depth() == cfg.prefetch_depth;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)loader.next();
+    late_wait_ms += std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  }
+  EXPECT_TRUE(saw_full_queue);
+  // 5 consumed steps at 10 ms produce latency each would serialize to
+  // >= 50 ms; overlapped, the residual wait must be a fraction of that.
+  EXPECT_LT(late_wait_ms, 25.0);
+  EXPECT_GE(loader.stats().produce_ms_total, 10.0);
+}
+
+TEST(TrainLoader, NextAfterStopDrainsThenThrows) {
+  const img::SyntheticDiv2k div2k(small_div2k());
+  const Div2kDataset view(div2k, img::Split::Train);
+  SampleStore store(view);
+  LoaderConfig cfg;
+  cfg.batch_per_worker = 1;
+  cfg.prefetch_depth = 2;
+  cfg.data_threads = 1;
+  TrainLoader loader(shard_samplers(store, 1, 9), cfg);
+  (void)loader.next();  // ensure the producer is live, then stop it
+  loader.stop();
+  // At most prefetch_depth ready batches may drain; then next() must throw
+  // instead of blocking forever.
+  bool threw = false;
+  for (std::size_t i = 0; i <= cfg.prefetch_depth && !threw; ++i) {
+    try {
+      (void)loader.next();
+    } catch (const Error&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+// --- TrainingSession wiring ----------------------------------------------
+
+TEST(TrainingSessionData, PipelineBitIdenticalToInline) {
+  const img::SyntheticDiv2k dataset(small_div2k());
+  core::SessionConfig base;
+  base.workers = 2;
+  base.batch_per_worker = 2;
+  base.scale = 2;
+  base.lr_patch = 6;
+  base.train_pool = 4;
+  base.warmup_steps = 2;
+  base.seed = 3;
+
+  const auto run = [&](bool pipeline, std::size_t data_threads) {
+    core::SessionConfig cfg = base;
+    cfg.data_pipeline = pipeline;
+    cfg.data_threads = data_threads;
+    core::TrainingSession session(
+        dataset,
+        [] {
+          Rng rng(17);
+          return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(),
+                                                rng);
+        },
+        cfg);
+    const core::SessionStats stats = session.run_steps(3);
+    std::vector<float> params;
+    for (const nn::ParamRef& p : session.model().parameters()) {
+      params.insert(params.end(), p.value->data().begin(),
+                    p.value->data().end());
+    }
+    if (pipeline) {
+      EXPECT_NE(session.loader(), nullptr);
+      EXPECT_NE(session.sample_store(), nullptr);
+      EXPECT_EQ(session.loader()->stats().steps, 3u);
+    } else {
+      EXPECT_EQ(session.loader(), nullptr);
+    }
+    return std::pair<core::SessionStats, std::vector<float>>(stats, params);
+  };
+
+  const auto [inline_stats, inline_params] = run(false, 0);
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    const auto [pipe_stats, pipe_params] = run(true, threads);
+    // Bit-identical training: same losses, same weights, not just close.
+    EXPECT_EQ(pipe_stats.first_loss, inline_stats.first_loss);
+    EXPECT_EQ(pipe_stats.last_loss, inline_stats.last_loss);
+    EXPECT_EQ(pipe_stats.mean_loss, inline_stats.mean_loss);
+    ASSERT_EQ(pipe_params.size(), inline_params.size());
+    for (std::size_t i = 0; i < inline_params.size(); ++i) {
+      ASSERT_EQ(pipe_params[i], inline_params[i])
+          << "param " << i << " with data_threads=" << threads;
+    }
+  }
+}
+
+// --- StreamReader ---------------------------------------------------------
+
+TEST(StreamReader, DeliversEveryFrameInOrderThenEnds) {
+  const img::SyntheticShapes shapes(small_shapes(6));
+  const ShapesFrameDataset view(shapes);
+  StreamConfig cfg;
+  cfg.prefetch_depth = 2;
+  StreamReader reader(view, nullptr, cfg);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    std::optional<Tensor> frame = reader.next();
+    ASSERT_TRUE(frame.has_value()) << "frame " << i;
+    expect_tensors_equal(*frame, view.load(i),
+                         "stream frame " + std::to_string(i));
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());  // end is sticky
+  EXPECT_EQ(reader.stats().delivered, view.size());
+}
+
+TEST(StreamReader, WindowAndSharedStore) {
+  const img::SyntheticShapes shapes(small_shapes(6));
+  const ShapesFrameDataset view(shapes);
+  auto store = std::make_shared<SampleStore>(view);
+  StreamConfig cfg;
+  cfg.begin = 2;
+  cfg.count = 3;
+  {
+    StreamReader reader(view, store, cfg);
+    for (std::size_t i = 2; i < 5; ++i) {
+      std::optional<Tensor> frame = reader.next();
+      ASSERT_TRUE(frame.has_value());
+      expect_tensors_equal(*frame, view.load(i),
+                           "windowed frame " + std::to_string(i));
+    }
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  // A second pass over the same window decodes nothing new: the shared
+  // store already holds every frame.
+  const std::uint64_t misses = store->stats().misses;
+  StreamReader again(view, store, cfg);
+  while (again.next().has_value()) {
+  }
+  EXPECT_EQ(store->stats().misses, misses);
+  EXPECT_THROW(StreamReader(view, nullptr, StreamConfig{99, 0, 2, 0.0}),
+               Error);
+}
+
+// --- serve streaming ingest ----------------------------------------------
+
+TEST(ServeStream, UpscalesOrderedFrameSequence) {
+  const img::SyntheticShapes shapes(small_shapes(5));
+  const ShapesFrameDataset view(shapes);
+  Rng rng(5);
+  auto model =
+      std::make_shared<models::Edsr>(models::EdsrConfig::tiny(), rng);
+  serve::ServeConfig cfg;
+  cfg.workers = 2;
+  serve::SrServer server(model, cfg);
+  StreamReader reader(view, nullptr, StreamConfig{0, 0, 3, 0.0});
+
+  serve::StreamIngestConfig icfg;
+  icfg.max_in_flight = 2;
+  std::vector<std::size_t> order;
+  const serve::StreamIngestStats stats = serve::serve_stream(
+      server, reader, icfg,
+      [&](std::size_t index, const serve::ServeResult& r) {
+        order.push_back(index);
+        EXPECT_EQ(r.status, serve::ServeStatus::Ok);
+        // x2 SR: spatial dims double.
+        ASSERT_EQ(r.image.shape().size(), 4u);
+        EXPECT_EQ(r.image.shape()[2], 2 * shapes.config().image_size);
+        EXPECT_EQ(r.image.shape()[3], 2 * shapes.config().image_size);
+      });
+  EXPECT_EQ(stats.frames, 5u);
+  EXPECT_EQ(stats.ok, 5u);
+  EXPECT_EQ(stats.failed, 0u);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);  // sink fires in frame order
+  }
+}
+
+}  // namespace
+}  // namespace dlsr::data

@@ -57,6 +57,8 @@
 #include "common/table.hpp"
 #include "core/experiments.hpp"
 #include "core/training_session.hpp"
+#include "data/dataset.hpp"
+#include "data/stream.hpp"
 #include "hvd/timeline.hpp"
 #include "image/eval.hpp"
 #include "models/edsr_graph.hpp"
@@ -70,6 +72,7 @@
 #include "obs/trace.hpp"
 #include "obs/trace_summary.hpp"
 #include "serve/server.hpp"
+#include "serve/stream_ingest.hpp"
 
 namespace {
 
@@ -160,6 +163,32 @@ void apply_fusion_flags(const Flags& flags, core::TrainingJobConfig& job) {
   }
 }
 
+/// Input-latency model knobs shared by simulate and profile.
+void define_data_flags(Flags& flags) {
+  flags.define("data-time-ms",
+               "per-replica input load/decode latency per step in ms "
+               "(0 = free data)",
+               std::nullopt);
+  flags.define("data-pipeline",
+               "model the dlsr::data prefetching loader (input latency "
+               "overlaps compute; only residual wait is exposed)",
+               "false");
+  flags.define("prefetch-depth", "modeled loader queue depth in batches",
+               std::nullopt);
+}
+
+/// Applies the data-model flags onto a job config copy.
+void apply_data_flags(const Flags& flags, core::TrainingJobConfig& job) {
+  if (flags.has("data-time-ms")) {
+    job.data_time = flags.get_double("data-time-ms") * 1e-3;
+  }
+  job.data_pipeline = flags.get_bool("data-pipeline");
+  if (flags.has("prefetch-depth")) {
+    job.prefetch_depth =
+        static_cast<std::size_t>(flags.get_int("prefetch-depth"));
+  }
+}
+
 core::BackendKind parse_backend(const std::string& name) {
   if (name == "MPI") return core::BackendKind::Mpi;
   if (name == "MPI-Reg") return core::BackendKind::MpiReg;
@@ -189,6 +218,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   flags.define("timeline", "write a Chrome-trace JSON for the largest run",
                std::nullopt);
   define_fusion_flags(flags);
+  define_data_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -196,6 +226,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   const core::PaperExperiment exp;
   core::TrainingJobConfig job = exp.job;
   apply_fusion_flags(flags, job);
+  apply_data_flags(flags, job);
   const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const auto nodes = parse_size_list(flags.get("nodes"));
   const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
@@ -237,6 +268,7 @@ int cmd_profile(int argc, const char* const* argv) {
   flags.define("nodes", "node count", "1");
   flags.define("steps", "training steps to profile", "100");
   define_fusion_flags(flags);
+  define_data_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -244,6 +276,7 @@ int cmd_profile(int argc, const char* const* argv) {
   const core::PaperExperiment exp;
   core::TrainingJobConfig job = exp.job;
   apply_fusion_flags(flags, job);
+  apply_data_flags(flags, job);
   const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const core::RunResult r = trainer.run(
       parse_backend(flags.get("backend")),
@@ -256,6 +289,11 @@ int cmd_profile(int argc, const char* const* argv) {
               "%.1f%%\n",
               r.images_per_second, r.scaling_efficiency * 100.0,
               r.reg_cache_hit_rate * 100.0);
+  if (job.data_time > 0.0) {
+    std::printf("exposed input wait %.2f ms/step (%s loader)\n",
+                r.mean_data_stall * 1e3,
+                job.data_pipeline ? "prefetching" : "inline");
+  }
   obs_end(flags);
   return 0;
 }
@@ -272,6 +310,17 @@ int cmd_train(int argc, const char* const* argv) {
   flags.define("inflight-buffers",
                "gradient allreduces allowed in flight on the data plane",
                "1");
+  flags.define("data-pipeline",
+               "stage batches through the dlsr::data prefetching loader "
+               "(bit-identical to the inline path at equal seed)",
+               "false");
+  flags.define("prefetch-depth", "loader queue capacity in batches", "2");
+  flags.define("data-threads",
+               "materialize-stage threads (0 = share the compute pool)",
+               "0");
+  flags.define("loader-delay-ms",
+               "injected per-step decode latency in ms (demo/bench knob)",
+               "0");
   flags.define("crash-with",
                "inject a fault after training (segv|abort|throw) to "
                "exercise the flight recorder",
@@ -294,6 +343,11 @@ int cmd_train(int argc, const char* const* argv) {
   cfg.inflight_buffers =
       static_cast<std::size_t>(flags.get_int("inflight-buffers"));
   cfg.stall_timeout_seconds = stall_timeout;
+  cfg.data_pipeline = flags.get_bool("data-pipeline");
+  cfg.prefetch_depth =
+      static_cast<std::size_t>(flags.get_int("prefetch-depth"));
+  cfg.data_threads = static_cast<std::size_t>(flags.get_int("data-threads"));
+  cfg.loader_delay_ms = flags.get_double("loader-delay-ms");
   std::uint64_t seed = 7;
   core::TrainingSession session(
       dataset,
@@ -310,6 +364,12 @@ int cmd_train(int argc, const char* const* argv) {
               "val PSNR %.2f dB\n",
               stats.steps, cfg.workers, stats.first_loss, stats.last_loss,
               session.validate_psnr(2));
+  if (const data::TrainLoader* loader = session.loader()) {
+    const data::LoaderStats ls = loader->stats();
+    std::printf("data pipeline: %zu batches prefetched, consumer wait "
+                "%.1f ms total, produce %.1f ms total\n",
+                ls.steps, ls.wait_ms_total, ls.produce_ms_total);
+  }
   if (flags.has("checkpoint")) {
     session.save_checkpoint(flags.get("checkpoint"));
     std::printf("checkpoint written to %s\n",
@@ -439,6 +499,13 @@ int cmd_serve(int argc, const char* const* argv) {
   flags.define("workers", "server worker threads", "2");
   flags.define("cache", "LRU result-cache capacity", "32");
   flags.define("deadline-ms", "per-request deadline (0 = none)", "0");
+  flags.define("stream-frames",
+               "stream this many synthetic video frames through the data "
+               "pipeline instead of issuing client requests (0 = off)",
+               "0");
+  flags.define("stream-prefetch", "decode-ahead queue depth in frames", "4");
+  flags.define("stream-delay-ms",
+               "injected per-frame decode latency in ms", "0");
   flags.define("seed", "rng seed", "7");
   define_recorder_flags(flags);
   define_obs_flags(flags);
@@ -461,6 +528,49 @@ int cmd_serve(int argc, const char* const* argv) {
 
   const auto unique = static_cast<std::size_t>(flags.get_int("unique"));
   const auto side = static_cast<std::size_t>(flags.get_int("image"));
+
+  const auto stream_frames =
+      static_cast<std::size_t>(flags.get_int("stream-frames"));
+  if (stream_frames > 0) {
+    // Streaming-ingest mode: an ordered synthetic frame sequence decoded
+    // ahead by the dlsr::data pipeline, fed through the tiled server with
+    // bounded in-flight frames.
+    img::ShapesConfig frames_cfg;
+    frames_cfg.samples = stream_frames;
+    frames_cfg.image_size = side;
+    frames_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    const img::SyntheticShapes clip(frames_cfg);
+    data::ShapesFrameDataset view(clip);
+    auto store = std::make_shared<data::SampleStore>(view);
+    data::StreamConfig scfg;
+    scfg.prefetch_depth =
+        static_cast<std::size_t>(flags.get_int("stream-prefetch"));
+    scfg.decode_delay_ms = flags.get_double("stream-delay-ms");
+    data::StreamReader reader(view, store, scfg);
+    serve::StreamIngestConfig icfg;
+    icfg.max_in_flight = cfg.max_batch;
+    std::printf("streaming %zu %zux%zu frames (decode-ahead %zu, "
+                "max in flight %zu, tile %zu)\n",
+                stream_frames, side, side, scfg.prefetch_depth,
+                icfg.max_in_flight, cfg.tile_size);
+    const serve::StreamIngestStats st = serve::serve_stream(
+        server, reader, icfg,
+        [](std::size_t i, const serve::ServeResult& r) {
+          if (r.status != serve::ServeStatus::Ok) {
+            std::printf("frame %zu %s: %s\n", i, to_string(r.status),
+                        r.error.c_str());
+          }
+        });
+    Table t({"metric", "value"});
+    t.add_row({"frames", strfmt("%zu", st.frames)});
+    t.add_row({"ok", strfmt("%zu", st.ok)});
+    t.add_row({"failed", strfmt("%zu", st.failed)});
+    t.add_row({"throughput", strfmt("%.1f frames/s", st.fps)});
+    t.add_row({"decode wait", strfmt("%.1f ms total", st.ingest_wait_ms)});
+    std::printf("%s", t.to_string().c_str());
+    obs_end(flags);
+    return st.failed == 0 ? 0 : 1;
+  }
   std::vector<Tensor> pool;
   for (std::size_t i = 0; i < unique; ++i) {
     Tensor img({1, 3, side, side});
