@@ -10,14 +10,27 @@
 // costs the hot path nothing until record() is actually called. A separate
 // variant prices record() itself per call — the realistic rate is one or
 // two records per training step, not per inner-loop iteration.
+//
+// The telemetry variant prices the live plane end to end: the same loop
+// additionally observes a rolling series point per "step" (every 1024
+// iterations, the granularity TrainingSession uses), once with the
+// TimeSeriesStore enabled but no server, and once with a TelemetryServer
+// up and a scraper thread hammering /metrics over real sockets. The delta
+// is what `--telemetry-port` costs a training loop while being scraped —
+// the acceptance bar is < 5 %.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "common/flags.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/time_series.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -54,6 +67,23 @@ std::uint64_t loop_recording(std::size_t iters, std::uint64_t seed) {
   for (std::size_t i = 0; i < iters; ++i) {
     fr.record("bench", "mix");
     x = mix(x);
+  }
+  return x;
+}
+
+/// The hot loop a telemetry plane actually rides on: one series point and
+/// one counter bump per 1024 iterations ("per step"), mix() in between.
+std::uint64_t loop_with_series(std::size_t iters, std::uint64_t seed) {
+  auto& store = dlsr::obs::TimeSeriesStore::global();
+  const auto steps =
+      dlsr::obs::MetricsRegistry::global().counter("bench/steps");
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < iters; ++i) {
+    x = mix(x);
+    if ((i & 1023u) == 0) {
+      store.observe("bench/step_ms", static_cast<double>(x & 0xFF));
+      steps->add(1);
+    }
   }
   return x;
 }
@@ -117,8 +147,50 @@ int main(int argc, char** argv) {
       sink);
   obs::FlightRecorder::instance().disable();
 
+  // Telemetry plane: same loop + a series point per 1024 iters, first with
+  // the store enabled but nothing reading it, then with a TelemetryServer
+  // up and a scraper thread looping http_get("/metrics") as fast as the
+  // close-per-request server allows — a strictly harsher read load than
+  // the 1 Hz Prometheus scrape the plane is specified against.
+  obs::TimeSeriesStore::global().set_enabled(true);
+  // The telemetry loops are short (the series point is amortized 1024x),
+  // so extra repeats are cheap and the best-of min needs them to converge
+  // on shared runners.
+  const int trepeats = repeats * 3;
+  const double series_ms = best_ms(
+      trepeats, [&](std::uint64_t s) { return loop_with_series(iters, s); },
+      sink);
+  double scraped_ms = 0.0;
+  std::uint64_t scrapes = 0;
+  {
+    obs::TelemetryConfig tcfg;
+    tcfg.port = 0;
+    tcfg.sample_period_s = 0.05;
+    obs::TelemetryServer telemetry(tcfg);
+    std::atomic<bool> stop_scraper{false};
+    std::thread scraper([&] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        try {
+          obs::http_get("127.0.0.1", telemetry.port(), "/metrics");
+        } catch (const std::exception&) {
+          break;  // server gone; the bench is shutting down
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    scraped_ms = best_ms(
+        trepeats,
+        [&](std::uint64_t s) { return loop_with_series(iters, s); }, sink);
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
+    scrapes = telemetry.scrape_count();
+  }
+  obs::TimeSeriesStore::global().set_enabled(false);
+
   const double overhead_pct = (disabled_ms - bare_ms) / bare_ms * 100.0;
   const double record_ns = (recording_ms - bare_ms) * per_iter;
+  const double telemetry_overhead_pct =
+      (scraped_ms - series_ms) / series_ms * 100.0;
   Table t({"variant", "best (ms)", "ns/iter"});
   const auto row = [&](const char* label, double ms) {
     t.add_row({label, strfmt("%.2f", ms), strfmt("%.3f", ms * per_iter)});
@@ -127,14 +199,22 @@ int main(int argc, char** argv) {
   row("span, tracing disabled", disabled_ms);
   row("span, tracing enabled", enabled_ms);
   row("flight-recorder record()", recording_ms);
+  row("series point per step", series_ms);
+  row("series + live scraper", scraped_ms);
   bench::print_table(t);
 
   bench::print_claim("disabled-span overhead (target < 5)", 5.0,
                      overhead_pct, "%");
+  bench::print_claim("telemetry-plane overhead under scrape (target < 5)",
+                     5.0, telemetry_overhead_pct, "%");
   bench::print_note(strfmt(
       "record() costs %.1f ns/call — at one step marker per ~100 ms train "
       "step that is noise; sink=%llu keeps the loops live",
       record_ns, static_cast<unsigned long long>(sink)));
+  bench::print_note(strfmt(
+      "scraper served %llu /metrics GETs during the measurement — the "
+      "specified load is 1 Hz, so this bounds it from far above",
+      static_cast<unsigned long long>(scrapes)));
 
   bench::ResultEnvelope envelope("obs_overhead", smoke);
   // The overhead sits near zero, so a relative band on it only catches
@@ -144,10 +224,19 @@ int main(int argc, char** argv) {
   envelope.metric("enabled_span_ns", enabled_ms * per_iter, "ns", false,
                   75.0);
   envelope.metric("record_ns", record_ns, "ns", false, 75.0);
+  // Near-zero like the disabled overhead, so the relative band is wide;
+  // the claim line above carries the absolute < 5 % bar.
+  envelope.metric("telemetry_overhead_pct", telemetry_overhead_pct, "%",
+                  /*higher_is_better=*/false, /*tolerance_pct=*/300.0);
   envelope.extra(strfmt(
       "{\"iters\":%zu,\"repeats\":%d,\"bare_ms\":%.3f,\"disabled_ms\":%.3f,"
-      "\"enabled_ms\":%.3f,\"recording_ms\":%.3f}",
-      iters, repeats, bare_ms, disabled_ms, enabled_ms, recording_ms));
+      "\"enabled_ms\":%.3f,\"recording_ms\":%.3f,\"series_ms\":%.3f,"
+      "\"scraped_ms\":%.3f,\"scrapes\":%llu}",
+      iters, repeats, bare_ms, disabled_ms, enabled_ms, recording_ms,
+      series_ms, scraped_ms, static_cast<unsigned long long>(scrapes)));
   envelope.write(flags.get("out"));
+  // The telemetry metric is gated through the perf-compare envelope, not
+  // the exit code: back-to-back 11 ms loops on a shared runner are too
+  // noisy for a hard absolute bar.
   return overhead_pct < 5.0 ? 0 : 1;
 }

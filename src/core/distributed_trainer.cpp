@@ -92,6 +92,19 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
   result.gpus = gpus;
   result.step_times.reserve(steps);
 
+  // Per-rank straggler detection: each rank's compute time for the step
+  // feeds a rolling MAD detector; flag edges become zero-duration trace
+  // events on the simulated-time process.
+  std::unique_ptr<obs::StragglerDetector> detector;
+  std::vector<double> per_rank_s;
+  if (config_.detect_stragglers) {
+    detector = std::make_unique<obs::StragglerDetector>(
+        gpus, config_.straggler_detect);
+    per_rank_s.resize(gpus);
+  }
+  const double rank_compute = compute.forward + compute.overhead +
+                              compute.backward + compute.optimizer;
+
   // Initial parameter broadcast (hvd.broadcast_parameters).
   sim::SimTime t = backend->broadcast(graph_.param_bytes(), 0xB0ADCA57ull, 0.0);
 
@@ -118,6 +131,13 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
       if (config_.straggler_slowdown != 1.0 &&
           cluster.node_of(r) == config_.straggler_node % nodes) {
         factor *= config_.straggler_slowdown;
+      }
+      if (config_.perturb_rank >= 0 &&
+          r == static_cast<std::size_t>(config_.perturb_rank) % gpus) {
+        factor *= config_.perturb_factor;
+      }
+      if (detector) {
+        per_rank_s[r] = rank_compute * factor;
       }
       worst = std::max(worst, factor);
     }
@@ -179,6 +199,29 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
       emit_sim_step_events(s, step_begin, step_start, backward_start,
                            comm_timeline, step_end);
     }
+    if (detector) {
+      for (const std::size_t r : detector->record_step(per_rank_s)) {
+        obs::MetricsRegistry::global()
+            .counter("sim/stragglers_flagged")
+            ->add(1);
+        if (obs::tracing_enabled()) {
+          const obs::StragglerReport rep = detector->report();
+          double score = 0.0;
+          for (const obs::StragglerRank& f : rep.flagged) {
+            if (f.rank == r) {
+              score = f.score;
+            }
+          }
+          // Zero-duration complete event (instant() stamps wall time; the
+          // straggler flag belongs on the simulated clock).
+          obs::Tracer::instance().complete(
+              strfmt("rank%zu", r), "straggler", step_end * 1e6, 0.0,
+              strfmt("{\"rank\":%zu,\"step\":%zu,\"score\":%.3f}", r, s,
+                     score),
+              obs::kSimPid);
+        }
+      }
+    }
     step_ms_hist->observe((step_end - step_begin) * 1e3);
     exposed_ms_hist->observe(comm_timeline.exposed_comm() * 1e3);
     result.step_times.push_back(step_end - step_begin);
@@ -207,6 +250,9 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
   if (auto* mpi = dynamic_cast<hvd::MpiBackend*>(backend.get())) {
     result.reg_cache_hit_rate =
         mpi->communicator().transport().reg_cache().hit_rate();
+  }
+  if (detector) {
+    result.straggler = detector->report();
   }
   return result;
 }

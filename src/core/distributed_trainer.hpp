@@ -25,6 +25,7 @@
 #include "hvd/fusion.hpp"
 #include "hvd/timeline.hpp"
 #include "models/model_graph.hpp"
+#include "obs/straggler.hpp"
 #include "perf/v100_model.hpp"
 
 namespace dlsr::core {
@@ -44,6 +45,17 @@ struct TrainingJobConfig {
   /// slowest rank's pace, so a single slow node gates the whole job.
   double straggler_slowdown = 1.0;
   std::size_t straggler_node = 0;
+  /// Single-rank fault injection for straggler-detector validation
+  /// (`--perturb-rank R,factor`): multiplies rank R's compute time by
+  /// `perturb_factor`. -1 = no perturbation. Unlike straggler_slowdown
+  /// (whole node), this models one sick GPU.
+  std::int64_t perturb_rank = -1;
+  double perturb_factor = 1.0;
+  /// Per-rank straggler detection over rolling step times (obs::
+  /// StragglerDetector). On by default; the detector's report lands in
+  /// RunResult::straggler and flag edges are mirrored into the trace.
+  bool detect_stragglers = true;
+  obs::StragglerConfig straggler_detect;
   /// Per-replica input load/decode latency per step, seconds (parallel
   /// filesystem read + decode + augment of one batch). 0 models free data
   /// and reproduces pre-pipeline traces exactly — no extra RNG draws.
@@ -78,6 +90,8 @@ struct RunResult {
   double reg_cache_hit_rate = 0.0;    ///< 0 for NCCL
   prof::Hvprof profiler;              ///< bucketed collective profile
   std::vector<double> step_times;
+  /// Per-rank straggler detection over the run (empty `flagged` = clean).
+  obs::StragglerReport straggler;
 };
 
 class DistributedTrainer {

@@ -9,6 +9,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "obs/time_series.hpp"
 #include "obs/trace.hpp"
 
 namespace dlsr::core {
@@ -141,6 +142,10 @@ SessionStats TrainingSession::run_steps(std::size_t steps) {
     }
     const hvd::WorkerStepResult r = group_.train_step(inputs, targets);
     step_ms->observe(ms_since(step_start));
+    // Rolling step-time series for the live telemetry plane (one relaxed
+    // load when no plane is attached).
+    obs::TimeSeriesStore::global().observe("train/step_ms",
+                                           ms_since(step_start));
     // Flight-recorder step marker (no-op unless the recorder is enabled);
     // the watchdog heartbeat keeps a stalled step from going silent.
     obs::FlightRecorder::instance().recordf(

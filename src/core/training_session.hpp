@@ -90,6 +90,9 @@ class TrainingSession {
   const data::SampleStore* sample_store() const { return store_.get(); }
   std::size_t total_steps() const { return total_steps_; }
   double current_lr() const;
+  /// Stall watchdog, when armed (stall_timeout_seconds > 0) — the
+  /// telemetry /healthz heartbeat source. Null otherwise.
+  const obs::StallWatchdog* watchdog() const { return watchdog_.get(); }
 
   /// Checkpointing of rank 0's parameters; load re-broadcasts to all
   /// replicas.

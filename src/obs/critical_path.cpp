@@ -187,6 +187,34 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
   report.setup_comm_us = total_covered(merge_intervals(std::move(setup)));
   report.comm_profile = hvprof_from_trace(comm);
 
+  // Straggler flags: zero-duration cat="straggler" events the trainer
+  // emits once per flag edge, aggregated per rank.
+  std::map<std::size_t, StragglerFinding> by_rank;
+  for (const ParsedEvent& e : events) {
+    if (e.cat != "straggler" || e.pid != static_cast<int>(kSimPid)) {
+      continue;
+    }
+    const double rank_arg = e.arg("rank", -1.0);
+    if (rank_arg < 0.0) {
+      continue;
+    }
+    const std::size_t rank = static_cast<std::size_t>(rank_arg);
+    const std::size_t step = static_cast<std::size_t>(e.arg("step", 0.0));
+    auto [it, inserted] = by_rank.try_emplace(rank);
+    StragglerFinding& f = it->second;
+    f.rank = rank;
+    ++f.flags;
+    f.max_score = std::max(f.max_score, e.arg("score", 0.0));
+    f.first_step = inserted ? step : std::min(f.first_step, step);
+  }
+  for (const auto& [rank, f] : by_rank) {
+    report.stragglers.push_back(f);
+  }
+  std::sort(report.stragglers.begin(), report.stragglers.end(),
+            [](const StragglerFinding& a, const StragglerFinding& b) {
+              return a.max_score > b.max_score;
+            });
+
   // Pass 3: per-step interval arithmetic.
   for (StepBuild& sb : steps) {
     StepAttribution& a = sb.attr;
@@ -301,6 +329,15 @@ Table AnalysisReport::step_table() const {
   return t;
 }
 
+Table AnalysisReport::straggler_table() const {
+  Table t({"rank", "flags", "max score", "first step"});
+  for (const StragglerFinding& f : stragglers) {
+    t.add_row({strfmt("%zu", f.rank), strfmt("%zu", f.flags),
+               strfmt("%.1f", f.max_score), strfmt("%zu", f.first_step)});
+  }
+  return t;
+}
+
 std::string AnalysisReport::to_json() const {
   std::string out = "{\"schema\":\"dlsr-analysis-v1\",\"steps\":[";
   bool first = true;
@@ -330,9 +367,18 @@ std::string AnalysisReport::to_json() const {
       "],\"totals\":{\"steps\":%zu,\"step_us\":%.3f,\"forward_us\":%.3f,"
       "\"backward_us\":%.3f,\"optimizer_us\":%.3f,\"data_us\":%.3f,"
       "\"exposed_comm_us\":%.3f,\"overlapped_comm_us\":%.3f,"
-      "\"stall_us\":%.3f,\"setup_comm_us\":%.3f},\"comm_profile\":%s}",
+      "\"stall_us\":%.3f,\"setup_comm_us\":%.3f},\"stragglers\":[",
       steps.size(), total_step_us(), fwd, bwd, opt, data, exposed,
-      overlapped, stall, setup_comm_us, comm_profile.to_json().c_str());
+      overlapped, stall, setup_comm_us);
+  first = true;
+  for (const StragglerFinding& f : stragglers) {
+    out += strfmt(
+        "%s{\"rank\":%zu,\"flags\":%zu,\"max_score\":%.3f,"
+        "\"first_step\":%zu}",
+        first ? "" : ",", f.rank, f.flags, f.max_score, f.first_step);
+    first = false;
+  }
+  out += strfmt("],\"comm_profile\":%s}", comm_profile.to_json().c_str());
   return out;
 }
 

@@ -54,6 +54,16 @@ struct StepAttribution {
   }
 };
 
+/// One rank the straggler detector flagged during the traced run,
+/// rebuilt from the zero-duration cat="straggler" events the trainer
+/// emits on each flag edge.
+struct StragglerFinding {
+  std::size_t rank = 0;
+  std::size_t flags = 0;       ///< flag-edge events for this rank
+  double max_score = 0.0;      ///< worst MAD score seen
+  std::size_t first_step = 0;  ///< step of the first flag
+};
+
 /// Whole-trace analysis result.
 struct AnalysisReport {
   std::vector<StepAttribution> steps;
@@ -61,6 +71,8 @@ struct AnalysisReport {
   double setup_comm_us = 0.0;
   /// hvprof buckets rebuilt from the traced wire ops.
   prof::Hvprof comm_profile;
+  /// Ranks flagged by the in-run straggler detector, worst score first.
+  std::vector<StragglerFinding> stragglers;
 
   double total_exposed_comm_us() const;
   double total_step_us() const;
@@ -70,8 +82,10 @@ struct AnalysisReport {
   /// One row per step: phase durations, exposed/overlapped comm, stall,
   /// and the bounding chain.
   Table step_table() const;
-  /// Machine-readable dump ("dlsr-analysis-v1"): steps, totals, and the
-  /// embedded hvprof profile.
+  /// One row per flagged rank (empty table when the run was clean).
+  Table straggler_table() const;
+  /// Machine-readable dump ("dlsr-analysis-v1"): steps, totals,
+  /// stragglers, and the embedded hvprof profile.
   std::string to_json() const;
 };
 

@@ -289,6 +289,13 @@ void StallWatchdog::kick() {
   cv_.notify_all();
 }
 
+double StallWatchdog::seconds_since_kick() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_kick_)
+      .count();
+}
+
 void StallWatchdog::run() {
   const auto period =
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(

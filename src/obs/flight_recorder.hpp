@@ -120,13 +120,16 @@ class StallWatchdog {
   std::size_t stall_count() const {
     return stalls_.load(std::memory_order_relaxed);
   }
+  /// Seconds since the last kick() (construction counts as a kick) — the
+  /// telemetry /healthz heartbeat age.
+  double seconds_since_kick() const;
 
  private:
   void run();
 
   const std::chrono::duration<double> timeout_;
   std::function<void()> on_stall_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::chrono::steady_clock::time_point last_kick_;
   bool stop_ = false;

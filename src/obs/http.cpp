@@ -1,0 +1,241 @@
+#include "obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+constexpr std::size_t kMaxRequestHead = 8192;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "";
+  }
+}
+
+/// Writes the whole buffer, retrying on EINTR / partial writes.
+bool write_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_response(int fd, const HttpResponse& response) {
+  const std::string head = strfmt(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, status_text(response.status),
+      response.content_type.c_str(), response.body.size());
+  if (write_all(fd, head.data(), head.size())) {
+    write_all(fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const std::string& bind_address, int port,
+                       Handler handler)
+    : handler_(std::move(handler)) {
+  DLSR_CHECK(handler_, "HttpServer needs a handler");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DLSR_CHECK(listen_fd_ >= 0,
+             strfmt("socket() failed: %s", std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    DLSR_FAIL("bad telemetry bind address \"" + bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    DLSR_FAIL(strfmt("cannot bind %s:%d: %s", bind_address.c_str(), port,
+                     err.c_str()));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    DLSR_FAIL(strfmt("listen() failed: %s", err.c_str()));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  DLSR_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                           &len) == 0,
+             "getsockname() failed");
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Unblocks the accept() in serve_loop; the loop closes the fd itself.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::serve_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener shut down (or fatal error): stop serving
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Read until the end of the request head; HTTP/1.0 GETs carry no body.
+  std::string head;
+  char buf[1024];
+  while (head.size() < kMaxRequestHead &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::vector<std::string> parts = split(request_line, ' ');
+  HttpResponse response;
+  if (parts.size() < 2) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (parts[0] != "GET") {
+    response = {405, "text/plain; charset=utf-8", "GET only\n"};
+  } else {
+    HttpRequest request;
+    request.method = parts[0];
+    request.path = parts[1];
+    const std::size_t q = request.path.find('?');
+    if (q != std::string::npos) {
+      request.query = request.path.substr(q + 1);
+      request.path.resize(q);
+    }
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      log_error(strfmt("telemetry handler failed for %s: %s",
+                       request.path.c_str(), e.what()));
+      response = {500, "text/plain; charset=utf-8",
+                  strfmt("internal error: %s\n", e.what())};
+    }
+  }
+  write_response(fd, response);
+}
+
+HttpGetResult http_get(const std::string& host, int port,
+                       const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DLSR_CHECK(fd >= 0, strfmt("socket() failed: %s", std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    DLSR_FAIL("http_get: bad host \"" + host + "\" (use a dotted IPv4)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    DLSR_FAIL(strfmt("http_get: connect %s:%d failed: %s", host.c_str(),
+                     port, err.c_str()));
+  }
+  const std::string request =
+      strfmt("GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n",
+             path.c_str(), host.c_str());
+  if (!write_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    DLSR_FAIL("http_get: send failed");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  HttpGetResult result;
+  const std::size_t line_end = raw.find("\r\n");
+  DLSR_CHECK(line_end != std::string::npos && raw.rfind("HTTP/", 0) == 0,
+             "http_get: malformed response");
+  const std::vector<std::string> parts =
+      split(raw.substr(0, line_end), ' ');
+  DLSR_CHECK(parts.size() >= 2, "http_get: malformed status line");
+  result.status = static_cast<int>(std::stol(parts[1]));
+  const std::size_t body = raw.find("\r\n\r\n");
+  result.body = body == std::string::npos ? "" : raw.substr(body + 4);
+  return result;
+}
+
+}  // namespace dlsr::obs

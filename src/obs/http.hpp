@@ -1,0 +1,82 @@
+// Minimal dependency-free blocking HTTP/1.0 server for telemetry scrapes.
+//
+// One listener thread accepts connections sequentially, reads a bounded
+// request head, dispatches GET requests to a handler, writes the response
+// with Content-Length, and closes — exactly what a Prometheus scraper or
+// `curl` needs and nothing more. No keep-alive, no chunking, no TLS; the
+// server binds loopback by default because telemetry is an operator plane,
+// not a public one.
+//
+// Port 0 asks the kernel for an ephemeral port (tests); port() reports the
+// bound port either way. stop() shuts the listener down and joins the
+// thread; the destructor calls it.
+//
+// http_get() is the matching tiny client, used by tests and the scrape
+// bench so the repo can exercise the full socket path without curl.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dlsr::obs {
+
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string path;    ///< "/metrics" (query string stripped into `query`)
+  std::string query;   ///< text after '?', or empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds and starts the listener thread. Throws dlsr::Error when the
+  /// socket cannot be created/bound. `port` 0 picks an ephemeral port.
+  HttpServer(const std::string& bind_address, int port, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolved when constructed with port 0).
+  int port() const { return port_; }
+
+  /// Requests handled so far (200s and error responses alike).
+  std::uint64_t request_count() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, closes the listener, joins the thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Blocking GET against 127.0.0.1-style hosts. Throws dlsr::Error on
+/// connection failure or a malformed response.
+HttpGetResult http_get(const std::string& host, int port,
+                       const std::string& path);
+
+}  // namespace dlsr::obs

@@ -174,28 +174,76 @@ std::string MetricsRegistry::to_prometheus() const {
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     const std::string p = prom_name(name);
-    os << "# TYPE " << p << " counter\n"
+    os << "# HELP " << p << " dlsr counter " << name << "\n"
+       << "# TYPE " << p << " counter\n"
        << p << " "
        << strfmt("%llu", static_cast<unsigned long long>(c->value()))
        << "\n";
   }
   for (const auto& [name, g] : gauges_) {
     const std::string p = prom_name(name);
-    os << "# TYPE " << p << " gauge\n"
+    os << "# HELP " << p << " dlsr gauge " << name << "\n"
+       << "# TYPE " << p << " gauge\n"
        << p << " " << strfmt("%.6g", g->value()) << "\n";
   }
   for (const auto& [name, h] : histograms_) {
     const std::string p = prom_name(name);
     const HistogramSnapshot s = h->snapshot();
-    os << "# TYPE " << p << " summary\n";
-    os << p << "{quantile=\"0.5\"} " << strfmt("%.6g", s.p50) << "\n";
-    os << p << "{quantile=\"0.95\"} " << strfmt("%.6g", s.p95) << "\n";
-    os << p << "{quantile=\"0.99\"} " << strfmt("%.6g", s.p99) << "\n";
+    os << "# HELP " << p << " dlsr histogram " << name << "\n"
+       << "# TYPE " << p << " histogram\n";
+    std::size_t cumulative = 0;
+    for (std::size_t i = 0; i < kHistogramBucketBounds.size(); ++i) {
+      cumulative += s.buckets[i];
+      os << p
+         << strfmt("_bucket{le=\"%g\"} %zu\n", kHistogramBucketBounds[i],
+                   cumulative);
+    }
+    os << p << strfmt("_bucket{le=\"+Inf\"} %zu\n", s.count);
     os << p << "_sum " << strfmt("%.6g", s.mean * static_cast<double>(s.count))
        << "\n";
     os << p << "_count " << strfmt("%zu", s.count) << "\n";
   }
   return os.str();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+MetricsRegistry::histogram_counts() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Histogram>>> hists;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hists.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      hists.emplace_back(name, h);
+    }
+  }
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(hists.size());
+  for (const auto& [name, h] : hists) {
+    out.emplace_back(name, h->count());
+  }
+  return out;
 }
 
 void MetricsRegistry::write_json(const std::string& path) const {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -108,10 +109,20 @@ class MetricsRegistry {
   /// overflow bucket ("le":null).
   std::string to_json() const;
 
-  /// Prometheus text exposition: counters and gauges as-is, histograms as
-  /// summaries (quantile labels + _sum/_count). Names are sanitized and
+  /// Prometheus text exposition with # HELP/# TYPE lines: counters and
+  /// gauges as-is, histograms in full histogram form — cumulative
+  /// `_bucket{le="..."}` lines over kHistogramBucketBounds plus
+  /// `le="+Inf"`, then `_sum` and `_count`. Names are sanitized and
   /// prefixed "dlsr_".
   std::string to_prometheus() const;
+
+  /// Point-in-time enumeration of every registered instrument — the
+  /// telemetry sampler's feed into TimeSeriesStore. Sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+  /// Histogram names with their total observation counts (cheap: no
+  /// snapshot; the sampler turns count deltas into rates).
+  std::vector<std::pair<std::string, std::size_t>> histogram_counts() const;
 
   /// Writes to_json() to a file (throws dlsr::Error on failure).
   void write_json(const std::string& path) const;

@@ -1,0 +1,209 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace dlsr::obs {
+
+SloTracker::SloTracker(TimeSeriesStore* store)
+    : store_(store ? store : &TimeSeriesStore::global()) {}
+
+void SloTracker::add_rule(BurnRateRule rule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RuleState state;
+  state.is_burn = true;
+  state.burn = std::move(rule);
+  state.alert.rule = state.burn.name;
+  rules_.push_back(std::move(state));
+}
+
+void SloTracker::add_rule(QuantileRule rule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RuleState state;
+  state.is_burn = false;
+  state.quantile = std::move(rule);
+  state.alert.rule = state.quantile.name;
+  rules_.push_back(std::move(state));
+}
+
+void SloTracker::install_serve_rules(double deadline_budget,
+                                     double queue_wait_p99_ms,
+                                     double fast_window_s,
+                                     double slow_window_s) {
+  BurnRateRule misses;
+  misses.name = "serve-deadline-miss";
+  misses.numerator = "serve/timed_out";
+  misses.denominator = "serve/requests";
+  misses.budget = deadline_budget;
+  misses.fast_window_s = fast_window_s;
+  misses.slow_window_s = slow_window_s;
+  add_rule(misses);
+
+  BurnRateRule rejects;
+  rejects.name = "serve-admission-reject";
+  rejects.numerator = "serve/rejected";
+  rejects.denominator = "serve/requests";
+  rejects.budget = deadline_budget;
+  rejects.fast_window_s = fast_window_s;
+  rejects.slow_window_s = slow_window_s;
+  add_rule(rejects);
+
+  QuantileRule wait;
+  wait.name = "serve-queue-wait-p99";
+  wait.series = "serve/queue_wait_ms";
+  wait.threshold = queue_wait_p99_ms;
+  wait.window_s = fast_window_s;
+  add_rule(wait);
+}
+
+void SloTracker::fire(RuleState& state, double now,
+                      const std::string& message, double value) {
+  state.alert.message = message;
+  state.alert.value = value;
+  state.alert.last_fired_s = now;
+  if (!state.alert.active) {
+    state.alert.active = true;
+    ++state.alert.episodes;
+    if (state.alert.episodes == 1) {
+      state.alert.first_fired_s = now;
+    }
+    log_warn("SLO alert firing: " + message);
+    FlightRecorder::instance().recordf("alert", "%s", message.c_str());
+    MetricsRegistry::global().counter("obs/alerts_fired")->add(1);
+  }
+}
+
+void SloTracker::resolve(RuleState& state) {
+  if (state.alert.active) {
+    state.alert.active = false;
+    log_info("SLO alert resolved: " + state.alert.rule);
+  }
+}
+
+void SloTracker::evaluate(double now_s) {
+  const double now = now_s < 0.0 ? store_->now_s() : now_s;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (RuleState& state : rules_) {
+    if (state.is_burn) {
+      const BurnRateRule& r = state.burn;
+      const double den_slow = store_->delta(r.denominator, r.slow_window_s,
+                                            now);
+      if (den_slow < r.min_events || r.budget <= 0.0) {
+        resolve(state);
+        continue;
+      }
+      const double den_fast =
+          store_->delta(r.denominator, r.fast_window_s, now);
+      const double ratio_fast =
+          den_fast > 0.0
+              ? store_->delta(r.numerator, r.fast_window_s, now) / den_fast
+              : 0.0;
+      const double ratio_slow =
+          store_->delta(r.numerator, r.slow_window_s, now) / den_slow;
+      const double burn_fast = ratio_fast / r.budget;
+      const double burn_slow = ratio_slow / r.budget;
+      if (burn_fast >= r.fast_burn && burn_slow >= r.slow_burn) {
+        fire(state, now,
+             strfmt("%s: burn rate %.1fx/%.1fx over %gs/%gs windows "
+                    "(error ratio %.4f vs budget %.4f)",
+                    r.name.c_str(), burn_fast, burn_slow, r.fast_window_s,
+                    r.slow_window_s, ratio_fast, r.budget),
+             burn_fast);
+      } else {
+        state.alert.value = burn_fast;
+        resolve(state);
+      }
+    } else {
+      const QuantileRule& r = state.quantile;
+      const auto points = store_->window(r.series, r.window_s, now);
+      if (points.size() < r.min_samples) {
+        resolve(state);
+        continue;
+      }
+      const double q =
+          store_->percentile_window(r.series, r.quantile, r.window_s, now);
+      if (q > r.threshold) {
+        fire(state, now,
+             strfmt("%s: p%.0f(%s) = %.2f over last %gs exceeds %.2f",
+                    r.name.c_str(), r.quantile * 100.0, r.series.c_str(), q,
+                    r.window_s, r.threshold),
+             q);
+      } else {
+        state.alert.value = q;
+        resolve(state);
+      }
+    }
+  }
+}
+
+std::vector<Alert> SloTracker::alerts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Alert> out;
+  out.reserve(rules_.size());
+  for (const RuleState& state : rules_) {
+    out.push_back(state.alert);
+  }
+  return out;
+}
+
+std::size_t SloTracker::active_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const RuleState& state : rules_) {
+    n += state.alert.active;
+  }
+  return n;
+}
+
+std::uint64_t SloTracker::episodes_total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const RuleState& state : rules_) {
+    n += state.alert.episodes;
+  }
+  return n;
+}
+
+std::size_t SloTracker::rule_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rules_.size();
+}
+
+std::string SloTracker::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  std::size_t active = 0;
+  for (const RuleState& state : rules_) {
+    active += state.alert.active;
+  }
+  os << strfmt("{\"rules\":%zu,\"active\":%zu,\"alerts\":[", rules_.size(),
+               active);
+  bool first = true;
+  for (const RuleState& state : rules_) {
+    const Alert& a = state.alert;
+    std::string message;
+    for (const char c : a.message) {
+      if (c == '"' || c == '\\') {
+        message += '\\';
+      }
+      message += c;
+    }
+    os << strfmt(
+        "%s{\"rule\":\"%s\",\"active\":%s,\"episodes\":%llu,"
+        "\"value\":%.6g,\"first_fired_s\":%.3f,\"last_fired_s\":%.3f,"
+        "\"message\":\"%s\"}",
+        first ? "" : ",", a.rule.c_str(), a.active ? "true" : "false",
+        static_cast<unsigned long long>(a.episodes), a.value,
+        a.first_fired_s, a.last_fired_s, message.c_str());
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dlsr::obs

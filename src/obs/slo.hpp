@@ -1,0 +1,113 @@
+// SLO tracker: multi-window burn-rate alerting over rolling time series.
+//
+// Implements the SRE-workbook alerting recipe on top of TimeSeriesStore:
+// an error-ratio SLO (e.g. serve deadline misses / requests with a 1 %
+// budget) is watched through two windows at once — a short one that reacts
+// fast and a long one that filters blips — and the alert fires only when
+// BOTH windows burn error budget faster than their thresholds. A second
+// rule family watches rolling quantiles (e.g. p99 queue wait) against an
+// absolute threshold. Rules are evaluated on the telemetry sampler's tick;
+// firing is edge-triggered: one log line, one flight-recorder entry, and
+// one `obs/alerts_fired` count per episode, with the full alert state
+// (active + resolved history) listed at the /alertz endpoint.
+//
+// This is the signal the distributed serving fabric's front door (ROADMAP
+// item 1) will shed load on: a burning fast window says "queue melting
+// now", a burning slow window says "and it is not a blip".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/time_series.hpp"
+
+namespace dlsr::obs {
+
+/// Error-ratio burn-rate rule: ratio = delta(numerator)/delta(denominator)
+/// per window; burn = ratio / budget. Fires when the fast AND slow windows
+/// both exceed their burn thresholds.
+struct BurnRateRule {
+  std::string name;         ///< alert name ("serve-deadline-miss")
+  std::string numerator;    ///< counter series of bad events
+  std::string denominator;  ///< counter series of total events
+  double budget = 0.01;     ///< allowed bad/total ratio (the SLO)
+  double fast_window_s = 60.0;
+  double slow_window_s = 300.0;
+  /// Burn-rate thresholds (the SRE workbook pairs 14.4x/6x with 1h/6h
+  /// windows; the defaults here are scaled for minute-scale serving runs).
+  double fast_burn = 14.4;
+  double slow_burn = 6.0;
+  /// Minimum denominator delta in the slow window before the rule is
+  /// eligible — a two-request run must not page.
+  double min_events = 10.0;
+};
+
+/// Rolling-quantile threshold rule over an observation series.
+struct QuantileRule {
+  std::string name;    ///< alert name ("serve-queue-wait-p99")
+  std::string series;  ///< observation series ("serve/queue_wait_ms")
+  double quantile = 0.99;
+  double threshold = 100.0;  ///< fire when q(series) > threshold
+  double window_s = 60.0;
+  std::size_t min_samples = 20;
+};
+
+struct Alert {
+  std::string rule;
+  std::string message;     ///< rendered at the last evaluation that fired
+  bool active = false;
+  std::uint64_t episodes = 0;  ///< distinct firings (edge transitions)
+  double first_fired_s = 0.0;  ///< store-clock time of the first firing
+  double last_fired_s = 0.0;
+  double value = 0.0;          ///< burn rate / quantile at last evaluation
+};
+
+class SloTracker {
+ public:
+  /// `store` defaults to TimeSeriesStore::global().
+  explicit SloTracker(TimeSeriesStore* store = nullptr);
+
+  void add_rule(BurnRateRule rule);
+  void add_rule(QuantileRule rule);
+
+  /// The serving-SLO rule pack `dlsr serve --telemetry-port` installs:
+  /// deadline-miss and admission-reject burn rates over serve/requests,
+  /// plus a p99 queue-wait ceiling.
+  void install_serve_rules(double deadline_budget = 0.01,
+                           double queue_wait_p99_ms = 100.0,
+                           double fast_window_s = 30.0,
+                           double slow_window_s = 120.0);
+
+  /// Evaluates every rule at `now_s` (< 0 = store clock). Called from the
+  /// telemetry sampler tick; safe to call concurrently with scrapes.
+  void evaluate(double now_s = -1.0);
+
+  /// All rules' current state (active and quiet alike).
+  std::vector<Alert> alerts() const;
+  std::size_t active_count() const;
+  std::uint64_t episodes_total() const;
+  std::size_t rule_count() const;
+
+  /// {"active":N,"alerts":[{...}]} — the /alertz payload.
+  std::string to_json() const;
+
+ private:
+  struct RuleState {
+    bool is_burn = true;
+    BurnRateRule burn;
+    QuantileRule quantile;
+    Alert alert;
+  };
+
+  void fire(RuleState& state, double now, const std::string& message,
+            double value);
+  void resolve(RuleState& state);
+
+  TimeSeriesStore* store_;
+  mutable std::mutex mutex_;
+  std::vector<RuleState> rules_;
+};
+
+}  // namespace dlsr::obs

@@ -1,0 +1,127 @@
+#include "obs/straggler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace dlsr::obs {
+
+StragglerDetector::StragglerDetector(std::size_t num_ranks,
+                                     StragglerConfig config)
+    : config_(config) {
+  DLSR_CHECK(num_ranks > 0, "StragglerDetector needs at least one rank");
+  if (config_.window == 0) {
+    config_.window = 1;
+  }
+  ranks_.resize(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    ranks_[r].info.rank = r;
+  }
+}
+
+std::vector<std::size_t> StragglerDetector::record_step(
+    const std::vector<double>& per_rank_s) {
+  DLSR_CHECK(per_rank_s.size() == ranks_.size(),
+             strfmt("record_step: got %zu ranks, expected %zu",
+                    per_rank_s.size(), ranks_.size()));
+  ++steps_;
+
+  // Push this step into each rank's rolling ring and refresh rolling means.
+  std::vector<double> means(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankState& state = ranks_[r];
+    if (state.ring.empty()) {
+      state.ring.resize(config_.window, 0.0);
+    }
+    if (state.count == config_.window) {
+      state.sum -= state.ring[state.head];
+    } else {
+      ++state.count;
+    }
+    state.ring[state.head] = per_rank_s[r];
+    state.sum += per_rank_s[r];
+    state.head = (state.head + 1) % config_.window;
+    means[r] = state.sum / static_cast<double>(state.count);
+  }
+
+  std::vector<std::size_t> newly_flagged;
+  if (steps_ < config_.warmup_steps || ranks_.size() < 3) {
+    return newly_flagged;
+  }
+
+  // Robust fleet center/spread over rolling means: median and MAD.
+  const double med = percentile(means, 0.5);
+  std::vector<double> dev(means.size());
+  for (std::size_t r = 0; r < means.size(); ++r) {
+    dev[r] = std::fabs(means[r] - med);
+  }
+  const double mad = percentile(std::move(dev), 0.5);
+
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankState& state = ranks_[r];
+    const double excess = means[r] - med;
+    const double rel_excess = med > 0.0 ? excess / med : 0.0;
+    const double score = mad > 0.0 ? excess / mad : 0.0;
+    const bool over = score > config_.k_mad &&
+                      rel_excess > config_.min_rel_excess;
+    if (over) {
+      ++state.streak;
+      state.info.mean_s = means[r];
+      state.info.median_s = med;
+      state.info.mad_s = mad;
+      state.info.score = score;
+      ++state.info.flagged_steps;
+      if (!state.flagged && state.streak >= config_.persistence) {
+        state.flagged = true;
+        state.info.first_flagged_step =
+            static_cast<std::size_t>(steps_) - 1;
+        newly_flagged.push_back(r);
+      }
+    } else {
+      state.streak = 0;
+      state.flagged = false;
+    }
+  }
+  return newly_flagged;
+}
+
+StragglerReport StragglerDetector::report() const {
+  StragglerReport out;
+  out.ranks = ranks_.size();
+  out.steps = steps_;
+  for (const RankState& state : ranks_) {
+    if (state.flagged) {
+      out.flagged.push_back(state.info);
+    }
+  }
+  std::sort(out.flagged.begin(), out.flagged.end(),
+            [](const StragglerRank& a, const StragglerRank& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+std::string StragglerReport::to_json() const {
+  std::ostringstream os;
+  os << strfmt("{\"ranks\":%zu,\"steps\":%llu,\"flagged\":[", ranks,
+               static_cast<unsigned long long>(steps));
+  bool first = true;
+  for (const StragglerRank& r : flagged) {
+    os << strfmt(
+        "%s{\"rank\":%zu,\"mean_s\":%.6g,\"median_s\":%.6g,"
+        "\"mad_s\":%.6g,\"score\":%.3f,\"flagged_steps\":%llu,"
+        "\"first_flagged_step\":%zu}",
+        first ? "" : ",", r.rank, r.mean_s, r.median_s, r.mad_s, r.score,
+        static_cast<unsigned long long>(r.flagged_steps),
+        r.first_flagged_step);
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dlsr::obs

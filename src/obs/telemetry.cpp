@@ -1,0 +1,143 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+
+#include "common/strings.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace dlsr::obs {
+
+TelemetryServer::TelemetryServer(TelemetryConfig config)
+    : config_(std::move(config)),
+      registry_(config_.registry ? config_.registry
+                                 : &MetricsRegistry::global()),
+      store_(config_.store ? config_.store : &TimeSeriesStore::global()),
+      slo_(store_) {
+  if (config_.sample_period_s <= 0.0) {
+    config_.sample_period_s = 0.25;
+  }
+  store_->set_enabled(true);
+  start_s_ = store_->now_s();
+  sample_once(start_s_);
+  http_ = std::make_unique<HttpServer>(
+      config_.bind_address, config_.port,
+      [this](const HttpRequest& request) { return handle(request); });
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::stop() {
+  if (!stopping_.exchange(true)) {
+    sampler_cv_.notify_all();
+  }
+  if (sampler_.joinable()) {
+    sampler_.join();
+  }
+  http_->stop();
+}
+
+double TelemetryServer::sample_age_s() const {
+  return store_->now_s() - last_sample_s_.load(std::memory_order_relaxed);
+}
+
+void TelemetryServer::sampler_loop() {
+  std::unique_lock<std::mutex> lock(sampler_mutex_);
+  const auto period = std::chrono::duration<double>(config_.sample_period_s);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    sampler_cv_.wait_for(lock, period, [this] {
+      return stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    sample_once(store_->now_s());
+  }
+}
+
+void TelemetryServer::sample_once(double now_s) {
+  // Counters are recorded at their cumulative values: window deltas and
+  // rates fall out of the ring without per-sample bookkeeping.
+  for (const auto& [name, value] : registry_->counter_values()) {
+    store_->append(name, now_s, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : registry_->gauge_values()) {
+    store_->append(name, now_s, value);
+  }
+  // Histogram totals become "<name>/count" counter series — the rolling
+  // observation rate even when nothing feeds the store inline.
+  for (const auto& [name, count] : registry_->histogram_counts()) {
+    store_->append(name + "/count", now_s, static_cast<double>(count));
+  }
+  slo_.evaluate(now_s);
+  last_sample_s_.store(now_s, std::memory_order_relaxed);
+}
+
+std::string TelemetryServer::healthz_json() const {
+  const double now = store_->now_s();
+  const double sample_age =
+      now - last_sample_s_.load(std::memory_order_relaxed);
+  // The sampler missing several periods means the plane itself is wedged.
+  const bool sampler_live = sample_age < 10.0 * config_.sample_period_s + 1.0;
+  const std::size_t active = slo_.active_count();
+  const char* status =
+      !sampler_live ? "unhealthy" : (active > 0 ? "degraded" : "ok");
+  std::string heartbeat = "null";
+  if (config_.heartbeat_age_s) {
+    heartbeat = strfmt("%.3f", config_.heartbeat_age_s());
+  }
+  return strfmt(
+      "{\"status\":\"%s\",\"uptime_s\":%.3f,\"sample_age_s\":%.3f,"
+      "\"heartbeat_age_s\":%s,\"flight_recorder_armed\":%s,"
+      "\"alerts_active\":%zu,\"scrapes\":%llu}",
+      status, now - start_s_, sample_age, heartbeat.c_str(),
+      FlightRecorder::instance().enabled() ? "true" : "false", active,
+      static_cast<unsigned long long>(http_ ? http_->request_count() : 0));
+}
+
+HttpResponse TelemetryServer::handle(const HttpRequest& request) {
+  HttpResponse response;
+  if (request.path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry_->to_prometheus();
+  } else if (request.path == "/metrics.json") {
+    response.content_type = "application/json";
+    response.body = registry_->to_json();
+  } else if (request.path == "/healthz") {
+    response.content_type = "application/json";
+    response.body = healthz_json();
+  } else if (request.path == "/seriesz") {
+    double window = config_.series_window_s;
+    for (const std::string& kv : split(request.query, '&')) {
+      const std::size_t eq = kv.find('=');
+      if (eq != std::string::npos && kv.substr(0, eq) == "window") {
+        try {
+          window = std::stod(kv.substr(eq + 1));
+        } catch (const std::exception&) {
+          return {400, "text/plain; charset=utf-8",
+                  "bad window= value\n"};
+        }
+      }
+    }
+    response.content_type = "application/json";
+    response.body = store_->to_json(window);
+  } else if (request.path == "/alertz") {
+    response.content_type = "application/json";
+    response.body = slo_.to_json();
+  } else if (request.path == "/") {
+    response.body =
+        "dlsr telemetry\n"
+        "  /metrics       Prometheus exposition\n"
+        "  /metrics.json  registry JSON\n"
+        "  /healthz       liveness + heartbeat\n"
+        "  /seriesz       rolling series stats (?window=SECONDS)\n"
+        "  /alertz        SLO alert state\n";
+  } else {
+    response.status = 404;
+    response.body = "not found; see / for the endpoint index\n";
+  }
+  return response;
+}
+
+}  // namespace dlsr::obs

@@ -1,0 +1,102 @@
+// Live telemetry plane: HTTP endpoints over the metrics registry, the
+// time-series store, and the SLO tracker.
+//
+// A TelemetryServer owns two threads:
+//   - the HttpServer listener, serving operator scrapes;
+//   - a sampler that every `sample_period_s` copies registry counters,
+//     gauges, and histogram counts into the TimeSeriesStore (so rolling
+//     rates/deltas exist even for instruments nobody observes directly)
+//     and evaluates the SLO rules.
+//
+// Endpoints (all GET, HTTP/1.0, close-per-request):
+//   /metrics       Prometheus text exposition of the registry
+//   /metrics.json  registry JSON (same schema as --metrics-out files)
+//   /healthz       liveness JSON: uptime, sampler age, watchdog heartbeat
+//                  age (when a hook is wired), flight-recorder armed state,
+//                  active alert count
+//   /seriesz       rolling-window series stats (?window=SECONDS)
+//   /alertz        SLO rule/alert state
+//   /              plain-text index of the above
+//
+// The server binds loopback by default and is wired behind
+// `--telemetry-port` on `dlsr train` and `dlsr serve`. Construction
+// enables the global TimeSeriesStore so inline observation points
+// (serve latency, train step time) start recording.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/http.hpp"
+#include "obs/slo.hpp"
+#include "obs/time_series.hpp"
+
+namespace dlsr::obs {
+
+class MetricsRegistry;
+
+struct TelemetryConfig {
+  int port = 0;  ///< 0 = ephemeral (tests); port() reports the bound one
+  std::string bind_address = "127.0.0.1";
+  double sample_period_s = 0.25;
+  double series_window_s = 60.0;  ///< default /seriesz window
+  MetricsRegistry* registry = nullptr;  ///< default: MetricsRegistry::global()
+  TimeSeriesStore* store = nullptr;     ///< default: TimeSeriesStore::global()
+  /// Optional liveness hook: seconds since the owning session last kicked
+  /// its stall watchdog. Reported as heartbeat_age_s in /healthz (null when
+  /// absent).
+  std::function<double()> heartbeat_age_s;
+};
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryConfig config = {});
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  int port() const { return http_->port(); }
+  std::uint64_t scrape_count() const { return http_->request_count(); }
+
+  /// The SLO rule set evaluated on each sampler tick. Add rules before
+  /// traffic arrives (e.g. SloTracker::install_serve_rules()).
+  SloTracker& slo() { return slo_; }
+
+  /// Seconds since the sampler last ran — /healthz calls the plane
+  /// unhealthy when this exceeds a few periods.
+  double sample_age_s() const;
+
+  /// Routes one request exactly as the HTTP thread would (tests hit this
+  /// without sockets).
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Stops the HTTP listener and the sampler. Idempotent; run by the
+  /// destructor.
+  void stop();
+
+ private:
+  void sampler_loop();
+  void sample_once(double now_s);
+  std::string healthz_json() const;
+
+  TelemetryConfig config_;
+  MetricsRegistry* registry_;
+  TimeSeriesStore* store_;
+  SloTracker slo_;
+  double start_s_ = 0.0;
+  std::atomic<double> last_sample_s_{0.0};
+  std::atomic<bool> stopping_{false};
+  std::mutex sampler_mutex_;
+  std::condition_variable sampler_cv_;
+  std::unique_ptr<HttpServer> http_;
+  std::thread sampler_;
+};
+
+}  // namespace dlsr::obs

@@ -1,0 +1,124 @@
+// dlsr::obs — rolling time-series store for the live telemetry plane.
+//
+// Where MetricsRegistry answers "what happened since the process started",
+// TimeSeriesStore answers "what is happening *right now*": every series is
+// a fixed-capacity ring of (timestamp, value) points, so rolling-window
+// queries — rate, delta, percentiles over the last N seconds — stay O(window)
+// and memory stays bounded no matter how long the run lives. The periodic
+// telemetry sampler (obs/telemetry.hpp) feeds counters and gauges from the
+// registry in; latency-style instruments push raw observations directly via
+// observe(), which is a no-op (one relaxed atomic load) until a telemetry
+// plane enables the store.
+//
+// Two query families share the same storage:
+//   - counter semantics: delta()/rate_per_s() read the first and last sample
+//     inside the window (cumulative values, Prometheus-style);
+//   - observation semantics: percentile_window() treats every point as one
+//     raw sample (per-request latency, per-step time) and computes the
+//     rolling quantile with the same common/stats percentile() the
+//     end-of-run snapshots use, so live p99 and post-hoc p99 agree exactly
+//     over equal sample sets.
+//
+// Locking is per-series (one mutex each) plus a registry mutex taken only
+// on name lookup/creation; scrapers and producers on different series never
+// contend.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlsr::obs {
+
+struct SeriesPoint {
+  double t_s = 0.0;  ///< seconds on the store's clock
+  double value = 0.0;
+};
+
+struct TimeSeriesConfig {
+  /// Points kept per series (ring capacity). At the default 4 Hz sampler
+  /// this holds ~17 minutes of counter history per series.
+  std::size_t capacity_per_series = 4096;
+};
+
+class TimeSeriesStore {
+ public:
+  using Config = TimeSeriesConfig;
+
+  explicit TimeSeriesStore(Config config = Config());
+
+  /// The process-wide store the telemetry plane publishes into. Starts
+  /// disabled: observe() costs one relaxed load until set_enabled(true).
+  static TimeSeriesStore& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Seconds since the store was constructed (steady clock).
+  double now_s() const;
+
+  /// Appends a point with an explicit timestamp (sampler / tests).
+  /// Always records, independent of enabled().
+  void append(const std::string& name, double t_s, double value);
+
+  /// Appends a raw observation stamped now_s(); no-op while disabled so
+  /// instruments can call it unconditionally from hot-ish paths.
+  void observe(const std::string& name, double value);
+
+  std::vector<std::string> names() const;
+  std::size_t point_count(const std::string& name) const;
+
+  /// Points with t in (now - window_s, now], oldest first. `now_s` < 0
+  /// means "the store's current clock".
+  std::vector<SeriesPoint> window(const std::string& name, double window_s,
+                                  double now_s = -1.0) const;
+
+  /// Newest value, or `fallback` for an unknown/empty series.
+  double latest(const std::string& name, double fallback = 0.0) const;
+
+  /// last - first over the window (counter semantics). 0 with < 2 points.
+  double delta(const std::string& name, double window_s,
+               double now_s = -1.0) const;
+
+  /// delta / elapsed over the window, per second. 0 with < 2 points.
+  double rate_per_s(const std::string& name, double window_s,
+                    double now_s = -1.0) const;
+
+  /// Rolling quantile over the raw points in the window (observation
+  /// semantics); agrees with dlsr::percentile on the same samples.
+  double percentile_window(const std::string& name, double p,
+                           double window_s, double now_s = -1.0) const;
+
+  /// {"window_s":W,"series":{name:{"points":N,"latest":v,"delta":d,
+  /// "rate_per_s":r,"p50":...,"p99":...},...}} — the /seriesz payload.
+  std::string to_json(double window_s, double now_s = -1.0) const;
+
+  /// Drops every series (tests).
+  void clear();
+
+ private:
+  struct Series {
+    mutable std::mutex mutex;
+    std::vector<SeriesPoint> ring;  ///< capacity-sized once first used
+    std::size_t head = 0;           ///< next write slot
+    std::size_t count = 0;          ///< live points (<= capacity)
+  };
+
+  std::shared_ptr<Series> find(const std::string& name) const;
+  std::shared_ptr<Series> find_or_create(const std::string& name);
+
+  Config config_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Series>> series_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace dlsr::obs

@@ -401,63 +401,161 @@ std::vector<ParsedEvent> parse_trace_events(const std::string& json) {
   return events;
 }
 
-Table trace_summary(const std::vector<ParsedEvent>& events) {
-  struct Row {
-    std::size_t count = 0;
-    double total_us = 0.0;
-    double min_us = 0.0;
-    double max_us = 0.0;
+std::vector<TraceSummaryRow> summarize_trace(
+    const std::vector<ParsedEvent>& events) {
+  struct Build {
+    TraceSummaryRow row;
     /// Simulated comm-slot spans; merged by union so concurrent slots are
     /// not double-counted.
     std::vector<std::pair<double, double>> slot_intervals;
+    bool is_slot = false;
   };
-  std::map<std::pair<std::string, std::string>, Row> rows;
-  for (const ParsedEvent& e : events) {
-    if (e.phase != 'X') {
-      continue;
+  const auto is_slot_lane = [](const ParsedEvent& e) {
+    return e.pid == static_cast<int>(kSimPid) && e.tid >= kCommLaneBase;
+  };
+
+  // Pass 1: per-event exclusive (self) durations via a span-nesting stack
+  // per (pid, tid) lane. Events on one lane nest properly (a thread's
+  // spans are either disjoint or contained), so each event's duration is
+  // carved out of the innermost span enclosing it.
+  std::vector<std::size_t> complete;  ///< indices of 'X' events
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].phase == 'X') {
+      complete.push_back(i);
     }
-    Row& row = rows[{e.cat, normalize_name(e.name)}];
+  }
+  std::vector<double> self_us(events.size(), 0.0);
+  std::map<std::pair<int, int>, std::vector<std::size_t>> lanes;
+  for (const std::size_t i : complete) {
+    lanes[{events[i].pid, events[i].tid}].push_back(i);
+  }
+  for (auto& [lane, idx] : lanes) {
+    // Start order; an enclosing span sorts before a same-start child
+    // because it lasts longer.
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (events[a].ts_us != events[b].ts_us) {
+        return events[a].ts_us < events[b].ts_us;
+      }
+      return events[a].dur_us > events[b].dur_us;
+    });
+    // Export rounding slack: trace timestamps carry %.3f microseconds, so
+    // adjacent spans can appear to overlap by ~0.001 us. Without the
+    // epsilon a span that merely touches its predecessor would be treated
+    // as nested and have its full duration subtracted.
+    constexpr double kEpsUs = 0.5;
+    std::vector<std::size_t> stack;  ///< open (enclosing) spans
+    for (const std::size_t i : idx) {
+      const ParsedEvent& e = events[i];
+      while (!stack.empty() &&
+             events[stack.back()].ts_us + events[stack.back()].dur_us <=
+                 e.ts_us + kEpsUs) {
+        stack.pop_back();
+      }
+      self_us[i] = e.dur_us;
+      if (!stack.empty()) {
+        const ParsedEvent& parent = events[stack.back()];
+        // Only carve out genuinely contained spans; a child that pokes
+        // past its parent's end by more than the rounding slack is a
+        // partial overlap, not a nesting.
+        if (e.ts_us + e.dur_us <= parent.ts_us + parent.dur_us + kEpsUs) {
+          self_us[stack.back()] -= e.dur_us;
+        }
+      }
+      stack.push_back(i);
+    }
+  }
+
+  // Pass 2: aggregate per (category, normalized name) family.
+  std::map<std::pair<std::string, std::string>, Build> rows;
+  for (const std::size_t i : complete) {
+    const ParsedEvent& e = events[i];
+    Build& b = rows[{e.cat, normalize_name(e.name)}];
+    TraceSummaryRow& row = b.row;
     if (row.count == 0 || e.dur_us < row.min_us) {
       row.min_us = e.dur_us;
     }
     row.max_us = std::max(row.max_us, e.dur_us);
     ++row.count;
-    if (e.pid == static_cast<int>(kSimPid) && e.tid >= kCommLaneBase) {
-      row.slot_intervals.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+    if (is_slot_lane(e)) {
+      b.is_slot = true;
+      b.slot_intervals.emplace_back(e.ts_us, e.ts_us + e.dur_us);
     } else {
       row.total_us += e.dur_us;
+      row.self_us += std::max(0.0, self_us[i]);
     }
   }
-  double grand_total = 0.0;
-  for (auto& [key, row] : rows) {
-    if (!row.slot_intervals.empty()) {
-      row.total_us += interval_union_us(std::move(row.slot_intervals));
+  double grand_self = 0.0;
+  for (auto& [key, b] : rows) {
+    if (b.is_slot) {
+      // Union across lanes; slots hold no nested children, so exclusive
+      // time is the union itself.
+      const double covered =
+          interval_union_us(std::move(b.slot_intervals));
+      b.row.total_us += covered;
+      b.row.self_us += covered;
     }
-    grand_total += row.total_us;
+    grand_self += b.row.self_us;
   }
 
+  std::vector<TraceSummaryRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, b] : rows) {
+    b.row.cat = key.first;
+    b.row.name = key.second;
+    b.row.share_pct =
+        grand_self > 0.0 ? b.row.self_us / grand_self * 100.0 : 0.0;
+    out.push_back(std::move(b.row));
+  }
   // Heaviest phases first.
-  std::vector<std::pair<std::pair<std::string, std::string>, Row>> sorted(
-      rows.begin(), rows.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) {
-              return a.second.total_us > b.second.total_us;
+  std::sort(out.begin(), out.end(),
+            [](const TraceSummaryRow& a, const TraceSummaryRow& b) {
+              return a.total_us > b.total_us;
             });
+  return out;
+}
 
-  Table t({"category", "phase", "count", "total ms", "mean ms", "min ms",
-           "max ms", "share %"});
-  for (const auto& [key, row] : sorted) {
-    t.add_row({key.first, key.second, strfmt("%zu", row.count),
+Table trace_summary(const std::vector<ParsedEvent>& events) {
+  Table t({"category", "phase", "count", "total ms", "self ms", "mean ms",
+           "min ms", "max ms", "share %"});
+  for (const TraceSummaryRow& row : summarize_trace(events)) {
+    t.add_row({row.cat, row.name, strfmt("%zu", row.count),
                strfmt("%.3f", row.total_us / 1e3),
-               strfmt("%.3f", row.total_us / 1e3 /
-                                  static_cast<double>(row.count)),
+               strfmt("%.3f", row.self_us / 1e3),
+               strfmt("%.3f", row.mean_us() / 1e3),
                strfmt("%.3f", row.min_us / 1e3),
                strfmt("%.3f", row.max_us / 1e3),
-               grand_total > 0.0
-                   ? strfmt("%.1f", row.total_us / grand_total * 100.0)
-                   : std::string("-")});
+               strfmt("%.1f", row.share_pct)});
   }
   return t;
+}
+
+std::string trace_summary_json(const std::vector<ParsedEvent>& events) {
+  const std::vector<TraceSummaryRow> rows = summarize_trace(events);
+  double grand_self = 0.0;
+  for (const TraceSummaryRow& row : rows) {
+    grand_self += row.self_us;
+  }
+  std::string out = "{\"schema\":\"dlsr-trace-summary-v1\",\"rows\":[";
+  bool first = true;
+  for (const TraceSummaryRow& row : rows) {
+    std::string name;
+    for (const char c : row.name) {
+      if (c == '"' || c == '\\') {
+        name += '\\';
+      }
+      name += c;
+    }
+    out += strfmt(
+        "%s{\"cat\":\"%s\",\"name\":\"%s\",\"count\":%zu,"
+        "\"total_us\":%.3f,\"self_us\":%.3f,\"mean_us\":%.3f,"
+        "\"min_us\":%.3f,\"max_us\":%.3f,\"share_pct\":%.3f}",
+        first ? "" : ",", row.cat.c_str(), name.c_str(), row.count,
+        row.total_us, row.self_us, row.mean_us(), row.min_us, row.max_us,
+        row.share_pct);
+    first = false;
+  }
+  out += strfmt("],\"self_total_us\":%.3f}", grand_self);
+  return out;
 }
 
 }  // namespace dlsr::obs

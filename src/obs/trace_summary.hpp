@@ -36,16 +36,52 @@ bool json_valid(const std::string& text);
 /// Throws dlsr::Error on malformed JSON or a non-array top level.
 std::vector<ParsedEvent> parse_trace_events(const std::string& json);
 
+/// One aggregated (category, normalized-name) family of complete events.
+struct TraceSummaryRow {
+  std::string cat;
+  std::string name;
+  std::size_t count = 0;
+  /// Summed inclusive duration (comm-slot lanes: interval union).
+  double total_us = 0.0;
+  /// Exclusive (self) time: inclusive minus the duration of spans nested
+  /// inside on the same (pid, tid) lane — a parent and its children no
+  /// longer both claim the same microseconds.
+  double self_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  /// Share of the summed self time across all rows (self times partition
+  /// covered time, so shares add to ~100 instead of double-counting).
+  double share_pct = 0.0;
+
+  double mean_us() const {
+    return count ? total_us / static_cast<double>(count) : 0.0;
+  }
+};
+
 /// Aggregates complete ("X") events per (category, normalized name):
-/// count, total/mean/min/max duration, and share of the summed span time.
-/// Names are normalized by stripping trailing "/<index>" tags so per-step
-/// span families ("forward/17") collapse into one row.
+/// count, total(inclusive)/self(exclusive)/mean/min/max duration, and self
+/// share of the covered time. Names are normalized by stripping trailing
+/// "/<index>" tags so per-step span families ("forward/17") collapse into
+/// one row. Rows come back heaviest (by total) first.
+///
+/// Self time is computed per (pid, tid) lane with a span-nesting stack:
+/// each event's duration is subtracted from the innermost enclosing span,
+/// so nested spans ("step" containing "data") are not double-counted in
+/// the share column.
 ///
 /// Simulated comm-slot lanes (pid kSimPid, tid >= kCommLaneBase) are merged
 /// per family by interval union before totalling, so two allreduces that
 /// overlap in simulated time contribute their covered time once instead of
-/// being double-counted across slots.
+/// being double-counted across slots; their self time equals the union.
+std::vector<TraceSummaryRow> summarize_trace(
+    const std::vector<ParsedEvent>& events);
+
+/// summarize_trace rendered as the `dlsr trace-summary` table.
 Table trace_summary(const std::vector<ParsedEvent>& events);
+
+/// summarize_trace rendered as JSON ("dlsr-trace-summary-v1"): rows plus
+/// the grand self total. Backs `dlsr trace-summary --json`.
+std::string trace_summary_json(const std::vector<ParsedEvent>& events);
 
 /// Total covered time of a set of [start, end) intervals (their union).
 /// Degenerate (end <= start) intervals contribute nothing.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/time_series.hpp"
 
 namespace dlsr::serve {
 
@@ -97,6 +98,9 @@ void ServerMetrics::on_complete(double latency_seconds) {
   latency_stats_.add(ms);
   completed_c_->add(1);
   latency_h_->observe(ms);
+  // Rolling series for live p99 / SLO rules (no-op without a telemetry
+  // plane attached).
+  obs::TimeSeriesStore::global().observe("serve/latency_ms", ms);
 }
 
 void ServerMetrics::on_queue_wait(double wait_seconds) {
@@ -104,6 +108,7 @@ void ServerMetrics::on_queue_wait(double wait_seconds) {
   const double ms = wait_seconds * 1e3;
   queue_waits_ms_.push_back(ms);
   queue_wait_h_->observe(ms);
+  obs::TimeSeriesStore::global().observe("serve/queue_wait_ms", ms);
 }
 
 void ServerMetrics::on_forward(double forward_seconds) {

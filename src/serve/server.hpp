@@ -93,6 +93,9 @@ class SrServer {
   const EdsrEngine& engine() const { return engine_; }
   ServerMetrics& metrics() { return metrics_; }
   MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+  /// Stall watchdog, when armed (stall_timeout_seconds > 0) — the
+  /// telemetry /healthz heartbeat source. Null otherwise.
+  const obs::StallWatchdog* watchdog() const { return watchdog_.get(); }
 
  private:
   struct RequestState;  // defined in server.cpp

@@ -216,10 +216,45 @@ TEST(Metrics, RegistryExportsJsonAndPrometheus) {
   EXPECT_NE(json.find("\"p50\":2"), std::string::npos);
 
   const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE dlsr_req_total counter"), std::string::npos);
   EXPECT_NE(prom.find("dlsr_req_total 7"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE dlsr_queue_depth gauge"), std::string::npos);
   EXPECT_NE(prom.find("dlsr_queue_depth 3.5"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE dlsr_lat_ms histogram"), std::string::npos);
   EXPECT_NE(prom.find("dlsr_lat_ms_count 3"), std::string::npos);
-  EXPECT_NE(prom.find("quantile=\"0.5\""), std::string::npos);
+  // Native histogram exposition, not a summary: no quantile labels.
+  EXPECT_EQ(prom.find("quantile="), std::string::npos);
+}
+
+// Byte-exact golden for the histogram exposition: cumulative buckets over
+// the shared ladder, +Inf equals the total count, _sum reconstructs from
+// the mean. `histogram_quantile()` on the scrape side depends on exactly
+// this shape.
+TEST(Metrics, PrometheusHistogramGolden) {
+  MetricsRegistry reg;
+  auto hist = reg.histogram("lat/ms");
+  hist->observe(1.0);
+  hist->observe(2.0);
+  hist->observe(3.0);
+  const std::string expected =
+      "# HELP dlsr_lat_ms dlsr histogram lat/ms\n"
+      "# TYPE dlsr_lat_ms histogram\n"
+      "dlsr_lat_ms_bucket{le=\"0.001\"} 0\n"
+      "dlsr_lat_ms_bucket{le=\"0.01\"} 0\n"
+      "dlsr_lat_ms_bucket{le=\"0.1\"} 0\n"
+      "dlsr_lat_ms_bucket{le=\"0.5\"} 0\n"
+      "dlsr_lat_ms_bucket{le=\"1\"} 1\n"
+      "dlsr_lat_ms_bucket{le=\"5\"} 3\n"
+      "dlsr_lat_ms_bucket{le=\"10\"} 3\n"
+      "dlsr_lat_ms_bucket{le=\"50\"} 3\n"
+      "dlsr_lat_ms_bucket{le=\"100\"} 3\n"
+      "dlsr_lat_ms_bucket{le=\"500\"} 3\n"
+      "dlsr_lat_ms_bucket{le=\"1000\"} 3\n"
+      "dlsr_lat_ms_bucket{le=\"10000\"} 3\n"
+      "dlsr_lat_ms_bucket{le=\"+Inf\"} 3\n"
+      "dlsr_lat_ms_sum 6\n"
+      "dlsr_lat_ms_count 3\n";
+  EXPECT_EQ(reg.to_prometheus(), expected);
 }
 
 TEST(Metrics, GetOrCreateSharesAndMakeRebinds) {
@@ -352,6 +387,68 @@ TEST(TraceSummary, CommLanesMergeByIntervalUnion) {
   EXPECT_EQ(text.find("0.200"), std::string::npos) << text;
   EXPECT_DOUBLE_EQ(interval_union_us({{100.0, 200.0}, {150.0, 250.0}}),
                    150.0);
+}
+
+TEST(TraceSummary, SelfTimeExcludesNestedSpans) {
+  // One lane: step [0,100] contains data [10,30] which contains inner
+  // [12,17]; step2 [100,150] merely touches step's end; step3 starts
+  // 0.001 us before step2 ends — the %.3f export-rounding overlap that
+  // must NOT count as nesting. Regression test for adjacent spans being
+  // carved out of their predecessor.
+  const auto span = [](const char* name, double ts, double dur) {
+    ParsedEvent e;
+    e.name = name;
+    e.cat = "core";
+    e.phase = 'X';
+    e.ts_us = ts;
+    e.dur_us = dur;
+    e.pid = 0;
+    e.tid = 1;
+    return e;
+  };
+  const auto rows = summarize_trace(
+      {span("step", 0.0, 100.0), span("data", 10.0, 20.0),
+       span("inner", 12.0, 5.0), span("step2", 100.0, 50.0),
+       span("step3", 149.999, 10.0)});
+  const auto find = [&](const char* name) -> const TraceSummaryRow& {
+    for (const auto& r : rows) {
+      if (r.name == name) {
+        return r;
+      }
+    }
+    ADD_FAILURE() << "row not found: " << name;
+    static TraceSummaryRow none;
+    return none;
+  };
+  EXPECT_DOUBLE_EQ(find("step").total_us, 100.0);
+  EXPECT_DOUBLE_EQ(find("step").self_us, 80.0);   // minus data's 20
+  EXPECT_DOUBLE_EQ(find("data").self_us, 15.0);   // minus inner's 5
+  EXPECT_DOUBLE_EQ(find("inner").self_us, 5.0);
+  EXPECT_DOUBLE_EQ(find("step2").self_us, 50.0);  // adjacency != nesting
+  EXPECT_DOUBLE_EQ(find("step3").self_us, 10.0);  // rounding != nesting
+  double share = 0.0;
+  for (const auto& r : rows) {
+    share += r.share_pct;
+  }
+  // Self times partition covered time, so shares add to 100.
+  EXPECT_NEAR(share, 100.0, 1e-9);
+}
+
+TEST(TraceSummary, JsonExportMatchesRows) {
+  ParsedEvent e;
+  e.name = "forward/3";
+  e.cat = "sim";
+  e.phase = 'X';
+  e.ts_us = 5.0;
+  e.dur_us = 40.0;
+  const std::string json = trace_summary_json({e});
+  ASSERT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"dlsr-trace-summary-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_us\":40.000"), std::string::npos);
+  EXPECT_NE(json.find("\"self_us\":40.000"), std::string::npos);
+  EXPECT_NE(json.find("\"self_total_us\":40.000"), std::string::npos);
 }
 
 TEST(Metrics, HistogramJsonExportsBucketBoundsAndCounts) {

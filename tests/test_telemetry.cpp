@@ -1,0 +1,491 @@
+// Tests for the live telemetry plane: TimeSeriesStore rolling-window
+// queries (pinned against common/stats percentile), the HTTP server over
+// real sockets, every TelemetryServer endpoint, SLO burn-rate rules firing
+// under synthetic overload and surfacing at /alertz, per-rank straggler
+// detection (unit + end-to-end through the simulator and `dlsr analyze`),
+// and concurrent scrapes against a live training session.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/experiments.hpp"
+#include "core/training_session.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "models/edsr.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/straggler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/time_series.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
+
+namespace dlsr::obs {
+namespace {
+
+// --- TimeSeriesStore ----------------------------------------------------
+
+TEST(TimeSeriesStore, RollingPercentileMatchesStats) {
+  TimeSeriesStore store;
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>((i * 7919) % 101);
+    samples.push_back(v);
+    store.append("lat", 0.1 * i, v);
+  }
+  const double now = 0.1 * 199;
+  // The whole series sits inside the window: the live rolling quantile
+  // must agree exactly with the end-of-run percentile on the same samples.
+  for (const double p : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(store.percentile_window("lat", p, 1e6, now),
+                     percentile(samples, p));
+  }
+  // Half window: only the newer points count.
+  const std::vector<double> tail(samples.end() - 100, samples.end());
+  EXPECT_DOUBLE_EQ(store.percentile_window("lat", 0.99, 0.1 * 100, now),
+                   percentile(tail, 0.99));
+}
+
+TEST(TimeSeriesStore, RingEvictsOldestAndBoundsMemory) {
+  TimeSeriesConfig cfg;
+  cfg.capacity_per_series = 8;
+  TimeSeriesStore store(cfg);
+  for (int i = 0; i < 20; ++i) {
+    store.append("s", static_cast<double>(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(store.point_count("s"), 8u);
+  const auto points = store.window("s", 1e6, 19.0);
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_DOUBLE_EQ(points.front().value, 12.0);  // oldest survivor
+  EXPECT_DOUBLE_EQ(points.back().value, 19.0);
+  EXPECT_DOUBLE_EQ(store.latest("s"), 19.0);
+}
+
+TEST(TimeSeriesStore, CounterDeltaAndRate) {
+  TimeSeriesStore store;
+  // Cumulative counter sampled once per second, +5 per tick.
+  for (int i = 0; i <= 10; ++i) {
+    store.append("req", static_cast<double>(i), 5.0 * i);
+  }
+  // Window is (now - w, now]: t in {7,8,9,10}, so first-to-last spans 3 s.
+  EXPECT_DOUBLE_EQ(store.delta("req", 4.0, 10.0), 15.0);
+  EXPECT_DOUBLE_EQ(store.rate_per_s("req", 4.0, 10.0), 5.0);
+  // Window with < 2 points: no rate.
+  EXPECT_DOUBLE_EQ(store.delta("req", 0.5, 10.0), 0.0);
+  // /seriesz payload carries all three quantiles of the same window
+  // (regression: p50/p95 once read a moved-from vector and came out 0).
+  const std::string json = store.to_json(1e6, 10.0);
+  EXPECT_NE(json.find("\"p50\":25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":47.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":49.5"), std::string::npos) << json;
+}
+
+TEST(TimeSeriesStore, ObserveIsGatedByEnabled) {
+  TimeSeriesStore store;
+  store.observe("x", 1.0);
+  EXPECT_EQ(store.point_count("x"), 0u);
+  store.set_enabled(true);
+  store.observe("x", 1.0);
+  EXPECT_EQ(store.point_count("x"), 1u);
+}
+
+// --- HTTP server over real sockets --------------------------------------
+
+TEST(HttpServer, ServesHandlerAndCountsRequests) {
+  HttpServer server("127.0.0.1", 0, [](const HttpRequest& req) {
+    HttpResponse resp;
+    if (req.path == "/hello") {
+      resp.body = "hi " + req.query;
+    } else {
+      resp.status = 404;
+      resp.body = "not found";
+    }
+    return resp;
+  });
+  ASSERT_GT(server.port(), 0);
+  const HttpGetResult ok = http_get("127.0.0.1", server.port(),
+                                    "/hello?who=world");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "hi who=world");
+  const HttpGetResult missing =
+      http_get("127.0.0.1", server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(server.request_count(), 2u);
+  server.stop();
+}
+
+// --- TelemetryServer endpoints ------------------------------------------
+
+TEST(TelemetryServer, EndpointsServeMetricsHealthAndSeries) {
+  MetricsRegistry registry;
+  registry.counter("test/requests")->add(42);
+  TimeSeriesStore store;
+  TelemetryConfig cfg;
+  cfg.registry = &registry;
+  cfg.store = &store;
+  cfg.sample_period_s = 0.01;
+  TelemetryServer telemetry(cfg);
+
+  const HttpResponse prom = telemetry.handle({"GET", "/metrics", ""});
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_NE(prom.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(prom.body.find("# TYPE dlsr_test_requests counter"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("dlsr_test_requests 42"), std::string::npos);
+
+  const HttpResponse json = telemetry.handle({"GET", "/metrics.json", ""});
+  EXPECT_EQ(json.status, 200);
+  EXPECT_TRUE(json_valid(json.body)) << json.body;
+
+  const HttpResponse health = telemetry.handle({"GET", "/healthz", ""});
+  EXPECT_EQ(health.status, 200);
+  EXPECT_TRUE(json_valid(health.body)) << health.body;
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"heartbeat_age_s\":null"), std::string::npos);
+
+  const HttpResponse series =
+      telemetry.handle({"GET", "/seriesz", "window=30"});
+  EXPECT_EQ(series.status, 200);
+  EXPECT_TRUE(json_valid(series.body)) << series.body;
+  EXPECT_EQ(telemetry.handle({"GET", "/seriesz", "window=bogus"}).status,
+            400);
+
+  const HttpResponse alerts = telemetry.handle({"GET", "/alertz", ""});
+  EXPECT_EQ(alerts.status, 200);
+  EXPECT_TRUE(json_valid(alerts.body)) << alerts.body;
+
+  EXPECT_EQ(telemetry.handle({"GET", "/unknown", ""}).status, 404);
+  const HttpResponse index = telemetry.handle({"GET", "/", ""});
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+
+  // The same endpoints over a real socket.
+  const HttpGetResult wire =
+      http_get("127.0.0.1", telemetry.port(), "/metrics");
+  EXPECT_EQ(wire.status, 200);
+  EXPECT_NE(wire.body.find("dlsr_test_requests 42"), std::string::npos);
+  EXPECT_GE(telemetry.scrape_count(), 1u);
+}
+
+TEST(TelemetryServer, SamplerMirrorsRegistryIntoStore) {
+  MetricsRegistry registry;
+  const auto counter = registry.counter("mirror/count");
+  counter->add(3);
+  TimeSeriesStore store;
+  TelemetryConfig cfg;
+  cfg.registry = &registry;
+  cfg.store = &store;
+  cfg.sample_period_s = 0.01;
+  TelemetryServer telemetry(cfg);
+  counter->add(4);
+  // Two ticks are plenty; poll instead of a fixed sleep to stay fast.
+  for (int i = 0; i < 200 && store.latest("mirror/count") < 7.0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_DOUBLE_EQ(store.latest("mirror/count"), 7.0);
+  EXPECT_LT(telemetry.sample_age_s(), 5.0);
+}
+
+// --- SLO burn-rate alerting ---------------------------------------------
+
+TEST(SloTracker, BurnRateFiresOnlyWhenBothWindowsBurn) {
+  TimeSeriesStore store;
+  SloTracker slo(&store);
+  BurnRateRule rule;
+  rule.name = "deadline-miss";
+  rule.numerator = "bad";
+  rule.denominator = "total";
+  rule.budget = 0.01;
+  rule.fast_window_s = 10.0;
+  rule.slow_window_s = 40.0;
+  rule.min_events = 10.0;
+  slo.add_rule(rule);
+
+  // Healthy traffic: 100 req/s, zero misses. No alert.
+  for (int t = 0; t <= 50; ++t) {
+    store.append("total", static_cast<double>(t), 100.0 * t);
+    store.append("bad", static_cast<double>(t), 0.0);
+  }
+  slo.evaluate(50.0);
+  EXPECT_EQ(slo.active_count(), 0u);
+
+  // Overload: half of all requests start missing their deadline — a 50x
+  // budget burn in both windows.
+  for (int t = 51; t <= 100; ++t) {
+    store.append("total", static_cast<double>(t), 100.0 * t);
+    store.append("bad", static_cast<double>(t), 50.0 * (t - 50));
+  }
+  slo.evaluate(100.0);
+  ASSERT_EQ(slo.active_count(), 1u);
+  const std::vector<Alert> alerts = slo.alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].active);
+  EXPECT_EQ(alerts[0].episodes, 1u);
+  EXPECT_GT(alerts[0].value, 14.4);  // burn rate, not ratio
+
+  // Re-evaluating while still burning is the same episode.
+  slo.evaluate(100.0);
+  EXPECT_EQ(slo.alerts()[0].episodes, 1u);
+
+  // Recovery: misses stop; the fast window clears first and the alert
+  // resolves even though the slow window still remembers the incident.
+  for (int t = 101; t <= 120; ++t) {
+    store.append("total", static_cast<double>(t), 100.0 * t);
+    store.append("bad", static_cast<double>(t), 2500.0);
+  }
+  slo.evaluate(120.0);
+  EXPECT_EQ(slo.active_count(), 0u);
+  EXPECT_EQ(slo.alerts()[0].episodes, 1u);  // resolved, history kept
+}
+
+TEST(SloTracker, MinEventsGuardsIdleRuns) {
+  TimeSeriesStore store;
+  SloTracker slo(&store);
+  BurnRateRule rule;
+  rule.name = "quiet";
+  rule.numerator = "bad";
+  rule.denominator = "total";
+  rule.min_events = 10.0;
+  slo.add_rule(rule);
+  // Two requests, both bad: 100 % miss ratio but far below min_events.
+  store.append("total", 0.0, 0.0);
+  store.append("bad", 0.0, 0.0);
+  store.append("total", 1.0, 2.0);
+  store.append("bad", 1.0, 2.0);
+  slo.evaluate(1.0);
+  EXPECT_EQ(slo.active_count(), 0u);
+}
+
+TEST(SloTracker, QuantileRuleFiresOnRollingP99) {
+  TimeSeriesStore store;
+  SloTracker slo(&store);
+  QuantileRule rule;
+  rule.name = "queue-wait-p99";
+  rule.series = "wait_ms";
+  rule.quantile = 0.99;
+  rule.threshold = 50.0;
+  rule.window_s = 100.0;
+  rule.min_samples = 20;
+  slo.add_rule(rule);
+  for (int i = 0; i < 30; ++i) {
+    store.append("wait_ms", static_cast<double>(i), 10.0);
+  }
+  slo.evaluate(29.0);
+  EXPECT_EQ(slo.active_count(), 0u);
+  for (int i = 30; i < 60; ++i) {
+    store.append("wait_ms", static_cast<double>(i), 400.0);
+  }
+  slo.evaluate(59.0);
+  ASSERT_EQ(slo.active_count(), 1u);
+  EXPECT_GT(slo.alerts()[0].value, 50.0);
+}
+
+// Acceptance: an SLO alert raised under overload is visible at /alertz.
+TEST(TelemetryServer, OverloadAlertAppearsAtAlertz) {
+  MetricsRegistry registry;
+  TimeSeriesStore store;
+  TelemetryConfig cfg;
+  cfg.registry = &registry;
+  cfg.store = &store;
+  cfg.sample_period_s = 0.01;
+  TelemetryServer telemetry(cfg);
+  telemetry.slo().install_serve_rules(/*deadline_budget=*/0.01,
+                                      /*queue_wait_p99_ms=*/100.0,
+                                      /*fast_window_s=*/5.0,
+                                      /*slow_window_s=*/20.0);
+  // Synthetic overload on the serve series the rules watch: half of all
+  // requests time out.
+  const double now = store.now_s();
+  for (int t = 0; t <= 25; ++t) {
+    const double at = now + 0.001 * t;  // all inside both windows
+    store.append("serve/requests", at, 40.0 * t);
+    store.append("serve/timed_out", at, 20.0 * t);
+  }
+  // The sampler tick evaluates the rules; poll until the alert lands.
+  std::string body;
+  for (int i = 0; i < 400; ++i) {
+    body = telemetry.handle({"GET", "/alertz", ""}).body;
+    if (body.find("\"active\":true") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(json_valid(body)) << body;
+  EXPECT_NE(body.find("\"rule\":\"serve-deadline-miss\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"active\":true"), std::string::npos) << body;
+  // /healthz degrades while an alert is active.
+  const std::string health = telemetry.handle({"GET", "/healthz", ""}).body;
+  EXPECT_NE(health.find("\"status\":\"degraded\""), std::string::npos)
+      << health;
+}
+
+// --- Straggler detection ------------------------------------------------
+
+TEST(StragglerDetector, FlagsPersistentlySlowRank) {
+  StragglerConfig cfg;
+  StragglerDetector detector(8, cfg);
+  std::vector<std::size_t> newly;
+  for (int step = 0; step < 20; ++step) {
+    std::vector<double> per_rank(8);
+    for (std::size_t r = 0; r < 8; ++r) {
+      // Deterministic per-rank spread plus a 30 % tax on rank 3; constant
+      // over steps so the flag state cannot oscillate and the edge count
+      // below is exact.
+      const double spread =
+          1.0 + 0.002 * static_cast<double>((r * 7) % 5);
+      per_rank[r] = 0.1 * spread * (r == 3 ? 1.3 : 1.0);
+    }
+    const auto flagged = detector.record_step(per_rank);
+    newly.insert(newly.end(), flagged.begin(), flagged.end());
+  }
+  ASSERT_EQ(newly.size(), 1u);  // one flag edge, not one per step
+  EXPECT_EQ(newly[0], 3u);
+  const StragglerReport report = detector.report();
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.flagged.size(), 1u);
+  EXPECT_EQ(report.flagged[0].rank, 3u);
+  EXPECT_GT(report.flagged[0].score, cfg.k_mad);
+  EXPECT_GE(report.flagged[0].first_flagged_step, cfg.warmup_steps);
+  EXPECT_TRUE(json_valid(report.to_json())) << report.to_json();
+}
+
+TEST(StragglerDetector, HealthyFleetStaysClean) {
+  StragglerDetector detector(16, {});
+  for (int step = 0; step < 40; ++step) {
+    std::vector<double> per_rank(16);
+    for (std::size_t r = 0; r < 16; ++r) {
+      per_rank[r] =
+          0.1 * (1.0 + 0.002 * static_cast<double>((step * 13 + r * 7) % 5));
+    }
+    EXPECT_TRUE(detector.record_step(per_rank).empty());
+  }
+  EXPECT_TRUE(detector.report().clean());
+}
+
+TEST(StragglerDetector, TinyFleetsNeverFlag) {
+  StragglerDetector detector(2, {});
+  for (int step = 0; step < 30; ++step) {
+    EXPECT_TRUE(detector.record_step({0.1, 1.0}).empty());
+  }
+  EXPECT_TRUE(detector.report().clean());
+}
+
+// Acceptance: a rank perturbed via --perturb-rank at 128 simulated GPUs is
+// flagged by the detector and named by `dlsr analyze` on the trace.
+TEST(StragglerDetector, EndToEndPerturbedRankNamedByAnalyze) {
+  auto& tracer = Tracer::instance();
+  tracer.disable();
+  tracer.reset();
+  tracer.enable(/*ring_capacity=*/1 << 20);
+
+  const core::PaperExperiment exp;
+  core::TrainingJobConfig job = exp.job;
+  job.perturb_rank = 17;
+  job.perturb_factor = 1.3;
+  const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
+  const core::RunResult r = trainer.run(core::BackendKind::Mpi, 32, 30);
+  ASSERT_EQ(r.gpus, 128u);
+
+  const std::string trace = tracer.to_chrome_trace_json();
+  tracer.disable();
+  tracer.reset();
+
+  ASSERT_FALSE(r.straggler.clean());
+  ASSERT_EQ(r.straggler.flagged.size(), 1u);
+  EXPECT_EQ(r.straggler.flagged[0].rank, 17u);
+
+  const AnalysisReport report = analyze_trace(parse_trace_events(trace));
+  ASSERT_EQ(report.stragglers.size(), 1u);
+  EXPECT_EQ(report.stragglers[0].rank, 17u);
+  EXPECT_GT(report.stragglers[0].flags, 0u);
+  EXPECT_GT(report.stragglers[0].max_score, 6.0);
+  const std::string table = report.straggler_table().to_string();
+  EXPECT_NE(table.find("17"), std::string::npos) << table;
+
+  // A clean run must not invent stragglers (false-positive guard).
+  tracer.enable(/*ring_capacity=*/1 << 20);
+  core::TrainingJobConfig clean_job = exp.job;
+  const core::DistributedTrainer clean_trainer(exp.graph, exp.perf,
+                                               clean_job);
+  const core::RunResult clean = clean_trainer.run(core::BackendKind::Mpi,
+                                                  32, 30);
+  const std::string clean_trace = tracer.to_chrome_trace_json();
+  tracer.disable();
+  tracer.reset();
+  EXPECT_TRUE(clean.straggler.clean());
+  EXPECT_TRUE(analyze_trace(parse_trace_events(clean_trace))
+                  .stragglers.empty());
+}
+
+// --- Concurrent scrape under live training ------------------------------
+
+TEST(TelemetryServer, ConcurrentScrapesDuringTraining) {
+  MetricsRegistry::global().clear();
+  TimeSeriesStore::global().clear();
+  TelemetryConfig cfg;
+  cfg.sample_period_s = 0.02;
+  TelemetryServer telemetry(cfg);
+
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size = 32;
+  const img::SyntheticDiv2k dataset(data_cfg);
+  core::SessionConfig session_cfg;
+  session_cfg.workers = 2;
+  session_cfg.batch_per_worker = 1;
+  session_cfg.lr_patch = 12;
+  core::TrainingSession session(
+      dataset,
+      [] {
+        Rng rng(3);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(),
+                                              rng);
+      },
+      session_cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_status{0};
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 4; ++i) {
+    scrapers.emplace_back([&, i] {
+      const char* paths[] = {"/metrics", "/seriesz", "/healthz", "/alertz"};
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          const HttpGetResult got =
+              http_get("127.0.0.1", telemetry.port(), paths[i % 4]);
+          if (got.status != 200) {
+            bad_status.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          bad_status.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  session.run_steps(4);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : scrapers) {
+    t.join();
+  }
+  EXPECT_EQ(bad_status.load(), 0);
+  EXPECT_GT(telemetry.scrape_count(), 0u);
+  // The per-step series the session publishes inline reached the store
+  // while it was being scraped.
+  EXPECT_EQ(TimeSeriesStore::global().point_count("train/step_ms"), 4u);
+  const HttpResponse series = telemetry.handle({"GET", "/seriesz", ""});
+  EXPECT_NE(series.body.find("train/step_ms"), std::string::npos);
+  TimeSeriesStore::global().set_enabled(false);
+}
+
+}  // namespace
+}  // namespace dlsr::obs

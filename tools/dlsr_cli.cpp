@@ -38,10 +38,12 @@
 // takes --inflight-buffers for the real gradient data plane.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 #include <memory>
 #include <mutex>
@@ -69,6 +71,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_compare.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_summary.hpp"
 #include "serve/server.hpp"
@@ -134,6 +137,95 @@ double apply_recorder_flags(const Flags& flags) {
              cfg.dump_path + ")");
   }
   return flags.get_double("stall-timeout");
+}
+
+/// Live-telemetry knobs shared by train and serve.
+void define_telemetry_flags(Flags& flags) {
+  flags.define("telemetry-port",
+               "serve live telemetry (/metrics, /healthz, /seriesz, "
+               "/alertz) on this loopback port (0 = ephemeral)",
+               std::nullopt);
+  flags.define("telemetry-hold-s",
+               "keep the process (and telemetry endpoints) alive this many "
+               "seconds after the workload finishes",
+               "0");
+}
+
+/// Starts the telemetry plane when --telemetry-port was given.
+std::unique_ptr<obs::TelemetryServer> apply_telemetry_flags(
+    const Flags& flags, std::function<double()> heartbeat_age_s) {
+  if (!flags.has("telemetry-port")) {
+    return nullptr;
+  }
+  obs::TelemetryConfig cfg;
+  cfg.port = static_cast<int>(flags.get_int("telemetry-port"));
+  cfg.heartbeat_age_s = std::move(heartbeat_age_s);
+  auto server = std::make_unique<obs::TelemetryServer>(std::move(cfg));
+  std::printf("telemetry on http://127.0.0.1:%d (/metrics /metrics.json "
+              "/healthz /seriesz /alertz)\n",
+              server->port());
+  std::fflush(stdout);
+  return server;
+}
+
+/// Honors --telemetry-hold-s so scrapers can reach a short-lived demo run.
+void telemetry_hold(const Flags& flags,
+                    const obs::TelemetryServer* telemetry) {
+  const double hold = flags.get_double("telemetry-hold-s");
+  if (!telemetry || hold <= 0.0) {
+    return;
+  }
+  std::printf("holding telemetry open for %.0f s (port %d)\n", hold,
+              telemetry->port());
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::duration<double>(hold));
+}
+
+/// Wraps a session/server stall watchdog into the /healthz heartbeat hook.
+std::function<double()> heartbeat_from(const obs::StallWatchdog* watchdog) {
+  if (!watchdog) {
+    return {};
+  }
+  return [watchdog] { return watchdog->seconds_since_kick(); };
+}
+
+/// `--perturb-rank R[,factor]`: single-rank fault injection for the
+/// straggler detector (simulate and profile).
+void define_perturb_flag(Flags& flags) {
+  flags.define("perturb-rank",
+               "R[,factor] — multiply rank R's compute time by factor "
+               "(default 1.3) to exercise the straggler detector",
+               std::nullopt);
+}
+
+void apply_perturb_flag(const Flags& flags, core::TrainingJobConfig& job) {
+  if (!flags.has("perturb-rank")) {
+    return;
+  }
+  const std::vector<std::string> parts =
+      split(flags.get("perturb-rank"), ',');
+  DLSR_CHECK(!parts.empty() && parts.size() <= 2,
+             "--perturb-rank wants R or R,factor");
+  job.perturb_rank = static_cast<std::int64_t>(std::stol(trim(parts[0])));
+  job.perturb_factor =
+      parts.size() == 2 ? std::stod(trim(parts[1])) : 1.3;
+  DLSR_CHECK(job.perturb_rank >= 0 && job.perturb_factor > 0.0,
+             "--perturb-rank wants a nonnegative rank and positive factor");
+}
+
+/// Prints the straggler detector's findings for one simulated run.
+void print_stragglers(const core::RunResult& r, const std::string& label) {
+  if (r.straggler.clean()) {
+    return;
+  }
+  for (const obs::StragglerRank& f : r.straggler.flagged) {
+    std::printf("straggler %s: rank %zu mean %.2f ms vs fleet median "
+                "%.2f ms (score %.1f MADs, %llu flagged steps, first at "
+                "step %zu)\n",
+                label.c_str(), f.rank, f.mean_s * 1e3, f.median_s * 1e3,
+                f.score, static_cast<unsigned long long>(f.flagged_steps),
+                f.first_flagged_step);
+  }
 }
 
 /// Fusion/scheduler knobs shared by simulate and profile.
@@ -219,6 +311,7 @@ int cmd_simulate(int argc, const char* const* argv) {
                std::nullopt);
   define_fusion_flags(flags);
   define_data_flags(flags);
+  define_perturb_flag(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -227,29 +320,41 @@ int cmd_simulate(int argc, const char* const* argv) {
   core::TrainingJobConfig job = exp.job;
   apply_fusion_flags(flags, job);
   apply_data_flags(flags, job);
+  apply_perturb_flag(flags, job);
   const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const auto nodes = parse_size_list(flags.get("nodes"));
   const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
 
   std::vector<std::string> headers = {"nodes", "gpus"};
   std::vector<core::BackendKind> kinds;
+  std::vector<std::string> kind_names;
   for (const std::string& b : split(flags.get("backends"), ',')) {
     kinds.push_back(parse_backend(trim(b)));
+    kind_names.push_back(trim(b));
     headers.push_back(trim(b) + " img/s");
     headers.push_back(trim(b) + " eff%");
   }
   Table table(headers);
+  std::vector<std::pair<std::string, core::RunResult>> straggler_runs;
   for (const std::size_t n : nodes) {
     std::vector<std::string> row = {strfmt("%zu", n), strfmt("%zu", n * 4)};
-    for (const core::BackendKind kind : kinds) {
-      const core::RunResult r = trainer.run(kind, n, steps);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      core::RunResult r = trainer.run(kinds[k], n, steps);
       row.push_back(strfmt("%.1f", r.images_per_second));
       row.push_back(strfmt("%.1f", r.scaling_efficiency * 100.0));
+      if (!r.straggler.clean()) {
+        straggler_runs.emplace_back(
+            strfmt("(%s, %zu nodes)", kind_names[k].c_str(), n),
+            std::move(r));
+      }
     }
     table.add_row(std::move(row));
   }
   std::printf("%s", flags.get_bool("csv") ? table.to_csv().c_str()
                                           : table.to_string().c_str());
+  for (const auto& [label, r] : straggler_runs) {
+    print_stragglers(r, label);
+  }
 
   if (flags.has("timeline")) {
     hvd::TimelineWriter timeline;
@@ -269,6 +374,7 @@ int cmd_profile(int argc, const char* const* argv) {
   flags.define("steps", "training steps to profile", "100");
   define_fusion_flags(flags);
   define_data_flags(flags);
+  define_perturb_flag(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -277,6 +383,7 @@ int cmd_profile(int argc, const char* const* argv) {
   core::TrainingJobConfig job = exp.job;
   apply_fusion_flags(flags, job);
   apply_data_flags(flags, job);
+  apply_perturb_flag(flags, job);
   const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const core::RunResult r = trainer.run(
       parse_backend(flags.get("backend")),
@@ -294,6 +401,8 @@ int cmd_profile(int argc, const char* const* argv) {
                 r.mean_data_stall * 1e3,
                 job.data_pipeline ? "prefetching" : "inline");
   }
+  print_stragglers(r, strfmt("(%s, %s nodes)", flags.get("backend").c_str(),
+                             flags.get("nodes").c_str()));
   obs_end(flags);
   return 0;
 }
@@ -326,6 +435,7 @@ int cmd_train(int argc, const char* const* argv) {
                "exercise the flight recorder",
                std::nullopt);
   define_recorder_flags(flags);
+  define_telemetry_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -357,6 +467,8 @@ int cmd_train(int argc, const char* const* argv) {
                                               rng);
       },
       cfg);
+  const std::unique_ptr<obs::TelemetryServer> telemetry =
+      apply_telemetry_flags(flags, heartbeat_from(session.watchdog()));
 
   const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
   const core::SessionStats stats = session.run_steps(steps);
@@ -391,6 +503,7 @@ int cmd_train(int argc, const char* const* argv) {
                   "\" (segv, abort, or throw)");
     }
   }
+  telemetry_hold(flags, telemetry.get());
   obs_end(flags);
   return 0;
 }
@@ -508,6 +621,7 @@ int cmd_serve(int argc, const char* const* argv) {
                "injected per-frame decode latency in ms", "0");
   flags.define("seed", "rng seed", "7");
   define_recorder_flags(flags);
+  define_telemetry_flags(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -525,6 +639,13 @@ int cmd_serve(int argc, const char* const* argv) {
   auto model =
       std::make_shared<models::Edsr>(models::EdsrConfig::tiny(), rng);
   serve::SrServer server(model, cfg);
+  const std::unique_ptr<obs::TelemetryServer> telemetry =
+      apply_telemetry_flags(flags, heartbeat_from(server.watchdog()));
+  if (telemetry) {
+    // SRE-workbook burn-rate rules over the serving SLO; alerts land in
+    // the log, the flight recorder (when armed), and /alertz.
+    telemetry->slo().install_serve_rules();
+  }
 
   const auto unique = static_cast<std::size_t>(flags.get_int("unique"));
   const auto side = static_cast<std::size_t>(flags.get_int("image"));
@@ -568,6 +689,7 @@ int cmd_serve(int argc, const char* const* argv) {
     t.add_row({"throughput", strfmt("%.1f frames/s", st.fps)});
     t.add_row({"decode wait", strfmt("%.1f ms total", st.ingest_wait_ms)});
     std::printf("%s", t.to_string().c_str());
+    telemetry_hold(flags, telemetry.get());
     obs_end(flags);
     return st.failed == 0 ? 0 : 1;
   }
@@ -632,6 +754,7 @@ int cmd_serve(int argc, const char* const* argv) {
   t.add_row({"latency p99", strfmt("%.2f ms", snap.latency_p99_ms)});
   std::printf("%s", t.to_string().c_str());
   std::printf("%s\n", snap.to_json().c_str());
+  telemetry_hold(flags, telemetry.get());
   obs_end(flags);
   return failed.load() == 0 ? 0 : 1;
 }
@@ -646,13 +769,21 @@ std::string read_file(const std::string& path) {
 
 int cmd_trace_summary(int argc, const char* const* argv) {
   Flags flags;
+  flags.define("json", "write the machine-readable summary here",
+               std::nullopt);
   flags.parse(argc, argv);
   DLSR_CHECK(flags.positional().size() == 1,
-             "usage: dlsr trace-summary <trace.json>");
+             "usage: dlsr trace-summary <trace.json> [--json summary.json]");
   const std::string& path = flags.positional().front();
   const auto events = obs::parse_trace_events(read_file(path));
   std::printf("%zu events in %s\n", events.size(), path.c_str());
   std::printf("%s", obs::trace_summary(events).to_string().c_str());
+  if (flags.has("json")) {
+    std::ofstream out(flags.get("json"));
+    DLSR_CHECK(out.good(), "cannot open " + flags.get("json"));
+    out << obs::trace_summary_json(events) << "\n";
+    std::printf("summary written to %s\n", flags.get("json").c_str());
+  }
   return 0;
 }
 
@@ -680,6 +811,15 @@ int cmd_analyze(int argc, const char* const* argv) {
               report.total_exposed_comm_us(), total,
               total > 0.0 ? report.total_exposed_comm_us() / total * 100.0
                           : 0.0);
+  if (!report.stragglers.empty()) {
+    std::printf("\nstragglers flagged during the traced run:\n%s",
+                report.straggler_table().to_string().c_str());
+    for (const obs::StragglerFinding& f : report.stragglers) {
+      std::printf("rank %zu flagged from step %zu (max score %.1f MADs "
+                  "over the fleet median)\n",
+                  f.rank, f.first_step, f.max_score);
+    }
+  }
   if (flags.has("json")) {
     std::ofstream out(flags.get("json"));
     DLSR_CHECK(out.good(), "cannot open " + flags.get("json"));
