@@ -78,6 +78,33 @@ int main(int argc, char** argv) {
         "path");
   }
 
+  // --- Sweep 1b: wire format at the tuned operating point ---------------
+  // The fp16 wire halves what every fused buffer puts on the network (and
+  // doubles how many tensors fit under the threshold), at the cost of an
+  // explicit (de)quantize on each side. Deep in-flight queues then overlap
+  // the smaller messages even harder.
+  {
+    Table t({"Wire", "In-flight", "img/s", "Exposed comm (ms)"});
+    for (const comm::WireFormat wire :
+         {comm::WireFormat::Fp32, comm::WireFormat::Fp16}) {
+      for (const std::size_t depth : {1ul, 4ul}) {
+        core::TrainingJobConfig job = exp.job;
+        job.fusion.wire = wire;
+        job.fusion.inflight_buffers = depth;
+        const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
+        const core::RunResult r =
+            trainer.run(core::BackendKind::MpiOpt, kNodes, kSteps);
+        t.add_row({comm::wire_format_name(wire), strfmt("%zu", depth),
+                   strfmt("%.1f", r.images_per_second),
+                   strfmt("%.2f", r.mean_exposed_comm * 1e3)});
+      }
+    }
+    bench::print_table(t);
+    bench::print_note(
+        "compressed wire and deeper queues compose: fp16 shrinks each "
+        "message, overlap hides what remains");
+  }
+
   // --- Sweep 2: in-flight depth x threshold -----------------------------
   Table t({"In-flight", "Threshold", "img/s", "Exposed comm (ms)",
            "Step (ms)"});

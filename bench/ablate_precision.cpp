@@ -1,45 +1,105 @@
-// Ablation: fp16 gradient compression (Horovod's HOROVOD_COMPRESSION=fp16,
+// Ablation: gradient wire precision (Horovod's HOROVOD_COMPRESSION=fp16,
 // in the spirit of the mixed-precision scaling work the paper cites [2]).
 // Halving every allreduce payload is an *alternative* mitigation to the
-// paper's CUDA IPC fix — this bench quantifies how the two compose.
+// paper's CUDA IPC fix — this bench quantifies how the two compose, and
+// how the explicit (de)quantize cost the fusion engine now charges eats
+// into the wire saving at small scale.
+//
+// Sweep: {MPI, MPI-Opt} x {fp32, fp16, topk} wires at 1 -> 128 nodes.
+// The 32-node (128 GPU) fp32-vs-fp16 comparison is written to --out
+// (default BENCH_precision.json) for the perf gate; --smoke shrinks the
+// node list and step count for CI.
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/flags.hpp"
 #include "core/experiments.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlsr;
-  bench::print_header("Ablation: gradient precision",
-                      "fp32 vs fp16 allreduce payloads, 4 -> 512 GPUs");
+  Flags flags;
+  flags.define("smoke", "small grids / few steps (CI mode)", "false");
+  flags.define("out", "JSON output path for the perf gate",
+               "BENCH_precision.json");
+  flags.parse(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+
+  bench::print_header("Ablation: gradient wire precision",
+                      "fp32 vs fp16 vs top-k allreduce payloads");
 
   const core::PaperExperiment exp;
-  constexpr std::size_t kSteps = 30;
+  const std::size_t kSteps = smoke ? 8 : 30;
+  constexpr std::size_t kGateNodes = 32;  // 128 GPUs
 
-  Table t({"Nodes", "GPUs", "MPI fp32", "MPI fp16", "Opt fp32", "Opt fp16",
-           "fp16 gain on MPI (%)"});
-  for (const std::size_t nodes : {1ul, 8ul, 32ul, 128ul}) {
-    double ips[2][2];
-    for (int opt = 0; opt < 2; ++opt) {
-      for (int half = 0; half < 2; ++half) {
-        core::TrainingJobConfig job = exp.job;
-        job.fusion.gradient_dtype_bytes = half ? 2 : 4;
-        const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
-        ips[opt][half] =
-            trainer
-                .run(opt ? core::BackendKind::MpiOpt : core::BackendKind::Mpi,
-                     nodes, kSteps)
-                .images_per_second;
+  const std::vector<std::size_t> node_list =
+      smoke ? std::vector<std::size_t>{1, 32}
+            : std::vector<std::size_t>{1, 8, 32, 128};
+  const comm::WireFormat wires[] = {comm::WireFormat::Fp32,
+                                    comm::WireFormat::Fp16,
+                                    comm::WireFormat::TopK};
+
+  const auto run = [&](core::BackendKind backend, std::size_t nodes,
+                       comm::WireFormat wire) {
+    core::TrainingJobConfig job = exp.job;
+    job.fusion.wire = wire;
+    job.fusion.topk_fraction = 0.01;
+    const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
+    return trainer.run(backend, nodes, kSteps);
+  };
+
+  Table t({"Nodes", "GPUs", "Wire", "MPI img/s", "Opt img/s",
+           "Opt exposed (ms)"});
+  double gate_ips[2] = {0.0, 0.0};      // MPI-Opt img/s: [fp32, fp16]
+  double gate_exposed[2] = {0.0, 0.0};  // MPI-Opt exposed ms: [fp32, fp16]
+  for (const std::size_t nodes : node_list) {
+    for (const comm::WireFormat wire : wires) {
+      const core::RunResult mpi = run(core::BackendKind::Mpi, nodes, wire);
+      const core::RunResult opt = run(core::BackendKind::MpiOpt, nodes, wire);
+      t.add_row({strfmt("%zu", nodes), strfmt("%zu", nodes * 4),
+                 comm::wire_format_name(wire),
+                 strfmt("%.1f", mpi.images_per_second),
+                 strfmt("%.1f", opt.images_per_second),
+                 strfmt("%.2f", opt.mean_exposed_comm * 1e3)});
+      if (nodes == kGateNodes && wire != comm::WireFormat::TopK) {
+        const int i = wire == comm::WireFormat::Fp16 ? 1 : 0;
+        gate_ips[i] = opt.images_per_second;
+        gate_exposed[i] = opt.mean_exposed_comm * 1e3;
       }
     }
-    t.add_row({strfmt("%zu", nodes), strfmt("%zu", nodes * 4),
-               strfmt("%.1f", ips[0][0]), strfmt("%.1f", ips[0][1]),
-               strfmt("%.1f", ips[1][0]), strfmt("%.1f", ips[1][1]),
-               strfmt("%.1f", (ips[0][1] / ips[0][0] - 1.0) * 100.0)});
   }
   bench::print_table(t);
   bench::print_note(
-      "fp16 shrinks the messages the slow no-IPC path must move, so it "
+      "fp16 halves the bytes the slow no-IPC path must move, so it "
       "partially masks the visibility bug — but the IPC fix still wins and "
-      "the two compose");
+      "the two compose; top-k trades convergence for a ~33x smaller wire");
+
+  // The sweep runs on the deterministic simulator, so tolerances can be
+  // tight: any drift is a modelling change, not machine noise.
+  bench::ResultEnvelope envelope("ablate_precision", smoke);
+  envelope.metric("opt_fp32_img_per_s", gate_ips[0], "img/s",
+                  /*higher_is_better=*/true, /*tolerance_pct=*/2.0);
+  envelope.metric("opt_fp16_img_per_s", gate_ips[1], "img/s", true, 2.0);
+  envelope.metric("fp16_exposed_comm_ms", gate_exposed[1], "ms",
+                  /*higher_is_better=*/false, 2.0);
+  envelope.metric(
+      "fp16_exposed_reduction",
+      gate_exposed[1] > 0.0 ? gate_exposed[0] / gate_exposed[1] : 0.0, "x",
+      /*higher_is_better=*/true, 5.0);
+  envelope.extra(strfmt(
+      "{\"backend\":\"MPI-Opt\",\"nodes\":%zu,\"steps\":%zu,"
+      "\"fp32_exposed_comm_ms\":%.4f,\"topk_fraction\":0.01}",
+      kGateNodes, kSteps, gate_exposed[0]));
+  envelope.write(flags.get("out"));
+
+  // Acceptance: the fp16 wire must actually shrink exposed comm at scale.
+  if (gate_exposed[1] >= gate_exposed[0]) {
+    std::printf("FAIL: fp16 wire did not reduce exposed comm at %zu nodes "
+                "(fp32 %.2f ms vs fp16 %.2f ms)\n",
+                kGateNodes, gate_exposed[0], gate_exposed[1]);
+    return 1;
+  }
+  std::printf("PASS: fp16 wire cut exposed comm %.2f -> %.2f ms at %zu "
+              "nodes\n",
+              gate_exposed[0], gate_exposed[1], kGateNodes);
   return 0;
 }

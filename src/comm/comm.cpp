@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dlsr::comm {
@@ -23,6 +24,33 @@ prof::Collective to_prof(Op op) {
   return prof::Collective::Allreduce;
 }
 
+/// Registry counters comm/wire_bytes_{fp32,fp16,bf16,topk}: cumulative
+/// on-the-wire bytes per encoding across every backend in the process.
+void count_wire_bytes(WireFormat w, std::size_t bytes) {
+  static const std::shared_ptr<obs::Counter> fp32 =
+      obs::MetricsRegistry::global().counter("comm/wire_bytes_fp32");
+  static const std::shared_ptr<obs::Counter> fp16 =
+      obs::MetricsRegistry::global().counter("comm/wire_bytes_fp16");
+  static const std::shared_ptr<obs::Counter> bf16 =
+      obs::MetricsRegistry::global().counter("comm/wire_bytes_bf16");
+  static const std::shared_ptr<obs::Counter> topk =
+      obs::MetricsRegistry::global().counter("comm/wire_bytes_topk");
+  switch (w) {
+    case WireFormat::Fp32:
+      fp32->add(bytes);
+      break;
+    case WireFormat::Fp16:
+      fp16->add(bytes);
+      break;
+    case WireFormat::Bf16:
+      bf16->add(bytes);
+      break;
+    case WireFormat::TopK:
+      topk->add(bytes);
+      break;
+  }
+}
+
 }  // namespace
 
 const char* op_name(Op op) {
@@ -35,6 +63,62 @@ const char* op_name(Op op) {
       return "allgather";
   }
   return "?";
+}
+
+const char* wire_format_name(WireFormat w) {
+  switch (w) {
+    case WireFormat::Fp32:
+      return "fp32";
+    case WireFormat::Fp16:
+      return "fp16";
+    case WireFormat::Bf16:
+      return "bf16";
+    case WireFormat::TopK:
+      return "topk";
+  }
+  return "?";
+}
+
+WireFormat parse_wire_format(const std::string& name) {
+  if (name == "fp32") {
+    return WireFormat::Fp32;
+  }
+  if (name == "fp16") {
+    return WireFormat::Fp16;
+  }
+  if (name == "bf16") {
+    return WireFormat::Bf16;
+  }
+  if (name == "topk") {
+    return WireFormat::TopK;
+  }
+  throw Error("unknown wire format \"" + name +
+              "\" (expected fp32, fp16, bf16, or topk)");
+}
+
+std::size_t wire_bytes(const CollectiveDesc& desc) {
+  switch (desc.wire) {
+    case WireFormat::Fp32:
+      return desc.bytes;
+    case WireFormat::Fp16:
+    case WireFormat::Bf16:
+      return desc.bytes / 2;
+    case WireFormat::TopK: {
+      const std::size_t elems = desc.bytes / sizeof(float);
+      const std::size_t kept = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(elems) *
+                                      desc.topk_fraction));
+      return kept * 6;  // 4-byte index + 2-byte fp16 value per element
+    }
+  }
+  return desc.bytes;
+}
+
+std::string traced_op_name(const CollectiveDesc& desc) {
+  if (desc.wire == WireFormat::Fp32) {
+    return op_name(desc.op);
+  }
+  return strfmt("%s.%s", op_name(desc.op), wire_format_name(desc.wire));
 }
 
 AsyncCommBackend::AsyncCommBackend(CommConfig config) : config_(config) {
@@ -111,16 +195,20 @@ bool AsyncCommBackend::start_front(sim::SimTime horizon) {
   slots_[lane] = done;
   high_water_ = std::max(high_water_, done);
   ++completed_;
-  profiler_.record(to_prof(rec.desc.op), rec.desc.bytes, done - start);
+  // The profiler and wire counters see on-the-wire bytes, so compressed
+  // gradients land in the (smaller) bucket they actually transfer as.
+  const std::size_t wbytes = wire_bytes(rec.desc);
+  count_wire_bytes(rec.desc.wire, wbytes);
+  profiler_.record(to_prof(rec.desc.op), wbytes, done - start);
   if (config_.trace_ops && obs::tracing_enabled()) {
     auto& tracer = obs::Tracer::instance();
     const auto lane_tid =
         obs::kCommLaneBase + static_cast<std::int64_t>(lane);
     tracer.complete(
-        op_name(rec.desc.op), "comm", start * 1e6, (done - start) * 1e6,
-        strfmt("{\"bytes\":%zu,\"buf\":\"%llx\",\"queued_us\":%.1f,"
-               "\"concurrent\":%zu}",
-               rec.desc.bytes,
+        traced_op_name(rec.desc), "comm", start * 1e6, (done - start) * 1e6,
+        strfmt("{\"bytes\":%zu,\"wire_bytes\":%zu,\"buf\":\"%llx\","
+               "\"queued_us\":%.1f,\"concurrent\":%zu}",
+               rec.desc.bytes, wbytes,
                static_cast<unsigned long long>(rec.desc.buf_id),
                (start - rec.posted_at) * 1e6, concurrent),
         obs::kSimPid, lane_tid);

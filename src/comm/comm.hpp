@@ -49,10 +49,28 @@ enum class Op { Allreduce, Broadcast, Allgather };
 
 const char* op_name(Op op);
 
+/// On-the-wire payload encoding of a collective. The logical payload stays
+/// fp32 (desc.bytes counts fp32 bytes); compression changes what crosses the
+/// wire and what the timing models charge for it:
+///   Fp32  uncompressed — the pre-existing path, byte for byte.
+///   Fp16  each element quantized to IEEE binary16: half the wire bytes,
+///         plus an explicit (de)quantize cost in the fusion timing model.
+///   Bf16  as Fp16 but bfloat16 (fp32 range, 8-bit mantissa).
+///   TopK  only the `topk_fraction` largest-|v| elements are sent, as
+///         (4-byte index, 2-byte fp16 value) pairs; the rest are dropped
+///         for this step (no error feedback — see docs/comm.md for when
+///         that is safe).
+enum class WireFormat : std::uint8_t { Fp32 = 0, Fp16 = 1, Bf16 = 2, TopK = 3 };
+
+const char* wire_format_name(WireFormat w);
+
+/// Parses "fp32" / "fp16" / "bf16" / "topk" (throws dlsr::Error otherwise).
+WireFormat parse_wire_format(const std::string& name);
+
 /// One collective operation as seen by the queue.
 struct CollectiveDesc {
   Op op = Op::Allreduce;
-  std::size_t bytes = 0;       ///< payload per rank (wire sizing)
+  std::size_t bytes = 0;       ///< logical fp32 payload per rank
   std::uint64_t buf_id = 0;    ///< registration-cache identity
   int priority = 0;            ///< lower = served earlier among queued ops
   /// Data-plane payload: one gradient span per replica, reduced in place
@@ -60,7 +78,20 @@ struct CollectiveDesc {
   /// pointee must stay alive until the operation has been progressed.
   std::vector<std::span<float>>* payload = nullptr;
   bool average = true;  ///< payload reduction: average vs plain sum
+  WireFormat wire = WireFormat::Fp32;  ///< on-the-wire encoding
+  double topk_fraction = 0.01;  ///< TopK only: fraction of elements kept
 };
+
+/// Bytes that actually cross the wire per rank for `desc`: fp32 bytes for
+/// Fp32, half for Fp16/Bf16, and (4 + 2)-byte index/value pairs for the
+/// kept elements under TopK. Every timing backend, the profiler, and the
+/// wire counters size transfers with this.
+std::size_t wire_bytes(const CollectiveDesc& desc);
+
+/// The traced operation name: the bare op for Fp32, "<op>.<wire>" for a
+/// compressed wire (e.g. "allreduce.fp16"), so trace-summary and analyze
+/// surface the gradient dtype without a string-valued trace arg.
+std::string traced_op_name(const CollectiveDesc& desc);
 
 /// Opaque ticket for a posted operation. 0 is never a valid handle.
 using Handle = std::uint64_t;

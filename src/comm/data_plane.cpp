@@ -1,14 +1,77 @@
 #include "comm/data_plane.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "common/error.hpp"
 #include "mpisim/data_allreduce.hpp"
+#include "tensor/precision.hpp"
 
 namespace dlsr::comm {
+namespace {
+
+/// Per-rank top-k sparsification: keep the `fraction` largest-|v| elements
+/// of the span, zero the rest. The threshold is this rank's k-th largest
+/// magnitude (nth_element on a scratch copy), so ranks select independently
+/// — exactly the dropped-update semantics a real sparsified allreduce has.
+/// Ties at the threshold keep every tied element: membership is decided by
+/// value comparison, not selection order, so the result is deterministic.
+void topk_sparsify(std::span<float> grad, double fraction) {
+  const std::size_t n = grad.size();
+  if (n == 0) {
+    return;
+  }
+  const std::size_t kept = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) * fraction));
+  if (kept >= n) {
+    return;
+  }
+  std::vector<float> mags(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mags[i] = std::fabs(grad[i]);
+  }
+  std::nth_element(mags.begin(), mags.begin() + (kept - 1), mags.end(),
+                   std::greater<float>());
+  const float threshold = mags[kept - 1];
+  for (float& v : grad) {
+    if (std::fabs(v) < threshold) {
+      v = 0.0f;
+    }
+  }
+}
+
+/// Applies the wire encoding's exact value loss to every rank's span before
+/// the fp32 ring: fp16/bf16 round-trip each element through the 16-bit
+/// format, TopK additionally sends a trailing fp16 value per kept element.
+void compress_payload(std::vector<std::span<float>>& payload,
+                      const CollectiveDesc& desc) {
+  for (std::span<float> grad : payload) {
+    switch (desc.wire) {
+      case WireFormat::Fp32:
+        break;
+      case WireFormat::Fp16:
+        quantize_inplace(grad.data(), grad.size(), Precision::Fp16);
+        break;
+      case WireFormat::Bf16:
+        quantize_inplace(grad.data(), grad.size(), Precision::Bf16);
+        break;
+      case WireFormat::TopK:
+        topk_sparsify(grad, desc.topk_fraction);
+        quantize_inplace(grad.data(), grad.size(), Precision::Fp16);
+        break;
+    }
+  }
+}
+
+}  // namespace
 
 LocalRingBackend::LocalRingBackend(LocalRingConfig config)
     : AsyncCommBackend(config.comm), config_(config) {
   DLSR_CHECK(config_.seconds_per_byte >= 0.0,
              "seconds_per_byte must be >= 0");
+  DLSR_CHECK(config_.topk_fraction > 0.0 && config_.topk_fraction <= 1.0,
+             "topk_fraction must be in (0, 1]");
 }
 
 sim::SimTime LocalRingBackend::execute(const CollectiveDesc& desc,
@@ -18,12 +81,14 @@ sim::SimTime LocalRingBackend::execute(const CollectiveDesc& desc,
   DLSR_CHECK(desc.op == Op::Allreduce,
              "data plane only implements allreduce");
   DLSR_CHECK(desc.payload != nullptr, "data-plane allreduce needs a payload");
+  compress_payload(*desc.payload, desc);
   if (desc.average) {
     mpisim::ring_allreduce_average(*desc.payload);
   } else {
     mpisim::ring_allreduce_sum(*desc.payload);
   }
-  return start + static_cast<double>(desc.bytes) * config_.seconds_per_byte;
+  return start + static_cast<double>(wire_bytes(desc)) *
+                     config_.seconds_per_byte;
 }
 
 }  // namespace dlsr::comm

@@ -9,8 +9,15 @@
 // therefore bit-identical replicas — is independent of in-flight depth.
 //
 // Simulated time is a formality here (gradient reduction happens at wall
-// clock); ops complete `bytes * seconds_per_byte` after they start, which
-// defaults to 0 so handles resolve immediately on progress.
+// clock); ops complete `wire_bytes * seconds_per_byte` after they start,
+// which defaults to 0 so handles resolve immediately on progress.
+//
+// Compressed wires (desc.wire != Fp32) are modeled faithfully on the real
+// payload: each rank's span is quantized through the 16-bit format's exact
+// round-trip (fp16/bf16) or top-k sparsified (per-rank largest-|v|
+// threshold) *before* the fp32 ring runs — "16-bit payload, fp32
+// accumulation". The reduction itself stays the deterministic chunked ring,
+// so replicas remain bit-identical to each other at any in-flight depth.
 #pragma once
 
 #include "comm/comm.hpp"
@@ -19,8 +26,13 @@ namespace dlsr::comm {
 
 struct LocalRingConfig {
   CommConfig comm;
-  /// Synthetic service time per payload byte (0 = instantaneous).
+  /// Synthetic service time per on-the-wire payload byte (0 = instant).
   double seconds_per_byte = 0.0;
+  /// Wire encoding stamped onto every posted gradient allreduce (callers
+  /// that build descs themselves may still set desc.wire directly).
+  WireFormat wire = WireFormat::Fp32;
+  /// TopK only: fraction of elements each rank keeps.
+  double topk_fraction = 0.01;
 };
 
 class LocalRingBackend : public AsyncCommBackend {
@@ -29,6 +41,8 @@ class LocalRingBackend : public AsyncCommBackend {
 
   std::string name() const override { return "local-ring"; }
   bool overlaps_compute() const override { return true; }
+
+  const LocalRingConfig& ring_config() const { return config_; }
 
  protected:
   sim::SimTime execute(const CollectiveDesc& desc, sim::SimTime start,

@@ -43,6 +43,8 @@ TrainingSession::TrainingSession(
           [&config] {
             comm::LocalRingConfig cc;
             cc.comm.max_inflight = config.inflight_buffers;
+            cc.wire = config.wire_format;
+            cc.topk_fraction = config.topk_fraction;
             return cc;
           }()) {
   DLSR_CHECK(config_.workers > 0, "need at least one worker");
@@ -140,7 +142,12 @@ SessionStats TrainingSession::run_steps(std::size_t steps) {
       }
       data_ms->observe(ms_since(data_start));
     }
-    const hvd::WorkerStepResult r = group_.train_step(inputs, targets);
+    // Forward/backward under the session's kernel precision; gradients are
+    // produced in fp32 regardless (conv2d_backward always runs fp32).
+    const hvd::WorkerStepResult r = [&] {
+      ScopedKernelPrecision scoped(config_.precision);
+      return group_.train_step(inputs, targets);
+    }();
     step_ms->observe(ms_since(step_start));
     // Rolling step-time series for the live telemetry plane (one relaxed
     // load when no plane is attached).
@@ -172,6 +179,7 @@ double TrainingSession::validate_psnr(std::size_t count) {
   DLSR_CHECK(count > 0 && count <= dataset_.size(img::Split::Validation),
              "validation count out of range");
   double total = 0.0;
+  ScopedKernelPrecision scoped(config_.precision);
   for (std::size_t i = 0; i < count; ++i) {
     const Tensor hr = dataset_.hr_image(img::Split::Validation, i);
     const Tensor lr = img::downscale_bicubic(hr, config_.scale);

@@ -23,6 +23,7 @@
 #include "image/synthetic_div2k.hpp"
 #include "nn/lr_scheduler.hpp"
 #include "obs/flight_recorder.hpp"
+#include "tensor/precision.hpp"
 
 namespace dlsr::core {
 
@@ -55,6 +56,17 @@ struct SessionConfig {
   /// Injected per-step decode latency in ms, both paths: the inline path
   /// eats it on the critical path, the pipeline hides it. Test/bench knob.
   double loader_delay_ms = 0.0;
+  /// Forward-pass kernel precision: 16-bit packed GEMM/conv panels with
+  /// fp32 accumulation (tensor/gemm_kernel). Gradients and optimizer state
+  /// stay fp32 (the master copy), so only the forward activations see the
+  /// rounding. Fp32 is bit-identical to the pre-knob behavior.
+  Precision precision = Precision::Fp32;
+  /// Gradient allreduce wire format (comm::LocalRingConfig.wire):
+  /// fp16/bf16 quantize the payload before the fp32 ring; TopK sparsifies
+  /// first. Fp32 reduces bit-identically to the pre-knob path.
+  comm::WireFormat wire_format = comm::WireFormat::Fp32;
+  /// TopK wire only: fraction of gradient elements each rank keeps.
+  double topk_fraction = 0.01;
   std::uint64_t seed = 1;
 };
 

@@ -22,15 +22,17 @@ std::string MpiBackend::name() const {
 sim::SimTime MpiBackend::execute(const comm::CollectiveDesc& desc,
                                  sim::SimTime start, std::size_t concurrent) {
   // Host progress: concurrency costs nothing beyond the physical link
-  // bookings the engine makes per hop.
+  // bookings the engine makes per hop. Compressed wires transfer
+  // wire_bytes(desc), not the logical fp32 payload.
   (void)concurrent;
+  const std::size_t bytes = comm::wire_bytes(desc);
   switch (desc.op) {
     case comm::Op::Allreduce:
-      return comm_.run_allreduce_at(desc.bytes, desc.buf_id, start).done;
+      return comm_.run_allreduce_at(bytes, desc.buf_id, start).done;
     case comm::Op::Broadcast:
-      return comm_.run_broadcast_at(desc.bytes, desc.buf_id, start);
+      return comm_.run_broadcast_at(bytes, desc.buf_id, start);
     case comm::Op::Allgather:
-      return comm_.run_allgather_at(desc.bytes, desc.buf_id, start);
+      return comm_.run_allgather_at(bytes, desc.buf_id, start);
   }
   DLSR_FAIL("unknown collective op");
 }
@@ -43,12 +45,13 @@ sim::SimTime NcclBackend::execute(const comm::CollectiveDesc& desc,
                                   sim::SimTime start,
                                   std::size_t concurrent) {
   sim::SimTime done = 0.0;
+  const std::size_t bytes = comm::wire_bytes(desc);
   switch (desc.op) {
     case comm::Op::Allreduce:
-      done = comm_.run_allreduce_at(desc.bytes, desc.buf_id, start);
+      done = comm_.run_allreduce_at(bytes, desc.buf_id, start);
       break;
     case comm::Op::Broadcast:
-      done = comm_.run_broadcast_at(desc.bytes, desc.buf_id, start);
+      done = comm_.run_broadcast_at(bytes, desc.buf_id, start);
       break;
     case comm::Op::Allgather:
       DLSR_FAIL("ncclsim does not model allgather");

@@ -7,8 +7,9 @@
 namespace dlsr::hvd {
 
 DistributedOptimizer::DistributedOptimizer(
-    std::vector<std::unique_ptr<nn::Optimizer>> replicas)
-    : replicas_(std::move(replicas)) {
+    std::vector<std::unique_ptr<nn::Optimizer>> replicas,
+    comm::LocalRingConfig comm_config)
+    : replicas_(std::move(replicas)), comm_(comm_config) {
   DLSR_CHECK(!replicas_.empty(), "need at least one replica optimizer");
   const auto& first = replicas_.front()->params();
   for (const auto& r : replicas_) {
@@ -45,6 +46,8 @@ void DistributedOptimizer::step() {
     desc.priority = static_cast<int>(p);
     desc.payload = &payloads[p];
     desc.average = true;
+    desc.wire = comm_.ring_config().wire;
+    desc.topk_fraction = comm_.ring_config().topk_fraction;
     comm_.post(desc, 0.0);
     ++allreduce_count_;
   }

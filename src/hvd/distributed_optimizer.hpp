@@ -7,6 +7,12 @@
 // dlsr::comm data plane, then steps each inner optimizer. WorkerGroup uses
 // the same arithmetic internally; this class exposes it as a standalone
 // composable wrapper for user code that manages its own replicas.
+//
+// Mixed precision: when the ring config selects a compressed wire
+// (fp16/bf16/topk), only the *gradient exchange* is compressed — the data
+// plane quantizes each rank's gradients before the fp32 ring. Parameters
+// and optimizer state (momentum etc.) stay fp32 throughout: the inner
+// optimizers are the fp32 master copy the quantized averages apply to.
 #pragma once
 
 #include <memory>
@@ -20,9 +26,11 @@ namespace dlsr::hvd {
 class DistributedOptimizer {
  public:
   /// Takes ownership of one optimizer per replica. All optimizers must hold
-  /// parameter lists of identical shapes (checked).
+  /// parameter lists of identical shapes (checked). `comm_config` selects
+  /// the wire encoding the gradient allreduces use (default: fp32).
   explicit DistributedOptimizer(
-      std::vector<std::unique_ptr<nn::Optimizer>> replicas);
+      std::vector<std::unique_ptr<nn::Optimizer>> replicas,
+      comm::LocalRingConfig comm_config = {});
 
   std::size_t replica_count() const { return replicas_.size(); }
   nn::Optimizer& replica(std::size_t i);

@@ -124,7 +124,7 @@ StepTimeline TensorFusionEngine::simulate_step(
   // depend on how much in-service communication stretches backward, so they
   // are integrated on demand.
   struct Pending {
-    std::size_t bytes;
+    std::size_t bytes;  ///< logical fp32 bytes
     double work;
     std::uint64_t id;
   };
@@ -134,13 +134,25 @@ StepTimeline TensorFusionEngine::simulate_step(
   std::vector<Pending> pending;
   pending.reserve(grads.size());
   for (const auto& g : grads) {
-    // Model gradients are fp32; the wire payload shrinks under fp16
-    // compression.
-    const std::size_t wire_bytes =
-        g.bytes * config_.gradient_dtype_bytes / sizeof(float);
-    pending.push_back({wire_bytes, g.ready_fraction * backward_duration,
+    pending.push_back({g.bytes, g.ready_fraction * backward_duration,
                        std::hash<std::string>{}(g.name)});
   }
+  // Model gradients are fp32; a compressed wire shrinks the payload on the
+  // wire (the backend sizes service with comm::wire_bytes) and charges an
+  // explicit (de)quantize conversion on each side of it.
+  const comm::WireFormat wire = config_.effective_wire();
+  const auto to_wire_bytes = [&](std::size_t logical) {
+    comm::CollectiveDesc d;
+    d.bytes = logical;
+    d.wire = wire;
+    d.topk_fraction = config_.topk_fraction;
+    return comm::wire_bytes(d);
+  };
+  const auto quantize_cost = [&](std::size_t logical) {
+    return wire == comm::WireFormat::Fp32
+               ? 0.0
+               : static_cast<double>(logical) / config_.quantize_bandwidth;
+  };
 
   BackwardProgress progress(backward_start, backend_.compute_contention());
   const auto ready_at = [&](std::size_t i) {
@@ -193,19 +205,24 @@ StepTimeline TensorFusionEngine::simulate_step(
       }
     }
     // Pack ready tensors (in order) into fusion buffers and post each one.
+    // The fusion buffer holds the *wire* dtype, so the threshold bounds
+    // on-the-wire bytes (an fp16 buffer fuses twice the fp32 tensors).
     while (next < pending.size() && ready_at(next) <= cycle) {
-      std::size_t bytes = 0;
+      std::size_t bytes = 0;       // logical fp32 bytes in the buffer
+      std::size_t buf_wire = 0;    // on-the-wire bytes in the buffer
       std::size_t count = 0;
       std::uint64_t solo_id = pending[next].id;
       while (next < pending.size() && ready_at(next) <= cycle) {
-        if (count > 0 && bytes + pending[next].bytes > config_.fusion_threshold) {
+        const std::size_t tw = to_wire_bytes(pending[next].bytes);
+        if (count > 0 && buf_wire + tw > config_.fusion_threshold) {
           break;  // buffer full; next buffer this same cycle
         }
         bytes += pending[next].bytes;
+        buf_wire += tw;
         solo_id = pending[next].id;
         ++count;
         ++next;
-        if (bytes >= config_.fusion_threshold) {
+        if (buf_wire >= config_.fusion_threshold) {
           break;
         }
       }
@@ -215,9 +232,12 @@ StepTimeline TensorFusionEngine::simulate_step(
       const std::uint64_t buf_id =
           fused ? 0xF05EDull + (fusion_buffer_toggle_++ % 2) : solo_id;
       const double pack_cost =
-          fused ? 2.0 * static_cast<double>(bytes) / config_.copy_bandwidth
+          fused ? 2.0 * static_cast<double>(buf_wire) / config_.copy_bandwidth
                 : 0.0;
-      sim::SimTime issue = cycle_issue + pack_cost;
+      // Quantize happens before the wire (delays the issue), dequantize
+      // after it (extends completion) — both visible to the analyzer.
+      const double q_cost = quantize_cost(bytes);
+      sim::SimTime issue = cycle_issue + pack_cost + q_cost;
       if (!overlap) {
         issue = std::max(issue, backward_end_now());
       }
@@ -226,6 +246,8 @@ StepTimeline TensorFusionEngine::simulate_step(
       desc.bytes = bytes;
       desc.buf_id = buf_id;
       desc.priority = msg_priority++;
+      desc.wire = wire;
+      desc.topk_fraction = config_.topk_fraction;
       const comm::Handle h = backend_.post(desc, issue);
       // Resolve immediately: the queue serves FIFO, so later posts cannot
       // move this operation's start, and its in-service window must be
@@ -233,19 +255,36 @@ StepTimeline TensorFusionEngine::simulate_step(
       const sim::SimTime wire_done = backend_.wait(h);
       const comm::OpRecord& rec = backend_.record(h);
       progress.add_window(rec.started_at, wire_done);
-      const sim::SimTime done = wire_done + pack_cost;
-      if (pack_cost > 0.0 && obs::tracing_enabled()) {
-        // Mirror the unfuse copy after the wire op on the same slot lane, so
-        // trace analyzers see the full busy window the step timeline uses
-        // (done_at = wire_done + unpack), not just the wire time.
-        obs::Tracer::instance().complete(
-            "unpack", "comm", wire_done * 1e6, pack_cost * 1e6,
-            strfmt("{\"bytes\":%zu,\"tensors\":%zu}", bytes, count),
-            obs::kSimPid,
-            obs::kCommLaneBase + static_cast<std::int64_t>(rec.slot));
+      const sim::SimTime done = wire_done + q_cost + pack_cost;
+      if (obs::tracing_enabled()) {
+        // Mirror the post-wire costs after the wire op on the same slot
+        // lane, so trace analyzers see the full busy window the step
+        // timeline uses (done_at = wire_done + dequantize + unpack), not
+        // just the wire time. The pre-wire quantize is mirrored too.
+        auto& tracer = obs::Tracer::instance();
+        const auto lane =
+            obs::kCommLaneBase + static_cast<std::int64_t>(rec.slot);
+        if (q_cost > 0.0) {
+          tracer.complete("quantize", "comm", (issue - q_cost) * 1e6,
+                          q_cost * 1e6,
+                          strfmt("{\"bytes\":%zu,\"wire_bytes\":%zu}", bytes,
+                                 buf_wire),
+                          obs::kSimPid, lane);
+          tracer.complete("dequantize", "comm", wire_done * 1e6, q_cost * 1e6,
+                          strfmt("{\"bytes\":%zu,\"wire_bytes\":%zu}", bytes,
+                                 buf_wire),
+                          obs::kSimPid, lane);
+        }
+        if (pack_cost > 0.0) {
+          tracer.complete(
+              "unpack", "comm", (wire_done + q_cost) * 1e6, pack_cost * 1e6,
+              strfmt("{\"bytes\":%zu,\"tensors\":%zu}", buf_wire, count),
+              obs::kSimPid, lane);
+        }
       }
       comm_end = std::max(comm_end, done);
-      timeline.messages.push_back({bytes, count, issue, rec.started_at, done});
+      timeline.messages.push_back(
+          {bytes, buf_wire, count, issue, rec.started_at, done});
     }
   }
   timeline.backward_end = backward_end_now();

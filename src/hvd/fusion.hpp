@@ -43,7 +43,28 @@ struct FusionConfig {
   /// Wire width of one gradient element. 4 = fp32 (the paper's setup);
   /// 2 models Horovod's fp16 gradient compression
   /// (HOROVOD_COMPRESSION=fp16), which halves every allreduce payload.
+  /// Shorthand for `wire`: see effective_wire().
   std::size_t gradient_dtype_bytes = 4;
+  /// On-the-wire gradient encoding. Fp32 here defers to
+  /// gradient_dtype_bytes (2 → Fp16) so pre-existing callers keep working;
+  /// any other value wins over gradient_dtype_bytes.
+  comm::WireFormat wire = comm::WireFormat::Fp32;
+  /// TopK wire only: fraction of elements each rank keeps.
+  double topk_fraction = 0.01;
+  /// Quantize/dequantize throughput (bytes of fp32 gradient per second,
+  /// charged once per direction). Compressed wires pay bytes/bandwidth
+  /// before service (quantize delays the issue) and again after the wire
+  /// (dequantize extends completion), so `dlsr analyze` can attribute the
+  /// conversion cost explicitly instead of folding it into the wire time.
+  double quantize_bandwidth = 200e9;
+
+  comm::WireFormat effective_wire() const {
+    if (wire != comm::WireFormat::Fp32) {
+      return wire;
+    }
+    return gradient_dtype_bytes == 2 ? comm::WireFormat::Fp16
+                                     : comm::WireFormat::Fp32;
+  }
   /// Coordinator negotiation cost per cycle that contains tensors not yet
   /// in the response cache (Horovod's negotiation round: gather tensor
   /// readiness at rank 0, broadcast the response). After the first step
@@ -56,7 +77,8 @@ struct FusionConfig {
 
 /// One allreduce posted within a step.
 struct IssuedMessage {
-  std::size_t bytes = 0;
+  std::size_t bytes = 0;       ///< logical fp32 payload bytes
+  std::size_t wire_bytes = 0;  ///< on-the-wire bytes (== bytes for fp32)
   std::size_t tensor_count = 0;
   sim::SimTime issued_at = 0.0;   ///< posted (ready to go on the wire)
   sim::SimTime started_at = 0.0;  ///< wire service start (>= issued_at)

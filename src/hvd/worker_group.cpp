@@ -106,6 +106,8 @@ void WorkerGroup::allreduce_gradients() {
     desc.priority = static_cast<int>(p);  // backward-order issue
     desc.payload = &payloads[p];
     desc.average = true;
+    desc.wire = comm_.ring_config().wire;
+    desc.topk_fraction = comm_.ring_config().topk_fraction;
     comm_.post(desc, 0.0);
   }
   comm_.drain();

@@ -17,9 +17,16 @@ std::vector<CommEvent> extract_comm_events(
     }
     CommEvent c;
     c.name = e.name;
+    // Compressed-wire collectives are traced as "<op>.<wire>".
+    if (const auto dot = c.name.find('.'); dot != std::string::npos) {
+      c.wire = c.name.substr(dot + 1);
+      c.name.resize(dot);
+    }
     c.ts_us = e.ts_us;
     c.dur_us = e.dur_us;
     c.bytes = static_cast<std::size_t>(e.arg("bytes", 0.0));
+    c.wire_bytes = static_cast<std::size_t>(
+        e.arg("wire_bytes", static_cast<double>(c.bytes)));
     c.slot = static_cast<int>(e.tid - kCommLaneBase);
     comm.push_back(std::move(c));
   }
@@ -49,7 +56,9 @@ prof::Hvprof hvprof_from_trace(const std::vector<CommEvent>& comm) {
     if (!c.is_wire_op()) {
       continue;
     }
-    profile.record(collective_from_name(c.name), c.bytes, c.dur_us * 1e-6);
+    // The live profiler buckets by on-the-wire bytes; mirror that.
+    profile.record(collective_from_name(c.name), c.wire_bytes,
+                   c.dur_us * 1e-6);
   }
   return profile;
 }

@@ -19,18 +19,24 @@
 
 namespace dlsr::obs {
 
-/// One simulated comm-lane event read back from a trace.
+/// One simulated comm-lane event read back from a trace. Compressed-wire
+/// collectives are traced as "<op>.<wire>" (e.g. "allreduce.fp16"); the
+/// extractor splits that back into the base op name and the wire label.
 struct CommEvent {
-  std::string name;   ///< "allreduce" / "broadcast" / "allgather" / "unpack"
+  std::string name;   ///< base op: "allreduce" / "unpack" / "quantize" / ...
+  std::string wire = "fp32";  ///< wire encoding label (fp32 when untagged)
   double ts_us = 0.0;
   double dur_us = 0.0;
-  std::size_t bytes = 0;
+  std::size_t bytes = 0;       ///< logical fp32 payload bytes
+  std::size_t wire_bytes = 0;  ///< on-the-wire bytes (== bytes for fp32)
   int slot = 0;       ///< tid - kCommLaneBase
 
   double end_us() const { return ts_us + dur_us; }
-  /// Wire collectives feed hvprof buckets; unpack copies do not (the live
-  /// profiler records wire time only).
-  bool is_wire_op() const { return name != "unpack"; }
+  /// Wire collectives feed hvprof buckets; unpack copies and (de)quantize
+  /// conversions do not (the live profiler records wire time only).
+  bool is_wire_op() const {
+    return name != "unpack" && name != "quantize" && name != "dequantize";
+  }
 };
 
 /// Extracts the simulated comm-lane events (pid kSimPid, cat "comm",

@@ -255,10 +255,15 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
       }
     }
     if (bounding) {
+      // Bucket by on-the-wire bytes (matches the live profiler) and tag
+      // compressed wires so the gradient dtype is visible in the report.
       a.bounding_op = strfmt(
           "%s %s", bounding->name.c_str(),
           prof::Hvprof::bucket_labels()[prof::Hvprof::bucket_index(
-              bounding->bytes)]);
+              bounding->wire_bytes)]);
+      if (bounding->wire != "fp32") {
+        a.bounding_op += strfmt(" [%s]", bounding->wire.c_str());
+      }
     }
     report.steps.push_back(a);
   }

@@ -134,20 +134,98 @@ void pack_b_im2col_3x3(const float* in_n, std::size_t ci_n, std::size_t h,
   }
 }
 
+/// 16-bit-storage variant of pack_b_im2col_3x3: identical panel geometry and
+/// zero placement, but elements are encoded bf16/fp16 during the pack (the
+/// memcpy hot path becomes a convert loop; zeros stay memset since 0.0f
+/// encodes to the all-zero bit pattern in both formats).
+void pack_b_im2col_3x3_16(const float* in_n, std::size_t ci_n, std::size_t h,
+                          std::size_t w, std::size_t ho0, std::size_t ho1,
+                          std::uint16_t* dst, Precision prec) {
+  const std::size_t NR = gemm_nr();
+  const std::size_t k = ci_n * 9;
+  const std::size_t tile_cols = (ho1 - ho0) * w;
+  const bool bf = prec == Precision::Bf16;
+  for (std::size_t col0 = 0; col0 < tile_cols; col0 += NR) {
+    const std::size_t jn = std::min(NR, tile_cols - col0);
+    std::uint16_t* panel = dst + col0 * k;  // == (col0 / NR) * NR * k
+    for (std::size_t ci = 0; ci < ci_n; ++ci) {
+      const float* plane = in_n + ci * h * w;
+      for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t s = 0; s < 3; ++s) {
+          std::uint16_t* drow = panel + (ci * 9 + r * 3 + s) * NR;
+          std::size_t j = 0;
+          while (j < jn) {
+            const std::size_t col = col0 + j;
+            const std::size_t ho = ho0 + col / w;
+            const std::size_t wo = col % w;
+            const std::size_t seg = std::min(jn - j, w - wo);
+            const long hin = static_cast<long>(ho + r) - 1;
+            if (hin < 0 || hin >= static_cast<long>(h)) {
+              std::memset(drow + j, 0, seg * sizeof(std::uint16_t));
+            } else {
+              const float* srow =
+                  plane + static_cast<std::size_t>(hin) * w;
+              const long win0 = static_cast<long>(wo + s) - 1;
+              const std::size_t lead = win0 < 0 ? 1 : 0;
+              std::size_t copy_end = seg;
+              if (win0 + static_cast<long>(seg) > static_cast<long>(w)) {
+                copy_end = static_cast<std::size_t>(static_cast<long>(w) -
+                                                    win0);
+              }
+              for (std::size_t t = 0; t < lead; ++t) {
+                drow[j + t] = 0;
+              }
+              const float* src = srow + win0 + lead;
+              if (bf) {
+                for (std::size_t t = lead; t < copy_end; ++t) {
+                  drow[j + t] = bf16_from_f32(src[t - lead]);
+                }
+              } else {
+                for (std::size_t t = lead; t < copy_end; ++t) {
+                  drow[j + t] = f16_from_f32(src[t - lead]);
+                }
+              }
+              for (std::size_t t = copy_end; t < seg; ++t) {
+                drow[j + t] = 0;
+              }
+            }
+            j += seg;
+          }
+          for (std::size_t t = jn; t < NR; ++t) {
+            drow[t] = 0;
+          }
+        }
+      }
+    }
+  }
+}
+
 /// Direct 3×3 / stride-1 / pad-1 tile: implicit GEMM. B panels are packed
 /// straight from the input (no im2col buffer) and fed to the packed
-/// micro-kernel against the shared pre-packed weight panels.
+/// micro-kernel against the shared pre-packed weight panels. With a 16-bit
+/// precision the B panels are encoded during the pack and the weight panels
+/// come pre-encoded (`packed_w16`); accumulation is fp32 either way.
 void direct3x3_tile(const float* in_n, const float* packed_w,
+                    const std::uint16_t* packed_w16, Precision prec,
                     const float* bias, std::size_t ci_n, std::size_t co_n,
                     std::size_t h, std::size_t w, std::size_t ho0,
                     std::size_t ho1, float* out_n) {
   const std::size_t k = ci_n * 9;
   const std::size_t tile_cols = (ho1 - ho0) * w;
   ScratchArena& arena = ScratchArena::local();
-  auto pb = arena.acquire(packed_b_size(k, tile_cols));
-  pack_b_im2col_3x3(in_n, ci_n, h, w, ho0, ho1, pb.data());
-  gemm_packed(packed_w, pb.data(), out_n + ho0 * w, h * w, co_n, k,
-              tile_cols, /*accumulate=*/false);
+  if (prec == Precision::Fp32) {
+    auto pb = arena.acquire(packed_b_size(k, tile_cols));
+    pack_b_im2col_3x3(in_n, ci_n, h, w, ho0, ho1, pb.data());
+    gemm_packed(packed_w, pb.data(), out_n + ho0 * w, h * w, co_n, k,
+                tile_cols, /*accumulate=*/false);
+  } else {
+    const std::size_t elems = packed_b_size(k, tile_cols);
+    auto pb = arena.acquire((elems + 1) / 2);
+    auto* pb16 = reinterpret_cast<std::uint16_t*>(pb.data());
+    pack_b_im2col_3x3_16(in_n, ci_n, h, w, ho0, ho1, pb16, prec);
+    gemm_packed_16(packed_w16, pb16, out_n + ho0 * w, h * w, co_n, k,
+                   tile_cols, /*accumulate=*/false, prec);
+  }
   if (bias != nullptr) {
     for (std::size_t co = 0; co < co_n; ++co) {
       float* row = out_n + co * h * w + ho0 * w;
@@ -162,6 +240,7 @@ void direct3x3_tile(const float* in_n, const float* packed_w,
 /// General-kernel tile: im2col the output-row slice, pack it as the GEMM B
 /// operand, and multiply against the pre-packed weight panels.
 void gemm_conv_tile(const float* in_n, const float* packed_w,
+                    const std::uint16_t* packed_w16, Precision prec,
                     const float* bias, const Conv2dSpec& spec, std::size_t h,
                     std::size_t w, std::size_t ho_total, std::size_t wo,
                     std::size_t col_rows, std::size_t ho0, std::size_t ho1,
@@ -171,10 +250,20 @@ void gemm_conv_tile(const float* in_n, const float* packed_w,
   auto colbuf = arena.acquire(col_rows * tile_cols);
   im2col_part(in_n, h, w, spec, 0, spec.in_channels, ho0, ho1, tile_cols,
               colbuf.data());
-  auto pb = arena.acquire(packed_b_size(col_rows, tile_cols));
-  pack_b(colbuf.data(), tile_cols, col_rows, tile_cols, pb.data());
-  gemm_packed(packed_w, pb.data(), out_n + ho0 * wo, ho_total * wo,
-              spec.out_channels, col_rows, tile_cols, /*accumulate=*/false);
+  if (prec == Precision::Fp32) {
+    auto pb = arena.acquire(packed_b_size(col_rows, tile_cols));
+    pack_b(colbuf.data(), tile_cols, col_rows, tile_cols, pb.data());
+    gemm_packed(packed_w, pb.data(), out_n + ho0 * wo, ho_total * wo,
+                spec.out_channels, col_rows, tile_cols, /*accumulate=*/false);
+  } else {
+    const std::size_t elems = packed_b_size(col_rows, tile_cols);
+    auto pb = arena.acquire((elems + 1) / 2);
+    auto* pb16 = reinterpret_cast<std::uint16_t*>(pb.data());
+    pack_b_16(colbuf.data(), tile_cols, col_rows, tile_cols, pb16, prec);
+    gemm_packed_16(packed_w16, pb16, out_n + ho0 * wo, ho_total * wo,
+                   spec.out_channels, col_rows, tile_cols,
+                   /*accumulate=*/false, prec);
+  }
   if (bias != nullptr) {
     for (std::size_t co = 0; co < spec.out_channels; ++co) {
       float* row = out_n + co * ho_total * wo + ho0 * wo;
@@ -336,15 +425,28 @@ Tensor conv2d_forward(ThreadPool& pool, const Tensor& input,
 
   // The weight panel is packed once per layer call and shared read-only by
   // every (sample, row-block) tile (both the im2col and the implicit-GEMM
-  // direct path consume it).
-  auto packed_w = ScratchArena::local().acquire(packed_a_size(Co, col_rows));
-  pack_a(weight.raw(), col_rows, Co, col_rows, packed_w.data());
+  // direct path consume it). A 16-bit kernel precision encodes the panel at
+  // pack time; Fp32 takes the pre-existing path untouched.
+  const Precision prec = kernel_precision();
+  const std::size_t w_elems = packed_a_size(Co, col_rows);
+  ScratchArena::Lease packed_w;
+  const std::uint16_t* packed_w16 = nullptr;
+  if (prec == Precision::Fp32) {
+    packed_w = ScratchArena::local().acquire(w_elems);
+    pack_a(weight.raw(), col_rows, Co, col_rows, packed_w.data());
+  } else {
+    packed_w = ScratchArena::local().acquire((w_elems + 1) / 2);
+    auto* w16 = reinterpret_cast<std::uint16_t*>(packed_w.data());
+    pack_a_16(weight.raw(), col_rows, Co, col_rows, w16, prec);
+    packed_w16 = w16;
+  }
   const double packed_bytes =
-      static_cast<double>(packed_w.size()) * sizeof(float) +
-      static_cast<double>(N * tiles_per_sample *
-                          packed_b_size(col_rows, block * Wo)) *
-          sizeof(float);
+      (static_cast<double>(w_elems) +
+       static_cast<double>(N * tiles_per_sample *
+                           packed_b_size(col_rows, block * Wo))) *
+      static_cast<double>(precision_bytes(prec));
   count_kernel_work(2.0 * N * Co * col_rows * Ho * Wo, packed_bytes);
+  count_pack_bytes(prec, packed_bytes);
 
   const float* bias_ptr = bias.numel() ? bias.raw() : nullptr;
   parallel_for(pool, 0, N * tiles_per_sample, [&](std::size_t t) {
@@ -354,11 +456,11 @@ Tensor conv2d_forward(ThreadPool& pool, const Tensor& input,
     const float* in_n = input.raw() + n * Ci * H * W;
     float* out_n = out.raw() + n * Co * Ho * Wo;
     if (direct) {
-      direct3x3_tile(in_n, packed_w.data(), bias_ptr, Ci, Co, H, W, ho0, ho1,
-                     out_n);
+      direct3x3_tile(in_n, packed_w.data(), packed_w16, prec, bias_ptr, Ci,
+                     Co, H, W, ho0, ho1, out_n);
     } else {
-      gemm_conv_tile(in_n, packed_w.data(), bias_ptr, spec, H, W, Ho, Wo,
-                     col_rows, ho0, ho1, out_n);
+      gemm_conv_tile(in_n, packed_w.data(), packed_w16, prec, bias_ptr, spec,
+                     H, W, Ho, Wo, col_rows, ho0, ho1, out_n);
     }
   });
   return out;
@@ -374,6 +476,9 @@ void conv2d_backward(ThreadPool& pool, const Tensor& input,
                      const Tensor& grad_output, Tensor& grad_input,
                      Tensor& grad_weight, Tensor& grad_bias,
                      bool bias_present) {
+  // Backward always runs fp32 regardless of kernel_precision(): gradients
+  // accumulate across samples and feed the fp32 master weights, so storage
+  // rounding here would compound across the batch (see docs/kernels.md).
   check_conv_args(input, weight, Tensor{}, spec);
   note_pool_metrics();
   OBS_SPAN("tensor", "conv2d_backward");

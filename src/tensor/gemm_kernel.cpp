@@ -1,9 +1,13 @@
 #include "tensor/gemm_kernel.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <memory>
 
+#include "common/error.hpp"
 #include "common/scratch.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dlsr {
@@ -36,6 +40,48 @@ inline void micro_kernel(std::size_t k, const float* __restrict a_panel,
       const float av = a[i];
       for (std::size_t j = 0; j < kNR; ++j) {
         acc[i][j] += av * b[j];
+      }
+    }
+  }
+}
+
+// Per-element widening loads for the 16-bit micro-kernel. bf16 is a shift +
+// bitcast, which the auto-vectorizer turns into vpmovzxwd + vpslld — the
+// decode adds ~2 cheap integer ops per vector against a halved memory
+// stream. fp16 decode has branches (denormals, inf/nan) and stays scalar;
+// that path is about storage correctness, bf16 is the x86 performance path.
+template <Precision P>
+inline float load16(std::uint16_t bits);
+
+template <>
+inline float load16<Precision::Bf16>(std::uint16_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits) << 16);
+}
+
+template <>
+inline float load16<Precision::Fp16>(std::uint16_t bits) {
+  return f32_from_f16(bits);
+}
+
+/// 16-bit-storage tile: acc(fp32) += widen(A_panel) × widen(B_panel). The B
+/// row is widened once per k-iteration into a register-resident strip so the
+/// FMA loop is identical to the fp32 micro-kernel's.
+template <Precision P>
+inline void micro_kernel_16(std::size_t k,
+                            const std::uint16_t* __restrict a_panel,
+                            const std::uint16_t* __restrict b_panel,
+                            float acc[kMR][kNR]) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::uint16_t* __restrict a = a_panel + p * kMR;
+    const std::uint16_t* __restrict b = b_panel + p * kNR;
+    float bw[kNR];
+    for (std::size_t j = 0; j < kNR; ++j) {
+      bw[j] = load16<P>(b[j]);
+    }
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float av = load16<P>(a[i]);
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc[i][j] += av * bw[j];
       }
     }
   }
@@ -157,7 +203,131 @@ void gemm(const float* a, const float* b, float* c, std::size_t m,
   OBS_COUNTER("tensor", "gemm/packed_bytes",
               (pa.size() + pb.size()) * sizeof(float));
   OBS_COUNTER("tensor", "gemm/flops", 2.0 * m * k * n);
+  count_pack_bytes(Precision::Fp32, static_cast<double>(pa.size() + pb.size()) *
+                                        sizeof(float));
   gemm_packed(pa.data(), pb.data(), c, n, m, k, n, accumulate);
+}
+
+void count_pack_bytes(Precision p, double bytes) {
+  static const std::shared_ptr<obs::Counter> fp32 =
+      obs::MetricsRegistry::global().counter("tensor/pack_bytes_fp32");
+  static const std::shared_ptr<obs::Counter> bf16 =
+      obs::MetricsRegistry::global().counter("tensor/pack_bytes_bf16");
+  static const std::shared_ptr<obs::Counter> fp16 =
+      obs::MetricsRegistry::global().counter("tensor/pack_bytes_fp16");
+  switch (p) {
+    case Precision::Fp32:
+      fp32->add(static_cast<std::uint64_t>(bytes));
+      break;
+    case Precision::Bf16:
+      bf16->add(static_cast<std::uint64_t>(bytes));
+      break;
+    case Precision::Fp16:
+      fp16->add(static_cast<std::uint64_t>(bytes));
+      break;
+  }
+}
+
+void pack_a_16(const float* a, std::size_t lda, std::size_t m, std::size_t k,
+               std::uint16_t* dst, Precision p) {
+  const bool bf = p == Precision::Bf16;
+  for (std::size_t i0 = 0; i0 < m; i0 += kMR) {
+    const std::size_t rows = std::min(kMR, m - i0);
+    for (std::size_t x = 0; x < k; ++x) {
+      for (std::size_t i = 0; i < rows; ++i) {
+        const float v = a[(i0 + i) * lda + x];
+        dst[i] = bf ? bf16_from_f32(v) : f16_from_f32(v);
+      }
+      for (std::size_t i = rows; i < kMR; ++i) {
+        dst[i] = 0;
+      }
+      dst += kMR;
+    }
+  }
+}
+
+void pack_b_16(const float* b, std::size_t ldb, std::size_t k, std::size_t n,
+               std::uint16_t* dst, Precision p) {
+  const bool bf = p == Precision::Bf16;
+  for (std::size_t j0 = 0; j0 < n; j0 += kNR) {
+    const std::size_t cols = std::min(kNR, n - j0);
+    for (std::size_t x = 0; x < k; ++x) {
+      const float* row = b + x * ldb + j0;
+      if (bf) {
+        for (std::size_t j = 0; j < cols; ++j) {
+          dst[j] = bf16_from_f32(row[j]);
+        }
+      } else {
+        for (std::size_t j = 0; j < cols; ++j) {
+          dst[j] = f16_from_f32(row[j]);
+        }
+      }
+      for (std::size_t j = cols; j < kNR; ++j) {
+        dst[j] = 0;
+      }
+      dst += kNR;
+    }
+  }
+}
+
+void gemm_packed_16(const std::uint16_t* packed_a,
+                    const std::uint16_t* packed_b, float* c, std::size_t ldc,
+                    std::size_t m, std::size_t k, std::size_t n,
+                    bool accumulate, Precision p) {
+  DLSR_CHECK(p != Precision::Fp32,
+             "gemm_packed_16 wants bf16 or fp16 panels");
+  const bool bf = p == Precision::Bf16;
+  for (std::size_t j0 = 0; j0 < n; j0 += kNR) {
+    const std::size_t cols = std::min(kNR, n - j0);
+    const std::uint16_t* b_panel = packed_b + (j0 / kNR) * kNR * k;
+    for (std::size_t i0 = 0; i0 < m; i0 += kMR) {
+      const std::size_t rows = std::min(kMR, m - i0);
+      const std::uint16_t* a_panel = packed_a + (i0 / kMR) * kMR * k;
+      alignas(64) float acc[kMR][kNR] = {};
+      if (bf) {
+        micro_kernel_16<Precision::Bf16>(k, a_panel, b_panel, acc);
+      } else {
+        micro_kernel_16<Precision::Fp16>(k, a_panel, b_panel, acc);
+      }
+      for (std::size_t i = 0; i < rows; ++i) {
+        float* crow = c + (i0 + i) * ldc + j0;
+        if (accumulate) {
+          for (std::size_t j = 0; j < cols; ++j) {
+            crow[j] += acc[i][j];
+          }
+        } else {
+          for (std::size_t j = 0; j < cols; ++j) {
+            crow[j] = acc[i][j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_mixed(const float* a, const float* b, float* c, std::size_t m,
+                std::size_t k, std::size_t n, bool accumulate, Precision p) {
+  if (p == Precision::Fp32) {
+    gemm(a, b, c, m, k, n, accumulate);
+    return;
+  }
+  // 16-bit panels lease fp32 scratch: two elements per float slot, and the
+  // arena's 16-float alignment over-satisfies uint16_t.
+  ScratchArena& arena = ScratchArena::local();
+  const std::size_t a_elems = packed_a_size(m, k);
+  const std::size_t b_elems = packed_b_size(k, n);
+  auto pa = arena.acquire((a_elems + 1) / 2);
+  auto pb = arena.acquire((b_elems + 1) / 2);
+  auto* pa16 = reinterpret_cast<std::uint16_t*>(pa.data());
+  auto* pb16 = reinterpret_cast<std::uint16_t*>(pb.data());
+  pack_a_16(a, k, m, k, pa16, p);
+  pack_b_16(b, n, k, n, pb16, p);
+  const double packed_bytes =
+      static_cast<double>(a_elems + b_elems) * sizeof(std::uint16_t);
+  OBS_COUNTER("tensor", "gemm/packed_bytes", packed_bytes);
+  OBS_COUNTER("tensor", "gemm/flops", 2.0 * m * k * n);
+  count_pack_bytes(p, packed_bytes);
+  gemm_packed_16(pa16, pb16, c, n, m, k, n, accumulate, p);
 }
 
 }  // namespace dlsr

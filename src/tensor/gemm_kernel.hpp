@@ -25,9 +25,20 @@
 // All entry points are single-threaded and deterministic: a given output
 // element is always computed by the same fixed-order reduction, so callers
 // can shard tiles across a thread pool without changing results.
+//
+// Reduced precision: the *_16 variants keep the identical panel geometry but
+// store elements as 16-bit (bf16 or fp16, encoded round-to-nearest-even at
+// pack time) and widen back to fp32 inside the micro-kernel, so the
+// accumulator tile — and therefore the reduction order and the result type —
+// stays fp32. Panels shrink to half the bytes, which is where the win comes
+// from: the micro-kernel is memory-bound on streaming B panels, not on FMA
+// throughput. The fp32 entry points are untouched.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "tensor/precision.hpp"
 
 namespace dlsr {
 
@@ -67,5 +78,36 @@ void gemm_packed(const float* packed_a, const float* packed_b, float* c,
 /// calling thread's scratch arena, then runs gemm_packed.
 void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n, bool accumulate);
+
+// --- 16-bit packed storage (bf16 / fp16 panels, fp32 accumulation) --------
+//
+// Element counts are the same as the fp32 packers (packed_a_size /
+// packed_b_size); only the element width changes. `p` must be Bf16 or Fp16.
+
+/// Packs A (m×k, row stride `lda`) into MR-row panels of 16-bit elements.
+void pack_a_16(const float* a, std::size_t lda, std::size_t m, std::size_t k,
+               std::uint16_t* dst, Precision p);
+
+/// Packs B (k×n, row stride `ldb`) into NR-column panels of 16-bit elements.
+void pack_b_16(const float* b, std::size_t ldb, std::size_t k, std::size_t n,
+               std::uint16_t* dst, Precision p);
+
+/// C (m×n, row stride `ldc`) = packedA16 × packedB16 with an fp32
+/// accumulator tile, or += when `accumulate`. Same fixed-order reduction as
+/// gemm_packed, so results are thread-count independent.
+void gemm_packed_16(const std::uint16_t* packed_a,
+                    const std::uint16_t* packed_b, float* c, std::size_t ldc,
+                    std::size_t m, std::size_t k, std::size_t n,
+                    bool accumulate, Precision p);
+
+/// Convenience mixed-precision GEMM: packs both fp32 operands as 16-bit
+/// panels in the calling thread's scratch arena, then runs gemm_packed_16.
+/// With p == Fp32 this is exactly gemm().
+void gemm_mixed(const float* a, const float* b, float* c, std::size_t m,
+                std::size_t k, std::size_t n, bool accumulate, Precision p);
+
+/// Adds to the registry counter tensor/pack_bytes_{fp32,bf16,fp16} for `p`
+/// (shared by the GEMM and conv pack paths).
+void count_pack_bytes(Precision p, double bytes);
 
 }  // namespace dlsr

@@ -59,8 +59,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
              strfmt("matmul inner dims differ: %zu vs %zu", a.dim(1),
                     b.dim(0)));
   Tensor c({a.dim(0), b.dim(1)});
-  gemm(a.raw(), b.raw(), c.raw(), a.dim(0), a.dim(1), b.dim(1),
-       /*accumulate=*/false);
+  // kernel_precision() == Fp32 (the default) takes the fp32 gemm() path
+  // unchanged; 16-bit precisions pack the operands as bf16/fp16 panels with
+  // fp32 accumulation.
+  gemm_mixed(a.raw(), b.raw(), c.raw(), a.dim(0), a.dim(1), b.dim(1),
+             /*accumulate=*/false, kernel_precision());
   return c;
 }
 

@@ -1,0 +1,101 @@
+#include "tensor/precision.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace dlsr {
+namespace {
+
+std::atomic<Precision> g_kernel_precision{Precision::Fp32};
+
+}  // namespace
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::Fp32:
+      return "fp32";
+    case Precision::Bf16:
+      return "bf16";
+    case Precision::Fp16:
+      return "fp16";
+  }
+  return "?";
+}
+
+Precision parse_precision(const std::string& name) {
+  if (name == "fp32") {
+    return Precision::Fp32;
+  }
+  if (name == "bf16") {
+    return Precision::Bf16;
+  }
+  if (name == "fp16") {
+    return Precision::Fp16;
+  }
+  throw Error("unknown precision \"" + name +
+              "\" (expected fp32, bf16, or fp16)");
+}
+
+std::uint16_t encode16(float v, Precision p) {
+  DLSR_CHECK(p != Precision::Fp32, "encode16 wants a 16-bit precision");
+  return p == Precision::Bf16 ? bf16_from_f32(v) : f16_from_f32(v);
+}
+
+float decode16(std::uint16_t bits, Precision p) {
+  DLSR_CHECK(p != Precision::Fp32, "decode16 wants a 16-bit precision");
+  return p == Precision::Bf16 ? f32_from_bf16(bits) : f32_from_f16(bits);
+}
+
+void encode16_n(const float* src, std::uint16_t* dst, std::size_t n,
+                Precision p) {
+  if (p == Precision::Bf16) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = bf16_from_f32(src[i]);
+    }
+  } else {
+    DLSR_CHECK(p == Precision::Fp16, "encode16_n wants a 16-bit precision");
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = f16_from_f32(src[i]);
+    }
+  }
+}
+
+void decode16_n(const std::uint16_t* src, float* dst, std::size_t n,
+                Precision p) {
+  if (p == Precision::Bf16) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = f32_from_bf16(src[i]);
+    }
+  } else {
+    DLSR_CHECK(p == Precision::Fp16, "decode16_n wants a 16-bit precision");
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = f32_from_f16(src[i]);
+    }
+  }
+}
+
+void quantize_inplace(float* data, std::size_t n, Precision p) {
+  if (p == Precision::Fp32) {
+    return;
+  }
+  if (p == Precision::Bf16) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = f32_from_bf16(bf16_from_f32(data[i]));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = f32_from_f16(f16_from_f32(data[i]));
+    }
+  }
+}
+
+Precision kernel_precision() {
+  return g_kernel_precision.load(std::memory_order_relaxed);
+}
+
+void set_kernel_precision(Precision p) {
+  g_kernel_precision.store(p, std::memory_order_relaxed);
+}
+
+}  // namespace dlsr

@@ -1,0 +1,185 @@
+// Reduced-precision storage formats (bf16 / fp16) and the kernel routing
+// knob.
+//
+// The tensor engine computes in fp32 everywhere; what reduced precision
+// changes is *storage*: GEMM panels, conv im2col tiles, and collective wire
+// payloads hold 16-bit elements and are widened back to fp32 on load, so
+// every accumulation stays fp32 (the "fp16 payload, fp32 accumulation"
+// recipe of the exascale mixed-precision training work the roadmap cites).
+//
+// Conversions are IEEE round-to-nearest-even, implemented in portable
+// integer arithmetic so results are bit-identical across ISAs and thread
+// counts:
+//   bf16  top 16 bits of the fp32 pattern (8-bit mantissa). Same exponent
+//         range as fp32 — no overflow on conversion; fp32 denormals map to
+//         bf16 denormals; NaNs are quieted so a payload truncated to zero
+//         cannot turn a NaN into Inf.
+//   fp16  IEEE binary16 (10-bit mantissa, 5-bit exponent). Values above
+//         65504 round to Inf, tiny values hit the denormal range below
+//         2^-14 and flush to zero below 2^-25.
+//
+// The process-global kernel precision knob routes matmul/conv through the
+// 16-bit packed paths (tensor/gemm_kernel); Precision::Fp32 — the default —
+// leaves the fp32 code path untouched, byte for byte. Scoped setting keeps
+// the knob test- and session-friendly.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dlsr {
+
+/// Storage precision for packed kernel operands and wire payloads.
+enum class Precision : std::uint8_t { Fp32 = 0, Bf16 = 1, Fp16 = 2 };
+
+const char* precision_name(Precision p);
+
+/// Parses "fp32" / "bf16" / "fp16" (throws dlsr::Error otherwise).
+Precision parse_precision(const std::string& name);
+
+/// Storage bytes of one element.
+constexpr std::size_t precision_bytes(Precision p) {
+  return p == Precision::Fp32 ? 4 : 2;
+}
+
+// --- Scalar conversions (round-to-nearest-even) --------------------------
+//
+// Defined inline: the GEMM/conv packers and the micro-kernel widening loads
+// call these per element, so they must inline (and, for bf16, vectorize)
+// into the calling loop.
+
+inline std::uint16_t bf16_from_f32(float v) {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(v);
+  // Round to nearest even on the dropped 16 bits. Inf stays Inf (mantissa
+  // zero adds nothing to the exponent); large finite values cannot
+  // overflow the shared 8-bit exponent. NaN instead keeps its top payload
+  // bits and is quieted — truncation could zero the payload and produce
+  // Inf. Written as a select (not an early return) so the pack loops
+  // if-convert and vectorize.
+  const bool nan = (u & 0x7FFF'FFFFu) > 0x7F80'0000u;
+  const std::uint32_t rounded = (u + 0x7FFFu + ((u >> 16) & 1u)) >> 16;
+  const std::uint32_t quieted = (u >> 16) | 0x0040u;
+  return static_cast<std::uint16_t>(nan ? quieted : rounded);
+}
+
+inline float f32_from_bf16(std::uint16_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits) << 16);
+}
+
+inline std::uint16_t f16_from_f32(float v) {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(v);
+  const std::uint16_t sign = static_cast<std::uint16_t>((u >> 16) & 0x8000u);
+  const std::uint32_t abs = u & 0x7FFF'FFFFu;
+  if (abs >= 0x7F80'0000u) {
+    // Inf / NaN. NaN keeps the top payload bits and is quieted.
+    if (abs > 0x7F80'0000u) {
+      return static_cast<std::uint16_t>(sign | 0x7E00u |
+                                        ((abs >> 13) & 0x3FFu));
+    }
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs >= 0x4780'0000u) {
+    // >= 65520 rounds past the largest finite half (65504) to Inf.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x3880'0000u) {
+    // Below 2^-14: denormal half range. Add the implicit bit and shift the
+    // mantissa into place for the value's magnitude, rounding to nearest
+    // even; below 2^-25 everything rounds to zero.
+    if (abs < 0x3300'0000u) {
+      return sign;
+    }
+    const std::uint32_t exp = abs >> 23;
+    const std::uint32_t mant = (abs & 0x007F'FFFFu) | 0x0080'0000u;
+    // value = mant * 2^(exp-150); dividing by the denormal ULP (2^-24)
+    // leaves mant >> (126 - exp), a shift of 14 (just under 2^-14) through
+    // 24 (just above the flush threshold).
+    const std::uint32_t shift = 126u - exp;
+    const std::uint32_t half = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t midpoint = 1u << (shift - 1);
+    std::uint32_t out = half;
+    if (rem > midpoint || (rem == midpoint && (half & 1u))) {
+      ++out;
+    }
+    return static_cast<std::uint16_t>(sign | out);
+  }
+  // Normal range: rebias the exponent (127 -> 15), keep 10 mantissa bits,
+  // round to nearest even on the dropped 13.
+  const std::uint32_t rebased = abs - 0x3800'0000u;  // subtract (127-15)<<23
+  std::uint32_t half = rebased >> 13;
+  const std::uint32_t rem = rebased & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) {
+    ++half;  // may carry into the exponent; 65504+ was excluded above
+  }
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+inline float f32_from_f16(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x03FFu;
+  if (exp == 0x1Fu) {  // Inf / NaN
+    return std::bit_cast<float>(sign | 0x7F80'0000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) {
+      return std::bit_cast<float>(sign);  // +/- 0
+    }
+    // Denormal half: normalize into fp32 (which has plenty of exponent).
+    std::uint32_t e = 113;  // fp32 exponent of 2^-14
+    std::uint32_t m = mant;
+    while ((m & 0x0400u) == 0) {
+      m <<= 1;
+      --e;
+    }
+    m &= 0x03FFu;
+    return std::bit_cast<float>(sign | (e << 23) | (m << 13));
+  }
+  return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+/// Encode one fp32 value into `p` (p must be Bf16 or Fp16).
+std::uint16_t encode16(float v, Precision p);
+/// Decode one 16-bit pattern of precision `p` back to fp32.
+float decode16(std::uint16_t bits, Precision p);
+
+// --- Bulk conversions ----------------------------------------------------
+
+/// dst[i] = encode16(src[i], p) for i < n.
+void encode16_n(const float* src, std::uint16_t* dst, std::size_t n,
+                Precision p);
+/// dst[i] = decode16(src[i], p) for i < n.
+void decode16_n(const std::uint16_t* src, float* dst, std::size_t n,
+                Precision p);
+/// Round-trip in place: v = decode16(encode16(v, p), p). This is the wire
+/// quantization model: the value loses exactly the precision the 16-bit
+/// payload would, while the buffer stays fp32 for the reduction.
+void quantize_inplace(float* data, std::size_t n, Precision p);
+
+// --- Kernel routing knob -------------------------------------------------
+
+/// Storage precision matmul/conv pack their panels in (default Fp32).
+Precision kernel_precision();
+void set_kernel_precision(Precision p);
+
+/// RAII scope: sets the kernel precision, restores the previous value on
+/// destruction (sessions and tests use this so the process-global knob
+/// never leaks across runs).
+class ScopedKernelPrecision {
+ public:
+  explicit ScopedKernelPrecision(Precision p)
+      : previous_(kernel_precision()) {
+    set_kernel_precision(p);
+  }
+  ~ScopedKernelPrecision() { set_kernel_precision(previous_); }
+  ScopedKernelPrecision(const ScopedKernelPrecision&) = delete;
+  ScopedKernelPrecision& operator=(const ScopedKernelPrecision&) = delete;
+
+ private:
+  Precision previous_;
+};
+
+}  // namespace dlsr

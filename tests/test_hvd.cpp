@@ -158,7 +158,7 @@ TEST(FusionEngine, ExposedCommDefinition) {
   StepTimeline t;
   t.backward_end = 2.0;
   t.comm_end = 2.5;
-  t.messages.push_back({0, 0, 1.9, 1.9, 2.5});
+  t.messages.push_back({0, 0, 0, 1.9, 1.9, 2.5});
   EXPECT_DOUBLE_EQ(t.exposed_comm(), 0.5);
   t.messages.back().done_at = 1.5;
   t.comm_end = 1.5;
@@ -173,9 +173,9 @@ TEST(FusionEngine, ExposedCommUnionsOverlappingMessages) {
   StepTimeline t;
   t.backward_end = 2.0;
   t.comm_end = 3.0;
-  t.messages.push_back({0, 0, 1.7, 1.8, 2.6});
-  t.messages.push_back({0, 0, 2.3, 2.4, 3.0});
-  t.messages.push_back({0, 0, 0.5, 0.6, 1.4});
+  t.messages.push_back({0, 0, 0, 1.7, 1.8, 2.6});
+  t.messages.push_back({0, 0, 0, 2.3, 2.4, 3.0});
+  t.messages.push_back({0, 0, 0, 0.5, 0.6, 1.4});
   EXPECT_DOUBLE_EQ(t.exposed_comm(), 1.0);
 }
 
@@ -234,10 +234,13 @@ TEST(FusionEngine, Fp16HalvesWireBytes) {
   const auto grads = uniform_grads(4, 1024 * 1024);
   const StepTimeline timeline = engine.simulate_step(grads, 0.0, 0.05);
   std::size_t bytes = 0;
+  std::size_t wire = 0;
   for (const auto& m : timeline.messages) {
     bytes += m.bytes;
+    wire += m.wire_bytes;
   }
-  EXPECT_EQ(bytes, 2u * 1024 * 1024);  // half of 4 MB
+  EXPECT_EQ(bytes, 4u * 1024 * 1024);  // logical fp32 payload unchanged
+  EXPECT_EQ(wire, 2u * 1024 * 1024);   // half of 4 MB on the wire
   FusionConfig bad;
   bad.gradient_dtype_bytes = 3;
   TensorFusionEngine broken(bad, backend);

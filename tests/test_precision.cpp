@@ -1,0 +1,589 @@
+// Tests for the mixed-precision layer: bf16/fp16 scalar conversions, the
+// 16-bit packed GEMM/conv paths (fp32 accumulation, thread-count
+// invariance, fp32 bit-identity), and the compressed gradient wire through
+// the real data-plane allreduce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "comm/comm.hpp"
+#include "comm/data_plane.hpp"
+#include "hvd/worker_group.hpp"
+#include "models/edsr.hpp"
+#include "mpisim/data_allreduce.hpp"
+#include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/conv2d.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/precision.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr {
+namespace {
+
+// ------------------------------------------------- scalar conversions ----
+
+TEST(PrecisionNames, NameAndParseRoundTrip) {
+  EXPECT_STREQ(precision_name(Precision::Fp32), "fp32");
+  EXPECT_STREQ(precision_name(Precision::Bf16), "bf16");
+  EXPECT_STREQ(precision_name(Precision::Fp16), "fp16");
+  EXPECT_EQ(parse_precision("bf16"), Precision::Bf16);
+  EXPECT_EQ(parse_precision("fp16"), Precision::Fp16);
+  EXPECT_EQ(parse_precision("fp32"), Precision::Fp32);
+  EXPECT_THROW(parse_precision("int8"), Error);
+  EXPECT_EQ(precision_bytes(Precision::Fp32), 4u);
+  EXPECT_EQ(precision_bytes(Precision::Bf16), 2u);
+  EXPECT_EQ(precision_bytes(Precision::Fp16), 2u);
+}
+
+// Every 16-bit pattern decodes to an fp32 value that re-encodes to itself:
+// the decode image is exactly representable, so the round trip must be
+// lossless (NaNs may be quieted but must stay NaN with the same sign).
+TEST(Bf16Conversion, ExhaustiveDecodeEncodeRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const std::uint16_t b = static_cast<std::uint16_t>(bits);
+    const float f = f32_from_bf16(b);
+    const std::uint16_t r = bf16_from_f32(f);
+    const bool is_nan = (b & 0x7F80u) == 0x7F80u && (b & 0x007Fu) != 0;
+    if (is_nan) {
+      EXPECT_EQ(r & 0x7F80u, 0x7F80u) << "bits " << bits;
+      EXPECT_NE(r & 0x007Fu, 0) << "NaN became Inf: bits " << bits;
+      EXPECT_EQ(r & 0x8000u, b & 0x8000u) << "sign lost: bits " << bits;
+    } else {
+      EXPECT_EQ(r, b) << "bits " << bits;
+    }
+  }
+}
+
+TEST(Fp16Conversion, ExhaustiveDecodeEncodeRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const std::uint16_t h = static_cast<std::uint16_t>(bits);
+    const float f = f32_from_f16(h);
+    const std::uint16_t r = f16_from_f32(f);
+    const bool is_nan = (h & 0x7C00u) == 0x7C00u && (h & 0x03FFu) != 0;
+    if (is_nan) {
+      EXPECT_EQ(r & 0x7C00u, 0x7C00u) << "bits " << bits;
+      EXPECT_NE(r & 0x03FFu, 0) << "NaN became Inf: bits " << bits;
+      EXPECT_EQ(r & 0x8000u, h & 0x8000u) << "sign lost: bits " << bits;
+    } else {
+      EXPECT_EQ(r, h) << "bits " << bits;
+    }
+  }
+}
+
+TEST(Bf16Conversion, RoundsToNearestEven) {
+  const auto enc = [](std::uint32_t f32_bits) {
+    return bf16_from_f32(std::bit_cast<float>(f32_bits));
+  };
+  // Exactly halfway between 0x3F80 and 0x3F81: ties to the even mantissa.
+  EXPECT_EQ(enc(0x3F80'8000u), 0x3F80u);
+  // Halfway between 0x3F81 (odd) and 0x3F82 (even): ties up.
+  EXPECT_EQ(enc(0x3F81'8000u), 0x3F82u);
+  // One ULP above / below the midpoint rounds to the nearer value.
+  EXPECT_EQ(enc(0x3F80'8001u), 0x3F81u);
+  EXPECT_EQ(enc(0x3F80'7FFFu), 0x3F80u);
+  EXPECT_EQ(enc(0x3F80'FFFFu), 0x3F81u);
+}
+
+TEST(Bf16Conversion, SpecialValues) {
+  EXPECT_EQ(bf16_from_f32(0.0f), 0x0000u);
+  EXPECT_EQ(bf16_from_f32(-0.0f), 0x8000u);
+  EXPECT_EQ(bf16_from_f32(std::numeric_limits<float>::infinity()), 0x7F80u);
+  EXPECT_EQ(bf16_from_f32(-std::numeric_limits<float>::infinity()), 0xFF80u);
+  // A signaling NaN with a tiny payload must not truncate to Inf; the
+  // encoder quiets it instead.
+  const std::uint16_t snan = bf16_from_f32(std::bit_cast<float>(0x7F80'0001u));
+  EXPECT_EQ(snan & 0x7F80u, 0x7F80u);
+  EXPECT_NE(snan & 0x007Fu, 0);
+  // FLT_MAX sits above the largest finite bf16 midpoint, so RNE carries it
+  // into the exponent: Inf.
+  EXPECT_EQ(bf16_from_f32(std::numeric_limits<float>::max()), 0x7F80u);
+  // bf16 shares the fp32 exponent: its smallest denormal is 2^-133...
+  EXPECT_EQ(bf16_from_f32(std::ldexp(1.0f, -133)), 0x0001u);
+  // ...and the smallest fp32 denormal (2^-149) rounds to zero.
+  EXPECT_EQ(bf16_from_f32(std::bit_cast<float>(0x0000'0001u)), 0x0000u);
+}
+
+TEST(Fp16Conversion, OverflowAndMaxFinite) {
+  EXPECT_EQ(f16_from_f32(65504.0f), 0x7BFFu);  // largest finite half
+  EXPECT_EQ(f16_from_f32(-65504.0f), 0xFBFFu);
+  EXPECT_EQ(f16_from_f32(65505.0f), 0x7BFFu);  // below midpoint: rounds down
+  EXPECT_EQ(f16_from_f32(65520.0f), 0x7C00u);  // midpoint: RNE carries to Inf
+  EXPECT_EQ(f16_from_f32(65536.0f), 0x7C00u);
+  EXPECT_EQ(f16_from_f32(1e30f), 0x7C00u);
+  EXPECT_EQ(f16_from_f32(std::numeric_limits<float>::infinity()), 0x7C00u);
+  EXPECT_EQ(f16_from_f32(-std::numeric_limits<float>::infinity()), 0xFC00u);
+}
+
+TEST(Fp16Conversion, DenormalsAndFlushToZero) {
+  EXPECT_EQ(f16_from_f32(std::ldexp(1.0f, -14)), 0x0400u);  // smallest normal
+  EXPECT_EQ(f16_from_f32(std::ldexp(1.0f, -15)), 0x0200u);  // denormal
+  EXPECT_EQ(f16_from_f32(std::ldexp(1.0f, -24)), 0x0001u);  // smallest denorm
+  // 2^-25 is exactly half the smallest denormal: ties to (even) zero.
+  EXPECT_EQ(f16_from_f32(std::ldexp(1.0f, -25)), 0x0000u);
+  // 1.5 * 2^-24 is halfway between denormals 1 and 2: ties to even (2).
+  EXPECT_EQ(f16_from_f32(std::ldexp(1.5f, -24)), 0x0002u);
+  EXPECT_EQ(f16_from_f32(std::ldexp(1.0f, -30)), 0x0000u);  // deep underflow
+  EXPECT_EQ(f16_from_f32(-std::ldexp(1.0f, -30)), 0x8000u);  // sign survives
+  EXPECT_EQ(f16_from_f32(0.0f), 0x0000u);
+  EXPECT_EQ(f16_from_f32(-0.0f), 0x8000u);
+}
+
+TEST(Fp16Conversion, RoundsToNearestEven) {
+  EXPECT_EQ(f16_from_f32(1.0f), 0x3C00u);
+  EXPECT_EQ(f16_from_f32(0.5f), 0x3800u);
+  // 1 + 2^-11 is halfway between 0x3C00 (even) and 0x3C01: ties down.
+  EXPECT_EQ(f16_from_f32(1.0f + std::ldexp(1.0f, -11)), 0x3C00u);
+  // 1 + 3*2^-11 is halfway between 0x3C01 (odd) and 0x3C02: ties up.
+  EXPECT_EQ(f16_from_f32(1.0f + std::ldexp(3.0f, -11)), 0x3C02u);
+}
+
+TEST(BulkConversion, MatchesScalarsAndQuantizeComposes) {
+  std::vector<float> src = {0.0f,
+                            -0.0f,
+                            1.0f,
+                            -1.0f,
+                            3.14159f,
+                            65504.0f,
+                            1e30f,
+                            std::ldexp(1.0f, -20),
+                            std::numeric_limits<float>::infinity(),
+                            std::numeric_limits<float>::quiet_NaN()};
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    src.push_back(static_cast<float>(rng.uniform(-10.0, 10.0)));
+  }
+  for (const Precision p : {Precision::Bf16, Precision::Fp16}) {
+    std::vector<std::uint16_t> bulk(src.size());
+    encode16_n(src.data(), bulk.data(), src.size(), p);
+    std::vector<float> decoded(src.size());
+    decode16_n(bulk.data(), decoded.data(), src.size(), p);
+    std::vector<float> quantized = src;
+    quantize_inplace(quantized.data(), quantized.size(), p);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      EXPECT_EQ(bulk[i], encode16(src[i], p)) << "i=" << i;
+      const float scalar = decode16(bulk[i], p);
+      if (std::isnan(scalar)) {
+        EXPECT_TRUE(std::isnan(decoded[i]));
+        EXPECT_TRUE(std::isnan(quantized[i]));
+      } else {
+        EXPECT_EQ(decoded[i], scalar) << "i=" << i;
+        EXPECT_EQ(quantized[i], scalar) << "i=" << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- 16-bit packed GEMM ----
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed,
+                              double lo = -1.0, double hi = 1.0) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return v;
+}
+
+// With p == Fp32, gemm_mixed must be byte-for-byte the fp32 engine: the
+// precision knob's default cannot perturb existing results.
+TEST(GemmMixed, Fp32IsBitIdenticalToGemm) {
+  const std::size_t m = 33, k = 47, n = 29;
+  const std::vector<float> a = random_vec(m * k, 1);
+  const std::vector<float> b = random_vec(k * n, 2);
+  std::vector<float> c_ref(m * n, 0.0f);
+  std::vector<float> c_mixed(m * n, 0.0f);
+  gemm(a.data(), b.data(), c_ref.data(), m, k, n, false);
+  gemm_mixed(a.data(), b.data(), c_mixed.data(), m, k, n, false,
+             Precision::Fp32);
+  EXPECT_EQ(0, std::memcmp(c_ref.data(), c_mixed.data(),
+                           m * n * sizeof(float)));
+}
+
+// The 16-bit path's only value loss is the pack-time encode: running the
+// naive oracle on pre-quantized operands must agree to fp32 accumulation
+// noise (the packed kernel sums in a different fixed order).
+TEST(GemmMixed, MatchesNaiveOracleOnQuantizedOperands) {
+  const std::size_t m = 37, k = 53, n = 29;
+  for (const Precision p : {Precision::Bf16, Precision::Fp16}) {
+    const std::vector<float> a = random_vec(m * k, 3);
+    const std::vector<float> b = random_vec(k * n, 4);
+    std::vector<float> aq = a, bq = b;
+    quantize_inplace(aq.data(), aq.size(), p);
+    quantize_inplace(bq.data(), bq.size(), p);
+    std::vector<float> c_ref(m * n, 0.0f);
+    matmul_naive(aq.data(), bq.data(), c_ref.data(), m, k, n, false);
+    std::vector<float> c(m * n, 0.0f);
+    gemm_mixed(a.data(), b.data(), c.data(), m, k, n, false, p);
+    for (std::size_t i = 0; i < m * n; ++i) {
+      ASSERT_NEAR(c[i], c_ref[i], 1e-4f * (std::fabs(c_ref[i]) + 1.0f))
+          << precision_name(p) << " i=" << i;
+    }
+  }
+}
+
+// Accuracy vs the *unquantized* fp32 oracle, with the worst-case bound the
+// format implies: one RNE encode per operand element costs at most 2^-9
+// (bf16, 8-bit mantissa) / 2^-12 (fp16, 11-bit) relative each, so a length-k
+// dot product of values in [-1, 1] is off by at most ~k * 2 * eps_fmt.
+TEST(GemmMixed, WithinDocumentedBoundOfFp32Oracle) {
+  const std::size_t m = 16, k = 64, n = 24;
+  const std::vector<float> a = random_vec(m * k, 5);
+  const std::vector<float> b = random_vec(k * n, 6);
+  std::vector<float> c_ref(m * n, 0.0f);
+  matmul_naive(a.data(), b.data(), c_ref.data(), m, k, n, false);
+  const struct {
+    Precision p;
+    double eps;
+  } cases[] = {{Precision::Bf16, std::ldexp(1.0, -9)},
+               {Precision::Fp16, std::ldexp(1.0, -12)}};
+  for (const auto& cse : cases) {
+    std::vector<float> c(m * n, 0.0f);
+    gemm_mixed(a.data(), b.data(), c.data(), m, k, n, false, cse.p);
+    const double bound = 2.0 * cse.eps * static_cast<double>(k);
+    for (std::size_t i = 0; i < m * n; ++i) {
+      ASSERT_LE(std::fabs(c[i] - c_ref[i]), bound)
+          << precision_name(cse.p) << " i=" << i;
+    }
+  }
+}
+
+// Explicit pack + gemm_packed_16 is the path the conv engine drives; it
+// must match the convenience wrapper bit for bit, and accumulate must add
+// the same tile it would have stored.
+TEST(GemmPacked16, ExplicitPackMatchesWrapperAndAccumulates) {
+  const std::size_t m = 19, k = 31, n = 41;
+  const std::vector<float> a = random_vec(m * k, 7);
+  const std::vector<float> b = random_vec(k * n, 8);
+  for (const Precision p : {Precision::Bf16, Precision::Fp16}) {
+    std::vector<float> c_wrap(m * n, 0.0f);
+    gemm_mixed(a.data(), b.data(), c_wrap.data(), m, k, n, false, p);
+
+    std::vector<std::uint16_t> pa(packed_a_size(m, k));
+    std::vector<std::uint16_t> pb(packed_b_size(k, n));
+    pack_a_16(a.data(), k, m, k, pa.data(), p);
+    pack_b_16(b.data(), n, k, n, pb.data(), p);
+    std::vector<float> c(m * n, 0.0f);
+    gemm_packed_16(pa.data(), pb.data(), c.data(), n, m, k, n, false, p);
+    EXPECT_EQ(0,
+              std::memcmp(c.data(), c_wrap.data(), m * n * sizeof(float)));
+
+    std::vector<float> c_acc(m * n, 1.0f);
+    gemm_packed_16(pa.data(), pb.data(), c_acc.data(), n, m, k, n, true, p);
+    for (std::size_t i = 0; i < m * n; ++i) {
+      ASSERT_NEAR(c_acc[i], 1.0f + c[i], 1e-5f) << "i=" << i;
+    }
+  }
+}
+
+TEST(GemmPacked16, PackBytesCounterCounts) {
+  const auto counter =
+      obs::MetricsRegistry::global().counter("tensor/pack_bytes_bf16");
+  const std::uint64_t before = counter->value();
+  const std::size_t m = 8, k = 16, n = 8;
+  const std::vector<float> a = random_vec(m * k, 9);
+  const std::vector<float> b = random_vec(k * n, 10);
+  std::vector<float> c(m * n, 0.0f);
+  gemm_mixed(a.data(), b.data(), c.data(), m, k, n, false, Precision::Bf16);
+  // Both panels are zero-padded to full tiles and counted at 2 bytes/elem.
+  const std::uint64_t expected =
+      2 * (packed_a_size(m, k) + packed_b_size(k, n));
+  EXPECT_EQ(counter->value() - before, expected);
+}
+
+// ------------------------------------------------- conv under the knob ----
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(ConvPrecision, Bf16ForwardMatchesNaiveWithinBound) {
+  // Both dispatch targets: the direct 3x3/s1/p1 path and the general
+  // im2col+GEMM path (5x5, stride 2).
+  const struct {
+    Conv2dSpec spec;
+    std::size_t hw;
+  } cases[] = {{{3, 5, 3, 1, 1}, 8}, {{3, 4, 5, 2, 2}, 9}};
+  for (const auto& cse : cases) {
+    const Tensor input = random_tensor({2, 3, cse.hw, cse.hw}, 11);
+    const Tensor weight = random_tensor(cse.spec.weight_shape(), 12);
+    const Tensor bias = random_tensor({cse.spec.out_channels}, 13);
+    const Tensor ref = conv2d_forward_naive(input, weight, bias, cse.spec);
+    ScopedKernelPrecision scoped(Precision::Bf16);
+    const Tensor out = conv2d_forward(input, weight, bias, cse.spec);
+    ASSERT_EQ(out.shape(), ref.shape());
+    // Reduction length C*K*K with operands in [-1,1]; bf16 encode costs at
+    // most 2^-9 relative per operand.
+    const double bound =
+        2.0 * std::ldexp(1.0, -9) *
+        static_cast<double>(cse.spec.in_channels * cse.spec.kernel *
+                            cse.spec.kernel) +
+        1e-4;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      ASSERT_LE(std::fabs(out[i] - ref[i]), bound) << "i=" << i;
+    }
+  }
+}
+
+TEST(ConvPrecision, Fp32KnobIsBitIdenticalToDefault) {
+  const Conv2dSpec spec{3, 6, 3, 1, 1};
+  const Tensor input = random_tensor({2, 3, 10, 10}, 14);
+  const Tensor weight = random_tensor(spec.weight_shape(), 15);
+  const Tensor bias = random_tensor({spec.out_channels}, 16);
+  const Tensor ref = conv2d_forward(input, weight, bias, spec);
+  ScopedKernelPrecision scoped(Precision::Fp32);
+  const Tensor out = conv2d_forward(input, weight, bias, spec);
+  ASSERT_EQ(out.numel(), ref.numel());
+  EXPECT_EQ(0, std::memcmp(out.data().data(), ref.data().data(),
+                           out.numel() * sizeof(float)));
+}
+
+TEST(ConvPrecision, Bf16BitIdenticalAcrossThreadCounts) {
+  const Conv2dSpec spec{4, 6, 3, 1, 1};
+  const Tensor input = random_tensor({3, 4, 12, 12}, 17);
+  const Tensor weight = random_tensor(spec.weight_shape(), 18);
+  const Tensor bias = random_tensor({spec.out_channels}, 19);
+  ScopedKernelPrecision scoped(Precision::Bf16);
+  ThreadPool solo(1);
+  ThreadPool wide(4);
+  const Tensor a = conv2d_forward(solo, input, weight, bias, spec);
+  const Tensor b = conv2d_forward(wide, input, weight, bias, spec);
+  ASSERT_EQ(a.numel(), b.numel());
+  EXPECT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                           a.numel() * sizeof(float)));
+}
+
+TEST(ConvPrecision, ScopedKnobRestores) {
+  EXPECT_EQ(kernel_precision(), Precision::Fp32);
+  {
+    ScopedKernelPrecision outer(Precision::Bf16);
+    EXPECT_EQ(kernel_precision(), Precision::Bf16);
+    {
+      ScopedKernelPrecision inner(Precision::Fp16);
+      EXPECT_EQ(kernel_precision(), Precision::Fp16);
+    }
+    EXPECT_EQ(kernel_precision(), Precision::Bf16);
+  }
+  EXPECT_EQ(kernel_precision(), Precision::Fp32);
+}
+
+// ------------------------------------------------- compressed wire -------
+
+TEST(WireBytes, SizesPerFormat) {
+  comm::CollectiveDesc desc;
+  desc.bytes = 1024 * sizeof(float);
+  EXPECT_EQ(comm::wire_bytes(desc), 4096u);
+  desc.wire = comm::WireFormat::Fp16;
+  EXPECT_EQ(comm::wire_bytes(desc), 2048u);
+  desc.wire = comm::WireFormat::Bf16;
+  EXPECT_EQ(comm::wire_bytes(desc), 2048u);
+  desc.wire = comm::WireFormat::TopK;
+  desc.topk_fraction = 0.01;
+  EXPECT_EQ(comm::wire_bytes(desc), 10u * 6u);  // 10 kept index/value pairs
+  desc.bytes = 4 * sizeof(float);  // fraction rounds down to zero elements...
+  EXPECT_EQ(comm::wire_bytes(desc), 6u);  // ...but at least one is kept
+}
+
+TEST(WireBytes, TracedOpNameCarriesTheWire) {
+  comm::CollectiveDesc desc;
+  EXPECT_EQ(comm::traced_op_name(desc), "allreduce");
+  desc.wire = comm::WireFormat::Fp16;
+  EXPECT_EQ(comm::traced_op_name(desc), "allreduce.fp16");
+  desc.wire = comm::WireFormat::TopK;
+  EXPECT_EQ(comm::traced_op_name(desc), "allreduce.topk");
+}
+
+/// Per-rank buffers with deterministic contents (the test_data_allreduce
+/// fixture, local copy).
+struct Fixture {
+  std::vector<std::vector<float>> storage;
+
+  Fixture(std::size_t ranks, std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    storage.resize(ranks);
+    for (auto& buf : storage) {
+      buf.resize(n);
+      for (float& v : buf) {
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+    }
+  }
+
+  std::vector<std::span<float>> spans() {
+    std::vector<std::span<float>> s;
+    s.reserve(storage.size());
+    for (auto& buf : storage) {
+      s.emplace_back(buf);
+    }
+    return s;
+  }
+};
+
+void run_data_plane_allreduce(std::vector<std::span<float>>& payload,
+                              comm::WireFormat wire, double topk_fraction) {
+  comm::LocalRingBackend backend;
+  comm::CollectiveDesc desc;
+  desc.op = comm::Op::Allreduce;
+  desc.bytes = payload.front().size() * sizeof(float);
+  desc.payload = &payload;
+  desc.average = true;
+  desc.wire = wire;
+  desc.topk_fraction = topk_fraction;
+  const comm::Handle h = backend.post(desc, 0.0);
+  backend.wait(h);
+}
+
+// The fp16/bf16 wire is exactly "quantize every rank, then the fp32 ring":
+// the backend must match that oracle bit for bit (same deterministic ring).
+TEST(CompressedWire, QuantizedAllreduceMatchesOracle) {
+  const std::size_t ranks = 3, n = 257;
+  const struct {
+    comm::WireFormat wire;
+    Precision p;
+  } cases[] = {{comm::WireFormat::Fp16, Precision::Fp16},
+               {comm::WireFormat::Bf16, Precision::Bf16}};
+  for (const auto& cse : cases) {
+    Fixture actual(ranks, n, 21);
+    Fixture oracle = actual;
+    auto actual_spans = actual.spans();
+    run_data_plane_allreduce(actual_spans, cse.wire, 0.01);
+
+    auto oracle_spans = oracle.spans();
+    for (auto& span : oracle_spans) {
+      quantize_inplace(span.data(), span.size(), cse.p);
+    }
+    mpisim::ring_allreduce_average(oracle_spans);
+
+    for (std::size_t r = 0; r < ranks; ++r) {
+      EXPECT_EQ(actual.storage[r], oracle.storage[r])
+          << comm::wire_format_name(cse.wire) << " rank " << r;
+    }
+  }
+}
+
+TEST(CompressedWire, TopkSparsifiesDeterministically) {
+  const std::size_t ranks = 3, n = 100;
+  const double fraction = 0.05;  // keep 5 elements per rank
+  Fixture actual(ranks, n, 22);
+  Fixture oracle = actual;
+  Fixture again = actual;
+  auto actual_spans = actual.spans();
+  run_data_plane_allreduce(actual_spans, comm::WireFormat::TopK, fraction);
+
+  // Oracle: per-rank threshold at the k-th largest |v|, drop below it,
+  // fp16-quantize the survivors, then the plain fp32 ring.
+  auto oracle_spans = oracle.spans();
+  for (auto& span : oracle_spans) {
+    std::vector<float> mags(span.size());
+    for (std::size_t i = 0; i < span.size(); ++i) {
+      mags[i] = std::fabs(span[i]);
+    }
+    std::nth_element(mags.begin(), mags.begin() + 4, mags.end(),
+                     std::greater<float>());
+    const float threshold = mags[4];
+    for (float& v : span) {
+      if (std::fabs(v) < threshold) {
+        v = 0.0f;
+      }
+    }
+    quantize_inplace(span.data(), span.size(), Precision::Fp16);
+  }
+  mpisim::ring_allreduce_average(oracle_spans);
+
+  std::size_t nonzero = 0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    EXPECT_EQ(actual.storage[r], oracle.storage[r]) << "rank " << r;
+    // Every replica holds the same reduced vector.
+    EXPECT_EQ(actual.storage[r], actual.storage[0]);
+  }
+  for (const float v : actual.storage[0]) {
+    nonzero += v != 0.0f;
+  }
+  // At most ranks * k contributions survive (fewer if selections overlap).
+  EXPECT_LE(nonzero, ranks * 5u);
+  EXPECT_GT(nonzero, 0u);
+
+  auto again_spans = again.spans();
+  run_data_plane_allreduce(again_spans, comm::WireFormat::TopK, fraction);
+  EXPECT_EQ(again.storage, actual.storage);
+}
+
+TEST(CompressedWire, WireBytesCounterCountsOnTheWireBytes) {
+  const auto counter =
+      obs::MetricsRegistry::global().counter("comm/wire_bytes_fp16");
+  const std::uint64_t before = counter->value();
+  Fixture fx(2, 64, 23);
+  auto spans = fx.spans();
+  run_data_plane_allreduce(spans, comm::WireFormat::Fp16, 0.01);
+  EXPECT_EQ(counter->value() - before, 64u * sizeof(float) / 2);
+}
+
+// ------------------------------------------------- end-to-end training ----
+
+hvd::WorkerGroup make_group(std::size_t workers, std::uint64_t seed_base,
+                            comm::LocalRingConfig comm_cfg) {
+  auto seed = std::make_shared<std::uint64_t>(seed_base);
+  return hvd::WorkerGroup(
+      workers,
+      [seed]() {
+        Rng rng((*seed)++);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(), rng);
+      },
+      [](std::vector<nn::ParamRef> params) {
+        return std::make_unique<nn::Adam>(std::move(params), 1e-3);
+      },
+      hvd::LossKind::L1, comm_cfg);
+}
+
+Tensor random_image(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform());
+  }
+  return t;
+}
+
+// Compression is lossy but symmetric: every replica sees the same reduced
+// gradient, so replicas must stay bit-identical through training for every
+// wire format.
+TEST(CompressedWire, ReplicasStayInSyncThroughTraining) {
+  for (const comm::WireFormat wire :
+       {comm::WireFormat::Fp16, comm::WireFormat::Bf16,
+        comm::WireFormat::TopK}) {
+    comm::LocalRingConfig cfg;
+    cfg.wire = wire;
+    cfg.topk_fraction = 0.25;
+    hvd::WorkerGroup group = make_group(2, 700, cfg);
+    group.broadcast_parameters();
+    const std::vector<Tensor> inputs = {random_image({1, 3, 6, 6}, 1),
+                                        random_image({1, 3, 6, 6}, 2)};
+    const std::vector<Tensor> targets = {random_image({1, 3, 12, 12}, 3),
+                                         random_image({1, 3, 12, 12}, 4)};
+    for (int step = 0; step < 3; ++step) {
+      group.train_step(inputs, targets);
+      EXPECT_TRUE(group.replicas_in_sync())
+          << comm::wire_format_name(wire) << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlsr

@@ -17,6 +17,8 @@
 //   dlsr profile --backend MPI-Opt --nodes 1 --steps 100
 //   dlsr train --workers 4 --steps 50 --checkpoint /tmp/edsr.ckpt
 //   dlsr train --workers 4 --inflight-buffers 4
+//   dlsr train --workers 4 --precision bf16 --wire fp16
+//   dlsr simulate --nodes 32 --gradient-dtype fp16
 //   dlsr train --trace-out trace.json --metrics-out metrics.json
 //   dlsr train --flight-recorder --stall-timeout 30
 //   dlsr trace-summary trace.json
@@ -238,6 +240,13 @@ void define_fusion_flags(Flags& flags) {
   flags.define("inflight-buffers",
                "fused buffers allowed in flight concurrently (1 = serial)",
                std::nullopt);
+  flags.define("gradient-dtype",
+               "gradient wire format: fp32, fp16, bf16, or topk "
+               "(HOROVOD_COMPRESSION-style payload compression)",
+               std::nullopt);
+  flags.define("topk-fraction",
+               "fraction of gradient elements kept by the topk wire",
+               std::nullopt);
 }
 
 /// Applies the fusion flags onto a job config copy.
@@ -252,6 +261,12 @@ void apply_fusion_flags(const Flags& flags, core::TrainingJobConfig& job) {
   if (flags.has("inflight-buffers")) {
     job.fusion.inflight_buffers =
         static_cast<std::size_t>(flags.get_int("inflight-buffers"));
+  }
+  if (flags.has("gradient-dtype")) {
+    job.fusion.wire = comm::parse_wire_format(flags.get("gradient-dtype"));
+  }
+  if (flags.has("topk-fraction")) {
+    job.fusion.topk_fraction = flags.get_double("topk-fraction");
   }
 }
 
@@ -430,6 +445,16 @@ int cmd_train(int argc, const char* const* argv) {
   flags.define("loader-delay-ms",
                "injected per-step decode latency in ms (demo/bench knob)",
                "0");
+  flags.define("precision",
+               "forward-pass kernel precision: fp32, bf16, or fp16 "
+               "(16-bit packed GEMM panels, fp32 accumulation)",
+               "fp32");
+  flags.define("wire",
+               "gradient allreduce wire format: fp32, fp16, bf16, or topk",
+               "fp32");
+  flags.define("topk-fraction",
+               "fraction of gradient elements kept by the topk wire",
+               "0.01");
   flags.define("crash-with",
                "inject a fault after training (segv|abort|throw) to "
                "exercise the flight recorder",
@@ -458,6 +483,9 @@ int cmd_train(int argc, const char* const* argv) {
       static_cast<std::size_t>(flags.get_int("prefetch-depth"));
   cfg.data_threads = static_cast<std::size_t>(flags.get_int("data-threads"));
   cfg.loader_delay_ms = flags.get_double("loader-delay-ms");
+  cfg.precision = parse_precision(flags.get("precision"));
+  cfg.wire_format = comm::parse_wire_format(flags.get("wire"));
+  cfg.topk_fraction = flags.get_double("topk-fraction");
   std::uint64_t seed = 7;
   core::TrainingSession session(
       dataset,
@@ -472,10 +500,11 @@ int cmd_train(int argc, const char* const* argv) {
 
   const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
   const core::SessionStats stats = session.run_steps(steps);
-  std::printf("trained %zu steps on %zu workers: loss %.4f -> %.4f, "
-              "val PSNR %.2f dB\n",
-              stats.steps, cfg.workers, stats.first_loss, stats.last_loss,
-              session.validate_psnr(2));
+  std::printf("trained %zu steps on %zu workers (%s kernels, %s wire): "
+              "loss %.4f -> %.4f, val PSNR %.2f dB\n",
+              stats.steps, cfg.workers, precision_name(cfg.precision),
+              comm::wire_format_name(cfg.wire_format), stats.first_loss,
+              stats.last_loss, session.validate_psnr(2));
   if (const data::TrainLoader* loader = session.loader()) {
     const data::LoaderStats ls = loader->stats();
     std::printf("data pipeline: %zu batches prefetched, consumer wait "
