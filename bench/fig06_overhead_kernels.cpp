@@ -47,13 +47,16 @@ int main() {
     sim::Cluster cluster(sim::ClusterSpec::lassen(1));
     const std::size_t local = cluster.gpus_per_node();
     const std::size_t foreign = p.env.foreign_contexts_per_gpu(local);
-    // Book every process's context(s) on the accountant of GPU 0.
+    // Book every process's context(s) on the accountant of GPU 0. Tags
+    // are interned once; the booking loop is index-only.
     sim::GpuMemory& gpu = cluster.gpu_memory(0);
-    if (!gpu.allocate("own-context", perf::kCudaContextBytes)) {
+    const sim::GpuMemory::TagId own = gpu.intern("own-context");
+    const sim::GpuMemory::TagId foreign_tag = gpu.intern("foreign-contexts");
+    if (!gpu.allocate(own, perf::kCudaContextBytes)) {
       bench::print_note("context allocation failed — unexpected");
     }
     for (std::size_t f = 0; f < foreign; ++f) {
-      (void)gpu.allocate("foreign-contexts", perf::kCudaContextBytes);
+      (void)gpu.allocate(foreign_tag, perf::kCudaContextBytes);
     }
     const std::size_t free_bytes = gpu.available();
     // Largest batch whose remaining training footprint fits.

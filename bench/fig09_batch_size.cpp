@@ -6,11 +6,16 @@
 // throughput saturating once per-iteration overheads are amortized, and the
 // memory model marks configurations that exceed the 16 GB device.
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hpp"
+#include "core/training_session.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "mem/registry.hpp"
 #include "models/edsr.hpp"
 #include "models/edsr_graph.hpp"
 #include "perf/v100_model.hpp"
+#include "sim/gpu_memory.hpp"
 
 int main() {
   using namespace dlsr;
@@ -55,5 +60,78 @@ int main() {
                 strfmt("%.2f", extra / 1e9), strfmt("%zu", max_batch)});
   }
   bench::print_table(t2);
+
+  // Activation-planner counterpoint: train a few real steps with the
+  // lifetime planner and measure its packing ratio (planned slot bytes /
+  // per-step allocation demand), then rerun the memory model with the
+  // activation term scaled by it. This is the measured version of
+  // gradient-checkpointing-style curves: same model, same batch, smaller
+  // resident activations, larger feasible batch.
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size = 64;
+  const img::SyntheticDiv2k dataset(data_cfg);
+  core::SessionConfig cfg;
+  cfg.workers = 1;
+  cfg.train_pool = 2;
+  cfg.activation_memory = mem::ActivationMemory::kPlanned;
+  std::uint64_t seed = 7;
+  core::TrainingSession session(
+      dataset,
+      [&seed] {
+        Rng rng(seed);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(),
+                                              rng);
+      },
+      cfg);
+  (void)session.run_steps(6);
+  const mem::ActivationPlan* plan = session.workers().activation_plan();
+  if (plan != nullptr && plan->planned() &&
+      plan->recorded_demand_bytes() > 0) {
+    const double reuse =
+        static_cast<double>(plan->planned_peak_bytes()) /
+        static_cast<double>(plan->recorded_demand_bytes());
+    std::printf("\nmeasured activation reuse (tiny EDSR, %zu slots): "
+                "planned %.2f MiB / demand %.2f MiB = %.3f\n",
+                plan->slot_count(),
+                plan->planned_peak_bytes() / 1048576.0,
+                plan->recorded_demand_bytes() / 1048576.0, reuse);
+    Table t3({"Batch", "Memory (GB)", "Planned (GB)", "Fits 16 GB"});
+    for (const std::size_t batch : {4ul, 8ul, 16ul, 32ul, 64ul}) {
+      const std::size_t naive = perf.training_memory_bytes(graph, batch);
+      const std::size_t planned =
+          perf.training_memory_bytes(graph, batch, 0, reuse);
+      t3.add_row({strfmt("%zu", batch), strfmt("%.2f", naive / 1e9),
+                  strfmt("%.2f", planned / 1e9),
+                  perf.fits_in_memory(graph, batch, 0, reuse)
+                      ? "yes"
+                      : "NO (OOM)"});
+    }
+    bench::print_table(t3);
+    std::size_t naive_max = 0;
+    std::size_t planned_max = 0;
+    for (std::size_t b = 1; b <= 256; ++b) {
+      if (perf.fits_in_memory(graph, b)) {
+        naive_max = b;
+      }
+      if (perf.fits_in_memory(graph, b, 0, reuse)) {
+        planned_max = b;
+      }
+    }
+    bench::print_note(strfmt("planner moves the max feasible batch from "
+                             "%zu to %zu on the 16 GB budget",
+                             naive_max, planned_max));
+
+    // Bridge to the simulator: the 16 GB accountant books the process's
+    // REAL pool peaks (weights/gradients/activations/scratch) from the
+    // registry, so the simulated budget derives from measured allocator
+    // behavior instead of hand-tuned constants.
+    sim::GpuMemory gpu("v100", perf::GpuSpec::v100_16gb().memory_bytes);
+    if (gpu.book_pool_peaks(mem::Registry::global())) {
+      std::printf("\nregistry pool peaks booked on the simulated V100:\n");
+      for (const auto& [tag, bytes] : gpu.breakdown()) {
+        std::printf("  %-18s %8.2f MiB\n", tag.c_str(), bytes / 1048576.0);
+      }
+    }
+  }
   return 0;
 }

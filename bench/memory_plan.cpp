@@ -1,0 +1,186 @@
+// memory_plan — the activation lifetime planner on the real trainer.
+//
+// Three claims, all gated:
+//   1. bit identity — heap and planned runs at equal seed end on the exact
+//      same loss (exit 1 on any divergence; allocation strategy must never
+//      change the math),
+//   2. footprint — the planned slot bytes are a fraction of one step's
+//      allocation demand (the packing ratio the perf model's
+//      activation_reuse parameter consumes),
+//   3. zero-alloc steady state — once the plan replays, further steps add
+//      ZERO upstream heap allocations to the activations pool, measured by
+//      the mem::Registry counters (exit 1 if the loop still allocates).
+//
+// Emits a dlsr-bench-v1 envelope for `dlsr perf-compare` against
+// bench/baselines/memory_plan.json.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/training_session.hpp"
+#include "mem/plan.hpp"
+#include "mem/registry.hpp"
+#include "models/edsr.hpp"
+
+namespace dlsr::mem {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags;
+  flags.define("smoke", "shrink the run (CI mode)", "false");
+  flags.define("out", "perf-gate envelope output path",
+               "BENCH_memory_plan.json");
+  flags.define("steps", "training steps per configuration", "24");
+  flags.define("workers", "data-parallel replicas", "2");
+  flags.define("patch", "LR training patch side", "14");
+  flags.define("seed", "rng seed", "13");
+  flags.parse(argc, argv);
+
+  const bool smoke = flags.get_bool("smoke");
+  const std::size_t steps =
+      smoke ? 8 : static_cast<std::size_t>(flags.get_int("steps"));
+
+  bench::print_header("memory_plan",
+                      "activation lifetime planner vs heap allocation on "
+                      "the real trainer");
+
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size = 40;
+  const img::SyntheticDiv2k dataset(data_cfg);
+
+  core::SessionConfig base;
+  base.workers = static_cast<std::size_t>(flags.get_int("workers"));
+  base.batch_per_worker = 2;
+  base.lr_patch = static_cast<std::size_t>(flags.get_int("patch"));
+  base.train_pool = 6;
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  const auto make_model = [&flags] {
+    Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")) + 1);
+    return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(), rng);
+  };
+
+  struct Outcome {
+    double last_loss = 0.0;
+    std::size_t planned_bytes = 0;
+    std::size_t demand_bytes = 0;
+    std::size_t live_peak_bytes = 0;
+    std::size_t slots = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t steady_upstream_allocs = 0;
+  };
+
+  const auto measure = [&](ActivationMemory mode) {
+    core::SessionConfig cfg = base;
+    cfg.activation_memory = mode;
+    core::TrainingSession session(dataset, make_model, cfg);
+    // Warmup covers the planner's record/observe/build phases (steps 1-3)
+    // plus one replay step that retires the record slabs.
+    const std::size_t warmup = std::min<std::size_t>(5, steps / 2 + 1);
+    (void)session.run_steps(warmup);
+    // Heap-mode step temporaries are unscoped (default pool); planned ones
+    // live in the activations pool. Watch the pool the mode actually uses.
+    const PoolId watched = mode == ActivationMemory::kHeap
+                               ? PoolId::kDefault
+                               : PoolId::kActivations;
+    const std::uint64_t upstream_before =
+        Registry::global().stats(watched).upstream_allocs;
+    const core::SessionStats stats = session.run_steps(steps - warmup);
+    Outcome o;
+    o.last_loss = stats.last_loss;
+    o.steady_upstream_allocs =
+        Registry::global().stats(watched).upstream_allocs - upstream_before;
+    if (const ActivationPlan* plan = session.workers().activation_plan()) {
+      o.planned_bytes = plan->planned_peak_bytes();
+      o.demand_bytes = plan->recorded_demand_bytes();
+      o.live_peak_bytes = plan->recorded_live_peak_bytes();
+      o.slots = plan->slot_count();
+      o.fallbacks = plan->fallback_allocs();
+    }
+    return o;
+  };
+
+  const Outcome heap = measure(ActivationMemory::kHeap);
+  const Outcome planned = measure(ActivationMemory::kPlanned);
+
+  Table t({"config", "last loss", "slots", "planned KiB", "demand KiB",
+           "steady allocs"});
+  t.add_row({"heap", strfmt("%.6f", heap.last_loss), "-", "-", "-",
+             strfmt("%llu",
+                    static_cast<unsigned long long>(
+                        heap.steady_upstream_allocs))});
+  t.add_row({"planned", strfmt("%.6f", planned.last_loss),
+             strfmt("%zu", planned.slots),
+             strfmt("%.1f", planned.planned_bytes / 1024.0),
+             strfmt("%.1f", planned.demand_bytes / 1024.0),
+             strfmt("%llu", static_cast<unsigned long long>(
+                                planned.steady_upstream_allocs))});
+  bench::print_table(t);
+
+  if (planned.last_loss != heap.last_loss) {
+    std::printf("FAIL: losses diverged (%.9f vs %.9f) — the planner "
+                "changed the training math\n",
+                planned.last_loss, heap.last_loss);
+    return 1;
+  }
+  bench::print_note("bit-identical training: heap and planned runs ended "
+                    "on the exact same loss");
+
+  if (planned.demand_bytes == 0 || planned.fallbacks != 0) {
+    std::printf("FAIL: plan did not build cleanly (demand %zu, "
+                "fallbacks %llu)\n",
+                planned.demand_bytes,
+                static_cast<unsigned long long>(planned.fallbacks));
+    return 1;
+  }
+  const double reuse = static_cast<double>(planned.planned_bytes) /
+                       static_cast<double>(planned.demand_bytes);
+  std::printf("  packing: %zu slots hold %.1f KiB of a %.1f KiB/step "
+              "demand (reuse %.3f, live lower bound %.1f KiB)\n",
+              planned.slots, planned.planned_bytes / 1024.0,
+              planned.demand_bytes / 1024.0, reuse,
+              planned.live_peak_bytes / 1024.0);
+
+  if (planned.steady_upstream_allocs != 0) {
+    std::printf("FAIL: steady-state loop still hit the heap (%llu "
+                "upstream allocs in the activations pool)\n",
+                static_cast<unsigned long long>(
+                    planned.steady_upstream_allocs));
+    return 1;
+  }
+  bench::print_note("zero-alloc steady state: replay added no upstream "
+                    "heap traffic to the activations pool");
+
+  bench::ResultEnvelope envelope("memory_plan", smoke);
+  // Deterministic CPU byte counts — tolerances only absorb intentional
+  // model/planner changes, not machine noise.
+  envelope.metric("planned_peak_kib", planned.planned_bytes / 1024.0, "KiB",
+                  /*higher_is_better=*/false, /*tolerance_pct=*/10.0);
+  envelope.metric("activation_reuse_ratio", reuse, "x", false, 10.0);
+  envelope.metric("steady_state_upstream_allocs",
+                  static_cast<double>(planned.steady_upstream_allocs),
+                  "allocs", false, 0.0);
+  envelope.metric("replay_fallbacks",
+                  static_cast<double>(planned.fallbacks), "allocs", false,
+                  0.0);
+  envelope.extra(strfmt(
+      "{\"slots\":%zu,\"planned_bytes\":%zu,\"demand_bytes\":%zu,"
+      "\"live_peak_bytes\":%zu,\"heap_last_loss\":%.9f,"
+      "\"planned_last_loss\":%.9f,\"bit_identical\":%s}",
+      planned.slots, planned.planned_bytes, planned.demand_bytes,
+      planned.live_peak_bytes, heap.last_loss, planned.last_loss,
+      planned.last_loss == heap.last_loss ? "true" : "false"));
+  envelope.write(flags.get("out"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace dlsr::mem
+
+int main(int argc, char** argv) { return dlsr::mem::run(argc, argv); }

@@ -29,7 +29,7 @@ int main() {
   cfg.halo = 0;         // 0 = model receptive radius: bit-exact stitching
   cfg.max_batch = 8;    // tiles fused into one forward
   cfg.workers = 2;
-  cfg.cache_capacity = 16;
+  cfg.cache_capacity_bytes = 8ull << 20;  // results are ~100 KB each
   serve::SrServer server(model, cfg);
   std::printf("serving EDSR(tiny) x%zu, tile %zu, halo %zu\n",
               server.engine().scale(), cfg.tile_size, server.config().halo);

@@ -48,6 +48,7 @@ TrainingSession::TrainingSession(
             return cc;
           }()) {
   DLSR_CHECK(config_.workers > 0, "need at least one worker");
+  group_.set_activation_memory(config_.activation_memory);
   // Per-worker data shards: each worker samples from the same pool with an
   // independent stream (i.i.d. sharding, as Horovod's default sampler).
   // Both paths seed worker w with seed*7919+w, so the pipeline delivers

@@ -67,6 +67,11 @@ struct SessionConfig {
   comm::WireFormat wire_format = comm::WireFormat::Fp32;
   /// TopK wire only: fraction of gradient elements each rank keeps.
   double topk_fraction = 0.01;
+  /// Where step temporaries (activations, loss grads) live. kPlanned
+  /// records lifetimes once and replays from overlap-free slots — same
+  /// bits, smaller peak, zero steady-state allocations. kHeap is the
+  /// pre-mem default-pool behavior.
+  mem::ActivationMemory activation_memory = mem::ActivationMemory::kPlanned;
   std::uint64_t seed = 1;
 };
 

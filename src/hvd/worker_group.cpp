@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/error.hpp"
+#include "mem/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -113,12 +115,43 @@ void WorkerGroup::allreduce_gradients() {
   comm_.drain();
 }
 
+void WorkerGroup::set_activation_memory(mem::ActivationMemory mode) {
+  DLSR_CHECK(plan_ == nullptr && step_arena_ == nullptr,
+             "set_activation_memory after the first train_step");
+  activation_memory_ = mode;
+}
+
 WorkerStepResult WorkerGroup::train_step(const std::vector<Tensor>& inputs,
                                          const std::vector<Tensor>& targets) {
   DLSR_CHECK(inputs.size() == models_.size() &&
                  targets.size() == models_.size(),
              "one batch per worker required");
   OBS_SPAN("hvd", "train_step");
+
+  // Bind the step's activation allocator (if any) for the whole step:
+  // every temporary the replicas allocate below — layer caches, layer
+  // outputs, loss gradients — draws from it. Weights, gradients, and
+  // optimizer state are pinned to their own pools and unaffected.
+  std::optional<mem::ActivationPlan::StepScope> plan_scope;
+  std::optional<mem::ScopedAllocator> arena_scope;
+  if (activation_memory_ == mem::ActivationMemory::kPlanned) {
+    if (!plan_) {
+      plan_ = std::make_unique<mem::ActivationPlan>();
+    }
+    plan_scope.emplace(*plan_);
+  } else if (activation_memory_ == mem::ActivationMemory::kArena) {
+    if (!step_arena_) {
+      step_arena_ = std::make_unique<mem::BumpArena>(
+          mem::PoolId::kActivations);
+    }
+    // One step of hysteresis would be needed if any tensor outlived its
+    // step — none do here except layer caches, which are rewritten before
+    // being read — but reset() invalidates their tickets, forcing the
+    // rewrite down the safe re-allocate path.
+    step_arena_->reset();
+    arena_scope.emplace(step_arena_.get());
+  }
+
   WorkerStepResult result;
 
   // Forward (incl. loss): keeps per-worker loss gradients for backward.
@@ -164,6 +197,8 @@ WorkerStepResult WorkerGroup::train_step(const std::vector<Tensor>& inputs,
     }
   }
   optimizer_ms_->observe(ms_since(phase));
+
+  mem::Registry::global().publish_gauges();
   return result;
 }
 

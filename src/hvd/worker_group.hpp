@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "comm/data_plane.hpp"
+#include "mem/arena.hpp"
+#include "mem/plan.hpp"
 #include "nn/loss.hpp"
 #include "nn/module.hpp"
 #include "nn/optimizer.hpp"
@@ -70,11 +72,28 @@ class WorkerGroup {
   WorkerStepResult train_step(const std::vector<Tensor>& inputs,
                               const std::vector<Tensor>& targets);
 
+  /// Selects where step temporaries (activations, loss grads) live. Must
+  /// be called before the first train_step; the default (kHeap) is the
+  /// pre-mem behavior. All modes are bit-identical — tensors zero-fill on
+  /// construction regardless of allocator.
+  void set_activation_memory(mem::ActivationMemory mode);
+  mem::ActivationMemory activation_memory() const {
+    return activation_memory_;
+  }
+  /// Non-null once kPlanned mode has taken a step.
+  const mem::ActivationPlan* activation_plan() const { return plan_.get(); }
+
  private:
   void allreduce_gradients();
 
   LossKind loss_;
   comm::LocalRingBackend comm_;
+  mem::ActivationMemory activation_memory_ = mem::ActivationMemory::kHeap;
+  /// Declared before models_ so it is destroyed after them: replicas'
+  /// cached activation tensors hold tickets into the plan's storage and
+  /// their destructors must run while the plan still exists.
+  std::unique_ptr<mem::ActivationPlan> plan_;
+  std::unique_ptr<mem::BumpArena> step_arena_;  ///< kArena mode
   std::vector<std::unique_ptr<nn::Module>> models_;
   std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
   std::vector<std::vector<nn::ParamRef>> params_;  // cached per worker

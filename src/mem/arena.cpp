@@ -1,0 +1,84 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "mem/registry.hpp"
+
+namespace dlsr::mem {
+namespace {
+
+constexpr std::align_val_t kAlign{64};
+constexpr std::size_t kAlignFloats = 16;          // 64-byte lines
+constexpr std::size_t kMinSlabFloats = 1 << 16;   // 256 KiB
+
+std::size_t round_up(std::size_t count) {
+  return (count + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
+
+BumpArena::BumpArena(PoolId pool_id)
+    : pool_(Registry::global().pool(pool_id)) {}
+
+BumpArena::~BumpArena() {
+  for (Slab& slab : slabs_) {
+    pool_.on_upstream_free(slab.capacity * sizeof(float));
+    ::operator delete(slab.data, kAlign);
+  }
+}
+
+float* BumpArena::allocate(std::size_t count, std::uint64_t& out_ticket) {
+  const std::size_t rounded = round_up(std::max<std::size_t>(count, 1));
+  Slab* slab = nullptr;
+  for (Slab& s : slabs_) {
+    if (s.capacity - s.used >= rounded) {
+      slab = &s;
+      break;
+    }
+  }
+  if (slab == nullptr) {
+    std::size_t total = 0;
+    for (const Slab& s : slabs_) {
+      total += s.capacity;
+    }
+    Slab grown;
+    grown.capacity = std::max({rounded, kMinSlabFloats, total});
+    grown.data = static_cast<float*>(
+        ::operator new(grown.capacity * sizeof(float), kAlign));
+    pool_.on_upstream_alloc(grown.capacity * sizeof(float));
+    slabs_.push_back(grown);
+    slab = &slabs_.back();
+  }
+  float* ptr = slab->data + slab->used;
+  slab->used += rounded;
+  used_floats_ += rounded;
+  pool_.on_request(count * sizeof(float));
+  out_ticket = ticket::make(ticket::kFlagBump, generation_, ordinal_++);
+  return ptr;
+}
+
+void BumpArena::deallocate(float* /*ptr*/, std::size_t count,
+                           std::uint64_t /*ticket*/) {
+  // Accounting only: bump storage is reclaimed wholesale by reset().
+  pool_.on_release(count * sizeof(float));
+}
+
+void BumpArena::reset() {
+  for (Slab& slab : slabs_) {
+    slab.used = 0;
+  }
+  used_floats_ = 0;
+  ordinal_ = 0;
+  ++generation_;
+}
+
+std::size_t BumpArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Slab& slab : slabs_) {
+    total += slab.capacity * sizeof(float);
+  }
+  return total;
+}
+
+}  // namespace dlsr::mem

@@ -1,0 +1,69 @@
+// BumpArena — generation-stamped bump allocator over retained slabs.
+//
+// The serve worker's per-batch temporaries (packed tile batches, the
+// upscaled forward output, every intermediate inside EdsrEngine::infer)
+// all die before the batch completes, so a bump pointer that rewinds once
+// per batch serves them with zero steady-state heap traffic: slabs are
+// grown on demand, retained forever, and reset() just rewinds offsets and
+// bumps the generation.
+//
+// Frees are accounting-only. A Tensor that outlives a reset() holds a
+// stale-generation ticket; its eventual destructor adjusts pool counters
+// and touches no memory — which is also why reusable() refuses stale
+// tickets, forcing any copy-assign onto such a tensor to re-allocate
+// rather than write through a rewound pointer. The discipline this buys:
+// no tensor allocated inside an arena scope may be READ after the reset
+// that follows it (see docs/memory.md, lifetime rules).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/pool.hpp"
+
+namespace dlsr::mem {
+
+class BumpArena final : public Allocator {
+ public:
+  /// Charges the arena's traffic to `pool_id` in the global registry.
+  explicit BumpArena(PoolId pool_id);
+  ~BumpArena() override;
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  float* allocate(std::size_t count, std::uint64_t& out_ticket) override;
+  void deallocate(float* ptr, std::size_t count,
+                  std::uint64_t ticket) override;
+  bool reusable(std::uint64_t ticket) const override {
+    return ticket::gen(ticket) == generation_;
+  }
+  Pool& pool() const override { return pool_; }
+
+  /// Rewinds every slab and invalidates outstanding tickets. All tensors
+  /// allocated since the previous reset must already be dead (destructors
+  /// of stragglers stay safe, but their data is gone).
+  void reset();
+
+  std::uint32_t generation() const { return generation_; }
+  /// Retained slab capacity in bytes (the arena's real footprint).
+  std::size_t capacity_bytes() const;
+  /// Bytes handed out since the last reset (this generation's demand).
+  std::size_t used_bytes() const { return used_floats_ * sizeof(float); }
+
+ private:
+  struct Slab {
+    float* data = nullptr;
+    std::size_t capacity = 0;  // floats
+    std::size_t used = 0;      // floats
+  };
+
+  Pool& pool_;
+  std::vector<Slab> slabs_;
+  std::uint32_t generation_ = 1;
+  std::uint64_t ordinal_ = 0;      // allocs this generation
+  std::size_t used_floats_ = 0;    // sum over slabs this generation
+};
+
+}  // namespace dlsr::mem

@@ -1,0 +1,81 @@
+#include "mem/buffer.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "mem/registry.hpp"
+
+namespace dlsr::mem {
+
+void Buffer::allocate_from(Allocator& alloc, std::size_t count) {
+  ptr_ = alloc.allocate(count, ticket_);
+  count_ = count;
+  alloc_ = &alloc;
+}
+
+Buffer::Buffer(std::size_t count) {
+  if (count > 0) {
+    allocate_from(current_allocator(), count);
+  }
+}
+
+Buffer::Buffer(std::size_t count, Allocator& alloc) {
+  if (count > 0) {
+    allocate_from(alloc, count);
+  }
+}
+
+Buffer::Buffer(const Buffer& other) {
+  if (other.count_ > 0) {
+    allocate_from(current_allocator(), other.count_);
+    std::memcpy(ptr_, other.ptr_, count_ * sizeof(float));
+  }
+}
+
+Buffer& Buffer::operator=(const Buffer& other) {
+  if (this == &other) {
+    return *this;
+  }
+  Allocator* bound = current_binding();
+  const bool home_ok = bound == nullptr || alloc_ == bound;
+  if (ptr_ != nullptr && count_ == other.count_ && home_ok &&
+      alloc_->reusable(ticket_)) {
+    std::memcpy(ptr_, other.ptr_, count_ * sizeof(float));
+    return *this;
+  }
+  release();  // free first: per-step caches recycle their planner slot
+  if (other.count_ > 0) {
+    allocate_from(current_allocator(), other.count_);
+    std::memcpy(ptr_, other.ptr_, count_ * sizeof(float));
+  }
+  return *this;
+}
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : ptr_(std::exchange(other.ptr_, nullptr)),
+      count_(std::exchange(other.count_, 0)),
+      alloc_(std::exchange(other.alloc_, nullptr)),
+      ticket_(std::exchange(other.ticket_, 0)) {}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    ptr_ = std::exchange(other.ptr_, nullptr);
+    count_ = std::exchange(other.count_, 0);
+    alloc_ = std::exchange(other.alloc_, nullptr);
+    ticket_ = std::exchange(other.ticket_, 0);
+  }
+  return *this;
+}
+
+void Buffer::release() {
+  if (ptr_ != nullptr) {
+    alloc_->deallocate(ptr_, count_, ticket_);
+  }
+  ptr_ = nullptr;
+  count_ = 0;
+  alloc_ = nullptr;
+  ticket_ = 0;
+}
+
+}  // namespace dlsr::mem

@@ -1,0 +1,64 @@
+// mem::Buffer — pool-aware float storage, the backing store of Tensor.
+//
+// Replaces the old std::vector<float> member with an (ptr, count,
+// allocator, ticket) quadruple so every tensor's bytes are charged to a
+// named pool and can come out of an arena or the activation planner.
+// Semantics match the vector it replaces:
+//   * deep copy on copy-construct / copy-assign, O(1) move,
+//   * same-size copy-assign reuses the target's storage in place (so a
+//     parameter broadcast or checkpoint load never migrates a weight out
+//     of its pool),
+// with one addition: allocation routes through the thread's current
+// allocator binding (mem::ScopedAllocator), falling back to the default
+// pool's heap — which is bit-for-bit the old behavior.
+//
+// In-place reuse is refused when (a) the buffer's allocator says the
+// ticket is stale (its arena generation was rewound), or (b) a binding is
+// active and the buffer belongs elsewhere — then the storage is released
+// FIRST and re-allocated from the binding. Free-before-alloc is what lets
+// a layer's per-step cache (cached_input_ = input) recycle the same
+// planner slot every step instead of needing two.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/pool.hpp"
+
+namespace dlsr::mem {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  /// Uninitialized storage from the thread's current allocator.
+  explicit Buffer(std::size_t count);
+  /// Uninitialized storage from an explicit allocator (pool pinning).
+  Buffer(std::size_t count, Allocator& alloc);
+
+  Buffer(const Buffer& other);
+  Buffer& operator=(const Buffer& other);
+  Buffer(Buffer&& other) noexcept;
+  Buffer& operator=(Buffer&& other) noexcept;
+  ~Buffer() { release(); }
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// The allocator the storage came from (null when empty).
+  Allocator* allocator() const { return alloc_; }
+
+  /// Frees the storage and returns to the empty state.
+  void release();
+
+ private:
+  void allocate_from(Allocator& alloc, std::size_t count);
+
+  float* ptr_ = nullptr;
+  std::size_t count_ = 0;
+  Allocator* alloc_ = nullptr;
+  std::uint64_t ticket_ = 0;
+};
+
+}  // namespace dlsr::mem

@@ -1,0 +1,281 @@
+#include "mem/plan.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "common/error.hpp"
+#include "mem/registry.hpp"
+
+namespace dlsr::mem {
+namespace {
+
+constexpr std::align_val_t kAlign{64};
+constexpr std::size_t kAlignFloats = 16;         // 64-byte lines
+constexpr std::size_t kMinSlabFloats = 1 << 14;  // 64 KiB overflow growth
+
+std::size_t round_up(std::size_t count) {
+  return (count + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
+
+const char* to_string(ActivationMemory mode) {
+  switch (mode) {
+    case ActivationMemory::kHeap:
+      return "heap";
+    case ActivationMemory::kArena:
+      return "arena";
+    case ActivationMemory::kPlanned:
+      return "planned";
+  }
+  return "unknown";
+}
+
+ActivationMemory parse_activation_memory(const std::string& name) {
+  if (name == "heap") {
+    return ActivationMemory::kHeap;
+  }
+  if (name == "arena") {
+    return ActivationMemory::kArena;
+  }
+  if (name == "planned") {
+    return ActivationMemory::kPlanned;
+  }
+  throw Error("unknown activation memory mode \"" + name +
+              "\" (heap, arena, or planned)");
+}
+
+float* ActivationPlan::Bump::take(std::size_t rounded, Pool& pool) {
+  Slab* slab = nullptr;
+  for (Slab& s : slabs) {
+    if (s.capacity - s.used >= rounded) {
+      slab = &s;
+      break;
+    }
+  }
+  if (slab == nullptr) {
+    std::size_t total = 0;
+    for (const Slab& s : slabs) {
+      total += s.capacity;
+    }
+    Slab grown;
+    grown.capacity = std::max({rounded, kMinSlabFloats, total});
+    grown.data = static_cast<float*>(
+        ::operator new(grown.capacity * sizeof(float), kAlign));
+    pool.on_upstream_alloc(grown.capacity * sizeof(float));
+    slabs.push_back(grown);
+    slab = &slabs.back();
+  }
+  float* ptr = slab->data + slab->used;
+  slab->used += rounded;
+  used_floats += rounded;
+  return ptr;
+}
+
+void ActivationPlan::Bump::rewind() {
+  for (Slab& s : slabs) {
+    s.used = 0;
+  }
+  used_floats = 0;
+}
+
+void ActivationPlan::Bump::free_all(Pool& pool) {
+  for (Slab& s : slabs) {
+    pool.on_upstream_free(s.capacity * sizeof(float));
+    ::operator delete(s.data, kAlign);
+  }
+  slabs.clear();
+  used_floats = 0;
+}
+
+ActivationPlan::ActivationPlan()
+    : pool_(Registry::global().pool(PoolId::kActivations)) {}
+
+ActivationPlan::~ActivationPlan() {
+  if (slab_ != nullptr) {
+    pool_.on_upstream_free(planned_bytes_);
+    ::operator delete(slab_, kAlign);
+  }
+  bumps_[0].free_all(pool_);
+  bumps_[1].free_all(pool_);
+}
+
+Pool& ActivationPlan::pool() const { return pool_; }
+
+ActivationPlan::StepScope::StepScope(ActivationPlan& plan)
+    : plan_(plan), bind_(&plan) {
+  plan_.step_begin();
+}
+
+ActivationPlan::StepScope::~StepScope() { plan_.step_end(); }
+
+void ActivationPlan::step_begin() {
+  DLSR_CHECK(!in_step_, "ActivationPlan: nested StepScope");
+  in_step_ = true;
+  ++step_;
+  ordinal_ = 0;
+  // Rewind only this parity's overflow region: last step's stragglers live
+  // in the other one and keep valid bytes through this whole step.
+  bumps_[step_ % 2].rewind();
+  if (step_ == 2) {
+    record_gen_ = generation();
+    event_ = 0;
+    recorded_.clear();
+    recorded_live_peak_ = live_bytes_;
+  }
+}
+
+void ActivationPlan::step_end() {
+  in_step_ = false;
+  if (step_ == 2) {
+    cycle_events_ = event_;
+    recorded_demand_ = bumps_[0].used_floats * sizeof(float);
+  } else if (step_ == 3) {
+    build_plan();
+  } else if (step_ == 4 && planned() && all_deaths_observed_) {
+    // Step 3's stragglers died during step 4; their (odd-parity) record
+    // slabs are now garbage. Dropping them realizes the planned footprint.
+    bumps_[1].free_all(pool_);
+  }
+}
+
+float* ActivationPlan::bump_allocate(std::size_t count,
+                                     std::uint64_t& out_ticket) {
+  out_ticket = ticket::make(ticket::kFlagBump, generation(), ordinal_ - 1);
+  return bumps_[step_ % 2].take(round_up(std::max<std::size_t>(count, 1)),
+                                pool_);
+}
+
+float* ActivationPlan::allocate(std::size_t count, std::uint64_t& out_ticket) {
+  DLSR_CHECK(in_step_, "ActivationPlan::allocate outside a StepScope");
+  const std::size_t bytes = count * sizeof(float);
+  const std::uint64_t k = ordinal_++;
+  float* ptr = nullptr;
+  if (step_ == 2) {
+    recorded_.push_back(Interval{event_++, kNoDeath, count});
+    ptr = bump_allocate(count, out_ticket);
+  } else if (step_ == 3) {
+    ++event_;
+    ptr = bump_allocate(count, out_ticket);
+  } else if (planned()) {
+    if (k < plan_.size() && plan_[k].count == count &&
+        occupant_[plan_[k].slot] == 0) {
+      const std::uint32_t s = plan_[k].slot;
+      out_ticket = ticket::make(ticket::kFlagSlot, generation(), k);
+      occupant_[s] = out_ticket;
+      ptr = slab_ + slots_[s].offset;
+    } else {
+      // Divergence from the recorded pattern: size mismatch, extra
+      // allocation, or the recorded tenant is still resident. Never reuse
+      // a slot that might hold live data.
+      ++fallback_allocs_;
+      ptr = bump_allocate(count, out_ticket);
+    }
+  } else {  // warmup, or a record pass that yielded no plan
+    ptr = bump_allocate(count, out_ticket);
+  }
+  pool_.on_request(bytes);
+  live_bytes_ += bytes;
+  if (step_ == 2 && live_bytes_ > recorded_live_peak_) {
+    recorded_live_peak_ = live_bytes_;
+  }
+  return ptr;
+}
+
+void ActivationPlan::deallocate(float* /*ptr*/, std::size_t count,
+                                std::uint64_t t) {
+  const std::size_t bytes = count * sizeof(float);
+  pool_.on_release(bytes);
+  live_bytes_ -= std::min(live_bytes_, bytes);
+  if (step_ == 2 || step_ == 3) {
+    // The event clock ticks on frees too — a death's position inside the
+    // cycle is what the circular-arc overlap test consumes.
+    const std::uint64_t e = event_++;
+    if ((t & ticket::kFlagBump) != 0 && ticket::gen(t) == record_gen_) {
+      const std::uint32_t idx = ticket::ordinal(t);
+      if (idx < recorded_.size() && recorded_[idx].death == kNoDeath) {
+        recorded_[idx].death = e;
+      }
+    }
+  } else if ((t & ticket::kFlagSlot) != 0) {
+    const std::uint32_t idx = ticket::ordinal(t);
+    if (idx < plan_.size()) {
+      const std::uint32_t s = plan_[idx].slot;
+      if (occupant_[s] == t) {
+        occupant_[s] = 0;
+      }
+    }
+  }
+  // Stale bump tickets: accounting only; the slab was already rewound.
+}
+
+void ActivationPlan::build_plan() {
+  const std::uint64_t cycle = cycle_events_;
+  if (cycle == 0 || recorded_.empty()) {
+    return;  // nothing recorded; stay on bump slabs forever
+  }
+  // Arc length of each recorded interval on the cycle of one steady-state
+  // step. A death that was never observed (or ≥ one full cycle away)
+  // conflicts with everything — the interval gets a dedicated slot.
+  std::vector<std::uint64_t> lens(recorded_.size());
+  all_deaths_observed_ = true;
+  for (std::size_t k = 0; k < recorded_.size(); ++k) {
+    const Interval& iv = recorded_[k];
+    if (iv.death == kNoDeath) {
+      all_deaths_observed_ = false;
+    }
+    lens[k] = iv.death == kNoDeath ? cycle
+                                   : std::min(iv.death - iv.birth, cycle);
+  }
+  const auto conflicts = [&](std::size_t a, std::size_t b) {
+    if (lens[a] >= cycle || lens[b] >= cycle) {
+      return true;
+    }
+    const std::uint64_t ba = recorded_[a].birth % cycle;
+    const std::uint64_t bb = recorded_[b].birth % cycle;
+    return (bb + cycle - ba) % cycle < lens[a] ||
+           (ba + cycle - bb) % cycle < lens[b];
+  };
+  plan_.resize(recorded_.size());
+  for (std::size_t k = 0; k < recorded_.size(); ++k) {
+    std::size_t chosen = slots_.size();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      bool ok = true;
+      for (const std::size_t member : slots_[s].members) {
+        if (conflicts(member, k)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen == slots_.size()) {
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[chosen];
+    slot.members.push_back(k);
+    slot.capacity = std::max(slot.capacity, round_up(recorded_[k].count));
+    plan_[k] = PlanEntry{static_cast<std::uint32_t>(chosen),
+                         recorded_[k].count};
+  }
+  std::size_t offset = 0;
+  for (Slot& slot : slots_) {
+    slot.offset = offset;
+    offset += slot.capacity;
+  }
+  planned_bytes_ = offset * sizeof(float);
+  slab_ = static_cast<float*>(::operator new(planned_bytes_, kAlign));
+  pool_.on_upstream_alloc(planned_bytes_);
+  occupant_.assign(slots_.size(), 0);
+  // The even-parity record slabs drained during step 3; drop them now.
+  // When some recorded interval never died, a tensor may still live there —
+  // keep the slabs (footprint over safety, never the reverse).
+  if (all_deaths_observed_) {
+    bumps_[0].free_all(pool_);
+  }
+}
+
+}  // namespace dlsr::mem

@@ -1,0 +1,178 @@
+// ActivationPlan — lifetime-recording activation memory planner
+// (caffe2-memonger style, adapted to an eager training loop).
+//
+// A synchronous training step allocates its activation temporaries in a
+// deterministic order: same layers, same shapes, same sequence, every
+// step. The planner exploits that by learning the allocation pattern once
+// and replaying it from a fixed set of reusable slots:
+//
+//   step 1  (warmup)  bump-allocate; first-touch effects settle.
+//   step 2  (record)  bump-allocate; log every allocation's birth on a
+//                     global event clock (allocs and frees both tick it).
+//   step 3  (observe) bump-allocate; log the death event of every step-2
+//                     ticket. A cache that survives into the next step
+//                     (Conv2d::cached_input_) gets its true cross-step
+//                     lifetime this way.
+//   step 4+ (replay)  the k-th allocation of the step draws from the slot
+//                     the plan assigned to ordinal k.
+//
+// Lifetimes that cross the step boundary make the interval graph
+// *circular*: intervals are arcs on a cycle of length L (the events of one
+// steady-state step), and two arcs conflict iff either's start lies inside
+// the other. Greedy first-fit over birth order packs non-conflicting arcs
+// into shared slots; the planned footprint is the sum of slot capacities —
+// typically a small multiple of the widest layer instead of the sum of
+// every live temporary.
+//
+// Replay is safe by construction, not by hope: a slot is handed out only
+// if the requested size matches the plan AND the slot is unoccupied.
+// Any divergence — data-dependent allocation, a tensor held longer than
+// recorded, a shape change — falls back to bump slabs (generation-
+// protected, reset with one step of hysteresis), so a wrong plan can cost
+// speed and footprint but never correctness. Training with the planner is
+// bit-identical to heap allocation because Tensor zero-fills on
+// construction and every kernel writes before reading.
+//
+// Single-threaded by design: one plan serves one training loop thread
+// (replicas run serially inside WorkerGroup::train_step).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/pool.hpp"
+
+namespace dlsr::mem {
+
+/// Activation-memory strategy for a training loop.
+enum class ActivationMemory {
+  kHeap,     ///< default-pool heap tensors (pre-mem behavior)
+  kArena,    ///< per-step bump arena, no planning
+  kPlanned,  ///< record/replay lifetime planner
+};
+
+const char* to_string(ActivationMemory mode);
+/// Parses "heap", "arena", or "planned"; throws on anything else.
+ActivationMemory parse_activation_memory(const std::string& name);
+
+class ActivationPlan final : public Allocator {
+ public:
+  /// Charges to the activations pool in the global registry.
+  ActivationPlan();
+  ~ActivationPlan() override;
+
+  ActivationPlan(const ActivationPlan&) = delete;
+  ActivationPlan& operator=(const ActivationPlan&) = delete;
+
+  /// Brackets one training step: begins the step (phase transition +
+  /// rewind) and binds the plan as the thread's current allocator.
+  class StepScope {
+   public:
+    explicit StepScope(ActivationPlan& plan);
+    ~StepScope();
+    StepScope(const StepScope&) = delete;
+    StepScope& operator=(const StepScope&) = delete;
+
+   private:
+    ActivationPlan& plan_;
+    ScopedAllocator bind_;
+  };
+
+  // Allocator interface.
+  float* allocate(std::size_t count, std::uint64_t& out_ticket) override;
+  void deallocate(float* ptr, std::size_t count,
+                  std::uint64_t ticket) override;
+  bool reusable(std::uint64_t ticket) const override {
+    return ticket::gen(ticket) == generation();
+  }
+  Pool& pool() const override;
+
+  /// True once the plan is built and steps replay from slots.
+  bool planned() const { return !plan_.empty(); }
+  std::size_t steps() const { return step_; }
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Footprint of the replay slots (the planner's steady-state bytes).
+  std::size_t planned_peak_bytes() const { return planned_bytes_; }
+  /// What one recorded step allocated in total — the footprint an
+  /// unplanned per-step arena would retain. The gate planned < recorded
+  /// is the planner's reason to exist.
+  std::size_t recorded_demand_bytes() const { return recorded_demand_; }
+  /// High-water mark of concurrently-live recorded bytes (lower bound on
+  /// any planner's footprint).
+  std::size_t recorded_live_peak_bytes() const { return recorded_live_peak_; }
+  /// Replay allocations that missed their slot (size mismatch or tenant
+  /// still resident) and fell back to bump slabs. Zero on a faithful
+  /// replay.
+  std::uint64_t fallback_allocs() const { return fallback_allocs_; }
+
+ private:
+  struct Interval {
+    std::uint64_t birth = 0;                ///< event index, step-2 clock
+    std::uint64_t death = kNoDeath;         ///< event index when freed
+    std::size_t count = 0;                  ///< floats requested
+  };
+  struct Slot {
+    std::size_t capacity = 0;       ///< floats (rounded)
+    std::size_t offset = 0;         ///< floats into the plan slab
+    std::vector<std::size_t> members;  ///< recorded ordinals sharing it
+  };
+  struct PlanEntry {
+    std::uint32_t slot = 0;
+    std::size_t count = 0;  ///< floats the replayed alloc must request
+  };
+  /// Internal bump region (same slab policy as BumpArena, shared pool).
+  struct Bump {
+    struct Slab {
+      float* data = nullptr;
+      std::size_t capacity = 0;
+      std::size_t used = 0;
+    };
+    std::vector<Slab> slabs;
+    std::size_t used_floats = 0;
+    float* take(std::size_t rounded, Pool& pool);
+    void rewind();
+    void free_all(Pool& pool);
+  };
+
+  static constexpr std::uint64_t kNoDeath = ~0ull;
+
+  void step_begin();
+  void step_end();
+  void build_plan();
+  std::uint32_t generation() const { return static_cast<std::uint32_t>(step_); }
+  float* bump_allocate(std::size_t count, std::uint64_t& out_ticket);
+
+  Pool& pool_;
+  std::size_t step_ = 0;       ///< 1 warmup, 2 record, 3 observe, 4+ replay
+  bool in_step_ = false;
+
+  // Record state.
+  std::vector<Interval> recorded_;   ///< indexed by step-2 alloc ordinal
+  std::uint64_t event_ = 0;          ///< alloc+free clock, steps 2-3
+  std::uint64_t cycle_events_ = 0;   ///< L: events in one steady step
+  std::uint32_t record_gen_ = 0;
+  std::size_t recorded_demand_ = 0;
+  std::size_t recorded_live_peak_ = 0;
+  std::size_t live_bytes_ = 0;       ///< this plan's live bytes (local)
+
+  // Plan + replay state.
+  std::vector<Slot> slots_;
+  std::vector<PlanEntry> plan_;          ///< indexed by per-step ordinal
+  std::vector<std::uint64_t> occupant_;  ///< per-slot resident ticket (0=free)
+  float* slab_ = nullptr;                ///< one backing slab for all slots
+  std::size_t planned_bytes_ = 0;
+  std::uint64_t ordinal_ = 0;            ///< allocs so far this step
+  std::uint64_t fallback_allocs_ = 0;
+  /// Record slabs may only be dropped when every recorded interval's death
+  /// was seen — an undying interval means a tensor may still live there.
+  bool all_deaths_observed_ = false;
+
+  /// Overflow/bump regions, alternated by step parity so a tensor that
+  /// outlives its step by one keeps valid bytes through the next step.
+  Bump bumps_[2];
+};
+
+}  // namespace dlsr::mem

@@ -1,0 +1,60 @@
+#include "mem/pool.hpp"
+
+#include <new>
+
+namespace dlsr::mem {
+namespace {
+
+thread_local Allocator* t_binding = nullptr;
+
+constexpr std::align_val_t kAlign{64};
+
+}  // namespace
+
+const char* pool_name(PoolId id) {
+  switch (id) {
+    case PoolId::kDefault:
+      return "default";
+    case PoolId::kWeights:
+      return "weights";
+    case PoolId::kGradients:
+      return "gradients";
+    case PoolId::kActivations:
+      return "activations";
+    case PoolId::kScratch:
+      return "scratch";
+    case PoolId::kServeTiles:
+      return "serve_tiles";
+    case PoolId::kServeCache:
+      return "serve_cache";
+    case PoolId::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+float* HeapAllocator::allocate(std::size_t count, std::uint64_t& out_ticket) {
+  const std::size_t bytes = count * sizeof(float);
+  out_ticket = 0;
+  pool_.on_request(bytes);
+  pool_.on_upstream_alloc(bytes);
+  return static_cast<float*>(::operator new(bytes, kAlign));
+}
+
+void HeapAllocator::deallocate(float* ptr, std::size_t count,
+                               std::uint64_t /*ticket*/) {
+  const std::size_t bytes = count * sizeof(float);
+  pool_.on_release(bytes);
+  pool_.on_upstream_free(bytes);
+  ::operator delete(ptr, kAlign);
+}
+
+Allocator* current_binding() { return t_binding; }
+
+ScopedAllocator::ScopedAllocator(Allocator* alloc) : previous_(t_binding) {
+  t_binding = alloc;
+}
+
+ScopedAllocator::~ScopedAllocator() { t_binding = previous_; }
+
+}  // namespace dlsr::mem

@@ -1,0 +1,204 @@
+// dlsr::mem — registry-backed pooled allocation (LBANN's
+// memory/{registry,toplevel_allocator} pattern).
+//
+// Every byte of Tensor storage is charged to exactly one named Pool:
+// weights, gradients, activations, kernel scratch, serve tiles, the serve
+// result cache, or the default pool (anything unscoped). Pools do no
+// allocation themselves — they are pure accounting (requests, live bytes,
+// peak bytes, upstream heap traffic) shared by every Allocator bound to
+// them, exported as obs gauges via mem::Registry::publish_gauges().
+//
+// Allocators implement one of three strategies on top of a pool:
+//   HeapAllocator   — 64-byte-aligned operator new/delete passthrough; the
+//                     default pool's heap allocator reproduces the old
+//                     std::vector<float> behavior bit-for-bit.
+//   BumpArena       — retained slabs + generation bump (arena.hpp).
+//   ActivationPlan  — record/replay lifetime planner (plan.hpp).
+//
+// A thread may bind a "current" allocator (ScopedAllocator); Tensor
+// storage allocated while the binding is active routes to it. No binding
+// means the default pool's heap allocator — i.e. plain code sees exactly
+// the pre-mem behavior.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dlsr::mem {
+
+/// Named pools. Fixed small set: per-pool stats are arrays, not maps.
+enum class PoolId : std::uint8_t {
+  kDefault = 0,   ///< unscoped Tensor storage (legacy heap behavior)
+  kWeights,       ///< model parameters + optimizer state
+  kGradients,     ///< parameter gradients
+  kActivations,   ///< training forward/backward temporaries
+  kScratch,       ///< kernel workspace (ScratchArena slabs)
+  kServeTiles,    ///< serve worker tile/inference temporaries
+  kServeCache,    ///< serve LRU result-cache entries
+  kCount
+};
+
+inline constexpr std::size_t kPoolCount =
+    static_cast<std::size_t>(PoolId::kCount);
+
+const char* pool_name(PoolId id);
+
+/// Point-in-time snapshot of one pool's counters.
+struct PoolStats {
+  std::uint64_t requests = 0;        ///< allocations charged to the pool
+  std::uint64_t request_bytes = 0;   ///< cumulative bytes requested
+  std::uint64_t live_bytes = 0;      ///< currently charged bytes
+  std::uint64_t peak_live_bytes = 0; ///< high-water mark of live_bytes
+  /// Real heap traffic underneath the pool's allocators. A steady-state
+  /// loop is "zero-alloc" exactly when this stops growing: arenas and the
+  /// planner satisfy requests from retained storage.
+  std::uint64_t upstream_allocs = 0;
+  std::uint64_t upstream_bytes = 0;  ///< cumulative upstream bytes
+  std::uint64_t upstream_frees = 0;
+};
+
+/// Thread-safe accounting for one named pool (relaxed atomics — counters,
+/// not synchronization).
+class Pool {
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  PoolId id() const { return id_; }
+  const char* name() const { return pool_name(id_); }
+
+  void on_request(std::size_t bytes) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    request_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const std::uint64_t now =
+        live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_live_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_live_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void on_release(std::size_t bytes) {
+    live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  void on_upstream_alloc(std::size_t bytes) {
+    upstream_allocs_.fetch_add(1, std::memory_order_relaxed);
+    upstream_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void on_upstream_free(std::size_t /*bytes*/) {
+    upstream_frees_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Rewinds the peak high-water mark to the current live level, so a test
+  /// or bench can measure one region's peak in isolation.
+  void reset_peak() {
+    peak_live_bytes_.store(live_bytes_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  }
+
+  PoolStats stats() const {
+    PoolStats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.request_bytes = request_bytes_.load(std::memory_order_relaxed);
+    s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+    s.peak_live_bytes = peak_live_bytes_.load(std::memory_order_relaxed);
+    s.upstream_allocs = upstream_allocs_.load(std::memory_order_relaxed);
+    s.upstream_bytes = upstream_bytes_.load(std::memory_order_relaxed);
+    s.upstream_frees = upstream_frees_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  friend class Registry;
+  void set_id(PoolId id) { id_ = id; }
+
+  PoolId id_ = PoolId::kDefault;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> request_bytes_{0};
+  std::atomic<std::uint64_t> live_bytes_{0};
+  std::atomic<std::uint64_t> peak_live_bytes_{0};
+  std::atomic<std::uint64_t> upstream_allocs_{0};
+  std::atomic<std::uint64_t> upstream_bytes_{0};
+  std::atomic<std::uint64_t> upstream_frees_{0};
+};
+
+// Tickets identify one allocation to the allocator that made it:
+// flag bits (slot-backed / bump-backed), the arena generation (step) it was
+// made in, and the per-step allocation ordinal. Heap allocations use
+// ticket 0. Stale-generation tickets are the mechanism that makes arena
+// frees after a reset safe: the allocator adjusts accounting and touches
+// no memory.
+namespace ticket {
+inline constexpr std::uint64_t kFlagSlot = 1ull << 63;  ///< planner slot
+inline constexpr std::uint64_t kFlagBump = 1ull << 62;  ///< bump slab
+inline constexpr std::uint64_t make(std::uint64_t flags, std::uint64_t gen,
+                                    std::uint64_t ordinal) {
+  return flags | ((gen & 0x3fffffffull) << 32) | (ordinal & 0xffffffffull);
+}
+inline constexpr std::uint32_t gen(std::uint64_t t) {
+  return static_cast<std::uint32_t>((t >> 32) & 0x3fffffffull);
+}
+inline constexpr std::uint32_t ordinal(std::uint64_t t) {
+  return static_cast<std::uint32_t>(t & 0xffffffffull);
+}
+}  // namespace ticket
+
+/// Allocation strategy over one pool. Counts are in floats (every Tensor
+/// is float32); accounting is in bytes.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Uninitialized storage for `count` floats; fills `out_ticket`.
+  virtual float* allocate(std::size_t count, std::uint64_t& out_ticket) = 0;
+  /// Releases an allocation. Must never touch the pointed-to memory —
+  /// stale-generation arena tickets may carry dangling pointers.
+  virtual void deallocate(float* ptr, std::size_t count,
+                          std::uint64_t ticket) = 0;
+  /// May the holder of `ticket` keep writing its storage in place (e.g. a
+  /// same-size copy-assign)? Heap: always. Arenas: only tickets of the
+  /// current generation — anything older may be rewound or freed.
+  virtual bool reusable(std::uint64_t ticket) const = 0;
+
+  virtual Pool& pool() const = 0;
+};
+
+/// 64-byte-aligned operator new/delete, charged to one pool. The default
+/// pool's instance is the ambient allocator when no binding is active.
+class HeapAllocator final : public Allocator {
+ public:
+  explicit HeapAllocator(Pool& pool) : pool_(pool) {}
+
+  float* allocate(std::size_t count, std::uint64_t& out_ticket) override;
+  void deallocate(float* ptr, std::size_t count,
+                  std::uint64_t ticket) override;
+  bool reusable(std::uint64_t /*ticket*/) const override { return true; }
+  Pool& pool() const override { return pool_; }
+
+ private:
+  Pool& pool_;
+};
+
+/// The thread's bound allocator, or null when unscoped.
+Allocator* current_binding();
+/// The thread's bound allocator, defaulting to the default pool's heap.
+Allocator& current_allocator();
+
+/// RAII binding of the calling thread's current allocator. Nests; restores
+/// the previous binding on destruction. Pass null to force the default.
+class ScopedAllocator {
+ public:
+  explicit ScopedAllocator(Allocator* alloc);
+  ~ScopedAllocator();
+  ScopedAllocator(const ScopedAllocator&) = delete;
+  ScopedAllocator& operator=(const ScopedAllocator&) = delete;
+
+ private:
+  Allocator* previous_;
+};
+
+}  // namespace dlsr::mem

@@ -1,0 +1,46 @@
+#include "mem/registry.hpp"
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dlsr::mem {
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Registry::Registry() {
+  for (std::size_t i = 0; i < kPoolCount; ++i) {
+    pools_[i].set_id(static_cast<PoolId>(i));
+    heaps_[i] = std::make_unique<HeapAllocator>(pools_[i]);
+  }
+}
+
+void Registry::publish_gauges() const {
+  auto& metrics = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < kPoolCount; ++i) {
+    const PoolStats s = pools_[i].stats();
+    const std::string base = std::string("mem/") + pools_[i].name() + "/";
+    metrics.gauge(base + "live_bytes")->set(static_cast<double>(s.live_bytes));
+    metrics.gauge(base + "peak_bytes")
+        ->set(static_cast<double>(s.peak_live_bytes));
+    metrics.gauge(base + "requests")->set(static_cast<double>(s.requests));
+    metrics.gauge(base + "upstream_allocs")
+        ->set(static_cast<double>(s.upstream_allocs));
+  }
+  // Legacy name from the pre-registry scratch stats, kept so existing
+  // trace-summary/metrics consumers see one continuous series.
+  metrics.gauge("tensor/scratch_peak_bytes")
+      ->set(static_cast<double>(
+          pool(PoolId::kScratch).stats().peak_live_bytes));
+}
+
+Allocator& current_allocator() {
+  Allocator* bound = current_binding();
+  return bound != nullptr ? *bound
+                          : Registry::global().heap(PoolId::kDefault);
+}
+
+}  // namespace dlsr::mem

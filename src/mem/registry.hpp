@@ -1,0 +1,46 @@
+// Process-global pool registry: owns the named Pools and one HeapAllocator
+// per pool, and mirrors pool statistics into the obs metrics registry.
+//
+// publish_gauges() is pulled, not pushed: mem is below obs in the library
+// graph (obs never calls mem), so the subsystems that drive steady-state
+// loops — the training step, the serve worker, the CLI's --metrics-out
+// writer — call it at their natural cadence. Gauges land as
+// mem/<pool>/{live_bytes,peak_bytes,requests,upstream_allocs}, plus the
+// legacy tensor/scratch_peak_bytes name the scratch-arena tests and
+// trace-summary consumers already know.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "mem/pool.hpp"
+
+namespace dlsr::mem {
+
+class Registry {
+ public:
+  /// The process-wide registry (leaked singleton: Tensor storage with
+  /// static lifetime may be freed after atexit handlers run).
+  static Registry& global();
+
+  Pool& pool(PoolId id) { return pools_[index(id)]; }
+  const Pool& pool(PoolId id) const { return pools_[index(id)]; }
+  HeapAllocator& heap(PoolId id) { return *heaps_[index(id)]; }
+
+  PoolStats stats(PoolId id) const { return pool(id).stats(); }
+
+  /// Copies every pool's counters into obs::MetricsRegistry gauges.
+  void publish_gauges() const;
+
+ private:
+  Registry();
+
+  static constexpr std::size_t index(PoolId id) {
+    return static_cast<std::size_t>(id);
+  }
+
+  std::array<Pool, kPoolCount> pools_;
+  std::array<std::unique_ptr<HeapAllocator>, kPoolCount> heaps_;
+};
+
+}  // namespace dlsr::mem

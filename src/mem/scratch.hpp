@@ -7,7 +7,7 @@
 // that are retained across calls, so steady-state kernel invocations
 // allocate nothing.
 //
-// Lifetime rules (see docs/kernels.md for the long form):
+// Lifetime rules (see docs/memory.md for the long form):
 //  * acquire() returns a Lease; leases on one arena must be released in
 //    LIFO order, which scoped RAII usage gives for free.
 //  * A lease's memory may be handed to thread-pool workers inside a
@@ -20,27 +20,22 @@
 //  * Slabs are never freed until the thread exits; capacity is the
 //    high-water mark of concurrently live leases.
 //
-// Global statistics (slab allocation count, live bytes, peak bytes) are
-// process-wide atomics so tests can assert that a kernel's steady state
-// performs zero allocations and that peak scratch does not scale with
-// batch size.
+// Statistics live in the mem registry's scratch pool (one schema with
+// every other pool: /metrics gauges, trace-summary JSON), accessed here
+// through the same static API the pre-registry atomics exposed: lease
+// bytes are pool requests/releases, slab growth is upstream allocation,
+// so "zero slab allocations in steady state" is the pool's
+// upstream_allocs counter standing still.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-namespace dlsr {
+#include "mem/registry.hpp"
 
-namespace detail {
-struct ScratchStats {
-  static inline std::atomic<std::uint64_t> slab_allocations{0};
-  static inline std::atomic<std::uint64_t> bytes_in_use{0};
-  static inline std::atomic<std::uint64_t> peak_bytes{0};
-};
-}  // namespace detail
+namespace dlsr {
 
 /// Thread-local bump allocator with LIFO leases over retained slabs.
 class ScratchArena {
@@ -102,15 +97,7 @@ class ScratchArena {
     lease.offset_before_ = s.used;
     s.used += rounded;
     active_ = slab;
-    using detail::ScratchStats;
-    const std::uint64_t now =
-        ScratchStats::bytes_in_use.fetch_add(rounded * sizeof(float),
-                                             std::memory_order_relaxed) +
-        rounded * sizeof(float);
-    std::uint64_t peak = ScratchStats::peak_bytes.load(std::memory_order_relaxed);
-    while (now > peak && !ScratchStats::peak_bytes.compare_exchange_weak(
-                             peak, now, std::memory_order_relaxed)) {
-    }
+    pool().on_request(rounded * sizeof(float));
     return lease;
   }
 
@@ -130,22 +117,15 @@ class ScratchArena {
     return total;
   }
 
-  // Process-wide statistics across every thread's arena.
+  // Process-wide statistics across every thread's arena — the mem
+  // registry's scratch pool, through the legacy accessor names.
   static std::uint64_t total_slab_allocations() {
-    return detail::ScratchStats::slab_allocations.load(
-        std::memory_order_relaxed);
+    return pool().stats().upstream_allocs;
   }
-  static std::uint64_t bytes_in_use() {
-    return detail::ScratchStats::bytes_in_use.load(std::memory_order_relaxed);
-  }
-  static std::uint64_t peak_bytes() {
-    return detail::ScratchStats::peak_bytes.load(std::memory_order_relaxed);
-  }
+  static std::uint64_t bytes_in_use() { return pool().stats().live_bytes; }
+  static std::uint64_t peak_bytes() { return pool().stats().peak_live_bytes; }
   /// Resets the peak high-water mark (to measure one region's peak).
-  static void reset_peak_bytes() {
-    detail::ScratchStats::peak_bytes.store(bytes_in_use(),
-                                           std::memory_order_relaxed);
-  }
+  static void reset_peak_bytes() { pool().reset_peak(); }
 
  private:
   struct Slab {
@@ -153,6 +133,10 @@ class ScratchArena {
     std::size_t capacity = 0;
     std::size_t used = 0;
   };
+
+  static mem::Pool& pool() {
+    return mem::Registry::global().pool(mem::PoolId::kScratch);
+  }
 
   static std::size_t round_up(std::size_t count) {
     constexpr std::size_t kAlign = 16;  // floats; 64-byte lines
@@ -175,8 +159,7 @@ class ScratchArena {
     slab.capacity = std::max({rounded, kMinSlabFloats, total});
     slab.data = std::make_unique<float[]>(slab.capacity);
     slabs_.push_back(std::move(slab));
-    detail::ScratchStats::slab_allocations.fetch_add(
-        1, std::memory_order_relaxed);
+    pool().on_upstream_alloc(slabs_.back().capacity * sizeof(float));
     return slabs_.size() - 1;
   }
 
@@ -185,8 +168,7 @@ class ScratchArena {
     const std::size_t rounded = round_up(count);
     slabs_[slab].used = offset_before;
     active_ = slab;
-    detail::ScratchStats::bytes_in_use.fetch_sub(rounded * sizeof(float),
-                                                 std::memory_order_relaxed);
+    pool().on_release(rounded * sizeof(float));
   }
 
   std::vector<Slab> slabs_;

@@ -5,7 +5,7 @@
 namespace dlsr::nn {
 
 Tensor ReLU::forward(const Tensor& input) {
-  mask_ = Tensor(input.shape());
+  mask_.reset(input.shape());
   Tensor out(input.shape());
   for (std::size_t i = 0; i < input.numel(); ++i) {
     const bool pos = input[i] > 0.0f;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "mem/registry.hpp"
 
 namespace dlsr::nn {
 
@@ -10,13 +11,21 @@ BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum)
     : channels_(channels),
       eps_(eps),
       momentum_(momentum),
-      gamma_(Tensor::full({channels}, 1.0f)),
-      beta_({channels}),
-      gamma_grad_({channels}),
-      beta_grad_({channels}),
-      running_mean_({channels}),
-      running_var_(Tensor::full({channels}, 1.0f)) {
+      gamma_({channels},
+             mem::Registry::global().heap(mem::PoolId::kWeights)),
+      beta_({channels},
+            mem::Registry::global().heap(mem::PoolId::kWeights)),
+      gamma_grad_({channels},
+                  mem::Registry::global().heap(mem::PoolId::kGradients)),
+      beta_grad_({channels},
+                 mem::Registry::global().heap(mem::PoolId::kGradients)),
+      running_mean_({channels},
+                    mem::Registry::global().heap(mem::PoolId::kWeights)),
+      running_var_({channels},
+                   mem::Registry::global().heap(mem::PoolId::kWeights)) {
   DLSR_CHECK(channels > 0, "BatchNorm2d needs channels");
+  gamma_.fill(1.0f);
+  running_var_.fill(1.0f);
 }
 
 Tensor BatchNorm2d::forward(const Tensor& input) {
@@ -60,11 +69,11 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     var = running_var_;
   }
 
-  inv_std_ = Tensor({channels_});
+  inv_std_.reset({channels_});
   for (std::size_t c = 0; c < channels_; ++c) {
     inv_std_[c] = 1.0f / std::sqrt(var[c] + eps_);
   }
-  x_hat_ = Tensor(input.shape());
+  x_hat_.reset(input.shape());
   Tensor out(input.shape());
   for (std::size_t n = 0; n < N; ++n) {
     for (std::size_t c = 0; c < channels_; ++c) {

@@ -1,18 +1,33 @@
 #include "nn/conv_layer.hpp"
 
 #include "common/error.hpp"
+#include "mem/registry.hpp"
 #include "nn/init.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace dlsr::nn {
+namespace {
+
+// Parameters and their gradients live in dedicated pools so the registry's
+// live_bytes split the model footprint by role (weights vs gradients vs
+// activations) — the same decomposition the perf model and fig09 use.
+mem::Allocator& weights_heap() {
+  return mem::Registry::global().heap(mem::PoolId::kWeights);
+}
+mem::Allocator& grads_heap() {
+  return mem::Registry::global().heap(mem::PoolId::kGradients);
+}
+
+}  // namespace
 
 Conv2d::Conv2d(Conv2dSpec spec, Rng& rng, bool bias)
     : spec_(spec),
       has_bias_(bias),
-      weight_(spec.weight_shape()),
-      bias_(bias ? Tensor({spec.out_channels}) : Tensor{}),
-      weight_grad_(spec.weight_shape()),
-      bias_grad_(bias ? Tensor({spec.out_channels}) : Tensor{}) {
+      weight_(spec.weight_shape(), weights_heap()),
+      bias_(bias ? Tensor({spec.out_channels}, weights_heap()) : Tensor{}),
+      weight_grad_(spec.weight_shape(), grads_heap()),
+      bias_grad_(bias ? Tensor({spec.out_channels}, grads_heap())
+                      : Tensor{}) {
   kaiming_normal(weight_, spec_, rng);
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "mem/registry.hpp"
 #include "nn/init.hpp"
 #include "tensor/matmul.hpp"
 
@@ -10,10 +11,14 @@ namespace dlsr::nn {
 Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
     : in_features_(in_features),
       out_features_(out_features),
-      weight_({out_features, in_features}),
-      bias_({out_features}),
-      weight_grad_({out_features, in_features}),
-      bias_grad_({out_features}) {
+      weight_({out_features, in_features},
+              mem::Registry::global().heap(mem::PoolId::kWeights)),
+      bias_({out_features},
+            mem::Registry::global().heap(mem::PoolId::kWeights)),
+      weight_grad_({out_features, in_features},
+                   mem::Registry::global().heap(mem::PoolId::kGradients)),
+      bias_grad_({out_features},
+                 mem::Registry::global().heap(mem::PoolId::kGradients)) {
   kaiming_normal_linear(weight_, in_features, rng);
 }
 

@@ -3,8 +3,18 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "mem/registry.hpp"
 
 namespace dlsr::nn {
+namespace {
+
+// Optimizer state scales with the parameters it shadows; charge it to the
+// weights pool so "states = k × params" is visible in one gauge.
+mem::Allocator& state_heap() {
+  return mem::Registry::global().heap(mem::PoolId::kWeights);
+}
+
+}  // namespace
 
 void Optimizer::zero_grad() {
   for (auto& p : params_) {
@@ -23,7 +33,7 @@ Sgd::Sgd(std::vector<ParamRef> params, double lr, double momentum,
   if (momentum_ != 0.0) {
     velocity_.reserve(params_.size());
     for (const auto& p : params_) {
-      velocity_.emplace_back(p.value->shape());
+      velocity_.emplace_back(p.value->shape(), state_heap());
     }
   }
 }
@@ -57,8 +67,8 @@ Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const auto& p : params_) {
-    m_.emplace_back(p.value->shape());
-    v_.emplace_back(p.value->shape());
+    m_.emplace_back(p.value->shape(), state_heap());
+    v_.emplace_back(p.value->shape(), state_heap());
   }
 }
 

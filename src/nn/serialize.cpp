@@ -112,7 +112,11 @@ void load_parameters(Module& module, const std::string& path) {
                       p.name.c_str(),
                       shape_to_string(it->second.shape).c_str(),
                       shape_to_string(p.value->shape()).c_str()));
-    *p.value = Tensor(it->second.shape, std::move(it->second.data));
+    // Copy-assign (not move-assign): the parameter reuses its existing
+    // storage in place, so a checkpoint load never migrates a weight out
+    // of the weights pool.
+    const Tensor loaded(it->second.shape, std::move(it->second.data));
+    *p.value = loaded;
   }
 }
 

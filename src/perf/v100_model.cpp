@@ -74,14 +74,16 @@ double PerfModel::images_per_second(const models::ModelGraph& graph,
 
 std::size_t PerfModel::training_memory_bytes(
     const models::ModelGraph& graph, std::size_t batch,
-    std::size_t extra_context_bytes) const {
+    std::size_t extra_context_bytes, double activation_reuse) const {
   const std::size_t params = graph.param_bytes();
   // weights + grads + Adam m/v
   const std::size_t states = 4 * params;
   // Training holds every forward activation for backward, plus gradient
-  // activations of comparable size while backward runs.
-  const std::size_t activations =
-      2 * graph.activation_bytes_per_item() * batch;
+  // activations of comparable size while backward runs. A reuse-planning
+  // allocator shrinks this term by its measured packing ratio.
+  const auto activations = static_cast<std::size_t>(
+      activation_reuse * 2.0 *
+      static_cast<double>(graph.activation_bytes_per_item() * batch));
   // conv workspace (im2col / cuDNN algo scratch): ~kernel^2 blow-up of the
   // single largest activation; 9x of the largest layer is a fair stand-in.
   std::size_t largest = 0;
@@ -100,9 +102,10 @@ std::size_t PerfModel::training_memory_bytes(
 
 bool PerfModel::fits_in_memory(const models::ModelGraph& graph,
                                std::size_t batch,
-                               std::size_t extra_context_bytes) const {
-  return training_memory_bytes(graph, batch, extra_context_bytes) <=
-         gpu_.memory_bytes;
+                               std::size_t extra_context_bytes,
+                               double activation_reuse) const {
+  return training_memory_bytes(graph, batch, extra_context_bytes,
+                               activation_reuse) <= gpu_.memory_bytes;
 }
 
 }  // namespace dlsr::perf

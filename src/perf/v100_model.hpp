@@ -54,12 +54,18 @@ class PerfModel {
 
   /// Estimated training-resident bytes (see header comment).
   /// `extra_context_bytes` models foreign CUDA contexts on this device.
+  /// `activation_reuse` scales the activation term: 1.0 models a naive
+  /// allocator that keeps every temporary; a lifetime-planning allocator
+  /// measures its ratio (planned peak / recorded demand, see
+  /// mem::ActivationPlan) and passes it here to shift the memory curve.
   std::size_t training_memory_bytes(const models::ModelGraph& graph,
                                     std::size_t batch,
-                                    std::size_t extra_context_bytes = 0) const;
+                                    std::size_t extra_context_bytes = 0,
+                                    double activation_reuse = 1.0) const;
 
   bool fits_in_memory(const models::ModelGraph& graph, std::size_t batch,
-                      std::size_t extra_context_bytes = 0) const;
+                      std::size_t extra_context_bytes = 0,
+                      double activation_reuse = 1.0) const;
 
  private:
   double roofline_time(double flops, double bytes) const;

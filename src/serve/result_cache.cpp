@@ -2,7 +2,21 @@
 
 #include <cstring>
 
+#include "mem/registry.hpp"
+
 namespace dlsr::serve {
+namespace {
+
+// Cached copies are pinned to the serve-cache pool regardless of the
+// calling worker's arena binding — they outlive the request.
+Tensor pin_to_cache_pool(const Tensor& value) {
+  Tensor stored(value.shape(),
+                mem::Registry::global().heap(mem::PoolId::kServeCache));
+  std::memcpy(stored.raw(), value.raw(), value.size_bytes());
+  return stored;
+}
+
+}  // namespace
 
 std::uint64_t hash_tensor(const Tensor& t) {
   constexpr std::uint64_t kOffset = 1469598103934665603ULL;
@@ -21,7 +35,8 @@ std::uint64_t hash_tensor(const Tensor& t) {
   return h;
 }
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+ResultCache::ResultCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
 
 bool ResultCache::lookup(const CacheKey& key, Tensor* out) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -37,19 +52,24 @@ bool ResultCache::lookup(const CacheKey& key, Tensor* out) {
 }
 
 void ResultCache::insert(const CacheKey& key, const Tensor& value) {
-  if (capacity_ == 0) {
-    return;
+  const std::size_t bytes = value.size_bytes();
+  if (bytes > capacity_bytes_) {
+    return;  // covers capacity 0 and oversize values alike
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = value;
+    bytes_used_ -= it->second->second.size_bytes();
+    it->second->second = pin_to_cache_pool(value);
+    bytes_used_ += bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    lru_.emplace_front(key, pin_to_cache_pool(value));
+    index_[key] = lru_.begin();
+    bytes_used_ += bytes;
   }
-  lru_.emplace_front(key, value);
-  index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
+  while (bytes_used_ > capacity_bytes_ && lru_.size() > 1) {
+    bytes_used_ -= lru_.back().second.size_bytes();
     index_.erase(lru_.back().first);
     lru_.pop_back();
   }
@@ -58,6 +78,11 @@ void ResultCache::insert(const CacheKey& key, const Tensor& value) {
 std::size_t ResultCache::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return lru_.size();
+}
+
+std::size_t ResultCache::size_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_used_;
 }
 
 std::vector<CacheKey> ResultCache::keys_mru_to_lru() const {

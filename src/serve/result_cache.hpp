@@ -2,6 +2,12 @@
 // scale). Serving traffic is heavy-tailed — popular images recur — and an SR
 // forward is orders of magnitude more expensive than a hash + copy, so even
 // a small cache removes whole forwards from the hot path.
+//
+// The budget is BYTES, not entries: SR outputs are big (a 2x upscale of a
+// 480p frame is ~5 MB) and vary with tile size, so an entry count bounds
+// nothing. Cached tensors are copied into the serve-cache pool, which makes
+// the real footprint one registry gauge (mem/serve-cache/live_bytes) and
+// keeps cache bytes out of the per-request tile arena's accounting.
 #pragma once
 
 #include <cstddef>
@@ -37,22 +43,25 @@ struct CacheKeyHash {
   }
 };
 
-/// Thread-safe LRU map CacheKey -> Tensor. Capacity 0 disables caching
-/// (lookups miss, inserts drop).
+/// Thread-safe LRU map CacheKey -> Tensor, bounded by total value bytes.
+/// Capacity 0 disables caching (lookups miss, inserts drop); a value larger
+/// than the whole budget is never admitted.
 class ResultCache {
  public:
-  explicit ResultCache(std::size_t capacity);
+  explicit ResultCache(std::size_t capacity_bytes);
 
   /// On hit, copies the cached tensor into `out`, promotes the entry to
   /// most-recently-used, and returns true.
   bool lookup(const CacheKey& key, Tensor* out);
 
-  /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// entry when over capacity.
+  /// Inserts (or refreshes) an entry, evicting least-recently-used entries
+  /// until the byte budget holds.
   void insert(const CacheKey& key, const Tensor& value);
 
   std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
+  /// Bytes of cached tensor payload currently resident.
+  std::size_t size_bytes() const;
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
 
   /// Keys from most- to least-recently used (for tests and introspection).
   std::vector<CacheKey> keys_mru_to_lru() const;
@@ -60,8 +69,9 @@ class ResultCache {
  private:
   using Entry = std::pair<CacheKey, Tensor>;
 
-  std::size_t capacity_;
+  std::size_t capacity_bytes_;
   mutable std::mutex mutex_;
+  std::size_t bytes_used_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
       index_;

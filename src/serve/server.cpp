@@ -9,6 +9,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "mem/arena.hpp"
+#include "mem/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace dlsr::serve {
@@ -63,7 +65,7 @@ SrServer::SrServer(std::shared_ptr<models::Edsr> model, ServeConfig config)
       batcher_(BatcherConfig{
           config.max_batch, config.max_queue_delay,
           std::max(config.queue_high_water, config.max_batch)}),
-      cache_(config.cache_capacity),
+      cache_(config.cache_capacity_bytes),
       metrics_(config.max_batch) {
   DLSR_CHECK(config_.workers >= 1, "SrServer: need at least one worker");
   if (config_.halo == 0) {
@@ -189,7 +191,15 @@ void SrServer::finish_timed_out(RequestState& req) {
 }
 
 void SrServer::worker_loop() {
+  // Every tensor a batch's forwards allocate — packed tiles, engine
+  // intermediates, the upscaled output — dies before the batch completes,
+  // so this thread's temporaries bump-allocate out of retained slabs:
+  // zero heap traffic per batch in steady state. Request state (the
+  // stitched output, cached copies) is allocated outside the binding and
+  // is unaffected.
+  mem::BumpArena tile_arena(mem::PoolId::kServeTiles);
   for (;;) {
+    tile_arena.reset();
     std::vector<TileJob> batch = batcher_.pop_batch();
     if (batch.empty()) {
       return;  // shut down and drained
@@ -234,6 +244,7 @@ void SrServer::worker_loop() {
       const TilePlan& plan = job.request->plan;
       groups[{plan.tile_h, plan.tile_w}].push_back(std::move(job));
     }
+    const mem::ScopedAllocator bind_tiles(&tile_arena);
     for (auto& [dims, jobs] : groups) {
       obs::ScopedSpan batch_span("serve", "batch");
       if (batch_span.active()) {
@@ -290,6 +301,7 @@ void SrServer::worker_loop() {
         }
       }
     }
+    mem::Registry::global().publish_gauges();
   }
 }
 

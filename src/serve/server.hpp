@@ -43,7 +43,8 @@ struct ServeConfig {
   std::chrono::microseconds max_queue_delay{2000};
   std::size_t queue_high_water = 512;  ///< max queued tiles before rejecting
   std::size_t workers = 2;
-  std::size_t cache_capacity = 32;
+  /// Result-cache byte budget (tensor payload, serve-cache pool).
+  std::size_t cache_capacity_bytes = 64ull << 20;
   /// Applied when submit() is called without an explicit deadline;
   /// zero means no deadline.
   std::chrono::milliseconds default_deadline{0};

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "mem/registry.hpp"
 
 namespace dlsr::sim {
 
@@ -10,34 +11,84 @@ GpuMemory::GpuMemory(std::string name, std::size_t capacity_bytes)
   DLSR_CHECK(capacity_ > 0, "GPU capacity must be positive");
 }
 
-bool GpuMemory::allocate(const std::string& tag, std::size_t bytes) {
+GpuMemory::TagId GpuMemory::intern(const std::string& tag) {
+  const auto it = ids_.find(tag);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const TagId id = static_cast<TagId>(names_.size());
+  names_.push_back(tag);
+  by_id_.push_back(0);
+  ids_.emplace(tag, id);
+  return id;
+}
+
+bool GpuMemory::allocate(TagId tag, std::size_t bytes) {
+  DLSR_CHECK(tag < by_id_.size(), "GpuMemory: unknown tag id");
   if (used_ + bytes > capacity_) {
     return false;
   }
   used_ += bytes;
-  by_tag_[tag] += bytes;
+  by_id_[tag] += bytes;
   return true;
 }
 
-void GpuMemory::release(const std::string& tag, std::size_t bytes) {
-  auto it = by_tag_.find(tag);
-  DLSR_CHECK(it != by_tag_.end() && it->second >= bytes,
+void GpuMemory::release(TagId tag, std::size_t bytes) {
+  DLSR_CHECK(tag < by_id_.size() && by_id_[tag] >= bytes,
              strfmt("release of %zu bytes exceeds tag balance", bytes));
-  it->second -= bytes;
+  by_id_[tag] -= bytes;
   used_ -= bytes;
-  if (it->second == 0) {
-    by_tag_.erase(it);
-  }
+}
+
+std::size_t GpuMemory::used_by(TagId tag) const {
+  return tag < by_id_.size() ? by_id_[tag] : 0;
 }
 
 std::size_t GpuMemory::used_by(const std::string& tag) const {
-  const auto it = by_tag_.find(tag);
-  return it == by_tag_.end() ? 0 : it->second;
+  const auto it = ids_.find(tag);
+  return it == ids_.end() ? 0 : by_id_[it->second];
+}
+
+std::map<std::string, std::size_t> GpuMemory::breakdown() const {
+  std::map<std::string, std::size_t> out;
+  for (TagId id = 0; id < by_id_.size(); ++id) {
+    if (by_id_[id] > 0) {
+      out.emplace(names_[id], by_id_[id]);
+    }
+  }
+  return out;
+}
+
+bool GpuMemory::book_pool_peaks(const mem::Registry& registry, double scale) {
+  DLSR_CHECK(scale > 0.0, "book_pool_peaks: scale must be positive");
+  // Two passes so a failure books nothing (the allocate() contract).
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < mem::kPoolCount; ++i) {
+    const auto stats = registry.stats(static_cast<mem::PoolId>(i));
+    total += static_cast<std::size_t>(
+        static_cast<double>(stats.peak_live_bytes) * scale);
+  }
+  if (used_ + total > capacity_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < mem::kPoolCount; ++i) {
+    const auto id = static_cast<mem::PoolId>(i);
+    const auto stats = registry.stats(id);
+    const auto bytes = static_cast<std::size_t>(
+        static_cast<double>(stats.peak_live_bytes) * scale);
+    if (bytes > 0) {
+      (void)allocate(intern(std::string("pool/") + mem::pool_name(id)),
+                     bytes);
+    }
+  }
+  return true;
 }
 
 void GpuMemory::reset() {
   used_ = 0;
-  by_tag_.clear();
+  for (std::size_t& balance : by_id_) {
+    balance = 0;
+  }
 }
 
 }  // namespace dlsr::sim

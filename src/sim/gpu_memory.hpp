@@ -5,16 +5,32 @@
 // CUDA context (and allocator pool) on *every* GPU, eating memory that the
 // training job needs. Allocations are tracked by a tag so experiments can
 // report the breakdown.
+//
+// Tags are interned to dense integer ids at first sight; the hot
+// allocate/release path is a vector index, and the tag-name table is
+// consulted only when a breakdown() snapshot is built. Callers issuing many
+// allocations under one tag should intern() once and use the TagId
+// overloads.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dlsr::mem {
+class Registry;
+}
 
 namespace dlsr::sim {
 
 class GpuMemory {
  public:
+  /// Dense per-instance tag handle (see intern()).
+  using TagId = std::uint32_t;
+
   GpuMemory(std::string name, std::size_t capacity_bytes);
 
   const std::string& name() const { return name_; }
@@ -22,20 +38,36 @@ class GpuMemory {
   std::size_t used() const { return used_; }
   std::size_t available() const { return capacity_ - used_; }
 
-  /// Reserves bytes under `tag`. Returns false (no change) if it would
-  /// exceed capacity — the caller decides whether that is an OOM error.
-  [[nodiscard]] bool allocate(const std::string& tag, std::size_t bytes);
+  /// Returns the id for `tag`, creating it on first sight. Ids are stable
+  /// for the lifetime of this GpuMemory (reset() keeps them).
+  TagId intern(const std::string& tag);
 
-  /// Releases bytes under `tag` (must not exceed the tag's balance).
-  void release(const std::string& tag, std::size_t bytes);
+  /// Reserves bytes under a tag. Returns false (no change) if it would
+  /// exceed capacity — the caller decides whether that is an OOM error.
+  [[nodiscard]] bool allocate(TagId tag, std::size_t bytes);
+  [[nodiscard]] bool allocate(const std::string& tag, std::size_t bytes) {
+    return allocate(intern(tag), bytes);
+  }
+
+  /// Releases bytes under a tag (must not exceed the tag's balance).
+  void release(TagId tag, std::size_t bytes);
+  void release(const std::string& tag, std::size_t bytes) {
+    release(intern(tag), bytes);
+  }
 
   /// Current bytes held by a tag (0 if unknown).
+  std::size_t used_by(TagId tag) const;
   std::size_t used_by(const std::string& tag) const;
 
-  /// Tag -> bytes snapshot.
-  const std::map<std::string, std::size_t>& breakdown() const {
-    return by_tag_;
-  }
+  /// Tag -> bytes snapshot (built on demand; zero-balance tags omitted).
+  std::map<std::string, std::size_t> breakdown() const;
+
+  /// Books each registry pool's peak bytes under a "pool/<name>" tag,
+  /// scaled by `scale` — the bridge from the real allocator's measured
+  /// footprint to the simulated 16 GB budget. Returns false (nothing
+  /// booked) if the combined peaks do not fit the remaining capacity.
+  [[nodiscard]] bool book_pool_peaks(const mem::Registry& registry,
+                                     double scale = 1.0);
 
   void reset();
 
@@ -43,7 +75,9 @@ class GpuMemory {
   std::string name_;
   std::size_t capacity_;
   std::size_t used_ = 0;
-  std::map<std::string, std::size_t> by_tag_;
+  std::vector<std::size_t> by_id_;   // balance per TagId
+  std::vector<std::string> names_;   // TagId -> tag string
+  std::unordered_map<std::string, TagId> ids_;
 };
 
 }  // namespace dlsr::sim

@@ -5,7 +5,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
-#include "common/scratch.hpp"
+#include "mem/scratch.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"

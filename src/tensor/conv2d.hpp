@@ -23,7 +23,7 @@
 // implementation kept N per-sample copies of grad_weight).
 //
 // All scratch (im2col buffers, packed panels, padded planes) comes from
-// per-thread ScratchArenas (common/scratch.hpp): steady-state calls
+// per-thread ScratchArenas (mem/scratch.hpp): steady-state calls
 // allocate nothing.
 //
 // Weight layout: [out_channels, in_channels, kernel, kernel].

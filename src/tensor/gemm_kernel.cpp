@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
-#include "common/scratch.hpp"
+#include "mem/scratch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 

@@ -1,6 +1,7 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
@@ -29,17 +30,25 @@ std::string shape_to_string(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_)) {
+  zero();
+}
 
 Tensor::Tensor(std::initializer_list<std::size_t> dims)
     : Tensor(Shape(dims)) {}
 
+Tensor::Tensor(Shape shape, mem::Allocator& alloc)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), alloc) {
+  zero();
+}
+
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
-  DLSR_CHECK(data_.size() == shape_numel(shape_),
+    : shape_(std::move(shape)), data_(values.size()) {
+  DLSR_CHECK(values.size() == shape_numel(shape_),
              strfmt("value count %zu does not match shape %s numel %zu",
-                    data_.size(), shape_to_string(shape_).c_str(),
+                    values.size(), shape_to_string(shape_).c_str(),
                     shape_numel(shape_)));
+  std::memcpy(data_.data(), values.data(), values.size() * sizeof(float));
 }
 
 Tensor Tensor::full(Shape shape, float value) {
@@ -64,12 +73,12 @@ std::size_t Tensor::dim(std::size_t i) const {
 
 float& Tensor::at(std::size_t i) {
   DLSR_CHECK(i < data_.size(), strfmt("index %zu out of range", i));
-  return data_[i];
+  return data_.data()[i];
 }
 
 float Tensor::at(std::size_t i) const {
   DLSR_CHECK(i < data_.size(), strfmt("index %zu out of range", i));
-  return data_[i];
+  return data_.data()[i];
 }
 
 float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
@@ -77,7 +86,7 @@ float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
   DLSR_CHECK(rank() == 4, "at4 requires a rank-4 tensor");
   DLSR_CHECK(n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
              "at4 index out of range");
-  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  return data_.data()[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
 float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
@@ -97,7 +106,14 @@ Tensor Tensor::reshaped(Shape new_shape) const {
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.data(), data_.data() + data_.size(), value);
+}
+
+void Tensor::reset(Shape shape) {
+  data_.release();
+  shape_ = std::move(shape);
+  data_ = mem::Buffer(shape_numel(shape_));
+  zero();
 }
 
 }  // namespace dlsr

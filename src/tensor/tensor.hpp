@@ -7,6 +7,11 @@
 //  * Copying is deep (value semantics); moves are O(1). Layers hold tensors
 //    by value, which makes ownership trivially correct (Core Guidelines R.1).
 //  * Shapes are small vectors of std::size_t; rank ≤ 4 in practice.
+//  * Storage is a mem::Buffer: bytes come from the thread's current
+//    allocator binding (an arena or the activation planner when one is in
+//    scope, the default heap pool otherwise) and are charged to a named
+//    pool in mem::Registry. Construction zero-fills regardless of the
+//    allocator, so results never depend on where the bytes came from.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +19,8 @@
 #include <span>
 #include <string>
 #include <vector>
+
+#include "mem/buffer.hpp"
 
 namespace dlsr {
 
@@ -36,7 +43,11 @@ class Tensor {
   explicit Tensor(Shape shape);
   Tensor(std::initializer_list<std::size_t> dims);
 
-  /// Takes ownership of `values`; size must match the shape.
+  /// Zero-initialized tensor whose storage is pinned to `alloc`'s pool,
+  /// bypassing the thread's current binding (weights, optimizer state).
+  Tensor(Shape shape, mem::Allocator& alloc);
+
+  /// Copies `values` in; size must match the shape.
   Tensor(Shape shape, std::vector<float> values);
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -51,8 +62,8 @@ class Tensor {
   /// Dimension i; throws when out of range.
   std::size_t dim(std::size_t i) const;
 
-  std::span<float> data() { return data_; }
-  std::span<const float> data() const { return data_; }
+  std::span<float> data() { return {data_.data(), data_.size()}; }
+  std::span<const float> data() const { return {data_.data(), data_.size()}; }
 
   float* raw() { return data_.data(); }
   const float* raw() const { return data_.data(); }
@@ -66,8 +77,8 @@ class Tensor {
   float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
 
   /// Unchecked flat access for kernels.
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) { return data_.data()[i]; }
+  float operator[](std::size_t i) const { return data_.data()[i]; }
 
   /// Returns a tensor with the same data and a new shape (same numel).
   Tensor reshaped(Shape new_shape) const;
@@ -76,11 +87,17 @@ class Tensor {
   /// Sets every element to zero (gradient reset).
   void zero() { fill(0.0f); }
 
+  /// Releases the old storage, then zero-initializes to `shape` from the
+  /// thread's current allocator. Free-before-alloc matters under the
+  /// activation planner: a per-step cache that resets to the same shape
+  /// recycles its own slot instead of briefly needing two.
+  void reset(Shape shape);
+
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  mem::Buffer data_;
 };
 
 }  // namespace dlsr

@@ -1,0 +1,325 @@
+// dlsr::mem — pools, buffers, arenas, and the activation lifetime planner.
+//
+// The load-bearing guarantees tested here:
+//   * pool accounting is exact (live/peak/upstream counters),
+//   * Buffer keeps std::vector semantics (deep copy, in-place same-size
+//     copy-assign) while routing storage through allocator bindings,
+//   * BumpArena reuses retained slabs across generations (zero upstream
+//     traffic at steady state) and refuses stale tickets,
+//   * the ActivationPlan is bit-identical to heap allocation, packs
+//     overlapping lifetimes into disjoint slots (adversarial pattern),
+//     shrinks the footprint below per-step demand, replays with zero
+//     fallbacks and zero steady-state upstream allocations, and degrades
+//     to bump fallback — not corruption — when the pattern diverges.
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/training_session.hpp"
+#include "image/synthetic_div2k.hpp"
+#include "mem/arena.hpp"
+#include "mem/plan.hpp"
+#include "mem/pool.hpp"
+#include "mem/registry.hpp"
+#include "models/edsr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlsr::mem {
+namespace {
+
+TEST(Pool, CountersTrackLivePeakAndUpstream) {
+  Pool pool;
+  pool.on_request(100);
+  pool.on_request(50);
+  pool.on_release(100);
+  pool.on_request(25);
+  pool.on_upstream_alloc(4096);
+  pool.on_upstream_free(4096);
+
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.request_bytes, 175u);
+  EXPECT_EQ(s.live_bytes, 75u);
+  EXPECT_EQ(s.peak_live_bytes, 150u);
+  EXPECT_EQ(s.upstream_allocs, 1u);
+  EXPECT_EQ(s.upstream_bytes, 4096u);
+  EXPECT_EQ(s.upstream_frees, 1u);
+
+  pool.reset_peak();
+  EXPECT_EQ(pool.stats().peak_live_bytes, 75u);
+}
+
+TEST(Ticket, RoundTripsFlagsGenerationAndOrdinal) {
+  const std::uint64_t t = ticket::make(ticket::kFlagBump, 7, 42);
+  EXPECT_EQ(ticket::gen(t), 7u);
+  EXPECT_EQ(ticket::ordinal(t), 42u);
+  EXPECT_NE(t & ticket::kFlagBump, 0u);
+  EXPECT_EQ(t & ticket::kFlagSlot, 0u);
+  // Generation wraps at 30 bits without bleeding into the flag bits.
+  const std::uint64_t wide = ticket::make(ticket::kFlagSlot, ~0ull, ~0ull);
+  EXPECT_NE(wide & ticket::kFlagSlot, 0u);
+  EXPECT_EQ(ticket::gen(wide), 0x3fffffffu);
+}
+
+TEST(Registry, PoolsAreNamedAndChargeable) {
+  Registry& reg = Registry::global();
+  for (std::size_t i = 0; i < kPoolCount; ++i) {
+    const auto id = static_cast<PoolId>(i);
+    EXPECT_EQ(reg.pool(id).id(), id);
+    EXPECT_STREQ(reg.pool(id).name(), pool_name(id));
+  }
+  const std::uint64_t before = reg.stats(PoolId::kWeights).live_bytes;
+  {
+    const Tensor pinned(Shape{16}, reg.heap(PoolId::kWeights));
+    EXPECT_EQ(reg.stats(PoolId::kWeights).live_bytes,
+              before + 16 * sizeof(float));
+  }
+  EXPECT_EQ(reg.stats(PoolId::kWeights).live_bytes, before);
+}
+
+TEST(Buffer, TensorCopyIsDeepAndSameSizeAssignReusesStorage) {
+  Tensor a = Tensor::arange(8);
+  Tensor b = a;  // deep copy
+  EXPECT_NE(a.raw(), b.raw());
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 0.0f);
+
+  // Same-size copy-assign writes in place: the target keeps its pointer
+  // (and therefore its pool) — the checkpoint-load / broadcast guarantee.
+  const float* home = b.raw();
+  b = a;
+  EXPECT_EQ(b.raw(), home);
+  EXPECT_EQ(b[0], 0.0f);
+
+  // Size change reallocates.
+  Tensor c({2});
+  c = a;
+  EXPECT_EQ(c.numel(), 8u);
+  EXPECT_EQ(c[7], 7.0f);
+
+  // Moves steal storage.
+  const float* stolen = a.raw();
+  Tensor d = std::move(a);
+  EXPECT_EQ(d.raw(), stolen);
+}
+
+TEST(ScopedAllocator, BindsRoutesAndRestores) {
+  EXPECT_EQ(current_binding(), nullptr);
+  BumpArena arena(PoolId::kActivations);
+  {
+    const ScopedAllocator bind(&arena);
+    EXPECT_EQ(current_binding(), &arena);
+    Tensor t({32});  // routed to the arena, zero-filled like any tensor
+    for (const float v : t.data()) {
+      EXPECT_EQ(v, 0.0f);
+    }
+    {
+      const ScopedAllocator inner(nullptr);  // force the default pool
+      EXPECT_EQ(current_binding(), nullptr);
+    }
+    EXPECT_EQ(current_binding(), &arena);
+  }
+  EXPECT_EQ(current_binding(), nullptr);
+  arena.reset();
+}
+
+TEST(BumpArena, ReusesSlabsAcrossGenerations) {
+  BumpArena arena(PoolId::kServeTiles);
+  Registry& reg = Registry::global();
+
+  const auto step = [&arena] {
+    const ScopedAllocator bind(&arena);
+    Tensor a({256});
+    Tensor b({128});
+    a.fill(1.0f);
+    b.fill(2.0f);
+    arena.reset();
+  };
+  step();  // first generation grows slabs
+  const std::uint64_t allocs_after_warmup =
+      reg.stats(PoolId::kServeTiles).upstream_allocs;
+  const std::size_t capacity = arena.capacity_bytes();
+  for (int i = 0; i < 5; ++i) {
+    step();
+  }
+  // Steady state: same requests, zero new upstream traffic, same slabs.
+  EXPECT_EQ(reg.stats(PoolId::kServeTiles).upstream_allocs,
+            allocs_after_warmup);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+TEST(BumpArena, StaleTicketsAreNotReusable) {
+  BumpArena arena(PoolId::kServeTiles);
+  std::uint64_t ticket = 0;
+  (void)arena.allocate(16, ticket);
+  EXPECT_TRUE(arena.reusable(ticket));
+  arena.reset();
+  EXPECT_FALSE(arena.reusable(ticket));
+  // Deallocating the stale ticket is accounting-only and safe.
+  arena.deallocate(nullptr, 16, ticket);
+}
+
+// ---------------------------------------------------------------------------
+// ActivationPlan
+// ---------------------------------------------------------------------------
+
+TEST(ActivationPlan, ParsesModeNames) {
+  EXPECT_EQ(parse_activation_memory("heap"), ActivationMemory::kHeap);
+  EXPECT_EQ(parse_activation_memory("arena"), ActivationMemory::kArena);
+  EXPECT_EQ(parse_activation_memory("planned"), ActivationMemory::kPlanned);
+  EXPECT_THROW(parse_activation_memory("mmap"), Error);
+}
+
+// Adversarial lifetime pattern: b overlaps both a and c, but a dies before
+// c is born. A correct interval coloring may give c a's slot but NEVER b's.
+// Each tensor carries a distinct per-step pattern; if the planner aliased
+// overlapping lifetimes, c's writes would corrupt b (and the check fires in
+// the replay steps, where slots are shared).
+TEST(ActivationPlan, AdversarialOverlapNeverAliasesLiveTensors) {
+  ActivationPlan plan;
+  for (int step = 1; step <= 8; ++step) {
+    const ActivationPlan::StepScope scope(plan);
+    const float base = static_cast<float>(step) * 10.0f;
+
+    auto a = std::make_unique<Tensor>(Shape{64});
+    a->fill(base + 1.0f);
+    auto b = std::make_unique<Tensor>(Shape{64});
+    b->fill(base + 2.0f);
+    a.reset();  // a dies while b lives
+    auto c = std::make_unique<Tensor>(Shape{64});
+    c->fill(base + 3.0f);
+
+    for (const float v : b->data()) {
+      ASSERT_EQ(v, base + 2.0f) << "step " << step;
+    }
+    for (const float v : c->data()) {
+      ASSERT_EQ(v, base + 3.0f) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(plan.planned());
+  EXPECT_EQ(plan.fallback_allocs(), 0u);
+  // b and c must not share a slot, so the plan needs at least 2 x 64
+  // floats; a sharing with c keeps it under the 3-tensor demand.
+  EXPECT_GE(plan.planned_peak_bytes(), 2 * 64 * sizeof(float));
+  EXPECT_LT(plan.planned_peak_bytes(), plan.recorded_demand_bytes());
+}
+
+TEST(ActivationPlan, DivergentStepFallsBackWithoutCorruption) {
+  ActivationPlan plan;
+  for (int step = 1; step <= 5; ++step) {
+    const ActivationPlan::StepScope scope(plan);
+    Tensor t({48});
+    t.fill(3.0f);
+  }
+  ASSERT_TRUE(plan.planned());
+  EXPECT_EQ(plan.fallback_allocs(), 0u);
+
+  // A shape change diverges from the recorded pattern: the planner must
+  // miss the slot (size mismatch) and serve valid bump storage instead.
+  {
+    const ActivationPlan::StepScope scope(plan);
+    Tensor wide({96});
+    wide.fill(7.0f);
+    for (const float v : wide.data()) {
+      ASSERT_EQ(v, 7.0f);
+    }
+  }
+  EXPECT_GT(plan.fallback_allocs(), 0u);
+}
+
+struct TrainResult {
+  std::vector<std::vector<float>> params;
+  double last_loss = 0.0;
+};
+
+TrainResult train_tiny(ActivationMemory mode, std::size_t steps) {
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size = 32;
+  const img::SyntheticDiv2k dataset(data_cfg);
+
+  core::SessionConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_per_worker = 1;
+  cfg.lr_patch = 10;
+  cfg.train_pool = 4;
+  cfg.seed = 5;
+  cfg.activation_memory = mode;
+
+  std::uint64_t seed = 17;
+  core::TrainingSession session(
+      dataset,
+      [&seed] {
+        Rng rng(seed);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(), rng);
+      },
+      cfg);
+  TrainResult r;
+  r.last_loss = session.run_steps(steps).last_loss;
+  for (const nn::ParamRef& p : session.model().parameters()) {
+    r.params.emplace_back(p.value->data().begin(), p.value->data().end());
+  }
+  return r;
+}
+
+// The planner must be invisible to the math: same seed, same steps, same
+// bits — allocation strategy changes where bytes live, never their values.
+TEST(ActivationPlan, TrainingIsBitIdenticalToHeap) {
+  const TrainResult heap = train_tiny(ActivationMemory::kHeap, 6);
+  const TrainResult planned = train_tiny(ActivationMemory::kPlanned, 6);
+
+  EXPECT_EQ(heap.last_loss, planned.last_loss);
+  ASSERT_EQ(heap.params.size(), planned.params.size());
+  for (std::size_t i = 0; i < heap.params.size(); ++i) {
+    ASSERT_EQ(heap.params[i].size(), planned.params[i].size());
+    EXPECT_EQ(0, std::memcmp(heap.params[i].data(), planned.params[i].data(),
+                             heap.params[i].size() * sizeof(float)))
+        << "parameter " << i << " diverged";
+  }
+}
+
+TEST(ActivationPlan, RealTrainingShrinksFootprintAndReplaysZeroAlloc) {
+  img::Div2kConfig data_cfg;
+  data_cfg.image_size = 32;
+  const img::SyntheticDiv2k dataset(data_cfg);
+
+  core::SessionConfig cfg;
+  cfg.workers = 1;
+  cfg.train_pool = 2;
+  cfg.seed = 3;
+  cfg.activation_memory = ActivationMemory::kPlanned;
+
+  std::uint64_t seed = 9;
+  core::TrainingSession session(
+      dataset,
+      [&seed] {
+        Rng rng(seed);
+        return std::make_unique<models::Edsr>(models::EdsrConfig::tiny(), rng);
+      },
+      cfg);
+  (void)session.run_steps(6);
+
+  const ActivationPlan* plan = session.workers().activation_plan();
+  ASSERT_NE(plan, nullptr);
+  ASSERT_TRUE(plan->planned());
+  EXPECT_EQ(plan->fallback_allocs(), 0u);
+  // The planner's reason to exist: slots cost less than one step's total
+  // allocation demand, and no less than the recorded concurrent-live peak.
+  EXPECT_LT(plan->planned_peak_bytes(), plan->recorded_demand_bytes());
+  EXPECT_GE(plan->planned_peak_bytes(), plan->recorded_live_peak_bytes());
+
+  // Steady state is zero-alloc: replaying steps adds NO upstream heap
+  // traffic to the activations pool — the registry counter is the gate.
+  const std::uint64_t upstream =
+      Registry::global().stats(PoolId::kActivations).upstream_allocs;
+  (void)session.run_steps(4);
+  EXPECT_EQ(Registry::global().stats(PoolId::kActivations).upstream_allocs,
+            upstream);
+  EXPECT_EQ(plan->fallback_allocs(), 0u);
+}
+
+}  // namespace
+}  // namespace dlsr::mem

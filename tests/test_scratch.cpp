@@ -6,7 +6,7 @@
 #include <cstddef>
 
 #include "common/rng.hpp"
-#include "common/scratch.hpp"
+#include "mem/scratch.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/conv2d.hpp"
 

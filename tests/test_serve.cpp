@@ -211,7 +211,7 @@ TEST(MicroBatcher, ShutdownDrainsThenReturnsEmpty) {
 // --- Result cache ---------------------------------------------------------
 
 TEST(ResultCache, LruEvictionOrder) {
-  ResultCache cache(2);
+  ResultCache cache(2 * sizeof(float));  // room for two {1} tensors
   const CacheKey a{1, 2};
   const CacheKey b{2, 2};
   const CacheKey c{3, 2};
@@ -236,6 +236,28 @@ TEST(ResultCache, ZeroCapacityDisables) {
   cache.insert({1, 2}, Tensor::full({1}, 1.0f));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.lookup({1, 2}, nullptr));
+}
+
+TEST(ResultCache, ByteBudgetEvictsUnderTightBudget) {
+  // Budget fits one 16-float result plus one 4-float result, never two
+  // large ones: inserting a second large entry must evict the first.
+  ResultCache cache(20 * sizeof(float));
+  const CacheKey big1{1, 2};
+  const CacheKey big2{2, 2};
+  const CacheKey small{3, 2};
+  cache.insert(big1, Tensor::full({16}, 1.0f));
+  cache.insert(small, Tensor::full({4}, 3.0f));
+  EXPECT_EQ(cache.size_bytes(), 20 * sizeof(float));
+  cache.insert(big2, Tensor::full({16}, 2.0f));
+  EXPECT_FALSE(cache.lookup(big1, nullptr)) << "LRU large entry evicted";
+  EXPECT_TRUE(cache.lookup(big2, nullptr));
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+
+  // An entry larger than the whole budget is never admitted (and never
+  // flushes the resident working set).
+  cache.insert({4, 2}, Tensor::full({64}, 4.0f));
+  EXPECT_FALSE(cache.lookup({4, 2}, nullptr));
+  EXPECT_TRUE(cache.lookup(big2, nullptr));
 }
 
 TEST(ResultCache, HashDistinguishesContentAndShape) {

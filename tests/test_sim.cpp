@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "mem/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/gpu_memory.hpp"
 #include "sim/link.hpp"
 #include "sim/topology.hpp"
+#include "tensor/tensor.hpp"
 
 namespace dlsr::sim {
 namespace {
@@ -183,6 +185,52 @@ TEST(GpuMemoryTest, BreakdownTracksTags) {
   ASSERT_TRUE(mem.allocate("ctx", 100));
   ASSERT_TRUE(mem.allocate("ctx", 100));
   EXPECT_EQ(mem.breakdown().at("ctx"), 200u);
+}
+
+TEST(GpuMemoryTest, InternedTagsAliasTheirStringNames) {
+  GpuMemory mem("gpu0", 1000);
+  const GpuMemory::TagId ctx = mem.intern("ctx");
+  EXPECT_EQ(mem.intern("ctx"), ctx);  // stable across calls
+  ASSERT_TRUE(mem.allocate(ctx, 150));
+  ASSERT_TRUE(mem.allocate("ctx", 50));  // string path hits the same slot
+  EXPECT_EQ(mem.used_by(ctx), 200u);
+  EXPECT_EQ(mem.used_by("ctx"), 200u);
+  mem.release(ctx, 120);
+  EXPECT_EQ(mem.used_by("ctx"), 80u);
+  // reset() zeroes balances but keeps interned ids valid.
+  mem.reset();
+  EXPECT_EQ(mem.used(), 0u);
+  ASSERT_TRUE(mem.allocate(ctx, 10));
+  EXPECT_EQ(mem.used_by("ctx"), 10u);
+}
+
+TEST(GpuMemoryTest, BookPoolPeaksIsAllOrNothing) {
+  // Guarantee at least one nonzero pool peak, then book the registry's
+  // peaks: a roomy accountant takes them all, a 1-byte one takes nothing.
+  const Tensor t(Shape{64},
+                 mem::Registry::global().heap(mem::PoolId::kDefault));
+  std::size_t total_peak = 0;
+  for (std::size_t i = 0; i < mem::kPoolCount; ++i) {
+    total_peak += mem::Registry::global()
+                      .stats(static_cast<mem::PoolId>(i))
+                      .peak_live_bytes;
+  }
+  ASSERT_GT(total_peak, 0u);
+
+  GpuMemory roomy("gpu0", 2 * total_peak + 1);
+  EXPECT_TRUE(roomy.book_pool_peaks(mem::Registry::global()));
+  EXPECT_EQ(roomy.used(), total_peak);
+  EXPECT_GE(roomy.used_by("pool/default"), 64 * sizeof(float));
+
+  GpuMemory tiny("gpu1", 1);
+  EXPECT_FALSE(tiny.book_pool_peaks(mem::Registry::global()));
+  EXPECT_EQ(tiny.used(), 0u);  // failed booking left no trace
+  EXPECT_TRUE(tiny.breakdown().empty());
+
+  // Scale shifts the whole booking (simulating N replicas per device).
+  GpuMemory doubled("gpu2", 4 * total_peak + 4);
+  EXPECT_TRUE(doubled.book_pool_peaks(mem::Registry::global(), 2.0));
+  EXPECT_GE(doubled.used(), 2 * total_peak - mem::kPoolCount);
 }
 
 

@@ -65,6 +65,8 @@
 #include "data/stream.hpp"
 #include "hvd/timeline.hpp"
 #include "image/eval.hpp"
+#include "mem/plan.hpp"
+#include "mem/registry.hpp"
 #include "models/edsr_graph.hpp"
 #include "models/resnet50_graph.hpp"
 #include "models/srresnet.hpp"
@@ -112,6 +114,9 @@ void obs_end(const Flags& flags) {
     tracer.disable();
   }
   if (flags.has("metrics-out")) {
+    // Final pool-gauge refresh so the written JSON reflects end-of-run
+    // live/peak bytes even for commands without a per-step publish.
+    mem::Registry::global().publish_gauges();
     obs::MetricsRegistry::global().write_json(flags.get("metrics-out"));
     std::printf("metrics written to %s\n", flags.get("metrics-out").c_str());
   }
@@ -455,6 +460,10 @@ int cmd_train(int argc, const char* const* argv) {
   flags.define("topk-fraction",
                "fraction of gradient elements kept by the topk wire",
                "0.01");
+  flags.define("activation-memory",
+               "step-temporary storage: planned (lifetime-planned slots), "
+               "arena (per-step bump), or heap; all bit-identical",
+               "planned");
   flags.define("crash-with",
                "inject a fault after training (segv|abort|throw) to "
                "exercise the flight recorder",
@@ -486,6 +495,8 @@ int cmd_train(int argc, const char* const* argv) {
   cfg.precision = parse_precision(flags.get("precision"));
   cfg.wire_format = comm::parse_wire_format(flags.get("wire"));
   cfg.topk_fraction = flags.get_double("topk-fraction");
+  cfg.activation_memory = mem::parse_activation_memory(
+      flags.get("activation-memory"));
   std::uint64_t seed = 7;
   core::TrainingSession session(
       dataset,
@@ -505,6 +516,18 @@ int cmd_train(int argc, const char* const* argv) {
               stats.steps, cfg.workers, precision_name(cfg.precision),
               comm::wire_format_name(cfg.wire_format), stats.first_loss,
               stats.last_loss, session.validate_psnr(2));
+  if (const mem::ActivationPlan* plan =
+          session.workers().activation_plan();
+      plan != nullptr && plan->planned()) {
+    std::printf("activation planner: %zu slots hold %.2f MiB "
+                "(unplanned per-step demand %.2f MiB, %llu replay "
+                "fallbacks)\n",
+                plan->slot_count(),
+                static_cast<double>(plan->planned_peak_bytes()) / 1048576.0,
+                static_cast<double>(plan->recorded_demand_bytes()) /
+                    1048576.0,
+                static_cast<unsigned long long>(plan->fallback_allocs()));
+  }
   if (const data::TrainLoader* loader = session.loader()) {
     const data::LoaderStats ls = loader->stats();
     std::printf("data pipeline: %zu batches prefetched, consumer wait "
@@ -639,7 +662,7 @@ int cmd_serve(int argc, const char* const* argv) {
   flags.define("tile", "tile side in pixels", "48");
   flags.define("max-batch", "micro-batch size cap", "8");
   flags.define("workers", "server worker threads", "2");
-  flags.define("cache", "LRU result-cache capacity", "32");
+  flags.define("cache-mb", "LRU result-cache byte budget in MiB", "64");
   flags.define("deadline-ms", "per-request deadline (0 = none)", "0");
   flags.define("stream-frames",
                "stream this many synthetic video frames through the data "
@@ -660,7 +683,8 @@ int cmd_serve(int argc, const char* const* argv) {
   cfg.tile_size = static_cast<std::size_t>(flags.get_int("tile"));
   cfg.max_batch = static_cast<std::size_t>(flags.get_int("max-batch"));
   cfg.workers = static_cast<std::size_t>(flags.get_int("workers"));
-  cfg.cache_capacity = static_cast<std::size_t>(flags.get_int("cache"));
+  cfg.cache_capacity_bytes =
+      static_cast<std::size_t>(flags.get_int("cache-mb")) << 20;
   cfg.default_deadline =
       std::chrono::milliseconds(flags.get_int("deadline-ms"));
 
