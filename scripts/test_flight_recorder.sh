@@ -49,6 +49,31 @@ check_crash segv  "fatal signal 11"
 check_crash abort "fatal signal 6"
 check_crash throw "uncaught exception"
 
+# A crash inside a live span with tracing armed must leave the active
+# span stack and the in-flight trace line in the dump — the post-mortem
+# view of what /tracez can no longer serve.
+dump="${WORK}/flight-spans.dump"
+"${DLSR}" train --workers 2 --steps 3 --image-size 32 --warmup 1 \
+  --flight-recorder true --flight-dump "${dump}" \
+  --trace-out "${WORK}/spans-trace.json" \
+  --crash-with segv >"${WORK}/spans.out" 2>&1
+status=$?
+if [ "${status}" -eq 0 ] || [ ! -s "${dump}" ]; then
+  echo "FAIL(spans): expected a crash exit and a dump, got exit ${status}"
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q "# active spans" "${dump}" \
+  || ! grep -q "inject_fault" "${dump}"; then
+  echo "FAIL(spans): dump lacks the active span stack"
+  sed 's/^/  | /' "${dump}"
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q "# in-flight traces:" "${dump}"; then
+  echo "FAIL(spans): dump lacks the in-flight trace line"
+  sed 's/^/  | /' "${dump}"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok(spans): dump reconstructs the active span stack"
+fi
+
 # A healthy run must NOT dump: the recorder is forensics, not logging.
 dump="${WORK}/flight-clean.dump"
 if ! "${DLSR}" train --workers 2 --steps 3 --image-size 32 --warmup 1 \

@@ -212,6 +212,14 @@ bool AsyncCommBackend::start_front(sim::SimTime horizon) {
                static_cast<unsigned long long>(rec.desc.buf_id),
                (start - rec.posted_at) * 1e6, concurrent),
         obs::kSimPid, lane_tid);
+    if (rec.desc.flow_id != 0) {
+      // Step of the issuing chain, bound to the wire slice (mid-slice so
+      // export rounding cannot push it outside the enclosing event).
+      tracer.flow(obs::EventPhase::FlowStep, rec.desc.flow_id,
+                  traced_op_name(rec.desc), "comm",
+                  (start + (done - start) * 0.5) * 1e6, obs::kSimPid,
+                  lane_tid);
+    }
   }
   if (callbacks_[rec.handle - 1]) {
     CompletionCallback cb = std::move(callbacks_[rec.handle - 1]);

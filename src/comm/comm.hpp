@@ -80,6 +80,10 @@ struct CollectiveDesc {
   bool average = true;  ///< payload reduction: average vs plain sum
   WireFormat wire = WireFormat::Fp32;  ///< on-the-wire encoding
   double topk_fraction = 0.01;  ///< TopK only: fraction of elements kept
+  /// Causal flow chain ('s'/'t'/'f' trace events) this collective belongs
+  /// to; the traced wire slice gets a flow step so the viewer draws the
+  /// arrow from the compute span that issued the op. 0 = no chain.
+  std::uint64_t flow_id = 0;
 };
 
 /// Bytes that actually cross the wire per rank for `desc`: fp32 bytes for

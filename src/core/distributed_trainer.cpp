@@ -21,20 +21,32 @@ void emit_sim_step_events(std::size_t step, sim::SimTime step_begin,
                           sim::SimTime step_start,
                           sim::SimTime backward_start,
                           const hvd::StepTimeline& comm,
-                          sim::SimTime step_end) {
+                          sim::SimTime step_end, double view_ratio,
+                          std::int64_t view_rank) {
   auto& tracer = obs::Tracer::instance();
   const auto us = [](sim::SimTime t) { return t * 1e6; };
-  const std::string args = strfmt("{\"step\":%zu}", step);
+  const std::string args =
+      view_rank >= 0
+          ? strfmt("{\"step\":%zu,\"rank\":%lld}", step,
+                   static_cast<long long>(view_rank))
+          : strfmt("{\"step\":%zu}", step);
   if (step_start > step_begin) {
     // Exposed input wait: the full load on the inline path, only the
     // producer-behind residual when the prefetching pipeline is modeled.
     tracer.complete("data", "sim", us(step_begin),
                     us(step_start - step_begin), args, obs::kSimPid);
   }
-  tracer.complete("forward", "sim", us(step_start),
-                  us(backward_start - step_start), args, obs::kSimPid);
-  tracer.complete("backward", "sim", us(backward_start),
-                  us(comm.backward_end - backward_start), args, obs::kSimPid);
+  // The viewed rank's compute runs view_ratio (its jitter draw over the
+  // straggler's) as long as the step pace-setter; it then idles until the
+  // shared collectives land — the gap on this lane IS that rank's exposed
+  // wait. view_ratio == 1 reproduces the legacy straggler's-eye emission.
+  const sim::SimTime fwd_dur = (backward_start - step_start) * view_ratio;
+  const sim::SimTime bwd_dur =
+      (comm.backward_end - backward_start) * view_ratio;
+  tracer.complete("forward", "sim", us(step_start), us(fwd_dur), args,
+                  obs::kSimPid);
+  tracer.complete("backward", "sim", us(step_start + fwd_dur), us(bwd_dur),
+                  args, obs::kSimPid);
   const sim::SimTime comm_done = std::max(comm.backward_end, comm.comm_end);
   if (step_end > comm_done) {
     tracer.complete("optimizer", "sim", us(comm_done),
@@ -107,6 +119,18 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
 
   // Initial parameter broadcast (hvd.broadcast_parameters).
   sim::SimTime t = backend->broadcast(graph_.param_bytes(), 0xB0ADCA57ull, 0.0);
+  if (obs::tracing_enabled()) {
+    // Clock-sync anchor: the broadcast completes at the same simulated
+    // instant on every rank, so `dlsr trace-merge` aligns per-rank files
+    // (each shifted by its own clock skew) on this event.
+    obs::Tracer::instance().complete(
+        "clock_sync", "sim", t * 1e6, 0.0,
+        config_.trace_rank >= 0
+            ? strfmt("{\"rank\":%lld}",
+                     static_cast<long long>(config_.trace_rank))
+            : std::string(),
+        obs::kSimPid);
+  }
 
   // Prefetching-loader model (config.data_pipeline): the producer starts
   // filling the bounded batch queue at t=0, overlapping the setup
@@ -126,6 +150,7 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
     // pace. With lognormal(0, sigma) per-rank noise the expected max grows
     // with log(gpus); sampling every rank keeps the distribution honest.
     double worst = 0.0;
+    double trace_factor = 0.0;
     for (std::size_t r = 0; r < gpus; ++r) {
       double factor = std::exp(config_.jitter_sigma * rng.normal());
       if (config_.straggler_slowdown != 1.0 &&
@@ -139,7 +164,14 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
       if (detector) {
         per_rank_s[r] = rank_compute * factor;
       }
+      if (config_.trace_rank >= 0 &&
+          r == static_cast<std::size_t>(config_.trace_rank) % gpus) {
+        trace_factor = factor;
+      }
       worst = std::max(worst, factor);
+    }
+    if (config_.trace_rank < 0) {
+      trace_factor = worst;  // legacy view: the straggler's pace
     }
     // `bwd` is full-rate backward work; backends whose collectives steal
     // compute cycles (NCCL SM contention) stretch it inside the fusion
@@ -197,7 +229,9 @@ RunResult DistributedTrainer::run(BackendKind kind, std::size_t nodes,
     }
     if (obs::tracing_enabled()) {
       emit_sim_step_events(s, step_begin, step_start, backward_start,
-                           comm_timeline, step_end);
+                           comm_timeline, step_end,
+                           worst > 0.0 ? trace_factor / worst : 1.0,
+                           config_.trace_rank);
     }
     if (detector) {
       for (const std::size_t r : detector->record_step(per_rank_s)) {

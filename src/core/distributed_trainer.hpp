@@ -69,6 +69,14 @@ struct TrainingJobConfig {
   /// behavior.
   bool data_pipeline = false;
   std::size_t prefetch_depth = 2;
+  /// Which rank's view the simulated-time trace shows. -1 (default) keeps
+  /// the legacy emission: compute spans at the straggler's pace, i.e. the
+  /// slowest rank every step. 0 <= R < gpus scales forward/backward to
+  /// rank R's own jitter draw and tags its spans with a numeric "rank"
+  /// arg, so per-rank trace files genuinely differ — the inputs `dlsr
+  /// trace-merge` aligns and joins. The collective schedule itself is
+  /// shared and identical across views.
+  std::int64_t trace_rank = -1;
   std::uint64_t seed = 2021;
 
   /// The paper's tuned Horovod settings for EDSR: a large cycle time and the

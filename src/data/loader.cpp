@@ -54,7 +54,8 @@ void TrainLoader::stop() {
 }
 
 std::vector<img::Batch> TrainLoader::produce_step() {
-  OBS_SPAN("data", "produce");
+  obs::ScopedSpan produce_span("data", "produce");
+  last_produce_flow_ = 0;
   const auto start = std::chrono::steady_clock::now();
   // Plan phase: every RNG draw, in (worker, item) order — the same
   // serialization the inline path uses, so seeds reproduce.
@@ -87,6 +88,14 @@ std::vector<img::Batch> TrainLoader::produce_step() {
   }
   const double elapsed = ms_since(start);
   produce_ms_->observe(elapsed);
+  if (produce_span.active()) {
+    // Causal handoff: the arrow starts inside this produce span and lands
+    // in whichever consumer wait span pops this batch-set.
+    last_produce_flow_ = obs::new_trace_id();
+    obs::Tracer::instance().flow(obs::EventPhase::FlowStart,
+                                 last_produce_flow_, "batch", "data",
+                                 obs::Tracer::instance().now_us());
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stats_.produce_ms_total += elapsed;
@@ -114,6 +123,7 @@ void TrainLoader::producer_loop() {
           return;
         }
         queue_.push_back(std::move(batches));
+        flow_queue_.push_back(last_produce_flow_);
         depth_gauge_->set(static_cast<double>(queue_.size()));
       }
       ready_.notify_one();
@@ -129,9 +139,10 @@ void TrainLoader::producer_loop() {
 }
 
 std::vector<img::Batch> TrainLoader::next() {
-  OBS_SPAN("data", "wait");
+  obs::ScopedSpan wait_span("data", "wait");
   const auto start = std::chrono::steady_clock::now();
   std::vector<img::Batch> batches;
+  std::uint64_t flow = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -143,11 +154,19 @@ std::vector<img::Batch> TrainLoader::next() {
     }
     batches = std::move(queue_.front());
     queue_.pop_front();
+    if (!flow_queue_.empty()) {
+      flow = flow_queue_.front();
+      flow_queue_.pop_front();
+    }
     depth_gauge_->set(static_cast<double>(queue_.size()));
     ++stats_.steps;
     stats_.wait_ms_total += ms_since(start);
   }
   space_.notify_one();
+  if (flow != 0 && wait_span.active()) {
+    obs::Tracer::instance().flow(obs::EventPhase::FlowFinish, flow, "batch",
+                                 "data", obs::Tracer::instance().now_us());
+  }
   wait_ms_->observe(ms_since(start));
   return batches;
 }

@@ -26,6 +26,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -97,6 +98,12 @@ class TrainLoader {
   std::condition_variable ready_;      ///< queue became non-empty / stopped
   std::condition_variable space_;      ///< queue left full / stopped
   std::deque<std::vector<img::Batch>> queue_;
+  /// Causal flow id per queued batch-set (0 when tracing was off at
+  /// produce time): the producer's FlowStart in its "produce" span joins
+  /// the consumer's FlowFinish in the "wait" span that popped the batch.
+  std::deque<std::uint64_t> flow_queue_;
+  /// Flow id minted by the most recent produce_step (producer thread only).
+  std::uint64_t last_produce_flow_ = 0;
   std::exception_ptr producer_error_;
   bool stopping_ = false;
   LoaderStats stats_;

@@ -208,6 +208,7 @@ StepTimeline TensorFusionEngine::simulate_step(
     // The fusion buffer holds the *wire* dtype, so the threshold bounds
     // on-the-wire bytes (an fp16 buffer fuses twice the fp32 tensors).
     while (next < pending.size() && ready_at(next) <= cycle) {
+      const std::size_t first = next;  // first tensor packed in this buffer
       std::size_t bytes = 0;       // logical fp32 bytes in the buffer
       std::size_t buf_wire = 0;    // on-the-wire bytes in the buffer
       std::size_t count = 0;
@@ -248,6 +249,7 @@ StepTimeline TensorFusionEngine::simulate_step(
       desc.priority = msg_priority++;
       desc.wire = wire;
       desc.topk_fraction = config_.topk_fraction;
+      desc.flow_id = ++next_flow_id_;
       const comm::Handle h = backend_.post(desc, issue);
       // Resolve immediately: the queue serves FIFO, so later posts cannot
       // move this operation's start, and its in-service window must be
@@ -280,6 +282,40 @@ StepTimeline TensorFusionEngine::simulate_step(
               "unpack", "comm", (wire_done + q_cost) * 1e6, pack_cost * 1e6,
               strfmt("{\"bytes\":%zu,\"tensors\":%zu}", buf_wire, count),
               obs::kSimPid, lane);
+        }
+        // Causal arrows. The message's own chain starts in the backward
+        // span that produced its tensors (compute lane), steps through the
+        // wire slice (emitted by the comm layer), and finishes where the
+        // reduced results land — the unpack/dequantize mirror, or the wire
+        // slice itself for a bare fp32 message. Each contributing tensor
+        // additionally fans its own arrow from its readiness point into
+        // the wire slice, so a fused buffer visibly joins every layer
+        // that fed it. Epsilon keeps the anchors strictly inside their
+        // enclosing slices despite %.3f export rounding.
+        constexpr double kFlowEpsUs = 0.05;
+        const double bw_start_us = backward_start * 1e6;
+        const double bw_end_now = backward_end_now();
+        const std::string op_name = comm::traced_op_name(desc);
+        tracer.flow(obs::EventPhase::FlowStart, desc.flow_id, op_name,
+                    "comm",
+                    std::max(bw_start_us,
+                             std::min(issue, bw_end_now) * 1e6 - kFlowEpsUs),
+                    obs::kSimPid);
+        tracer.flow(obs::EventPhase::FlowFinish, desc.flow_id, op_name,
+                    "comm", done * 1e6 - kFlowEpsUs, obs::kSimPid, lane);
+        if (count > 1) {
+          for (std::size_t i = first; i < next; ++i) {
+            const std::uint64_t tensor_flow = ++next_flow_id_;
+            tracer.flow(obs::EventPhase::FlowStart, tensor_flow,
+                        "tensor_ready", "comm",
+                        std::max(bw_start_us,
+                                 ready_at(i) * 1e6 - kFlowEpsUs),
+                        obs::kSimPid);
+            tracer.flow(obs::EventPhase::FlowFinish, tensor_flow,
+                        "tensor_ready", "comm",
+                        rec.started_at * 1e6 + kFlowEpsUs, obs::kSimPid,
+                        lane);
+          }
         }
       }
       comm_end = std::max(comm_end, done);

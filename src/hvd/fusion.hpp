@@ -124,6 +124,11 @@ class TensorFusionEngine {
   comm::AsyncCommBackend& backend_;
   /// Horovod double-buffers its fusion buffer; ids alternate.
   std::uint64_t fusion_buffer_toggle_ = 0;
+  /// Deterministic well for causal flow ids: advanced per message (and per
+  /// contributing tensor when tracing). Identical configurations replay the
+  /// same id sequence, which is what lets `dlsr trace-merge` join one
+  /// rank's flow arrows against another's copy of the collective schedule.
+  std::uint64_t next_flow_id_ = 0;
   /// Response cache: tensors whose metadata has been negotiated.
   std::unordered_set<std::uint64_t> cache_;
   std::size_t negotiated_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -88,13 +90,16 @@ struct StepBuild {
   std::vector<Interval> comm;
   std::vector<CommEvent> wire_ops;  ///< bounding-op candidates
   bool has_forward = false;
+  double backward_end_us = 0.0;  ///< latest forward/backward span end
 };
 
 }  // namespace
 
 AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
-  // Pass 1: per-step compute spans from the simulated-time process.
-  std::map<std::size_t, StepBuild> by_step;
+  // Pass 1: per-step compute spans from the simulated-time process, keyed
+  // by (step, rank arg). Single-rank traces fold to rank 0; a merged trace
+  // contributes one build per traced rank per step.
+  std::map<std::pair<std::size_t, int>, StepBuild> by_step_rank;
   for (const ParsedEvent& e : events) {
     if (e.phase != 'X' || e.pid != static_cast<int>(kSimPid) ||
         e.tid >= kCommLaneBase || e.cat != "sim") {
@@ -104,9 +109,12 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
     if (step_arg < 0.0) {
       continue;  // not a per-step span
     }
-    StepBuild& sb = by_step[static_cast<std::size_t>(step_arg)];
+    const std::size_t step = static_cast<std::size_t>(step_arg);
+    const int rank = static_cast<int>(e.arg("rank", 0.0));
+    StepBuild& sb = by_step_rank[{step, rank}];
     StepAttribution& a = sb.attr;
-    a.step = static_cast<std::size_t>(step_arg);
+    a.step = step;
+    a.rank = rank;
     if (e.name == "forward") {
       DLSR_CHECK(!sb.has_forward,
                  strfmt("step %zu appears twice — the trace holds more than "
@@ -116,9 +124,11 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
       sb.has_forward = true;
       a.forward_us += e.dur_us;
       sb.compute.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+      sb.backward_end_us = std::max(sb.backward_end_us, e.ts_us + e.dur_us);
     } else if (e.name == "backward") {
       a.backward_us += e.dur_us;
       sb.compute.emplace_back(e.ts_us, e.ts_us + e.dur_us);
+      sb.backward_end_us = std::max(sb.backward_end_us, e.ts_us + e.dur_us);
     } else if (e.name == "optimizer") {
       a.optimizer_us += e.dur_us;
       sb.compute.emplace_back(e.ts_us, e.ts_us + e.dur_us);
@@ -137,15 +147,25 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
       a.end_us = std::max(a.end_us, end);
     }
   }
-  DLSR_CHECK(!by_step.empty(),
+  DLSR_CHECK(!by_step_rank.empty(),
              "trace has no per-step sim spans (forward/backward/optimizer "
              "with a step arg) — was it produced with --trace-out on "
              "simulate or train?");
 
+  // Per step, the critical rank: the traced rank whose backward finished
+  // last. Synchronous training waits on exactly that rank, so its spans
+  // carry the step's attribution; in a single-rank trace it is the only
+  // build. Ties go to the lowest rank (map order).
   std::vector<StepBuild> steps;
-  steps.reserve(by_step.size());
-  for (auto& [step, sb] : by_step) {
-    steps.push_back(std::move(sb));
+  for (auto it = by_step_rank.begin(); it != by_step_rank.end();) {
+    const std::size_t step = it->first.first;
+    auto* best = &it->second;
+    for (++it; it != by_step_rank.end() && it->first.first == step; ++it) {
+      if (it->second.backward_end_us > best->backward_end_us + kEpsUs) {
+        best = &it->second;
+      }
+    }
+    steps.push_back(std::move(*best));
   }
   std::sort(steps.begin(), steps.end(),
             [](const StepBuild& a, const StepBuild& b) {
@@ -188,8 +208,11 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
   report.comm_profile = hvprof_from_trace(comm);
 
   // Straggler flags: zero-duration cat="straggler" events the trainer
-  // emits once per flag edge, aggregated per rank.
+  // emits once per flag edge, aggregated per rank. A merged trace holds one
+  // copy per traced rank file (the detector sees the same per-rank times in
+  // every view), so (rank, step) pairs are deduplicated.
   std::map<std::size_t, StragglerFinding> by_rank;
+  std::set<std::pair<std::size_t, std::size_t>> seen_flags;
   for (const ParsedEvent& e : events) {
     if (e.cat != "straggler" || e.pid != static_cast<int>(kSimPid)) {
       continue;
@@ -200,6 +223,9 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
     }
     const std::size_t rank = static_cast<std::size_t>(rank_arg);
     const std::size_t step = static_cast<std::size_t>(e.arg("step", 0.0));
+    if (!seen_flags.insert({rank, step}).second) {
+      continue;
+    }
     auto [it, inserted] = by_rank.try_emplace(rank);
     StragglerFinding& f = it->second;
     f.rank = rank;
@@ -266,6 +292,32 @@ AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events) {
       }
     }
     report.steps.push_back(a);
+  }
+
+  // Whole-run critical path: chain each step's gating segments in time
+  // order, attributed to that step's critical rank. The exposed-comm
+  // segment reuses the interval-arithmetic figure above verbatim, so the
+  // chain's comm total equals total_exposed_comm_us() by construction.
+  for (const StepAttribution& a : report.steps) {
+    const auto push = [&](const char* kind, std::string detail, double us) {
+      if (us <= kEpsUs) {
+        return;
+      }
+      CriticalSegment seg;
+      seg.step = a.step;
+      seg.rank = a.rank;
+      seg.kind = kind;
+      seg.detail = std::move(detail);
+      seg.us = us;
+      report.critical_path.push_back(std::move(seg));
+    };
+    push("data", "", a.data_us);
+    push("forward", "", a.forward_us);
+    push("backward", "", a.backward_us);
+    push("exposed-comm", a.bounding_op.empty() ? "comm" : a.bounding_op,
+         a.exposed_comm_us);
+    push("optimizer", "", a.optimizer_us);
+    push("stall", "", a.stall_us);
   }
   return report;
 }
@@ -334,6 +386,15 @@ Table AnalysisReport::step_table() const {
   return t;
 }
 
+Table AnalysisReport::critical_path_table() const {
+  Table t({"step", "rank", "segment", "detail", "ms"});
+  for (const CriticalSegment& s : critical_path) {
+    t.add_row({strfmt("%zu", s.step), strfmt("%d", s.rank), s.kind, s.detail,
+               strfmt("%.3f", s.us / 1e3)});
+  }
+  return t;
+}
+
 Table AnalysisReport::straggler_table() const {
   Table t({"rank", "flags", "max score", "first step"});
   for (const StragglerFinding& f : stragglers) {
@@ -357,12 +418,12 @@ std::string AnalysisReport::to_json() const {
     overlapped += s.overlapped_comm_us;
     stall += s.stall_us;
     out += strfmt(
-        "%s{\"step\":%zu,\"start_us\":%.3f,\"end_us\":%.3f,"
+        "%s{\"step\":%zu,\"rank\":%d,\"start_us\":%.3f,\"end_us\":%.3f,"
         "\"forward_us\":%.3f,\"backward_us\":%.3f,\"optimizer_us\":%.3f,"
         "\"data_us\":%.3f,\"comm_busy_us\":%.3f,\"exposed_comm_us\":%.3f,"
         "\"overlapped_comm_us\":%.3f,\"stall_us\":%.3f,"
         "\"bound_by\":\"%s\",\"bounding_op\":\"%s\"}",
-        first ? "" : ",", s.step, s.start_us, s.end_us, s.forward_us,
+        first ? "" : ",", s.step, s.rank, s.start_us, s.end_us, s.forward_us,
         s.backward_us, s.optimizer_us, s.data_us, s.comm_busy_us,
         s.exposed_comm_us, s.overlapped_comm_us, s.stall_us,
         s.comm_bound ? "comm" : "compute", s.bounding_op.c_str());
@@ -381,6 +442,16 @@ std::string AnalysisReport::to_json() const {
         "%s{\"rank\":%zu,\"flags\":%zu,\"max_score\":%.3f,"
         "\"first_step\":%zu}",
         first ? "" : ",", f.rank, f.flags, f.max_score, f.first_step);
+    first = false;
+  }
+  out += "],\"critical_path\":[";
+  first = true;
+  for (const CriticalSegment& s : critical_path) {
+    out += strfmt(
+        "%s{\"step\":%zu,\"rank\":%d,\"kind\":\"%s\",\"detail\":\"%s\","
+        "\"us\":%.3f}",
+        first ? "" : ",", s.step, s.rank, s.kind.c_str(), s.detail.c_str(),
+        s.us);
     first = false;
   }
   out += strfmt("],\"comm_profile\":%s}", comm_profile.to_json().c_str());

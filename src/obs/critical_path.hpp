@@ -35,6 +35,11 @@ namespace dlsr::obs {
 /// trace microseconds.
 struct StepAttribution {
   std::size_t step = 0;
+  /// Rank whose spans this attribution is built from. Single-rank traces
+  /// fold to 0; in a merged multi-rank trace this is the step's *critical*
+  /// rank — the traced rank whose backward finished last, i.e. the
+  /// straggler every other rank waited on.
+  int rank = 0;
   double start_us = 0.0;
   double end_us = 0.0;
   double forward_us = 0.0;
@@ -64,9 +69,28 @@ struct StragglerFinding {
   std::size_t first_step = 0;  ///< step of the first flag
 };
 
+/// One hop of the whole-run critical path: a contiguous stretch of wall
+/// (simulated) time attributed to one rank's phase or one exposed
+/// collective. Chained over every step these segments ARE the run — their
+/// comm entries sum to the per-step exposed-comm total by construction.
+struct CriticalSegment {
+  std::size_t step = 0;
+  int rank = 0;        ///< rank that gated this segment (critical rank)
+  std::string kind;    ///< data | forward | backward | exposed-comm |
+                       ///< optimizer | stall
+  std::string detail;  ///< comm only: gating op + wire-size bucket
+  double us = 0.0;
+};
+
 /// Whole-trace analysis result.
 struct AnalysisReport {
   std::vector<StepAttribution> steps;
+  /// Whole-run critical path, step order: for every step the critical
+  /// rank's data/forward/backward, the exposed collectives that gated the
+  /// optimizer (named with op and message-size bucket), optimizer, and any
+  /// unexplained stall. Straggler-aware — the rank column follows whichever
+  /// traced rank set the pace that step.
+  std::vector<CriticalSegment> critical_path;
   /// Comm busy time before the first step (initial parameter broadcast).
   double setup_comm_us = 0.0;
   /// hvprof buckets rebuilt from the traced wire ops.
@@ -84,15 +108,20 @@ struct AnalysisReport {
   Table step_table() const;
   /// One row per flagged rank (empty table when the run was clean).
   Table straggler_table() const;
+  /// One row per critical-path segment (`dlsr analyze --whole-run`).
+  Table critical_path_table() const;
   /// Machine-readable dump ("dlsr-analysis-v1"): steps, totals,
   /// stragglers, and the embedded hvprof profile.
   std::string to_json() const;
 };
 
-/// Analyzes one simulated run. Throws dlsr::Error when the trace has no
-/// per-step sim spans or contains overlapping step windows (e.g. several
-/// `dlsr simulate` configurations traced into one file — re-run with a
-/// single backend and node count).
+/// Analyzes one simulated run — a single-rank trace or a `dlsr trace-merge`
+/// output. Per-step spans are keyed by (step, rank arg) so a merged trace's
+/// N copies of each step coexist; the per-step attribution and the
+/// whole-run critical path follow the critical (slowest-backward) rank.
+/// Throws dlsr::Error when the trace has no per-step sim spans or contains
+/// overlapping step windows (e.g. several `dlsr simulate` configurations
+/// traced into one file — re-run with a single backend and node count).
 AnalysisReport analyze_trace(const std::vector<ParsedEvent>& events);
 
 }  // namespace dlsr::obs

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace dlsr::obs {
 namespace {
@@ -119,7 +120,35 @@ void log_sink_to_recorder(LogLevel level, const char* line) {
       level == LogLevel::Error ? "error" : "warn", line);
 }
 
+/// Renders the shared span-entry payload: "id=<span_id> <name>". Begin and
+/// end entries carry identical text so the dump-time stack reconstruction
+/// can pair them without parsing.
+void render_span_text(char* buf, std::size_t cap, const char* name,
+                      std::uint64_t span_id) {
+  std::size_t len = 0;
+  append_str(buf, cap, len, "id=");
+  append_u64(buf, cap, len, span_id);
+  append_str(buf, cap, len, " ");
+  append_str(buf, cap, len, name);
+}
+
 }  // namespace
+
+namespace detail {
+
+void span_ring_begin(const char* name, std::uint64_t span_id) {
+  char text[sizeof(FlightRecorder::Entry::text)];
+  render_span_text(text, sizeof(text), name, span_id);
+  FlightRecorder::instance().record("span+", text);
+}
+
+void span_ring_end(const char* name, std::uint64_t span_id) {
+  char text[sizeof(FlightRecorder::Entry::text)];
+  render_span_text(text, sizeof(text), name, span_id);
+  FlightRecorder::instance().record("span-", text);
+}
+
+}  // namespace detail
 
 FlightRecorder& FlightRecorder::instance() {
   static FlightRecorder recorder;
@@ -139,8 +168,14 @@ void FlightRecorder::enable(const Config& config) {
   next_seq_.store(0, std::memory_order_relaxed);
   dump_path_ = config.dump_path;
   copy_truncated(dump_path_c_, sizeof(dump_path_c_), dump_path_.c_str());
+  for (auto& slot : inflight_) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+  inflight_overflow_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
   enabled_.store(true, std::memory_order_release);
+  detail::g_span_ring_enabled.store(config.track_spans,
+                                    std::memory_order_release);
 
   if (config.capture_log) {
     set_log_sink(&log_sink_to_recorder);
@@ -162,8 +197,51 @@ void FlightRecorder::enable(const Config& config) {
 }
 
 void FlightRecorder::disable() {
+  detail::g_span_ring_enabled.store(false, std::memory_order_release);
   enabled_.store(false, std::memory_order_release);
   set_log_sink(nullptr);
+}
+
+void FlightRecorder::note_inflight_trace(std::uint64_t trace_id) {
+  if (!enabled() || trace_id == 0) {
+    return;
+  }
+  for (auto& slot : inflight_) {
+    std::uint64_t expected = 0;
+    if (slot.compare_exchange_strong(expected, trace_id,
+                                     std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+  inflight_overflow_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlightRecorder::clear_inflight_trace(std::uint64_t trace_id) {
+  if (trace_id == 0) {
+    return;
+  }
+  for (auto& slot : inflight_) {
+    std::uint64_t expected = trace_id;
+    if (slot.compare_exchange_strong(expected, 0,
+                                     std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+  // Not in the table: it overflowed at registration time.
+  std::uint64_t over = inflight_overflow_.load(std::memory_order_relaxed);
+  while (over > 0 && !inflight_overflow_.compare_exchange_weak(
+                         over, over - 1, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t FlightRecorder::inflight_trace_count() const {
+  std::size_t count =
+      static_cast<std::size_t>(
+          inflight_overflow_.load(std::memory_order_relaxed));
+  for (const auto& slot : inflight_) {
+    count += slot.load(std::memory_order_relaxed) != 0;
+  }
+  return count;
 }
 
 void FlightRecorder::record(const char* kind, const char* text) {
@@ -207,29 +285,119 @@ void FlightRecorder::dump_to_fd(int fd) const {
   append_str(buf, sizeof(buf), len,
              " events recorded, newest last, ts in seconds since enable\n");
   (void)!write(fd, buf, len);
-  if (ring_.empty() || last == 0) {
-    return;
+  if (!ring_.empty() && last != 0) {
+    const std::uint64_t window = ring_.size();
+    const std::uint64_t first = last > window ? last - window + 1 : 1;
+    for (std::uint64_t seq = first; seq <= last; ++seq) {
+      const Entry& e = ring_[seq & mask_];
+      if (e.seq.load(std::memory_order_acquire) != seq) {
+        continue;  // overwritten or mid-write
+      }
+      len = 0;
+      append_str(buf, sizeof(buf), len, "[");
+      append_ts(buf, sizeof(buf), len, e.ts_us);
+      append_str(buf, sizeof(buf), len, "] [t");
+      append_u64(buf, sizeof(buf), len, e.tid, 2);
+      append_str(buf, sizeof(buf), len, "] [");
+      append_str(buf, sizeof(buf), len, e.kind);
+      append_str(buf, sizeof(buf), len, "] ");
+      append_str(buf, sizeof(buf), len, e.text);
+      // Routed log lines already end in '\n'; keep one newline either way.
+      if (len == 0 || buf[len - 1] != '\n') {
+        append_str(buf, sizeof(buf), len, "\n");
+      }
+      (void)!write(fd, buf, len);
+    }
+    dump_span_stacks_to_fd(fd, first, last);
   }
-  const std::uint64_t window = ring_.size();
-  const std::uint64_t first = last > window ? last - window + 1 : 1;
+  // In-flight request traces: whatever was submitted but not yet resolved
+  // when the process died. Ids match trace_id in /tracez and the exported
+  // trace file.
+  len = 0;
+  append_str(buf, sizeof(buf), len, "# in-flight traces: ");
+  bool any = false;
+  for (const auto& slot : inflight_) {
+    const std::uint64_t id = slot.load(std::memory_order_relaxed);
+    if (id == 0) {
+      continue;
+    }
+    if (any) {
+      append_str(buf, sizeof(buf), len, ", ");
+    }
+    append_str(buf, sizeof(buf), len, "trace_id=");
+    append_u64(buf, sizeof(buf), len, id);
+    any = true;
+  }
+  const std::uint64_t overflow =
+      inflight_overflow_.load(std::memory_order_relaxed);
+  if (overflow > 0) {
+    if (any) {
+      append_str(buf, sizeof(buf), len, ", ");
+    }
+    append_str(buf, sizeof(buf), len, "+");
+    append_u64(buf, sizeof(buf), len, overflow);
+    append_str(buf, sizeof(buf), len, " unnamed");
+    any = true;
+  }
+  if (!any) {
+    append_str(buf, sizeof(buf), len, "none");
+  }
+  append_str(buf, sizeof(buf), len, "\n");
+  (void)!write(fd, buf, len);
+}
+
+/// Replays the visible "span+"/"span-" entries oldest-first, per thread,
+/// and prints each thread's still-open span stack (outermost first). Spans
+/// are RAII so per-thread order is strictly LIFO; a "span-" whose "span+"
+/// was overwritten simply finds an empty stack and is ignored. Fixed-size
+/// stack arrays keep the walk async-signal-safe.
+void FlightRecorder::dump_span_stacks_to_fd(int fd, std::uint64_t first,
+                                            std::uint64_t last) const {
+  constexpr std::size_t kMaxThreads = 32;
+  constexpr std::size_t kMaxDepth = 16;
+  std::uint64_t stacks[kMaxThreads][kMaxDepth];
+  std::size_t depth[kMaxThreads] = {};
   for (std::uint64_t seq = first; seq <= last; ++seq) {
     const Entry& e = ring_[seq & mask_];
-    if (e.seq.load(std::memory_order_acquire) != seq) {
-      continue;  // overwritten or mid-write
+    if (e.seq.load(std::memory_order_acquire) != seq ||
+        e.tid >= kMaxThreads) {
+      continue;
     }
-    len = 0;
-    append_str(buf, sizeof(buf), len, "[");
-    append_ts(buf, sizeof(buf), len, e.ts_us);
-    append_str(buf, sizeof(buf), len, "] [t");
-    append_u64(buf, sizeof(buf), len, e.tid, 2);
-    append_str(buf, sizeof(buf), len, "] [");
-    append_str(buf, sizeof(buf), len, e.kind);
-    append_str(buf, sizeof(buf), len, "] ");
-    append_str(buf, sizeof(buf), len, e.text);
-    // Routed log lines already end in '\n'; keep one newline either way.
-    if (len == 0 || buf[len - 1] != '\n') {
-      append_str(buf, sizeof(buf), len, "\n");
+    const bool begin = e.kind[0] == 's' && e.kind[4] == '+';
+    const bool end = e.kind[0] == 's' && e.kind[4] == '-';
+    if (begin) {
+      if (depth[e.tid] < kMaxDepth) {
+        stacks[e.tid][depth[e.tid]] = seq;
+      }
+      ++depth[e.tid];
+    } else if (end && depth[e.tid] > 0) {
+      --depth[e.tid];
     }
+  }
+  char buf[512];
+  for (std::size_t tid = 0; tid < kMaxThreads; ++tid) {
+    if (depth[tid] == 0) {
+      continue;
+    }
+    std::size_t len = 0;
+    append_str(buf, sizeof(buf), len, "# active spans [t");
+    append_u64(buf, sizeof(buf), len, tid, 2);
+    append_str(buf, sizeof(buf), len, "]:");
+    const std::size_t visible =
+        depth[tid] < kMaxDepth ? depth[tid] : kMaxDepth;
+    for (std::size_t d = 0; d < visible; ++d) {
+      const std::uint64_t seq = stacks[tid][d];
+      const Entry& e = ring_[seq & mask_];
+      if (e.seq.load(std::memory_order_acquire) != seq) {
+        continue;  // overwritten since the replay pass
+      }
+      append_str(buf, sizeof(buf), len, d == 0 ? " " : " > ");
+      append_str(buf, sizeof(buf), len, e.text);
+    }
+    if (depth[tid] > kMaxDepth) {
+      append_str(buf, sizeof(buf), len, " > ...");
+    }
+    append_str(buf, sizeof(buf), len, "\n");
     (void)!write(fd, buf, len);
   }
 }

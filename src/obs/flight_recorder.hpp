@@ -40,6 +40,10 @@ class FlightRecorder {
     bool install_crash_handlers = true;
     /// Mirror warn/error log lines into the ring via the logging sink.
     bool capture_log = true;
+    /// Mirror traced span begin/end ids ("span+"/"span-" entries) into the
+    /// ring so a post-crash dump reconstructs each thread's active span
+    /// stack. Only spans from an enabled obs::Tracer are recorded.
+    bool track_spans = true;
   };
 
   /// One ring entry, fixed-size so recording never allocates.
@@ -74,6 +78,10 @@ class FlightRecorder {
 
   /// Writes the ring oldest-first to an open fd. Async-signal-safe.
   void dump_to_fd(int fd) const;
+  /// Appends the reconstructed per-thread active-span stacks (from the
+  /// "span+"/"span-" entries still visible in [first, last]) to the fd.
+  void dump_span_stacks_to_fd(int fd, std::uint64_t first,
+                              std::uint64_t last) const;
   /// open(2) + dump_to_fd + close. Async-signal-safe. Returns false when
   /// the file cannot be opened.
   bool dump(const char* path) const;
@@ -87,8 +95,19 @@ class FlightRecorder {
   }
   const std::string& dump_path() const { return dump_path_; }
 
+  /// Registers / clears a request trace id as in flight. The crash dump
+  /// lists the live ids so a post-mortem can pull the matching request
+  /// traces out of /tracez (or the exported trace file). Lock-free over a
+  /// fixed slot table; excess registrations beyond the table are counted
+  /// but not named.
+  void note_inflight_trace(std::uint64_t trace_id);
+  void clear_inflight_trace(std::uint64_t trace_id);
+  std::size_t inflight_trace_count() const;
+
  private:
   FlightRecorder() = default;
+
+  static constexpr std::size_t kInflightSlots = 64;
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_seq_{0};
@@ -96,6 +115,8 @@ class FlightRecorder {
   std::size_t mask_ = 0;
   std::string dump_path_;
   char dump_path_c_[256] = {};  ///< signal-handler copy of dump_path
+  std::atomic<std::uint64_t> inflight_[kInflightSlots] = {};
+  std::atomic<std::uint64_t> inflight_overflow_{0};
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -59,8 +60,8 @@ void write_response(int fd, const HttpResponse& response) {
 }  // namespace
 
 HttpServer::HttpServer(const std::string& bind_address, int port,
-                       Handler handler)
-    : handler_(std::move(handler)) {
+                       Handler handler, Options options)
+    : handler_(std::move(handler)), options_(options) {
   DLSR_CHECK(handler_, "HttpServer needs a handler");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   DLSR_CHECK(listen_fd_ >= 0,
@@ -140,20 +141,38 @@ void HttpServer::serve_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
+  // Malformed or slow peers must never wedge the sequential accept loop:
+  // both socket directions are bounded by the configured timeout, the head
+  // is size-capped, and a missing terminator earns a 400 instead of an
+  // indefinite recv() wait.
+  if (options_.io_timeout_s > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(options_.io_timeout_s);
+    tv.tv_usec = static_cast<long>(
+        (options_.io_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   // Read until the end of the request head; HTTP/1.0 GETs carry no body.
   std::string head;
   char buf[1024];
-  while (head.size() < kMaxRequestHead &&
-         head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos) {
+  bool complete = false;
+  bool timed_out = false;
+  while (!complete && head.size() < kMaxRequestHead) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) {
       continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out = true;
+      break;
     }
     if (n <= 0) {
       break;
     }
     head.append(buf, static_cast<std::size_t>(n));
+    complete = head.find("\r\n\r\n") != std::string::npos ||
+               head.find("\n\n") != std::string::npos;
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
 
@@ -162,7 +181,16 @@ void HttpServer::handle_connection(int fd) {
       line_end == std::string::npos ? head : head.substr(0, line_end);
   const std::vector<std::string> parts = split(request_line, ' ');
   HttpResponse response;
-  if (parts.size() < 2) {
+  if (!complete) {
+    response = {400, "text/plain; charset=utf-8",
+                timed_out ? "request timeout\n"
+                : head.size() >= kMaxRequestHead
+                    ? "request head too large\n"
+                    : "incomplete request\n"};
+  } else if (request_line.size() > options_.max_request_line) {
+    response = {400, "text/plain; charset=utf-8",
+                "request line too long\n"};
+  } else if (parts.size() < 2) {
     response = {400, "text/plain; charset=utf-8", "bad request\n"};
   } else if (parts[0] != "GET") {
     response = {405, "text/plain; charset=utf-8", "GET only\n"};

@@ -38,9 +38,22 @@ class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+  struct Options {
+    /// Per-connection socket timeout (SO_RCVTIMEO/SO_SNDTIMEO) in both
+    /// directions. A client that connects and never sends a full request
+    /// head — or never drains the response — costs the accept loop at most
+    /// this long instead of hanging it forever. <= 0 disables.
+    double io_timeout_s = 5.0;
+    /// Longest accepted request line; longer ones get a 400.
+    std::size_t max_request_line = 2048;
+  };
+
   /// Binds and starts the listener thread. Throws dlsr::Error when the
   /// socket cannot be created/bound. `port` 0 picks an ephemeral port.
-  HttpServer(const std::string& bind_address, int port, Handler handler);
+  HttpServer(const std::string& bind_address, int port, Handler handler,
+             Options options);
+  HttpServer(const std::string& bind_address, int port, Handler handler)
+      : HttpServer(bind_address, port, std::move(handler), Options{}) {}
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -62,6 +75,7 @@ class HttpServer {
   void handle_connection(int fd);
 
   Handler handler_;
+  Options options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

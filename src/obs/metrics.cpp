@@ -14,6 +14,15 @@ void Histogram::observe(double v) {
   stats_.add(v);
 }
 
+void Histogram::observe(double v, std::uint64_t exemplar_trace_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(v);
+  stats_.add(v);
+  if (exemplar_trace_id != 0) {
+    exemplars_[histogram_bucket_index(v)] = Exemplar{exemplar_trace_id, v};
+  }
+}
+
 std::size_t Histogram::count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return samples_.size();
@@ -29,16 +38,10 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.mean = stats_.mean();
     snap.min = stats_.min();
     snap.max = stats_.max();
+    snap.exemplars = exemplars_;
   }
   for (const double v : samples) {
-    std::size_t b = kHistogramBucketBounds.size();  // overflow
-    for (std::size_t i = 0; i < kHistogramBucketBounds.size(); ++i) {
-      if (v <= kHistogramBucketBounds[i]) {
-        b = i;
-        break;
-      }
-    }
-    ++snap.buckets[b];
+    ++snap.buckets[histogram_bucket_index(v)];
   }
   snap.p50 = percentile(samples, 0.50);
   snap.p95 = percentile(samples, 0.95);
@@ -156,11 +159,17 @@ std::string MetricsRegistry::to_json() const {
                  s.count, s.mean, s.min, s.max, s.p50, s.p95, s.p99);
     for (std::size_t i = 0; i < s.buckets.size(); ++i) {
       if (i < kHistogramBucketBounds.size()) {
-        os << strfmt("%s{\"le\":%g,\"count\":%zu}", i ? "," : "",
+        os << strfmt("%s{\"le\":%g,\"count\":%zu", i ? "," : "",
                      kHistogramBucketBounds[i], s.buckets[i]);
       } else {
-        os << strfmt(",{\"le\":null,\"count\":%zu}", s.buckets[i]);
+        os << strfmt(",{\"le\":null,\"count\":%zu", s.buckets[i]);
       }
+      if (s.exemplars[i].valid()) {
+        os << strfmt(",\"exemplar\":{\"trace_id\":%llu,\"value\":%.6g}",
+                     static_cast<unsigned long long>(s.exemplars[i].trace_id),
+                     s.exemplars[i].value);
+      }
+      os << "}";
     }
     os << "]}";
     first = false;
@@ -195,10 +204,26 @@ std::string MetricsRegistry::to_prometheus() const {
     for (std::size_t i = 0; i < kHistogramBucketBounds.size(); ++i) {
       cumulative += s.buckets[i];
       os << p
-         << strfmt("_bucket{le=\"%g\"} %zu\n", kHistogramBucketBounds[i],
+         << strfmt("_bucket{le=\"%g\"} %zu", kHistogramBucketBounds[i],
                    cumulative);
+      // OpenMetrics exemplar: "<line> # {trace_id=\"...\"} <value>". Only
+      // emitted when a traced sample landed in this (non-cumulative)
+      // bucket, so plain-Prometheus scrapers of untraced runs see the
+      // classic exposition byte for byte.
+      if (s.exemplars[i].valid()) {
+        os << strfmt(" # {trace_id=\"%llu\"} %.6g",
+                     static_cast<unsigned long long>(s.exemplars[i].trace_id),
+                     s.exemplars[i].value);
+      }
+      os << "\n";
     }
-    os << p << strfmt("_bucket{le=\"+Inf\"} %zu\n", s.count);
+    os << p << strfmt("_bucket{le=\"+Inf\"} %zu", s.count);
+    if (s.exemplars[kHistogramBucketBounds.size()].valid()) {
+      const Exemplar& e = s.exemplars[kHistogramBucketBounds.size()];
+      os << strfmt(" # {trace_id=\"%llu\"} %.6g",
+                   static_cast<unsigned long long>(e.trace_id), e.value);
+    }
+    os << "\n";
     os << p << "_sum " << strfmt("%.6g", s.mean * static_cast<double>(s.count))
        << "\n";
     os << p << "_count " << strfmt("%zu", s.count) << "\n";

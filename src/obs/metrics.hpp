@@ -63,6 +63,15 @@ inline constexpr std::array<double, 12> kHistogramBucketBounds = {
     0.001, 0.01, 0.1, 0.5, 1.0,   5.0,
     10.0,  50.0, 100.0, 500.0, 1000.0, 10000.0};
 
+/// OpenMetrics exemplar: the trace id of one sample that landed in a
+/// bucket. Closes the metrics→traces loop — the latency histogram's top
+/// bucket names a trace_id retrievable from /tracez or the trace file.
+struct Exemplar {
+  std::uint64_t trace_id = 0;
+  double value = 0.0;
+  bool valid() const { return trace_id != 0; }
+};
+
 struct HistogramSnapshot {
   std::size_t count = 0;
   double mean = 0.0;
@@ -74,17 +83,34 @@ struct HistogramSnapshot {
   /// Per-bucket (non-cumulative) sample counts; index i counts samples in
   /// (bounds[i-1], bounds[i]], with one trailing overflow bucket.
   std::array<std::size_t, kHistogramBucketBounds.size() + 1> buckets{};
+  /// Last exemplar seen per bucket (invalid when no traced sample landed
+  /// there). Same indexing as `buckets`.
+  std::array<Exemplar, kHistogramBucketBounds.size() + 1> exemplars{};
 };
+
+/// Export-bucket index for a sample value (shared by observe and tests).
+inline std::size_t histogram_bucket_index(double v) {
+  for (std::size_t i = 0; i < kHistogramBucketBounds.size(); ++i) {
+    if (v <= kHistogramBucketBounds[i]) {
+      return i;
+    }
+  }
+  return kHistogramBucketBounds.size();  // overflow
+}
 
 class Histogram {
  public:
   void observe(double v);
+  /// observe() plus an exemplar: remembers `exemplar_trace_id` as the last
+  /// traced sample of v's bucket (ignored when the id is 0).
+  void observe(double v, std::uint64_t exemplar_trace_id);
   std::size_t count() const;
   HistogramSnapshot snapshot() const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<double> samples_;
+  std::array<Exemplar, kHistogramBucketBounds.size() + 1> exemplars_{};
   RunningStats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include "common/strings.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_store.hpp"
 
 namespace dlsr::obs {
 
@@ -125,6 +126,29 @@ HttpResponse TelemetryServer::handle(const HttpRequest& request) {
   } else if (request.path == "/alertz") {
     response.content_type = "application/json";
     response.body = slo_.to_json();
+  } else if (request.path == "/tracez") {
+    // Retained request traces under tail sampling: the list (slowest
+    // first), or one full trace via ?trace_id=N.
+    for (const std::string& kv : split(request.query, '&')) {
+      const std::size_t eq = kv.find('=');
+      if (eq != std::string::npos && kv.substr(0, eq) == "trace_id") {
+        std::uint64_t id = 0;
+        try {
+          id = std::stoull(kv.substr(eq + 1));
+        } catch (const std::exception&) {
+          return {400, "text/plain; charset=utf-8",
+                  "bad trace_id= value\n"};
+        }
+        std::string body = TraceStore::global().trace_json(id);
+        if (body.empty()) {
+          return {404, "text/plain; charset=utf-8",
+                  "trace not retained (sampled out or evicted)\n"};
+        }
+        return {200, "application/json", std::move(body)};
+      }
+    }
+    response.content_type = "application/json";
+    response.body = TraceStore::global().to_json();
   } else if (request.path == "/") {
     response.body =
         "dlsr telemetry\n"
@@ -132,7 +156,8 @@ HttpResponse TelemetryServer::handle(const HttpRequest& request) {
         "  /metrics.json  registry JSON\n"
         "  /healthz       liveness + heartbeat\n"
         "  /seriesz       rolling series stats (?window=SECONDS)\n"
-        "  /alertz        SLO alert state\n";
+        "  /alertz        SLO alert state\n"
+        "  /tracez        retained request traces (?trace_id=N for one)\n";
   } else {
     response.status = 404;
     response.body = "not found; see / for the endpoint index\n";

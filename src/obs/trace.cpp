@@ -11,6 +11,28 @@ namespace dlsr::obs {
 
 namespace detail {
 std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_span_ring_enabled{false};
+std::atomic<bool> g_trace_store_enabled{false};
+std::atomic<std::uint64_t> g_next_id{0};
+thread_local TraceContext t_context;
+
+std::string with_context_args(std::string args, const TraceContext& ctx) {
+  const std::string ids =
+      strfmt("\"trace_id\":%llu,\"span_id\":%llu,\"parent_span_id\":%llu",
+             static_cast<unsigned long long>(ctx.trace_id),
+             static_cast<unsigned long long>(ctx.span_id),
+             static_cast<unsigned long long>(ctx.parent_span_id));
+  if (args.empty()) {
+    return "{" + ids + "}";
+  }
+  // args is a JSON object ("{...}"): splice the ids in after the brace.
+  if (args.size() >= 2 && args.front() == '{') {
+    const bool empty_object = args[1] == '}';
+    args.insert(1, empty_object ? ids : ids + ",");
+    return args;
+  }
+  return "{" + ids + "}";
+}
 }  // namespace detail
 
 namespace {
@@ -81,6 +103,7 @@ void Tracer::enable(std::size_t ring_capacity) {
     DLSR_CHECK(ring_capacity > 0, "tracer ring capacity must be > 0");
     buffers_.clear();
     capacity_ = ring_capacity;
+    export_ts_offset_us_ = 0.0;
     ++generation_;
     epoch_ = std::chrono::steady_clock::now();
   }
@@ -158,6 +181,23 @@ void Tracer::counter(std::string name, const char* cat, double value) {
   record(std::move(e));
 }
 
+void Tracer::flow(EventPhase phase, std::uint64_t flow_id, std::string name,
+                  const char* cat, double ts_us, std::uint32_t pid,
+                  std::int64_t tid) {
+  DLSR_CHECK(phase == EventPhase::FlowStart || phase == EventPhase::FlowStep ||
+                 phase == EventPhase::FlowFinish,
+             "Tracer::flow requires a flow phase (s/t/f)");
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.phase = phase;
+  e.ts_us = ts_us;
+  e.flow_id = flow_id;
+  e.pid = pid;
+  e.tid_override = tid;
+  record(std::move(e));
+}
+
 std::size_t Tracer::event_count() const {
   const std::lock_guard<std::mutex> lock(registry_mutex_);
   std::size_t total = 0;
@@ -224,7 +264,8 @@ std::string Tracer::to_chrome_trace_json() const {
     os << strfmt(R"({"name":"%s","cat":"%s","ph":"%c","pid":%u,"tid":%u,)"
                  R"("ts":%.3f)",
                  json_escape(e.name).c_str(), json_escape(e.cat).c_str(),
-                 static_cast<char>(e.phase), e.pid, tid, e.ts_us);
+                 static_cast<char>(e.phase), e.pid, tid,
+                 e.ts_us + export_ts_offset_us_);
     switch (e.phase) {
       case EventPhase::Complete:
         os << strfmt(R"(,"dur":%.3f)", e.dur_us);
@@ -240,6 +281,14 @@ std::string Tracer::to_chrome_trace_json() const {
         break;
       case EventPhase::Counter:
         os << strfmt(R"(,"args":{"value":%g})", e.value);
+        break;
+      case EventPhase::FlowStart:
+      case EventPhase::FlowStep:
+      case EventPhase::FlowFinish:
+        // Flow arrows join on (cat, id); "bp":"e" binds each endpoint to
+        // the complete event enclosing its timestamp on (pid, tid).
+        os << strfmt(R"(,"id":%llu,"bp":"e")",
+                     static_cast<unsigned long long>(e.flow_id));
         break;
     }
     os << "}";

@@ -1,0 +1,39 @@
+// dlsr::obs — cross-rank trace merge (`dlsr trace-merge`).
+//
+// `dlsr simulate --trace-rank R` writes one simulated-time trace per rank.
+// Each file carries its own clock: per-rank clock skew (modelled with
+// --trace-clock-skew-us, real on an actual cluster) shifts every timestamp
+// in the file, including the "clock_sync" anchor the trainer drops at the
+// setup-broadcast completion — an event that happens at the same simulated
+// instant on every rank. Aligning the anchors therefore removes the skew.
+//
+// The merge keeps rank 0's comm-slot lanes as the canonical copy of the
+// shared collective schedule (every rank would otherwise repeat it), remaps
+// each rank's compute lane to tid == rank, tags events with a numeric
+// "rank" arg, and leaves flow ids untouched: the per-message ids are
+// deterministic across per-rank runs of the same configuration, so every
+// rank's flow-start arrows fan into the one retained copy of the collective
+// — the cross-rank causal joins `dlsr analyze --whole-run` walks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_summary.hpp"
+
+namespace dlsr::obs {
+
+/// Merges per-rank simulated-time traces (element i = rank i's parsed
+/// events) into one Chrome trace-event JSON array. Throws dlsr::Error when
+/// `ranks` is empty. Wall-clock (pid kWallPid) and metadata events are
+/// dropped; only simulated-time events survive the merge.
+std::string merge_rank_traces(
+    const std::vector<std::vector<ParsedEvent>>& ranks);
+
+/// Clock offset applied to rank r's events: anchor alignment against rank
+/// 0 ("clock_sync" events), 0 when either side lacks an anchor. Exposed
+/// for tests.
+double merge_clock_offset_us(const std::vector<ParsedEvent>& rank0,
+                             const std::vector<ParsedEvent>& rank_r);
+
+}  // namespace dlsr::obs

@@ -1,0 +1,112 @@
+// dlsr::obs — bounded in-memory request-trace store behind /tracez.
+//
+// Spans that carry a TraceContext are mirrored here while their request is
+// in flight; finish() applies the tail-sampling retention policy:
+//
+//   - error / deadline-miss traces are always kept,
+//   - the top-k slowest finished traces are always kept,
+//   - the rest is head-count sampled (1 in sample_every),
+//   - total retention is hard-bounded (max_retained), evicting sampled
+//     traces first, then slow traces that fell out of the top k, then the
+//     oldest entry — so memory stays bounded no matter the request rate.
+//
+// The telemetry /tracez endpoint serves the retained set (slowest first)
+// and individual traces by id; the flight recorder lists in-flight ids on
+// crash, and histogram exemplars name trace_ids retrievable here. That is
+// the whole metrics → traces drill-down loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dlsr::obs {
+
+struct StoredSpan {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+struct StoredTrace {
+  std::uint64_t trace_id = 0;
+  double duration_ms = 0.0;
+  std::string status;   ///< "ok", "timeout", "rejected", "error"
+  std::string reason;   ///< why it was retained: "error", "slow", "sampled"
+  bool error = false;   ///< deadline miss or failure (always retained)
+  std::vector<StoredSpan> spans;
+};
+
+class TraceStore {
+ public:
+  struct Config {
+    std::size_t max_retained = 64;        ///< hard memory bound (traces)
+    std::size_t top_k_slow = 8;           ///< slowest always kept
+    std::size_t sample_every = 16;        ///< 1-in-N of the unremarkable
+    std::size_t max_pending = 256;        ///< open traces buffering spans
+    std::size_t max_spans_per_trace = 64;
+  };
+
+  /// The process-wide store (what ScopedSpan mirrors into and /tracez
+  /// serves). Tests can build private instances.
+  static TraceStore& global();
+
+  TraceStore() = default;
+  explicit TraceStore(const Config& config) : config_(config) {}
+
+  /// Arms the store (and, for the global instance, the ScopedSpan mirror
+  /// hook). Drops all previous state.
+  void enable();  ///< enable(Config{}) — out of line for gcc's sake
+  void enable(const Config& config);
+  void disable();
+  bool enabled() const;
+
+  /// Buffers one finished span under its trace id. Cheap: one mutex, one
+  /// vector push; only called for spans inside a trace.
+  void record_span(const TraceContext& ctx, std::string name,
+                   std::string cat, double ts_us, double dur_us);
+
+  /// Closes a trace and applies the retention verdict. `error` marks
+  /// deadline misses / failures (always kept).
+  void finish(std::uint64_t trace_id, double duration_ms, std::string status,
+              bool error);
+
+  /// Drops a pending trace without retention (e.g. cache hits not worth
+  /// keeping). No-op if the id is not pending.
+  void discard(std::uint64_t trace_id);
+
+  std::size_t retained_count() const;
+  std::size_t pending_count() const;
+  std::uint64_t finished_count() const;
+
+  /// Retained traces, slowest first.
+  std::vector<StoredTrace> snapshot() const;
+  bool lookup(std::uint64_t trace_id, StoredTrace* out) const;
+
+  /// /tracez list: {"schema":"dlsr-tracez-v1",...,"traces":[...]} with at
+  /// most `limit` entries, slowest first, spans summarized as counts.
+  std::string to_json(std::size_t limit = 32) const;
+  /// One retained trace with full spans, or "" when unknown.
+  std::string trace_json(std::uint64_t trace_id) const;
+
+ private:
+  void evict_locked();
+
+  mutable std::mutex mutex_;
+  Config config_;
+  bool enabled_ = false;
+  std::uint64_t finished_ = 0;
+  std::unordered_map<std::uint64_t, StoredTrace> pending_;
+  std::deque<StoredTrace> retained_;  ///< insertion (finish) order
+};
+
+}  // namespace dlsr::obs

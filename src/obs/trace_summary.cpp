@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -382,9 +383,15 @@ std::vector<ParsedEvent> parse_trace_events(const std::string& json) {
       [&](const std::string& key, const std::string& str, bool is_string,
           double num) {
         if (is_string) {
-          if (key == "name") current.name = str;
-          else if (key == "cat") current.cat = str;
-          else if (key == "ph" && !str.empty()) current.phase = str[0];
+          if (key.rfind("args.", 0) == 0) {
+            current.str_args.emplace_back(key.substr(5), str);
+          } else if (key == "name") {
+            current.name = str;
+          } else if (key == "cat") {
+            current.cat = str;
+          } else if (key == "ph" && !str.empty()) {
+            current.phase = str[0];
+          }
         } else if (key.rfind("args.", 0) == 0) {
           current.args.emplace_back(key.substr(5), num);
         } else {
@@ -392,6 +399,9 @@ std::vector<ParsedEvent> parse_trace_events(const std::string& json) {
           else if (key == "dur") current.dur_us = num;
           else if (key == "pid") current.pid = static_cast<int>(num);
           else if (key == "tid") current.tid = static_cast<int>(num);
+          else if (key == "id") {
+            current.flow_id = static_cast<std::uint64_t>(num);
+          }
         }
       },
       [&] {
@@ -465,11 +475,12 @@ std::vector<TraceSummaryRow> summarize_trace(
     }
   }
 
-  // Pass 2: aggregate per (category, normalized name) family.
-  std::map<std::pair<std::string, std::string>, Build> rows;
+  // Pass 2: aggregate per (category, normalized name, rank) family.
+  std::map<std::tuple<std::string, std::string, int>, Build> rows;
   for (const std::size_t i : complete) {
     const ParsedEvent& e = events[i];
-    Build& b = rows[{e.cat, normalize_name(e.name)}];
+    const int rank = static_cast<int>(e.arg("rank", -1.0));
+    Build& b = rows[{e.cat, normalize_name(e.name), rank}];
     TraceSummaryRow& row = b.row;
     if (row.count == 0 || e.dur_us < row.min_us) {
       row.min_us = e.dur_us;
@@ -500,31 +511,69 @@ std::vector<TraceSummaryRow> summarize_trace(
   std::vector<TraceSummaryRow> out;
   out.reserve(rows.size());
   for (auto& [key, b] : rows) {
-    b.row.cat = key.first;
-    b.row.name = key.second;
+    b.row.cat = std::get<0>(key);
+    b.row.name = std::get<1>(key);
+    b.row.rank = std::get<2>(key);
     b.row.share_pct =
         grand_self > 0.0 ? b.row.self_us / grand_self * 100.0 : 0.0;
     out.push_back(std::move(b.row));
   }
-  // Heaviest phases first.
+  // Heaviest phases first; same family across ranks stays adjacent in
+  // rank order so per-rank skew is read off vertically.
   std::sort(out.begin(), out.end(),
             [](const TraceSummaryRow& a, const TraceSummaryRow& b) {
-              return a.total_us > b.total_us;
+              if (a.total_us != b.total_us) {
+                return a.total_us > b.total_us;
+              }
+              if (a.cat != b.cat) {
+                return a.cat < b.cat;
+              }
+              if (a.name != b.name) {
+                return a.name < b.name;
+              }
+              return a.rank < b.rank;
             });
   return out;
 }
 
+void tag_rank(std::vector<ParsedEvent>& events, int rank) {
+  for (ParsedEvent& e : events) {
+    if (e.arg("rank", -1.0) < 0.0) {
+      e.args.emplace_back("rank", static_cast<double>(rank));
+    }
+  }
+}
+
 Table trace_summary(const std::vector<ParsedEvent>& events) {
-  Table t({"category", "phase", "count", "total ms", "self ms", "mean ms",
-           "min ms", "max ms", "share %"});
-  for (const TraceSummaryRow& row : summarize_trace(events)) {
-    t.add_row({row.cat, row.name, strfmt("%zu", row.count),
-               strfmt("%.3f", row.total_us / 1e3),
-               strfmt("%.3f", row.self_us / 1e3),
-               strfmt("%.3f", row.mean_us() / 1e3),
-               strfmt("%.3f", row.min_us / 1e3),
-               strfmt("%.3f", row.max_us / 1e3),
-               strfmt("%.1f", row.share_pct)});
+  const std::vector<TraceSummaryRow> rows = summarize_trace(events);
+  // The rank column earns its width only when events actually carry more
+  // than one rank (merged traces, multi-file summaries).
+  bool multi_rank = false;
+  for (const TraceSummaryRow& row : rows) {
+    multi_rank = multi_rank || (row.rank != rows.front().rank);
+  }
+  std::vector<std::string> header = {"category", "phase"};
+  if (multi_rank) {
+    header.push_back("rank");
+  }
+  for (const char* col : {"count", "total ms", "self ms", "mean ms",
+                          "min ms", "max ms", "share %"}) {
+    header.emplace_back(col);
+  }
+  Table t(header);
+  for (const TraceSummaryRow& row : rows) {
+    std::vector<std::string> cells = {row.cat, row.name};
+    if (multi_rank) {
+      cells.push_back(row.rank < 0 ? "-" : strfmt("%d", row.rank));
+    }
+    cells.push_back(strfmt("%zu", row.count));
+    cells.push_back(strfmt("%.3f", row.total_us / 1e3));
+    cells.push_back(strfmt("%.3f", row.self_us / 1e3));
+    cells.push_back(strfmt("%.3f", row.mean_us() / 1e3));
+    cells.push_back(strfmt("%.3f", row.min_us / 1e3));
+    cells.push_back(strfmt("%.3f", row.max_us / 1e3));
+    cells.push_back(strfmt("%.1f", row.share_pct));
+    t.add_row(cells);
   }
   return t;
 }
@@ -535,7 +584,7 @@ std::string trace_summary_json(const std::vector<ParsedEvent>& events) {
   for (const TraceSummaryRow& row : rows) {
     grand_self += row.self_us;
   }
-  std::string out = "{\"schema\":\"dlsr-trace-summary-v1\",\"rows\":[";
+  std::string out = "{\"schema\":\"dlsr-trace-summary-v2\",\"rows\":[";
   bool first = true;
   for (const TraceSummaryRow& row : rows) {
     std::string name;
@@ -546,12 +595,12 @@ std::string trace_summary_json(const std::vector<ParsedEvent>& events) {
       name += c;
     }
     out += strfmt(
-        "%s{\"cat\":\"%s\",\"name\":\"%s\",\"count\":%zu,"
+        "%s{\"cat\":\"%s\",\"name\":\"%s\",\"rank\":%d,\"count\":%zu,"
         "\"total_us\":%.3f,\"self_us\":%.3f,\"mean_us\":%.3f,"
         "\"min_us\":%.3f,\"max_us\":%.3f,\"share_pct\":%.3f}",
-        first ? "" : ",", row.cat.c_str(), name.c_str(), row.count,
-        row.total_us, row.self_us, row.mean_us(), row.min_us, row.max_us,
-        row.share_pct);
+        first ? "" : ",", row.cat.c_str(), name.c_str(), row.rank,
+        row.count, row.total_us, row.self_us, row.mean_us(), row.min_us,
+        row.max_us, row.share_pct);
     first = false;
   }
   out += strfmt("],\"self_total_us\":%.3f}", grand_self);

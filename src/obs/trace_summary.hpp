@@ -5,6 +5,7 @@
 // hvd::TimelineWriter, the metrics registry) emits valid JSON.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,13 @@ struct ParsedEvent {
   double dur_us = 0.0;
   int pid = 0;
   int tid = 0;
+  /// Top-level "id" field: joins flow ('s'/'t'/'f') chains.
+  std::uint64_t flow_id = 0;
   /// Numeric members of the event's "args" object, in file order.
   std::vector<std::pair<std::string, double>> args;
+  /// String members of the event's "args" object, in file order (kept so
+  /// trace-merge can re-emit events without losing labels).
+  std::vector<std::pair<std::string, std::string>> str_args;
 
   /// Value of a numeric args member, or `fallback` when absent.
   double arg(const std::string& key, double fallback) const;
@@ -36,10 +42,14 @@ bool json_valid(const std::string& text);
 /// Throws dlsr::Error on malformed JSON or a non-array top level.
 std::vector<ParsedEvent> parse_trace_events(const std::string& json);
 
-/// One aggregated (category, normalized-name) family of complete events.
+/// One aggregated (category, normalized-name, rank) family of complete
+/// events. `rank` comes from the event's numeric "rank" arg (injected by
+/// `dlsr trace-merge` and by multi-file `dlsr trace-summary`); events
+/// without one fold into rank -1 and the rank column stays hidden.
 struct TraceSummaryRow {
   std::string cat;
   std::string name;
+  int rank = -1;
   std::size_t count = 0;
   /// Summed inclusive duration (comm-slot lanes: interval union).
   double total_us = 0.0;
@@ -76,12 +86,18 @@ struct TraceSummaryRow {
 std::vector<TraceSummaryRow> summarize_trace(
     const std::vector<ParsedEvent>& events);
 
-/// summarize_trace rendered as the `dlsr trace-summary` table.
+/// summarize_trace rendered as the `dlsr trace-summary` table. The rank
+/// column appears only when the events span more than one rank.
 Table trace_summary(const std::vector<ParsedEvent>& events);
 
-/// summarize_trace rendered as JSON ("dlsr-trace-summary-v1"): rows plus
-/// the grand self total. Backs `dlsr trace-summary --json`.
+/// summarize_trace rendered as JSON ("dlsr-trace-summary-v2"): rows (each
+/// carrying its rank, -1 when unattributed) plus the grand self total.
+/// Backs `dlsr trace-summary --json`.
 std::string trace_summary_json(const std::vector<ParsedEvent>& events);
+
+/// Tags every event that lacks a numeric "rank" arg with the given rank.
+/// Multi-file trace-summary uses it to keep per-file attribution.
+void tag_rank(std::vector<ParsedEvent>& events, int rank);
 
 /// Total covered time of a set of [start, end) intervals (their union).
 /// Degenerate (end <= start) intervals contribute nothing.

@@ -90,14 +90,15 @@ void ServerMetrics::on_batch(std::size_t batch_size) {
   batch_size_h_->observe(static_cast<double>(batch_size));
 }
 
-void ServerMetrics::on_complete(double latency_seconds) {
+void ServerMetrics::on_complete(double latency_seconds,
+                                std::uint64_t trace_id) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counts_.completed;
   const double ms = latency_seconds * 1e3;
   latencies_ms_.push_back(ms);
   latency_stats_.add(ms);
   completed_c_->add(1);
-  latency_h_->observe(ms);
+  latency_h_->observe(ms, trace_id);
   // Rolling series for live p99 / SLO rules (no-op without a telemetry
   // plane attached).
   obs::TimeSeriesStore::global().observe("serve/latency_ms", ms);

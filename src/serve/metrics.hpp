@@ -72,7 +72,9 @@ class ServerMetrics {
   void on_timed_out();
   void on_cache_hit();
   void on_batch(std::size_t batch_size);
-  void on_complete(double latency_seconds);
+  /// `trace_id` (when non-zero) becomes the exemplar on the latency
+  /// histogram bucket this sample lands in — the metrics → traces link.
+  void on_complete(double latency_seconds, std::uint64_t trace_id = 0);
   void on_queue_wait(double wait_seconds);
   void on_forward(double forward_seconds);
   void on_queue_depth(std::size_t depth);

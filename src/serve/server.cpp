@@ -12,6 +12,7 @@
 #include "mem/arena.hpp"
 #include "mem/registry.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_store.hpp"
 
 namespace dlsr::serve {
 
@@ -36,6 +37,14 @@ models::Edsr& require_model(const std::shared_ptr<models::Edsr>& model) {
   return *model;
 }
 
+/// Lane for a request's root span: hashing by trace id keeps overlapping
+/// requests from fake-nesting on one exported lane.
+std::int64_t request_lane(std::uint64_t trace_id) {
+  return obs::kRequestLaneBase +
+         static_cast<std::int64_t>(
+             trace_id % static_cast<std::uint64_t>(obs::kRequestLaneCount));
+}
+
 }  // namespace
 
 /// Shared, mostly-immutable state of one in-flight request. Workers touch
@@ -56,6 +65,12 @@ struct SrServer::RequestState {
   /// Queue wait is recorded once per request, when its first tile reaches a
   /// worker; later tiles of the same request skip it.
   std::atomic<bool> wait_recorded{false};
+  /// Root causal context (trace_id 0 when tracing was disabled at
+  /// admission) and the tracer-clock submit time. The context rides the
+  /// TileJobs through the micro-batcher and is re-installed on the worker
+  /// side, so spans there parent under the request root.
+  obs::TraceContext ctx;
+  double submit_ts_us = 0.0;
 };
 
 SrServer::SrServer(std::shared_ptr<models::Edsr> model, ServeConfig config)
@@ -103,18 +118,30 @@ std::future<ServeResult> SrServer::submit(const Tensor& image) {
 
 std::future<ServeResult> SrServer::submit(const Tensor& image,
                                           std::chrono::milliseconds deadline) {
-  OBS_SPAN("serve", "submit");
   metrics_.on_request();
   if (watchdog_) {
     watchdog_->kick();
   }
   auto req = std::make_shared<RequestState>();
   std::future<ServeResult> future = req->promise.get_future();
+  if (obs::tracing_enabled()) {
+    // Root of this request's causal chain: every span opened while the
+    // context is installed — here and on the workers after the queue
+    // handoff — parents under it.
+    req->ctx = obs::TraceContext{obs::new_trace_id(), obs::new_span_id(), 0};
+    req->submit_ts_us = obs::Tracer::instance().now_us();
+    obs::FlightRecorder::instance().note_inflight_trace(req->ctx.trace_id);
+  }
+  obs::ScopedContext request_scope(req->ctx);
+  obs::ScopedSpan submit_span("serve", "submit");
   const auto reject = [&](const std::string& why) {
     metrics_.on_rejected();
     ServeResult r;
     r.status = ServeStatus::Rejected;
     r.error = why;
+    r.trace_id = req->ctx.trace_id;
+    submit_span.finish();
+    finish_request_trace(*req, "rejected", false, 0.0);
     req->promise.set_value(std::move(r));
     return std::move(future);
   };
@@ -143,7 +170,10 @@ std::future<ServeResult> SrServer::submit(const Tensor& image,
     r.cache_hit = true;
     r.latency_seconds =
         std::chrono::duration<double>(Clock::now() - req->enqueued).count();
-    metrics_.on_complete(r.latency_seconds);
+    r.trace_id = req->ctx.trace_id;
+    metrics_.on_complete(r.latency_seconds, req->ctx.trace_id);
+    submit_span.finish();
+    finish_request_trace(*req, "ok", false, r.latency_seconds);
     req->promise.set_value(std::move(r));
     return future;
   }
@@ -168,6 +198,14 @@ std::future<ServeResult> SrServer::submit(const Tensor& image,
                          "request needs %zu)",
                          batcher_.depth(), req->plan.tiles.size()));
   }
+  if (req->ctx.valid()) {
+    // Flow arrow out of the submit span: it steps through every worker
+    // batch span that carries one of this request's tiles and finishes in
+    // the respond span that resolves the promise.
+    obs::Tracer::instance().flow(obs::EventPhase::FlowStart,
+                                 req->ctx.trace_id, "request", "serve",
+                                 obs::Tracer::instance().now_us());
+  }
   metrics_.on_queue_depth(batcher_.depth());
   return future;
 }
@@ -186,8 +224,32 @@ void SrServer::finish_timed_out(RequestState& req) {
   r.status = ServeStatus::TimedOut;
   r.latency_seconds =
       std::chrono::duration<double>(Clock::now() - req.enqueued).count();
+  r.trace_id = req.ctx.trace_id;
   r.error = "deadline expired before the request was scheduled";
+  // Deadline misses are errors to the trace store: always retained.
+  finish_request_trace(req, "timed_out", true, r.latency_seconds);
   req.promise.set_value(std::move(r));
+}
+
+void SrServer::finish_request_trace(RequestState& req, const char* status,
+                                    bool error, double latency_seconds) {
+  if (!req.ctx.valid()) {
+    return;
+  }
+  obs::FlightRecorder::instance().clear_inflight_trace(req.ctx.trace_id);
+  if (obs::tracing_enabled()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    const double end_us = tracer.now_us();
+    const double dur_us = std::max(0.0, end_us - req.submit_ts_us);
+    tracer.complete(
+        "request", "serve", req.submit_ts_us, dur_us,
+        obs::context_args(strfmt("{\"status\":\"%s\"}", status), req.ctx),
+        obs::kWallPid, request_lane(req.ctx.trace_id));
+    obs::TraceStore::global().record_span(req.ctx, "request", "serve",
+                                          req.submit_ts_us, dur_us);
+  }
+  obs::TraceStore::global().finish(req.ctx.trace_id, latency_seconds * 1e3,
+                                   status, error);
 }
 
 void SrServer::worker_loop() {
@@ -230,8 +292,24 @@ void SrServer::worker_loop() {
         continue;
       }
       if (!req.wait_recorded.exchange(true)) {
-        metrics_.on_queue_wait(
-            std::chrono::duration<double>(now - req.enqueued).count());
+        const double wait_s =
+            std::chrono::duration<double>(now - req.enqueued).count();
+        metrics_.on_queue_wait(wait_s);
+        if (req.ctx.valid() && obs::tracing_enabled()) {
+          // The queue span: submit to first-tile schedule, on the
+          // request's lane, parented under its root.
+          obs::Tracer& tracer = obs::Tracer::instance();
+          const obs::TraceContext qctx{req.ctx.trace_id, obs::new_span_id(),
+                                       req.ctx.span_id};
+          const double end_us = tracer.now_us();
+          const double start_us =
+              std::max(req.submit_ts_us, end_us - wait_s * 1e6);
+          tracer.complete("queue", "serve", start_us, end_us - start_us,
+                          obs::context_args({}, qctx), obs::kWallPid,
+                          request_lane(req.ctx.trace_id));
+          obs::TraceStore::global().record_span(qctx, "queue", "serve",
+                                                start_us, end_us - start_us);
+        }
       }
       live.push_back(std::move(job));
     }
@@ -251,6 +329,18 @@ void SrServer::worker_loop() {
         batch_span.set_args(strfmt("{\"tiles\":%zu,\"tile_h\":%zu,"
                                    "\"tile_w\":%zu}",
                                    jobs.size(), dims.first, dims.second));
+        // One flow step per distinct request in the batch: the viewer draws
+        // submit -> every batch that touched the request -> respond.
+        const double flow_ts = obs::Tracer::instance().now_us();
+        std::uint64_t last_flow = 0;
+        for (const TileJob& job : jobs) {
+          const std::uint64_t id = job.request->ctx.trace_id;
+          if (id != 0 && id != last_flow) {
+            obs::Tracer::instance().flow(obs::EventPhase::FlowStep, id,
+                                         "request", "serve", flow_ts);
+            last_flow = id;
+          }
+        }
       }
       const auto [tile_h, tile_w] = dims;
       Tensor tiles({jobs.size(), 3, tile_h, tile_w});
@@ -271,6 +361,11 @@ void SrServer::worker_loop() {
             ServeResult r;
             r.status = ServeStatus::Rejected;
             r.error = std::string("forward failed: ") + e.what();
+            r.latency_seconds =
+                std::chrono::duration<double>(Clock::now() - req.enqueued)
+                    .count();
+            r.trace_id = req.ctx.trace_id;
+            finish_request_trace(req, "error", true, r.latency_seconds);
             req.promise.set_value(std::move(r));
           }
         }
@@ -295,8 +390,24 @@ void SrServer::worker_loop() {
               std::chrono::duration<double>(Clock::now() - req.enqueued)
                   .count();
           cache_.insert(req.key, req.output);
-          metrics_.on_complete(r.latency_seconds);
+          metrics_.on_complete(r.latency_seconds, req.ctx.trace_id);
           r.image = std::move(req.output);
+          r.trace_id = req.ctx.trace_id;
+          if (req.ctx.valid()) {
+            // Queue-handoff adoption: re-install the request's context so
+            // the respond span parents under the root even though it runs
+            // on a pool worker, and land the flow arrow in it.
+            obs::ScopedContext adopt(req.ctx);
+            {
+              obs::ScopedSpan respond("serve", "respond");
+              if (respond.active()) {
+                obs::Tracer::instance().flow(
+                    obs::EventPhase::FlowFinish, req.ctx.trace_id,
+                    "request", "serve", obs::Tracer::instance().now_us());
+              }
+            }
+            finish_request_trace(req, "ok", false, r.latency_seconds);
+          }
           req.promise.set_value(std::move(r));
         }
       }

@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <string>
@@ -62,6 +63,11 @@ struct ServeResult {
   Tensor image;             ///< upscaled [1,3,H*s,W*s]; empty unless Ok
   bool cache_hit = false;
   double latency_seconds = 0.0;
+  /// Causal trace id of this request (0 when tracing was disabled at
+  /// admission). The same id appears on the request's spans in the trace
+  /// export, as the exemplar on the latency histogram bucket it landed in,
+  /// and keys the /tracez drill-down.
+  std::uint64_t trace_id = 0;
   std::string error;        ///< reason when status != Ok
 };
 
@@ -109,6 +115,13 @@ class SrServer {
 
   void worker_loop();
   void finish_timed_out(RequestState& req);
+  /// Emits the request's root "request" span on its request lane, mirrors
+  /// it into the trace store with the retention verdict, and clears the
+  /// flight recorder's in-flight registration. Call only after every child
+  /// span of the request has closed, so the store holds the full span set
+  /// when the verdict lands.
+  void finish_request_trace(RequestState& req, const char* status,
+                            bool error, double latency_seconds);
 
   std::shared_ptr<models::Edsr> model_;
   ServeConfig config_;

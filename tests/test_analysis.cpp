@@ -7,6 +7,7 @@
 // pins the tolerance policy).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -19,6 +20,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/perf_compare.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "obs/trace_summary.hpp"
 
 namespace dlsr::obs {
@@ -182,6 +184,183 @@ TEST(CommAttrib, CollectiveNamesRoundTrip) {
   EXPECT_THROW(collective_from_name("sendrecv"), Error);
 }
 
+// --- cross-rank merge and whole-run critical path -----------------------
+
+ParsedEvent rank_step_span(const std::string& name, std::size_t step,
+                           int rank, double ts, double dur) {
+  return span(name, "sim", ts, dur, rank,
+              {{"step", static_cast<double>(step)},
+               {"rank", static_cast<double>(rank)}});
+}
+
+TEST(AnalyzeTrace, WholeRunCriticalPathFollowsPerStepCriticalRank) {
+  // Two ranks, two steps. Step 0: rank 1's backward ends last (330 vs
+  // 300) so rank 1 is critical; step 1: rank 0 (900 vs 800). One exposed
+  // allreduce per step sits between backward-end and the optimizer.
+  const std::vector<ParsedEvent> events = {
+      rank_step_span("forward", 0, 0, 0.0, 100.0),
+      rank_step_span("backward", 0, 0, 100.0, 200.0),
+      rank_step_span("optimizer", 0, 0, 400.0, 40.0),
+      rank_step_span("forward", 0, 1, 0.0, 120.0),
+      rank_step_span("backward", 0, 1, 120.0, 210.0),
+      rank_step_span("optimizer", 0, 1, 400.0, 40.0),
+      comm_span("allreduce", 330.0, 70.0, 40 * MiB),
+      rank_step_span("forward", 1, 0, 500.0, 140.0),
+      rank_step_span("backward", 1, 0, 640.0, 260.0),
+      rank_step_span("optimizer", 1, 0, 960.0, 40.0),
+      rank_step_span("forward", 1, 1, 500.0, 100.0),
+      rank_step_span("backward", 1, 1, 600.0, 200.0),
+      rank_step_span("optimizer", 1, 1, 960.0, 40.0),
+      comm_span("allreduce", 900.0, 60.0, 10 * MiB),
+  };
+  const AnalysisReport report = analyze_trace(events);
+  ASSERT_EQ(report.steps.size(), 2u);
+
+  const StepAttribution& s0 = report.steps[0];
+  EXPECT_EQ(s0.rank, 1);
+  EXPECT_DOUBLE_EQ(s0.forward_us, 120.0);
+  EXPECT_DOUBLE_EQ(s0.backward_us, 210.0);
+  EXPECT_DOUBLE_EQ(s0.optimizer_us, 40.0);
+  EXPECT_DOUBLE_EQ(s0.exposed_comm_us, 70.0);
+  EXPECT_DOUBLE_EQ(s0.stall_us, 0.0);
+  EXPECT_EQ(s0.bounding_op, "allreduce 32 MB - 64 MB");
+
+  const StepAttribution& s1 = report.steps[1];
+  EXPECT_EQ(s1.rank, 0);
+  EXPECT_DOUBLE_EQ(s1.forward_us, 140.0);
+  EXPECT_DOUBLE_EQ(s1.backward_us, 260.0);
+  EXPECT_DOUBLE_EQ(s1.exposed_comm_us, 60.0);
+  EXPECT_EQ(s1.bounding_op, "allreduce 128 KB - 16 MB");
+
+  // The whole-run critical path chains both steps, each hop owned by the
+  // step's critical rank, with the exposed collectives named inline.
+  ASSERT_EQ(report.critical_path.size(), 8u);
+  const char* kinds[] = {"forward", "backward", "exposed-comm", "optimizer",
+                         "forward", "backward", "exposed-comm", "optimizer"};
+  const int ranks[] = {1, 1, 1, 1, 0, 0, 0, 0};
+  const double us[] = {120.0, 210.0, 70.0, 40.0, 140.0, 260.0, 60.0, 40.0};
+  double comm_us = 0.0;
+  for (std::size_t i = 0; i < report.critical_path.size(); ++i) {
+    const CriticalSegment& seg = report.critical_path[i];
+    EXPECT_EQ(seg.kind, kinds[i]) << "segment " << i;
+    EXPECT_EQ(seg.rank, ranks[i]) << "segment " << i;
+    EXPECT_DOUBLE_EQ(seg.us, us[i]) << "segment " << i;
+    EXPECT_EQ(seg.step, i < 4 ? 0u : 1u) << "segment " << i;
+    if (seg.kind == "exposed-comm") {
+      comm_us += seg.us;
+    }
+  }
+  EXPECT_EQ(report.critical_path[2].detail, "allreduce 32 MB - 64 MB");
+  EXPECT_EQ(report.critical_path[6].detail, "allreduce 128 KB - 16 MB");
+  // The path's comm hops sum to the per-step exposed-comm total exactly —
+  // they are the same intervals.
+  EXPECT_DOUBLE_EQ(comm_us, report.total_exposed_comm_us());
+
+  const std::string table = report.critical_path_table().to_string();
+  EXPECT_NE(table.find("exposed-comm"), std::string::npos);
+  EXPECT_NE(table.find("allreduce 32 MB - 64 MB"), std::string::npos);
+}
+
+TEST(AnalyzeTrace, StragglerFlagsDedupAcrossMergedRankViews) {
+  std::vector<ParsedEvent> events = {
+      step_span("forward", 0, 0.0, 100.0),
+      step_span("backward", 0, 100.0, 200.0),
+      step_span("optimizer", 0, 300.0, 40.0),
+  };
+  // The same flag edge shows up once per traced rank file in a merged
+  // trace; only one copy may count.
+  const auto flag = [](std::size_t rank, std::size_t step, double score) {
+    return span("straggler", "straggler", 10.0, 0.0, 0,
+                {{"rank", static_cast<double>(rank)},
+                 {"step", static_cast<double>(step)},
+                 {"score", score}});
+  };
+  events.push_back(flag(3, 0, 5.0));
+  events.push_back(flag(3, 0, 5.0));  // duplicate view of the same edge
+  events.push_back(flag(3, 1, 7.0));
+  events.push_back(flag(9, 1, 4.0));
+  const AnalysisReport report = analyze_trace(events);
+  ASSERT_EQ(report.stragglers.size(), 2u);
+  EXPECT_EQ(report.stragglers[0].rank, 3u);  // worst score first
+  EXPECT_EQ(report.stragglers[0].flags, 2u);
+  EXPECT_DOUBLE_EQ(report.stragglers[0].max_score, 7.0);
+  EXPECT_EQ(report.stragglers[0].first_step, 0u);
+  EXPECT_EQ(report.stragglers[1].rank, 9u);
+  EXPECT_EQ(report.stragglers[1].flags, 1u);
+}
+
+TEST(TraceMerge, AlignsClocksKeepsRankZeroCommLanesAndTagsRanks) {
+  // Two views of the same simulated instant, rank 1's clock running 2 ms
+  // ahead. Both carry the clock_sync anchor, the same comm lane, and the
+  // same deterministic flow id.
+  const auto rank_view = [](double skew) {
+    std::vector<ParsedEvent> v;
+    v.push_back(span("clock_sync", "sim", 900.0 + skew, 0.0, 0));
+    ParsedEvent fwd = step_span("forward", 0, 1000.0 + skew, 100.0);
+    v.push_back(fwd);
+    v.push_back(comm_span("allreduce", 1050.0 + skew, 40.0, MiB));
+    ParsedEvent flow;
+    flow.name = "comm_msg";
+    flow.cat = "comm-flow";
+    flow.phase = 's';
+    flow.ts_us = 1049.0 + skew;
+    flow.pid = kSim;
+    flow.tid = 0;
+    flow.flow_id = 7;
+    v.push_back(flow);
+    ParsedEvent wall = span("request", "serve", 5.0 + skew, 1.0, 0);
+    wall.pid = static_cast<int>(kWallPid);
+    v.push_back(wall);
+    return v;
+  };
+  const std::vector<ParsedEvent> r0 = rank_view(0.0);
+  const std::vector<ParsedEvent> r1 = rank_view(2000.0);
+
+  EXPECT_DOUBLE_EQ(merge_clock_offset_us(r0, r1), -2000.0);
+  EXPECT_DOUBLE_EQ(merge_clock_offset_us(r0, r0), 0.0);
+  // No anchor on either side -> no alignment.
+  EXPECT_DOUBLE_EQ(merge_clock_offset_us({}, r1), 0.0);
+  EXPECT_THROW(merge_rank_traces({}), Error);
+
+  const std::string json = merge_rank_traces({r0, r1});
+  EXPECT_TRUE(json_valid(json));
+  // Lanes are named for the trace viewer.
+  EXPECT_NE(json.find("rank 1 compute"), std::string::npos);
+  EXPECT_NE(json.find("comm slot 0"), std::string::npos);
+
+  const std::vector<ParsedEvent> merged = parse_trace_events(json);
+  std::size_t comm_lanes = 0, flows = 0, wall_events = 0;
+  const ParsedEvent* fwd0 = nullptr;
+  const ParsedEvent* fwd1 = nullptr;
+  for (const ParsedEvent& e : merged) {
+    if (e.pid != kSim && e.phase != 'M') {
+      ++wall_events;
+    }
+    if (e.tid >= kLane && e.phase == 'X') {
+      ++comm_lanes;
+    }
+    if (e.phase == 's' && e.flow_id == 7) {
+      ++flows;
+    }
+    if (e.name == "forward" && e.phase == 'X') {
+      (e.arg("rank", -1.0) == 1.0 ? fwd1 : fwd0) = &e;
+    }
+  }
+  // Wall-clock events are dropped; rank 0's comm lane is the canonical
+  // copy; both ranks' flow starts survive with the id untouched so they
+  // fan into that one collective.
+  EXPECT_EQ(wall_events, 0u);
+  EXPECT_EQ(comm_lanes, 1u);
+  EXPECT_EQ(flows, 2u);
+  ASSERT_NE(fwd0, nullptr);
+  ASSERT_NE(fwd1, nullptr);
+  // Rank 1's skew is removed and its compute lane remapped to tid == rank.
+  EXPECT_NEAR(fwd1->ts_us, 1000.0, 0.01);
+  EXPECT_NEAR(fwd0->ts_us, 1000.0, 0.01);
+  EXPECT_EQ(fwd0->tid, 0);
+  EXPECT_EQ(fwd1->tid, 1);
+}
+
 // --- end-to-end equivalence against the simulator -----------------------
 
 TEST(AnalyzeTrace, MatchesSimulatorExposedCommAndHvprof) {
@@ -242,6 +421,78 @@ TEST(AnalyzeTrace, MatchesSimulatorExposedCommAndHvprof) {
   const json::Value doc = json::parse(json);
   EXPECT_EQ(doc.find("schema")->as_string(), "dlsr-analysis-v1");
   std::remove(path.c_str());
+}
+
+TEST(AnalyzeTrace, MergedFig12TraceYieldsConsistentWholeRunCriticalPath) {
+  // The acceptance run: 32 nodes (128 GPUs, the paper's fig. 12 scale),
+  // four traced rank views with injected clock skew, merged and analyzed
+  // whole-run. The critical path's comm hops must agree with the merged
+  // trace's per-step exposed-comm total within 1 % (they are equal by
+  // construction) and the gating collectives must be named.
+  constexpr std::size_t kSteps = 8;
+  const std::vector<int> kRanks = {0, 5, 17, 127};
+  const core::PaperExperiment exp;
+
+  std::vector<std::vector<ParsedEvent>> views;
+  for (const int r : kRanks) {
+    auto& tracer = Tracer::instance();
+    tracer.disable();
+    tracer.reset();
+    tracer.enable(/*ring_capacity=*/1 << 20);
+    core::TrainingJobConfig job = exp.job;
+    job.fusion.inflight_buffers = 4;
+    job.trace_rank = r;
+    const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
+    trainer.run(core::BackendKind::MpiOpt, 32, kSteps);
+    // Model per-rank clock skew; the merge must recover and remove it.
+    tracer.set_export_ts_offset_us(static_cast<double>(r) * 1000.0);
+    const std::string path =
+        testing::TempDir() + strfmt("dlsr_fig12_rank%d.json", r);
+    tracer.write(path);
+    tracer.set_export_ts_offset_us(0.0);
+    tracer.disable();
+    tracer.reset();
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::remove(path.c_str());
+    views.push_back(parse_trace_events(buf.str()));
+  }
+
+  // Anchor alignment recovers the injected skew.
+  for (std::size_t i = 1; i < kRanks.size(); ++i) {
+    EXPECT_NEAR(merge_clock_offset_us(views[0], views[i]),
+                -static_cast<double>(kRanks[i]) * 1000.0, 0.01)
+        << "rank " << kRanks[i];
+  }
+
+  const AnalysisReport report =
+      analyze_trace(parse_trace_events(merge_rank_traces(views)));
+  ASSERT_EQ(report.steps.size(), kSteps);
+
+  double comm_us = 0.0;
+  bool named_collective = false;
+  for (const CriticalSegment& seg : report.critical_path) {
+    if (seg.kind != "exposed-comm") {
+      continue;
+    }
+    comm_us += seg.us;
+    named_collective =
+        named_collective || seg.detail.find("allreduce") != std::string::npos;
+  }
+  const double exposed = report.total_exposed_comm_us();
+  ASSERT_GT(exposed, 0.0);
+  EXPECT_NEAR(comm_us, exposed, exposed * 0.01);  // acceptance: within 1 %
+  EXPECT_NEAR(comm_us, exposed, 1e-6);            // in fact identical
+  EXPECT_TRUE(named_collective);
+
+  // Every step's attribution names a traced rank as its critical rank.
+  for (const StepAttribution& s : report.steps) {
+    EXPECT_TRUE(std::find(kRanks.begin(), kRanks.end(), s.rank) !=
+                kRanks.end())
+        << "step " << s.step << " rank " << s.rank;
+  }
 }
 
 TEST(AnalyzeTrace, AttributesInjectedDataStallInlineVsPipeline) {

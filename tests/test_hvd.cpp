@@ -2,7 +2,12 @@
 // and the functional WorkerGroup (data plane).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -12,6 +17,8 @@
 #include "models/edsr.hpp"
 #include "models/edsr_graph.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace dlsr::hvd {
@@ -92,6 +99,90 @@ TEST(FusionEngine, OversizedTensorGoesAlone) {
     }
   }
   EXPECT_TRUE(saw_big);
+}
+
+TEST(FusionEngine, FusedBufferFlowsFanInFromEveryContributingTensor) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.disable();
+  tracer.reset();
+  tracer.enable();
+  sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+  MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+  FusionConfig cfg;
+  cfg.fusion_threshold = 3 * 512 * 1024;  // force multi-tensor buffers
+  cfg.cycle_time = 1.0;                   // one giant cycle
+  TensorFusionEngine engine(cfg, backend);
+  const StepTimeline timeline =
+      engine.simulate_step(uniform_grads(10, 512 * 1024), 0.0, 0.01);
+  const std::string json = tracer.to_chrome_trace_json();
+  tracer.disable();
+  tracer.reset();
+
+  // Every tensor that rode in a fused (multi-tensor) buffer fans its own
+  // "tensor_ready" arrow into the wire slice; solo messages do not.
+  std::size_t fused_tensors = 0;
+  std::size_t fused_messages = 0;
+  for (const auto& m : timeline.messages) {
+    if (m.tensor_count > 1) {
+      fused_tensors += m.tensor_count;
+      ++fused_messages;
+    }
+  }
+  ASSERT_GT(fused_messages, 0u);
+
+  const auto events = obs::parse_trace_events(json);
+  std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> chains;
+  std::size_t ready_starts = 0;
+  for (const auto& e : events) {
+    if (e.phase != 's' && e.phase != 'f') {
+      continue;
+    }
+    auto& [starts, finishes] = chains[e.flow_id];
+    starts += e.phase == 's';
+    finishes += e.phase == 'f';
+    ready_starts += e.phase == 's' && e.name == "tensor_ready";
+  }
+  EXPECT_EQ(ready_starts, fused_tensors);
+  // Message chains + per-tensor chains, each exactly one 's' and one 'f'.
+  EXPECT_EQ(chains.size(), timeline.messages.size() + fused_tensors);
+  for (const auto& [id, counts] : chains) {
+    EXPECT_EQ(counts.first, 1u) << "flow " << id;
+    EXPECT_EQ(counts.second, 1u) << "flow " << id;
+  }
+}
+
+TEST(FusionEngine, FlowIdSequenceIsDeterministicAcrossRuns) {
+  // Cross-rank joins in `dlsr trace-merge` depend on every rank's fusion
+  // engine minting the same flow-id sequence for the same config: the ids
+  // come from an engine-local counter, not the process-global id well.
+  const auto flow_ids = [] {
+    auto& tracer = obs::Tracer::instance();
+    tracer.disable();
+    tracer.reset();
+    tracer.enable();
+    sim::Cluster cluster(sim::ClusterSpec::lassen(1));
+    MpiBackend backend(cluster, mpisim::MpiEnv::mpi_opt());
+    FusionConfig cfg;
+    cfg.fusion_threshold = 3 * 512 * 1024;
+    TensorFusionEngine engine(cfg, backend);
+    engine.simulate_step(uniform_grads(10, 512 * 1024), 0.0, 0.01);
+    // Perturb the global id well between runs: it must not matter.
+    obs::new_trace_id();
+    std::vector<std::uint64_t> ids;
+    for (const auto& e :
+         obs::parse_trace_events(tracer.to_chrome_trace_json())) {
+      if (e.phase == 's') {
+        ids.push_back(e.flow_id);
+      }
+    }
+    tracer.disable();
+    tracer.reset();
+    return ids;
+  };
+  const auto first = flow_ids();
+  const auto second = flow_ids();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 TEST(FusionEngine, LargerCycleMakesFewerBiggerMessages) {

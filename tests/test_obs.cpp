@@ -27,6 +27,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_store.hpp"
 #include "obs/trace_summary.hpp"
 
 namespace dlsr::obs {
@@ -443,9 +444,10 @@ TEST(TraceSummary, JsonExportMatchesRows) {
   e.dur_us = 40.0;
   const std::string json = trace_summary_json({e});
   ASSERT_TRUE(json_valid(json)) << json;
-  EXPECT_NE(json.find("\"schema\":\"dlsr-trace-summary-v1\""),
+  EXPECT_NE(json.find("\"schema\":\"dlsr-trace-summary-v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank\":-1"), std::string::npos);
   EXPECT_NE(json.find("\"total_us\":40.000"), std::string::npos);
   EXPECT_NE(json.find("\"self_us\":40.000"), std::string::npos);
   EXPECT_NE(json.find("\"self_total_us\":40.000"), std::string::npos);
@@ -476,6 +478,219 @@ TEST(Metrics, HistogramJsonExportsBucketBoundsAndCounts) {
     ++edges;
   }
   EXPECT_EQ(edges, kHistogramBucketBounds.size() + 1);
+}
+
+TEST(TraceContext, ScopedSpansChainParentageAndRestoreOnExit) {
+  TracerGuard guard;
+  const TraceContext root{new_trace_id(), new_span_id(), 0};
+  {
+    ScopedContext install(root);
+    ScopedSpan outer("test", "outer");
+    const TraceContext octx = outer.context();
+    EXPECT_EQ(octx.trace_id, root.trace_id);
+    EXPECT_EQ(octx.parent_span_id, root.span_id);
+    EXPECT_NE(octx.span_id, 0u);
+    {
+      ScopedSpan inner("test", "inner");
+      const TraceContext ictx = inner.context();
+      EXPECT_EQ(ictx.trace_id, root.trace_id);
+      EXPECT_EQ(ictx.parent_span_id, octx.span_id);
+      // The inner span is the thread's current context while open.
+      EXPECT_EQ(current_context().span_id, ictx.span_id);
+    }
+    // ...and closing it restores the outer span as current.
+    EXPECT_EQ(current_context().span_id, octx.span_id);
+  }
+  // ScopedContext restored the (empty) pre-install context.
+  EXPECT_FALSE(current_context().valid());
+  // A span opened outside any trace stays context-free but still records.
+  ScopedSpan orphan("test", "orphan");
+  EXPECT_TRUE(orphan.active());
+  EXPECT_FALSE(orphan.context().valid());
+}
+
+TEST(TraceContext, SpanArgsCarryNumericContextIds) {
+  TracerGuard guard;
+  const TraceContext root{new_trace_id(), new_span_id(), 0};
+  std::uint64_t work_span = 0;
+  {
+    ScopedContext install(root);
+    ScopedSpan span("test", "work");
+    span.set_args("{\"bytes\":7}");
+    work_span = span.context().span_id;
+  }
+  const std::string json = Tracer::instance().to_chrome_trace_json();
+  ASSERT_TRUE(json_valid(json));
+  const auto events = parse_trace_events(json);
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [](const ParsedEvent& e) { return e.name == "work"; });
+  ASSERT_NE(it, events.end());
+  // The caller's args survive and the context ids are spliced in as
+  // numbers, so the trace parser surfaces them via arg().
+  EXPECT_DOUBLE_EQ(it->arg("bytes", 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(it->arg("trace_id", 0.0),
+                   static_cast<double>(root.trace_id));
+  EXPECT_DOUBLE_EQ(it->arg("span_id", 0.0), static_cast<double>(work_span));
+  EXPECT_DOUBLE_EQ(it->arg("parent_span_id", 0.0),
+                   static_cast<double>(root.span_id));
+}
+
+TEST(TraceContext, FlowEventsExportArrowsThatJoinOnCatAndId) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  const std::uint64_t id = new_trace_id();
+  tracer.complete("producer", "test", 10.0, 5.0);
+  tracer.flow(EventPhase::FlowStart, id, "hop", "test", 12.0);
+  tracer.complete("consumer", "test", 20.0, 5.0);
+  tracer.flow(EventPhase::FlowFinish, id, "hop", "test", 21.0);
+  const std::string json = tracer.to_chrome_trace_json();
+  ASSERT_TRUE(json_valid(json));
+  // Chrome flow-event grammar: phases s/f joined by a top-level id, each
+  // endpoint bound to its enclosing slice ("bp":"e").
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos) << json;
+  const auto events = parse_trace_events(json);
+  std::size_t starts = 0, finishes = 0;
+  for (const auto& e : events) {
+    starts += e.phase == 's' && e.flow_id == id;
+    finishes += e.phase == 'f' && e.flow_id == id;
+  }
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(finishes, 1u);
+}
+
+TEST(TraceStore, TailSamplingKeepsErrorsTopKSlowestAndSampled) {
+  TraceStore::Config cfg;
+  cfg.max_retained = 4;
+  cfg.top_k_slow = 2;
+  cfg.sample_every = 4;
+  TraceStore store;
+  store.enable(cfg);
+  // 1, 2: fewer than top_k retained traces are at least as slow → "slow".
+  store.finish(1, 10.0, "ok", false);
+  store.finish(2, 5.0, "ok", false);
+  // 3: two slower traces retained, finished_=3 not on the sample grid →
+  // dropped entirely.
+  store.finish(3, 1.0, "ok", false);
+  // 4: also unremarkable, but finished_=4 hits the 1-in-4 sample → kept.
+  store.finish(4, 2.0, "ok", false);
+  // 5: deadline miss → always kept, regardless of duration.
+  store.finish(5, 0.5, "timeout", true);
+  // 6: new slowest → "slow"; retention now exceeds max_retained=4 and the
+  // eviction pass drops the sampled trace (id 4) first.
+  store.finish(6, 20.0, "ok", false);
+
+  EXPECT_EQ(store.finished_count(), 6u);
+  EXPECT_EQ(store.retained_count(), 4u);
+  EXPECT_FALSE(store.lookup(3, nullptr));
+  EXPECT_FALSE(store.lookup(4, nullptr));  // sampled → first evicted
+  StoredTrace err;
+  ASSERT_TRUE(store.lookup(5, &err));
+  EXPECT_EQ(err.reason, "error");
+  EXPECT_EQ(err.status, "timeout");
+
+  // snapshot() is slowest-first.
+  const auto snap = store.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].trace_id, 6u);
+  EXPECT_EQ(snap[1].trace_id, 1u);
+  EXPECT_EQ(snap[2].trace_id, 2u);
+  EXPECT_EQ(snap[3].trace_id, 5u);
+  EXPECT_EQ(snap[0].reason, "slow");
+
+  const std::string json = store.to_json();
+  ASSERT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"dlsr-tracez-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"finished\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"retained\":4"), std::string::npos);
+  EXPECT_EQ(store.trace_json(999), "");  // unknown id → empty
+  store.disable();
+}
+
+TEST(TraceStore, RecordedSpansSurviveIntoTraceJson) {
+  TraceStore store;
+  store.enable(TraceStore::Config{});
+  const TraceContext root{42, 100, 0};
+  const TraceContext child{42, 101, 100};
+  store.record_span(root, "request", "serve", 0.0, 900.0);
+  store.record_span(child, "forward", "serve", 100.0, 500.0);
+  EXPECT_EQ(store.pending_count(), 1u);
+  store.finish(42, 0.9, "ok", false);
+  EXPECT_EQ(store.pending_count(), 0u);
+
+  StoredTrace t;
+  ASSERT_TRUE(store.lookup(42, &t));
+  ASSERT_EQ(t.spans.size(), 2u);
+  EXPECT_EQ(t.spans[0].name, "request");
+  EXPECT_EQ(t.spans[1].parent_span_id, 100u);
+
+  const std::string json = store.trace_json(42);
+  ASSERT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":101"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":100"), std::string::npos);
+
+  // Spans with no trace id never enter the store.
+  store.record_span(TraceContext{}, "noise", "serve", 0.0, 1.0);
+  EXPECT_EQ(store.pending_count(), 0u);
+  // discard() forgets a pending trace without retention.
+  store.record_span(TraceContext{7, 8, 0}, "hit", "serve", 0.0, 1.0);
+  store.discard(7);
+  EXPECT_EQ(store.pending_count(), 0u);
+  EXPECT_FALSE(store.lookup(7, nullptr));
+  store.disable();
+}
+
+TEST(TraceStore, ScopedSpansMirrorIntoGlobalStoreWhenEnabled) {
+  TracerGuard guard;
+  TraceStore& store = TraceStore::global();
+  store.enable();
+  const TraceContext root{new_trace_id(), new_span_id(), 0};
+  {
+    ScopedContext install(root);
+    ScopedSpan span("serve", "tile");
+  }
+  store.finish(root.trace_id, 1.0, "ok", false);
+  StoredTrace t;
+  ASSERT_TRUE(store.lookup(root.trace_id, &t));
+  ASSERT_EQ(t.spans.size(), 1u);
+  EXPECT_EQ(t.spans[0].name, "tile");
+  EXPECT_EQ(t.spans[0].parent_span_id, root.span_id);
+  store.disable();
+  // Disabled store: spans pass through without being mirrored.
+  {
+    ScopedContext install(root);
+    ScopedSpan span("serve", "after");
+  }
+  EXPECT_EQ(store.pending_count(), 0u);
+}
+
+TEST(Metrics, HistogramExemplarsLinkBucketsToTraces) {
+  MetricsRegistry reg;
+  auto hist = reg.histogram("lat/ms");
+  hist->observe(0.4, /*exemplar_trace_id=*/77);  // bucket (0.1, 0.5]
+  hist->observe(7.0, /*exemplar_trace_id=*/91);  // bucket (5, 10]
+  hist->observe(0.3);  // no trace id → exemplar for the bucket unchanged
+  const HistogramSnapshot snap = hist->snapshot();
+  EXPECT_TRUE(snap.exemplars[3].valid());
+  EXPECT_EQ(snap.exemplars[3].trace_id, 77u);
+  EXPECT_DOUBLE_EQ(snap.exemplars[3].value, 0.4);
+  EXPECT_TRUE(snap.exemplars[6].valid());
+  EXPECT_EQ(snap.exemplars[6].trace_id, 91u);
+  EXPECT_FALSE(snap.exemplars[0].valid());
+
+  // OpenMetrics exposition: exemplar rides the matching bucket line.
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# {trace_id=\"77\"} 0.4"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# {trace_id=\"91\"} 7"), std::string::npos) << prom;
+
+  const std::string json = reg.to_json();
+  ASSERT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"exemplar\":{\"trace_id\":77,\"value\":0.4}"),
+            std::string::npos)
+      << json;
 }
 
 /// RAII guard for flight-recorder tests: disable on exit so the log sink
@@ -558,6 +773,57 @@ TEST(FlightRecorder, ConcurrentLoggersAndRecordersDoNotDeadlock) {
   const std::string dump = fr.dump_to_string();
   EXPECT_NE(dump.find("logger 0 line 199"), std::string::npos);
   EXPECT_NE(dump.find("recorder 1 line 199"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpReconstructsActiveSpanStackPerThread) {
+  TracerGuard tracer_guard;  // span ring entries require a live tracer
+  FlightRecorder::Config cfg;
+  cfg.capacity = 256;
+  cfg.dump_path = testing::TempDir() + "fr_spans.dump";
+  cfg.capture_log = false;
+  cfg.track_spans = true;
+  RecorderGuard guard(cfg);
+  auto& fr = FlightRecorder::instance();
+  {
+    ScopedSpan outer("serve", "request");
+    ScopedSpan inner("serve", "forward");
+    // Both spans are open: the dump replays the span+/span- ring entries
+    // and prints this thread's live stack, outermost first.
+    const std::string dump = fr.dump_to_string();
+    EXPECT_NE(dump.find("# active spans"), std::string::npos) << dump;
+    const std::size_t request_pos = dump.find("request");
+    const std::size_t forward_pos = dump.find("forward");
+    ASSERT_NE(request_pos, std::string::npos) << dump;
+    ASSERT_NE(forward_pos, std::string::npos) << dump;
+    EXPECT_LT(request_pos, forward_pos);
+    EXPECT_NE(dump.find("[span+]"), std::string::npos) << dump;
+  }
+  // Closed spans leave no active stack, only the historical ring entries.
+  const std::string dump = fr.dump_to_string();
+  EXPECT_EQ(dump.find("# active spans"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("[span-]"), std::string::npos) << dump;
+}
+
+TEST(FlightRecorder, DumpListsInflightTraceIds) {
+  FlightRecorder::Config cfg;
+  cfg.capacity = 64;
+  cfg.dump_path = testing::TempDir() + "fr_inflight.dump";
+  cfg.capture_log = false;
+  RecorderGuard guard(cfg);
+  auto& fr = FlightRecorder::instance();
+  EXPECT_NE(fr.dump_to_string().find("# in-flight traces: none"),
+            std::string::npos);
+  fr.note_inflight_trace(4242);
+  fr.note_inflight_trace(4343);
+  EXPECT_EQ(fr.inflight_trace_count(), 2u);
+  const std::string dump = fr.dump_to_string();
+  EXPECT_NE(dump.find("trace_id=4242"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("trace_id=4343"), std::string::npos) << dump;
+  fr.clear_inflight_trace(4242);
+  fr.clear_inflight_trace(4343);
+  EXPECT_EQ(fr.inflight_trace_count(), 0u);
+  EXPECT_NE(fr.dump_to_string().find("# in-flight traces: none"),
+            std::string::npos);
 }
 
 TEST(FlightRecorder, WatchdogDumpsOncePerStallEpisodeAndRearms) {

@@ -3,8 +3,12 @@
 // cache, end-to-end serving, and thread-pool fault isolation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,6 +17,9 @@
 #include "image/metrics.hpp"
 #include "image/resize.hpp"
 #include "models/edsr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_store.hpp"
 #include "serve/engine.hpp"
 #include "serve/metrics.hpp"
 #include "serve/micro_batcher.hpp"
@@ -374,6 +381,135 @@ TEST(SrServer, ConcurrentMixedSizeRequestsAllComplete) {
   EXPECT_EQ(snap.completed, 8u);
   EXPECT_GE(snap.batches, 1u);
   EXPECT_EQ(snap.tiles, 8u) << "each image here is single-tile";
+}
+
+// Acceptance: the whole metrics → traces drill-down loop. Every served
+// request carries a retrievable causal trace whose spans parent under the
+// request root and cover (almost) all of the observed latency, and the
+// latency histogram's exemplars name trace ids that are retained in the
+// store — so "the slow bucket" leads to an actual trace.
+TEST(SrServer, CausalTraceDrillDownFromMetricsToSpans) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.disable();
+  tracer.reset();
+  tracer.enable(/*ring_capacity=*/1 << 18);
+  obs::MetricsRegistry::global().clear();
+  obs::TraceStore::global().enable();
+  {
+    auto model = tiny_model();
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.max_batch = 4;
+    SrServer server(model, cfg);
+    std::vector<ServeResult> results;
+    for (std::size_t i = 0; i < 6; ++i) {
+      // Distinct sizes/seeds: no cache hits, and some multi-tile requests.
+      const std::size_t side = 40 + 8 * (i % 3);
+      results.push_back(server.upscale(random_image(side, side, 700 + i)));
+    }
+    std::set<std::uint64_t> ids;
+    for (const ServeResult& r : results) {
+      ASSERT_EQ(r.status, ServeStatus::Ok);
+      EXPECT_NE(r.trace_id, 0u);
+      ids.insert(r.trace_id);
+    }
+    EXPECT_EQ(ids.size(), results.size()) << "trace ids must be distinct";
+
+    // Drill down into the slowest request by the id the caller got back.
+    const auto slowest = std::max_element(
+        results.begin(), results.end(),
+        [](const ServeResult& a, const ServeResult& b) {
+          return a.latency_seconds < b.latency_seconds;
+        });
+    obs::StoredTrace t;
+    ASSERT_TRUE(obs::TraceStore::global().lookup(slowest->trace_id, &t));
+    EXPECT_EQ(t.status, "ok");
+    std::set<std::string> names;
+    for (const obs::StoredSpan& s : t.spans) {
+      names.insert(s.name);
+    }
+    for (const char* expected : {"request", "submit", "queue", "respond"}) {
+      EXPECT_TRUE(names.count(expected)) << "missing span: " << expected;
+    }
+    // Parentage: one root ("request", no parent); submit/queue/respond all
+    // parent directly under it — the queue and respond hops crossed the
+    // micro-batcher and the thread pool and still joined the chain.
+    const auto root = std::find_if(
+        t.spans.begin(), t.spans.end(),
+        [](const obs::StoredSpan& s) { return s.name == "request"; });
+    ASSERT_NE(root, t.spans.end());
+    EXPECT_EQ(root->parent_span_id, 0u);
+    for (const obs::StoredSpan& s : t.spans) {
+      if (s.name == "submit" || s.name == "queue" || s.name == "respond") {
+        EXPECT_EQ(s.parent_span_id, root->span_id) << s.name;
+      }
+    }
+    // The root span covers at least 95 % of the latency the caller saw.
+    EXPECT_GE(root->dur_us, 0.95 * slowest->latency_seconds * 1e6);
+
+    // Exemplars on the serve latency histogram point at retained traces.
+    const obs::HistogramSnapshot snap = obs::MetricsRegistry::global()
+                                            .histogram("serve/latency_ms")
+                                            ->snapshot();
+    std::size_t exemplars = 0;
+    for (const obs::Exemplar& e : snap.exemplars) {
+      if (!e.valid()) {
+        continue;
+      }
+      ++exemplars;
+      EXPECT_TRUE(ids.count(e.trace_id))
+          << "exemplar names a trace no request returned";
+      EXPECT_TRUE(obs::TraceStore::global().lookup(e.trace_id, nullptr))
+          << "exemplar trace_id " << e.trace_id << " not retrievable";
+    }
+    EXPECT_GT(exemplars, 0u);
+    // In particular the top occupied latency bucket carries one: the
+    // "why is p99 slow" entry point.
+    for (std::size_t b = snap.buckets.size(); b-- > 0;) {
+      if (snap.buckets[b] > 0) {
+        EXPECT_TRUE(snap.exemplars[b].valid());
+        break;
+      }
+    }
+  }
+  obs::TraceStore::global().disable();
+  tracer.disable();
+  tracer.reset();
+}
+
+// Queue-handoff parentage in isolation: a context installed on one side of
+// the micro-batcher is adopted by a pool worker on the other side, and the
+// span opened there parents under the producer's span.
+TEST(MicroBatcher, ContextHandoffAcrossPoolPreservesParentage) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.disable();
+  tracer.reset();
+  tracer.enable();
+  {
+    const obs::TraceContext root{obs::new_trace_id(), obs::new_span_id(), 0};
+    struct Job {
+      obs::TraceContext ctx;
+    };
+    MicroBatcher<Job> batcher({1, std::chrono::microseconds(1000), 4});
+    {
+      obs::ScopedContext install(root);
+      ASSERT_TRUE(batcher.try_push(Job{obs::current_context()}));
+    }
+    const std::vector<Job> batch = batcher.pop_batch();
+    ASSERT_EQ(batch.size(), 1u);
+    ThreadPool pool(1);
+    obs::TraceContext consumer_ctx;
+    pool.submit([&] {
+      obs::ScopedContext adopt(batch[0].ctx);
+      obs::ScopedSpan span("test", "consume");
+      consumer_ctx = span.context();
+    });
+    pool.wait_idle();
+    EXPECT_EQ(consumer_ctx.trace_id, root.trace_id);
+    EXPECT_EQ(consumer_ctx.parent_span_id, root.span_id);
+  }
+  tracer.disable();
+  tracer.reset();
 }
 
 // --- Metrics --------------------------------------------------------------

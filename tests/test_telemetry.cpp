@@ -6,6 +6,11 @@
 // and concurrent scrapes against a live training session.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -26,6 +31,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/time_series.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_store.hpp"
 #include "obs/trace_summary.hpp"
 
 namespace dlsr::obs {
@@ -122,6 +128,87 @@ TEST(HttpServer, ServesHandlerAndCountsRequests) {
   server.stop();
 }
 
+/// Raw-socket client for the hardening tests below: connects, sends
+/// `payload` verbatim (possibly not a complete request head), and returns
+/// whatever the server writes back before closing.
+std::string raw_request(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) {
+      break;  // server already gave up on us (expected for bad requests)
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpServer, RejectsOversizedRequestLineWith400) {
+  HttpServer::Options opts;
+  opts.max_request_line = 128;
+  HttpServer server("127.0.0.1", 0,
+                    [](const HttpRequest&) { return HttpResponse{}; }, opts);
+  const std::string long_path(512, 'a');
+  const std::string response =
+      raw_request(server.port(), "GET /" + long_path + " HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos) << response;
+  // A normal request on the same server still works: the bad client did
+  // not wedge the accept loop.
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/ok").status, 200);
+  server.stop();
+}
+
+TEST(HttpServer, TimesOutClientsThatNeverFinishTheRequestHead) {
+  HttpServer::Options opts;
+  opts.io_timeout_s = 0.2;  // keep the test fast
+  HttpServer server("127.0.0.1", 0,
+                    [](const HttpRequest&) { return HttpResponse{}; }, opts);
+  // Partial head, no terminator: the read times out and the client gets a
+  // 400 instead of holding the accept loop hostage.
+  const auto start = std::chrono::steady_clock::now();
+  const std::string response =
+      raw_request(server.port(), "GET /metrics HTTP/1.0\r\n");
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos) << response;
+  EXPECT_NE(response.find("request timeout"), std::string::npos) << response;
+  EXPECT_LT(elapsed_s, 5.0);  // bounded by io_timeout_s, not hung
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/next").status, 200);
+  server.stop();
+}
+
+TEST(HttpServer, RejectsNonGetMethodsAndEmptyRequests) {
+  HttpServer server("127.0.0.1", 0,
+                    [](const HttpRequest&) { return HttpResponse{}; });
+  const std::string post =
+      raw_request(server.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
+  const std::string garbage = raw_request(server.port(), "\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/after").status, 200);
+  server.stop();
+}
+
 // --- TelemetryServer endpoints ------------------------------------------
 
 TEST(TelemetryServer, EndpointsServeMetricsHealthAndSeries) {
@@ -174,6 +261,55 @@ TEST(TelemetryServer, EndpointsServeMetricsHealthAndSeries) {
   EXPECT_EQ(wire.status, 200);
   EXPECT_NE(wire.body.find("dlsr_test_requests 42"), std::string::npos);
   EXPECT_GE(telemetry.scrape_count(), 1u);
+}
+
+// The metrics → traces drill-down surface: /tracez lists retained traces
+// and serves one full trace by id.
+TEST(TelemetryServer, TracezServesRetainedTracesAndDrillDown) {
+  TraceStore& store = TraceStore::global();
+  store.enable();
+  const TraceContext root{9001, 1, 0};
+  store.record_span(root, "request", "serve", 0.0, 12000.0);
+  store.record_span(TraceContext{9001, 2, 1}, "forward", "serve", 1000.0,
+                    8000.0);
+  store.finish(9001, 12.0, "ok", false);
+
+  MetricsRegistry registry;
+  TimeSeriesStore series;
+  TelemetryConfig cfg;
+  cfg.registry = &registry;
+  cfg.store = &series;
+  cfg.sample_period_s = 0.01;
+  TelemetryServer telemetry(cfg);
+
+  const HttpResponse list = telemetry.handle({"GET", "/tracez", ""});
+  EXPECT_EQ(list.status, 200);
+  ASSERT_TRUE(json_valid(list.body)) << list.body;
+  EXPECT_NE(list.body.find("\"schema\":\"dlsr-tracez-v1\""),
+            std::string::npos);
+  EXPECT_NE(list.body.find("\"trace_id\":9001"), std::string::npos);
+
+  const HttpResponse one =
+      telemetry.handle({"GET", "/tracez", "trace_id=9001"});
+  EXPECT_EQ(one.status, 200);
+  ASSERT_TRUE(json_valid(one.body)) << one.body;
+  EXPECT_NE(one.body.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(one.body.find("\"parent_span_id\":1"), std::string::npos);
+
+  EXPECT_EQ(telemetry.handle({"GET", "/tracez", "trace_id=bogus"}).status,
+            400);
+  EXPECT_EQ(telemetry.handle({"GET", "/tracez", "trace_id=31337"}).status,
+            404);
+
+  // Over a real socket too — the endpoint the operator actually curls.
+  const HttpGetResult wire =
+      http_get("127.0.0.1", telemetry.port(), "/tracez?trace_id=9001");
+  EXPECT_EQ(wire.status, 200);
+  EXPECT_NE(wire.body.find("\"trace_id\":9001"), std::string::npos);
+  // The index page advertises the endpoint.
+  EXPECT_NE(telemetry.handle({"GET", "/", ""}).body.find("/tracez"),
+            std::string::npos);
+  store.disable();
 }
 
 TEST(TelemetryServer, SamplerMirrorsRegistryIntoStore) {

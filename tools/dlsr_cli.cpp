@@ -22,6 +22,11 @@
 //   dlsr train --trace-out trace.json --metrics-out metrics.json
 //   dlsr train --flight-recorder --stall-timeout 30
 //   dlsr trace-summary trace.json
+//   dlsr trace-summary rank0.json rank1.json rank2.json
+//   dlsr simulate --nodes 32 --backends MPI-Opt --trace-rank 0 \
+//       --trace-out rank0.json
+//   dlsr trace-merge rank0.json rank1.json --out merged.json
+//   dlsr analyze merged.json --whole-run
 //   dlsr analyze trace.json --json report.json
 //   dlsr perf-compare BENCH_kernels.json bench/baselines/kernel_suite.json
 //   dlsr models
@@ -77,6 +82,8 @@
 #include "obs/perf_compare.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
+#include "obs/trace_store.hpp"
 #include "obs/trace_summary.hpp"
 #include "serve/server.hpp"
 #include "serve/stream_ingest.hpp"
@@ -91,12 +98,20 @@ void define_obs_flags(Flags& flags) {
                std::nullopt);
   flags.define("metrics-out", "write the unified metrics JSON here",
                std::nullopt);
+  flags.define("trace-clock-skew-us",
+               "shift every exported trace timestamp by this many us "
+               "(models per-rank clock skew for trace-merge testing)",
+               std::nullopt);
 }
 
 /// Turns tracing on before the command body when --trace-out was given.
 void obs_begin(const Flags& flags) {
   if (flags.has("trace-out")) {
     obs::Tracer::instance().enable();
+    if (flags.has("trace-clock-skew-us")) {
+      obs::Tracer::instance().set_export_ts_offset_us(
+          flags.get_double("trace-clock-skew-us"));
+    }
   }
 }
 
@@ -194,6 +209,25 @@ std::function<double()> heartbeat_from(const obs::StallWatchdog* watchdog) {
     return {};
   }
   return [watchdog] { return watchdog->seconds_since_kick(); };
+}
+
+/// `--trace-rank R`: emit the simulated-time trace from rank R's view
+/// (compute spans scaled to that rank's jitter, numeric "rank" args).
+/// Per-rank files produced this way are the inputs `dlsr trace-merge`
+/// aligns and joins.
+void define_trace_view_flag(Flags& flags) {
+  flags.define("trace-rank",
+               "emit the sim trace from this rank's view (default: the "
+               "straggler's pace, untagged)",
+               std::nullopt);
+}
+
+void apply_trace_view_flag(const Flags& flags,
+                           core::TrainingJobConfig& job) {
+  if (flags.has("trace-rank")) {
+    job.trace_rank = static_cast<std::int64_t>(flags.get_int("trace-rank"));
+    DLSR_CHECK(job.trace_rank >= 0, "--trace-rank wants a nonnegative rank");
+  }
 }
 
 /// `--perturb-rank R[,factor]`: single-rank fault injection for the
@@ -332,6 +366,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   define_fusion_flags(flags);
   define_data_flags(flags);
   define_perturb_flag(flags);
+  define_trace_view_flag(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -341,6 +376,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   apply_fusion_flags(flags, job);
   apply_data_flags(flags, job);
   apply_perturb_flag(flags, job);
+  apply_trace_view_flag(flags, job);
   const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const auto nodes = parse_size_list(flags.get("nodes"));
   const auto steps = static_cast<std::size_t>(flags.get_int("steps"));
@@ -395,6 +431,7 @@ int cmd_profile(int argc, const char* const* argv) {
   define_fusion_flags(flags);
   define_data_flags(flags);
   define_perturb_flag(flags);
+  define_trace_view_flag(flags);
   define_obs_flags(flags);
   flags.parse(argc, argv);
   obs_begin(flags);
@@ -404,6 +441,7 @@ int cmd_profile(int argc, const char* const* argv) {
   apply_fusion_flags(flags, job);
   apply_data_flags(flags, job);
   apply_perturb_flag(flags, job);
+  apply_trace_view_flag(flags, job);
   const core::DistributedTrainer trainer(exp.graph, exp.perf, job);
   const core::RunResult r = trainer.run(
       parse_backend(flags.get("backend")),
@@ -543,6 +581,10 @@ int cmd_train(int argc, const char* const* argv) {
     const std::string mode = flags.get("crash-with");
     std::printf("injecting fault after training: %s\n", mode.c_str());
     std::fflush(stdout);
+    // Die inside a live span: with --trace-out arming the tracer, the
+    // flight recorder's post-mortem dump reconstructs this span as the
+    // active stack at the instant of death.
+    obs::ScopedSpan crash_span("cli", "inject_fault");
     if (mode == "segv") {
       std::raise(SIGSEGV);
     } else if (mode == "abort") {
@@ -688,6 +730,20 @@ int cmd_serve(int argc, const char* const* argv) {
   cfg.default_deadline =
       std::chrono::milliseconds(flags.get_int("deadline-ms"));
 
+  // Tail-sampled trace retention: with tracing or telemetry on, keep the
+  // slow/error request traces so /tracez (and the latency-histogram
+  // exemplars) can drill from a bad percentile to the causal span tree.
+  if (flags.has("trace-out") || flags.has("telemetry-port")) {
+    obs::TraceStore::global().enable();
+    if (!obs::tracing_enabled()) {
+      // Request contexts and spans only exist while the tracer is live;
+      // /tracez needs them even when no trace file was requested. The
+      // ring is bounded and nothing is written at exit without
+      // --trace-out.
+      obs::Tracer::instance().enable();
+    }
+  }
+
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   auto model =
       std::make_shared<models::Edsr>(models::EdsrConfig::tiny(), rng);
@@ -825,11 +881,24 @@ int cmd_trace_summary(int argc, const char* const* argv) {
   flags.define("json", "write the machine-readable summary here",
                std::nullopt);
   flags.parse(argc, argv);
-  DLSR_CHECK(flags.positional().size() == 1,
-             "usage: dlsr trace-summary <trace.json> [--json summary.json]");
-  const std::string& path = flags.positional().front();
-  const auto events = obs::parse_trace_events(read_file(path));
-  std::printf("%zu events in %s\n", events.size(), path.c_str());
+  DLSR_CHECK(!flags.positional().empty(),
+             "usage: dlsr trace-summary <trace.json> [more.json ...] "
+             "[--json summary.json]");
+  // Several files = one per rank: events from file i are tagged rank i
+  // (unless they already carry a rank arg) so the summary gains a per-rank
+  // column. One file keeps the flat single-trace view.
+  std::vector<obs::ParsedEvent> events;
+  for (std::size_t i = 0; i < flags.positional().size(); ++i) {
+    const std::string& path = flags.positional()[i];
+    auto file_events = obs::parse_trace_events(read_file(path));
+    std::printf("%zu events in %s\n", file_events.size(), path.c_str());
+    if (flags.positional().size() > 1) {
+      obs::tag_rank(file_events, static_cast<int>(i));
+    }
+    events.insert(events.end(),
+                  std::make_move_iterator(file_events.begin()),
+                  std::make_move_iterator(file_events.end()));
+  }
   std::printf("%s", obs::trace_summary(events).to_string().c_str());
   if (flags.has("json")) {
     std::ofstream out(flags.get("json"));
@@ -840,13 +909,47 @@ int cmd_trace_summary(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_trace_merge(int argc, const char* const* argv) {
+  Flags flags;
+  flags.define("out", "write the merged Chrome trace here",
+               "merged-trace.json");
+  flags.parse(argc, argv);
+  DLSR_CHECK(flags.positional().size() >= 2,
+             "usage: dlsr trace-merge <rank0.json> <rank1.json> [...] "
+             "[--out merged.json]");
+  std::vector<std::vector<obs::ParsedEvent>> ranks;
+  ranks.reserve(flags.positional().size());
+  for (const std::string& path : flags.positional()) {
+    ranks.push_back(obs::parse_trace_events(read_file(path)));
+  }
+  for (std::size_t r = 1; r < ranks.size(); ++r) {
+    std::printf("rank %zu (%s): clock offset %+.3f us vs rank 0\n", r,
+                flags.positional()[r].c_str(),
+                obs::merge_clock_offset_us(ranks[0], ranks[r]));
+  }
+  const std::string merged = obs::merge_rank_traces(ranks);
+  std::ofstream out(flags.get("out"), std::ios::binary);
+  DLSR_CHECK(out.good(), "cannot open " + flags.get("out"));
+  out << merged;
+  std::printf("merged %zu rank traces into %s (analyze with "
+              "`dlsr analyze %s --whole-run`)\n",
+              ranks.size(), flags.get("out").c_str(),
+              flags.get("out").c_str());
+  return 0;
+}
+
 int cmd_analyze(int argc, const char* const* argv) {
   Flags flags;
   flags.define("json", "write the machine-readable report here",
                std::nullopt);
+  flags.define("whole-run",
+               "print the whole-run critical path (straggler-aware rank/"
+               "op/bucket segments; best on a trace-merge output)",
+               "false");
   flags.parse(argc, argv);
   DLSR_CHECK(flags.positional().size() == 1,
-             "usage: dlsr analyze <trace.json> [--json report.json]");
+             "usage: dlsr analyze <trace.json> [--whole-run] "
+             "[--json report.json]");
   const std::string& path = flags.positional().front();
   const auto events = obs::parse_trace_events(read_file(path));
   const obs::AnalysisReport report = obs::analyze_trace(events);
@@ -872,6 +975,20 @@ int cmd_analyze(int argc, const char* const* argv) {
                   "over the fleet median)\n",
                   f.rank, f.first_step, f.max_score);
     }
+  }
+  if (flags.get_bool("whole-run")) {
+    double comm_us = 0.0;
+    for (const obs::CriticalSegment& s : report.critical_path) {
+      if (s.kind == "exposed-comm") {
+        comm_us += s.us;
+      }
+    }
+    std::printf("\nwhole-run critical path (%zu segments):\n%s",
+                report.critical_path.size(),
+                report.critical_path_table().to_string().c_str());
+    std::printf("critical-path comm total: %.1f us (per-step exposed comm "
+                "%.1f us)\n",
+                comm_us, report.total_exposed_comm_us());
   }
   if (flags.has("json")) {
     std::ofstream out(flags.get("json"));
@@ -899,8 +1016,8 @@ int cmd_perf_compare(int argc, const char* const* argv) {
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: dlsr [--log-level LEVEL] "
-      "<simulate|profile|train|models|layers|serve|trace-summary|analyze|"
-      "perf-compare> [flags]\n"
+      "<simulate|profile|train|models|layers|serve|trace-summary|"
+      "trace-merge|analyze|perf-compare> [flags]\n"
       "run `dlsr <command> --help` conceptually: flags are listed in "
       "tools/dlsr_cli.cpp\n";
   // Strip the global --log-level flag (valid anywhere before the
@@ -938,6 +1055,9 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(sub_argc, sub_argv);
     if (command == "trace-summary") {
       return cmd_trace_summary(sub_argc, sub_argv);
+    }
+    if (command == "trace-merge") {
+      return cmd_trace_merge(sub_argc, sub_argv);
     }
     if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
     if (command == "perf-compare") {
